@@ -1,0 +1,41 @@
+//! Criterion bench behind §5.1: all-to-all exchange, blocking vs chunked
+//! pipelining at several chunk sizes (the latency/throughput trade the
+//! paper tunes for PCIe↔InfiniBand overlap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soifft_bench::signal;
+use soifft_cluster::Cluster;
+use soifft_num::c64;
+
+fn make_outgoing(rank: usize, procs: usize, per_dest: usize) -> Vec<Vec<c64>> {
+    (0..procs)
+        .map(|d| signal(per_dest, (rank * procs + d) as u64 + 1))
+        .collect()
+}
+
+fn bench_alltoall(c: &mut Criterion) {
+    let procs = 4;
+    let per_dest = 1 << 12;
+    let mut g = c.benchmark_group("alltoall");
+    g.sample_size(10);
+    g.bench_function("blocking", |b| {
+        b.iter(|| {
+            Cluster::run(procs, |comm| {
+                comm.all_to_all(make_outgoing(comm.rank(), procs, per_dest))
+            })
+        });
+    });
+    for chunk in [256usize, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("chunked", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                Cluster::run(procs, |comm| {
+                    comm.all_to_all_chunked(make_outgoing(comm.rank(), procs, per_dest), chunk)
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alltoall);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench behind Fig 11: convolution-and-oversampling strategies,
+//! at two simulated scales so the baseline's working-set growth is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soifft_bench::signal;
+use soifft_core::{conv, ConvStrategy, Rational, SoiParams, Window, WindowKind};
+use soifft_num::c64;
+use soifft_par::Pool;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convolution");
+    g.sample_size(10);
+    for nodes in [8usize, 64] {
+        let params = SoiParams {
+            // Per-rank size 7·2^11 so µ = 8/7 divides cleanly.
+            n: 7 * (1 << 11) * nodes,
+            procs: nodes,
+            segments_per_proc: 1,
+            mu: Rational::new(8, 7),
+            conv_width: 72,
+        };
+        params.validate().expect("valid");
+        let window = Window::new(WindowKind::GaussianSinc, &params);
+        let input = signal(params.per_rank() + params.ghost_len(), 17);
+        let mut out = vec![c64::ZERO; params.blocks_per_rank() * params.total_segments()];
+        let pool = Pool::serial();
+        g.throughput(Throughput::Elements(params.per_rank() as u64));
+        for strategy in ConvStrategy::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(strategy.label(), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        conv::convolve(&params, &window, strategy, &input, &mut out, &pool)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// §5.3's loop fusion: convolution + block DFTs in one pass vs two.
+fn bench_fused_fft(c: &mut Criterion) {
+    let params = SoiParams {
+        n: 7 * (1 << 11) * 16,
+        procs: 16,
+        segments_per_proc: 1,
+        mu: Rational::new(8, 7),
+        conv_width: 72,
+    };
+    params.validate().expect("valid");
+    let window = Window::new(WindowKind::GaussianSinc, &params);
+    let input = signal(params.per_rank() + params.ghost_len(), 19);
+    let mut out = vec![c64::ZERO; params.blocks_per_rank() * params.total_segments()];
+    let pool = Pool::serial();
+    let plan = soifft_fft::Plan::new(params.total_segments());
+
+    let mut g = c.benchmark_group("conv_fft_fusion");
+    g.sample_size(10);
+    g.bench_function("separate", |b| {
+        b.iter(|| {
+            conv::convolve(&params, &window, ConvStrategy::RowMajor, &input, &mut out, &pool);
+            soifft_fft::batch::forward_rows(&plan, &mut out);
+        });
+    });
+    g.bench_function("fused", |b| {
+        b.iter(|| conv::convolve_fused_fft(&params, &window, &input, &mut out, &plan, &pool));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_fused_fft);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Plan-time cost: window construction across taper families and demod
+//! modes (Gaussian's closed-form demod vs the numeric transform the
+//! Kaiser/prolate tapers require, plus the prolate's eigensolve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soifft_core::window::DemodMode;
+use soifft_core::{Rational, SoiParams, Window, WindowKind};
+
+fn params() -> SoiParams {
+    SoiParams {
+        n: 7 * (1 << 12) * 8,
+        procs: 8,
+        segments_per_proc: 1,
+        mu: Rational::new(8, 7),
+        conv_width: 72,
+    }
+}
+
+fn bench_window_build(c: &mut Criterion) {
+    let p = params();
+    p.validate().expect("valid");
+    let mut g = c.benchmark_group("window_build");
+    g.sample_size(10);
+    for kind in [
+        WindowKind::GaussianSinc,
+        WindowKind::KaiserSinc,
+        WindowKind::ProlateSinc,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
+            b.iter(|| Window::new(k, &p));
+        });
+    }
+    g.bench_function("Gaussian_analytic_demod", |b| {
+        b.iter(|| Window::with_demod_mode(WindowKind::GaussianSinc, &p, DemodMode::Analytic));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_window_build);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Accuracy characterization (DESIGN.md ablation §6.4): measured SOI
+//! transform error and the a-priori alias bound across window families,
+//! convolution widths `B` and oversampling factors `µ`.
+//!
+//! The paper keeps accuracy implicit ("comparable to MKL", via the SC'12
+//! framework); this bench makes the reproduction's accuracy story explicit
+//! and testable: Gaussian/Kaiser tapers reach ~1e−5 at the paper's
+//! `(µ = 8/7, B = 72)` point, the optimal prolate taper ~1e−9.
+
+use soifft_bench::{signal, Table};
+use soifft_core::accuracy::alias_bound;
+use soifft_core::{Rational, SoiFftLocal, SoiParams, Window, WindowKind};
+use soifft_fft::Plan;
+use soifft_num::error::rel_l2;
+
+fn main() {
+    let l = 8usize;
+
+    println!("SOI accuracy characterization (single node, L = {l}, N per config below)");
+    let mut t = Table::new(&["window", "mu", "B", "N", "alias bound", "measured rel_l2"]);
+
+    let configs: Vec<(Rational, usize, usize)> = vec![
+        // (µ, B, M) — M chosen divisible by d_µ.
+        (Rational::new(8, 7), 36, 7 * (1 << 7)),
+        (Rational::new(8, 7), 72, 7 * (1 << 7)),
+        (Rational::new(5, 4), 72, 1 << 9),
+        (Rational::new(2, 1), 16, 1 << 9),
+        (Rational::new(2, 1), 24, 1 << 9),
+    ];
+
+    for kind in [WindowKind::GaussianSinc, WindowKind::KaiserSinc, WindowKind::ProlateSinc] {
+        for &(mu, b, m) in &configs {
+            let n = m * l;
+            let params = SoiParams {
+                n,
+                procs: 1,
+                segments_per_proc: l,
+                mu,
+                conv_width: b,
+            };
+            if params.validate().is_err() {
+                continue;
+            }
+            let window = Window::new(kind, &params);
+            let bound = alias_bound(&window, &params, 9, 2);
+            let soi = SoiFftLocal::from_params(params, kind).expect("valid");
+            let x = signal(n, 99);
+            let got = soi.forward(&x);
+            let mut want = x;
+            Plan::new(n).forward(&mut want);
+            let measured = rel_l2(&got, &want);
+            t.row(&[
+                format!("{kind:?}"),
+                mu.to_string(),
+                b.to_string(),
+                n.to_string(),
+                format!("{bound:.2e}"),
+                format!("{measured:.2e}"),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("\nReading guide: measured error tracks the alias bound (within ~1");
+    println!("order); widening B or µ buys exponential accuracy; the prolate");
+    println!("taper is the strongest at every design point.");
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Fig 11**: the impact of the §5.3 convolution optimizations
+//! (baseline → loop interchange → circular-buffer staging) on
+//! convolution-and-oversampling time as the node count grows.
+//!
+//! The scaling mechanism being tested: the baseline's working set is the
+//! whole `n_µ·B·L` tap matrix, which grows with the total segment count `L`
+//! (∝ nodes) until it overflows the cache; the interchanged form touches
+//! `n_µ·B` taps per column regardless of scale; buffering additionally
+//! converts the interchanged form's stride-`L` input walks (pathological
+//! when `L` is a power of two) into contiguous ones.
+//!
+//! We run ONE rank's worth of convolution for simulated cluster sizes 4-64
+//! at fixed per-rank input (weak scaling, like the paper's x-axis).
+
+use soifft_bench::{best_of, env_usize, signal, Table};
+use soifft_core::{conv, ConvStrategy, Rational, SoiParams, Window, WindowKind};
+use soifft_num::c64;
+use soifft_par::Pool;
+
+fn main() {
+    // Default divisible by 7 so the paper's µ = 8/7 validates.
+    let per_rank = env_usize("SOIFFT_FIG11_PER_RANK", 7 * (1 << 13));
+    let reps = env_usize("SOIFFT_REPS", 3);
+    let b = env_usize("SOIFFT_B", 72);
+
+    println!("Fig 11: convolution optimization impact vs simulated node count");
+    println!("(per-rank input = {per_rank} elements, B = {b}, mu = 8/7, 1 segment/rank)\n");
+    let mut t = Table::new(&[
+        "nodes",
+        "baseline (s)",
+        "interchange (s)",
+        "buffering (s)",
+        "baseline WS",
+        "interchange WS",
+    ]);
+
+    let max_nodes = env_usize("SOIFFT_FIG11_MAX_NODES", 64);
+    for nodes in [4usize, 8, 16, 32, 64, 128, 256, 512] {
+        if nodes > max_nodes {
+            break;
+        }
+        // One segment per rank: L = nodes, the paper's Fig 11 setting.
+        let params = SoiParams {
+            n: per_rank * nodes,
+            procs: nodes,
+            segments_per_proc: 1,
+            mu: Rational::new(8, 7),
+            conv_width: b,
+        };
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("nodes={nodes}: {e} (adjust SOIFFT_FIG11_PER_RANK)"));
+        let window = Window::new(WindowKind::GaussianSinc, &params);
+        let input = signal(params.per_rank() + params.ghost_len(), nodes as u64);
+        let mut out = vec![c64::ZERO; params.blocks_per_rank() * params.total_segments()];
+        let pool = Pool::serial();
+        let mut row = vec![nodes.to_string()];
+        for strategy in ConvStrategy::ALL {
+            let secs = best_of(reps, || {
+                conv::convolve(&params, &window, strategy, &input, &mut out, &pool)
+            });
+            row.push(format!("{secs:.4}"));
+        }
+        // Tap working set per chunk: the paper's Fig 6 argument. Baseline
+        // touches all n_µ·B·L distinct taps every chunk; interchange only
+        // one column's n_µ·B.
+        let n_mu = params.mu.num();
+        let ws_base = n_mu * b * params.total_segments() * 16;
+        let ws_inter = n_mu * b * 16;
+        row.push(format!("{} KB", ws_base / 1024));
+        row.push(format!("{} KB", ws_inter.max(1024) / 1024));
+        t.row(&row);
+    }
+    print!("{}", t.render());
+    println!("\nShapes to compare with the paper's Fig 11:");
+    println!("* baseline working set grows ∝ nodes and eventually spills the");
+    println!("  LLC (on the paper's Phi: 512 KB private L2 ⇒ spill at ~8 nodes");
+    println!("  with B=72); interchange's stays constant,");
+    println!("* buffering converts the interchange's stride-L input walks to");
+    println!("  contiguous ones (matters when L is a large power of two).");
+    println!("On hosts whose LLC exceeds the baseline working set at every node");
+    println!("count (the WS columns above tell you), the wall-clock separation");
+    println!("does not manifest — the working-set mechanism is what scales.");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Fig 1** structurally: runs the distributed Cooley–Tukey
+//! FFT on a simulated 4-rank cluster and prints each rank's phase ledger,
+//! showing the three all-to-all exchanges of the conventional
+//! factorization.
+
+use soifft_bench::{env_usize, signal, Table};
+use soifft_cluster::Cluster;
+use soifft_ct::DistributedCtFft;
+use soifft_fft::Plan;
+use soifft_num::error::rel_linf;
+
+fn main() {
+    let procs = env_usize("SOIFFT_PROCS", 4);
+    let n = env_usize("SOIFFT_N", 1 << 14);
+    let x = signal(n, 1);
+    let per = n / procs;
+    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+
+    let fft = DistributedCtFft::new(n, procs).expect("plannable size");
+    let results = Cluster::run(procs, |comm| {
+        let out = fft.forward(comm, &inputs[comm.rank()]);
+        (out, comm.stats().clone())
+    });
+
+    // Verify against the node-local library.
+    let got: Vec<_> = results.iter().flat_map(|(o, _)| o.iter().copied()).collect();
+    let mut want = x.clone();
+    Plan::new(n).forward(&mut want);
+    let err = rel_linf(&got, &want);
+
+    println!("Fig 1: Cooley-Tukey factorization — communication structure");
+    println!("N = {n}, P = {procs}, verified vs reference FFT: rel_linf = {err:.2e}\n");
+    let mut t = Table::new(&["rank", "phase sequence", "all-to-alls", "bytes sent"]);
+    for (rank, (_, stats)) in results.iter().enumerate() {
+        let seq: Vec<&str> = stats.records().iter().map(|r| r.name).collect();
+        t.row(&[
+            rank.to_string(),
+            seq.join(" -> "),
+            stats.count_of("all-to-all").to_string(),
+            stats.total_bytes_sent().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nPaper: \"this method fundamentally requires three all-to-all");
+    println!("communication steps\" — confirmed by the trace above.");
+    assert!(results.iter().all(|(_, s)| s.count_of("all-to-all") == 3));
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Fig 2** structurally: runs the SOI FFT on a simulated
+//! 4-rank cluster and prints each rank's phase ledger — one ghost exchange
+//! plus ONE all-to-all, versus Cooley–Tukey's three (`fig1_trace`).
+
+use soifft_bench::{env_usize, signal, Table};
+use soifft_cluster::Cluster;
+use soifft_core::{Rational, SoiFft, SoiParams};
+use soifft_fft::Plan;
+use soifft_num::error::rel_l2;
+
+fn main() {
+    let procs = env_usize("SOIFFT_PROCS", 4);
+    let n = env_usize("SOIFFT_N", 1 << 14);
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 24,
+    };
+    params.validate().expect("valid parameters");
+    let x = signal(n, 1);
+    let per = params.per_rank();
+    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+
+    let fft = SoiFft::new(params).expect("plannable");
+    let results = Cluster::run(procs, |comm| {
+        let out = fft.forward(comm, &inputs[comm.rank()]);
+        (out, comm.stats().clone())
+    });
+
+    let got: Vec<_> = results.iter().flat_map(|(o, _)| o.iter().copied()).collect();
+    let mut want = x.clone();
+    Plan::new(n).forward(&mut want);
+    let err = rel_l2(&got, &want);
+
+    println!("Fig 2: Segment-of-Interest factorization — communication structure");
+    println!(
+        "N = {n}, P = {procs}, S = {}, mu = {}, B = {}, verified: rel_l2 = {err:.2e}\n",
+        params.segments_per_proc, params.mu, params.conv_width
+    );
+    let mut t = Table::new(&["rank", "phase sequence", "all-to-alls", "ghost bytes", "a2a bytes"]);
+    for (rank, (_, stats)) in results.iter().enumerate() {
+        let seq: Vec<&str> = stats.records().iter().map(|r| r.name).collect();
+        t.row(&[
+            rank.to_string(),
+            seq.join(" -> "),
+            stats.count_of("all-to-all").to_string(),
+            stats.bytes_in("ghost").to_string(),
+            stats.bytes_in("all-to-all").to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nPaper: \"one all-to-all communication step suffices in this");
+    println!("decomposition\", plus a latency-bound nearest-neighbour ghost");
+    println!("exchange of tens of KB — confirmed by the trace above.");
+    assert!(results.iter().all(|(_, s)| s.count_of("all-to-all") == 1));
+    assert!(results.iter().all(|(_, s)| s.count_of("ghost") == 1));
+}

@@ -1,0 +1,57 @@
+//! Regenerates **Fig 3**: model-estimated execution time of Cooley–Tukey
+//! and SOI on Xeon and Xeon Phi, normalized to Cooley–Tukey on 32 Xeon
+//! nodes, with the local-FFT / convolution / MPI component split.
+//!
+//! Also prints the §4 worked component times (`T_fft = 0.50 s`, ...).
+
+use soifft_bench::{secs, Table};
+use soifft_model::ClusterModel;
+
+fn main() {
+    let n = ((1u64 << 27) * 32) as f64;
+    let xeon = ClusterModel::xeon(32);
+    let phi = ClusterModel::xeon_phi(32);
+
+    println!("Section 4 component times (32 nodes, N = 2^27 x 32):");
+    let mut t = Table::new(&["component", "Xeon (s)", "Xeon Phi (s)", "paper (s)"]);
+    t.row(&[
+        "T_fft(N)".into(),
+        secs(xeon.t_fft(n)),
+        secs(phi.t_fft(n)),
+        "0.50 / 0.16".into(),
+    ]);
+    t.row(&[
+        "T_conv(N)".into(),
+        secs(xeon.t_conv(n)),
+        secs(phi.t_conv(n)),
+        "0.64 / 0.21".into(),
+    ]);
+    t.row(&["T_mpi(N)".into(), secs(xeon.t_mpi(n)), secs(phi.t_mpi(n)), "0.67".into()]);
+    print!("{}", t.render());
+
+    let base = xeon.ct_time(n).total();
+    println!("\nFig 3: normalized execution time (CT on Xeon = 1.0):");
+    let mut t = Table::new(&["config", "local FFT", "convolution", "MPI", "total"]);
+    let mut add = |label: &str, b: soifft_model::Breakdown| {
+        t.row(&[
+            label.into(),
+            format!("{:.3}", b.local_fft / base),
+            format!("{:.3}", b.conv / base),
+            format!("{:.3}", b.mpi / base),
+            format!("{:.3}", b.total() / base),
+        ]);
+    };
+    add("Cooley-Tukey / Xeon", xeon.ct_time(n));
+    add("Cooley-Tukey / Xeon Phi", phi.ct_time(n));
+    add("SOI / Xeon", xeon.soi_time(n));
+    add("SOI / Xeon Phi", phi.soi_time(n));
+    print!("{}", t.render());
+
+    let soi_gain = xeon.soi_time(n).total() / phi.soi_time(n).total();
+    let ct_gain = xeon.ct_time(n).total() / phi.ct_time(n).total();
+    println!("\nXeon Phi speedup under SOI: {soi_gain:.2}x (paper: ~1.7x)");
+    println!("Xeon Phi speedup under CT:  {ct_gain:.2}x (paper: ~1.14x)");
+    println!("\n\"The additional computation introduced by SOI FFT is offset by the");
+    println!("high compute capability of Xeon Phi ... with Cooley-Tukey the large");
+    println!("communication time is the limiting factor.\"");
+}

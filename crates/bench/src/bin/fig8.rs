@@ -1,0 +1,116 @@
+//! Regenerates **Fig 8**: weak-scaling performance (TFLOPS, ~2²⁷ points
+//! per node) of CT-Xeon, CT-Phi (projected), SOI-Xeon and SOI-Phi at 4-512
+//! nodes, plus the Phi/Xeon speedup lines — from the calibrated analytic
+//! model (paper scale), followed by a *functional* cross-check on the
+//! simulated cluster at reduced scale.
+
+use soifft_bench::{env_usize, signal, time, Table};
+use soifft_cluster::Cluster;
+use soifft_core::{Rational, SoiFft, SoiParams};
+use soifft_ct::DistributedCtFft;
+use soifft_model::{weak_scaling, ClusterModel};
+use soifft_num::error::rel_l2;
+
+fn main() {
+    model_sweep();
+    functional_crosscheck();
+}
+
+fn model_sweep() {
+    let per_node = (1u64 << 27) as f64;
+    let nodes = [4u32, 8, 16, 32, 64, 128, 256, 512];
+    println!("Fig 8 (model, paper scale): weak scaling, 2^27 points/node");
+    let mut t = Table::new(&[
+        "nodes",
+        "CT Xeon (TF)",
+        "CT Phi (TF)",
+        "SOI Xeon (TF)",
+        "SOI Phi (TF)",
+        "CT speedup",
+        "SOI speedup",
+    ]);
+    for pt in weak_scaling(&nodes, per_node) {
+        t.row(&[
+            pt.nodes.to_string(),
+            format!("{:.2}", pt.ct_xeon),
+            format!("{:.2}", pt.ct_phi),
+            format!("{:.2}", pt.soi_xeon),
+            format!("{:.2}", pt.soi_phi),
+            format!("{:.2}", pt.ct_speedup()),
+            format!("{:.2}", pt.soi_speedup()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nPaper landmarks: >1 TFLOPS at 64 nodes; 6.7 TFLOPS at 512 nodes;");
+    println!("SOI speedup 1.5-2.0x, CT speedup ~1.1x; ~5x per-node vs K computer.");
+    let at512 = weak_scaling(&[512], per_node)[0].soi_phi;
+    let k_per_node = 206.0 / 81944.0;
+    println!(
+        "Model at 512: {:.2} TFLOPS -> {:.1}x K-computer per-node performance\n",
+        at512,
+        at512 / 512.0 / k_per_node
+    );
+}
+
+/// Small-scale functional run: both algorithms on the simulated cluster,
+/// verified against the reference FFT, with their wall-clock and
+/// communication volumes (bytes are what the model's T_mpi consumes).
+fn functional_crosscheck() {
+    let procs = env_usize("SOIFFT_PROCS", 4);
+    let n = env_usize("SOIFFT_N", 1 << 16);
+    let x = signal(n, 7);
+    let per = n / procs;
+    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let mut want = x.clone();
+    soifft_fft::Plan::new(n).forward(&mut want);
+
+    println!("Functional cross-check (simulated cluster, N = {n}, P = {procs}):");
+    let mut t = Table::new(&["algorithm", "wall (s)", "bytes/rank (a2a)", "rel_l2 error"]);
+
+    let ct = DistributedCtFft::new(n, procs).expect("plannable");
+    let (ct_out, ct_s) = time(|| {
+        Cluster::run(procs, |comm| {
+            let y = ct.forward(comm, &inputs[comm.rank()]);
+            (y, comm.stats().bytes_in("all-to-all"))
+        })
+    });
+    let got: Vec<_> = ct_out.iter().flat_map(|(y, _)| y.iter().copied()).collect();
+    t.row(&[
+        "Cooley-Tukey".into(),
+        format!("{ct_s:.3}"),
+        ct_out[0].1.to_string(),
+        format!("{:.2e}", rel_l2(&got, &want)),
+    ]);
+
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 24,
+    };
+    let soi = SoiFft::new(params).expect("plannable");
+    let (soi_out, soi_s) = time(|| {
+        Cluster::run(procs, |comm| {
+            let y = soi.forward(comm, &inputs[comm.rank()]);
+            (y, comm.stats().bytes_in("all-to-all"))
+        })
+    });
+    let got: Vec<_> = soi_out.iter().flat_map(|(y, _)| y.iter().copied()).collect();
+    t.row(&[
+        "SOI".into(),
+        format!("{soi_s:.3}"),
+        soi_out[0].1.to_string(),
+        format!("{:.2e}", rel_l2(&got, &want)),
+    ]);
+    print!("{}", t.render());
+
+    let ct_bytes = ct_out[0].1 as f64;
+    let soi_bytes = soi_out[0].1 as f64;
+    println!(
+        "\nAll-to-all volume ratio CT/SOI = {:.2} (ideal 3/mu = {:.2}: three\nexchanges of N vs one exchange of muN)",
+        ct_bytes / soi_bytes,
+        3.0 / 2.0 // mu = 2 in this small config
+    );
+    let _ = ClusterModel::xeon(procs as u32); // model available for deeper comparisons
+}

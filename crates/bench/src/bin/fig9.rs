@@ -1,0 +1,150 @@
+//! Regenerates **Fig 9**: execution-time breakdown of the SOI algorithm
+//! (local FFT / convolution / exposed MPI) versus node count, on Xeon and
+//! Xeon Phi — from the calibrated model with the paper's 8-or-2
+//! segments-per-process overlap rule — plus the functional per-phase
+//! ledger from a simulated-cluster run.
+
+use soifft_bench::{env_usize, signal, Table};
+use soifft_cluster::Cluster;
+use soifft_core::{Rational, SimSpec, SoiFft, SoiParams};
+use soifft_model::ClusterModel;
+
+fn main() {
+    model_breakdown();
+    functional_breakdown();
+    virtual_time_breakdown();
+}
+
+/// Converts a [`ClusterModel`] into per-rank virtual-time rates.
+fn sim_spec_for(model: &ClusterModel) -> SimSpec {
+    SimSpec {
+        fft_flops_per_s: model.eff.fft * model.machine.peak_gflops * 1e9,
+        conv_flops_per_s: model.eff.conv * model.machine.peak_gflops * 1e9,
+        net_bytes_per_s: model.network.per_node_gib_s * (1u64 << 30) as f64
+            * model.network.efficiency(model.nodes),
+        net_latency_s: 0.0,
+    }
+}
+
+fn model_breakdown() {
+    let per_node = (1u64 << 27) as f64;
+    println!("Fig 9 (model, paper scale): SOI execution-time breakdown (seconds)");
+    let mut t = Table::new(&[
+        "nodes",
+        "machine",
+        "local FFT",
+        "convolution",
+        "exposed MPI",
+        "total",
+    ]);
+    for &p in &[4u32, 8, 16, 32, 64, 128, 256, 512] {
+        let n = per_node * p as f64;
+        // Paper §6.1: 8 segments/process for <=128 nodes, 2 for >=512.
+        let segments = if p <= 128 { 8 } else { 2 };
+        for (label, model) in [("Xeon", ClusterModel::xeon(p)), ("Phi", ClusterModel::xeon_phi(p))]
+        {
+            let b = model.soi_time_overlapped(n, segments);
+            t.row(&[
+                p.to_string(),
+                label.into(),
+                format!("{:.3}", b.local_fft),
+                format!("{:.3}", b.conv),
+                format!("{:.3}", b.mpi),
+                format!("{:.3}", b.total()),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("\nShapes to compare with the paper's Fig 9:");
+    println!("* convolution time flat across node counts (loop-interchange keeps");
+    println!("  the working set constant),");
+    println!("* exposed MPI slowly grows with node count (interconnect eta(P)),");
+    println!("* Phi compute bars ~3x shorter; exposed MPI larger on Phi because");
+    println!("  faster compute hides less of it.\n");
+}
+
+fn functional_breakdown() {
+    let procs = env_usize("SOIFFT_PROCS", 4);
+    let n = env_usize("SOIFFT_N", 1 << 16);
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 24,
+    };
+    let x = signal(n, 3);
+    let per = params.per_rank();
+    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let fft = SoiFft::new(params).expect("plannable");
+    let stats = Cluster::run(procs, |comm| {
+        fft.forward(comm, &inputs[comm.rank()]);
+        comm.stats().clone()
+    });
+
+    println!("Functional per-phase ledger (N = {n}, P = {procs}, seconds):");
+    let mut t = Table::new(&["rank", "ghost", "convolution", "segment-fft", "all-to-all", "local-fft"]);
+    for (rank, s) in stats.iter().enumerate() {
+        t.row(&[
+            rank.to_string(),
+            format!("{:.4}", s.seconds_in("ghost")),
+            format!("{:.4}", s.seconds_in("convolution")),
+            format!("{:.4}", s.seconds_in("segment-fft")),
+            format!("{:.4}", s.seconds_in("all-to-all")),
+            format!("{:.4}", s.seconds_in("local-fft")),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// The functional/model bridge: run the REAL pipeline (small N) with
+/// virtual-time rates for the paper's machines, and print the breakdown in
+/// *simulated* seconds — this is where Fig 9's shape appears from an
+/// actual execution rather than closed-form totals.
+fn virtual_time_breakdown() {
+    let procs = env_usize("SOIFFT_PROCS", 4);
+    let n = env_usize("SOIFFT_N", 1 << 16);
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 24,
+    };
+    let x = signal(n, 5);
+    let per = params.per_rank();
+    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+
+    println!("\nVirtual-time breakdown of the functional run (simulated seconds,");
+    println!("rank 0, at each machine's §4 rates — compare component ratios with");
+    println!("the model table above):");
+    let mut t = Table::new(&["machine", "convolution", "segment+local FFT", "all-to-all"]);
+    for (label, model) in [
+        ("Xeon", ClusterModel::xeon(procs as u32)),
+        ("Xeon Phi", ClusterModel::xeon_phi(procs as u32)),
+    ] {
+        let fft = SoiFft::new(params).expect("plannable").with_sim(sim_spec_for(&model));
+        let stats = Cluster::run(procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()]);
+            comm.stats().clone()
+        });
+        let s = &stats[0];
+        t.row(&[
+            label.into(),
+            format!("{:.2e}", s.sim_seconds_in("convolution")),
+            format!(
+                "{:.2e}",
+                s.sim_seconds_in("segment-fft") + s.sim_seconds_in("local-fft")
+            ),
+            format!("{:.2e}", s.sim_seconds_in("all-to-all")),
+        ]);
+        println!("\n{label} virtual-time Gantt (Fig 12 style):");
+        print!(
+            "{}",
+            soifft_bench::gantt(&stats, 64, |r| r.sim_seconds.unwrap_or(0.0))
+        );
+    }
+    print!("{}", t.render());
+    println!("\nPhi compute components ~3.1x smaller, communication identical —");
+    println!("the Fig 9 contrast, emerging from the functional pipeline.");
+}

@@ -1,0 +1,83 @@
+//! The introduction's framing claim, measured: "in-order 1D FFT is
+//! distinctly more challenging than the 2D or 3D cases as these usually
+//! start with each compute node possessing one or two complete dimensions
+//! of data."
+//!
+//! Runs three distributed transforms of the SAME total size on the same
+//! simulated cluster and prints each one's communication structure.
+
+use soifft_bench::{env_usize, signal, Table};
+use soifft_cluster::Cluster;
+use soifft_core::{Rational, SoiFft, SoiParams};
+use soifft_ct::{Distributed2dFft, DistributedCtFft};
+use soifft_num::c64;
+
+fn main() {
+    let procs = env_usize("SOIFFT_PROCS", 4);
+    let n = env_usize("SOIFFT_N", 1 << 14);
+    let x = signal(n, 77);
+    let per = n / procs;
+    let inputs: Vec<Vec<c64>> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+
+    let mut t = Table::new(&[
+        "transform",
+        "all-to-alls",
+        "ghost msgs",
+        "bytes sent/rank",
+    ]);
+
+    // 1D, conventional Cooley–Tukey.
+    let ct = DistributedCtFft::new(n, procs).expect("plannable");
+    let s = Cluster::run(procs, |comm| {
+        ct.forward(comm, &inputs[comm.rank()]);
+        comm.stats().clone()
+    });
+    t.row(&[
+        "1D Cooley-Tukey".into(),
+        s[0].count_of("all-to-all").to_string(),
+        s[0].count_of("ghost").to_string(),
+        s[0].total_bytes_sent().to_string(),
+    ]);
+
+    // 1D, SOI.
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 24,
+    };
+    let soi = SoiFft::new(params).expect("plannable");
+    let s = Cluster::run(procs, |comm| {
+        soi.forward(comm, &inputs[comm.rank()]);
+        comm.stats().clone()
+    });
+    t.row(&[
+        "1D SOI".into(),
+        s[0].count_of("all-to-all").to_string(),
+        s[0].count_of("ghost").to_string(),
+        s[0].total_bytes_sent().to_string(),
+    ]);
+
+    // 2D of the same total size (rows distributed: one dimension local).
+    let rows = procs * 16;
+    let cols = n / rows;
+    let fft2d = Distributed2dFft::new(rows, cols, procs);
+    let s = Cluster::run(procs, |comm| {
+        fft2d.forward(comm, &inputs[comm.rank()]);
+        comm.stats().clone()
+    });
+    t.row(&[
+        format!("2D ({rows}x{cols})"),
+        s[0].count_of("all-to-all").to_string(),
+        s[0].count_of("ghost").to_string(),
+        s[0].total_bytes_sent().to_string(),
+    ]);
+
+    println!("Introduction's claim, measured (N = {n}, P = {procs}):\n");
+    print!("{}", t.render());
+    println!("\nA 2D transform starts with whole rows per node: one transpose");
+    println!("suffices. In-order 1D needs three — unless the factorization");
+    println!("itself is changed, which is exactly what SOI does (one all-to-all");
+    println!("of µN plus a tens-of-KB ghost exchange).");
+}

@@ -1,0 +1,54 @@
+//! Segment-overlap ablation (§6.1): "using multiple segments allows
+//! all-to-all communications to be overlapped with M'-point FFTs and
+//! demodulation ... our evaluation uses 8 segments per MPI process for ≤128
+//! nodes and 2 for ≥512 nodes".
+//!
+//! Sweeps segments-per-process with the event-simulated schedule and
+//! prints the Fig 12-style two-lane timing diagram for the paper's two
+//! operating points.
+
+use soifft_bench::Table;
+use soifft_model::ClusterModel;
+
+fn main() {
+    let per_node = (1u64 << 27) as f64;
+
+    println!("Segment-overlap ablation (event-simulated schedule, SOI on Xeon Phi)\n");
+    let mut t = Table::new(&[
+        "nodes",
+        "segments",
+        "total (s)",
+        "exposed MPI (s)",
+        "vs S=1",
+    ]);
+    for &nodes in &[32u32, 128, 512] {
+        let model = ClusterModel::xeon_phi(nodes);
+        let n = per_node * nodes as f64;
+        let base = model.soi_timeline(n, 1).total;
+        for &s in &[1u32, 2, 4, 8, 16] {
+            let tl = model.soi_timeline(n, s);
+            t.row(&[
+                nodes.to_string(),
+                s.to_string(),
+                format!("{:.3}", tl.total),
+                format!("{:.3}", tl.exposed_mpi),
+                format!("{:.2}x", base / tl.total),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    println!("\nTiming diagrams at 128 nodes (paper uses S=8 here):");
+    let model = ClusterModel::xeon_phi(128);
+    let n = per_node * 128.0;
+    for s in [1u32, 8] {
+        println!("\nS = {s}:");
+        print!("{}", model.soi_timeline(n, s).ascii(64));
+    }
+    println!("\nWhy the paper drops to S=2 at >=512 nodes: smaller packets —");
+    println!("per-pair message size falls as 1/P in weak scaling, and splitting");
+    println!("by S shrinks it further, hurting achievable MPI bandwidth. The");
+    println!("model here prices bandwidth independently of packet size, so the");
+    println!("table shows only the overlap side of that trade; the packet-length");
+    println!("side is exercised functionally by `benches/alltoall.rs`.");
+}

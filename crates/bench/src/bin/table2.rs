@@ -1,0 +1,46 @@
+//! Regenerates **Table 2**: comparison of Xeon and Xeon Phi, including the
+//! derived bytes-per-op row the bandwidth analysis hinges on.
+
+use soifft_bench::Table;
+use soifft_model::MachineSpec;
+
+fn main() {
+    let xeon = MachineSpec::xeon_e5_2680();
+    let phi = MachineSpec::xeon_phi_se10();
+
+    let mut t = Table::new(&["", &xeon.name, &phi.name]);
+    let cfg = |m: &MachineSpec| {
+        format!("{} x {} x {} x {}", m.sockets, m.cores_per_socket, m.smt, m.simd)
+    };
+    t.row(&["Socket x core x SMT x SIMD".into(), cfg(&xeon), cfg(&phi)]);
+    t.row(&[
+        "Clock (GHz)".into(),
+        format!("{:.1}", xeon.clock_ghz),
+        format!("{:.1}", phi.clock_ghz),
+    ]);
+    let caches = |m: &MachineSpec| match m.l3_kb {
+        Some(l3) => format!("{}/{}/{}", m.l1_kb, m.l2_kb, l3),
+        None => format!("{}/{}/-", m.l1_kb, m.l2_kb),
+    };
+    t.row(&["L1/L2/L3 cache (KB)".into(), caches(&xeon), caches(&phi)]);
+    t.row(&[
+        "Double-precision GFLOP/s".into(),
+        format!("{:.0}", xeon.peak_gflops),
+        format!("{:.0}", phi.peak_gflops),
+    ]);
+    t.row(&[
+        "STREAM bandwidth (GB/s)".into(),
+        format!("{:.0}", xeon.stream_gbs),
+        format!("{:.0}", phi.stream_gbs),
+    ]);
+    t.row(&[
+        "Bytes per op".into(),
+        format!("{:.2}", xeon.bytes_per_op()),
+        format!("{:.2}", phi.bytes_per_op()),
+    ]);
+
+    println!("Table 2: Comparison of Xeon and Xeon Phi");
+    println!("(paper values: bops 0.23 vs 0.14 — the Phi is *more* bandwidth-starved,");
+    println!(" which is why §5's locality optimizations carry the result)\n");
+    print!("{}", t.render());
+}

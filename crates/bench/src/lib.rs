@@ -1,0 +1,240 @@
+//! Shared helpers for the figure/table regenerator binaries and criterion
+//! benches.
+//!
+//! Every experiment in the paper's evaluation has a binary here (see
+//! DESIGN.md §4 for the index); this module holds the common pieces: signal
+//! generation, wall-clock measurement, and plain-text table rendering so
+//! each binary prints rows comparable with the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use soifft_num::c64;
+
+/// Deterministic pseudo-random complex signal (xorshift; stable across
+/// runs, no RNG dependency in the hot path).
+pub fn signal(n: usize, seed: u64) -> Vec<c64> {
+    // Golden-ratio mix so nearby seeds give unrelated streams.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        // Map to [-1, 1).
+        (state >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    };
+    (0..n).map(|_| c64::new(next(), next())).collect()
+}
+
+/// Times `f`, returning `(result, seconds)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64())
+}
+
+/// Runs `f` `reps` times and returns the minimum wall-clock seconds
+/// (the conventional "best of k" for bandwidth-bound kernels).
+pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, s) = time(&mut f);
+        best = best.min(s);
+    }
+    best
+}
+
+/// Reads a `usize` override from the environment (lets the figure binaries
+/// scale up on bigger machines: e.g. `SOIFFT_FIG10_N=16777216`).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Minimal fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:>w$}", s, w = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders per-rank phase ledgers as an ASCII Gantt chart (the Fig 12
+/// timing-diagram style): one row per rank, phases drawn in execution
+/// order, each segment's width proportional to its duration.
+///
+/// `pick` selects which duration to draw (wall or simulated seconds).
+pub fn gantt<F>(stats: &[soifft_cluster::CommStats], width: usize, pick: F) -> String
+where
+    F: Fn(&soifft_cluster::PhaseRecord) -> f64,
+{
+    assert!(width >= 10, "need some width to draw in");
+    let total: f64 = stats
+        .iter()
+        .map(|s| s.records().iter().map(&pick).sum::<f64>())
+        .fold(0.0, f64::max);
+    if total <= 0.0 {
+        return String::from("(no timed phases)\n");
+    }
+    let mut out = String::new();
+    let mut legend: Vec<&'static str> = Vec::new();
+    for (rank, s) in stats.iter().enumerate() {
+        out.push_str(&format!("rank {rank:>2} |"));
+        for r in s.records() {
+            let w = ((pick(r) / total) * width as f64).round() as usize;
+            if !legend.contains(&r.name) {
+                legend.push(r.name);
+            }
+            let letter = letter_for(&legend, r.name);
+            for _ in 0..w {
+                out.push(letter);
+            }
+        }
+        out.push_str("|\n");
+    }
+    out.push_str("legend: ");
+    let entries: Vec<String> = legend
+        .iter()
+        .map(|n| format!("{}={}", letter_for(&legend, n), n))
+        .collect();
+    out.push_str(&entries.join("  "));
+    out.push('\n');
+    out
+}
+
+fn letter_for(legend: &[&'static str], name: &str) -> char {
+    let idx = legend.iter().position(|&n| n == name).unwrap_or(0);
+    (b'A' + (idx % 26) as u8) as char
+}
+
+/// Formats seconds with 3 decimals.
+pub fn secs(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Formats a GFLOPS value.
+pub fn gflops(flops: f64, seconds: f64) -> String {
+    format!("{:.1}", flops / seconds / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_is_deterministic_and_bounded() {
+        let a = signal(100, 42);
+        let b = signal(100, 42);
+        assert_eq!(a, b);
+        let c = signal(100, 43);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|z| z.re.abs() <= 1.0 && z.im.abs() <= 1.0));
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let (v, s) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+        let best = best_of(3, || std::thread::sleep(std::time::Duration::from_micros(100)));
+        assert!(best > 0.0);
+    }
+
+    #[test]
+    fn env_override() {
+        assert_eq!(env_usize("SOIFFT_SURELY_UNSET_VAR", 7), 7);
+        std::env::set_var("SOIFFT_TEST_VAR_X", "123");
+        assert_eq!(env_usize("SOIFFT_TEST_VAR_X", 7), 123);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2.345".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(gflops(2e9, 1.0), "2.0");
+    }
+
+    #[test]
+    fn gantt_draws_phases_proportionally() {
+        let mut a = soifft_cluster::CommStats::default();
+        let t = a.phase_start();
+        a.phase_end_sim("compute", t, 3.0);
+        let t = a.phase_start();
+        a.phase_end_sim("exchange", t, 1.0);
+        let chart = gantt(&[a], 40, |r| r.sim_seconds.unwrap_or(0.0));
+        // 3:1 ratio → ~30 A's, ~10 B's.
+        let a_count = chart.matches('A').count();
+        let b_count = chart.matches('B').count();
+        assert!(a_count >= 28 && a_count <= 32, "{chart}");
+        // Legend line also contains one B; allow slack.
+        assert!(b_count >= 9 && b_count <= 13, "{chart}");
+        assert!(chart.contains("A=compute"));
+        assert!(chart.contains("B=exchange"));
+    }
+
+    #[test]
+    fn gantt_empty_ledger() {
+        let s = soifft_cluster::CommStats::default();
+        assert_eq!(gantt(&[s], 40, |r| r.seconds), "(no timed phases)\n");
+    }
+}

@@ -1,0 +1,759 @@
+//! Simulated message-passing cluster runtime.
+//!
+//! The paper runs on 512 Stampede nodes over FDR InfiniBand with Intel MPI;
+//! this crate is the substitution substrate (DESIGN.md §1): it runs `P`
+//! ranks as OS threads and gives them an MPI-flavoured interface —
+//! point-to-point sends with tags, barriers, and the collectives the two
+//! distributed FFT algorithms need. The *algorithmic* communication
+//! structure (message counts, sizes, and who-talks-to-whom) is exactly the
+//! paper's; only the transport is threads + channels instead of
+//! InfiniBand.
+//!
+//! Every rank keeps a [`CommStats`] ledger of bytes and wall time per named
+//! phase, which is how the `fig1_trace` / `fig2_trace` binaries show the
+//! "3 all-to-alls vs 1 all-to-all + ghost exchange" contrast, and how
+//! functional runs are cross-checked against the analytic model's
+//! byte-volume predictions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pcie;
+pub mod proxy;
+pub mod stats;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use soifft_num::c64;
+
+pub use pcie::PcieLink;
+pub use proxy::ProxyCore;
+pub use stats::{CommStats, CostModel, PhaseRecord};
+
+/// A tagged message between ranks.
+pub(crate) struct Message {
+    pub(crate) src: usize,
+    pub(crate) tag: u64,
+    pub(crate) data: Vec<c64>,
+}
+
+/// One rank's endpoint into the cluster: rank id, peers, and statistics.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    pub(crate) senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    pending: HashMap<(usize, u64), Vec<Vec<c64>>>,
+    barrier: Arc<Barrier>,
+    pub(crate) stats: CommStats,
+}
+
+impl Comm {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The statistics ledger accumulated so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Mutable access to the ledger (for recording compute phases).
+    pub fn stats_mut(&mut self) -> &mut CommStats {
+        &mut self.stats
+    }
+
+    /// Sends `data` to `dst` with `tag`. Non-blocking (buffered channel).
+    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<c64>) {
+        assert!(dst < self.size, "destination rank out of range");
+        let bytes = (data.len() * std::mem::size_of::<c64>()) as u64;
+        self.stats.add_bytes_sent(bytes);
+        if dst == self.rank {
+            // Self-message: short-circuit into the pending map.
+            self.pending.entry((self.rank, tag)).or_default().push(data);
+            return;
+        }
+        self.senders[dst]
+            .send(Message { src: self.rank, tag, data })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocks until a message from `src` with `tag` arrives and returns it.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<c64> {
+        assert!(src < self.size, "source rank out of range");
+        loop {
+            if let Some(queue) = self.pending.get_mut(&(src, tag)) {
+                if !queue.is_empty() {
+                    let data = queue.remove(0);
+                    if queue.is_empty() {
+                        self.pending.remove(&(src, tag));
+                    }
+                    return data;
+                }
+            }
+            let msg = self.receiver.recv().expect("cluster shut down mid-recv");
+            self.pending
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push(msg.data);
+        }
+    }
+
+    /// Non-blocking receive: returns a matching message if one has already
+    /// arrived, without waiting (the `MPI_Iprobe + MPI_Recv` pattern used
+    /// when polling for pipelined chunks while computing).
+    pub fn try_recv(&mut self, src: usize, tag: u64) -> Option<Vec<c64>> {
+        assert!(src < self.size, "source rank out of range");
+        // Drain the channel into the pending map without blocking.
+        while let Ok(msg) = self.receiver.try_recv() {
+            self.pending
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push(msg.data);
+        }
+        let queue = self.pending.get_mut(&(src, tag))?;
+        let data = queue.remove(0);
+        if queue.is_empty() {
+            self.pending.remove(&(src, tag));
+        }
+        Some(data)
+    }
+
+    /// Combined send + receive (deadlock-free regardless of ordering since
+    /// sends never block).
+    pub fn send_recv(
+        &mut self,
+        dst: usize,
+        send_tag: u64,
+        data: Vec<c64>,
+        src: usize,
+        recv_tag: u64,
+    ) -> Vec<c64> {
+        self.send(dst, send_tag, data);
+        self.recv(src, recv_tag)
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// The all-to-all personalized exchange: rank `r` sends `outgoing[d]`
+    /// to rank `d` and receives what every rank addressed to `r`, returned
+    /// indexed by source. This is the `Perm_{L,N'}` step of SOI and each of
+    /// the three exchanges of Cooley–Tukey.
+    ///
+    /// The whole exchange is recorded as one `"all-to-all"` phase.
+    pub fn all_to_all(&mut self, outgoing: Vec<Vec<c64>>) -> Vec<Vec<c64>> {
+        assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
+        let t = self.stats.phase_start();
+        for (dst, data) in outgoing.into_iter().enumerate() {
+            self.send(dst, tags::ALL_TO_ALL, data);
+        }
+        let mut incoming: Vec<Vec<c64>> = (0..self.size).map(|_| Vec::new()).collect();
+        for (src, slot) in incoming.iter_mut().enumerate() {
+            *slot = self.recv(src, tags::ALL_TO_ALL);
+        }
+        self.stats.phase_end("all-to-all", t);
+        incoming
+    }
+
+    /// Chunked/pipelined all-to-all (§5.1): each per-destination buffer is
+    /// split into chunks of at most `chunk_elems` elements which are sent
+    /// round-robin across destinations, so no single long message
+    /// serializes the exchange — the software analogue of pipelining PCIe
+    /// staging with InfiniBand transfers. Message *contents* are identical
+    /// to [`Comm::all_to_all`]; this collective assumes the symmetric
+    /// layouts used by the FFT exchanges (you receive from `src` as many
+    /// elements as you send to `src`).
+    pub fn all_to_all_chunked(
+        &mut self,
+        outgoing: Vec<Vec<c64>>,
+        chunk_elems: usize,
+    ) -> Vec<Vec<c64>> {
+        assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
+        assert!(chunk_elems > 0, "chunk size must be positive");
+        let t = self.stats.phase_start();
+        let lens: Vec<usize> = outgoing.iter().map(Vec::len).collect();
+        // Round-robin over destinations, one chunk at a time.
+        let mut offsets = vec![0usize; self.size];
+        let mut more = true;
+        while more {
+            more = false;
+            for (dst, buf) in outgoing.iter().enumerate() {
+                let off = offsets[dst];
+                if off >= lens[dst] {
+                    continue;
+                }
+                let take = chunk_elems.min(lens[dst] - off);
+                self.send(dst, tags::ALL_TO_ALL_CHUNK, buf[off..off + take].to_vec());
+                offsets[dst] = off + take;
+                more |= offsets[dst] < lens[dst];
+            }
+        }
+        // Reassemble, receiving chunks in order per source. Expected
+        // lengths mirror what we sent (symmetric exchange).
+        let mut incoming: Vec<Vec<c64>> = (0..self.size).map(|_| Vec::new()).collect();
+        for (src, slot) in incoming.iter_mut().enumerate() {
+            while slot.len() < lens[src] {
+                let chunk = self.recv(src, tags::ALL_TO_ALL_CHUNK);
+                slot.extend_from_slice(&chunk);
+            }
+        }
+        self.stats.phase_end("all-to-all", t);
+        incoming
+    }
+
+    /// Asymmetric chunked all-to-all (`MPI_Alltoallv` with pipelining):
+    /// like [`Comm::all_to_all_chunked`], but the caller states how many
+    /// elements to expect from each source instead of assuming symmetry —
+    /// needed by heterogeneous segment layouts whose per-peer volumes
+    /// differ.
+    pub fn all_to_all_chunked_v(
+        &mut self,
+        outgoing: Vec<Vec<c64>>,
+        chunk_elems: usize,
+        expected: &[usize],
+    ) -> Vec<Vec<c64>> {
+        assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
+        assert_eq!(expected.len(), self.size, "need one expectation per rank");
+        assert!(chunk_elems > 0, "chunk size must be positive");
+        let t = self.stats.phase_start();
+        let lens: Vec<usize> = outgoing.iter().map(Vec::len).collect();
+        let mut offsets = vec![0usize; self.size];
+        let mut more = true;
+        while more {
+            more = false;
+            for (dst, buf) in outgoing.iter().enumerate() {
+                let off = offsets[dst];
+                if off >= lens[dst] {
+                    continue;
+                }
+                let take = chunk_elems.min(lens[dst] - off);
+                self.send(dst, tags::ALL_TO_ALL_CHUNK, buf[off..off + take].to_vec());
+                offsets[dst] = off + take;
+                more |= offsets[dst] < lens[dst];
+            }
+        }
+        let mut incoming: Vec<Vec<c64>> = (0..self.size).map(|_| Vec::new()).collect();
+        for (src, slot) in incoming.iter_mut().enumerate() {
+            while slot.len() < expected[src] {
+                let chunk = self.recv(src, tags::ALL_TO_ALL_CHUNK);
+                slot.extend_from_slice(&chunk);
+            }
+        }
+        self.stats.phase_end("all-to-all", t);
+        incoming
+    }
+
+    /// Ghost exchange (Fig 2's nearest-neighbour step): every rank sends
+    /// the first `ghost_len` elements of its local input to its predecessor
+    /// and receives its successor's prefix (circularly). Recorded as the
+    /// `"ghost"` phase.
+    pub fn exchange_ghost(&mut self, local: &[c64], ghost_len: usize) -> Vec<c64> {
+        assert!(ghost_len <= local.len(), "ghost larger than local data");
+        let t = self.stats.phase_start();
+        let prev = (self.rank + self.size - 1) % self.size;
+        let next = (self.rank + 1) % self.size;
+        let out = local[..ghost_len].to_vec();
+        let got = self.send_recv(prev, tags::GHOST, out, next, tags::GHOST);
+        self.stats.phase_end("ghost", t);
+        got
+    }
+
+    /// Gathers every rank's buffer to rank 0 (returns `None` elsewhere).
+    pub fn gather(&mut self, data: Vec<c64>) -> Option<Vec<Vec<c64>>> {
+        if self.rank == 0 {
+            let mut all: Vec<Vec<c64>> = Vec::with_capacity(self.size);
+            all.push(data);
+            for src in 1..self.size {
+                all.push(self.recv(src, tags::GATHER));
+            }
+            Some(all)
+        } else {
+            self.send(0, tags::GATHER, data);
+            None
+        }
+    }
+
+    /// Broadcast from `root`: the root's `data` is returned on every rank.
+    pub fn broadcast(&mut self, root: usize, data: Vec<c64>) -> Vec<c64> {
+        assert!(root < self.size, "root out of range");
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send(dst, tags::BCAST, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root, tags::BCAST)
+        }
+    }
+
+    /// All-gather: every rank contributes `data` and receives everyone's
+    /// contribution, indexed by rank. Implemented as a symmetric exchange
+    /// (each rank sends its buffer to every peer), which is how the
+    /// verification steps of the examples collect distributed spectra.
+    pub fn allgather(&mut self, data: Vec<c64>) -> Vec<Vec<c64>> {
+        let outgoing: Vec<Vec<c64>> = (0..self.size).map(|_| data.clone()).collect();
+        self.all_to_all(outgoing)
+    }
+
+    /// All-reduce of a scalar by maximum (used for error norms and timing
+    /// reductions). Implemented as gather-to-0 + broadcast.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        if self.rank == 0 {
+            let mut m = value;
+            for src in 1..self.size {
+                m = m.max(self.recv(src, tags::REDUCE)[0].re);
+            }
+            for dst in 1..self.size {
+                self.send(dst, tags::BCAST, vec![c64::new(m, 0.0)]);
+            }
+            m
+        } else {
+            self.send(0, tags::REDUCE, vec![c64::new(value, 0.0)]);
+            self.recv(0, tags::BCAST)[0].re
+        }
+    }
+}
+
+/// Reserved tags for built-in collectives; user tags should start at
+/// [`tags::USER`].
+pub mod tags {
+    /// Blocking all-to-all.
+    pub const ALL_TO_ALL: u64 = 1;
+    /// Chunked all-to-all.
+    pub const ALL_TO_ALL_CHUNK: u64 = 2;
+    /// Ghost (nearest-neighbour) exchange.
+    pub const GHOST: u64 = 3;
+    /// Gather to root.
+    pub const GATHER: u64 = 4;
+    /// Reduction upsweep.
+    pub const REDUCE: u64 = 5;
+    /// Broadcast downsweep.
+    pub const BCAST: u64 = 6;
+    /// First tag available to applications.
+    pub const USER: u64 = 1 << 16;
+}
+
+/// The cluster launcher.
+///
+/// # Example
+///
+/// ```
+/// use soifft_cluster::{Cluster, tags};
+/// use soifft_num::c64;
+///
+/// // A 3-rank ring: everyone passes a token to the right.
+/// let out = Cluster::run(3, |comm| {
+///     let next = (comm.rank() + 1) % comm.size();
+///     let prev = (comm.rank() + 2) % comm.size();
+///     let token = vec![c64::real(comm.rank() as f64)];
+///     let got = comm.send_recv(next, tags::USER, token, prev, tags::USER);
+///     got[0].re as usize
+/// });
+/// assert_eq!(out, vec![2, 0, 1]);
+/// ```
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `f` on `ranks` concurrent ranks and returns each rank's result,
+    /// indexed by rank.
+    ///
+    /// `f` receives a [`Comm`] wired to all peers. Panics in any rank
+    /// propagate (the run aborts).
+    pub fn run<T, F>(ranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(ranks >= 1, "need at least one rank");
+        let mut txs = Vec::with_capacity(ranks);
+        let mut rxs = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            let (tx, rx) = unbounded::<Message>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(ranks));
+        let mut comms: Vec<Comm> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Comm {
+                rank,
+                size: ranks,
+                senders: txs.clone(),
+                receiver,
+                pending: HashMap::new(),
+                barrier: Arc::clone(&barrier),
+                stats: CommStats::default(),
+            })
+            .collect();
+        drop(txs);
+
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut handles = Vec::with_capacity(ranks);
+            for mut comm in comms.drain(..) {
+                handles.push(s.spawn(move || f(&mut comm)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Cluster::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            42
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let p = 5;
+        let out = Cluster::run(p, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let payload = vec![c64::real(comm.rank() as f64)];
+            let got = comm.send_recv(next, tags::USER, payload, prev, tags::USER);
+            got[0].re as usize
+        });
+        for (rank, &got) in out.iter().enumerate() {
+            assert_eq!(got, (rank + p - 1) % p, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn tag_matching_keeps_streams_separate() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, tags::USER + 1, vec![c64::real(1.0)]);
+                comm.send(1, tags::USER + 2, vec![c64::real(2.0)]);
+                0.0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = comm.recv(0, tags::USER + 2)[0].re;
+                let a = comm.recv(0, tags::USER + 1)[0].re;
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let out = Cluster::run(1, |comm| {
+            comm.send(0, tags::USER, vec![c64::real(7.0)]);
+            comm.recv(0, tags::USER)[0].re
+        });
+        assert_eq!(out[0], 7.0);
+    }
+
+    #[test]
+    fn fifo_order_within_same_src_tag() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..8 {
+                    comm.send(1, tags::USER, vec![c64::real(i as f64)]);
+                }
+                Vec::new()
+            } else {
+                (0..8).map(|_| comm.recv(0, tags::USER)[0].re as usize).collect()
+            }
+        });
+        assert_eq!(out[1], (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Rank 1 sends only after the first barrier, so this poll
+                // is guaranteed to see nothing.
+                let early = comm.try_recv(1, tags::USER).is_none();
+                comm.barrier(); // release rank 1 to send
+                comm.barrier(); // wait until it has sent
+                // Poll until it arrives (bounded spin).
+                let mut got = None;
+                for _ in 0..1_000_000 {
+                    if let Some(v) = comm.try_recv(1, tags::USER) {
+                        got = Some(v);
+                        break;
+                    }
+                }
+                (early, got.expect("message must arrive")[0].re)
+            } else {
+                comm.barrier();
+                comm.send(0, tags::USER, vec![c64::real(5.0)]);
+                comm.barrier();
+                (true, 0.0)
+            }
+        });
+        assert!(out[0].0, "early poll must be empty");
+        assert_eq!(out[0].1, 5.0);
+    }
+
+    #[test]
+    fn all_to_all_is_a_global_transpose() {
+        let p = 4;
+        let out = Cluster::run(p, |comm| {
+            let r = comm.rank();
+            // outgoing[d][j] encodes (src=r, dst=d, j).
+            let outgoing: Vec<Vec<c64>> = (0..p)
+                .map(|d| (0..3).map(|j| c64::new(r as f64, (d * 10 + j) as f64)).collect())
+                .collect();
+            comm.all_to_all(outgoing)
+        });
+        for (r, incoming) in out.iter().enumerate() {
+            for (src, buf) in incoming.iter().enumerate() {
+                for (j, v) in buf.iter().enumerate() {
+                    assert_eq!(v.re as usize, src);
+                    assert_eq!(v.im as usize, r * 10 + j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_all_to_all_matches_blocking() {
+        let p = 3;
+        let make_outgoing = |r: usize| -> Vec<Vec<c64>> {
+            (0..p)
+                .map(|d| {
+                    (0..17)
+                        .map(|j| c64::new((r * 100 + d * 10) as f64, j as f64))
+                        .collect()
+                })
+                .collect()
+        };
+        let blocking = Cluster::run(p, |comm| comm.all_to_all(make_outgoing(comm.rank())));
+        for chunk in [1, 4, 16, 17, 64] {
+            let chunked = Cluster::run(p, |comm| {
+                comm.all_to_all_chunked(make_outgoing(comm.rank()), chunk)
+            });
+            assert_eq!(chunked, blocking, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn ghost_exchange_brings_successor_prefix() {
+        let p = 4;
+        let out = Cluster::run(p, |comm| {
+            let r = comm.rank();
+            let local: Vec<c64> = (0..8).map(|i| c64::new(r as f64, i as f64)).collect();
+            comm.exchange_ghost(&local, 3)
+        });
+        for (r, ghost) in out.iter().enumerate() {
+            let next = (r + 1) % p;
+            assert_eq!(ghost.len(), 3);
+            for (i, v) in ghost.iter().enumerate() {
+                assert_eq!(v.re as usize, next);
+                assert_eq!(v.im as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_everything_at_root() {
+        let p = 3;
+        let out = Cluster::run(p, |comm| {
+            let r = comm.rank();
+            comm.gather(vec![c64::real(r as f64); r + 1])
+        });
+        let root = out[0].as_ref().expect("root should have data");
+        assert!(out[1].is_none() && out[2].is_none());
+        for (src, buf) in root.iter().enumerate() {
+            assert_eq!(buf.len(), src + 1);
+            assert!(buf.iter().all(|v| v.re as usize == src));
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let out = Cluster::run(4, |comm| {
+            let data = if comm.rank() == 2 {
+                vec![c64::new(3.0, -1.0); 5]
+            } else {
+                Vec::new()
+            };
+            comm.broadcast(2, data)
+        });
+        for v in &out {
+            assert_eq!(v.len(), 5);
+            assert!(v.iter().all(|z| *z == c64::new(3.0, -1.0)));
+        }
+    }
+
+    #[test]
+    fn allgather_collects_by_rank() {
+        let out = Cluster::run(3, |comm| {
+            comm.allgather(vec![c64::real(comm.rank() as f64); comm.rank() + 1])
+        });
+        for (me, all) in out.iter().enumerate() {
+            assert_eq!(all.len(), 3, "rank {me}");
+            for (src, buf) in all.iter().enumerate() {
+                assert_eq!(buf.len(), src + 1);
+                assert!(buf.iter().all(|z| z.re as usize == src));
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_agrees_everywhere() {
+        let vals = [3.0, -1.0, 7.5, 2.0];
+        let out = Cluster::run(4, |comm| comm.allreduce_max(vals[comm.rank()]));
+        assert!(out.iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn chunked_all_to_all_handles_empty_buffers() {
+        // Heterogeneous exchanges ship empty buffers to some peers.
+        let p = 3;
+        let out = Cluster::run(p, |comm| {
+            let r = comm.rank();
+            let outgoing: Vec<Vec<c64>> = (0..p)
+                .map(|d| {
+                    if (r + d) % 2 == 0 {
+                        vec![c64::real((r * 10 + d) as f64); 5]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            comm.all_to_all_chunked(outgoing, 2)
+        });
+        for (r, incoming) in out.iter().enumerate() {
+            for (src, buf) in incoming.iter().enumerate() {
+                if (src + r) % 2 == 0 {
+                    assert_eq!(buf.len(), 5, "r={r} src={src}");
+                    assert_eq!(buf[0].re as usize, src * 10 + r);
+                } else {
+                    assert!(buf.is_empty(), "r={r} src={src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_v_handles_asymmetric_volumes() {
+        // Rank r sends r+1 elements to everyone; expects src+1 from src.
+        let p = 3;
+        let out = Cluster::run(p, |comm| {
+            let r = comm.rank();
+            let outgoing: Vec<Vec<c64>> =
+                (0..p).map(|_| vec![c64::real(r as f64); r + 1]).collect();
+            let expected: Vec<usize> = (0..p).map(|src| src + 1).collect();
+            comm.all_to_all_chunked_v(outgoing, 2, &expected)
+        });
+        for incoming in &out {
+            for (src, buf) in incoming.iter().enumerate() {
+                assert_eq!(buf.len(), src + 1);
+                assert!(buf.iter().all(|z| z.re as usize == src));
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_single_rank() {
+        let out = Cluster::run(1, |comm| comm.allreduce_max(-3.5));
+        assert_eq!(out[0], -3.5);
+    }
+
+    #[test]
+    fn stats_record_bytes_and_phases() {
+        let out = Cluster::run(2, |comm| {
+            let outgoing = vec![vec![c64::ZERO; 10], vec![c64::ZERO; 10]];
+            comm.all_to_all(outgoing);
+            let local = vec![c64::ZERO; 6];
+            comm.exchange_ghost(&local, 2);
+            comm.stats().clone()
+        });
+        for s in &out {
+            // 20 elements in the all-to-all + 2 in the ghost, 16 B each.
+            assert_eq!(s.total_bytes_sent(), (20 + 2) * 16);
+            let phases: Vec<&str> = s.records().iter().map(|r| r.name).collect();
+            assert_eq!(phases, vec!["all-to-all", "ghost"]);
+            assert!(s.records()[0].seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn randomized_message_storm_is_lossless() {
+        // Every rank fires a deterministic pseudo-random sequence of sends
+        // (varied sizes, tags, destinations), then receives everything in
+        // a fixed matching order. Exercises the pending-queue plumbing
+        // under out-of-order arrival.
+        let p = 4;
+        let msgs_per_pair = 16;
+        let out = Cluster::run(p, |comm| {
+            let me = comm.rank();
+            let mut rng = (me as u64 + 1) * 0x9E37_79B9;
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            // Send msgs_per_pair messages to every rank with mixed tags.
+            for k in 0..msgs_per_pair {
+                for dst in 0..p {
+                    let tag = tags::USER + (k % 3) as u64;
+                    let len = (next() % 50 + 1) as usize;
+                    let payload =
+                        vec![c64::new(me as f64, (k * p + dst) as f64); len];
+                    comm.send(dst, tag, payload);
+                }
+            }
+            // Receive them all, counting per (src, tag-class).
+            let mut total = 0usize;
+            let mut checksum = 0.0f64;
+            for k in 0..msgs_per_pair {
+                for src in 0..p {
+                    let tag = tags::USER + (k % 3) as u64;
+                    let got = comm.recv(src, tag);
+                    assert!(got.iter().all(|z| z.re as usize == src));
+                    total += 1;
+                    checksum += got[0].im;
+                }
+            }
+            (total, checksum)
+        });
+        for (total, _) in &out {
+            assert_eq!(*total, p * msgs_per_pair);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Cluster::run(4, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must see all 4 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulated PCIe staging (coprocessor offload mode, paper §7).
+//!
+//! In symmetric mode the FFT input already lives in coprocessor memory; in
+//! offload mode it starts on the host and must cross PCIe twice (in and
+//! out). [`PcieLink`] models that staging: a copy, recorded as a
+//! `pcie-in`/`pcie-out` phase in the rank's ledger, optionally throttled to
+//! a configured bandwidth so demonstration runs show the §7 timing shape
+//! (`T_off ≈ 2·T_pci + µ·T_mpi`) on wall clocks, not just in the analytic
+//! model.
+
+use soifft_num::c64;
+
+use crate::stats::CommStats;
+
+/// One rank's PCIe link to its coprocessor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PcieLink {
+    /// When set, transfers busy-wait so the effective rate matches this
+    /// many bytes per second (for timing-shape demos; `None` = full host
+    /// memcpy speed).
+    pub simulated_bytes_per_s: Option<f64>,
+}
+
+impl PcieLink {
+    /// A link that copies at host speed (functional runs, tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A link throttled to `bytes_per_s` (demo runs).
+    pub fn with_simulated_bandwidth(bytes_per_s: f64) -> Self {
+        assert!(bytes_per_s > 0.0);
+        PcieLink { simulated_bytes_per_s: Some(bytes_per_s) }
+    }
+
+    /// Host → device transfer; records a `pcie-in` phase.
+    pub fn to_device(&self, stats: &mut CommStats, data: &[c64]) -> Vec<c64> {
+        self.transfer(stats, "pcie-in", data)
+    }
+
+    /// Device → host transfer; records a `pcie-out` phase.
+    pub fn to_host(&self, stats: &mut CommStats, data: &[c64]) -> Vec<c64> {
+        self.transfer(stats, "pcie-out", data)
+    }
+
+    fn transfer(&self, stats: &mut CommStats, phase: &'static str, data: &[c64]) -> Vec<c64> {
+        let t = stats.phase_start();
+        let out = data.to_vec();
+        if let Some(bw) = self.simulated_bytes_per_s {
+            let bytes = (data.len() * std::mem::size_of::<c64>()) as f64;
+            let target = std::time::Duration::from_secs_f64(bytes / bw);
+            let start = std::time::Instant::now();
+            while start.elapsed() < target {
+                std::hint::spin_loop();
+            }
+        }
+        stats.phase_end(phase, t);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_copy_faithfully_and_record_phases() {
+        let link = PcieLink::new();
+        let mut stats = CommStats::default();
+        let data: Vec<c64> = (0..100).map(|i| c64::new(i as f64, -1.0)).collect();
+        let dev = link.to_device(&mut stats, &data);
+        let host = link.to_host(&mut stats, &dev);
+        assert_eq!(host, data);
+        assert_eq!(stats.count_of("pcie-in"), 1);
+        assert_eq!(stats.count_of("pcie-out"), 1);
+    }
+
+    #[test]
+    fn simulated_bandwidth_takes_proportional_time() {
+        // 16 KB at 1 MB/s ⇒ ≥ 16 ms; at 8 MB/s ⇒ ≥ 2 ms.
+        let data = vec![c64::ZERO; 1024];
+        let mut stats = CommStats::default();
+        let slow = PcieLink::with_simulated_bandwidth(1e6);
+        slow.to_device(&mut stats, &data);
+        let t_slow = stats.seconds_in("pcie-in");
+        let fast = PcieLink::with_simulated_bandwidth(8e6);
+        let mut stats2 = CommStats::default();
+        fast.to_device(&mut stats2, &data);
+        let t_fast = stats2.seconds_in("pcie-in");
+        assert!(t_slow >= 0.015, "{t_slow}");
+        assert!(t_fast < t_slow, "{t_fast} vs {t_slow}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        PcieLink::with_simulated_bandwidth(0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The §5.1 reverse-communication MPI proxy.
+//!
+//! On Stampede, Xeon Phi ranks could not drive InfiniBand efficiently for
+//! long messages; the paper routes them through a *proxy*: a dedicated
+//! host core that pulls data out of coprocessor memory (DMA over PCIe),
+//! pushes it to the wire (RDMA), and handshakes with the coprocessor
+//! through a shared queue — with the PCIe pulls *pipelined* against the
+//! wire pushes chunk by chunk.
+//!
+//! [`ProxyCore`] is that dedicated core: a background worker owned by the
+//! rank. [`Comm::send_via_proxy`] splits a message into chunks and
+//! enqueues, per chunk, a staging copy (the "DMA") followed by the actual
+//! send (the "RDMA") — the compute thread returns immediately and chunk
+//! `k+1`'s staging overlaps chunk `k`'s delivery, exactly the §5.1
+//! pipeline. The receiver reassembles with
+//! [`Comm::recv_proxied`].
+
+use soifft_num::c64;
+use soifft_par::WorkQueue;
+
+use crate::{tags, Comm, Message};
+
+/// A rank's dedicated proxy core (background staging/sending thread).
+pub struct ProxyCore {
+    queue: WorkQueue,
+}
+
+impl Default for ProxyCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProxyCore {
+    /// Spawns the proxy worker.
+    pub fn new() -> Self {
+        ProxyCore { queue: WorkQueue::new("mpi-proxy") }
+    }
+
+    /// Blocks until every enqueued transfer has been handed to the wire
+    /// (the coprocessor-side "handshake complete" wait).
+    pub fn flush(&self) {
+        self.queue.drain();
+    }
+}
+
+impl Comm {
+    /// Sends `data` to `dst` through the proxy core: the payload is split
+    /// into `chunk_elems`-element chunks, each staged (copied — the PCIe
+    /// DMA stand-in) and forwarded on the proxy thread while this thread
+    /// continues. Bytes are accounted immediately; call
+    /// [`ProxyCore::flush`] (or drop the core) to guarantee delivery has
+    /// been initiated before reusing buffers that alias the transfer.
+    ///
+    /// The receiver must use [`Comm::recv_proxied`] with the same total
+    /// length.
+    pub fn send_via_proxy(
+        &mut self,
+        proxy: &ProxyCore,
+        dst: usize,
+        tag: u64,
+        data: Vec<c64>,
+        chunk_elems: usize,
+    ) {
+        assert!(dst < self.size, "destination rank out of range");
+        assert!(chunk_elems > 0, "chunk size must be positive");
+        let bytes = (data.len() * std::mem::size_of::<c64>()) as u64;
+        self.stats.add_bytes_sent(bytes);
+        let sender = self.senders[dst].clone();
+        let src = self.rank;
+        let mut offset = 0usize;
+        // One proxy job per chunk: stage (copy) then push to the wire.
+        while offset < data.len() || (data.is_empty() && offset == 0) {
+            let end = (offset + chunk_elems).min(data.len());
+            let staged: Vec<c64> = data[offset..end].to_vec(); // "DMA"
+            let tx = sender.clone();
+            proxy.queue.push(move || {
+                // "RDMA": hand the staged chunk to the interconnect.
+                let _ = tx.send(Message { src, tag, data: staged });
+            });
+            if end == data.len() {
+                break;
+            }
+            offset = end;
+        }
+    }
+
+    /// Receives a proxied message of `total_elems` elements from `src`
+    /// (reassembling the chunk stream in order).
+    pub fn recv_proxied(&mut self, src: usize, tag: u64, total_elems: usize) -> Vec<c64> {
+        let mut out = Vec::with_capacity(total_elems);
+        while out.len() < total_elems {
+            let chunk = self.recv(src, tag);
+            out.extend_from_slice(&chunk);
+        }
+        assert_eq!(out.len(), total_elems, "chunk stream overshot");
+        out
+    }
+
+    /// All-to-all routed through the proxy core (§5.1's long-message
+    /// path): all ranks' chunks are staged/pushed by their proxy threads
+    /// concurrently with the posting loop. Symmetric volumes assumed (as
+    /// in [`Comm::all_to_all_chunked`]).
+    pub fn all_to_all_proxied(
+        &mut self,
+        proxy: &ProxyCore,
+        outgoing: Vec<Vec<c64>>,
+        chunk_elems: usize,
+    ) -> Vec<Vec<c64>> {
+        assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
+        let t = self.stats.phase_start();
+        let lens: Vec<usize> = outgoing.iter().map(Vec::len).collect();
+        for (dst, buf) in outgoing.into_iter().enumerate() {
+            self.send_via_proxy(proxy, dst, tags::ALL_TO_ALL_CHUNK, buf, chunk_elems);
+        }
+        let mut incoming: Vec<Vec<c64>> = (0..self.size).map(|_| Vec::new()).collect();
+        for (src, slot) in incoming.iter_mut().enumerate() {
+            *slot = self.recv_proxied(src, tags::ALL_TO_ALL_CHUNK, lens[src]);
+        }
+        proxy.flush();
+        self.stats.phase_end("all-to-all", t);
+        incoming
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cluster;
+
+    #[test]
+    fn proxied_send_recv_round_trip() {
+        let out = Cluster::run(2, |comm| {
+            let proxy = ProxyCore::new();
+            if comm.rank() == 0 {
+                let data: Vec<c64> = (0..100).map(|i| c64::new(i as f64, -2.0)).collect();
+                comm.send_via_proxy(&proxy, 1, tags::USER, data, 7);
+                proxy.flush();
+                Vec::new()
+            } else {
+                comm.recv_proxied(0, tags::USER, 100)
+            }
+        });
+        assert_eq!(out[1].len(), 100);
+        for (i, v) in out[1].iter().enumerate() {
+            assert_eq!(*v, c64::new(i as f64, -2.0));
+        }
+    }
+
+    #[test]
+    fn proxied_empty_message() {
+        let out = Cluster::run(2, |comm| {
+            let proxy = ProxyCore::new();
+            if comm.rank() == 0 {
+                comm.send_via_proxy(&proxy, 1, tags::USER, Vec::new(), 4);
+                proxy.flush();
+                0
+            } else {
+                comm.recv_proxied(0, tags::USER, 0).len()
+            }
+        });
+        assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn proxied_all_to_all_matches_blocking() {
+        let p = 4;
+        let make = |r: usize| -> Vec<Vec<c64>> {
+            (0..p)
+                .map(|d| (0..23).map(|j| c64::new((r * p + d) as f64, j as f64)).collect())
+                .collect()
+        };
+        let blocking = Cluster::run(p, |comm| comm.all_to_all(make(comm.rank())));
+        let proxied = Cluster::run(p, |comm| {
+            let proxy = ProxyCore::new();
+            comm.all_to_all_proxied(&proxy, make(comm.rank()), 5)
+        });
+        assert_eq!(blocking, proxied);
+    }
+
+    #[test]
+    fn bytes_accounted_once_per_payload() {
+        let out = Cluster::run(2, |comm| {
+            let proxy = ProxyCore::new();
+            let data = vec![c64::ZERO; 64];
+            let peer = 1 - comm.rank();
+            comm.send_via_proxy(&proxy, peer, tags::USER, data, 8);
+            proxy.flush();
+            let got = comm.recv_proxied(peer, tags::USER, 64);
+            (got.len(), comm.stats().total_bytes_sent())
+        });
+        for (len, bytes) in &out {
+            assert_eq!(*len, 64);
+            assert_eq!(*bytes, 64 * 16);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Convolution-and-oversampling: `u = W x` (paper §5.3).
+//!
+//! Per rank, the structured sparse multiply produces `M'/P` blocks of `L`
+//! elements; block `m = c·n_µ + j` is
+//!
+//! ```text
+//! u_m[p] = Σ_{b<B} w(bL + p − jσ) · x[(c·d_µ + b)·L + p],   σ = d_µL/n_µ
+//! ```
+//!
+//! reading a `B·L`-sample input window that advances by `d_µ·L` per chunk
+//! (`n_µ` blocks). This costs `8BµN` flops — the extra arithmetic SOI pays
+//! for removing two all-to-alls — so its bandwidth behaviour matters; the
+//! paper's Fig 11 ablates three implementations which are reproduced here
+//! as [`ConvStrategy`]:
+//!
+//! * [`ConvStrategy::RowMajor`] — the straightforward Fig 6(a) form:
+//!   process output rows in order; every chunk touches all `n_µ·B·L`
+//!   distinct matrix elements, a working set that grows with the segment
+//!   count (∝ nodes) and eventually overflows the LLC.
+//! * [`ConvStrategy::Interchanged`] — the loop-interchanged, decomposed
+//!   Fig 6(b)/Fig 7 form: one input column `p` at a time, touching only
+//!   that column's `n_µ·B` taps — a working set *independent of scale*.
+//!   The price is (a) stride-`L` input access and (b) the block outputs
+//!   only materialize after a final transpose (the paper's "extra main
+//!   memory sweep", mitigated there by non-temporal stores).
+//! * [`ConvStrategy::InterchangedBuffered`] — adds the §5.3 circular-buffer
+//!   staging: the `B` live inputs of a column are kept contiguous and only
+//!   `d_µ` strided loads happen per chunk, converting almost all long-
+//!   stride traffic (which conflict-misses badly when `L` is a power of
+//!   two) into unit-stride traffic.
+//!
+//! All three produce bit-comparable results (tests check exact agreement of
+//! the mathematical ordering where it holds, and tight tolerances where
+//! re-association differs).
+
+use soifft_num::kernels::{axpy_pointwise, dot, dot_strided};
+use soifft_num::strided::CircularBuffer;
+use soifft_num::c64;
+use soifft_par::Pool;
+
+use crate::params::SoiParams;
+use crate::window::Window;
+
+/// Which convolution implementation to run (the Fig 11 ladder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConvStrategy {
+    /// Straightforward row-major form (baseline).
+    RowMajor,
+    /// Loop-interchanged decomposed form (working set independent of P).
+    Interchanged,
+    /// Interchanged plus circular-buffer input staging.
+    InterchangedBuffered,
+}
+
+impl ConvStrategy {
+    /// The ladder in Fig 11 order.
+    pub const ALL: [ConvStrategy; 3] = [
+        ConvStrategy::RowMajor,
+        ConvStrategy::Interchanged,
+        ConvStrategy::InterchangedBuffered,
+    ];
+
+    /// Label matching the paper's Fig 11 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConvStrategy::RowMajor => "baseline",
+            ConvStrategy::Interchanged => "interchange",
+            ConvStrategy::InterchangedBuffered => "buffering",
+        }
+    }
+}
+
+/// Runs the convolution for one rank.
+///
+/// * `input_ext` — this rank's `N/P` input elements followed by the
+///   `(B−d_µ)·L` ghost elements from its successor,
+/// * `out` — `blocks_per_rank · L` output elements (block-major),
+/// * `pool` — intra-node parallelism (chunks for RowMajor, columns for the
+///   interchanged forms, mirroring the paper's `loop_a` thread-level
+///   parallelization).
+pub fn convolve(
+    params: &SoiParams,
+    window: &Window,
+    strategy: ConvStrategy,
+    input_ext: &[c64],
+    out: &mut [c64],
+    pool: &Pool,
+) {
+    let l = params.total_segments();
+    let blocks = params.blocks_per_rank();
+    let chunks = params.chunks_per_rank();
+    let n_mu = params.mu.num();
+    let d_mu = params.mu.den();
+    let b = params.conv_width;
+    assert_eq!(
+        input_ext.len(),
+        params.per_rank() + params.ghost_len(),
+        "input must include the ghost region"
+    );
+    assert_eq!(out.len(), blocks * l, "output must hold blocks_per_rank · L");
+
+    match strategy {
+        ConvStrategy::RowMajor => {
+            // Parallel over whole chunks; each chunk writes n_µ·L outputs.
+            out.fill(c64::ZERO);
+            pool.par_chunks_mut(out, n_mu * l, |_, offset, piece| {
+                let c0 = offset / (n_mu * l);
+                for (ci, chunk_out) in piece.chunks_exact_mut(n_mu * l).enumerate() {
+                    let c = c0 + ci;
+                    let in_base = c * d_mu * l;
+                    for j in 0..n_mu {
+                        let taps = window.taps_row(j);
+                        let block = &mut chunk_out[j * l..(j + 1) * l];
+                        // b-outer / p-inner: contiguous AXPY of length L per
+                        // tap block; touches the full n_µ·B·L tap set every
+                        // chunk (the Fig 6(a) working-set problem).
+                        for bb in 0..b {
+                            axpy_pointwise(
+                                block,
+                                &taps[bb * l..(bb + 1) * l],
+                                &input_ext[in_base + bb * l..in_base + (bb + 1) * l],
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        ConvStrategy::Interchanged | ConvStrategy::InterchangedBuffered => {
+            // Column-decomposed: write the transposed result (one
+            // contiguous row per input column p), then transpose into
+            // block-major order — the paper's extra memory sweep.
+            let mut ut = vec![c64::ZERO; l * blocks];
+            let buffered = strategy == ConvStrategy::InterchangedBuffered;
+            pool.par_chunks_mut(&mut ut, blocks, |_, offset, cols| {
+                let p0 = offset / blocks;
+                for (pi, col_out) in cols.chunks_exact_mut(blocks).enumerate() {
+                    let p = p0 + pi;
+                    if buffered {
+                        column_pass_buffered(
+                            window, input_ext, col_out, p, l, chunks, n_mu, d_mu, b,
+                        );
+                    } else {
+                        column_pass_strided(
+                            window, input_ext, col_out, p, l, chunks, n_mu, d_mu, b,
+                        );
+                    }
+                }
+            });
+            // The paper's "extra main memory sweep" of the decomposed form,
+            // band-parallel over output blocks (each thread writes its own
+            // contiguous rows of `out`, reading `ut` strided).
+            let ut_ro: &[c64] = &ut;
+            pool.par_chunks_mut(out, l, |_, offset, band| {
+                let m0 = offset / l;
+                for (mi, block) in band.chunks_exact_mut(l).enumerate() {
+                    let m = m0 + mi;
+                    for (p, v) in block.iter_mut().enumerate() {
+                        *v = ut_ro[p * blocks + m];
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// One column of the interchanged form: stride-L input reads.
+#[allow(clippy::too_many_arguments)]
+fn column_pass_strided(
+    window: &Window,
+    input_ext: &[c64],
+    col_out: &mut [c64],
+    p: usize,
+    l: usize,
+    chunks: usize,
+    n_mu: usize,
+    d_mu: usize,
+    b: usize,
+) {
+    let taps = window.taps_for_p(p); // n_µ × B, unit stride
+    for c in 0..chunks {
+        let base = c * d_mu * l + p;
+        for j in 0..n_mu {
+            let t = &taps[j * b..(j + 1) * b];
+            col_out[c * n_mu + j] = dot_strided(t, &input_ext[base..], l);
+        }
+    }
+}
+
+/// One column with circular-buffer staging: `B` contiguous loads up front,
+/// then `d_µ` strided loads per chunk.
+#[allow(clippy::too_many_arguments)]
+fn column_pass_buffered(
+    window: &Window,
+    input_ext: &[c64],
+    col_out: &mut [c64],
+    p: usize,
+    l: usize,
+    chunks: usize,
+    n_mu: usize,
+    d_mu: usize,
+    b: usize,
+) {
+    let taps = window.taps_for_p(p);
+    let mut ring = CircularBuffer::new(b);
+    ring.fill_strided(input_ext, p, l);
+    let mut dense = vec![c64::ZERO; b];
+    for c in 0..chunks {
+        ring.snapshot(&mut dense);
+        for j in 0..n_mu {
+            col_out[c * n_mu + j] = dot(&taps[j * b..(j + 1) * b], &dense);
+        }
+        if c + 1 < chunks {
+            // Slide the window by d_µ blocks: new elements live at block
+            // indices c·d_µ + b .. c·d_µ + b + d_µ of column p.
+            let start = (c * d_mu + b) * l + p;
+            ring.advance_strided(input_ext, start, l, d_mu);
+        }
+    }
+}
+
+/// Row-major convolution with the block DFTs (`I ⊗ F_L`) fused in: as soon
+/// as a block's `L` outputs are produced they are transformed while still
+/// in cache, saving one full memory sweep (paper §5.3: "once P rows are
+/// available, we can immediately start a P-point FFT ... This can be
+/// viewed as a loop fusion optimization").
+///
+/// The paper notes this fusion *cannot* be applied to the decomposed
+/// (interchanged) form, whose first block only completes after all `L`
+/// column passes — which is why the decomposed form pays an extra sweep
+/// and mitigates it with non-temporal stores instead. This function exists
+/// to make that trade measurable (`benches/convolution.rs`).
+///
+/// Output blocks are the *transformed* `v_m = F_L(u_m)`, i.e. the input to
+/// the all-to-all.
+pub fn convolve_fused_fft(
+    params: &SoiParams,
+    window: &Window,
+    input_ext: &[c64],
+    out: &mut [c64],
+    plan_l: &soifft_fft::Plan,
+    pool: &Pool,
+) {
+    let l = params.total_segments();
+    let blocks = params.blocks_per_rank();
+    let n_mu = params.mu.num();
+    let d_mu = params.mu.den();
+    let b = params.conv_width;
+    assert_eq!(plan_l.len(), l, "plan length must be L");
+    assert_eq!(
+        input_ext.len(),
+        params.per_rank() + params.ghost_len(),
+        "input must include the ghost region"
+    );
+    assert_eq!(out.len(), blocks * l, "output must hold blocks_per_rank · L");
+
+    out.fill(c64::ZERO);
+    pool.par_chunks_mut(out, n_mu * l, |_, offset, piece| {
+        let c0 = offset / (n_mu * l);
+        let mut scratch = plan_l.make_scratch();
+        for (ci, chunk_out) in piece.chunks_exact_mut(n_mu * l).enumerate() {
+            let c = c0 + ci;
+            let in_base = c * d_mu * l;
+            for j in 0..n_mu {
+                let taps = window.taps_row(j);
+                let block = &mut chunk_out[j * l..(j + 1) * l];
+                for bb in 0..b {
+                    axpy_pointwise(
+                        block,
+                        &taps[bb * l..(bb + 1) * l],
+                        &input_ext[in_base + bb * l..in_base + (bb + 1) * l],
+                    );
+                }
+                // The block is hot in cache: transform it now instead of
+                // in a later full sweep.
+                plan_l.forward_with_scratch(block, &mut scratch);
+            }
+        }
+    });
+}
+
+/// Reference implementation straight from the definition (per-row inner
+/// products, no blocking, no parallelism). Used by tests and kept public
+/// for external validation.
+pub fn convolve_reference(
+    params: &SoiParams,
+    window: &Window,
+    input_ext: &[c64],
+    out: &mut [c64],
+) {
+    let l = params.total_segments();
+    let n_mu = params.mu.num();
+    let d_mu = params.mu.den();
+    let b = params.conv_width;
+    for m in 0..params.blocks_per_rank() {
+        let (c, j) = (m / n_mu, m % n_mu);
+        let taps = window.taps_row(j);
+        for p in 0..l {
+            let mut acc = c64::ZERO;
+            for bb in 0..b {
+                acc += taps[bb * l + p] * input_ext[c * d_mu * l + bb * l + p];
+            }
+            out[m * l + p] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Rational, SoiParams};
+    use crate::window::WindowKind;
+    use soifft_num::error::rel_linf;
+
+    fn params() -> SoiParams {
+        SoiParams {
+            n: 1 << 10,
+            procs: 1,
+            segments_per_proc: 8,
+            mu: Rational::new(2, 1),
+            conv_width: 16,
+        }
+    }
+
+    fn input_ext(p: &SoiParams) -> Vec<c64> {
+        let n = p.per_rank() + p.ghost_len();
+        (0..n)
+            .map(|i| c64::new((0.37 * i as f64).sin(), (0.23 * i as f64).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn all_strategies_match_reference() {
+        let p = params();
+        p.validate().unwrap();
+        let w = Window::new(WindowKind::GaussianSinc, &p);
+        let x = input_ext(&p);
+        let mut reference = vec![c64::ZERO; p.blocks_per_rank() * p.total_segments()];
+        convolve_reference(&p, &w, &x, &mut reference);
+        for strategy in ConvStrategy::ALL {
+            for threads in [1, 3] {
+                let pool = Pool::new(threads);
+                let mut got = vec![c64::ZERO; reference.len()];
+                convolve(&p, &w, strategy, &x, &mut got, &pool);
+                let err = rel_linf(&got, &reference);
+                assert!(err < 1e-13, "{strategy:?} threads={threads}: err={err:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rank_shapes_also_agree() {
+        // P = 4 ranks: per-rank blocks and ghost regions.
+        let p = SoiParams {
+            n: 1 << 12,
+            procs: 4,
+            segments_per_proc: 2,
+            mu: Rational::new(2, 1),
+            conv_width: 12,
+        };
+        p.validate().unwrap();
+        let w = Window::new(WindowKind::GaussianSinc, &p);
+        let x = input_ext(&p);
+        let mut reference = vec![c64::ZERO; p.blocks_per_rank() * p.total_segments()];
+        convolve_reference(&p, &w, &x, &mut reference);
+        for strategy in ConvStrategy::ALL {
+            let mut got = vec![c64::ZERO; reference.len()];
+            convolve(&p, &w, strategy, &x, &mut got, &Pool::new(2));
+            assert!(rel_linf(&got, &reference) < 1e-13, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn fused_fft_equals_separate_conv_then_fft() {
+        let p = params();
+        let w = Window::new(WindowKind::GaussianSinc, &p);
+        let x = input_ext(&p);
+        let l = p.total_segments();
+        let plan = soifft_fft::Plan::new(l);
+
+        // Separate: convolve, then batch-FFT each block.
+        let mut separate = vec![c64::ZERO; p.blocks_per_rank() * l];
+        convolve(&p, &w, ConvStrategy::RowMajor, &x, &mut separate, &Pool::serial());
+        soifft_fft::batch::forward_rows(&plan, &mut separate);
+
+        // Fused.
+        for threads in [1, 3] {
+            let mut fused = vec![c64::ZERO; separate.len()];
+            convolve_fused_fft(&p, &w, &x, &mut fused, &plan, &Pool::new(threads));
+            assert!(
+                rel_linf(&fused, &separate) < 1e-12,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn kaiser_window_convolution_consistent() {
+        let p = params();
+        let w = Window::new(WindowKind::KaiserSinc, &p);
+        let x = input_ext(&p);
+        let mut a = vec![c64::ZERO; p.blocks_per_rank() * p.total_segments()];
+        let mut bfr = a.clone();
+        convolve(&p, &w, ConvStrategy::RowMajor, &x, &mut a, &Pool::serial());
+        convolve(&p, &w, ConvStrategy::InterchangedBuffered, &x, &mut bfr, &Pool::serial());
+        assert!(rel_linf(&a, &bfr) < 1e-13);
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let p = params();
+        let w = Window::new(WindowKind::GaussianSinc, &p);
+        let x = vec![c64::ZERO; p.per_rank() + p.ghost_len()];
+        for strategy in ConvStrategy::ALL {
+            let mut got = vec![c64::real(9.9); p.blocks_per_rank() * p.total_segments()];
+            convolve(&p, &w, strategy, &x, &mut got, &Pool::serial());
+            assert!(got.iter().all(|v| v.abs() == 0.0), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn convolution_is_linear() {
+        let p = params();
+        let w = Window::new(WindowKind::GaussianSinc, &p);
+        let x = input_ext(&p);
+        let y: Vec<c64> = x.iter().map(|&v| v * c64::new(0.5, -1.0)).collect();
+        let sum: Vec<c64> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
+        let run = |inp: &[c64]| {
+            let mut o = vec![c64::ZERO; p.blocks_per_rank() * p.total_segments()];
+            convolve(&p, &w, ConvStrategy::Interchanged, inp, &mut o, &Pool::serial());
+            o
+        };
+        let lhs = run(&sum);
+        let rhs: Vec<c64> = run(&x).iter().zip(run(&y)).map(|(&a, b)| a + b).collect();
+        assert!(rel_linf(&lhs, &rhs) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost region")]
+    fn missing_ghost_panics() {
+        let p = params();
+        let w = Window::new(WindowKind::GaussianSinc, &p);
+        let x = vec![c64::ZERO; p.per_rank()]; // no ghost
+        let mut out = vec![c64::ZERO; p.blocks_per_rank() * p.total_segments()];
+        convolve(&p, &w, ConvStrategy::RowMajor, &x, &mut out, &Pool::serial());
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(ConvStrategy::RowMajor.label(), "baseline");
+        assert_eq!(ConvStrategy::Interchanged.label(), "interchange");
+        assert_eq!(ConvStrategy::InterchangedBuffered.label(), "buffering");
+        assert_eq!(ConvStrategy::ALL.len(), 3);
+    }
+}

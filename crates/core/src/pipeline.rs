@@ -1,0 +1,1096 @@
+//! The distributed SOI FFT pipeline (Fig 2).
+//!
+//! Per rank, in order, with each phase recorded in the rank's
+//! [`soifft_cluster::CommStats`]:
+//!
+//! 1. **ghost** — receive `(B−d_µ)·L` elements from the successor rank
+//!    (tens of KB; the latency-bound nearest-neighbour step of §5.1),
+//! 2. **convolution** — `u = W x` on the extended local input,
+//! 3. **segment-fft** — `L`-point FFT per output block (`I_{M'} ⊗ F_L`),
+//! 4. **all-to-all** — the single `Perm_{L,N'}` exchange (optionally
+//!    chunk-pipelined, and optionally split per segment so later exchanges
+//!    overlap earlier segments' recovery, §6.1's multi-segment trick),
+//! 5. **local-fft** — `F_{M'}` per owned segment with the demodulation
+//!    `W⁻¹` fused into the final write-back (§5.2.4),
+//! 6. projection — keep the first `M` bins of each segment.
+//!
+//! The output is the natural-order spectrum, block-distributed: rank `r`
+//! ends with `y[r·N/P .. (r+1)·N/P)`.
+
+use std::sync::Arc;
+
+use soifft_cluster::Comm;
+use soifft_fft::{batch, Plan, SixStepFft, SixStepVariant};
+use soifft_num::c64;
+use soifft_par::Pool;
+
+use crate::conv::{convolve, ConvStrategy};
+use crate::params::{SoiError, SoiParams};
+use crate::window::{Window, WindowKind};
+
+/// How the all-to-all is performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangePlan {
+    /// One monolithic exchange (longest messages, no overlap) — the
+    /// paper's few-segments/many-nodes setting.
+    Monolithic,
+    /// Split into chunks of the given element count, sent round-robin
+    /// (§5.1 pipelining).
+    Chunked(usize),
+    /// One exchange per local segment index; segment `σ`'s recovery FFT
+    /// runs before segment `σ+1`'s exchange, the §6.1 overlap structure.
+    PerSegment,
+    /// Send-ahead with polling receives: ALL segments' packets are posted
+    /// up front, then each segment is recovered as soon as its last packet
+    /// arrives (non-blocking `try_recv` polling between FFTs). The closest
+    /// software analogue of the paper's overlapped multi-segment mode on a
+    /// transport without true asynchrony.
+    Overlapped,
+    /// Route the exchange through the §5.1 reverse-communication proxy
+    /// core: a dedicated background worker stages each chunk (the PCIe DMA
+    /// stand-in) and pushes it to the wire, pipelined chunk-by-chunk.
+    /// Uniform segment layouts only.
+    Proxied(usize),
+}
+
+/// Virtual-time rates for a modeled target machine (DESIGN.md §1): when
+/// installed via [`SoiFft::with_sim`], every phase of a functional run is
+/// annotated with the seconds it would take at these rates — wall-clock
+/// correctness from the simulation, paper-scale timing from the model, in
+/// one ledger.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimSpec {
+    /// Effective node-local FFT rate (efficiency × peak), flops/s.
+    pub fft_flops_per_s: f64,
+    /// Effective convolution rate, flops/s.
+    pub conv_flops_per_s: f64,
+    /// Per-rank injection bandwidth, bytes/s.
+    pub net_bytes_per_s: f64,
+    /// Per-exchange latency floor, seconds.
+    pub net_latency_s: f64,
+}
+
+/// A planned distributed SOI transform. Plan once (collectively — every
+/// rank constructs the same plan), call [`SoiFft::forward`] inside a
+/// cluster closure. Plans are `Clone`, so one rank can plan and others
+/// adapt a copy (e.g. per-rank [`SimSpec`]s).
+///
+/// # Example
+///
+/// ```
+/// use soifft_cluster::Cluster;
+/// use soifft_core::{Rational, SoiFft, SoiParams};
+/// use soifft_num::c64;
+///
+/// let params = SoiParams {
+///     n: 4096,
+///     procs: 4,
+///     segments_per_proc: 2,
+///     mu: Rational::new(2, 1),
+///     conv_width: 16,
+/// };
+/// let fft = SoiFft::new(params).unwrap();
+/// let per = params.per_rank();
+/// let x: Vec<c64> = (0..params.n).map(|i| c64::real(i as f64)).collect();
+/// let slices: Vec<Vec<c64>> =
+///     x.chunks(per).map(|s| s.to_vec()).collect();
+/// let outputs = Cluster::run(params.procs, |comm| {
+///     fft.forward(comm, &slices[comm.rank()]) // ONE all-to-all inside
+/// });
+/// assert_eq!(outputs.len(), 4);
+/// assert_eq!(outputs[0].len(), per);
+/// ```
+#[derive(Clone)]
+pub struct SoiFft {
+    params: SoiParams,
+    window: Arc<Window>,
+    plan_l: Plan,
+    segment_fft: SixStepFft,
+    demod_scale: Vec<c64>,
+    strategy: ConvStrategy,
+    exchange: ExchangePlan,
+    pool: Pool,
+    sim: Option<SimSpec>,
+    fuse_segment_fft: bool,
+    /// Segments owned by each rank (uniform `S` by default; heterogeneous
+    /// for mixed Xeon/Phi clusters per §6.1's load-balance rule).
+    seg_counts: Vec<usize>,
+    /// Prefix sums of `seg_counts`: global id of rank `q`'s first segment.
+    seg_base: Vec<usize>,
+}
+
+impl SoiFft {
+    /// Plans the transform for `params` with the default Gaussian-sinc
+    /// window.
+    pub fn new(params: SoiParams) -> Result<Self, SoiError> {
+        Self::with_window(params, WindowKind::GaussianSinc)
+    }
+
+    /// Plans with an explicit window family.
+    pub fn with_window(params: SoiParams, kind: WindowKind) -> Result<Self, SoiError> {
+        params.validate()?;
+        let window = Arc::new(Window::new(kind, &params));
+        let m = params.m();
+        let m_prime = params.m_prime();
+        let mut demod_scale = vec![c64::ZERO; m_prime];
+        demod_scale[..m].copy_from_slice(&window.demod()[..m]);
+        let counts = vec![params.segments_per_proc; params.procs];
+        let base = prefix_sums(&counts);
+        Ok(SoiFft {
+            plan_l: Plan::new(params.total_segments()),
+            segment_fft: SixStepFft::new(m_prime, SixStepVariant::FusedDynamic),
+            demod_scale,
+            window,
+            params,
+            strategy: ConvStrategy::InterchangedBuffered,
+            exchange: ExchangePlan::Monolithic,
+            pool: Pool::serial(),
+            sim: None,
+            fuse_segment_fft: false,
+            seg_counts: counts,
+            seg_base: base,
+        })
+    }
+
+    /// Assigns a heterogeneous number of segments to each rank (the §6.1
+    /// load-balance rule for mixed clusters: "1 segment per socket of Xeon
+    /// E5-2680 and 6 segments per Xeon Phi"). `counts` must have one entry
+    /// per rank and sum to `total_segments()`; rank `q`'s output is then
+    /// `counts[q]·M` elements covering its contiguous segment range.
+    ///
+    /// # Panics
+    /// Panics if the counts do not partition the segments.
+    pub fn with_segment_counts(mut self, counts: Vec<usize>) -> Self {
+        assert_eq!(counts.len(), self.params.procs, "one count per rank");
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            self.params.total_segments(),
+            "counts must sum to L"
+        );
+        self.seg_base = prefix_sums(&counts);
+        self.seg_counts = counts;
+        self
+    }
+
+    /// This rank's output length (`counts[rank]·M`; uniform layouts give
+    /// `N/P`).
+    pub fn output_len(&self, rank: usize) -> usize {
+        self.seg_counts[rank] * self.params.m()
+    }
+
+    /// Selects the convolution strategy.
+    pub fn with_strategy(mut self, strategy: ConvStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects the all-to-all plan.
+    pub fn with_exchange(mut self, exchange: ExchangePlan) -> Self {
+        self.exchange = exchange;
+        self
+    }
+
+    /// Selects the intra-node pool.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Installs virtual-time rates: phases of subsequent runs carry
+    /// `sim_seconds` for the modeled machine alongside wall clock.
+    pub fn with_sim(mut self, sim: SimSpec) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
+    /// Fuses the block DFTs (`I ⊗ F_L`) into the convolution loop (§5.3's
+    /// sweep-saving fusion). Forces the row-major convolution form — the
+    /// paper notes the fusion cannot apply to the decomposed form.
+    pub fn with_fused_segment_fft(mut self) -> Self {
+        self.fuse_segment_fft = true;
+        self.strategy = ConvStrategy::RowMajor;
+        self
+    }
+
+    /// The planned parameters.
+    pub fn params(&self) -> &SoiParams {
+        &self.params
+    }
+
+    /// The planned window.
+    pub fn window(&self) -> &Arc<Window> {
+        &self.window
+    }
+
+    /// Computes this rank's slice of `y = F_N x`.
+    ///
+    /// `local_input` is rank `r`'s `x[r·N/P .. (r+1)·N/P)`; the return
+    /// value is `y[r·N/P .. (r+1)·N/P)` (natural order).
+    pub fn forward(&self, comm: &mut Comm, local_input: &[c64]) -> Vec<c64> {
+        let p = &self.params;
+        assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
+        assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
+        let l = p.total_segments();
+        let blocks = p.blocks_per_rank();
+
+        // Virtual-time accounting, when configured.
+        if let Some(sim) = self.sim {
+            comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
+                bytes_per_s: sim.net_bytes_per_s,
+                latency_s: sim.net_latency_s,
+            });
+        }
+
+        // 1. Ghost exchange.
+        let ghost = comm.exchange_ghost(local_input, p.ghost_len());
+        let mut input_ext = Vec::with_capacity(local_input.len() + ghost.len());
+        input_ext.extend_from_slice(local_input);
+        input_ext.extend_from_slice(&ghost);
+
+        // 2-3. Convolution, then block DFTs (fused into one pass when
+        // configured — §5.3's loop fusion).
+        let mut u = vec![c64::ZERO; blocks * l];
+        let conv_flops = p.conv_flops() / p.procs as f64;
+        let seg_fft_flops = blocks as f64 * soifft_fft::fft_flops(l);
+        if self.fuse_segment_fft {
+            let t = comm.stats_mut().phase_start();
+            crate::conv::convolve_fused_fft(
+                p,
+                &self.window,
+                &input_ext,
+                &mut u,
+                &self.plan_l,
+                &self.pool,
+            );
+            match self.sim {
+                Some(s) => {
+                    let sim_s =
+                        conv_flops / s.conv_flops_per_s + seg_fft_flops / s.fft_flops_per_s;
+                    comm.stats_mut().phase_end_sim("convolution", t, sim_s);
+                }
+                None => comm.stats_mut().phase_end("convolution", t),
+            }
+        } else {
+            let t = comm.stats_mut().phase_start();
+            convolve(p, &self.window, self.strategy, &input_ext, &mut u, &self.pool);
+            match self.sim {
+                Some(s) => {
+                    let sim_s = conv_flops / s.conv_flops_per_s;
+                    comm.stats_mut().phase_end_sim("convolution", t, sim_s);
+                }
+                None => comm.stats_mut().phase_end("convolution", t),
+            }
+
+            let t = comm.stats_mut().phase_start();
+            batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
+            match self.sim_fft_seconds(seg_fft_flops) {
+                Some(sim_s) => comm.stats_mut().phase_end_sim("segment-fft", t, sim_s),
+                None => comm.stats_mut().phase_end("segment-fft", t),
+            }
+        }
+
+        // 4-6. Exchange and per-segment recovery.
+        match self.exchange {
+            ExchangePlan::PerSegment => self.recover_per_segment(comm, &u),
+            ExchangePlan::Overlapped => self.recover_overlapped(comm, &u),
+            _ => self.recover_monolithic(comm, &u),
+        }
+    }
+
+    /// Computes only the requested *segments of interest*, distributed —
+    /// the capability the algorithm is named for. The convolution and
+    /// block DFTs run in full (they feed every segment), but the all-to-all
+    /// ships only the wanted segments' data (volume `µN·|wanted|/L` instead
+    /// of `µN`) and only their recovery FFTs run.
+    ///
+    /// Every rank passes the same `wanted` list (a collective argument).
+    /// Returns this rank's owned ∩ wanted segments as
+    /// `(global_segment_id, bins)` pairs.
+    pub fn forward_segments(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        wanted: &[usize],
+    ) -> Vec<(usize, Vec<c64>)> {
+        let p = &self.params;
+        assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
+        assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
+        let l = p.total_segments();
+        let m = p.m();
+        let blocks = p.blocks_per_rank();
+        let mut is_wanted = vec![false; l];
+        for &s in wanted {
+            assert!(s < l, "segment {s} out of range (L = {l})");
+            is_wanted[s] = true;
+        }
+
+        // Ghost + convolution + block DFTs, exactly as in `forward`.
+        let ghost = comm.exchange_ghost(local_input, p.ghost_len());
+        let mut input_ext = Vec::with_capacity(local_input.len() + ghost.len());
+        input_ext.extend_from_slice(local_input);
+        input_ext.extend_from_slice(&ghost);
+        let mut u = vec![c64::ZERO; blocks * l];
+        let t = comm.stats_mut().phase_start();
+        convolve(p, &self.window, self.strategy, &input_ext, &mut u, &self.pool);
+        comm.stats_mut().phase_end("convolution", t);
+        let t = comm.stats_mut().phase_start();
+        batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
+        comm.stats_mut().phase_end("segment-fft", t);
+
+        // Reduced exchange: per destination, only its wanted segments (in
+        // destination-local order, which both sides can derive).
+        let outgoing: Vec<Vec<c64>> = (0..p.procs)
+            .map(|q| {
+                let mut buf = Vec::new();
+                for sl in 0..self.seg_counts[q] {
+                    if is_wanted[self.seg_base[q] + sl] {
+                        buf.extend(self.pack_for(&u, q, sl));
+                    }
+                }
+                buf
+            })
+            .collect();
+        let incoming = comm.all_to_all(outgoing);
+
+        // Recover owned ∩ wanted, reading parts back in the same order.
+        let me = comm.rank();
+        let t = comm.stats_mut().phase_start();
+        let mut out = Vec::new();
+        let mut part_idx = 0usize;
+        for sl in 0..self.seg_counts[me] {
+            let s = self.seg_base[me] + sl;
+            if !is_wanted[s] {
+                continue;
+            }
+            let mut z = Vec::with_capacity(p.m_prime());
+            for part in &incoming {
+                z.extend_from_slice(&part[part_idx * blocks..(part_idx + 1) * blocks]);
+            }
+            part_idx += 1;
+            let mut bins = vec![c64::ZERO; m];
+            self.recover_into(z, &mut bins, 0);
+            out.push((s, bins));
+        }
+        comm.stats_mut().phase_end("local-fft", t);
+        out
+    }
+
+    /// Distributed installation self-check: runs the pipeline on a
+    /// deterministic pseudo-random input, compares the gathered result
+    /// against a single-process reference FFT, and returns the relative ℓ₂
+    /// error (identical on every rank). Intended for small/medium `N` —
+    /// every rank computes the full reference transform locally.
+    pub fn self_check(&self, comm: &mut Comm) -> f64 {
+        let p = &self.params;
+        // Deterministic input every rank can regenerate.
+        let mut state = 0x0DDB_1A5E_5BAD_5EEDu64 ^ (p.n as u64);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        };
+        let x: Vec<c64> = (0..p.n).map(|_| c64::new(next(), next())).collect();
+        let me = comm.rank();
+        let mine = x[me * p.per_rank()..(me + 1) * p.per_rank()].to_vec();
+        let y_local = self.forward(comm, &mine);
+
+        // Gather the distributed spectrum (uniform layouts only give a
+        // natural-order concatenation; self_check requires that).
+        assert!(
+            self.uniform_layout(),
+            "self_check requires the uniform segment layout"
+        );
+        let parts = comm.allgather(y_local);
+        // parts[src] is what *we* sent... allgather returns by source:
+        // each rank contributed its own slice, so concatenate by rank.
+        let got: Vec<c64> = parts.into_iter().flatten().collect();
+
+        let mut want = x;
+        Plan::new(p.n).forward(&mut want);
+        soifft_num::error::rel_l2(&got, &want)
+    }
+
+    /// Offload-mode forward transform (paper §7): the local input lives in
+    /// "host memory" and is staged to the coprocessor over `link` before
+    /// the transform; the result is staged back. Functionally identical to
+    /// [`SoiFft::forward`], with the two extra PCIe phases recorded in the
+    /// ledger — the structure behind `T_off ≈ 2·T_pci + µ·T_mpi`.
+    pub fn forward_offload(
+        &self,
+        comm: &mut Comm,
+        link: &soifft_cluster::PcieLink,
+        host_input: &[c64],
+    ) -> Vec<c64> {
+        let device_input = link.to_device(comm.stats_mut(), host_input);
+        let device_output = self.forward(comm, &device_input);
+        link.to_host(comm.stats_mut(), &device_output)
+    }
+
+    /// Computes this rank's slice of `x = F_N⁻¹ y` (normalized), by
+    /// conjugation around the forward pipeline — the same communication
+    /// structure (one all-to-all) in the synthesis direction.
+    pub fn inverse(&self, comm: &mut Comm, local_input: &[c64]) -> Vec<c64> {
+        assert!(
+            self.seg_counts.iter().all(|&c| c == self.params.segments_per_proc),
+            "inverse requires the uniform segment layout (forward's input and \
+             output distributions must coincide)"
+        );
+        let conjugated: Vec<c64> = local_input.iter().map(|z| z.conj()).collect();
+        let mut x = self.forward(comm, &conjugated);
+        let s = 1.0 / self.params.n as f64;
+        for z in x.iter_mut() {
+            *z = z.conj() * s;
+        }
+        x
+    }
+
+    /// Packs the values destined for rank `dst`, local segment index `sl`:
+    /// `v_m[s]` for every local block, `s = seg_base[dst] + sl`.
+    fn pack_for(&self, u: &[c64], dst: usize, sl: usize) -> Vec<c64> {
+        let l = self.params.total_segments();
+        let s = self.seg_base[dst] + sl;
+        u.chunks_exact(l).map(|block| block[s]).collect()
+    }
+
+    /// Monolithic (or chunked) exchange followed by all segment FFTs.
+    fn recover_monolithic(&self, comm: &mut Comm, u: &[c64]) -> Vec<c64> {
+        let p = &self.params;
+        let blocks = p.blocks_per_rank();
+        let mine = self.seg_counts[comm.rank()];
+
+        // Outgoing buffer for rank q: [sl][m_local] for its segments.
+        let outgoing: Vec<Vec<c64>> = (0..p.procs)
+            .map(|q| {
+                let mut buf = Vec::with_capacity(self.seg_counts[q] * blocks);
+                for sl in 0..self.seg_counts[q] {
+                    buf.extend(self.pack_for(u, q, sl));
+                }
+                buf
+            })
+            .collect();
+        let incoming = match self.exchange {
+            ExchangePlan::Chunked(chunk) if self.uniform_layout() => {
+                comm.all_to_all_chunked(outgoing, chunk)
+            }
+            // Heterogeneous layouts have asymmetric per-peer volumes:
+            // every source sends *me* `mine·blocks` elements.
+            ExchangePlan::Chunked(chunk) => {
+                let expected = vec![mine * blocks; p.procs];
+                comm.all_to_all_chunked_v(outgoing, chunk, &expected)
+            }
+            ExchangePlan::Proxied(chunk) => {
+                assert!(
+                    self.uniform_layout(),
+                    "proxied exchange supports uniform segment layouts only"
+                );
+                let proxy = soifft_cluster::ProxyCore::new();
+                comm.all_to_all_proxied(&proxy, outgoing, chunk)
+            }
+            _ => comm.all_to_all(outgoing),
+        };
+
+        let mut y = vec![c64::ZERO; mine * p.m()];
+        let t = comm.stats_mut().phase_start();
+        for sl in 0..mine {
+            let z = self.assemble_segment(&incoming, sl);
+            self.recover_into(z, &mut y, sl);
+        }
+        let fft_flops = mine as f64 * soifft_fft::fft_flops(p.m_prime());
+        match self.sim_fft_seconds(fft_flops) {
+            Some(sim_s) => comm.stats_mut().phase_end_sim("local-fft", t, sim_s),
+            None => comm.stats_mut().phase_end("local-fft", t),
+        }
+        y
+    }
+
+    /// Simulated seconds for a compute phase of `flops`, when virtual time
+    /// is configured.
+    fn sim_fft_seconds(&self, flops: f64) -> Option<f64> {
+        self.sim.map(|s| flops / s.fft_flops_per_s)
+    }
+
+    /// True when every rank owns the same number of segments.
+    fn uniform_layout(&self) -> bool {
+        self.seg_counts
+            .iter()
+            .all(|&c| c == self.params.segments_per_proc)
+    }
+
+    /// Per-segment exchange: segment `σ`'s recovery runs between exchanges
+    /// (the overlap structure of §6.1; wall-clock overlap needs async
+    /// transports, but the packet-size and interleaving structure is
+    /// faithful).
+    fn recover_per_segment(&self, comm: &mut Comm, u: &[c64]) -> Vec<c64> {
+        let p = &self.params;
+        let mine = self.seg_counts[comm.rank()];
+        let mut y = vec![c64::ZERO; mine * p.m()];
+        // All ranks must participate in every collective round, so the
+        // round count is the maximum segment count; ranks with fewer
+        // segments ship/receive empty buffers in the tail rounds.
+        let rounds = self.seg_counts.iter().copied().max().unwrap_or(0);
+        for sl in 0..rounds {
+            let outgoing: Vec<Vec<c64>> = (0..p.procs)
+                .map(|q| {
+                    if sl < self.seg_counts[q] {
+                        self.pack_for(u, q, sl)
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let incoming = comm.all_to_all(outgoing);
+            if sl < mine {
+                let t = comm.stats_mut().phase_start();
+                let z = self.assemble_per_segment(&incoming);
+                self.recover_into(z, &mut y, sl);
+                comm.stats_mut().phase_end("local-fft", t);
+            }
+        }
+        y
+    }
+
+    /// Send-ahead + polling recovery: every segment's packets go out
+    /// immediately (tagged by destination-local segment index); each owned
+    /// segment is recovered as soon as all of its parts have arrived,
+    /// polling with non-blocking receives in arrival order.
+    fn recover_overlapped(&self, comm: &mut Comm, u: &[c64]) -> Vec<c64> {
+        use soifft_cluster::tags;
+        let p = &self.params;
+        let blocks = p.blocks_per_rank();
+        let mine = self.seg_counts[comm.rank()];
+
+        // Post everything up front (sends never block in this transport;
+        // on real MPI these would be MPI_Isend).
+        let t = comm.stats_mut().phase_start();
+        for q in 0..p.procs {
+            for sl in 0..self.seg_counts[q] {
+                let tag = tags::USER + sl as u64;
+                comm.send(q, tag, self.pack_for(u, q, sl));
+            }
+        }
+
+        // Poll: segments become ready in whatever order the parts land.
+        let mut parts: Vec<Vec<Option<Vec<c64>>>> =
+            (0..mine).map(|_| vec![None; p.procs]).collect();
+        let mut missing: Vec<usize> = (0..mine).map(|_| p.procs).collect();
+        let mut done = vec![false; mine];
+        let mut y = vec![c64::ZERO; mine * p.m()];
+        let mut completed = 0;
+        while completed < mine {
+            // Drain whatever has arrived for any still-incomplete segment.
+            let mut progressed = false;
+            for sl in 0..mine {
+                if done[sl] {
+                    continue;
+                }
+                let tag = tags::USER + sl as u64;
+                for src in 0..p.procs {
+                    if parts[sl][src].is_none() {
+                        if let Some(data) = comm.try_recv(src, tag) {
+                            parts[sl][src] = Some(data);
+                            missing[sl] -= 1;
+                            progressed = true;
+                        }
+                    }
+                }
+                if missing[sl] == 0 {
+                    // Recover this segment now — later packets keep
+                    // flowing while we compute (the overlap).
+                    let mut z = Vec::with_capacity(p.m_prime());
+                    for src in 0..p.procs {
+                        z.extend_from_slice(
+                            parts[sl][src].as_ref().expect("all parts present"),
+                        );
+                        debug_assert_eq!(z.len() % blocks, 0);
+                    }
+                    self.recover_into(z, &mut y, sl);
+                    done[sl] = true;
+                    completed += 1;
+                }
+            }
+            if !progressed && completed < mine {
+                // Nothing new: block on the lowest missing part to avoid a
+                // hot spin.
+                if let Some(sl) = (0..mine).find(|&sl| !done[sl]) {
+                    let tag = tags::USER + sl as u64;
+                    if let Some(src) =
+                        (0..p.procs).find(|&s| parts[sl][s].is_none())
+                    {
+                        let data = comm.recv(src, tag);
+                        parts[sl][src] = Some(data);
+                        missing[sl] -= 1;
+                    }
+                }
+            }
+        }
+        comm.stats_mut().phase_end("all-to-all", t);
+        y
+    }
+
+    /// Assembles `z_s` from a monolithic exchange (`incoming[r]` holds
+    /// `[sl][m_local]`).
+    fn assemble_segment(&self, incoming: &[Vec<c64>], sl: usize) -> Vec<c64> {
+        let blocks = self.params.blocks_per_rank();
+        let mut z = Vec::with_capacity(self.params.m_prime());
+        for part in incoming {
+            z.extend_from_slice(&part[sl * blocks..(sl + 1) * blocks]);
+        }
+        z
+    }
+
+    /// Assembles `z_s` from a per-segment exchange (`incoming[r]` holds
+    /// just `[m_local]`).
+    fn assemble_per_segment(&self, incoming: &[Vec<c64>]) -> Vec<c64> {
+        let mut z = Vec::with_capacity(self.params.m_prime());
+        for part in incoming {
+            z.extend_from_slice(part);
+        }
+        z
+    }
+
+    /// `F_{M'}` with fused demodulation, projected into the output slot
+    /// for local segment `sl`.
+    fn recover_into(&self, mut z: Vec<c64>, y: &mut [c64], sl: usize) {
+        let m = self.params.m();
+        let m_prime = self.params.m_prime();
+        debug_assert_eq!(z.len(), m_prime);
+        let mut aux = vec![c64::ZERO; m_prime];
+        self.segment_fft
+            .forward_scaled(&mut z, &mut aux, &self.demod_scale);
+        y[sl * m..(sl + 1) * m].copy_from_slice(&z[..m]);
+    }
+}
+
+/// Exclusive prefix sums (`[0, c0, c0+c1, ...]`, length `counts.len()`).
+fn prefix_sums(counts: &[usize]) -> Vec<usize> {
+    let mut base = Vec::with_capacity(counts.len());
+    let mut acc = 0;
+    for &c in counts {
+        base.push(acc);
+        acc += c;
+    }
+    base
+}
+
+/// Splits a global input among ranks (testing/benching helper): rank `r`
+/// gets `x[r·N/P .. (r+1)·N/P)`.
+pub fn scatter_input(x: &[c64], procs: usize) -> Vec<Vec<c64>> {
+    assert_eq!(x.len() % procs, 0);
+    let per = x.len() / procs;
+    (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect()
+}
+
+/// Reassembles rank outputs into the global vector (testing/benching
+/// helper).
+pub fn gather_output(parts: Vec<Vec<c64>>) -> Vec<c64> {
+    parts.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Rational;
+    use soifft_cluster::Cluster;
+    use soifft_num::error::rel_l2;
+
+    fn signal(n: usize) -> Vec<c64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                c64::new((0.05 * t).sin() + 0.4, 0.3 * (0.11 * t).cos())
+            })
+            .collect()
+    }
+
+    fn reference_fft(x: &[c64]) -> Vec<c64> {
+        let plan = Plan::new(x.len());
+        let mut y = x.to_vec();
+        plan.forward(&mut y);
+        y
+    }
+
+    fn run_distributed(params: SoiParams, exchange: ExchangePlan) -> (Vec<c64>, Vec<c64>) {
+        let x = signal(params.n);
+        let inputs = scatter_input(&x, params.procs);
+        let fft = SoiFft::new(params).unwrap().with_exchange(exchange);
+        let outputs = Cluster::run(params.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()])
+        });
+        (gather_output(outputs), reference_fft(&x))
+    }
+
+    fn params(procs: usize, s: usize) -> SoiParams {
+        SoiParams {
+            n: 1 << 12,
+            procs,
+            segments_per_proc: s,
+            mu: Rational::new(2, 1),
+            conv_width: 20,
+        }
+    }
+
+    #[test]
+    fn distributed_matches_reference_various_cluster_shapes() {
+        for (procs, s) in [(1, 8), (2, 4), (4, 2), (8, 1), (4, 4)] {
+            let (got, want) = run_distributed(params(procs, s), ExchangePlan::Monolithic);
+            let err = rel_l2(&got, &want);
+            assert!(err < 1e-7, "P={procs} S={s}: err={err:.3e}");
+        }
+    }
+
+    #[test]
+    fn chunked_exchange_gives_identical_results() {
+        let p = params(4, 2);
+        let (mono, want) = run_distributed(p, ExchangePlan::Monolithic);
+        let (chunked, _) = run_distributed(p, ExchangePlan::Chunked(37));
+        assert_eq!(mono, chunked);
+        assert!(rel_l2(&mono, &want) < 1e-7);
+    }
+
+    #[test]
+    fn per_segment_exchange_gives_identical_results() {
+        let p = params(4, 4);
+        let (mono, want) = run_distributed(p, ExchangePlan::Monolithic);
+        let (seg, _) = run_distributed(p, ExchangePlan::PerSegment);
+        assert_eq!(mono, seg);
+        assert!(rel_l2(&mono, &want) < 1e-7);
+    }
+
+    #[test]
+    fn proxied_exchange_gives_identical_results() {
+        let p = params(4, 2);
+        let (mono, want) = run_distributed(p, ExchangePlan::Monolithic);
+        let (prox, _) = run_distributed(p, ExchangePlan::Proxied(100));
+        assert_eq!(mono, prox);
+        assert!(rel_l2(&mono, &want) < 1e-7);
+    }
+
+    #[test]
+    fn overlapped_exchange_gives_identical_results() {
+        for (procs, s) in [(4usize, 4usize), (2, 8), (8, 1)] {
+            let p = params(procs, s);
+            let (mono, want) = run_distributed(p, ExchangePlan::Monolithic);
+            let (ovl, _) = run_distributed(p, ExchangePlan::Overlapped);
+            assert_eq!(mono, ovl, "P={procs} S={s}");
+            assert!(rel_l2(&mono, &want) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn overlapped_exchange_heterogeneous() {
+        let p = params(4, 2);
+        let counts = vec![1usize, 3, 1, 3];
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p)
+            .unwrap()
+            .with_segment_counts(counts)
+            .with_exchange(ExchangePlan::Overlapped);
+        let got = gather_output(Cluster::run(p.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()])
+        }));
+        let want = reference_fft(&x);
+        assert!(rel_l2(&got, &want) < 1e-7);
+    }
+
+    #[test]
+    fn distributed_matches_single_node_pipeline() {
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let (dist, _) = run_distributed(p, ExchangePlan::Monolithic);
+        let local = crate::single::SoiFftLocal::new(
+            p.n,
+            p.total_segments(),
+            p.mu,
+            p.conv_width,
+        )
+        .unwrap()
+        .forward(&x);
+        // Same algorithm, same window ⇒ results agree to rounding.
+        assert!(rel_l2(&dist, &local) < 1e-10);
+    }
+
+    #[test]
+    fn phase_ledger_shows_soi_structure() {
+        // Fig 2's structure: ghost + ONE all-to-all (vs CT's three).
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        let stats = Cluster::run(p.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()]);
+            comm.stats().clone()
+        });
+        for s in &stats {
+            assert_eq!(s.count_of("all-to-all"), 1, "SOI needs exactly one all-to-all");
+            assert_eq!(s.count_of("ghost"), 1);
+            assert_eq!(s.count_of("convolution"), 1);
+            assert!(s.seconds_in("local-fft") > 0.0);
+            // Ghost volume: (B−d_µ)·L elements · 16 bytes.
+            let ghost_bytes = (p.ghost_len() * 16) as u64;
+            assert_eq!(s.bytes_in("ghost"), ghost_bytes);
+            // All-to-all volume: S·blocks per destination, P destinations.
+            let a2a = (p.segments_per_proc * p.blocks_per_rank() * p.procs * 16) as u64;
+            assert_eq!(s.bytes_in("all-to-all"), a2a);
+        }
+    }
+
+    #[test]
+    fn paper_parameters_distributed() {
+        // µ = 8/7, B = 72 at small scale: P = 4, S = 2, M = 7·2^6.
+        let p = SoiParams {
+            n: 7 * (1 << 6) * 8,
+            procs: 4,
+            segments_per_proc: 2,
+            mu: Rational::new(8, 7),
+            conv_width: 72,
+        };
+        p.validate().unwrap();
+        let (got, want) = run_distributed(p, ExchangePlan::Monolithic);
+        let err = rel_l2(&got, &want);
+        assert!(err < 1e-4, "err={err:.3e}");
+    }
+
+    #[test]
+    fn self_check_reports_small_error_on_all_ranks() {
+        let p = params(4, 2);
+        let fft = SoiFft::new(p).unwrap();
+        let errs = Cluster::run(p.procs, |comm| fft.self_check(comm));
+        for (rank, &e) in errs.iter().enumerate() {
+            assert!(e < 1e-7, "rank {rank}: {e:.3e}");
+            assert!((e - errs[0]).abs() < 1e-15, "ranks must agree");
+        }
+    }
+
+    #[test]
+    fn partial_spectrum_matches_full_and_ships_less() {
+        let p = params(4, 2); // L = 8
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        let m = p.m();
+
+        let full = gather_output(Cluster::run(p.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()])
+        }));
+
+        let wanted = vec![1usize, 6];
+        let runs = Cluster::run(p.procs, |comm| {
+            let segs = fft.forward_segments(comm, &inputs[comm.rank()], &wanted);
+            (segs, comm.stats().bytes_in("all-to-all"))
+        });
+
+        // Correct owners, correct values.
+        let mut found = 0;
+        for (rank, (segs, _)) in runs.iter().enumerate() {
+            for (s, bins) in segs {
+                assert_eq!(s / p.segments_per_proc, rank, "owner of segment {s}");
+                assert!(wanted.contains(s));
+                assert!(
+                    rel_l2(bins, &full[s * m..(s + 1) * m]) < 1e-12,
+                    "segment {s}"
+                );
+                found += 1;
+            }
+        }
+        assert_eq!(found, wanted.len());
+
+        // Volume: 2 of 8 segments ⇒ 1/4 of the full exchange.
+        let full_bytes =
+            (p.segments_per_proc * p.blocks_per_rank() * p.procs * 16) as u64;
+        for (_, bytes) in &runs {
+            assert_eq!(*bytes, full_bytes / 4);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_segment_layout_matches_reference() {
+        // 4 ranks playing "2 Xeons + 2 Phis": segment counts 1,3,1,3
+        // (total 8 = the plan's S·P). Output is non-uniform: ranks 1 and 3
+        // produce 3 segments' worth of spectrum each.
+        let p = params(4, 2); // L = 8
+        let counts = vec![1usize, 3, 1, 3];
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap().with_segment_counts(counts.clone());
+        let outs = Cluster::run(p.procs, |comm| {
+            let y = fft.forward(comm, &inputs[comm.rank()]);
+            assert_eq!(y.len(), fft.output_len(comm.rank()));
+            y
+        });
+        // Concatenated in rank order the segments are globally ordered.
+        let got = gather_output(outs);
+        let want = reference_fft(&x);
+        let err = rel_l2(&got, &want);
+        assert!(err < 1e-7, "err={err:.3e}");
+    }
+
+    #[test]
+    fn heterogeneous_layout_with_chunked_exchange_falls_back_safely() {
+        let p = params(4, 2);
+        let counts = vec![1usize, 3, 1, 3];
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p)
+            .unwrap()
+            .with_segment_counts(counts)
+            .with_exchange(ExchangePlan::Chunked(64));
+        let got = gather_output(Cluster::run(p.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()])
+        }));
+        let want = reference_fft(&x);
+        assert!(rel_l2(&got, &want) < 1e-7);
+    }
+
+    #[test]
+    fn heterogeneous_layout_with_per_segment_exchange() {
+        let p = params(4, 2);
+        let counts = vec![2usize, 4, 0, 2]; // a rank may own none
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p)
+            .unwrap()
+            .with_segment_counts(counts)
+            .with_exchange(ExchangePlan::PerSegment);
+        let outs = Cluster::run(p.procs, |comm| fft.forward(comm, &inputs[comm.rank()]));
+        assert!(outs[2].is_empty());
+        let got = gather_output(outs);
+        let want = reference_fft(&x);
+        assert!(rel_l2(&got, &want) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts must sum to L")]
+    fn bad_segment_counts_rejected() {
+        let p = params(4, 2);
+        let _ = SoiFft::new(p).unwrap().with_segment_counts(vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fused_segment_fft_pipeline_matches_unfused() {
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let plain = SoiFft::new(p).unwrap();
+        let fused = SoiFft::new(p).unwrap().with_fused_segment_fft();
+        let a = gather_output(Cluster::run(p.procs, |comm| {
+            plain.forward(comm, &inputs[comm.rank()])
+        }));
+        let b = gather_output(Cluster::run(p.procs, |comm| {
+            fused.forward(comm, &inputs[comm.rank()])
+        }));
+        assert!(rel_l2(&b, &a) < 1e-12);
+        // Ledger: the fused pipeline has no separate segment-fft phase.
+        let stats = Cluster::run(p.procs, |comm| {
+            fused.forward(comm, &inputs[comm.rank()]);
+            comm.stats().clone()
+        });
+        for s in &stats {
+            assert_eq!(s.count_of("segment-fft"), 0);
+            assert_eq!(s.count_of("convolution"), 1);
+        }
+    }
+
+    #[test]
+    fn virtual_time_matches_hand_computed_model() {
+        // Install paper-flavoured rates and check the sim ledger equals the
+        // closed-form expectation exactly (the functional/model bridge).
+        let p = params(4, 2);
+        let sim = SimSpec {
+            fft_flops_per_s: 1e9,
+            conv_flops_per_s: 2e9,
+            net_bytes_per_s: 1e8,
+            net_latency_s: 1e-4,
+        };
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap().with_sim(sim);
+        let stats = Cluster::run(p.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()]);
+            comm.stats().clone()
+        });
+        for s in &stats {
+            let conv_expect = p.conv_flops() / p.procs as f64 / sim.conv_flops_per_s;
+            assert!((s.sim_seconds_in("convolution") - conv_expect).abs() < 1e-12);
+
+            let seg_expect = p.blocks_per_rank() as f64
+                * soifft_fft::fft_flops(p.total_segments())
+                / sim.fft_flops_per_s;
+            assert!((s.sim_seconds_in("segment-fft") - seg_expect).abs() < 1e-12);
+
+            let local_expect = p.segments_per_proc as f64
+                * soifft_fft::fft_flops(p.m_prime())
+                / sim.fft_flops_per_s;
+            assert!((s.sim_seconds_in("local-fft") - local_expect).abs() < 1e-12);
+
+            // All-to-all: µ·(N/P)·16 bytes at the configured bandwidth.
+            let bytes = (p.segments_per_proc * p.blocks_per_rank() * p.procs * 16) as f64;
+            let a2a_expect = sim.net_latency_s + bytes / sim.net_bytes_per_s;
+            assert!(
+                (s.sim_seconds_in("all-to-all") - a2a_expect).abs() < 1e-12,
+                "{} vs {}",
+                s.sim_seconds_in("all-to-all"),
+                a2a_expect
+            );
+        }
+    }
+
+    #[test]
+    fn offload_mode_matches_symmetric_and_records_pcie() {
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        let sym = gather_output(Cluster::run(p.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()])
+        }));
+        let link = soifft_cluster::PcieLink::new();
+        let off_runs = Cluster::run(p.procs, |comm| {
+            let y = fft.forward_offload(comm, &link, &inputs[comm.rank()]);
+            (y, comm.stats().clone())
+        });
+        let off = gather_output(off_runs.iter().map(|(y, _)| y.clone()).collect());
+        assert_eq!(off, sym, "offload must be bit-identical to symmetric");
+        for (_, s) in &off_runs {
+            assert_eq!(s.count_of("pcie-in"), 1);
+            assert_eq!(s.count_of("pcie-out"), 1);
+            assert_eq!(s.count_of("all-to-all"), 1);
+        }
+    }
+
+    #[test]
+    fn distributed_inverse_round_trips() {
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        let spectra = Cluster::run(p.procs, |comm| fft.forward(comm, &inputs[comm.rank()]));
+        let back = Cluster::run(p.procs, |comm| {
+            fft.inverse(comm, &spectra[comm.rank()])
+        });
+        let got = gather_output(back);
+        let err = rel_l2(&got, &x);
+        assert!(err < 1e-7, "round trip err={err:.3e}");
+    }
+
+    #[test]
+    fn scatter_gather_round_trip() {
+        let x = signal(64);
+        let parts = scatter_input(&x, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].len(), 16);
+        assert_eq!(gather_output(parts), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn wrong_cluster_size_panics() {
+        let p = params(4, 2);
+        let fft = SoiFft::new(p).unwrap();
+        Cluster::run(2, |comm| {
+            let input = vec![c64::ZERO; p.per_rank()];
+            fft.forward(comm, &input);
+        });
+    }
+}

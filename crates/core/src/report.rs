@@ -1,0 +1,213 @@
+//! Plan diagnostics: everything a user wants to know about an SOI
+//! configuration before committing to it (the moral equivalent of FFTW's
+//! plan printing).
+//!
+//! [`PlanReport::new`] derives, without building the (potentially large)
+//! window tables: the Table 1 quantities, per-rank memory footprints,
+//! communication volumes, the flop budget split, and the a-priori accuracy
+//! exponent of the default window design. The `plan_report` output is also
+//! where constraint violations are explained with suggested fixes (via
+//! [`crate::SoiParams::suggest`]).
+
+use std::fmt;
+
+use crate::params::{SoiError, SoiParams};
+
+/// A derived summary of an SOI configuration.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// The validated parameters.
+    pub params: SoiParams,
+    /// Derived: output bins per segment.
+    pub m: usize,
+    /// Derived: oversampled per-segment length.
+    pub m_prime: usize,
+    /// Derived: total segments.
+    pub l: usize,
+    /// Window tap storage per rank, bytes (`n_µ·B·L` complex).
+    pub tap_bytes: usize,
+    /// Convolution output per rank, bytes.
+    pub conv_out_bytes: usize,
+    /// Ghost exchange per rank, bytes.
+    pub ghost_bytes: usize,
+    /// All-to-all volume per rank, bytes (`µ·N/P` complex).
+    pub alltoall_bytes: usize,
+    /// Convolution flops per rank.
+    pub conv_flops: f64,
+    /// Local FFT flops per rank (block DFTs + recoveries).
+    pub fft_flops: f64,
+    /// The Gaussian-design stopband exponent `π(B−d_µ)(1−ρ)(µ−1)/2`
+    /// (error ≈ e^−this; the prolate taper roughly doubles it).
+    pub accuracy_exponent: f64,
+}
+
+impl PlanReport {
+    /// Builds the report, or explains why the parameters are invalid
+    /// (with a suggested near-by valid configuration when one exists).
+    pub fn new(params: SoiParams) -> Result<Self, (SoiError, Option<SoiParams>)> {
+        if let Err(e) = params.validate() {
+            let suggestion = SoiParams::suggest(params.n, params.procs);
+            return Err((e, suggestion));
+        }
+        let l = params.total_segments();
+        let m = params.m();
+        let m_prime = params.m_prime();
+        let elem = std::mem::size_of::<soifft_num::c64>();
+        let blocks = params.blocks_per_rank();
+        let seg_fft = blocks as f64 * soifft_fft::fft_flops(l);
+        let recovery =
+            params.segments_per_proc as f64 * soifft_fft::fft_flops(m_prime);
+        // Same constant as the window design (kept in sync by a test).
+        let rho = 0.25;
+        let exponent = std::f64::consts::PI
+            * (params.conv_width - params.mu.den()) as f64
+            * (1.0 - rho)
+            * (params.mu.as_f64() - 1.0)
+            / 2.0;
+        Ok(PlanReport {
+            m,
+            m_prime,
+            l,
+            tap_bytes: params.mu.num() * params.conv_width * l * elem,
+            conv_out_bytes: blocks * l * elem,
+            ghost_bytes: params.ghost_len() * elem,
+            alltoall_bytes: params.segments_per_proc * blocks * params.procs * elem,
+            conv_flops: params.conv_flops() / params.procs as f64,
+            fft_flops: seg_fft + recovery,
+            accuracy_exponent: exponent,
+            params,
+        })
+    }
+
+    /// Estimated relative error of the default Gaussian design,
+    /// `e^{−accuracy_exponent}`.
+    pub fn estimated_error(&self) -> f64 {
+        (-self.accuracy_exponent).exp()
+    }
+
+    /// The convolution-to-FFT flop ratio (the paper's ~5× at B=72, µ=8/7
+    /// on 2²⁷-point nodes).
+    pub fn conv_to_fft_ratio(&self) -> f64 {
+        self.conv_flops / self.fft_flops
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = &self.params;
+        writeln!(f, "SOI plan: N = {}, P = {}, S = {}, mu = {}, B = {}",
+            p.n, p.procs, p.segments_per_proc, p.mu, p.conv_width)?;
+        writeln!(f, "  segments L = {}, M = {}, M' = {}", self.l, self.m, self.m_prime)?;
+        writeln!(
+            f,
+            "  per-rank memory: taps {} KB, conv output {} KB",
+            self.tap_bytes / 1024,
+            self.conv_out_bytes / 1024
+        )?;
+        writeln!(
+            f,
+            "  per-rank comms: ghost {} KB, all-to-all {} KB",
+            self.ghost_bytes / 1024,
+            self.alltoall_bytes / 1024
+        )?;
+        writeln!(
+            f,
+            "  per-rank flops: conv {:.2e}, FFT {:.2e} (ratio {:.1})",
+            self.conv_flops,
+            self.fft_flops,
+            self.conv_to_fft_ratio()
+        )?;
+        writeln!(
+            f,
+            "  estimated rel. error (Gaussian window): {:.1e} (prolate: ~{:.1e})",
+            self.estimated_error(),
+            (-2.0 * self.accuracy_exponent).exp()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Rational;
+    use crate::window::{Window, WindowKind};
+    use crate::accuracy::alias_bound;
+
+    fn params() -> SoiParams {
+        SoiParams {
+            n: 1 << 12,
+            procs: 4,
+            segments_per_proc: 2,
+            mu: Rational::new(2, 1),
+            conv_width: 16,
+        }
+    }
+
+    #[test]
+    fn report_quantities_are_consistent() {
+        let r = PlanReport::new(params()).unwrap();
+        assert_eq!(r.l, 8);
+        assert_eq!(r.m * r.l, 1 << 12);
+        assert_eq!(r.m_prime, 2 * r.m);
+        assert_eq!(r.tap_bytes, 2 * 16 * 8 * 16);
+        assert_eq!(r.ghost_bytes, (16 - 1) * 8 * 16);
+        // All-to-all per rank = µ·N/P elements.
+        assert_eq!(r.alltoall_bytes, 2 * (1 << 12) / 4 * 16);
+        assert!(r.conv_flops > 0.0 && r.fft_flops > 0.0);
+    }
+
+    #[test]
+    fn estimated_error_tracks_the_measured_alias_bound() {
+        // The report's exponent must agree with the real window to within
+        // an order of magnitude or two (it is a design-time estimate).
+        let p = params();
+        let r = PlanReport::new(p).unwrap();
+        let w = Window::new(WindowKind::GaussianSinc, &p);
+        let bound = alias_bound(&w, &p, 9, 2);
+        let est = r.estimated_error();
+        assert!(
+            bound < est * 100.0 && bound > est / 1000.0,
+            "bound {bound:.2e} vs estimate {est:.2e}"
+        );
+    }
+
+    #[test]
+    fn invalid_params_come_back_with_a_suggestion() {
+        let mut p = params();
+        p.n += 1; // breaks divisibility
+        let (err, suggestion) = PlanReport::new(p).unwrap_err();
+        assert!(matches!(err, SoiError::SegmentsDontDivide { .. }));
+        // 4097 is prime-ish (17·241): suggestion may or may not exist; if
+        // it does, it must validate.
+        if let Some(s) = suggestion {
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn display_renders_the_key_lines() {
+        let r = PlanReport::new(params()).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("SOI plan"));
+        assert!(text.contains("per-rank memory"));
+        assert!(text.contains("estimated rel. error"));
+    }
+
+    #[test]
+    fn paper_design_point_ratio() {
+        // B = 72, µ = 8/7 on big nodes: convolution ≈ 5× the local FFT
+        // flops (§5.3: "about 5× floating point operations compared to the
+        // local fft").
+        let p = SoiParams {
+            n: 7 * (1 << 24),
+            procs: 8,
+            segments_per_proc: 1,
+            mu: Rational::new(8, 7),
+            conv_width: 72,
+        };
+        p.validate().unwrap();
+        let r = PlanReport::new(p).unwrap();
+        let ratio = r.conv_to_fft_ratio();
+        assert!(ratio > 3.0 && ratio < 8.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,463 @@
+//! Distributed Cooley–Tukey 1D FFT — the conventional baseline (Fig 1).
+//!
+//! This is the stand-in for MKL's cluster FFT: the classic transpose
+//! algorithm with **three** all-to-all exchanges, against which SOI's
+//! single exchange is compared (Figs 3, 8, 9). For `N = n1·n2`, with the
+//! data viewed as an `n1 × n2` row-major matrix distributed by row blocks:
+//!
+//! ```text
+//! y[c + d·n1] = Σ_b W_{n2}^{bd} · W_N^{bc} · (Σ_a W_{n1}^{ac} x[a·n2 + b])
+//! ```
+//!
+//! 1. all-to-all transpose → each rank owns `n2/P` columns as rows,
+//! 2. local `n1`-point FFTs + twiddle `W_N^{bc}` (fused, dynamic-block
+//!    tables),
+//! 3. all-to-all transpose back → each rank owns `n1/P` result rows,
+//! 4. local `n2`-point FFTs,
+//! 5. all-to-all transpose → natural-order output distribution.
+//!
+//! Constraints: `P | n1` and `P | n2`. Input and output are block
+//! distributed in natural order (rank `r` holds elements
+//! `[r·N/P, (r+1)·N/P)`), the same convention as
+//! `soifft_core::SoiFft` (the ct crate does not depend on core, so this
+//! is a textual reference).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use soifft_cluster::Comm;
+use soifft_fft::batch;
+use soifft_fft::twiddle::DynamicBlock;
+use soifft_fft::Plan;
+use soifft_num::factor::balanced_split;
+use soifft_num::c64;
+
+/// A planned distributed Cooley–Tukey transform.
+#[derive(Debug)]
+pub struct DistributedCtFft {
+    n: usize,
+    procs: usize,
+    n1: usize,
+    n2: usize,
+    plan1: Plan,
+    plan2: Plan,
+    tw: DynamicBlock,
+}
+
+/// Planning errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtError {
+    /// No factorization `n = n1·n2` with `P | n1` and `P | n2` exists.
+    NoDivisibleSplit {
+        /// Transform length.
+        n: usize,
+        /// Rank count.
+        procs: usize,
+    },
+}
+
+impl std::fmt::Display for CtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtError::NoDivisibleSplit { n, procs } => write!(
+                f,
+                "N={n} admits no n1·n2 split with both factors divisible by P={procs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CtError {}
+
+impl DistributedCtFft {
+    /// Plans a transform of length `n` over `procs` ranks, choosing the
+    /// most balanced `n1 × n2` split with `P | n1` and `P | n2`.
+    pub fn new(n: usize, procs: usize) -> Result<Self, CtError> {
+        // Factor out P² and balance the rest.
+        let p2 = procs * procs;
+        if n % p2 != 0 {
+            return Err(CtError::NoDivisibleSplit { n, procs });
+        }
+        let (a, b) = balanced_split(n / p2);
+        Ok(Self::with_split(n, procs, a * procs, b * procs))
+    }
+
+    /// Plans with an explicit split (`n1·n2 == n`, `P | n1`, `P | n2`).
+    pub fn with_split(n: usize, procs: usize, n1: usize, n2: usize) -> Self {
+        assert_eq!(n1 * n2, n, "n1·n2 must equal n");
+        assert_eq!(n1 % procs, 0, "P must divide n1");
+        assert_eq!(n2 % procs, 0, "P must divide n2");
+        DistributedCtFft {
+            n,
+            procs,
+            n1,
+            n2,
+            plan1: Plan::new(n1),
+            plan2: Plan::new(n2),
+            tw: DynamicBlock::new(n),
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `(n1, n2)` decomposition.
+    pub fn split(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// Computes this rank's slice of `y = F_N x` (natural order in and
+    /// out; three all-to-alls, matching Fig 1).
+    pub fn forward(&self, comm: &mut Comm, local_input: &[c64]) -> Vec<c64> {
+        assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
+        assert_eq!(local_input.len(), self.n / self.procs, "wrong local length");
+        let (n1, n2, p) = (self.n1, self.n2, self.procs);
+
+        // Step 1: all-to-all transpose (n1×n2 → n2×n1). Local rows: a ∈
+        // [r·n1/P, ...); after: rows b ∈ [r·n2/P, ...), length n1.
+        let mut cols = distributed_transpose(comm, local_input, n1, n2);
+
+        // Step 2+3: local n1-point FFTs over rows, fused twiddle W_N^{bc}
+        // (exponent stepped incrementally — no per-element modulo).
+        let b0 = comm.rank() * (n2 / p);
+        let t = comm.stats_mut().phase_start();
+        let mut scratch = self.plan1.make_scratch();
+        for (i, row) in cols.chunks_exact_mut(n1).enumerate() {
+            self.plan1.forward_with_scratch(row, &mut scratch);
+            let step = (b0 + i) % self.n;
+            let mut tt = 0usize;
+            for v in row.iter_mut() {
+                *v *= self.tw.get(tt);
+                tt += step;
+                if tt >= self.n {
+                    tt -= self.n;
+                }
+            }
+        }
+        comm.stats_mut().phase_end("local-fft", t);
+
+        // Step 4: all-to-all transpose back (n2×n1 → n1×n2): rank owns
+        // rows c ∈ [r·n1/P, ...), length n2.
+        let mut rows = distributed_transpose(comm, &cols, n2, n1);
+        drop(cols);
+
+        // Step 5: local n2-point FFTs over rows.
+        let t = comm.stats_mut().phase_start();
+        batch::forward_rows(&self.plan2, &mut rows);
+        comm.stats_mut().phase_end("local-fft", t);
+
+        // Step 6: final all-to-all transpose (n1×n2 → n2×n1): output rows
+        // are d-major, i.e. natural order y[d·n1 + c].
+        distributed_transpose(comm, &rows, n1, n2)
+    }
+}
+
+/// All-to-all transpose of a `rows × cols` row-major matrix distributed by
+/// row blocks: each rank holds `rows/P` consecutive rows in; returns
+/// `cols/P` consecutive rows of the transposed (`cols × rows`) matrix.
+///
+/// Requires `P | rows` and `P | cols`.
+pub fn distributed_transpose(
+    comm: &mut Comm,
+    local: &[c64],
+    rows: usize,
+    cols: usize,
+) -> Vec<c64> {
+    let p = comm.size();
+    assert_eq!(rows % p, 0, "P must divide rows");
+    assert_eq!(cols % p, 0, "P must divide cols");
+    let my_rows = rows / p;
+    let out_rows = cols / p;
+    assert_eq!(local.len(), my_rows * cols, "local shape mismatch");
+
+    // Pack: to rank q goes my block of columns [q·out_rows, (q+1)·out_rows),
+    // already transposed so the receiver can place it contiguously:
+    // buffer[(col_local)·my_rows + row_local].
+    let outgoing: Vec<Vec<c64>> = (0..p)
+        .map(|q| {
+            let c0 = q * out_rows;
+            let mut buf = vec![c64::ZERO; out_rows * my_rows];
+            for (rl, row) in local.chunks_exact(cols).enumerate() {
+                for cl in 0..out_rows {
+                    buf[cl * my_rows + rl] = row[c0 + cl];
+                }
+            }
+            buf
+        })
+        .collect();
+
+    let incoming = comm.all_to_all(outgoing);
+
+    // Unpack: from rank q come my out_rows × (rows/P) tiles covering
+    // original rows [q·my_rows, ...), i.e. transposed columns.
+    let mut out = vec![c64::ZERO; out_rows * rows];
+    for (q, part) in incoming.iter().enumerate() {
+        let r0 = q * my_rows;
+        for cl in 0..out_rows {
+            let src = &part[cl * my_rows..(cl + 1) * my_rows];
+            out[cl * rows + r0..cl * rows + r0 + my_rows].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// A distributed 2D FFT (`rows × cols`, row-distributed), included to
+/// substantiate the paper's introduction: "in-order 1D FFT is distinctly
+/// more challenging than the 2D or 3D cases". Each rank starts with
+/// complete rows, so the row-dimension FFTs are entirely local; ONE
+/// all-to-all transpose hands out complete columns for the second pass —
+/// versus the three exchanges of the conventional distributed 1D transform
+/// above.
+///
+/// The output is left in *transposed* layout (rank `r` holds columns
+/// `[r·cols/P, (r+1)·cols/P)` as rows), the convention real pencil codes
+/// use to avoid paying a second transpose.
+#[derive(Debug)]
+pub struct Distributed2dFft {
+    rows: usize,
+    cols: usize,
+    procs: usize,
+    row_plan: Plan,
+    col_plan: Plan,
+}
+
+impl Distributed2dFft {
+    /// Plans a `rows × cols` transform over `procs` ranks
+    /// (`P | rows`, `P | cols`).
+    pub fn new(rows: usize, cols: usize, procs: usize) -> Self {
+        assert_eq!(rows % procs, 0, "P must divide rows");
+        assert_eq!(cols % procs, 0, "P must divide cols");
+        Distributed2dFft {
+            rows,
+            cols,
+            procs,
+            row_plan: Plan::new(cols),
+            col_plan: Plan::new(rows),
+        }
+    }
+
+    /// The shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Forward transform: input is this rank's `rows/P` contiguous rows;
+    /// output is its `cols/P` transposed result rows (length `rows` each).
+    pub fn forward(&self, comm: &mut Comm, local_rows: &[c64]) -> Vec<c64> {
+        assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
+        assert_eq!(
+            local_rows.len(),
+            self.rows / self.procs * self.cols,
+            "wrong local shape"
+        );
+        // Row FFTs: fully local (each rank owns complete rows).
+        let mut data = local_rows.to_vec();
+        let t = comm.stats_mut().phase_start();
+        batch::forward_rows(&self.row_plan, &mut data);
+        comm.stats_mut().phase_end("local-fft", t);
+
+        // ONE all-to-all transpose, then column FFTs (now local rows).
+        let mut cols_local = distributed_transpose(comm, &data, self.rows, self.cols);
+        let t = comm.stats_mut().phase_start();
+        batch::forward_rows(&self.col_plan, &mut cols_local);
+        comm.stats_mut().phase_end("local-fft", t);
+        cols_local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soifft_cluster::Cluster;
+    use soifft_num::error::rel_linf;
+
+    fn signal(n: usize) -> Vec<c64> {
+        (0..n)
+            .map(|i| c64::new((0.13 * i as f64).sin(), (0.29 * i as f64).cos() - 0.1))
+            .collect()
+    }
+
+    fn scatter(x: &[c64], p: usize) -> Vec<Vec<c64>> {
+        let per = x.len() / p;
+        (0..p).map(|r| x[r * per..(r + 1) * per].to_vec()).collect()
+    }
+
+    #[test]
+    fn distributed_transpose_matches_local() {
+        for &(rows, cols, p) in &[(8, 12, 4), (12, 8, 4), (6, 6, 3), (4, 4, 1), (16, 4, 2)] {
+            let m = signal(rows * cols);
+            let parts = scatter(&m, p);
+            let out = Cluster::run(p, |comm| {
+                distributed_transpose(comm, &parts[comm.rank()], rows, cols)
+            });
+            let gathered: Vec<c64> = out.into_iter().flatten().collect();
+            let mut expect = vec![c64::ZERO; rows * cols];
+            soifft_num::transpose::transpose(&m, &mut expect, rows, cols);
+            assert_eq!(gathered, expect, "{rows}x{cols} P={p}");
+        }
+    }
+
+    #[test]
+    fn transform_matches_reference_fft() {
+        for p in [1, 2, 4] {
+            let n = 1 << 10;
+            let x = signal(n);
+            let parts = scatter(&x, p);
+            let fft = DistributedCtFft::new(n, p).unwrap();
+            let out = Cluster::run(p, |comm| fft.forward(comm, &parts[comm.rank()]));
+            let got: Vec<c64> = out.into_iter().flatten().collect();
+            let plan = Plan::new(n);
+            let mut want = x.clone();
+            plan.forward(&mut want);
+            let err = rel_linf(&got, &want);
+            assert!(err < 1e-10, "P={p}: err={err:.3e}");
+        }
+    }
+
+    #[test]
+    fn nonpow2_lengths_work() {
+        let p = 3;
+        let n = 9 * 36; // n1=18, n2=18 both divisible by 3
+        let x = signal(n);
+        let parts = scatter(&x, p);
+        let fft = DistributedCtFft::new(n, p).unwrap();
+        let out = Cluster::run(p, |comm| fft.forward(comm, &parts[comm.rank()]));
+        let got: Vec<c64> = out.into_iter().flatten().collect();
+        let plan = Plan::new(n);
+        let mut want = x.clone();
+        plan.forward(&mut want);
+        assert!(rel_linf(&got, &want) < 1e-10);
+    }
+
+    #[test]
+    fn exactly_three_all_to_alls() {
+        let p = 4;
+        let n = 1 << 10;
+        let x = signal(n);
+        let parts = scatter(&x, p);
+        let fft = DistributedCtFft::new(n, p).unwrap();
+        let stats = Cluster::run(p, |comm| {
+            fft.forward(comm, &parts[comm.rank()]);
+            comm.stats().clone()
+        });
+        for s in &stats {
+            assert_eq!(s.count_of("all-to-all"), 3, "Fig 1: CT needs 3 exchanges");
+            assert_eq!(s.count_of("ghost"), 0);
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_local_fft() {
+        let n = 1 << 8;
+        let x = signal(n);
+        let fft = DistributedCtFft::new(n, 1).unwrap();
+        let out = Cluster::run(1, |comm| fft.forward(comm, &x));
+        let mut want = x.clone();
+        Plan::new(n).forward(&mut want);
+        assert!(rel_linf(&out[0], &want) < 1e-11);
+    }
+
+    #[test]
+    fn unbalanced_explicit_split_still_correct() {
+        let p = 2;
+        let n = 4 * 64; // n1 = 4, n2 = 64 — maximally skewed
+        let x = signal(n);
+        let parts = scatter(&x, p);
+        let fft = DistributedCtFft::with_split(n, p, 4, 64);
+        let out = Cluster::run(p, |comm| fft.forward(comm, &parts[comm.rank()]));
+        let got: Vec<c64> = out.into_iter().flatten().collect();
+        let mut want = x.clone();
+        Plan::new(n).forward(&mut want);
+        assert!(rel_linf(&got, &want) < 1e-11);
+    }
+
+    #[test]
+    fn local_fft_phase_recorded_twice() {
+        // The two local FFT stages both land in the ledger.
+        let p = 2;
+        let n = 1 << 8;
+        let x = signal(n);
+        let parts = scatter(&x, p);
+        let fft = DistributedCtFft::new(n, p).unwrap();
+        let stats = Cluster::run(p, |comm| {
+            fft.forward(comm, &parts[comm.rank()]);
+            comm.stats().clone()
+        });
+        for s in &stats {
+            assert_eq!(s.count_of("local-fft"), 2);
+        }
+    }
+
+    #[test]
+    fn total_bytes_equal_three_transposes() {
+        let p = 4;
+        let n = 1 << 10;
+        let x = signal(n);
+        let parts = scatter(&x, p);
+        let fft = DistributedCtFft::new(n, p).unwrap();
+        let stats = Cluster::run(p, |comm| {
+            fft.forward(comm, &parts[comm.rank()]);
+            comm.stats().total_bytes_sent()
+        });
+        // Each transpose ships this rank's whole slice (including the
+        // self-block, which the accounting counts as sent).
+        let per_rank_bytes = (n / p * 16) as u64;
+        for &b in &stats {
+            assert_eq!(b, 3 * per_rank_bytes);
+        }
+    }
+
+    #[test]
+    fn distributed_2d_matches_local_plan2d_and_uses_one_alltoall() {
+        let (rows, cols, p) = (16usize, 24usize, 4usize);
+        let x = signal(rows * cols);
+        let per = rows / p * cols;
+        let parts: Vec<Vec<c64>> =
+            (0..p).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+        let fft = Distributed2dFft::new(rows, cols, p);
+        let runs = Cluster::run(p, |comm| {
+            let y = fft.forward(comm, &parts[comm.rank()]);
+            (y, comm.stats().count_of("all-to-all"))
+        });
+        // The paper's intro claim, measured: 1 all-to-all (vs the 1D
+        // transform's 3 above).
+        assert!(runs.iter().all(|(_, a2a)| *a2a == 1));
+
+        // Assemble the (transposed) distributed result and compare with
+        // the node-local 2D plan.
+        let mut want = x.clone();
+        soifft_fft::Plan2d::new(rows, cols).forward(&mut want);
+        let mut want_t = vec![c64::ZERO; rows * cols];
+        soifft_num::transpose::transpose(&want, &mut want_t, rows, cols);
+        let got: Vec<c64> = runs.iter().flat_map(|(y, _)| y.iter().copied()).collect();
+        assert!(rel_linf(&got, &want_t) < 1e-10);
+    }
+
+    #[test]
+    fn planning_errors() {
+        assert!(DistributedCtFft::new(1 << 10, 3).is_err()); // 9 ∤ 1024
+        let e = DistributedCtFft::new(100, 8).unwrap_err();
+        assert!(e.to_string().contains("P=8"));
+    }
+
+    #[test]
+    fn explicit_split_metadata() {
+        let fft = DistributedCtFft::with_split(1 << 10, 4, 32, 32);
+        assert_eq!(fft.len(), 1 << 10);
+        assert_eq!(fft.split(), (32, 32));
+        assert!(!fft.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "P must divide n1")]
+    fn bad_split_panics() {
+        DistributedCtFft::with_split(12, 4, 3, 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Batched transforms: many independent same-length FFTs.
+//!
+//! The SOI convolution stage ends with `M'` independent `L`-point FFTs per
+//! node (`I_{M'} ⊗ F_L` realized as `I_P ⊗ (I_{M'/P} ⊗ F_L)`, paper §2), and
+//! the 6-step algorithm runs row batches at both of its FFT stages. Batches
+//! are embarrassingly parallel; the paper assigns them to OpenMP threads,
+//! here they go to a [`soifft_par::Pool`] with one scratch buffer per
+//! worker piece (no allocation inside the loop).
+
+use soifft_num::c64;
+use soifft_par::Pool;
+
+use crate::plan::Plan;
+
+/// Forward-transforms every contiguous `plan.len()`-row of `data` in place,
+/// serially. `data.len()` must be a multiple of the plan length.
+pub fn forward_rows(plan: &Plan, data: &mut [c64]) {
+    let n = plan.len();
+    assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
+    let mut scratch = plan.make_scratch();
+    for row in data.chunks_exact_mut(n) {
+        plan.forward_with_scratch(row, &mut scratch);
+    }
+}
+
+/// Inverse-transforms every row in place (normalized), serially.
+pub fn inverse_rows(plan: &Plan, data: &mut [c64]) {
+    let n = plan.len();
+    assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
+    let mut scratch = plan.make_scratch();
+    for row in data.chunks_exact_mut(n) {
+        plan.inverse_with_scratch(row, &mut scratch);
+    }
+}
+
+/// Forward-transforms every row in place, with rows statically partitioned
+/// over the pool's threads. Each partition allocates one scratch buffer.
+pub fn forward_rows_parallel(plan: &Plan, pool: &Pool, data: &mut [c64]) {
+    let n = plan.len();
+    assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
+    pool.par_chunks_mut(data, n, |_, _, piece| {
+        let mut scratch = plan.make_scratch();
+        for row in piece.chunks_exact_mut(n) {
+            plan.forward_with_scratch(row, &mut scratch);
+        }
+    });
+}
+
+/// Forward-transforms each row and then multiplies element `(r, c)` by
+/// `scale(r, c)` in the same pass over the row — the loop-fusion pattern of
+/// Fig 4(b) (step 2 + step 3 without an intermediate memory sweep).
+pub fn forward_rows_scaled<F>(plan: &Plan, data: &mut [c64], scale: F)
+where
+    F: Fn(usize, usize) -> c64,
+{
+    let n = plan.len();
+    assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
+    let mut scratch = plan.make_scratch();
+    for (r, row) in data.chunks_exact_mut(n).enumerate() {
+        plan.forward_with_scratch(row, &mut scratch);
+        for (c, v) in row.iter_mut().enumerate() {
+            *v *= scale(r, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+    use soifft_num::error::rel_linf;
+
+    fn rows_signal(rows: usize, n: usize) -> Vec<c64> {
+        (0..rows * n)
+            .map(|i| c64::new((0.17 * i as f64).sin(), (0.05 * i as f64).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn rows_match_individual_transforms() {
+        let (rows, n) = (7, 24);
+        let plan = Plan::new(n);
+        let src = rows_signal(rows, n);
+        let mut batch = src.clone();
+        forward_rows(&plan, &mut batch);
+        for r in 0..rows {
+            let want = dft(&src[r * n..(r + 1) * n]);
+            assert!(rel_linf(&batch[r * n..(r + 1) * n], &want) < 1e-11, "row {r}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_all_thread_counts() {
+        let (rows, n) = (16, 32);
+        let plan = Plan::new(n);
+        let src = rows_signal(rows, n);
+        let mut serial = src.clone();
+        forward_rows(&plan, &mut serial);
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut par = src.clone();
+            forward_rows_parallel(&plan, &pool, &mut par);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn inverse_rows_round_trip() {
+        let (rows, n) = (5, 20);
+        let plan = Plan::new(n);
+        let src = rows_signal(rows, n);
+        let mut data = src.clone();
+        forward_rows(&plan, &mut data);
+        inverse_rows(&plan, &mut data);
+        assert!(rel_linf(&data, &src) < 1e-11);
+    }
+
+    #[test]
+    fn scaled_rows_fuse_twiddle_multiplication() {
+        let (rows, n) = (4, 16);
+        let plan = Plan::new(n);
+        let src = rows_signal(rows, n);
+        // Fused path.
+        let mut fused = src.clone();
+        forward_rows_scaled(&plan, &mut fused, |r, c| {
+            c64::root_of_unity(rows * n, (r * c) as i64)
+        });
+        // Separate passes.
+        let mut separate = src.clone();
+        forward_rows(&plan, &mut separate);
+        for r in 0..rows {
+            for c in 0..n {
+                separate[r * n + c] *= c64::root_of_unity(rows * n, (r * c) as i64);
+            }
+        }
+        assert!(rel_linf(&fused, &separate) < 1e-13);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let plan = Plan::new(8);
+        let mut nothing: Vec<c64> = vec![];
+        forward_rows(&plan, &mut nothing);
+        forward_rows_parallel(&plan, &Pool::new(4), &mut nothing);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn ragged_batch_panics() {
+        let plan = Plan::new(8);
+        let mut data = vec![c64::ZERO; 12];
+        forward_rows(&plan, &mut data);
+    }
+}

@@ -1,0 +1,112 @@
+//! Plan caching.
+//!
+//! Plans are expensive to build (O(n) trig for the twiddle tables;
+//! Bluestein also FFTs its kernel) and cheap to share (`Plan` execution is
+//! `&self`). Applications that transform many sizes — the SOI pipeline
+//! builds `F_L` and `F_{M'}` plans, plus Bluestein's inner plans — go
+//! through a [`PlanCache`] so repeated sizes are planned once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::plan::Plan;
+
+/// A thread-safe cache of [`Plan`]s keyed by transform length.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<usize, Arc<Plan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the plan for `n`, building it on first use.
+    pub fn get(&self, n: usize) -> Arc<Plan> {
+        // Fast path: already present.
+        if let Some(p) = self.plans.lock().get(&n) {
+            return Arc::clone(p);
+        }
+        // Build outside the lock (planning can take milliseconds), then
+        // race benignly: first writer wins.
+        let built = Arc::new(Plan::new(n));
+        let mut map = self.plans.lock();
+        Arc::clone(map.entry(n).or_insert(built))
+    }
+
+    /// Number of distinct sizes cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.lock().is_empty()
+    }
+
+    /// Drops all cached plans (they stay alive while callers hold `Arc`s).
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soifft_num::c64;
+
+    #[test]
+    fn caches_and_reuses() {
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get(256);
+        let b = cache.get(256);
+        assert!(Arc::ptr_eq(&a, &b), "same size must share one plan");
+        assert_eq!(cache.len(), 1);
+        let c = cache.get(360);
+        assert_eq!(c.len(), 360);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_plans_work() {
+        let cache = PlanCache::new();
+        let plan = cache.get(64);
+        let mut d = vec![c64::ZERO; 64];
+        d[0] = c64::ONE;
+        plan.forward(&mut d);
+        assert!(d.iter().all(|v| (*v - c64::ONE).abs() < 1e-12));
+    }
+
+    #[test]
+    fn clear_keeps_outstanding_arcs_valid() {
+        let cache = PlanCache::new();
+        let p = cache.get(128);
+        cache.clear();
+        assert!(cache.is_empty());
+        let mut d = vec![c64::ONE; 128];
+        p.forward(&mut d); // still usable
+        assert!((d[0].re - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_access_yields_consistent_plans() {
+        let cache = Arc::new(PlanCache::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                let p = c.get(512);
+                p.len()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 512);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

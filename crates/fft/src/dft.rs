@@ -1,0 +1,141 @@
+//! Direct O(n²) discrete Fourier transform and Goertzel single-bin
+//! evaluation.
+//!
+//! These are the *reference* implementations: every fast path in this crate
+//! (and the SOI pipeline above it) is tested against them. They are also
+//! used at plan-build time to evaluate window spectra exactly.
+
+use soifft_num::c64;
+
+/// Computes the forward DFT `y_k = Σ_n x_n e^{−2πi nk/n}` directly.
+///
+/// O(n²); intended for tests and tiny transforms only.
+pub fn dft(input: &[c64]) -> Vec<c64> {
+    let n = input.len();
+    let mut out = vec![c64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = c64::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            acc += x * c64::root_of_unity(n, (j as i64) * (k as i64));
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Computes the normalized inverse DFT `x_n = (1/n) Σ_k y_k e^{+2πi nk/n}`
+/// directly. O(n²).
+pub fn idft(input: &[c64]) -> Vec<c64> {
+    let n = input.len();
+    let mut out = vec![c64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = c64::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            acc += x * c64::root_of_unity(n, -((j as i64) * (k as i64)));
+        }
+        *o = acc / n as f64;
+    }
+    out
+}
+
+/// Evaluates a single DFT bin `y_k` of `input` by the Goertzel recurrence —
+/// O(n) per bin with one trig evaluation, numerically a second opinion
+/// against the table-driven fast paths.
+pub fn goertzel(input: &[c64], k: usize) -> c64 {
+    let n = input.len();
+    assert!(k < n, "bin out of range");
+    let theta = 2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+    let coeff = 2.0 * theta.cos();
+    // Run the real recurrence on both components at once by treating the
+    // complex samples directly: s_j = x_j + coeff·s_{j-1} − s_{j-2}.
+    let mut s1 = c64::ZERO;
+    let mut s2 = c64::ZERO;
+    for &x in input {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    // The recurrence yields s1 − e^{−iθ}s2 = Σ_j x_j e^{+iθ(n−1−j)};
+    // multiplying by e^{−iθ(n−1)} converts to the forward-sign bin
+    // Σ_j x_j e^{−iθj}.
+    let w = c64::cis(theta);
+    (s1 - w.conj() * s2) * c64::cis(-theta * (n as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soifft_num::error::rel_linf;
+
+    fn impulse(n: usize, at: usize) -> Vec<c64> {
+        let mut v = vec![c64::ZERO; n];
+        v[at] = c64::ONE;
+        v
+    }
+
+    #[test]
+    fn dft_of_impulse_is_complex_exponential() {
+        let n = 16;
+        let y = dft(&impulse(n, 1));
+        for (k, &v) in y.iter().enumerate() {
+            let want = c64::root_of_unity(n, k as i64);
+            assert!((v - want).abs() < 1e-12, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let n = 8;
+        let y = dft(&vec![c64::ONE; n]);
+        assert!((y[0] - c64::real(n as f64)).abs() < 1e-12);
+        for &v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_linearity() {
+        let a: Vec<c64> = (0..12).map(|i| c64::new(i as f64, 1.0)).collect();
+        let b: Vec<c64> = (0..12).map(|i| c64::new(0.5, -(i as f64))).collect();
+        let sum: Vec<c64> = a.iter().zip(&b).map(|(&x, &y)| x + y * 2.0).collect();
+        let lhs = dft(&sum);
+        let ya = dft(&a);
+        let yb = dft(&b);
+        let rhs: Vec<c64> = ya.iter().zip(&yb).map(|(&x, &y)| x + y * 2.0).collect();
+        assert!(rel_linf(&lhs, &rhs) < 1e-13);
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x: Vec<c64> = (0..20)
+            .map(|i| c64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let back = idft(&dft(&x));
+        assert!(rel_linf(&back, &x) < 1e-12);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<c64> = (0..31).map(|i| c64::new(i as f64 * 0.1, -0.3)).collect();
+        let y = dft(&x);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((ex - ey).abs() / ex < 1e-12);
+    }
+
+    #[test]
+    fn goertzel_matches_dft_bins() {
+        let x: Vec<c64> = (0..25)
+            .map(|i| c64::new((0.3 * i as f64).cos(), (0.11 * i as f64).sin()))
+            .collect();
+        let y = dft(&x);
+        for k in [0, 1, 7, 12, 24] {
+            let g = goertzel(&x, k);
+            assert!(
+                (g - y[k]).abs() < 1e-9 * (1.0 + y[k].abs()),
+                "bin {k}: {g} vs {}",
+                y[k]
+            );
+        }
+    }
+}

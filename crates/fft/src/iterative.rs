@@ -1,0 +1,167 @@
+//! In-place iterative power-of-two FFT (bit-reversal + breadth-first
+//! stages).
+//!
+//! The recursive [`crate::Plan`] needs an `n`-element scratch buffer; this
+//! engine needs none — it permutes in place and then runs the classic
+//! log₂n radix-2 stage sweep. The trade: breadth-first stages make one full
+//! pass over the data per level (poorer locality than the depth-first
+//! recursion once `n` outgrows cache), so this engine is the right tool
+//! for *small* transforms in memory-tight inner loops — e.g. the `F_L`
+//! block transforms, whose working set is a single cache-resident block —
+//! while [`crate::Plan`]/[`crate::SixStepFft`] own the large sizes. The
+//! `local_fft` bench compares them across the size range.
+
+use soifft_num::c64;
+
+use crate::twiddle::Twiddles;
+
+/// An in-place, scratch-free FFT plan for power-of-two lengths.
+#[derive(Clone, Debug)]
+pub struct IterativeFft {
+    n: usize,
+    /// Bit-reversal permutation table.
+    rev: Vec<u32>,
+    tw: Twiddles,
+}
+
+impl IterativeFft {
+    /// Builds a plan for length `n` (a power of two, ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "IterativeFft requires a power of two");
+        assert!(n <= u32::MAX as usize, "length fits the table type");
+        let log2n = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 1..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (log2n.max(1) - 1));
+        }
+        IterativeFft { n, rev, tw: Twiddles::new(n.max(2)) }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform, fully in place, no scratch.
+    pub fn forward(&self, data: &mut [c64]) {
+        assert_eq!(data.len(), self.n, "data length != plan length");
+        if self.n < 2 {
+            return;
+        }
+        // Bit-reversal permutation (swap once per pair).
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Breadth-first radix-2 stages.
+        let mut len = 2usize;
+        while len <= self.n {
+            let half = len / 2;
+            let tw_stride = self.n / len;
+            for block in data.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                for k in 0..half {
+                    let w = self.tw.get(k * tw_stride);
+                    let t = w * hi[k];
+                    let a = lo[k];
+                    lo[k] = a + t;
+                    hi[k] = a - t;
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// Inverse transform (normalized), in place, no scratch.
+    pub fn inverse(&self, data: &mut [c64]) {
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+        self.forward(data);
+        let s = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.conj() * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+    use crate::plan::Plan;
+    use soifft_num::error::rel_linf;
+
+    fn signal(n: usize) -> Vec<c64> {
+        (0..n)
+            .map(|i| c64::new((0.31 * i as f64).sin(), (0.17 * i as f64).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128, 1024] {
+            let x = signal(n);
+            let mut got = x.clone();
+            IterativeFft::new(n).forward(&mut got);
+            let want = dft(&x);
+            assert!(rel_linf(&got, &want) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_recursive_plan_at_larger_sizes() {
+        for n in [1usize << 12, 1 << 15] {
+            let x = signal(n);
+            let mut a = x.clone();
+            IterativeFft::new(n).forward(&mut a);
+            let mut b = x;
+            Plan::new(n).forward(&mut b);
+            assert!(rel_linf(&a, &b) < 1e-11, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let n = 512;
+        let x = signal(n);
+        let plan = IterativeFft::new(n);
+        let mut d = x.clone();
+        plan.forward(&mut d);
+        plan.inverse(&mut d);
+        assert!(rel_linf(&d, &x) < 1e-12);
+    }
+
+    #[test]
+    fn bit_reversal_table_is_an_involution() {
+        let plan = IterativeFft::new(256);
+        for i in 0..256usize {
+            let j = plan.rev[i] as usize;
+            assert_eq!(plan.rev[j] as usize, i);
+        }
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        let mut one = vec![c64::new(5.0, -2.0)];
+        IterativeFft::new(1).forward(&mut one);
+        assert_eq!(one[0], c64::new(5.0, -2.0));
+        let mut two = vec![c64::ONE, c64::ZERO];
+        IterativeFft::new(2).forward(&mut two);
+        assert!((two[0] - c64::ONE).abs() < 1e-15);
+        assert!((two[1] - c64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        IterativeFft::new(12);
+    }
+}

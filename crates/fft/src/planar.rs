@@ -1,0 +1,221 @@
+//! Planar ("Struct of Arrays") FFT kernels.
+//!
+//! Paper §5.2.4: the Xeon Phi implementation keeps complex data in SoA
+//! layout internally — separate real and imaginary planes — because the
+//! butterflies then vectorize without gather/scatter or cross-lane
+//! shuffles. [`PlanarFft`] is that code path: a power-of-two
+//! decimation-in-time transform whose butterflies operate on `f64` planes,
+//! which LLVM autovectorizes cleanly (each arithmetic line touches one
+//! plane with unit stride). The `layout` bench compares it with the
+//! interleaved [`crate::Plan`] at equal sizes.
+//!
+//! Interface contract matches [`crate::Plan`]: forward is
+//! `y_k = Σ x_n e^{−2πi nk/N}`, inverse normalized by `1/N`.
+
+use soifft_num::{c64, SoaComplex};
+
+/// A power-of-two planar FFT plan (twiddles stored as separate planes
+/// too).
+#[derive(Clone, Debug)]
+pub struct PlanarFft {
+    n: usize,
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+}
+
+impl PlanarFft {
+    /// Builds a plan for `n`-point transforms (`n` a power of two).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "PlanarFft requires a power-of-two length");
+        let mut tw_re = Vec::with_capacity(n / 2 + 1);
+        let mut tw_im = Vec::with_capacity(n / 2 + 1);
+        for j in 0..(n / 2).max(1) {
+            let w = c64::root_of_unity(n, j as i64);
+            tw_re.push(w.re);
+            tw_im.push(w.im);
+        }
+        PlanarFft { n, tw_re, tw_im }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform of the planes `(re, im)` in place, using scratch
+    /// planes of the same length.
+    pub fn forward(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        scratch_re: &mut [f64],
+        scratch_im: &mut [f64],
+    ) {
+        assert_eq!(re.len(), self.n, "re plane length");
+        assert_eq!(im.len(), self.n, "im plane length");
+        assert!(scratch_re.len() >= self.n && scratch_im.len() >= self.n, "scratch");
+        scratch_re[..self.n].copy_from_slice(re);
+        scratch_im[..self.n].copy_from_slice(im);
+        self.rec(
+            &scratch_re[..self.n],
+            &scratch_im[..self.n],
+            0,
+            1,
+            re,
+            im,
+            self.n,
+        );
+    }
+
+    /// Forward transform of an [`SoaComplex`] in place (allocates scratch).
+    pub fn forward_soa(&self, data: &mut SoaComplex) {
+        assert_eq!(data.len(), self.n);
+        let mut sre = vec![0.0; self.n];
+        let mut sim = vec![0.0; self.n];
+        let (re, im) = data.parts_mut();
+        self.forward(re, im, &mut sre, &mut sim);
+    }
+
+    /// Inverse (normalized) transform of the planes in place.
+    pub fn inverse(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        scratch_re: &mut [f64],
+        scratch_im: &mut [f64],
+    ) {
+        // conj → forward → conj, scale: on planes, conj is an im negation —
+        // itself a plane-wide vectorizable pass.
+        for v in im.iter_mut() {
+            *v = -*v;
+        }
+        self.forward(re, im, scratch_re, scratch_im);
+        let s = 1.0 / self.n as f64;
+        for v in re.iter_mut() {
+            *v *= s;
+        }
+        for v in im.iter_mut() {
+            *v *= -s;
+        }
+    }
+
+    /// Radix-2 DIT on planes: strided reads, contiguous writes.
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        &self,
+        src_re: &[f64],
+        src_im: &[f64],
+        off: usize,
+        stride: usize,
+        dst_re: &mut [f64],
+        dst_im: &mut [f64],
+        n: usize,
+    ) {
+        if n == 1 {
+            dst_re[0] = src_re[off];
+            dst_im[0] = src_im[off];
+            return;
+        }
+        let m = n / 2;
+        {
+            let (ere, ore) = dst_re.split_at_mut(m);
+            let (eim, oim) = dst_im.split_at_mut(m);
+            self.rec(src_re, src_im, off, stride * 2, ere, eim, m);
+            self.rec(src_re, src_im, off + stride, stride * 2, ore, oim, m);
+        }
+        let ts = self.n / n;
+        // Butterfly pass: everything below is plane-local unit-stride
+        // arithmetic — the autovectorizable shape SoA buys.
+        let (ere, ore) = dst_re.split_at_mut(m);
+        let (eim, oim) = dst_im.split_at_mut(m);
+        for k in 0..m {
+            let wr = self.tw_re[k * ts];
+            let wi = self.tw_im[k * ts];
+            let tr = wr * ore[k] - wi * oim[k];
+            let ti = wr * oim[k] + wi * ore[k];
+            let ar = ere[k];
+            let ai = eim[k];
+            ere[k] = ar + tr;
+            eim[k] = ai + ti;
+            ore[k] = ar - tr;
+            oim[k] = ai - ti;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use soifft_num::error::rel_linf;
+
+    fn signal(n: usize) -> Vec<c64> {
+        (0..n)
+            .map(|i| c64::new((0.23 * i as f64).sin(), (0.41 * i as f64).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_interleaved_plan() {
+        for n in [1usize, 2, 4, 16, 128, 1024, 1 << 14] {
+            let x = signal(n);
+            let mut soa = SoaComplex::from_aos(&x);
+            PlanarFft::new(n).forward_soa(&mut soa);
+            let mut want = x;
+            Plan::new(n).forward(&mut want);
+            let got = soa.to_aos();
+            assert!(rel_linf(&got, &want) < 1e-11, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let n = 512;
+        let x = signal(n);
+        let plan = PlanarFft::new(n);
+        let mut soa = SoaComplex::from_aos(&x);
+        let mut sre = vec![0.0; n];
+        let mut sim = vec![0.0; n];
+        {
+            let (re, im) = soa.parts_mut();
+            plan.forward(re, im, &mut sre, &mut sim);
+            plan.inverse(re, im, &mut sre, &mut sim);
+        }
+        assert!(rel_linf(&soa.to_aos(), &x) < 1e-12);
+    }
+
+    #[test]
+    fn explicit_planes_interface() {
+        let n = 64;
+        let x = signal(n);
+        let mut re: Vec<f64> = x.iter().map(|z| z.re).collect();
+        let mut im: Vec<f64> = x.iter().map(|z| z.im).collect();
+        let mut sre = vec![0.0; n];
+        let mut sim = vec![0.0; n];
+        PlanarFft::new(n).forward(&mut re, &mut im, &mut sre, &mut sim);
+        let mut want = x;
+        Plan::new(n).forward(&mut want);
+        for k in 0..n {
+            assert!((re[k] - want[k].re).abs() < 1e-10);
+            assert!((im[k] - want[k].im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_rejected() {
+        PlanarFft::new(12);
+    }
+
+    #[test]
+    fn metadata() {
+        let p = PlanarFft::new(256);
+        assert_eq!(p.len(), 256);
+        assert!(!p.is_empty());
+    }
+}

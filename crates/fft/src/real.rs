@@ -1,0 +1,217 @@
+//! Real-input FFTs (r2c / c2r).
+//!
+//! Measurement data (the spectral-surveillance workload in the examples,
+//! most sensor streams) is real-valued; transforming it as complex wastes
+//! 2× memory and flops. The classic pack-into-half-length trick: view the
+//! `n` reals as `n/2` complex samples, run one `n/2`-point complex FFT, and
+//! untangle the even/odd spectra with one twiddle pass:
+//!
+//! ```text
+//! Z = FFT(x[2t] + i·x[2t+1])
+//! y_k = (Z_k + conj(Z_{m−k}))/2 − (i/2)·w_n^k·(Z_k − conj(Z_{m−k}))
+//! ```
+//!
+//! The forward output is the non-redundant half-spectrum `y[0..=n/2]`
+//! (Hermitian symmetry gives the rest); the inverse reconstructs the real
+//! signal from it.
+
+use soifft_num::c64;
+
+use crate::plan::Plan;
+use crate::twiddle::Twiddles;
+
+/// A real-input FFT plan for even lengths `n ≥ 2`.
+#[derive(Clone, Debug)]
+pub struct RealFft {
+    n: usize,
+    half: Plan,
+    tw: Twiddles,
+}
+
+impl RealFft {
+    /// Builds a plan for length `n` (must be even).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "real FFT length must be even and >= 2");
+        RealFft { n, half: Plan::new(n / 2), tw: Twiddles::new(n) }
+    }
+
+    /// Transform length (number of real samples).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Length of the forward output: `n/2 + 1` non-redundant bins.
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward r2c transform: `input.len() == n`, returns
+    /// `y[0..=n/2]` with the same convention as [`Plan::forward`].
+    pub fn forward(&self, input: &[f64]) -> Vec<c64> {
+        assert_eq!(input.len(), self.n, "input length != n");
+        let m = self.n / 2;
+        // Pack adjacent real pairs into complex samples.
+        let mut z: Vec<c64> = input
+            .chunks_exact(2)
+            .map(|p| c64::new(p[0], p[1]))
+            .collect();
+        self.half.forward(&mut z);
+
+        let mut out = vec![c64::ZERO; m + 1];
+        for k in 0..=m {
+            let zk = if k == m { z[0] } else { z[k] };
+            let zmk = z[(m - k) % m].conj();
+            let even = (zk + zmk) * 0.5;
+            let odd = (zk - zmk) * 0.5;
+            // y_k = even − i·w^k·odd.
+            out[k] = even - self.tw.get(k % self.n).mul_i() * odd;
+        }
+        out
+    }
+
+    /// Inverse c2r transform: `spectrum.len() == n/2 + 1`, returns the `n`
+    /// real samples (normalized so `inverse(forward(x)) == x`).
+    ///
+    /// The spectrum's `y[0]` and `y[n/2]` imaginary parts must be ~0 (they
+    /// are for any spectrum produced from real data).
+    pub fn inverse(&self, spectrum: &[c64]) -> Vec<f64> {
+        let m = self.n / 2;
+        assert_eq!(spectrum.len(), m + 1, "spectrum length != n/2 + 1");
+        // Repack into the half-length complex spectrum, inverting the
+        // untangle: Z_k = even_k + i·w^{-k}·odd_k where
+        // even = (y_k + conj(y_{m−k}))/2, odd = i·w^k·... inverted below.
+        let mut z = vec![c64::ZERO; m];
+        for (k, slot) in z.iter_mut().enumerate() {
+            let yk = spectrum[k];
+            let ymk = spectrum[m - k].conj();
+            let even = (yk + ymk) * 0.5;
+            // From the forward definitions
+            //   even = (Z_k + conj(Z_{m−k}))/2,  d = (Z_k − conj(Z_{m−k}))/2,
+            //   y_k = even − i·w^k·d
+            // solve: i·w^k·d = even − y_k ⇒ d = −i·w^{−k}·(even − y_k),
+            // then Z_k = even + d.
+            let d = (even - yk).mul_neg_i() * self.tw.get((self.n - k) % self.n);
+            *slot = even + d;
+        }
+        self.half.inverse(&mut z);
+        let mut out = Vec::with_capacity(self.n);
+        for v in z {
+            out.push(v.re);
+            out.push(v.im);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0.07 * i as f64).sin() + 0.3 * (0.41 * i as f64).cos() - 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_complex_dft_half_spectrum() {
+        for n in [2usize, 4, 8, 16, 60, 128, 1 << 10] {
+            let x = real_signal(n);
+            let plan = RealFft::new(n);
+            let got = plan.forward(&x);
+            let as_complex: Vec<c64> = x.iter().map(|&r| c64::real(r)).collect();
+            let want = dft(&as_complex);
+            assert_eq!(got.len(), n / 2 + 1);
+            for k in 0..=n / 2 {
+                assert!(
+                    (got[k] - want[k]).abs() < 1e-9 * (1.0 + want[k].abs()),
+                    "n={n} k={k}: {:?} vs {:?}",
+                    got[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let n = 64;
+        let x = real_signal(n);
+        let got = RealFft::new(n).forward(&x);
+        assert!(got[0].im.abs() < 1e-10);
+        assert!(got[n / 2].im.abs() < 1e-10);
+        // DC bin equals the sum.
+        let sum: f64 = x.iter().sum();
+        assert!((got[0].re - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [4usize, 16, 100, 512] {
+            let x = real_signal(n);
+            let plan = RealFft::new(n);
+            let spec = plan.forward(&x);
+            let back = plan.inverse(&spec);
+            let max_err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_err < 1e-10, "n={n}: {max_err:.3e}");
+        }
+    }
+
+    #[test]
+    fn pure_cosine_hits_single_bin() {
+        let n = 128;
+        let k0 = 17;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64).cos())
+            .collect();
+        let spec = RealFft::new(n).forward(&x);
+        assert!((spec[k0].re - n as f64 / 2.0).abs() < 1e-9);
+        for (k, v) in spec.iter().enumerate() {
+            if k != k0 {
+                assert!(v.abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_len_accessor() {
+        let p = RealFft::new(64);
+        assert_eq!(p.len(), 64);
+        assert_eq!(p.spectrum_len(), 33);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_rejected() {
+        RealFft::new(9);
+    }
+
+    #[test]
+    fn half_spectrum_matches_hermitian_symmetry() {
+        // Reconstruct the full spectrum from the half and compare to the
+        // complex transform of the full signal.
+        let n = 96;
+        let x = real_signal(n);
+        let half = RealFft::new(n).forward(&x);
+        let as_complex: Vec<c64> = x.iter().map(|&r| c64::real(r)).collect();
+        let full = dft(&as_complex);
+        for k in n / 2 + 1..n {
+            let mirrored = half[n - k].conj();
+            assert!(
+                (full[k] - mirrored).abs() < 1e-9 * (1.0 + full[k].abs()),
+                "k={k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Stockham autosort FFT (power-of-two, ping-pong buffers).
+//!
+//! The third engine in the library's pow2 toolbox, completing the classic
+//! trio:
+//!
+//! | engine | permutation | scratch | access pattern |
+//! |---|---|---|---|
+//! | [`crate::Plan`] (recursive DIT) | implicit in recursion | n | depth-first, cache-oblivious |
+//! | [`crate::IterativeFft`] | explicit bit-reversal | none | breadth-first, in-place |
+//! | `StockhamFft` | folded into the butterflies | n | breadth-first, fully sequential reads/writes |
+//!
+//! Stockham reads and writes *contiguously* at every stage (the
+//! permutation is absorbed into where results land), which is why it is
+//! the classical choice for vector machines and GPUs — and why the paper's
+//! lineage of bandwidth-aware FFTs (Bailey's external-memory work) starts
+//! from it.
+
+use soifft_num::c64;
+
+use crate::twiddle::Twiddles;
+
+/// A power-of-two Stockham plan.
+#[derive(Clone, Debug)]
+pub struct StockhamFft {
+    n: usize,
+    tw: Twiddles,
+}
+
+impl StockhamFft {
+    /// Builds a plan for length `n` (a power of two ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "StockhamFft requires a power of two");
+        StockhamFft { n, tw: Twiddles::new(n.max(2)) }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform: result in `data`, using `scratch` (same length)
+    /// as the ping-pong partner.
+    pub fn forward(&self, data: &mut [c64], scratch: &mut [c64]) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "data length != plan length");
+        assert_eq!(scratch.len(), n, "scratch length != plan length");
+        if n < 2 {
+            return;
+        }
+        // Classic decimation-in-frequency Stockham: sub-length `n_cur`
+        // halves while the interleave stride `s` doubles; each stage reads
+        // positions (p, p+m) and writes (2p, 2p+1) — contiguous streams in
+        // both directions, permutation absorbed, natural-order output.
+        let mut n_cur = n;
+        let mut s = 1usize;
+        let mut src_is_data = true;
+        while n_cur > 1 {
+            let m = n_cur / 2;
+            let tw_stride = self.n / n_cur;
+            {
+                let (src, dst): (&[c64], &mut [c64]) = if src_is_data {
+                    (data, scratch)
+                } else {
+                    (scratch, data)
+                };
+                for p in 0..m {
+                    let w = self.tw.get(p * tw_stride);
+                    for q in 0..s {
+                        let a = src[q + s * p];
+                        let b = src[q + s * (p + m)];
+                        dst[q + s * 2 * p] = a + b;
+                        dst[q + s * (2 * p + 1)] = (a - b) * w;
+                    }
+                }
+            }
+            src_is_data = !src_is_data;
+            n_cur = m;
+            s *= 2;
+        }
+        if !src_is_data {
+            data.copy_from_slice(scratch);
+        }
+    }
+
+    /// Inverse (normalized), via conjugation.
+    pub fn inverse(&self, data: &mut [c64], scratch: &mut [c64]) {
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+        self.forward(data, scratch);
+        let s = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.conj() * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+    use crate::plan::Plan;
+    use soifft_num::error::rel_linf;
+
+    fn signal(n: usize) -> Vec<c64> {
+        (0..n)
+            .map(|i| c64::new((0.29 * i as f64).sin(), (0.13 * i as f64).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_dft_small() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let x = signal(n);
+            let mut got = x.clone();
+            let mut scratch = vec![c64::ZERO; n];
+            StockhamFft::new(n).forward(&mut got, &mut scratch);
+            let want = dft(&x);
+            assert!(rel_linf(&got, &want) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_recursive_plan_large() {
+        for n in [1usize << 12, 1 << 16] {
+            let x = signal(n);
+            let mut a = x.clone();
+            let mut scratch = vec![c64::ZERO; n];
+            StockhamFft::new(n).forward(&mut a, &mut scratch);
+            let mut b = x;
+            Plan::new(n).forward(&mut b);
+            assert!(rel_linf(&a, &b) < 1e-11, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let n = 1024;
+        let x = signal(n);
+        let plan = StockhamFft::new(n);
+        let mut d = x.clone();
+        let mut scratch = vec![c64::ZERO; n];
+        plan.forward(&mut d, &mut scratch);
+        plan.inverse(&mut d, &mut scratch);
+        assert!(rel_linf(&d, &x) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        StockhamFft::new(24);
+    }
+}

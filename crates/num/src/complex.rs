@@ -1,0 +1,391 @@
+//! Double-precision complex arithmetic.
+//!
+//! The whole workspace computes on `c64` values (16 bytes, matching the
+//! paper's "double-precision complex numbers, i.e. 16 bytes per element").
+//! The type is deliberately minimal and `#[repr(C)]` so that a slice of
+//! `c64` is bit-compatible with the interleaved (AoS) layout used at MPI
+//! boundaries.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+///
+/// The lower-case name mirrors common HPC style (`c64`, by analogy with
+/// `f64`). All arithmetic is implemented inline; a complex multiply is the
+/// usual 4 multiplies + 2 adds (6 flops), an addition 2 flops — the counts
+/// the paper's `8B` convolution flop model assumes.
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
+#[allow(non_camel_case_types)]
+pub struct c64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl c64 {
+    /// Zero.
+    pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: c64 = c64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + i·im`.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64 { re, im }
+    }
+
+    /// Creates a purely real value.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        c64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        c64 { re: c, im: s }
+    }
+
+    /// The primitive root of unity `e^{-2πi k / n}` used by the forward DFT
+    /// (negative-exponent convention, matching FFTW/MKL).
+    ///
+    /// `k` is reduced modulo `n` before the argument is formed so that large
+    /// indices do not lose precision in the multiply.
+    #[inline]
+    pub fn root_of_unity(n: usize, k: i64) -> Self {
+        let n_i = n as i64;
+        let k = ((k % n_i) + n_i) % n_i;
+        c64::cis(-2.0 * std::f64::consts::PI * (k as f64) / (n as f64))
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|` (hypot, safe against overflow).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Fused multiply-accumulate `self + a*b` written so the optimizer can
+    /// emit FMA instructions where available (paper §5.2.4 notes ~12 % of
+    /// Xeon Phi FFT operations become FMAs).
+    #[inline(always)]
+    pub fn mul_add(self, a: c64, b: c64) -> Self {
+        c64 {
+            re: a.re.mul_add(b.re, (-a.im).mul_add(b.im, self.re)),
+            im: a.re.mul_add(b.im, a.im.mul_add(b.re, self.im)),
+        }
+    }
+
+    /// Multiplication by `i` (a rotation — no multiplies needed; the radix-4
+    /// butterfly exploits this).
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        c64 { re: -self.im, im: self.re }
+    }
+
+    /// Multiplication by `-i`.
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        c64 { re: self.im, im: -self.re }
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn add(self, rhs: c64) -> c64 {
+        c64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn sub(self, rhs: c64) -> c64 {
+        c64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, rhs: c64) -> c64 {
+        c64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for c64 {
+    type Output = c64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ is the definition
+    fn div(self, rhs: c64) -> c64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn neg(self) -> c64 {
+        c64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> c64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<c64> for f64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, rhs: c64) -> c64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> c64 {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl AddAssign for c64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: c64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for c64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: c64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for c64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: c64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for c64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: c64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for c64 {
+    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(c64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for c64 {
+    #[inline]
+    fn from(re: f64) -> c64 {
+        c64::real(re)
+    }
+}
+
+impl From<(f64, f64)> for c64 {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> c64 {
+        c64::new(re, im)
+    }
+}
+
+impl fmt::Debug for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: c64, b: c64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(c64::new(1.0, 2.0).re, 1.0);
+        assert_eq!(c64::new(1.0, 2.0).im, 2.0);
+        assert_eq!(c64::ZERO + c64::ONE, c64::ONE);
+        assert_eq!(c64::I * c64::I, -c64::ONE);
+        assert_eq!(c64::from(3.0), c64::new(3.0, 0.0));
+        assert_eq!(c64::from((3.0, 4.0)), c64::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        let a = c64::new(1.0, 2.0);
+        let b = c64::new(-3.0, 0.5);
+        assert_eq!(a + b, c64::new(-2.0, 2.5));
+        assert_eq!(a - b, c64::new(4.0, 1.5));
+        assert_eq!(a * b, c64::new(1.0 * -3.0 - 2.0 * 0.5, 1.0 * 0.5 + 2.0 * -3.0));
+        assert!(close(a / b * b, a));
+        assert!(close(a * a.inv(), c64::ONE));
+        assert_eq!(-a, c64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let a = c64::new(0.3, -0.7);
+        let b = c64::new(1.5, 2.5);
+        let mut x = a;
+        x += b;
+        assert_eq!(x, a + b);
+        x = a;
+        x -= b;
+        assert_eq!(x, a - b);
+        x = a;
+        x *= b;
+        assert_eq!(x, a * b);
+        x = a;
+        x /= b;
+        assert_eq!(x, a / b);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = c64::new(2.0, -4.0);
+        assert_eq!(a * 0.5, c64::new(1.0, -2.0));
+        assert_eq!(0.5 * a, c64::new(1.0, -2.0));
+        assert_eq!(a / 2.0, c64::new(1.0, -2.0));
+        assert_eq!(a.scale(0.0), c64::ZERO);
+    }
+
+    #[test]
+    fn conj_abs_arg() {
+        let a = c64::new(3.0, 4.0);
+        assert_eq!(a.conj(), c64::new(3.0, -4.0));
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert!((c64::I.arg() - PI / 2.0).abs() < 1e-15);
+        assert!((a * a.conj()).im == 0.0);
+    }
+
+    #[test]
+    fn cis_and_roots_of_unity() {
+        assert!(close(c64::cis(0.0), c64::ONE));
+        assert!(close(c64::cis(PI), -c64::ONE));
+        // Forward-DFT convention: root_of_unity(4, 1) = e^{-iπ/2} = -i.
+        assert!(close(c64::root_of_unity(4, 1), -c64::I));
+        // k is reduced mod n, including negative k.
+        assert!(close(c64::root_of_unity(8, 9), c64::root_of_unity(8, 1)));
+        assert!(close(c64::root_of_unity(8, -1), c64::root_of_unity(8, 7)));
+        // n-th root to the n-th power is 1.
+        let w = c64::root_of_unity(7, 1);
+        let mut p = c64::ONE;
+        for _ in 0..7 {
+            p *= w;
+        }
+        assert!(close(p, c64::ONE));
+    }
+
+    #[test]
+    fn mul_i_shortcuts() {
+        let a = c64::new(1.25, -2.5);
+        assert_eq!(a.mul_i(), a * c64::I);
+        assert_eq!(a.mul_neg_i(), a * -c64::I);
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = c64::new(0.1, 0.2);
+        let a = c64::new(-1.0, 3.0);
+        let b = c64::new(2.0, -0.5);
+        let fused = acc.mul_add(a, b);
+        let plain = acc + a * b;
+        assert!((fused - plain).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![c64::new(1.0, 1.0); 10];
+        let s: c64 = v.iter().copied().sum();
+        assert_eq!(s, c64::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn nan_and_finite() {
+        assert!(c64::new(f64::NAN, 0.0).is_nan());
+        assert!(!c64::ONE.is_nan());
+        assert!(c64::ONE.is_finite());
+        assert!(!c64::new(f64::INFINITY, 0.0).is_finite());
+    }
+}

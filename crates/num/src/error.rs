@@ -1,0 +1,95 @@
+//! Error norms for validating transforms.
+//!
+//! SOI is an *approximate* factorization of the DFT whose error is
+//! controlled by the window's stopband (DESIGN.md §2), so every test and the
+//! accuracy benches need consistent, scale-free error measures. We follow
+//! the HPCC G-FFT convention of normalizing by the input magnitude.
+
+use crate::c64;
+
+/// Maximum absolute difference `max_i |a_i − b_i|`.
+pub fn linf(a: &[c64], b: &[c64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// ℓ₂ norm of the difference.
+pub fn l2(a: &[c64], b: &[c64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).norm_sqr())
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Relative ℓ₂ error `‖a − b‖₂ / ‖b‖₂` (`b` is the reference). Returns the
+/// absolute ℓ₂ error when the reference is the zero vector.
+pub fn rel_l2(a: &[c64], b: &[c64]) -> f64 {
+    let denom = b.iter().map(|&y| y.norm_sqr()).sum::<f64>().sqrt();
+    let num = l2(a, b);
+    if denom == 0.0 {
+        num
+    } else {
+        num / denom
+    }
+}
+
+/// Relative ℓ∞ error `max|a−b| / max|b|`, falling back to absolute when the
+/// reference is zero.
+pub fn rel_linf(a: &[c64], b: &[c64]) -> f64 {
+    let denom = b.iter().map(|&y| y.abs()).fold(0.0, f64::max);
+    let num = linf(a, b);
+    if denom == 0.0 {
+        num
+    } else {
+        num / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_on_identical() {
+        let a = vec![c64::new(1.0, -2.0); 5];
+        assert_eq!(linf(&a, &a), 0.0);
+        assert_eq!(l2(&a, &a), 0.0);
+        assert_eq!(rel_l2(&a, &a), 0.0);
+        assert_eq!(rel_linf(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_difference() {
+        let a = vec![c64::new(1.0, 0.0), c64::new(0.0, 0.0)];
+        let b = vec![c64::new(0.0, 0.0), c64::new(0.0, 0.0)];
+        assert_eq!(linf(&a, &b), 1.0);
+        assert_eq!(l2(&a, &b), 1.0);
+        // Zero reference falls back to absolute norms.
+        assert_eq!(rel_l2(&a, &b), 1.0);
+        assert_eq!(rel_linf(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn relative_is_scale_invariant() {
+        let a: Vec<c64> = (0..8).map(|i| c64::new(i as f64, 1.0)).collect();
+        let b: Vec<c64> = a.iter().map(|&z| z * 1.001).collect();
+        let r1 = rel_l2(&a, &b);
+        let a10: Vec<c64> = a.iter().map(|&z| z * 10.0).collect();
+        let b10: Vec<c64> = b.iter().map(|&z| z * 10.0).collect();
+        let r2 = rel_l2(&a10, &b10);
+        assert!((r1 - r2).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let a = vec![c64::ZERO; 2];
+        let b = vec![c64::ZERO; 3];
+        linf(&a, &b);
+    }
+}

@@ -1,0 +1,155 @@
+//! Vectorizable complex micro-kernels.
+//!
+//! The inner loops of the convolution (length-B inner products, paper
+//! §5.3), demodulation (pointwise multiply, §5.2.4) and twiddle passes are
+//! all instances of four primitives. Centralizing them keeps every hot
+//! loop in one shape the autovectorizer handles well, and gives the layout
+//! bench a single place to compare AoS and planar codegen.
+
+use crate::c64;
+
+/// `acc[i] += t[i] * x[i]` (the convolution's tap-block AXPY).
+#[inline]
+pub fn axpy_pointwise(acc: &mut [c64], t: &[c64], x: &[c64]) {
+    assert_eq!(acc.len(), t.len(), "length mismatch");
+    assert_eq!(acc.len(), x.len(), "length mismatch");
+    for ((a, &tv), &xv) in acc.iter_mut().zip(t).zip(x) {
+        *a += tv * xv;
+    }
+}
+
+/// Complex inner product `Σ t[i]·x[i]` (no conjugation — the convolution's
+/// row form).
+#[inline]
+pub fn dot(t: &[c64], x: &[c64]) -> c64 {
+    assert_eq!(t.len(), x.len(), "length mismatch");
+    // Two independent accumulators break the add-latency chain.
+    let mut acc0 = c64::ZERO;
+    let mut acc1 = c64::ZERO;
+    let mut it = t.chunks_exact(2).zip(x.chunks_exact(2));
+    for (tp, xp) in &mut it {
+        acc0 += tp[0] * xp[0];
+        acc1 += tp[1] * xp[1];
+    }
+    if t.len() % 2 == 1 {
+        acc0 += t[t.len() - 1] * x[x.len() - 1];
+    }
+    acc0 + acc1
+}
+
+/// Strided inner product `Σ t[i]·x[i·stride]` (the interchanged
+/// convolution's column form).
+#[inline]
+pub fn dot_strided(t: &[c64], x: &[c64], stride: usize) -> c64 {
+    assert!(stride >= 1);
+    assert!(x.len() >= (t.len().max(1) - 1) * stride + 1 || t.is_empty(), "x too short");
+    let mut acc = c64::ZERO;
+    let mut idx = 0;
+    for &tv in t {
+        acc += tv * x[idx];
+        idx += stride;
+    }
+    acc
+}
+
+/// `data[i] *= scale[i]` (demodulation / twiddle application).
+#[inline]
+pub fn mul_pointwise(data: &mut [c64], scale: &[c64]) {
+    assert_eq!(data.len(), scale.len(), "length mismatch");
+    for (d, &s) in data.iter_mut().zip(scale) {
+        *d *= s;
+    }
+}
+
+/// `data[i] *= s` for a real scalar (normalization passes).
+#[inline]
+pub fn scale_real(data: &mut [c64], s: f64) {
+    for d in data.iter_mut() {
+        *d = d.scale(s);
+    }
+}
+
+/// Conjugates in place (the inverse-via-conjugation wrapper's passes).
+#[inline]
+pub fn conj_in_place(data: &mut [c64]) {
+    for d in data.iter_mut() {
+        *d = d.conj();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: usize, k: f64) -> Vec<c64> {
+        (0..n).map(|i| c64::new(i as f64 * k, k - i as f64)).collect()
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop() {
+        let t = v(13, 0.5);
+        let x = v(13, -1.5);
+        let mut acc = v(13, 2.0);
+        let mut expect = acc.clone();
+        axpy_pointwise(&mut acc, &t, &x);
+        for i in 0..13 {
+            expect[i] += t[i] * x[i];
+        }
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn dot_matches_naive_for_even_and_odd_lengths() {
+        for n in [0usize, 1, 2, 7, 8, 33] {
+            let t = v(n, 0.3);
+            let x = v(n, -0.7);
+            let naive: c64 = t.iter().zip(&x).map(|(&a, &b)| a * b).sum();
+            let got = dot(&t, &x);
+            assert!((got - naive).abs() < 1e-10 * (1.0 + naive.abs()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_strided_matches_dense_gather() {
+        let t = v(9, 1.1);
+        let x = v(9 * 5, 0.2);
+        let dense: Vec<c64> = (0..9).map(|i| x[i * 5]).collect();
+        let want = dot(&t, &dense);
+        let got = dot_strided(&t, &x, 5);
+        assert!((got - want).abs() < 1e-10);
+        // Unit stride degenerates to dot.
+        let got1 = dot_strided(&t, &x[..9], 1);
+        assert!((got1 - dot(&t, &x[..9])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pointwise_and_scale() {
+        let mut d = v(6, 1.0);
+        let s = v(6, -2.0);
+        let expect: Vec<c64> = d.iter().zip(&s).map(|(&a, &b)| a * b).collect();
+        mul_pointwise(&mut d, &s);
+        assert_eq!(d, expect);
+
+        let mut d = v(5, 3.0);
+        let expect: Vec<c64> = d.iter().map(|&z| z * 0.5).collect();
+        scale_real(&mut d, 0.5);
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn conj_in_place_is_involution() {
+        let orig = v(8, 0.9);
+        let mut d = orig.clone();
+        conj_in_place(&mut d);
+        assert!(d.iter().zip(&orig).all(|(a, b)| *a == b.conj()));
+        conj_in_place(&mut d);
+        assert_eq!(d, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let mut a = v(3, 1.0);
+        axpy_pointwise(&mut a, &v(4, 1.0), &v(3, 1.0));
+    }
+}

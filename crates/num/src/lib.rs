@@ -1,0 +1,37 @@
+//! Numerics substrate for the `soifft` workspace.
+//!
+//! This crate hosts the building blocks that every other crate leans on:
+//!
+//! * [`c64`] — a double-precision complex number (the paper works
+//!   exclusively in double-precision complex, 16 bytes per element),
+//! * [`SoaComplex`] — "Struct of Arrays" complex storage plus conversions to
+//!   and from the interleaved "Array of Structs" layout (paper §5.2.4),
+//! * [`special`] — the special functions needed by the SOI window design
+//!   (`erf`, `erfc`, the modified Bessel function `I₀`, `sinc`),
+//! * [`transpose`] — cache-blocked matrix transposition kernels (the
+//!   workhorse of the 6-step local FFT and of the local permutation that
+//!   precedes the all-to-all),
+//! * [`strided`] — strided gather/scatter copies,
+//! * [`factor`] — small integer factorization utilities used by FFT
+//!   planning,
+//! * [`error`] — error norms used by tests and the accuracy benches.
+//!
+//! Everything is safe Rust; there is no `unsafe` anywhere in the workspace's
+//! numerical core.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod dpss;
+pub mod error;
+pub mod factor;
+pub mod kernels;
+pub mod soa;
+pub mod special;
+pub mod strided;
+pub mod transpose;
+pub mod tridiag;
+
+pub use complex::c64;
+pub use soa::SoaComplex;

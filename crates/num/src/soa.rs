@@ -1,0 +1,240 @@
+//! Complex-array storage layouts.
+//!
+//! Paper §5.2.4: the Xeon Phi implementation internally uses a
+//! "Struct of Arrays" (SoA) layout for complex data — separate real and
+//! imaginary arrays — because it avoids gather/scatter and cross-lane
+//! shuffles in vectorized butterflies, while the external interface also
+//! supports "Array of Structs" (AoS, interleaved) to double MPI packet
+//! lengths by sending reals and imaginaries together.
+//!
+//! [`SoaComplex`] is the SoA container; `&[c64]` slices *are* the AoS
+//! layout. Conversions in both directions are provided, plus blocked
+//! variants used when the conversion is fused with another pass.
+
+use crate::c64;
+
+/// Planar ("Struct of Arrays") storage for a complex vector.
+///
+/// Two equal-length `f64` vectors. Indexing yields [`c64`] values; mutation
+/// goes through [`SoaComplex::set`] or the component slices.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SoaComplex {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl SoaComplex {
+    /// Creates a zero-filled SoA vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        SoaComplex { re: vec![0.0; n], im: vec![0.0; n] }
+    }
+
+    /// Builds from separate component vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_parts(re: Vec<f64>, im: Vec<f64>) -> Self {
+        assert_eq!(re.len(), im.len(), "re/im length mismatch");
+        SoaComplex { re, im }
+    }
+
+    /// Converts an interleaved (AoS) slice into SoA layout.
+    pub fn from_aos(aos: &[c64]) -> Self {
+        let mut out = SoaComplex::zeros(aos.len());
+        out.copy_from_aos(aos);
+        out
+    }
+
+    /// Number of complex elements.
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.re.is_empty()
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize) -> c64 {
+        c64::new(self.re[i], self.im[i])
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: c64) {
+        self.re[i] = v.re;
+        self.im[i] = v.im;
+    }
+
+    /// Real-component slice.
+    pub fn re(&self) -> &[f64] {
+        &self.re
+    }
+
+    /// Imaginary-component slice.
+    pub fn im(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// Mutable component slices (borrowed together so a kernel can stream
+    /// both planes in one pass).
+    pub fn parts_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+
+    /// Overwrites this vector from an interleaved slice (lengths must
+    /// match).
+    pub fn copy_from_aos(&mut self, aos: &[c64]) {
+        assert_eq!(aos.len(), self.len(), "length mismatch");
+        for (i, z) in aos.iter().enumerate() {
+            self.re[i] = z.re;
+            self.im[i] = z.im;
+        }
+    }
+
+    /// Writes this vector out in interleaved layout (lengths must match).
+    pub fn write_aos(&self, aos: &mut [c64]) {
+        assert_eq!(aos.len(), self.len(), "length mismatch");
+        for (i, z) in aos.iter_mut().enumerate() {
+            *z = c64::new(self.re[i], self.im[i]);
+        }
+    }
+
+    /// Converts to a freshly allocated interleaved vector.
+    pub fn to_aos(&self) -> Vec<c64> {
+        let mut out = vec![c64::ZERO; self.len()];
+        self.write_aos(&mut out);
+        out
+    }
+
+    /// Iterates over elements as `c64` values.
+    pub fn iter(&self) -> impl Iterator<Item = c64> + '_ {
+        self.re.iter().zip(&self.im).map(|(&r, &i)| c64::new(r, i))
+    }
+}
+
+impl FromIterator<c64> for SoaComplex {
+    fn from_iter<T: IntoIterator<Item = c64>>(iter: T) -> Self {
+        let mut re = Vec::new();
+        let mut im = Vec::new();
+        for z in iter {
+            re.push(z.re);
+            im.push(z.im);
+        }
+        SoaComplex { re, im }
+    }
+}
+
+/// Deinterleaves `aos` into the two planes of `(re, im)` one cache-block at
+/// a time.
+///
+/// The block size (in complex elements) keeps the working set of one pass
+/// inside L1; used by kernels that fuse layout conversion with compute.
+pub fn deinterleave_blocked(aos: &[c64], re: &mut [f64], im: &mut [f64], block: usize) {
+    assert_eq!(aos.len(), re.len());
+    assert_eq!(aos.len(), im.len());
+    assert!(block > 0, "block must be positive");
+    let mut i = 0;
+    while i < aos.len() {
+        let end = (i + block).min(aos.len());
+        for j in i..end {
+            re[j] = aos[j].re;
+        }
+        for j in i..end {
+            im[j] = aos[j].im;
+        }
+        i = end;
+    }
+}
+
+/// Interleaves the planes `(re, im)` into `aos`, blocked like
+/// [`deinterleave_blocked`].
+pub fn interleave_blocked(re: &[f64], im: &[f64], aos: &mut [c64], block: usize) {
+    assert_eq!(aos.len(), re.len());
+    assert_eq!(aos.len(), im.len());
+    assert!(block > 0, "block must be positive");
+    let mut i = 0;
+    while i < aos.len() {
+        let end = (i + block).min(aos.len());
+        for j in i..end {
+            aos[j] = c64::new(re[j], im[j]);
+        }
+        i = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<c64> {
+        (0..n).map(|i| c64::new(i as f64, -(i as f64) - 0.5)).collect()
+    }
+
+    #[test]
+    fn zeros_and_len() {
+        let s = SoaComplex::zeros(7);
+        assert_eq!(s.len(), 7);
+        assert!(!s.is_empty());
+        assert!(SoaComplex::zeros(0).is_empty());
+        assert_eq!(s.get(3), c64::ZERO);
+    }
+
+    #[test]
+    fn aos_round_trip() {
+        let v = ramp(13);
+        let s = SoaComplex::from_aos(&v);
+        assert_eq!(s.to_aos(), v);
+        for (i, &z) in v.iter().enumerate() {
+            assert_eq!(s.get(i), z);
+        }
+    }
+
+    #[test]
+    fn set_and_parts() {
+        let mut s = SoaComplex::zeros(4);
+        s.set(2, c64::new(1.0, 2.0));
+        assert_eq!(s.get(2), c64::new(1.0, 2.0));
+        assert_eq!(s.re()[2], 1.0);
+        assert_eq!(s.im()[2], 2.0);
+        let (re, im) = s.parts_mut();
+        re[0] = 9.0;
+        im[0] = -9.0;
+        assert_eq!(s.get(0), c64::new(9.0, -9.0));
+    }
+
+    #[test]
+    fn from_parts_checks_length() {
+        let ok = SoaComplex::from_parts(vec![1.0, 2.0], vec![3.0, 4.0]);
+        assert_eq!(ok.get(1), c64::new(2.0, 4.0));
+        let bad = std::panic::catch_unwind(|| SoaComplex::from_parts(vec![1.0], vec![]));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn from_iterator_and_iter() {
+        let v = ramp(9);
+        let s: SoaComplex = v.iter().copied().collect();
+        let back: Vec<c64> = s.iter().collect();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn blocked_conversions_match_simple_for_all_block_sizes() {
+        let v = ramp(37);
+        for block in [1, 2, 5, 8, 16, 37, 64] {
+            let mut re = vec![0.0; v.len()];
+            let mut im = vec![0.0; v.len()];
+            deinterleave_blocked(&v, &mut re, &mut im, block);
+            let s = SoaComplex::from_aos(&v);
+            assert_eq!(re, s.re(), "block={block}");
+            assert_eq!(im, s.im(), "block={block}");
+
+            let mut round = vec![c64::ZERO; v.len()];
+            interleave_blocked(&re, &im, &mut round, block);
+            assert_eq!(round, v, "block={block}");
+        }
+    }
+}

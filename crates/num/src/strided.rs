@@ -1,0 +1,230 @@
+//! Strided gather/scatter copies.
+//!
+//! Long-stride access is the recurring villain of the paper (§5.2.1: "the
+//! memory accesses will be in larger strides, sometimes greater than a page
+//! size"; §5.3: "conflict misses from long-stride access to input"). The
+//! standard cure, used by both the 6-step FFT and the buffered convolution,
+//! is to *stage* strided data through a small contiguous buffer and run the
+//! compute kernel on the buffer. These helpers are those staging copies.
+
+use crate::c64;
+
+/// Gathers `count` elements from `src` starting at `offset` with the given
+/// `stride` into the contiguous `dst`.
+///
+/// `dst.len()` must be at least `count`.
+pub fn gather(src: &[c64], offset: usize, stride: usize, count: usize, dst: &mut [c64]) {
+    assert!(stride >= 1, "stride must be >= 1");
+    assert!(dst.len() >= count, "dst too small");
+    let mut idx = offset;
+    for d in dst.iter_mut().take(count) {
+        *d = src[idx];
+        idx += stride;
+    }
+}
+
+/// Scatters the first `count` elements of the contiguous `src` into `dst`
+/// starting at `offset` with the given `stride`.
+pub fn scatter(src: &[c64], dst: &mut [c64], offset: usize, stride: usize, count: usize) {
+    assert!(stride >= 1, "stride must be >= 1");
+    assert!(src.len() >= count, "src too small");
+    let mut idx = offset;
+    for s in src.iter().take(count) {
+        dst[idx] = *s;
+        idx += stride;
+    }
+}
+
+/// Gathers a `rows × cols` sub-matrix laid out with `row_stride` in `src`
+/// into a dense row-major `dst` (the "copy P × 8 columns to a contiguous
+/// buffer" move from Fig 4(b) step 1).
+pub fn gather_matrix(
+    src: &[c64],
+    base: usize,
+    row_stride: usize,
+    rows: usize,
+    cols: usize,
+    dst: &mut [c64],
+) {
+    assert!(dst.len() >= rows * cols, "dst too small");
+    for r in 0..rows {
+        let row = base + r * row_stride;
+        dst[r * cols..r * cols + cols].copy_from_slice(&src[row..row + cols]);
+    }
+}
+
+/// Scatters a dense row-major `rows × cols` matrix from `src` back into a
+/// strided region of `dst` (Fig 4(b) step 4 "permute and write back").
+pub fn scatter_matrix(
+    src: &[c64],
+    dst: &mut [c64],
+    base: usize,
+    row_stride: usize,
+    rows: usize,
+    cols: usize,
+) {
+    assert!(src.len() >= rows * cols, "src too small");
+    for r in 0..rows {
+        let row = base + r * row_stride;
+        dst[row..row + cols].copy_from_slice(&src[r * cols..r * cols + cols]);
+    }
+}
+
+/// A fixed-capacity circular staging buffer over a strided input stream.
+///
+/// This is the §5.3 "Avoiding Cache Conflict Misses by Buffering" structure:
+/// the convolution reads `B` window-width elements at stride `L`; instead of
+/// touching the strided input `n_µ` times per chunk, `B` elements are held
+/// contiguously and only `d_µ` new elements are copied in per chunk
+/// ("translate B non-contiguous loads to ... d_µ non-contiguous loads and
+/// d_µ contiguous stores").
+#[derive(Clone, Debug)]
+pub struct CircularBuffer {
+    buf: Vec<c64>,
+    head: usize,
+}
+
+impl CircularBuffer {
+    /// Creates a buffer of capacity `cap` filled with zeros.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be positive");
+        CircularBuffer { buf: vec![c64::ZERO; cap], head: 0 }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Overwrites the whole buffer from a strided gather (initial fill).
+    pub fn fill_strided(&mut self, src: &[c64], offset: usize, stride: usize) {
+        let cap = self.buf.len();
+        gather(src, offset, stride, cap, &mut self.buf);
+        self.head = 0;
+    }
+
+    /// Advances the window by `n` elements, gathering the `n` new elements
+    /// from `src` (strided) and overwriting the `n` oldest.
+    pub fn advance_strided(&mut self, src: &[c64], offset: usize, stride: usize, n: usize) {
+        let cap = self.buf.len();
+        assert!(n <= cap, "advance larger than capacity");
+        let mut idx = offset;
+        for k in 0..n {
+            self.buf[(self.head + k) % cap] = src[idx];
+            idx += stride;
+        }
+        self.head = (self.head + n) % cap;
+    }
+
+    /// Logical element `i` (0 = oldest element of the window).
+    #[inline]
+    pub fn get(&self, i: usize) -> c64 {
+        let cap = self.buf.len();
+        debug_assert!(i < cap);
+        self.buf[(self.head + i) % cap]
+    }
+
+    /// Copies the logical window into a dense slice (used when a kernel
+    /// wants a straight contiguous view instead of modular indexing).
+    pub fn snapshot(&self, out: &mut [c64]) {
+        let cap = self.buf.len();
+        assert_eq!(out.len(), cap, "snapshot length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.get(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<c64> {
+        (0..n).map(|i| c64::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn gather_then_scatter_round_trips() {
+        let src = data(64);
+        let mut buf = vec![c64::ZERO; 8];
+        gather(&src, 3, 7, 8, &mut buf);
+        for (k, &b) in buf.iter().enumerate() {
+            assert_eq!(b, src[3 + 7 * k]);
+        }
+        let mut dst = vec![c64::ZERO; 64];
+        scatter(&buf, &mut dst, 3, 7, 8);
+        for k in 0..8 {
+            assert_eq!(dst[3 + 7 * k], src[3 + 7 * k]);
+        }
+    }
+
+    #[test]
+    fn gather_unit_stride_is_memcpy() {
+        let src = data(16);
+        let mut buf = vec![c64::ZERO; 16];
+        gather(&src, 0, 1, 16, &mut buf);
+        assert_eq!(buf, src);
+    }
+
+    #[test]
+    fn matrix_gather_scatter_round_trip() {
+        let stride = 13;
+        let src = data(stride * 6);
+        let mut dense = vec![c64::ZERO; 4 * 5];
+        gather_matrix(&src, 2, stride, 4, 5, &mut dense);
+        for r in 0..4 {
+            for c in 0..5 {
+                assert_eq!(dense[r * 5 + c], src[2 + r * stride + c]);
+            }
+        }
+        let mut dst = vec![c64::ZERO; stride * 6];
+        scatter_matrix(&dense, &mut dst, 2, stride, 4, 5);
+        for r in 0..4 {
+            for c in 0..5 {
+                assert_eq!(dst[2 + r * stride + c], dense[r * 5 + c]);
+            }
+        }
+    }
+
+    #[test]
+    fn circular_buffer_sliding_window_matches_direct_gather() {
+        // Window of B=6 over stride-4 data, advancing d=2 at a time:
+        // exactly the convolution staging pattern.
+        let src = data(200);
+        let (b, d, stride) = (6usize, 2usize, 4usize);
+        let mut cb = CircularBuffer::new(b);
+        cb.fill_strided(&src, 0, stride);
+        let mut direct = vec![c64::ZERO; b];
+        for step in 0..10 {
+            let base = step * d; // element offset of window start
+            gather(&src, base * stride, stride, b, &mut direct);
+            let mut snap = vec![c64::ZERO; b];
+            cb.snapshot(&mut snap);
+            assert_eq!(snap, direct, "step {step}");
+            for i in 0..b {
+                assert_eq!(cb.get(i), direct[i], "step {step} i {i}");
+            }
+            // Advance: new elements are at window positions b..b+d.
+            cb.advance_strided(&src, (base + b) * stride, stride, d);
+        }
+    }
+
+    #[test]
+    fn circular_buffer_full_advance_replaces_everything() {
+        let src = data(64);
+        let mut cb = CircularBuffer::new(4);
+        cb.fill_strided(&src, 0, 1);
+        cb.advance_strided(&src, 10, 1, 4);
+        let mut snap = vec![c64::ZERO; 4];
+        cb.snapshot(&mut snap);
+        assert_eq!(snap, &src[10..14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance larger than capacity")]
+    fn circular_buffer_overadvance_panics() {
+        let src = data(8);
+        let mut cb = CircularBuffer::new(2);
+        cb.advance_strided(&src, 0, 1, 3);
+    }
+}

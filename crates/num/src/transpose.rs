@@ -1,0 +1,189 @@
+//! Cache-blocked matrix transposition.
+//!
+//! The 6-step local FFT (paper §5.2.2, Fig 4) is built around explicit
+//! transposes of the data viewed as a `rows × cols` matrix: steps 1, 4 and 6
+//! of the naive variant are full transposes, and the optimized variant still
+//! permutes 8×8 tiles when writing results back (§5.2.4 "Step 6 performs
+//! global permutation ... transpositions of 8×8 arrays"). The paper reduces
+//! the per-tile memory-instruction count with Xeon Phi cross-lane
+//! loads/stores; portably, the same locality benefit comes from walking the
+//! matrix in `TILE × TILE` blocks so each tile's reads and writes stay in
+//! cache lines.
+
+use crate::c64;
+
+/// Tile edge used by the blocked kernels. 8 complex doubles = 128 B = two
+/// cache lines per row of a tile, matching the paper's 8×8 transposition
+/// unit (a 512-bit vector holds 8 doubles).
+pub const TILE: usize = 8;
+
+/// Out-of-place transpose: `dst[c * rows + r] = src[r * cols + c]`.
+///
+/// `src` is `rows × cols` row-major; `dst` becomes `cols × rows` row-major.
+///
+/// # Panics
+/// Panics if the slice lengths are not `rows * cols`.
+pub fn transpose(src: &[c64], dst: &mut [c64], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols, "src shape mismatch");
+    assert_eq!(dst.len(), rows * cols, "dst shape mismatch");
+    // Blocked loop: process TILE×TILE tiles so both the source rows and the
+    // destination rows touched by one tile fit in L1.
+    let mut rb = 0;
+    while rb < rows {
+        let re = (rb + TILE).min(rows);
+        let mut cb = 0;
+        while cb < cols {
+            let ce = (cb + TILE).min(cols);
+            for r in rb..re {
+                for c in cb..ce {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            cb = ce;
+        }
+        rb = re;
+    }
+}
+
+/// Naive (unblocked) transpose; kept as the reference implementation for
+/// tests and as the "no locality optimization" point in ablation benches.
+pub fn transpose_naive(src: &[c64], dst: &mut [c64], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols, "src shape mismatch");
+    assert_eq!(dst.len(), rows * cols, "dst shape mismatch");
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+/// In-place transpose of a square `n × n` matrix, tile-blocked.
+pub fn transpose_square_in_place(a: &mut [c64], n: usize) {
+    assert_eq!(a.len(), n * n, "shape mismatch");
+    let mut rb = 0;
+    while rb < n {
+        let re = (rb + TILE).min(n);
+        // Diagonal tile: swap the upper triangle within the tile.
+        for r in rb..re {
+            for c in (r + 1)..re {
+                a.swap(r * n + c, c * n + r);
+            }
+        }
+        // Off-diagonal tiles: swap tile (rb,cb) with tile (cb,rb).
+        let mut cb = re;
+        while cb < n {
+            let ce = (cb + TILE).min(n);
+            for r in rb..re {
+                for c in cb..ce {
+                    a.swap(r * n + c, c * n + r);
+                }
+            }
+            cb = ce;
+        }
+        rb = re;
+    }
+}
+
+/// Transposes one `TILE × TILE` tile between two buffers with explicit
+/// source/destination strides. This is the portable stand-in for the paper's
+/// cross-lane 8×8 transposition kernel; the 6-step FFT's write-back
+/// permutation is assembled from calls to this.
+///
+/// Copies `min(TILE, rows_left) × min(TILE, cols_left)` elements.
+#[inline]
+pub fn transpose_tile(
+    src: &[c64],
+    src_stride: usize,
+    dst: &mut [c64],
+    dst_stride: usize,
+    rows: usize,
+    cols: usize,
+) {
+    debug_assert!(rows <= TILE && cols <= TILE);
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * dst_stride + r] = src[r * src_stride + c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize) -> Vec<c64> {
+        (0..rows * cols)
+            .map(|i| c64::new(i as f64, (i * i % 97) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_naive_various_shapes() {
+        for &(r, c) in &[(1, 1), (1, 17), (17, 1), (8, 8), (16, 32), (13, 7), (40, 24), (9, 64)] {
+            let src = mat(r, c);
+            let mut a = vec![c64::ZERO; r * c];
+            let mut b = vec![c64::ZERO; r * c];
+            transpose(&src, &mut a, r, c);
+            transpose_naive(&src, &mut b, r, c);
+            assert_eq!(a, b, "shape {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let (r, c) = (12, 20);
+        let src = mat(r, c);
+        let mut t = vec![c64::ZERO; r * c];
+        let mut back = vec![c64::ZERO; r * c];
+        transpose(&src, &mut t, r, c);
+        transpose(&t, &mut back, c, r);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn square_in_place_matches_out_of_place() {
+        for n in [1, 4, 8, 9, 16, 24, 33] {
+            let src = mat(n, n);
+            let mut inplace = src.clone();
+            transpose_square_in_place(&mut inplace, n);
+            let mut expect = vec![c64::ZERO; n * n];
+            transpose_naive(&src, &mut expect, n, n);
+            assert_eq!(inplace, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tile_kernel_moves_correct_elements() {
+        let src = mat(TILE, TILE);
+        let mut dst = vec![c64::ZERO; TILE * TILE];
+        transpose_tile(&src, TILE, &mut dst, TILE, TILE, TILE);
+        let mut expect = vec![c64::ZERO; TILE * TILE];
+        transpose_naive(&src, &mut expect, TILE, TILE);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn tile_kernel_partial_tile() {
+        // 3×5 corner of a larger matrix, strides differ from tile size.
+        let rows = 3;
+        let cols = 5;
+        let src_stride = 11;
+        let dst_stride = 9;
+        let src: Vec<c64> = (0..src_stride * rows).map(|i| c64::real(i as f64)).collect();
+        let mut dst = vec![c64::ZERO; dst_stride * cols];
+        transpose_tile(&src, src_stride, &mut dst, dst_stride, rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(dst[c * dst_stride + r], src[r * src_stride + c]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let src = mat(4, 4);
+        let mut dst = vec![c64::ZERO; 15];
+        transpose(&src, &mut dst, 4, 4);
+    }
+}

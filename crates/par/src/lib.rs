@@ -1,0 +1,499 @@
+//! Intra-node parallel substrate.
+//!
+//! The paper uses a hybrid parallelization: MPI across nodes, OpenMP within
+//! a node (§2). This crate is the OpenMP stand-in: a small, explicit
+//! parallel-for layer with a *deterministic thread count*, which the
+//! fine-grain-parallelization ablation (Fig 10) and the convolution
+//! thread-level parallelization (Fig 7 `loop_a`) both need. It offers:
+//!
+//! * [`Pool`] — a parallelism context with a fixed thread count,
+//!   * [`Pool::par_chunks_mut`] — statically partitioned parallel loop over
+//!     disjoint mutable chunks (the common FFT batch pattern),
+//!   * [`Pool::par_ranges`] — dynamically (atomically) chunked parallel loop
+//!     over an index range for irregular work,
+//!   * [`Pool::join`] — two-way fork-join,
+//! * [`WorkQueue`] — a persistent background worker for `'static` jobs,
+//!   used by the cluster runtime's pipelined all-to-all.
+//!
+//! All borrowed-data parallelism uses `std::thread::scope`, so the crate is
+//! 100 % safe Rust. When the pool has one thread (the default on a
+//! single-core host) every primitive degrades to inline execution with zero
+//! spawn overhead, which keeps micro-benchmarks honest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+
+/// A parallelism context with a fixed number of worker threads.
+///
+/// `Pool` does not keep threads alive between calls; each parallel region
+/// spawns scoped threads (and runs inline when `threads == 1`). On an HPC
+/// node the spawn cost (~10 µs) is negligible against the multi-millisecond
+/// kernels this workspace runs under it.
+///
+/// # Example
+///
+/// ```
+/// use soifft_par::Pool;
+///
+/// let pool = Pool::new(4);
+/// let mut data = vec![0u64; 1024];
+/// pool.par_chunks_mut(&mut data, 16, |_piece, offset, chunk| {
+///     for (i, v) in chunk.iter_mut().enumerate() {
+///         *v = (offset + i) as u64;
+///     }
+/// });
+/// assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new(default_parallelism())
+    }
+}
+
+/// The host's available parallelism (1 if it cannot be determined).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl Pool {
+    /// Creates a pool that will use exactly `threads` workers
+    /// (`threads >= 1`).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one thread");
+        Pool { threads }
+    }
+
+    /// A single-threaded pool (all primitives run inline).
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `a` and `b` in parallel and returns both results.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads == 1 {
+            return (a(), b());
+        }
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("joined task panicked"))
+        })
+    }
+
+    /// Splits `data` into up to `threads` contiguous pieces (each a multiple
+    /// of `granule` except possibly the last) and runs
+    /// `f(piece_index, offset, piece)` on each in parallel.
+    ///
+    /// This is the static-partition loop used for batches of independent
+    /// FFTs and for the interchange-parallelized convolution, where uniform
+    /// work makes dynamic scheduling pointless.
+    ///
+    /// # Panics
+    /// Panics if `granule == 0` or `data.len()` is not a multiple of
+    /// `granule`.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], granule: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, usize, &mut [T]) + Sync,
+    {
+        assert!(granule > 0, "granule must be positive");
+        assert_eq!(
+            data.len() % granule,
+            0,
+            "data length {} is not a multiple of granule {}",
+            data.len(),
+            granule
+        );
+        let granules = data.len() / granule;
+        let pieces = self.threads.min(granules.max(1));
+        if pieces <= 1 {
+            f(0, 0, data);
+            return;
+        }
+        // Ceil-divide granules over pieces, convert back to elements.
+        let per = granules.div_ceil(pieces) * granule;
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = data;
+            let mut offset = 0;
+            let mut idx = 0;
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let this_offset = offset;
+                let this_idx = idx;
+                s.spawn(move || f(this_idx, this_offset, head));
+                offset += take;
+                idx += 1;
+            }
+        });
+    }
+
+    /// Runs `f` over sub-ranges of `range`, dynamically handing out chunks
+    /// of `grain` indices from a shared atomic cursor. Use for irregular
+    /// work; captures of `f` must be `Sync` (shared state goes through
+    /// interior mutability or atomics).
+    pub fn par_ranges<F>(&self, range: Range<usize>, grain: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        assert!(grain > 0, "grain must be positive");
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        if self.threads == 1 || len <= grain {
+            f(range);
+            return;
+        }
+        let cursor = AtomicUsize::new(range.start);
+        let end = range.end;
+        let workers = self.threads.min(len.div_ceil(grain));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if lo >= end {
+                        break;
+                    }
+                    let hi = (lo + grain).min(end);
+                    f(lo..hi);
+                });
+            }
+        });
+    }
+
+    /// Convenience: parallel loop over every index in `range` with dynamic
+    /// chunking.
+    pub fn par_for_each<F>(&self, range: Range<usize>, grain: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.par_ranges(range, grain, |r| {
+            for i in r {
+                f(i)
+            }
+        });
+    }
+
+    /// Parallel map-reduce over an index range: `map` produces one value
+    /// per sub-range, `reduce` folds them (must be associative;
+    /// commutativity is NOT required — partials are folded in range
+    /// order). Used for norms and error reductions over large vectors.
+    pub fn par_reduce<T, M, R>(
+        &self,
+        range: Range<usize>,
+        grain: usize,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send + Clone,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T,
+    {
+        assert!(grain > 0, "grain must be positive");
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return identity;
+        }
+        if self.threads == 1 || len <= grain {
+            return reduce(identity, map(range));
+        }
+        // Static partition into ordered pieces so the fold order is
+        // deterministic regardless of which thread finishes first.
+        let pieces = self.threads.min(len.div_ceil(grain));
+        let per = len.div_ceil(pieces);
+        let mut partials: Vec<Option<T>> = vec![None; pieces];
+        std::thread::scope(|s| {
+            let map = &map;
+            for (idx, slot) in partials.iter_mut().enumerate() {
+                let lo = range.start + idx * per;
+                let hi = (lo + per).min(range.end);
+                s.spawn(move || {
+                    if lo < hi {
+                        *slot = Some(map(lo..hi));
+                    }
+                });
+            }
+        });
+        partials
+            .into_iter()
+            .flatten()
+            .fold(identity, |acc, v| reduce(acc, v))
+    }
+}
+
+/// A persistent background worker executing `'static` jobs in FIFO order.
+///
+/// The cluster runtime uses one of these per rank to pipeline PCIe-style
+/// staging copies with "InfiniBand" sends (§5.1: "pcie transfer times ...
+/// hidden by pipelining"): the producer enqueues chunk jobs and later waits
+/// for the queue to drain.
+pub struct WorkQueue {
+    tx: Option<Sender<Job>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    pending: Arc<Pending>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Pending {
+    count: parking_lot::Mutex<usize>,
+    cv: parking_lot::Condvar,
+}
+
+impl WorkQueue {
+    /// Spawns the worker thread.
+    pub fn new(name: &str) -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let pending: Arc<Pending> = Arc::default();
+        let p2 = Arc::clone(&pending);
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                for job in rx {
+                    job();
+                    let mut n = p2.count.lock();
+                    *n -= 1;
+                    if *n == 0 {
+                        p2.cv.notify_all();
+                    }
+                }
+            })
+            .expect("failed to spawn worker thread");
+        WorkQueue { tx: Some(tx), handle: Some(handle), pending }
+    }
+
+    /// Enqueues a job; returns immediately.
+    pub fn push(&self, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut n = self.pending.count.lock();
+            *n += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("queue already shut down")
+            .send(Box::new(job))
+            .expect("worker thread died");
+    }
+
+    /// Blocks until every enqueued job has finished.
+    pub fn drain(&self) {
+        let mut n = self.pending.count.lock();
+        while *n != 0 {
+            self.pending.cv.wait(&mut n);
+        }
+    }
+}
+
+impl Drop for WorkQueue {
+    fn drop(&mut self) {
+        self.drain();
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let (a, b) = pool.join(|| 6 * 7, || "ok");
+            assert_eq!(a, 42);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0u32; 240];
+            pool.par_chunks_mut(&mut data, 8, |_idx, offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v += (offset + i) as u32 + 1;
+                }
+            });
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, i as u32 + 1, "threads={threads} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_offsets_are_consistent() {
+        let pool = Pool::new(4);
+        let mut data: Vec<usize> = (0..96).collect();
+        pool.par_chunks_mut(&mut data, 4, |_idx, offset, chunk| {
+            // Element values equal their global index.
+            for (i, &v) in chunk.iter().enumerate() {
+                assert_eq!(v, offset + i);
+            }
+        });
+    }
+
+    #[test]
+    fn par_chunks_mut_respects_granule_boundaries() {
+        let pool = Pool::new(3);
+        let mut data = vec![0u8; 7 * 5];
+        pool.par_chunks_mut(&mut data, 7, |_, offset, chunk| {
+            assert_eq!(offset % 7, 0);
+            assert_eq!(chunk.len() % 7, 0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of granule")]
+    fn par_chunks_mut_rejects_ragged_input() {
+        let pool = Pool::new(2);
+        let mut data = vec![0u8; 10];
+        pool.par_chunks_mut(&mut data, 3, |_, _, _| {});
+    }
+
+    #[test]
+    fn par_ranges_covers_range_exactly() {
+        for threads in [1, 2, 5] {
+            let pool = Pool::new(threads);
+            let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+            pool.par_ranges(3..97, 7, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                let expect = u64::from((3..97).contains(&i));
+                assert_eq!(h.load(Ordering::Relaxed), expect, "threads={threads} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_ranges_empty_range_is_noop() {
+        let pool = Pool::new(4);
+        pool.par_ranges(5..5, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_for_each_sums_correctly() {
+        let pool = Pool::new(4);
+        let sum = AtomicU64::new(0);
+        pool.par_for_each(0..1000, 32, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_reduce_sums_deterministically() {
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let total = pool.par_reduce(
+                0..10_000,
+                64,
+                0u64,
+                |r| r.map(|i| i as u64).sum::<u64>(),
+                |a, b| a + b,
+            );
+            assert_eq!(total, 9_999 * 10_000 / 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_ordered_fold_for_non_commutative_ops() {
+        // String concatenation is associative but not commutative: the
+        // result must be in range order for any thread count.
+        let expect: String = (0..40).map(|i| format!("{i},")).collect();
+        for threads in [1, 3, 8] {
+            let pool = Pool::new(threads);
+            let got = pool.par_reduce(
+                0..40,
+                4,
+                String::new(),
+                |r| r.map(|i| format!("{i},")).collect::<String>(),
+                |a, b| a + &b,
+            );
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_range_returns_identity() {
+        let pool = Pool::new(4);
+        let v = pool.par_reduce(3..3, 1, 42u32, |_| panic!("no work"), |a, _| a);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn work_queue_runs_jobs_in_order_and_drains() {
+        let q = WorkQueue::new("test-worker");
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..32 {
+            let log = Arc::clone(&log);
+            q.push(move || log.lock().push(i));
+        }
+        q.drain();
+        assert_eq!(*log.lock(), (0..32).collect::<Vec<_>>());
+        // Queue is reusable after a drain.
+        let log2 = Arc::clone(&log);
+        q.push(move || log2.lock().push(99));
+        q.drain();
+        assert_eq!(log.lock().last(), Some(&99));
+    }
+
+    #[test]
+    fn work_queue_drop_waits_for_jobs() {
+        let flag = Arc::new(AtomicUsize::new(0));
+        {
+            let q = WorkQueue::new("drop-test");
+            let f = Arc::clone(&flag);
+            q.push(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                f.store(1, Ordering::SeqCst);
+            });
+        } // drop must block until the job ran
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pool_accessors() {
+        assert_eq!(Pool::serial().threads(), 1);
+        assert_eq!(Pool::new(7).threads(), 7);
+        assert!(default_parallelism() >= 1);
+        assert!(Pool::default().threads() >= 1);
+    }
+}

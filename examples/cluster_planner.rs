@@ -1,0 +1,59 @@
+//! Capacity-planning with the paper's performance model.
+//!
+//! ```sh
+//! cargo run --release --example cluster_planner -- 128 134217728
+//! ```
+//!
+//! Given a node count and a per-node problem size, answers the questions
+//! §4 and §7 pose: which algorithm, which machine, and which coprocessor
+//! usage mode — with the predicted times and TFLOPS for every combination.
+
+use soifft::model::{ClusterModel, ScalingPoint};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let per_node: f64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or((1u64 << 27) as f64);
+    let n = per_node * nodes as f64;
+
+    let xeon = ClusterModel::xeon(nodes);
+    let phi = ClusterModel::xeon_phi(nodes);
+
+    println!(
+        "capacity plan: {nodes} nodes, {per_node:.0} points/node (N = {n:.3e})\n"
+    );
+    println!("{:<34}{:>10}{:>10}", "configuration", "time (s)", "TFLOPS");
+    let report = |label: &str, t: f64| {
+        println!("{label:<34}{t:>10.3}{:>10.2}", ClusterModel::tflops(n, t));
+        t
+    };
+    let ct_x = report("Cooley-Tukey / Xeon", xeon.ct_time(n).total());
+    report("Cooley-Tukey / Xeon Phi", phi.ct_time(n).total());
+    report("SOI / Xeon", xeon.soi_time(n).total());
+    let soi_sym = report("SOI / Xeon Phi (symmetric)", phi.soi_time(n).total());
+    let soi_off = report("SOI / Xeon Phi (offload)", phi.soi_offload_time(n).total());
+    report(
+        "SOI / Xeon Phi (sym, 8 segments)",
+        phi.soi_time_overlapped(n, 8).total(),
+    );
+
+    println!("\nrecommendation:");
+    println!(
+        "  best algorithm/machine: SOI on Xeon Phi, symmetric mode ({:.2}x over CT/Xeon)",
+        ct_x / soi_sym
+    );
+    println!(
+        "  offload-mode penalty if the application dictates it: {:.0}%",
+        (soi_off / soi_sym - 1.0) * 100.0
+    );
+
+    // Where does this configuration sit on the weak-scaling curve?
+    let sweep = soifft::model::weak_scaling(&[nodes / 2.max(1), nodes, nodes * 2], per_node);
+    println!("\nneighbouring weak-scaling points (SOI/Phi):");
+    for ScalingPoint { nodes, soi_phi, .. } in sweep {
+        println!("  {nodes:>5} nodes -> {soi_phi:.2} TFLOPS");
+    }
+}

@@ -1,0 +1,68 @@
+//! Plan diagnostics: inspect an SOI configuration before running it.
+//!
+//! ```sh
+//! cargo run --release --example plan_report -- 16777216 32
+//! ```
+//!
+//! Prints the derived quantities, memory/communication footprints, flop
+//! budget and predicted accuracy for `N` points on `P` ranks — and, when a
+//! configuration is invalid, explains why and suggests a nearby valid one.
+
+use soifft::soi::{PlanReport, SoiParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(7 * (1 << 20));
+    let procs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    // First try the paper's defaults outright.
+    let attempt = SoiParams::paper_defaults(n, procs);
+    match PlanReport::new(attempt) {
+        Ok(report) => {
+            println!("paper-default parameters are valid:\n");
+            print!("{report}");
+        }
+        Err((err, suggestion)) => {
+            println!("paper defaults (mu=8/7, B=72, S=1) rejected:");
+            println!("  {err}\n");
+            match suggestion {
+                Some(s) => {
+                    println!(
+                        "suggested configuration: mu = {}, B = {}, S = {}\n",
+                        s.mu, s.conv_width, s.segments_per_proc
+                    );
+                    let report = PlanReport::new(s).expect("suggestion validates");
+                    print!("{report}");
+                }
+                None => {
+                    println!("no valid configuration found for N = {n}, P = {procs};");
+                    println!("N must admit L = S*P segments with d_mu | N/L.");
+                    return;
+                }
+            }
+        }
+    }
+
+    // Show the accuracy ladder the user can buy with B.
+    println!("\naccuracy vs window width (Gaussian design estimate):");
+    for b in [24usize, 36, 48, 72, 96] {
+        let mut p = SoiParams::paper_defaults(n, procs);
+        p.conv_width = b;
+        if let Some(valid) = SoiParams::suggest(n, procs).map(|mut s| {
+            s.conv_width = b;
+            s
+        }) {
+            if valid.validate().is_ok() {
+                if let Ok(r) = PlanReport::new(valid) {
+                    println!("  B = {b:>3}: ~{:.1e}", r.estimated_error());
+                    continue;
+                }
+            }
+        }
+        if p.validate().is_ok() {
+            if let Ok(r) = PlanReport::new(p) {
+                println!("  B = {b:>3}: ~{:.1e}", r.estimated_error());
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Realistic workload: wideband spectral surveillance with a distributed
+//! SOI FFT.
+//!
+//! ```sh
+//! cargo run --release --example spectral_analysis
+//! ```
+//!
+//! The scenario the paper's introduction motivates: a single *long* 1D
+//! signal (here a simulated wideband capture with several narrowband
+//! emitters buried in noise) that no single node can transform alone. Each
+//! of the P ranks holds a contiguous time slice; after the SOI transform,
+//! each rank holds contiguous *frequency segments* — exactly the
+//! "segment of interest" a downstream detector wants, with no extra
+//! redistribution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soifft::cluster::Cluster;
+use soifft::num::c64;
+use soifft::soi::{Rational, SoiFft, SoiParams};
+
+/// Narrowband emitters: (frequency bin, amplitude).
+const EMITTERS: [(usize, f64); 4] = [(3_000, 1.0), (17_500, 0.6), (33_100, 0.8), (61_000, 0.4)];
+
+fn main() {
+    let procs = 8;
+    let n = 1 << 16;
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 32,
+    };
+    params.validate().expect("valid");
+
+    // Synthesize the capture: tones + complex white noise.
+    let mut rng = StdRng::seed_from_u64(2013);
+    let x: Vec<c64> = (0..n)
+        .map(|i| {
+            let mut v = c64::new(
+                0.05 * rng.gen_range(-1.0..1.0),
+                0.05 * rng.gen_range(-1.0..1.0),
+            );
+            for &(bin, amp) in &EMITTERS {
+                let phase = 2.0 * std::f64::consts::PI * (bin * i) as f64 / n as f64;
+                v += c64::cis(phase) * amp;
+            }
+            v
+        })
+        .collect();
+
+    // Distribute time slices and transform.
+    let per = params.per_rank();
+    let inputs: Vec<Vec<c64>> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let fft = SoiFft::new(params).expect("plannable");
+
+    // Each rank detects peaks in its own frequency segments — no gather of
+    // the full spectrum is ever needed.
+    let detections = Cluster::run(procs, |comm| {
+        let rank = comm.rank();
+        let y = fft.forward(comm, &inputs[rank]);
+        let base_bin = rank * per;
+        // Noise floor estimate: median-ish via mean magnitude.
+        let mean: f64 = y.iter().map(|z| z.abs()).sum::<f64>() / y.len() as f64;
+        let threshold = 20.0 * mean;
+        let mut found: Vec<(usize, f64)> = y
+            .iter()
+            .enumerate()
+            .filter(|(_, z)| z.abs() > threshold)
+            .map(|(i, z)| (base_bin + i, z.abs() / n as f64))
+            .collect();
+        found.sort_by(|a, b| b.1.total_cmp(&a.1));
+        found
+    });
+
+    println!("wideband spectral analysis: N = {n}, {procs} ranks, 4 emitters injected\n");
+    let mut all: Vec<(usize, f64)> = Vec::new();
+    for (rank, found) in detections.iter().enumerate() {
+        let lo = rank * per;
+        println!(
+            "rank {rank}: owns bins [{lo}, {}), detections: {:?}",
+            lo + per,
+            found.iter().map(|&(b, a)| format!("bin {b} (amp {a:.2})")).collect::<Vec<_>>()
+        );
+        all.extend_from_slice(found);
+    }
+
+    // Every injected emitter must be found, at the right amplitude.
+    for &(bin, amp) in &EMITTERS {
+        let hit = all
+            .iter()
+            .find(|&&(b, _)| b == bin)
+            .unwrap_or_else(|| panic!("emitter at bin {bin} not detected"));
+        assert!(
+            (hit.1 - amp).abs() < 0.05,
+            "amplitude at bin {bin}: got {:.3}, injected {amp}",
+            hit.1
+        );
+    }
+    println!("\nall {} emitters detected with correct amplitudes — ok.", EMITTERS.len());
+
+    // --- Segment-of-interest follow-up -------------------------------------
+    // Revisit just the band around the strongest emitter: the namesake
+    // capability — the all-to-all ships only the wanted segments' data
+    // (here 1 of 16: 1/16th of the communication volume) and only that
+    // segment's recovery FFT runs.
+    let l = params.total_segments();
+    let seg_of = |bin: usize| bin / (n / l);
+    let target = seg_of(EMITTERS[0].0);
+    let revisit = Cluster::run(procs, |comm| {
+        let segs = fft.forward_segments(comm, &inputs[comm.rank()], &[target]);
+        (segs, comm.stats().bytes_in("all-to-all"))
+    });
+    let owner = revisit
+        .iter()
+        .position(|(segs, _)| !segs.is_empty())
+        .expect("someone owns the target segment");
+    let (s, bins) = &revisit[owner].0[0];
+    let base = s * (n / l);
+    let peak = bins
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map(|(i, v)| (base + i, v.abs() / n as f64))
+        .expect("non-empty segment");
+    println!(
+        "segment-of-interest revisit: segment {s} (bins [{base}, {})) on rank {owner}: \
+         peak at bin {} amp {:.2}; all-to-all bytes {} (full scan: {})",
+        base + n / l,
+        peak.0,
+        peak.1,
+        revisit[owner].1,
+        // Full exchange ships S·blocks·P elements of 16 B.
+        params.segments_per_proc * params.blocks_per_rank() * procs * 16,
+    );
+    assert_eq!(peak.0, EMITTERS[0].0);
+    println!("ok.");
+}

@@ -1,0 +1,84 @@
+//! Window-design explorer: how the SOI convolution kernel trades
+//! oversampling (µ), width (B) and taper family for accuracy.
+//!
+//! ```sh
+//! cargo run --release --example window_design
+//! ```
+//!
+//! Prints, for each design point: the passband flatness (demodulation
+//! conditioning), the worst-case alias leakage (the transform's error
+//! level), the tap storage cost, and the extra flops the convolution pays —
+//! the engineering trade at the heart of the paper.
+
+use soifft::soi::accuracy::alias_bound;
+use soifft::soi::{Rational, SoiParams, Window, WindowKind};
+
+fn main() {
+    let l = 16usize;
+    println!("SOI window design space (L = {l} segments)\n");
+    println!(
+        "{:<14}{:>6}{:>5}{:>14}{:>14}{:>12}{:>14}",
+        "taper", "mu", "B", "passband min", "alias leak", "taps (KB)", "conv flops/pt"
+    );
+
+    for kind in [
+        WindowKind::GaussianSinc,
+        WindowKind::KaiserSinc,
+        WindowKind::ProlateSinc,
+    ] {
+        for (mu, b) in [
+            (Rational::new(8, 7), 72usize),
+            (Rational::new(5, 4), 72),
+            (Rational::new(5, 4), 48),
+            (Rational::new(2, 1), 24),
+        ] {
+            // Pick an M divisible by d_µ.
+            let m = mu.den() * 512;
+            let params = SoiParams {
+                n: m * l,
+                procs: 1,
+                segments_per_proc: l,
+                mu,
+                conv_width: b,
+            };
+            if params.validate().is_err() {
+                continue;
+            }
+            let w = Window::new(kind, &params);
+
+            // Passband conditioning: min |ŵ| over the recovered band,
+            // relative to its max (1.0 ⇒ perfectly flat).
+            let mut min_mag = f64::INFINITY;
+            let mut max_mag: f64 = 0.0;
+            for i in 0..32 {
+                let f = -(i as f64) * (params.m() as f64 - 1.0) / 31.0 / params.n as f64;
+                let mag = w.spectrum_numeric(f).abs();
+                min_mag = min_mag.min(mag);
+                max_mag = max_mag.max(mag);
+            }
+            let leak = alias_bound(&w, &params, 9, 2);
+            let taps_kb = w.distinct_taps() * 16 / 1024;
+            let flops_per_point = 8.0 * b as f64 * mu.as_f64();
+
+            println!(
+                "{:<14}{:>6}{:>5}{:>14.3}{:>14.2e}{:>12}{:>14.0}",
+                format!("{kind:?}"),
+                mu.to_string(),
+                b,
+                min_mag / max_mag,
+                leak,
+                taps_kb,
+                flops_per_point
+            );
+        }
+    }
+
+    println!("\nHow to read this:");
+    println!("* 'alias leak' is the transform's relative-error level; every row");
+    println!("  trades it against tap storage and convolution flops (8Bµ per point).");
+    println!("* µ=8/7 keeps the extra work small (~15% oversampling) but leaves only");
+    println!("  a (µ-1)/L guard band — at B=72 that is where taper optimality");
+    println!("  matters: prolate gains ~4 orders of magnitude over Gaussian.");
+    println!("* µ=5/4 (the paper's model setting) relaxes the design enough that");
+    println!("  all three tapers are excellent.");
+}

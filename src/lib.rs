@@ -1,0 +1,38 @@
+//! # soifft — low-communication distributed 1D FFT
+//!
+//! Umbrella crate for the `soifft` workspace, a from-scratch Rust
+//! reproduction of *"Tera-Scale 1D FFT with Low-Communication Algorithm and
+//! Intel Xeon Phi Coprocessors"* (Park et al., SC '13). It re-exports the
+//! public API of every subsystem:
+//!
+//! * [`num`] — complex arithmetic, layouts, special functions,
+//! * [`par`] — intra-node parallel-for substrate,
+//! * [`fft`] — node-local FFT library (mixed-radix, Bluestein, 6-step),
+//! * [`cluster`] — simulated message-passing cluster runtime,
+//! * [`soi`] — the Segment-of-Interest low-communication FFT itself,
+//! * [`ct`] — the conventional distributed Cooley–Tukey baseline,
+//! * [`model`] — the paper's performance model (sections 4 and 7).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use soifft::num::c64;
+//! use soifft::fft::Plan;
+//!
+//! // A node-local FFT:
+//! let plan = Plan::new(1024);
+//! let mut data: Vec<c64> = (0..1024)
+//!     .map(|i| c64::new((i as f64 * 0.1).sin(), 0.0))
+//!     .collect();
+//! plan.forward(&mut data);
+//! ```
+//!
+//! See `examples/quickstart.rs` for the distributed SOI transform.
+
+pub use soifft_cluster as cluster;
+pub use soifft_core as soi;
+pub use soifft_ct as ct;
+pub use soifft_fft as fft;
+pub use soifft_model as model;
+pub use soifft_num as num;
+pub use soifft_par as par;

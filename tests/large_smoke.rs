@@ -1,0 +1,111 @@
+//! Larger-scale smoke tests: the full distributed stack at the biggest
+//! sizes the CI budget allows, plus an `#[ignore]`d paper-shaped run for
+//! manual thorough testing (`cargo test --release -- --ignored`).
+
+use soifft::cluster::Cluster;
+use soifft::ct::DistributedCtFft;
+use soifft::fft::Plan;
+use soifft::num::error::rel_l2;
+use soifft::num::c64;
+use soifft::soi::pipeline::{gather_output, scatter_input};
+use soifft::soi::{Rational, SoiFft, SoiParams, WindowKind};
+
+fn signal(n: usize) -> Vec<c64> {
+    let mut state = 0x5DEECE66Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    };
+    (0..n).map(|_| c64::new(next(), next())).collect()
+}
+
+/// 2^18 points on 8 ranks: both algorithms, one verification each.
+#[test]
+fn quarter_million_points_eight_ranks() {
+    let n = 1 << 18;
+    let procs = 8;
+    let x = signal(n);
+    let mut want = x.clone();
+    Plan::new(n).forward(&mut want);
+    let inputs = scatter_input(&x, procs);
+
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 4,
+        mu: Rational::new(2, 1),
+        conv_width: 24,
+    };
+    let soi = SoiFft::new(params).unwrap();
+    let got = gather_output(Cluster::run(procs, |comm| {
+        soi.forward(comm, &inputs[comm.rank()])
+    }));
+    let err = rel_l2(&got, &want);
+    assert!(err < 1e-8, "SOI err={err:.3e}");
+
+    let ct = DistributedCtFft::new(n, procs).unwrap();
+    let got = gather_output(Cluster::run(procs, |comm| {
+        ct.forward(comm, &inputs[comm.rank()])
+    }));
+    let err = rel_l2(&got, &want);
+    assert!(err < 1e-11, "CT err={err:.3e}");
+}
+
+/// Sixteen simulated ranks with everything turned on: prolate window,
+/// fused conv+FFT... (fusion forces row-major; prolate for accuracy).
+#[test]
+fn sixteen_ranks_prolate_fused() {
+    let n = 1 << 16;
+    let procs = 16;
+    let x = signal(n);
+    let mut want = x.clone();
+    Plan::new(n).forward(&mut want);
+    let inputs = scatter_input(&x, procs);
+
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 16,
+    };
+    let soi = SoiFft::with_window(params, WindowKind::ProlateSinc)
+        .unwrap()
+        .with_fused_segment_fft();
+    let got = gather_output(Cluster::run(procs, |comm| {
+        soi.forward(comm, &inputs[comm.rank()])
+    }));
+    let err = rel_l2(&got, &want);
+    assert!(err < 1e-10, "err={err:.3e}");
+}
+
+/// Paper-shaped run: µ = 8/7, B = 72, prolate window, 2^20 total points on
+/// 8 ranks. A few seconds in release mode; run with `-- --ignored`.
+#[test]
+#[ignore = "thorough run: ~10 s release; cargo test --release -- --ignored"]
+fn paper_shape_mu_eight_sevenths_large() {
+    let procs = 8;
+    let m = 7 * (1 << 14); // per-segment length, divisible by 7
+    let l = 8;
+    let n = m * l;
+    let x = signal(n);
+    let mut want = x.clone();
+    Plan::new(n).forward(&mut want);
+    let inputs = scatter_input(&x, procs);
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 1,
+        mu: Rational::new(8, 7),
+        conv_width: 72,
+    };
+    params.validate().unwrap();
+    let soi = SoiFft::with_window(params, WindowKind::ProlateSinc).unwrap();
+    let got = gather_output(Cluster::run(procs, |comm| {
+        soi.forward(comm, &inputs[comm.rank()])
+    }));
+    let err = rel_l2(&got, &want);
+    assert!(err < 1e-8, "err={err:.3e}");
+}

@@ -1,0 +1,76 @@
+//! Numerical regression pins: exact values this reproduction is calibrated
+//! to produce. If any of these drift, a figure in EXPERIMENTS.md is stale.
+
+use soifft::model::{weak_scaling, ClusterModel};
+use soifft::soi::accuracy::alias_bound;
+use soifft::soi::{Rational, SoiParams, Window, WindowKind};
+
+fn close(a: f64, b: f64, rel: f64) -> bool {
+    (a - b).abs() <= rel * b.abs().max(1e-300)
+}
+
+/// The §4 component times printed in fig3 / EXPERIMENTS.md.
+#[test]
+fn fig3_component_times_pinned() {
+    let n = (1u64 << 32) as f64;
+    let xeon = ClusterModel::xeon(32);
+    let phi = ClusterModel::xeon_phi(32);
+    assert!(close(xeon.t_fft(n), 0.5173, 1e-3), "{}", xeon.t_fft(n));
+    assert!(close(phi.t_fft(n), 0.1666, 1e-3), "{}", phi.t_fft(n));
+    assert!(close(xeon.t_conv(n), 0.6383, 1e-3), "{}", xeon.t_conv(n));
+    assert!(close(phi.t_conv(n), 0.2056, 1e-3), "{}", phi.t_conv(n));
+    assert!(close(xeon.t_mpi(n), 0.6667, 1e-3), "{}", xeon.t_mpi(n));
+}
+
+/// The fig8 table's corner values.
+#[test]
+fn fig8_corners_pinned() {
+    let pts = weak_scaling(&[4, 64, 512], (1u64 << 27) as f64);
+    assert!(close(pts[0].soi_phi, 0.0682, 2e-2), "{}", pts[0].soi_phi);
+    assert!(close(pts[1].soi_phi, 1.07, 2e-2), "{}", pts[1].soi_phi);
+    assert!(close(pts[2].soi_phi, 6.71, 2e-2), "{}", pts[2].soi_phi);
+    assert!(close(pts[2].ct_xeon, 2.86, 2e-2), "{}", pts[2].ct_xeon);
+}
+
+/// The accuracy table's window bounds (order-of-magnitude pins: window
+/// design constants are part of the public behaviour).
+#[test]
+fn accuracy_bounds_pinned() {
+    let mk = |mu: Rational, b: usize, m: usize| {
+        let l = 8;
+        SoiParams {
+            n: m * l,
+            procs: 1,
+            segments_per_proc: l,
+            mu,
+            conv_width: b,
+        }
+    };
+    let cases: [(WindowKind, Rational, usize, usize, f64); 4] = [
+        (WindowKind::GaussianSinc, Rational::new(8, 7), 72, 7 * 128, 1.5e-6),
+        (WindowKind::ProlateSinc, Rational::new(8, 7), 72, 7 * 128, 3e-11),
+        (WindowKind::GaussianSinc, Rational::new(5, 4), 72, 512, 1.4e-10),
+        (WindowKind::KaiserSinc, Rational::new(8, 7), 72, 7 * 128, 2.7e-6),
+    ];
+    for (kind, mu, b, m, expect) in cases {
+        let p = mk(mu, b, m);
+        p.validate().unwrap();
+        let w = Window::new(kind, &p);
+        let bound = alias_bound(&w, &p, 9, 2);
+        assert!(
+            bound < expect * 3.0 && bound > expect / 30.0,
+            "{kind:?} µ={mu} B={b}: bound {bound:.3e}, pinned {expect:.1e}"
+        );
+    }
+}
+
+/// Machine-constant pins (Table 2 derived values).
+#[test]
+fn table2_pins() {
+    use soifft::model::MachineSpec;
+    let xeon = MachineSpec::xeon_e5_2680();
+    let phi = MachineSpec::xeon_phi_se10();
+    assert!(close(xeon.bytes_per_op(), 0.2283, 1e-3));
+    assert!(close(phi.bytes_per_op(), 0.1397, 1e-3));
+    assert!(close(phi.peak_gflops / xeon.peak_gflops, 3.104, 1e-3));
+}
