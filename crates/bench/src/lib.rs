@@ -225,9 +225,9 @@ mod tests {
         // 3:1 ratio → ~30 A's, ~10 B's.
         let a_count = chart.matches('A').count();
         let b_count = chart.matches('B').count();
-        assert!(a_count >= 28 && a_count <= 32, "{chart}");
+        assert!((28..=32).contains(&a_count), "{chart}");
         // Legend line also contains one B; allow slack.
-        assert!(b_count >= 9 && b_count <= 13, "{chart}");
+        assert!((9..=13).contains(&b_count), "{chart}");
         assert!(chart.contains("A=compute"));
         assert!(chart.contains("B=exchange"));
     }

@@ -1,0 +1,426 @@
+//! Deterministic fault injection for chaos-testing the cluster runtime.
+//!
+//! A [`FaultPlan`] is a seeded description of the chaos to inject: message
+//! drops, delivery delays, duplicates, payload corruption, and a targeted
+//! rank crash at a chosen phase. Installed via
+//! [`Cluster::run_with`](crate::Cluster::run_with) (or the
+//! [`run_cluster_with_faults`](crate::run_cluster_with_faults) shorthand),
+//! each rank gets its own [`FaultInjector`] whose pseudo-random stream is
+//! derived from `seed ⊕ rank` — decisions depend only on the plan, the
+//! rank, and that rank's (deterministic) send sequence, never on thread
+//! scheduling, so **identical seed + plan ⇒ identical injected events and
+//! identical outcomes** (asserted by the determinism proptest).
+//!
+//! Message faults act at the *link layer* inside
+//! [`Comm::try_send`](crate::Comm::try_send): a dropped or corrupted copy
+//! consumes one retransmit attempt (with exponential backoff per
+//! [`RetryPolicy`](crate::RetryPolicy)); duplicates and corrupt copies that
+//! do reach the wire are filtered by the receiver via sequence numbers and
+//! checksums. A crash is a rank-fatal event: the victim panics at the
+//! chosen [`CrashSite`] and the launcher converts that into
+//! [`RankOutcome::Crashed`](crate::RankOutcome::Crashed) while survivors
+//! unblock with [`CommError::PeerFailed`](crate::CommError::PeerFailed).
+
+use std::time::Duration;
+
+use soifft_num::c64;
+
+/// What the injector decides to do with one delivery attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the message normally.
+    Deliver,
+    /// Silently drop this copy (the link layer will retransmit).
+    Drop,
+    /// Delay delivery by the given duration, then deliver.
+    Delay(Duration),
+    /// Deliver the message twice (receiver must deduplicate).
+    Duplicate,
+    /// Deliver a bit-corrupted copy (receiver's checksum rejects it; the
+    /// link layer retransmits).
+    Corrupt,
+}
+
+/// Where an injected rank crash fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashSite {
+    /// On entering the ghost (nearest-neighbour) exchange.
+    Ghost,
+    /// On entering any all-to-all collective.
+    AllToAll,
+    /// On entering a barrier.
+    Barrier,
+    /// After the rank's `n`-th successful send (fine-grained placement —
+    /// e.g. mid-exchange).
+    AfterSends(u64),
+}
+
+/// A targeted rank crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The rank to kill.
+    pub rank: usize,
+    /// Where in the communication schedule it dies.
+    pub site: CrashSite,
+}
+
+/// A seeded, deterministic description of faults to inject.
+///
+/// Probabilities are per *delivery attempt*. `fault_limit` bounds how many
+/// faulty attempts any single message can suffer before the injector lets
+/// a clean copy through — keeping injected faults *transient* so the
+/// bounded link-layer retransmit can absorb them. Set it at or above the
+/// retry budget (e.g. [`FaultPlan::permanent`]) to model hard failures.
+///
+/// # Example
+///
+/// ```
+/// use soifft_cluster::{CrashSite, FaultPlan};
+/// let plan = FaultPlan::new(42)
+///     .drop(0.2)
+///     .corrupt(0.1)
+///     .crash(2, CrashSite::AllToAll);
+/// assert_eq!(plan.seed(), 42);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_p: f64,
+    delay_p: f64,
+    delay: Duration,
+    duplicate_p: f64,
+    corrupt_p: f64,
+    fault_limit: u32,
+    only_rank: Option<usize>,
+    crash: Option<CrashSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults (builder entry point).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            delay_p: 0.0,
+            delay: Duration::from_micros(200),
+            duplicate_p: 0.0,
+            corrupt_p: 0.0,
+            fault_limit: 2,
+            only_rank: None,
+            crash: None,
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drop each delivery attempt with probability `p`.
+    pub fn drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_p = p;
+        self
+    }
+
+    /// Delay each delivery with probability `p` by `dur`.
+    pub fn delay(mut self, p: f64, dur: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.delay_p = p;
+        self.delay = dur;
+        self
+    }
+
+    /// Duplicate each delivery with probability `p`.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Bit-corrupt each delivery attempt with probability `p`.
+    pub fn corrupt(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.corrupt_p = p;
+        self
+    }
+
+    /// Cap the number of faulty attempts per message at `limit` (after
+    /// which the injector delivers cleanly). Default 2 — transient under
+    /// the default 4-attempt [`RetryPolicy`](crate::RetryPolicy).
+    pub fn fault_limit(mut self, limit: u32) -> Self {
+        self.fault_limit = limit;
+        self
+    }
+
+    /// Make message faults permanent: no per-message fault cap, so a
+    /// `drop(1.0)` plan defeats every retransmit (models a severed link).
+    pub fn permanent(mut self) -> Self {
+        self.fault_limit = u32::MAX;
+        self
+    }
+
+    /// Restrict message faults to sends *by* `rank` (crashes are always
+    /// targeted separately).
+    pub fn on_rank(mut self, rank: usize) -> Self {
+        self.only_rank = Some(rank);
+        self
+    }
+
+    /// Kill `rank` when it reaches `site`.
+    pub fn crash(mut self, rank: usize, site: CrashSite) -> Self {
+        self.crash = Some(CrashSpec { rank, site });
+        self
+    }
+
+    /// The configured crash, if any.
+    pub fn crash_spec(&self) -> Option<CrashSpec> {
+        self.crash
+    }
+
+    /// Builds the per-rank injector for `rank` in a cluster of `size`.
+    pub fn injector_for(&self, rank: usize, size: usize) -> FaultInjector {
+        assert!(rank < size, "rank out of range");
+        if let Some(c) = self.crash {
+            assert!(c.rank < size, "crash target rank out of range");
+        }
+        FaultInjector {
+            plan: self.clone(),
+            rank,
+            rng: SplitMix::new(self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            sends: 0,
+            events: FaultEvents::default(),
+        }
+    }
+}
+
+/// Counters of injected events on one rank (deterministic for a fixed
+/// plan; useful for asserting a chaos run actually exercised faults).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultEvents {
+    /// Delivery attempts dropped.
+    pub drops: u64,
+    /// Deliveries delayed.
+    pub delays: u64,
+    /// Deliveries duplicated.
+    pub duplicates: u64,
+    /// Delivery attempts corrupted.
+    pub corruptions: u64,
+}
+
+impl FaultEvents {
+    /// Total injected events.
+    pub fn total(&self) -> u64 {
+        self.drops + self.delays + self.duplicates + self.corruptions
+    }
+}
+
+/// One rank's deterministic fault source (derived from a [`FaultPlan`]).
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rank: usize,
+    rng: SplitMix,
+    sends: u64,
+    events: FaultEvents,
+}
+
+impl FaultInjector {
+    /// Decides the fate of delivery attempt `attempt` (0-based) of this
+    /// rank's next message. Draws from the deterministic stream in a fixed
+    /// order regardless of which faults are enabled, so enabling one fault
+    /// class does not perturb another's decisions.
+    pub fn action(&mut self, attempt: u32) -> FaultAction {
+        let (d, c, dup, del) = (
+            self.rng.next_f64(),
+            self.rng.next_f64(),
+            self.rng.next_f64(),
+            self.rng.next_f64(),
+        );
+        if self.plan.only_rank.is_some_and(|r| r != self.rank) {
+            return FaultAction::Deliver;
+        }
+        if attempt >= self.plan.fault_limit {
+            // Cap reached: guarantee forward progress under the retry
+            // budget (faults stay transient).
+            return FaultAction::Deliver;
+        }
+        if d < self.plan.drop_p {
+            self.events.drops += 1;
+            return FaultAction::Drop;
+        }
+        if c < self.plan.corrupt_p {
+            self.events.corruptions += 1;
+            return FaultAction::Corrupt;
+        }
+        if dup < self.plan.duplicate_p {
+            self.events.duplicates += 1;
+            return FaultAction::Duplicate;
+        }
+        if del < self.plan.delay_p {
+            self.events.delays += 1;
+            return FaultAction::Delay(self.plan.delay);
+        }
+        FaultAction::Deliver
+    }
+
+    /// Corrupts `data` in place (single deterministic bit flip).
+    pub fn corrupt_payload(&mut self, data: &mut [c64]) {
+        if data.is_empty() {
+            return;
+        }
+        let i = (self.rng.next_u64() as usize) % data.len();
+        data[i].re = f64::from_bits(data[i].re.to_bits() ^ 1);
+    }
+
+    /// Records a completed send (advances the [`CrashSite::AfterSends`]
+    /// trigger).
+    pub fn note_send(&mut self) {
+        self.sends += 1;
+    }
+
+    /// True if this rank must crash now, given it just reached `site`
+    /// (exact site match; [`CrashSite::AfterSends`] triggers are checked by
+    /// [`FaultInjector::crash_due_sends`] instead).
+    pub fn crash_due(&self, site: CrashSite) -> bool {
+        match self.plan.crash {
+            Some(c) if c.rank == self.rank => c.site == site,
+            _ => false,
+        }
+    }
+
+    /// True if this rank's [`CrashSite::AfterSends`] trigger has fired
+    /// (checked by the send path after every successful delivery).
+    pub fn crash_due_sends(&self) -> bool {
+        matches!(
+            self.plan.crash,
+            Some(CrashSpec { rank, site: CrashSite::AfterSends(n) })
+                if rank == self.rank && self.sends >= n
+        )
+    }
+
+    /// The injected-event counters so far.
+    pub fn events(&self) -> FaultEvents {
+        self.events
+    }
+
+    /// The rank this injector belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+/// SplitMix64 — tiny, seedable, good-enough generator for fault decisions.
+#[derive(Clone, Debug)]
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_streams_are_deterministic() {
+        let plan = FaultPlan::new(7).drop(0.3).corrupt(0.2).duplicate(0.1);
+        let mut a = plan.injector_for(1, 4);
+        let mut b = plan.injector_for(1, 4);
+        for attempt in 0..200 {
+            assert_eq!(a.action(attempt % 3), b.action(attempt % 3));
+        }
+        assert_eq!(a.events(), b.events());
+        assert!(a.events().total() > 0, "plan with p>0 must inject something");
+    }
+
+    #[test]
+    fn ranks_get_independent_streams() {
+        let plan = FaultPlan::new(7).drop(0.5);
+        let mut a = plan.injector_for(0, 2);
+        let mut b = plan.injector_for(1, 2);
+        let sa: Vec<_> = (0..64).map(|_| a.action(0)).collect();
+        let sb: Vec<_> = (0..64).map(|_| b.action(0)).collect();
+        assert_ne!(sa, sb, "rank streams should differ");
+    }
+
+    #[test]
+    fn fault_limit_guarantees_delivery() {
+        let plan = FaultPlan::new(3).drop(1.0).fault_limit(2);
+        let mut inj = plan.injector_for(0, 1);
+        assert_eq!(inj.action(0), FaultAction::Drop);
+        assert_eq!(inj.action(1), FaultAction::Drop);
+        assert_eq!(inj.action(2), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn permanent_plan_never_relents() {
+        let plan = FaultPlan::new(3).drop(1.0).permanent();
+        let mut inj = plan.injector_for(0, 1);
+        for attempt in 0..50 {
+            assert_eq!(inj.action(attempt), FaultAction::Drop);
+        }
+    }
+
+    #[test]
+    fn only_rank_scopes_message_faults() {
+        let plan = FaultPlan::new(9).drop(1.0).on_rank(1);
+        let mut other = plan.injector_for(0, 2);
+        assert_eq!(other.action(0), FaultAction::Deliver);
+        let mut target = plan.injector_for(1, 2);
+        assert_eq!(target.action(0), FaultAction::Drop);
+    }
+
+    #[test]
+    fn crash_sites_trigger_for_target_only() {
+        let plan = FaultPlan::new(1).crash(2, CrashSite::AllToAll);
+        let victim = plan.injector_for(2, 4);
+        let bystander = plan.injector_for(1, 4);
+        assert!(victim.crash_due(CrashSite::AllToAll));
+        assert!(!victim.crash_due(CrashSite::Barrier));
+        assert!(!bystander.crash_due(CrashSite::AllToAll));
+    }
+
+    #[test]
+    fn after_sends_crash_counts_sends() {
+        let plan = FaultPlan::new(1).crash(0, CrashSite::AfterSends(2));
+        let mut inj = plan.injector_for(0, 2);
+        assert!(!inj.crash_due_sends());
+        inj.note_send();
+        assert!(!inj.crash_due_sends());
+        inj.note_send();
+        assert!(inj.crash_due_sends());
+        assert!(!inj.crash_due(CrashSite::Barrier), "site triggers stay independent");
+    }
+
+    #[test]
+    fn corrupt_payload_flips_exactly_one_bit() {
+        let plan = FaultPlan::new(5).corrupt(1.0);
+        let mut inj = plan.injector_for(0, 1);
+        let orig: Vec<c64> = (0..16).map(|i| c64::new(i as f64, 1.0)).collect();
+        let mut data = orig.clone();
+        inj.corrupt_payload(&mut data);
+        let diffs = orig
+            .iter()
+            .zip(&data)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1);
+    }
+}

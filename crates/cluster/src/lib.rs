@@ -14,28 +14,75 @@
 //! "3 all-to-alls vs 1 all-to-all + ghost exchange" contrast, and how
 //! functional runs are cross-checked against the analytic model's
 //! byte-volume predictions.
+//!
+//! # Fault model (DESIGN.md §1, "Fault model")
+//!
+//! A real 512-node run sees dropped packets, stragglers, and node deaths;
+//! the runtime therefore layers a fault-injection and recovery stack on the
+//! perfect thread-and-channel transport:
+//!
+//! * [`FaultPlan`] / [`FaultInjector`] ([`fault`]) — seeded, deterministic
+//!   injection of drops, delays, duplicates, bit corruption, and targeted
+//!   rank crashes, installed per-[`Comm`] by [`Cluster::run_with`] or
+//!   [`run_cluster_with_faults`].
+//! * Link-layer reliability — every wire message carries a sequence number
+//!   and (under injection) a checksum; [`Comm::try_send`] retransmits
+//!   dropped/corrupted copies with exponential backoff up to a
+//!   [`RetryPolicy`] budget, and the receive path discards corrupt copies
+//!   and duplicates.
+//! * Typed failures ([`resilience`]) — [`CommError`] replaces the seed
+//!   runtime's panics; the classic infallible API ([`Comm::send`],
+//!   [`Comm::recv`], [`Comm::barrier`]) survives as thin wrappers that
+//!   convert errors into rank-fatal panics the launcher captures.
+//! * Crash containment — [`Cluster::run_with`] wraps every rank in
+//!   `catch_unwind` and returns per-rank [`RankOutcome`]s; a dying rank
+//!   cancels the shared [`CancellableBarrier`] and flips a cluster-health
+//!   flag, so survivors blocked in `recv`/`barrier` unblock with
+//!   [`CommError::PeerFailed`] instead of deadlocking.
+//! * Coordinated retry — [`Comm::all_to_all_resilient`] runs the exchange
+//!   in rounds on fresh tags with an end-of-round consensus, absorbing
+//!   transient faults that outlive the link-layer budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod pcie;
 pub mod proxy;
+pub mod resilience;
 pub mod stats;
 
-use std::collections::HashMap;
-use std::sync::{Arc, Barrier};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use soifft_num::c64;
 
+pub use fault::{CrashSite, CrashSpec, FaultAction, FaultEvents, FaultInjector, FaultPlan};
 pub use pcie::PcieLink;
 pub use proxy::ProxyCore;
+pub use resilience::{
+    checksum, CancellableBarrier, CommError, ExchangePolicy, RankOutcome, RetryPolicy,
+};
 pub use stats::{CommStats, CostModel, PhaseRecord};
+
+use resilience::{ClusterState, CommFailure, InjectedCrash};
+
+/// How long a blocking receive sleeps per poll slice before re-checking
+/// cluster health and its deadline.
+const POLL_SLICE: Duration = Duration::from_millis(2);
 
 /// A tagged message between ranks.
 pub(crate) struct Message {
     pub(crate) src: usize,
     pub(crate) tag: u64,
+    /// Per-sender sequence number (unique per `src`); lets the receiver
+    /// discard injected duplicates.
+    pub(crate) seq: u64,
+    /// FNV-1a checksum of `data` at send time (0 when verification is off);
+    /// lets the receiver discard injected corruption.
+    pub(crate) checksum: u64,
     pub(crate) data: Vec<c64>,
 }
 
@@ -46,7 +93,21 @@ pub struct Comm {
     pub(crate) senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
     pending: HashMap<(usize, u64), Vec<Vec<c64>>>,
-    barrier: Arc<Barrier>,
+    /// Sequence numbers already accepted, per source (duplicate filter;
+    /// only populated when verification is on).
+    seen: HashMap<usize, HashSet<u64>>,
+    barrier: Arc<CancellableBarrier>,
+    state: Arc<ClusterState>,
+    injector: Option<FaultInjector>,
+    /// Whether wire messages carry/verify checksums and sequence filtering
+    /// (on exactly when a fault plan is installed).
+    pub(crate) verify: bool,
+    retry: RetryPolicy,
+    recv_deadline_default: Duration,
+    pub(crate) next_seq: u64,
+    /// Monotone counter agreeing across ranks (collective calls are
+    /// collective), isolating each resilient exchange's tag space.
+    exchange_epoch: u64,
     pub(crate) stats: CommStats,
 }
 
@@ -71,39 +132,270 @@ impl Comm {
         &mut self.stats
     }
 
-    /// Sends `data` to `dst` with `tag`. Non-blocking (buffered channel).
+    /// The injected-fault counters for this rank, when a [`FaultPlan`] is
+    /// installed.
+    pub fn fault_events(&self) -> Option<FaultEvents> {
+        self.injector.as_ref().map(|i| i.events())
+    }
+
+    /// Panics with an [`InjectedCrash`] if the installed plan kills this
+    /// rank at `site`; marks the cluster unhealthy first so survivors
+    /// unblock immediately.
+    fn maybe_crash(&self, site: CrashSite) {
+        if let Some(inj) = &self.injector {
+            if inj.crash_due(site) {
+                self.die();
+            }
+        }
+    }
+
+    /// As [`Comm::maybe_crash`], for the send-count trigger.
+    fn maybe_crash_sends(&self) {
+        if let Some(inj) = &self.injector {
+            if inj.crash_due_sends() {
+                self.die();
+            }
+        }
+    }
+
+    fn die(&self) -> ! {
+        self.state.mark_failed(self.rank);
+        self.barrier.cancel(self.rank);
+        // resume_unwind, not panic_any: an injected crash is part of the
+        // fault plan, so it unwinds silently instead of invoking the
+        // process panic hook and printing a backtrace.
+        std::panic::resume_unwind(Box::new(InjectedCrash { rank: self.rank }))
+    }
+
+    /// Sends `data` to `dst` with `tag`. Non-blocking on unbounded
+    /// channels; on a bounded cluster ([`ClusterConfig::capacity`]) it
+    /// applies backpressure, blocking while the destination queue is full.
+    ///
+    /// Thin infallible wrapper over [`Comm::try_send`]: a typed failure
+    /// becomes a rank-fatal panic that [`Cluster::run_with`] captures as a
+    /// [`RankOutcome::Err`].
     pub fn send(&mut self, dst: usize, tag: u64, data: Vec<c64>) {
+        if let Err(e) = self.try_send(dst, tag, data) {
+            resilience::raise(e)
+        }
+    }
+
+    /// Fallible send with link-layer fault handling.
+    ///
+    /// Under an installed [`FaultPlan`], each delivery attempt may be
+    /// dropped, delayed, duplicated, or bit-corrupted; dropped and
+    /// corrupted attempts are retransmitted with exponential backoff up to
+    /// [`RetryPolicy::max_attempts`]. Self-messages short-circuit into the
+    /// local queue and are exempt from injection (they never cross the
+    /// wire).
+    ///
+    /// # Errors
+    /// * [`CommError::PeerFailed`] — `dst` (or, under backpressure, any
+    ///   rank) is dead.
+    /// * [`CommError::Timeout`] — retransmit budget exhausted, all copies
+    ///   dropped.
+    /// * [`CommError::ChecksumMismatch`] — budget exhausted and at least
+    ///   one corrupted copy reached the wire.
+    /// * [`CommError::Shutdown`] — the destination endpoint is gone.
+    pub fn try_send(&mut self, dst: usize, tag: u64, data: Vec<c64>) -> Result<(), CommError> {
         assert!(dst < self.size, "destination rank out of range");
+        self.maybe_crash_sends();
         let bytes = (data.len() * std::mem::size_of::<c64>()) as u64;
         self.stats.add_bytes_sent(bytes);
         if dst == self.rank {
             // Self-message: short-circuit into the pending map.
             self.pending.entry((self.rank, tag)).or_default().push(data);
-            return;
+            return Ok(());
         }
-        self.senders[dst]
-            .send(Message { src: self.rank, tag, data })
-            .expect("peer rank hung up");
+        if self.state.has_failed(dst) {
+            return Err(CommError::PeerFailed { rank: dst });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let sum = if self.verify { checksum(&data) } else { 0 };
+        let src = self.rank;
+        let mut wired_corrupt = false;
+        let mut attempt: u32 = 0;
+        loop {
+            let action = match self.injector.as_mut() {
+                Some(inj) => inj.action(attempt),
+                None => FaultAction::Deliver,
+            };
+            match action {
+                FaultAction::Deliver => {
+                    self.wire(dst, Message { src, tag, seq, checksum: sum, data })?;
+                    break;
+                }
+                FaultAction::Delay(d) => {
+                    std::thread::sleep(d);
+                    self.wire(dst, Message { src, tag, seq, checksum: sum, data })?;
+                    break;
+                }
+                FaultAction::Duplicate => {
+                    let copy = data.clone();
+                    self.wire(dst, Message { src, tag, seq, checksum: sum, data: copy })?;
+                    // The surplus copy is best-effort: the receiver only
+                    // needs the first, and may legitimately tear down its
+                    // endpoint before this one lands.
+                    let _ = self.wire(dst, Message { src, tag, seq, checksum: sum, data });
+                    break;
+                }
+                FaultAction::Corrupt => {
+                    let mut bad = data.clone();
+                    self.injector
+                        .as_mut()
+                        .expect("corrupt action implies injector")
+                        .corrupt_payload(&mut bad);
+                    // The stale checksum makes the receiver discard it.
+                    self.wire(dst, Message { src, tag, seq, checksum: sum, data: bad })?;
+                    wired_corrupt = true;
+                    self.stats.note_retransmit();
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        return Err(CommError::ChecksumMismatch { src, tag });
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt - 1));
+                }
+                FaultAction::Drop => {
+                    self.stats.note_retransmit();
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        return Err(if wired_corrupt {
+                            CommError::ChecksumMismatch { src, tag }
+                        } else {
+                            CommError::Timeout
+                        });
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt - 1));
+                }
+            }
+        }
+        if let Some(inj) = self.injector.as_mut() {
+            inj.note_send();
+        }
+        self.stats.note_queue_depth(self.senders[dst].len());
+        Ok(())
+    }
+
+    /// Pushes one message onto the destination channel, blocking under
+    /// backpressure (bounded clusters) with periodic health checks.
+    fn wire(&mut self, dst: usize, msg: Message) -> Result<(), CommError> {
+        let mut msg = msg;
+        loop {
+            match self.senders[dst].try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => {
+                    // Attribute the closed endpoint to a crash when the
+                    // failure detector knows of one — `dst` itself first,
+                    // else the root-cause rank (survivors unwind by
+                    // dropping their endpoints, which must not masquerade
+                    // as an orderly shutdown).
+                    return Err(if self.state.has_failed(dst) {
+                        CommError::PeerFailed { rank: dst }
+                    } else if let Some(rank) = self.state.check() {
+                        CommError::PeerFailed { rank }
+                    } else {
+                        CommError::Shutdown
+                    });
+                }
+                Err(TrySendError::Full(m)) => {
+                    msg = m;
+                    if let Some(rank) = self.state.check() {
+                        return Err(CommError::PeerFailed { rank });
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Validates and files an arriving wire message: corrupt copies and
+    /// duplicates are discarded (counted in the ledger), everything else
+    /// joins the pending map.
+    fn ingest(&mut self, msg: Message) {
+        if self.verify {
+            if msg.checksum != checksum(&msg.data) {
+                self.stats.note_corrupt_discarded();
+                return;
+            }
+            if !self.seen.entry(msg.src).or_default().insert(msg.seq) {
+                self.stats.note_duplicate_discarded();
+                return;
+            }
+        }
+        self.pending.entry((msg.src, msg.tag)).or_default().push(msg.data);
+    }
+
+    fn take_pending(&mut self, src: usize, tag: u64) -> Option<Vec<c64>> {
+        let queue = self.pending.get_mut(&(src, tag))?;
+        let data = queue.remove(0);
+        if queue.is_empty() {
+            self.pending.remove(&(src, tag));
+        }
+        Some(data)
     }
 
     /// Blocks until a message from `src` with `tag` arrives and returns it.
+    ///
+    /// Thin infallible wrapper over the deadline-based receive path (the
+    /// default deadline is [`ClusterConfig::recv_deadline`], generous
+    /// enough to be "forever" for healthy runs): a typed failure — peer
+    /// death, shutdown, deadline — becomes a rank-fatal panic that
+    /// [`Cluster::run_with`] captures.
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<c64> {
+        let end = Instant::now() + self.recv_deadline_default;
+        match self.recv_until(src, tag, end) {
+            Ok(data) => data,
+            Err(e) => resilience::raise(e),
+        }
+    }
+
+    /// Receives a message from `src` with `tag`, waiting at most `timeout`.
+    ///
+    /// # Errors
+    /// * [`CommError::Timeout`] — nothing matched within `timeout`.
+    /// * [`CommError::PeerFailed`] — a rank died while we would block
+    ///   (already-delivered matching messages are still returned first).
+    /// * [`CommError::Shutdown`] — every peer endpoint is gone.
+    pub fn recv_deadline(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<c64>, CommError> {
+        self.recv_until(src, tag, Instant::now() + timeout)
+    }
+
+    /// Deadline-based receive against an absolute instant (lets a
+    /// collective spread one budget across many receives).
+    fn recv_until(&mut self, src: usize, tag: u64, end: Instant) -> Result<Vec<c64>, CommError> {
         assert!(src < self.size, "source rank out of range");
         loop {
-            if let Some(queue) = self.pending.get_mut(&(src, tag)) {
-                if !queue.is_empty() {
-                    let data = queue.remove(0);
-                    if queue.is_empty() {
-                        self.pending.remove(&(src, tag));
-                    }
-                    return data;
-                }
+            if let Some(data) = self.take_pending(src, tag) {
+                return Ok(data);
             }
-            let msg = self.receiver.recv().expect("cluster shut down mid-recv");
-            self.pending
-                .entry((msg.src, msg.tag))
-                .or_default()
-                .push(msg.data);
+            // Drain everything already delivered before deciding to block.
+            let mut progressed = false;
+            while let Ok(msg) = self.receiver.try_recv() {
+                self.ingest(msg);
+                progressed = true;
+            }
+            if progressed {
+                continue;
+            }
+            if let Some(rank) = self.state.check() {
+                return Err(CommError::PeerFailed { rank });
+            }
+            let now = Instant::now();
+            if now >= end {
+                return Err(CommError::Timeout);
+            }
+            let slice = POLL_SLICE.min(end - now);
+            match self.receiver.recv_timeout(slice) {
+                Ok(msg) => self.ingest(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Shutdown),
+            }
         }
     }
 
@@ -114,17 +406,9 @@ impl Comm {
         assert!(src < self.size, "source rank out of range");
         // Drain the channel into the pending map without blocking.
         while let Ok(msg) = self.receiver.try_recv() {
-            self.pending
-                .entry((msg.src, msg.tag))
-                .or_default()
-                .push(msg.data);
+            self.ingest(msg);
         }
-        let queue = self.pending.get_mut(&(src, tag))?;
-        let data = queue.remove(0);
-        if queue.is_empty() {
-            self.pending.remove(&(src, tag));
-        }
-        Some(data)
+        self.take_pending(src, tag)
     }
 
     /// Combined send + receive (deadlock-free regardless of ordering since
@@ -142,8 +426,21 @@ impl Comm {
     }
 
     /// Synchronizes all ranks.
+    ///
+    /// Thin infallible wrapper over [`Comm::try_barrier`]: if a rank died,
+    /// the cancelled barrier's [`CommError::PeerFailed`] becomes a
+    /// rank-fatal panic captured by the launcher.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        if let Err(e) = self.try_barrier() {
+            resilience::raise(e)
+        }
+    }
+
+    /// Synchronizes all ranks; `Err(PeerFailed)` if any rank has died (all
+    /// survivors unblock — no deadlock on a poisoned barrier).
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.maybe_crash(CrashSite::Barrier);
+        self.barrier.wait()
     }
 
     /// The all-to-all personalized exchange: rank `r` sends `outgoing[d]`
@@ -154,6 +451,7 @@ impl Comm {
     /// The whole exchange is recorded as one `"all-to-all"` phase.
     pub fn all_to_all(&mut self, outgoing: Vec<Vec<c64>>) -> Vec<Vec<c64>> {
         assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
+        self.maybe_crash(CrashSite::AllToAll);
         let t = self.stats.phase_start();
         for (dst, data) in outgoing.into_iter().enumerate() {
             self.send(dst, tags::ALL_TO_ALL, data);
@@ -164,6 +462,164 @@ impl Comm {
         }
         self.stats.phase_end("all-to-all", t);
         incoming
+    }
+
+    /// Fault-tolerant all-to-all: the exchange runs in *rounds* on fresh
+    /// tags; after each round the ranks run a small consensus (max-reduce
+    /// of a failure flag) and, if anyone failed, everyone retries — up to
+    /// [`ExchangePolicy::max_rounds`] rounds, each under
+    /// [`ExchangePolicy::deadline`]. Absorbs transient faults that outlive
+    /// the link-layer retransmit budget; structural failures (a dead peer)
+    /// abort immediately.
+    ///
+    /// Every rank must call this collectively with the same policy.
+    /// Recorded as one `"all-to-all"` phase (even on failure, so partial
+    /// ledgers stay meaningful).
+    ///
+    /// # Errors
+    /// The last round's [`CommError`] when the budget is exhausted, or the
+    /// first structural failure ([`CommError::PeerFailed`] /
+    /// [`CommError::Shutdown`]).
+    pub fn all_to_all_resilient(
+        &mut self,
+        outgoing: &[Vec<c64>],
+        policy: &ExchangePolicy,
+    ) -> Result<Vec<Vec<c64>>, CommError> {
+        assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
+        assert!(policy.max_rounds >= 1, "need at least one round");
+        // 4 tags per round, 256 tag slots per epoch (tags::resilient_tags).
+        assert!(policy.max_rounds <= 64, "round budget exceeds the per-epoch tag space");
+        self.maybe_crash(CrashSite::AllToAll);
+        let t = self.stats.phase_start();
+        let epoch = self.exchange_epoch;
+        self.exchange_epoch += 1;
+        let mut last_err = CommError::Timeout;
+        for round in 0..policy.max_rounds {
+            let (data_tag, reduce_tag, bcast_tag) = tags::resilient_tags(epoch, round);
+            let end = Instant::now() + policy.deadline;
+            let mut local_err: Option<CommError> = None;
+            for (dst, data) in outgoing.iter().enumerate() {
+                if let Err(e) = self.try_send(dst, data_tag, data.clone()) {
+                    local_err = Some(e);
+                    break;
+                }
+            }
+            let mut incoming: Vec<Vec<c64>> = (0..self.size).map(|_| Vec::new()).collect();
+            if local_err.is_none() {
+                for (src, slot) in incoming.iter_mut().enumerate() {
+                    match self.recv_until(src, data_tag, end) {
+                        Ok(data) => *slot = data,
+                        Err(e) => {
+                            local_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            // Structural failures cannot be retried away.
+            if let Some(e) = &local_err {
+                if !e.is_transient() {
+                    self.stats.phase_end("all-to-all", t);
+                    return Err(e.clone());
+                }
+            }
+            // Consensus: retry only if someone failed; its own time budget.
+            let flag = if local_err.is_some() { 1.0 } else { 0.0 };
+            let c_end = Instant::now() + policy.deadline;
+            match self.allreduce_max_until(flag, reduce_tag, bcast_tag, c_end) {
+                Ok(any_failed) => {
+                    if any_failed == 0.0 {
+                        self.stats.phase_end("all-to-all", t);
+                        return Ok(incoming);
+                    }
+                    last_err = local_err.unwrap_or(CommError::Timeout);
+                }
+                Err(e) => {
+                    self.stats.phase_end("all-to-all", t);
+                    return Err(e);
+                }
+            }
+        }
+        self.stats.phase_end("all-to-all", t);
+        Err(last_err)
+    }
+
+    /// Ghost exchange with typed failures and bounded retry: like
+    /// [`Comm::exchange_ghost`] but returns `Err` instead of panicking.
+    ///
+    /// Transient faults are retried for up to
+    /// [`ExchangePolicy::max_rounds`] rounds: a failed *send* is re-posted
+    /// (the receiver only ever needs one copy), while a timed-out *receive*
+    /// simply waits another round — so no round can create a stale
+    /// duplicate for a later exchange. Structural failures return
+    /// immediately. Recorded as one `"ghost"` phase either way.
+    pub fn try_exchange_ghost(
+        &mut self,
+        local: &[c64],
+        ghost_len: usize,
+        policy: &ExchangePolicy,
+    ) -> Result<Vec<c64>, CommError> {
+        assert!(ghost_len <= local.len(), "ghost larger than local data");
+        assert!(policy.max_rounds >= 1, "need at least one round");
+        self.maybe_crash(CrashSite::Ghost);
+        let t = self.stats.phase_start();
+        let prev = (self.rank + self.size - 1) % self.size;
+        let next = (self.rank + 1) % self.size;
+        let out = local[..ghost_len].to_vec();
+        let mut sent = false;
+        let mut last = CommError::Timeout;
+        for _ in 0..policy.max_rounds {
+            if !sent {
+                match self.try_send(prev, tags::GHOST, out.clone()) {
+                    Ok(()) => sent = true,
+                    Err(e) if e.is_transient() => {
+                        last = e;
+                        continue;
+                    }
+                    Err(e) => {
+                        self.stats.phase_end("ghost", t);
+                        return Err(e);
+                    }
+                }
+            }
+            match self.recv_deadline(next, tags::GHOST, policy.deadline) {
+                Ok(got) => {
+                    self.stats.phase_end("ghost", t);
+                    return Ok(got);
+                }
+                Err(e) if e.is_transient() => last = e,
+                Err(e) => {
+                    self.stats.phase_end("ghost", t);
+                    return Err(e);
+                }
+            }
+        }
+        self.stats.phase_end("ghost", t);
+        Err(last)
+    }
+
+    /// Max-reduce against an absolute deadline with explicit tags (the
+    /// consensus step of the resilient collectives).
+    fn allreduce_max_until(
+        &mut self,
+        value: f64,
+        reduce_tag: u64,
+        bcast_tag: u64,
+        end: Instant,
+    ) -> Result<f64, CommError> {
+        if self.rank == 0 {
+            let mut m = value;
+            for src in 1..self.size {
+                m = m.max(self.recv_until(src, reduce_tag, end)?[0].re);
+            }
+            for dst in 1..self.size {
+                self.try_send(dst, bcast_tag, vec![c64::new(m, 0.0)])?;
+            }
+            Ok(m)
+        } else {
+            self.try_send(0, reduce_tag, vec![c64::new(value, 0.0)])?;
+            Ok(self.recv_until(0, bcast_tag, end)?[0].re)
+        }
     }
 
     /// Chunked/pipelined all-to-all (§5.1): each per-destination buffer is
@@ -181,6 +637,7 @@ impl Comm {
     ) -> Vec<Vec<c64>> {
         assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
         assert!(chunk_elems > 0, "chunk size must be positive");
+        self.maybe_crash(CrashSite::AllToAll);
         let t = self.stats.phase_start();
         let lens: Vec<usize> = outgoing.iter().map(Vec::len).collect();
         // Round-robin over destinations, one chunk at a time.
@@ -226,6 +683,7 @@ impl Comm {
         assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
         assert_eq!(expected.len(), self.size, "need one expectation per rank");
         assert!(chunk_elems > 0, "chunk size must be positive");
+        self.maybe_crash(CrashSite::AllToAll);
         let t = self.stats.phase_start();
         let lens: Vec<usize> = outgoing.iter().map(Vec::len).collect();
         let mut offsets = vec![0usize; self.size];
@@ -260,6 +718,7 @@ impl Comm {
     /// `"ghost"` phase.
     pub fn exchange_ghost(&mut self, local: &[c64], ghost_len: usize) -> Vec<c64> {
         assert!(ghost_len <= local.len(), "ghost larger than local data");
+        self.maybe_crash(CrashSite::Ghost);
         let t = self.stats.phase_start();
         let prev = (self.rank + self.size - 1) % self.size;
         let next = (self.rank + 1) % self.size;
@@ -328,7 +787,7 @@ impl Comm {
 }
 
 /// Reserved tags for built-in collectives; user tags should start at
-/// [`tags::USER`].
+/// [`tags::USER`] and stay below [`tags::RESILIENT`].
 pub mod tags {
     /// Blocking all-to-all.
     pub const ALL_TO_ALL: u64 = 1;
@@ -344,6 +803,62 @@ pub mod tags {
     pub const BCAST: u64 = 6;
     /// First tag available to applications.
     pub const USER: u64 = 1 << 16;
+    /// Base of the tag space reserved for resilient-exchange rounds
+    /// (per-epoch, per-round tags keep retries from mixing with stale
+    /// packets of earlier attempts).
+    pub const RESILIENT: u64 = 1 << 48;
+
+    /// `(data, reduce, bcast)` tags for round `round` of resilient
+    /// exchange `epoch`.
+    pub(crate) fn resilient_tags(epoch: u64, round: u32) -> (u64, u64, u64) {
+        let base = RESILIENT + (epoch << 8) + (round as u64) * 4;
+        (base, base + 1, base + 2)
+    }
+}
+
+/// Cluster-wide launch options: channel bounds, fault plan, link-layer
+/// retry policy, and the default deadline backing the infallible
+/// [`Comm::recv`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-rank incoming-queue capacity in *messages*. `None` (default) =
+    /// unbounded, the seed behaviour; `Some(k)` applies backpressure — a
+    /// fast sender blocks once a destination queue holds `k` messages, so
+    /// it cannot queue unbounded `Vec<c64>` buffers during an all-to-all.
+    pub capacity: Option<usize>,
+    /// Fault plan to install (each rank derives its own deterministic
+    /// [`FaultInjector`] from it). Also switches on checksum/sequence
+    /// verification of every wire message.
+    pub faults: Option<FaultPlan>,
+    /// Link-layer retransmit budget and backoff.
+    pub retry: RetryPolicy,
+    /// Deadline backing the infallible [`Comm::recv`] — effectively
+    /// "forever" for healthy runs, a hang-stop for broken ones.
+    pub recv_deadline: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            capacity: None,
+            faults: None,
+            retry: RetryPolicy::default(),
+            recv_deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Config with a fault plan installed (and everything else default).
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        ClusterConfig { faults: Some(plan), ..ClusterConfig::default() }
+    }
+
+    /// Config with bounded per-rank queues (backpressure knob).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        ClusterConfig { capacity: Some(capacity), ..ClusterConfig::default() }
+    }
 }
 
 /// The cluster launcher.
@@ -371,8 +886,35 @@ impl Cluster {
     /// indexed by rank.
     ///
     /// `f` receives a [`Comm`] wired to all peers. Panics in any rank
-    /// propagate (the run aborts).
+    /// propagate (the run aborts). For fault-tolerant launches that report
+    /// per-rank outcomes instead, use [`Cluster::run_with`].
     pub fn run<T, F>(ranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        Self::run_with(ClusterConfig::default(), ranks, f)
+            .into_iter()
+            .map(|outcome| match outcome {
+                RankOutcome::Ok(v) => v,
+                RankOutcome::Err(e) => panic!("rank panicked: {e}"),
+                RankOutcome::Crashed => panic!("rank panicked: injected crash"),
+                RankOutcome::Panicked(msg) => panic!("rank panicked: {msg}"),
+            })
+            .collect()
+    }
+
+    /// Fault-tolerant launcher: runs `f` on `ranks` concurrent ranks under
+    /// `config` and returns each rank's [`RankOutcome`], indexed by rank.
+    ///
+    /// Every rank runs inside `catch_unwind`; a panicking or fault-crashed
+    /// rank is reported as [`RankOutcome::Panicked`] /
+    /// [`RankOutcome::Crashed`] while its death cancels the shared barrier
+    /// and flips the cluster-health flag, so surviving ranks unblock from
+    /// `recv`/`barrier` with [`CommError::PeerFailed`]
+    /// ([`RankOutcome::Err`]) instead of deadlocking. The launcher itself
+    /// never panics on rank failure.
+    pub fn run_with<T, F>(config: ClusterConfig, ranks: usize, f: F) -> Vec<RankOutcome<T>>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
@@ -381,11 +923,15 @@ impl Cluster {
         let mut txs = Vec::with_capacity(ranks);
         let mut rxs = Vec::with_capacity(ranks);
         for _ in 0..ranks {
-            let (tx, rx) = unbounded::<Message>();
+            let (tx, rx) = match config.capacity {
+                Some(cap) => bounded::<Message>(cap),
+                None => unbounded::<Message>(),
+            };
             txs.push(tx);
             rxs.push(rx);
         }
-        let barrier = Arc::new(Barrier::new(ranks));
+        let barrier = Arc::new(CancellableBarrier::new(ranks));
+        let state = Arc::new(ClusterState::new());
         let mut comms: Vec<Comm> = rxs
             .into_iter()
             .enumerate()
@@ -395,7 +941,15 @@ impl Cluster {
                 senders: txs.clone(),
                 receiver,
                 pending: HashMap::new(),
+                seen: HashMap::new(),
                 barrier: Arc::clone(&barrier),
+                state: Arc::clone(&state),
+                injector: config.faults.as_ref().map(|p| p.injector_for(rank, ranks)),
+                verify: config.faults.is_some(),
+                retry: config.retry,
+                recv_deadline_default: config.recv_deadline,
+                next_seq: 0,
+                exchange_epoch: 0,
                 stats: CommStats::default(),
             })
             .collect();
@@ -405,13 +959,61 @@ impl Cluster {
             let f = &f;
             let mut handles = Vec::with_capacity(ranks);
             for mut comm in comms.drain(..) {
-                handles.push(s.spawn(move || f(&mut comm)));
+                let barrier = Arc::clone(&barrier);
+                let state = Arc::clone(&state);
+                handles.push(s.spawn(move || {
+                    let rank = comm.rank();
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                    match result {
+                        Ok(v) => RankOutcome::Ok(v),
+                        Err(payload) => {
+                            // Unblock everyone *before* reporting.
+                            state.mark_failed(rank);
+                            barrier.cancel(rank);
+                            classify_panic(payload)
+                        }
+                    }
+                }));
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| RankOutcome::Panicked("rank thread died".to_string()))
+                })
                 .collect()
         })
+    }
+}
+
+/// Convenience launcher for chaos runs: [`Cluster::run_with`] with `plan`
+/// installed and default retry/deadline settings.
+pub fn run_cluster_with_faults<T, F>(ranks: usize, plan: FaultPlan, f: F) -> Vec<RankOutcome<T>>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    Cluster::run_with(ClusterConfig::with_faults(plan), ranks, f)
+}
+
+/// Maps a captured panic payload to a typed outcome.
+fn classify_panic<T>(payload: Box<dyn std::any::Any + Send>) -> RankOutcome<T> {
+    match payload.downcast::<InjectedCrash>() {
+        Ok(_) => RankOutcome::Crashed,
+        Err(payload) => match payload.downcast::<CommFailure>() {
+            Ok(failure) => RankOutcome::Err(failure.0),
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "unknown panic payload".to_string()
+                };
+                RankOutcome::Panicked(msg)
+            }
+        },
     }
 }
 
@@ -472,6 +1074,44 @@ mod tests {
     }
 
     #[test]
+    fn self_send_short_circuit_preserves_fifo_and_interleaves_with_remote() {
+        // The self-message path bypasses the channel entirely; it must
+        // still obey FIFO per (src, tag) and coexist with remote traffic
+        // on the same tag.
+        let out = Cluster::run(2, |comm| {
+            let me = comm.rank();
+            let peer = 1 - me;
+            for i in 0..4 {
+                comm.send(me, tags::USER, vec![c64::real(i as f64)]);
+            }
+            comm.send(peer, tags::USER, vec![c64::real(100.0 + me as f64)]);
+            // Self-messages come back in send order...
+            let selfs: Vec<f64> = (0..4).map(|_| comm.recv(me, tags::USER)[0].re).collect();
+            // ...and the remote message is matched by src, not arrival.
+            let remote = comm.recv(peer, tags::USER)[0].re;
+            (selfs, remote)
+        });
+        for (me, (selfs, remote)) in out.iter().enumerate() {
+            assert_eq!(selfs, &vec![0.0, 1.0, 2.0, 3.0], "rank {me} self FIFO");
+            assert_eq!(*remote, 100.0 + (1 - me) as f64);
+        }
+    }
+
+    #[test]
+    fn self_send_through_try_recv() {
+        let out = Cluster::run(1, |comm| {
+            assert!(comm.try_recv(0, tags::USER).is_none());
+            comm.send(0, tags::USER, vec![c64::real(3.0)]);
+            comm.send(0, tags::USER, vec![c64::real(4.0)]);
+            let a = comm.try_recv(0, tags::USER).expect("first self message")[0].re;
+            let b = comm.try_recv(0, tags::USER).expect("second self message")[0].re;
+            assert!(comm.try_recv(0, tags::USER).is_none());
+            (a, b)
+        });
+        assert_eq!(out[0], (3.0, 4.0));
+    }
+
+    #[test]
     fn fifo_order_within_same_src_tag() {
         let out = Cluster::run(2, |comm| {
             if comm.rank() == 0 {
@@ -513,6 +1153,38 @@ mod tests {
         });
         assert!(out[0].0, "early poll must be empty");
         assert_eq!(out[0].1, 5.0);
+    }
+
+    #[test]
+    fn try_recv_preserves_fifo_across_buffered_messages() {
+        // Messages queued before the first poll must still come out in
+        // send order, across tags and interleaved with blocking recv.
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..6 {
+                    let tag = tags::USER + (i % 2) as u64;
+                    comm.send(1, tag, vec![c64::real(i as f64)]);
+                }
+                comm.barrier();
+                Vec::new()
+            } else {
+                comm.barrier(); // everything is in flight (or queued) now
+                // Poll tag USER (even values 0,2,4) then USER+1 (1,3,5):
+                // each per-(src,tag) stream must be FIFO.
+                let mut evens = Vec::new();
+                while evens.len() < 3 {
+                    if let Some(v) = comm.try_recv(0, tags::USER) {
+                        evens.push(v[0].re);
+                    }
+                }
+                assert!(comm.try_recv(0, tags::USER).is_none(), "even stream drained");
+                let odds: Vec<f64> = (0..3)
+                    .map(|_| comm.recv(0, tags::USER + 1)[0].re)
+                    .collect();
+                evens.into_iter().chain(odds).collect::<Vec<f64>>()
+            }
+        });
+        assert_eq!(out[1], vec![0.0, 2.0, 4.0, 1.0, 3.0, 5.0]);
     }
 
     #[test]
@@ -755,5 +1427,283 @@ mod tests {
             // After the barrier every rank must see all 4 increments.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection and resilience tests.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn recv_deadline_times_out_cleanly() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                let err = comm
+                    .recv_deadline(1, tags::USER, Duration::from_millis(30))
+                    .expect_err("nothing was sent");
+                comm.barrier();
+                err == CommError::Timeout
+            } else {
+                comm.barrier();
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn transient_drops_are_retransmitted_transparently() {
+        let plan = FaultPlan::new(11).drop(0.4); // fault_limit 2 < 4 attempts
+        let outcomes = run_cluster_with_faults(3, plan, |comm| {
+            let p = comm.size();
+            let outgoing: Vec<Vec<c64>> = (0..p)
+                .map(|d| vec![c64::new(comm.rank() as f64, d as f64); 20])
+                .collect();
+            let incoming = comm.all_to_all(outgoing);
+            let ok = incoming
+                .iter()
+                .enumerate()
+                .all(|(src, buf)| buf.len() == 20 && buf[0].re as usize == src);
+            (ok, comm.stats().retransmits())
+        });
+        let mut total_retransmits = 0;
+        for o in outcomes {
+            let (ok, retransmits) = o.unwrap();
+            assert!(ok, "payloads must survive drops");
+            total_retransmits += retransmits;
+        }
+        assert!(total_retransmits > 0, "plan must actually drop something");
+    }
+
+    #[test]
+    fn corruption_is_detected_and_retransmitted() {
+        let plan = FaultPlan::new(23).corrupt(0.5);
+        let outcomes = run_cluster_with_faults(2, plan, |comm| {
+            let peer = 1 - comm.rank();
+            for i in 0..32 {
+                comm.send(peer, tags::USER, vec![c64::real(i as f64); 8]);
+            }
+            let clean = (0..32).all(|i| {
+                let got = comm.recv(peer, tags::USER);
+                got.len() == 8 && got[0].re == i as f64
+            });
+            (clean, comm.stats().corrupt_discarded())
+        });
+        let mut discarded = 0;
+        for o in outcomes {
+            let (clean, d) = o.unwrap();
+            assert!(clean, "no corrupted payload may be delivered");
+            discarded += d;
+        }
+        assert!(discarded > 0, "plan must actually corrupt something");
+    }
+
+    #[test]
+    fn duplicates_are_filtered() {
+        let plan = FaultPlan::new(5).duplicate(0.6);
+        let outcomes = run_cluster_with_faults(2, plan, |comm| {
+            let peer = 1 - comm.rank();
+            for i in 0..24 {
+                comm.send(peer, tags::USER, vec![c64::real(i as f64)]);
+            }
+            comm.barrier(); // everything in flight
+            let inorder = (0..24).all(|i| comm.recv(peer, tags::USER)[0].re == i as f64);
+            // Nothing extra may be left over.
+            std::thread::sleep(Duration::from_millis(10));
+            let empty = comm.try_recv(peer, tags::USER).is_none();
+            (inorder, empty, comm.stats().duplicates_discarded())
+        });
+        let mut dups = 0;
+        for o in outcomes {
+            let (inorder, empty, d) = o.unwrap();
+            assert!(inorder, "stream must stay FIFO and exactly-once");
+            assert!(empty, "duplicates must not surface");
+            dups += d;
+        }
+        assert!(dups > 0, "plan must actually duplicate something");
+    }
+
+    #[test]
+    fn delays_preserve_content() {
+        let plan = FaultPlan::new(17).delay(0.5, Duration::from_micros(300));
+        let outcomes = run_cluster_with_faults(2, plan, |comm| {
+            let peer = 1 - comm.rank();
+            for i in 0..16 {
+                comm.send(peer, tags::USER, vec![c64::real(i as f64)]);
+            }
+            (0..16).all(|i| comm.recv(peer, tags::USER)[0].re == i as f64)
+        });
+        for o in outcomes {
+            assert!(o.unwrap());
+        }
+    }
+
+    #[test]
+    fn permanent_drop_fails_with_typed_timeout() {
+        let plan = FaultPlan::new(2).drop(1.0).permanent();
+        let config = ClusterConfig {
+            faults: Some(plan),
+            retry: RetryPolicy { max_attempts: 3, base_backoff: Duration::from_micros(10) },
+            ..ClusterConfig::default()
+        };
+        let outcomes = Cluster::run_with(config, 2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.try_send(peer, tags::USER, vec![c64::ZERO; 4])
+        });
+        for o in outcomes {
+            assert_eq!(o.unwrap(), Err(CommError::Timeout));
+        }
+    }
+
+    #[test]
+    fn injected_crash_unblocks_survivors() {
+        let plan = FaultPlan::new(0).crash(1, CrashSite::Barrier);
+        let outcomes: Vec<RankOutcome<()>> = run_cluster_with_faults(3, plan, |comm| {
+            comm.barrier(); // rank 1 dies here; 0 and 2 must not hang
+        });
+        assert_eq!(outcomes[1], RankOutcome::Crashed);
+        for rank in [0, 2] {
+            match &outcomes[rank] {
+                RankOutcome::Err(CommError::PeerFailed { rank: r }) => assert_eq!(*r, 1),
+                other => panic!("rank {rank}: expected PeerFailed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_mid_exchange_fails_survivor_recvs() {
+        let plan = FaultPlan::new(0).crash(0, CrashSite::AllToAll);
+        let outcomes: Vec<RankOutcome<()>> = run_cluster_with_faults(2, plan, |comm| {
+            let outgoing = (0..comm.size()).map(|_| vec![c64::ZERO; 4]).collect();
+            comm.all_to_all(outgoing);
+        });
+        assert_eq!(outcomes[0], RankOutcome::Crashed);
+        match &outcomes[1] {
+            RankOutcome::Err(CommError::PeerFailed { rank }) => assert_eq!(*rank, 0),
+            other => panic!("expected PeerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_all_to_all_without_faults_matches_plain() {
+        let p = 3;
+        let make = |r: usize| -> Vec<Vec<c64>> {
+            (0..p)
+                .map(|d| (0..9).map(|j| c64::new((r * 10 + d) as f64, j as f64)).collect())
+                .collect()
+        };
+        let plain = Cluster::run(p, |comm| comm.all_to_all(make(comm.rank())));
+        let resilient = Cluster::run(p, |comm| {
+            comm.all_to_all_resilient(&make(comm.rank()), &ExchangePolicy::default())
+                .expect("healthy cluster")
+        });
+        assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn resilient_all_to_all_survives_heavy_transient_faults() {
+        let plan = FaultPlan::new(31).drop(0.3).corrupt(0.2).duplicate(0.2);
+        let p = 4;
+        let outcomes = run_cluster_with_faults(p, plan, |comm| {
+            let r = comm.rank();
+            let outgoing: Vec<Vec<c64>> = (0..p)
+                .map(|d| vec![c64::new(r as f64, d as f64); 15])
+                .collect();
+            let policy =
+                ExchangePolicy { deadline: Duration::from_secs(2), max_rounds: 4 };
+            comm.all_to_all_resilient(&outgoing, &policy)
+        });
+        for (rank, o) in outcomes.into_iter().enumerate() {
+            let incoming = o.unwrap().expect("transient faults must be absorbed");
+            for (src, buf) in incoming.iter().enumerate() {
+                assert_eq!(buf.len(), 15, "rank {rank} src {src}");
+                assert_eq!(buf[0], c64::new(src as f64, rank as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure_and_records_watermark() {
+        let config = ClusterConfig::with_capacity(4);
+        let outcomes = Cluster::run_with(config, 2, |comm| {
+            let peer = 1 - comm.rank();
+            // 32 messages through a 4-deep queue: the sender must block
+            // (backpressure) rather than queueing everything.
+            if comm.rank() == 0 {
+                for i in 0..32 {
+                    comm.send(peer, tags::USER, vec![c64::real(i as f64); 64]);
+                }
+                comm.barrier();
+                comm.stats().queue_high_watermark()
+            } else {
+                let ok = (0..32).all(|i| comm.recv(0, tags::USER)[0].re == i as f64);
+                assert!(ok);
+                comm.barrier();
+                comm.stats().queue_high_watermark()
+            }
+        });
+        let watermark0 = outcomes[0].clone().unwrap();
+        assert!(watermark0 <= 4, "queue depth may never exceed capacity");
+        assert!(watermark0 > 0, "sender must have observed queued messages");
+    }
+
+    #[test]
+    fn unbounded_watermark_tracks_queue_depth() {
+        let outcomes = Cluster::run_with(ClusterConfig::default(), 2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..16 {
+                    comm.send(1, tags::USER, vec![c64::real(i as f64)]);
+                }
+                comm.barrier(); // receiver drains only after this
+                comm.stats().queue_high_watermark()
+            } else {
+                comm.barrier();
+                for _ in 0..16 {
+                    comm.recv(0, tags::USER);
+                }
+                0
+            }
+        });
+        assert!(
+            outcomes[0].clone().unwrap() >= 8,
+            "watermark should see the built-up queue"
+        );
+    }
+
+    #[test]
+    fn fault_events_are_deterministic_across_runs() {
+        let run = || {
+            let plan = FaultPlan::new(77).drop(0.3).corrupt(0.3).duplicate(0.2);
+            let outcomes = run_cluster_with_faults(3, plan, |comm| {
+                let p = comm.size();
+                let outgoing: Vec<Vec<c64>> =
+                    (0..p).map(|d| vec![c64::real(d as f64); 10]).collect();
+                let incoming = comm.all_to_all(outgoing);
+                (incoming, comm.fault_events().expect("plan installed"))
+            });
+            outcomes.into_iter().map(|o| o.unwrap()).collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed + plan must give identical runs");
+    }
+
+    #[test]
+    fn run_with_reports_plain_panics() {
+        let outcomes: Vec<RankOutcome<()>> =
+            Cluster::run_with(ClusterConfig::default(), 2, |comm| {
+                if comm.rank() == 1 {
+                    panic!("boom on rank 1");
+                }
+                comm.barrier();
+            });
+        match &outcomes[1] {
+            RankOutcome::Panicked(msg) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Rank 0 was blocked in the barrier; the dying rank cancels it.
+        match &outcomes[0] {
+            RankOutcome::Err(CommError::PeerFailed { rank }) => assert_eq!(*rank, 1),
+            other => panic!("expected PeerFailed, got {other:?}"),
+        }
     }
 }

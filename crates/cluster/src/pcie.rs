@@ -47,7 +47,7 @@ impl PcieLink {
         let t = stats.phase_start();
         let out = data.to_vec();
         if let Some(bw) = self.simulated_bytes_per_s {
-            let bytes = (data.len() * std::mem::size_of::<c64>()) as f64;
+            let bytes = std::mem::size_of_val(data) as f64;
             let target = std::time::Duration::from_secs_f64(bytes / bw);
             let start = std::time::Instant::now();
             while start.elapsed() < target {

@@ -68,15 +68,27 @@ impl Comm {
         self.stats.add_bytes_sent(bytes);
         let sender = self.senders[dst].clone();
         let src = self.rank;
+        // Reserve the whole sequence range up front (staging happens on
+        // this thread, delivery on the proxy thread). The proxied path is
+        // the host-side RDMA pipeline and bypasses link-fault injection;
+        // checksums are still stamped so mixed traffic verifies cleanly.
+        let n_chunks = data.len().div_ceil(chunk_elems).max(1);
+        let first_seq = self.next_seq;
+        self.next_seq += n_chunks as u64;
+        let verify = self.verify;
         let mut offset = 0usize;
+        let mut chunk_idx = 0u64;
         // One proxy job per chunk: stage (copy) then push to the wire.
         while offset < data.len() || (data.is_empty() && offset == 0) {
             let end = (offset + chunk_elems).min(data.len());
             let staged: Vec<c64> = data[offset..end].to_vec(); // "DMA"
+            let checksum = if verify { crate::checksum(&staged) } else { 0 };
+            let seq = first_seq + chunk_idx;
+            chunk_idx += 1;
             let tx = sender.clone();
             proxy.queue.push(move || {
                 // "RDMA": hand the staged chunk to the interconnect.
-                let _ = tx.send(Message { src, tag, data: staged });
+                let _ = tx.send(Message { src, tag, seq, checksum, data: staged });
             });
             if end == data.len() {
                 break;
@@ -108,6 +120,7 @@ impl Comm {
         chunk_elems: usize,
     ) -> Vec<Vec<c64>> {
         assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
+        self.maybe_crash(crate::CrashSite::AllToAll);
         let t = self.stats.phase_start();
         let lens: Vec<usize> = outgoing.iter().map(Vec::len).collect();
         for (dst, buf) in outgoing.into_iter().enumerate() {

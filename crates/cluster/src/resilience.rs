@@ -1,0 +1,386 @@
+//! Failure taxonomy and recovery primitives.
+//!
+//! The paper's SOI FFT exists to survive a 512-node cluster, where links
+//! stall, ranks straggle, and nodes die mid-run. The seed runtime assumed a
+//! perfect network: `recv` blocked forever, `send` panicked on a hung peer,
+//! and one rank's panic poisoned the shared barrier so every survivor hung.
+//! This module supplies the pieces that replace those assumptions:
+//!
+//! * [`CommError`] — the typed failure taxonomy every fallible operation
+//!   returns ([`Timeout`](CommError::Timeout),
+//!   [`PeerFailed`](CommError::PeerFailed),
+//!   [`ChecksumMismatch`](CommError::ChecksumMismatch),
+//!   [`Shutdown`](CommError::Shutdown)),
+//! * [`RankOutcome`] — what the panic-capturing launcher
+//!   ([`Cluster::run_with`](crate::Cluster::run_with)) reports per rank
+//!   instead of propagating the first panic,
+//! * [`RetryPolicy`] — the bounded-retransmit/exponential-backoff knobs of
+//!   the link layer (how injected drops and corruption are absorbed),
+//! * [`ExchangePolicy`] — deadline + round budget for the resilient
+//!   collectives ([`Comm::all_to_all_resilient`](crate::Comm)),
+//! * [`CancellableBarrier`] — a drop-in barrier that unblocks *all*
+//!   survivors with [`CommError::PeerFailed`] when any rank dies, instead
+//!   of deadlocking like `std::sync::Barrier`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use soifft_num::c64;
+
+/// A typed communication failure.
+///
+/// Infallible wrappers ([`Comm::send`](crate::Comm::send),
+/// [`Comm::recv`](crate::Comm::recv), [`Comm::barrier`](crate::Comm::barrier))
+/// convert these into rank panics that the launcher captures as
+/// [`RankOutcome::Err`]; the fallible API (`try_*`, `*_deadline`,
+/// `*_resilient`) returns them directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A deadline elapsed, or the link-layer retransmit budget was
+    /// exhausted without a successful delivery.
+    Timeout,
+    /// A peer rank crashed (panicked or was fault-injected to crash); the
+    /// collective cannot complete.
+    PeerFailed {
+        /// The rank that failed.
+        rank: usize,
+    },
+    /// A message arrived whose payload does not match its checksum and the
+    /// retransmit budget could not produce a clean copy.
+    ChecksumMismatch {
+        /// The sender of the corrupt message.
+        src: usize,
+        /// The message tag.
+        tag: u64,
+    },
+    /// The cluster is shutting down (peer endpoints dropped mid-operation).
+    Shutdown,
+}
+
+impl CommError {
+    /// True for failures that a retry at a higher level may absorb
+    /// (timeouts, corruption); false for structural failures (a dead peer,
+    /// a shut-down cluster) where retrying cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CommError::Timeout | CommError::ChecksumMismatch { .. })
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout => write!(f, "operation timed out (retransmit budget exhausted)"),
+            CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
+            CommError::ChecksumMismatch { src, tag } => {
+                write!(f, "checksum mismatch on message from rank {src} (tag {tag})")
+            }
+            CommError::Shutdown => write!(f, "cluster shut down mid-operation"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// One rank's result from a fault-tolerant launch
+/// ([`Cluster::run_with`](crate::Cluster::run_with)).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RankOutcome<T> {
+    /// The rank's closure returned normally.
+    Ok(T),
+    /// The rank aborted with a typed communication failure (e.g. a
+    /// survivor unblocked by a peer's crash).
+    Err(CommError),
+    /// The rank was killed by an injected crash
+    /// ([`FaultPlan::crash`](crate::FaultPlan::crash)).
+    Crashed,
+    /// The rank panicked for any other reason (the payload's message).
+    Panicked(String),
+}
+
+impl<T> RankOutcome<T> {
+    /// True when the rank completed normally.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RankOutcome::Ok(_))
+    }
+
+    /// The success value, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            RankOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The typed failure, if this rank ended in one.
+    pub fn err(&self) -> Option<&CommError> {
+        match self {
+            RankOutcome::Err(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Unwraps the success value.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message if the rank did not complete.
+    pub fn unwrap(self) -> T {
+        match self {
+            RankOutcome::Ok(v) => v,
+            RankOutcome::Err(e) => panic!("rank failed: {e}"),
+            RankOutcome::Crashed => panic!("rank crashed (fault injection)"),
+            RankOutcome::Panicked(msg) => panic!("rank panicked: {msg}"),
+        }
+    }
+}
+
+/// Link-layer retransmit policy: how many delivery attempts a single
+/// message gets and how the backoff between attempts grows.
+///
+/// Injected drops and corruptions consume attempts; each failed attempt
+/// sleeps `base_backoff · 2^attempt` before the next (the classic
+/// exponential backoff, scaled down to keep simulated runs fast). When the
+/// budget is exhausted the send fails with [`CommError::Timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum delivery attempts per message (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `base_backoff · 2^k`.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_backoff: Duration::from_micros(50) }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep after failed attempt `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.base_backoff * 2u32.saturating_pow(attempt.min(16))
+    }
+}
+
+/// Deadline and round budget for the resilient collectives.
+///
+/// Each *round* of [`Comm::all_to_all_resilient`](crate::Comm) gets
+/// `deadline` of wall clock; if any rank reports failure in the
+/// end-of-round consensus, every rank retries on fresh tags, up to
+/// `max_rounds` rounds total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExchangePolicy {
+    /// Wall-clock budget per exchange round (and per consensus step).
+    pub deadline: Duration,
+    /// Total rounds before the exchange fails with the last error.
+    pub max_rounds: u32,
+}
+
+impl Default for ExchangePolicy {
+    fn default() -> Self {
+        ExchangePolicy { deadline: Duration::from_secs(5), max_rounds: 3 }
+    }
+}
+
+/// FNV-1a over the bit representation of a complex buffer — the
+/// per-message checksum used to detect injected corruption.
+pub fn checksum(data: &[c64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for i in 0..8 {
+            h ^= (v >> (8 * i)) & 0xff;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for z in data {
+        mix(z.re.to_bits());
+        mix(z.im.to_bits());
+    }
+    h
+}
+
+/// A barrier that can be cancelled when a rank dies.
+///
+/// Drop-in replacement for `std::sync::Barrier` in the cluster runtime:
+/// [`wait`](CancellableBarrier::wait) returns `Ok(())` when all parties
+/// arrive, or `Err(`[`CommError::PeerFailed`]`)` on every waiter (current
+/// *and* future) once [`cancel`](CancellableBarrier::cancel) has been
+/// called — survivors unblock instead of deadlocking.
+pub struct CancellableBarrier {
+    parties: usize,
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+}
+
+struct BarrierInner {
+    count: usize,
+    generation: u64,
+    cancelled_by: Option<usize>,
+}
+
+impl CancellableBarrier {
+    /// A barrier for `parties` ranks.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "need at least one party");
+        CancellableBarrier {
+            parties,
+            inner: Mutex::new(BarrierInner { count: 0, generation: 0, cancelled_by: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all parties arrive (`Ok`) or the barrier is cancelled
+    /// (`Err(PeerFailed)` with the cancelling rank).
+    pub fn wait(&self) -> Result<(), CommError> {
+        let mut g = self.inner.lock().expect("barrier lock poisoned");
+        if let Some(rank) = g.cancelled_by {
+            return Err(CommError::PeerFailed { rank });
+        }
+        g.count += 1;
+        if g.count == self.parties {
+            g.count = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = g.generation;
+        loop {
+            g = self.cv.wait(g).expect("barrier lock poisoned");
+            if let Some(rank) = g.cancelled_by {
+                return Err(CommError::PeerFailed { rank });
+            }
+            if g.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Cancels the barrier on behalf of `rank` (a dying rank, from the
+    /// launcher's panic handler): all current and future waiters get
+    /// `Err(PeerFailed { rank })`.
+    pub fn cancel(&self, rank: usize) {
+        let mut g = self.inner.lock().expect("barrier lock poisoned");
+        if g.cancelled_by.is_none() {
+            g.cancelled_by = Some(rank);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Shared cluster health: which ranks have died. Checked by every blocking
+/// primitive so survivors unblock promptly.
+pub(crate) struct ClusterState {
+    any_failed: AtomicBool,
+    failed: Mutex<Vec<usize>>,
+}
+
+impl ClusterState {
+    pub(crate) fn new() -> Self {
+        ClusterState { any_failed: AtomicBool::new(false), failed: Mutex::new(Vec::new()) }
+    }
+
+    /// Records `rank` as dead.
+    pub(crate) fn mark_failed(&self, rank: usize) {
+        self.failed.lock().expect("state lock poisoned").push(rank);
+        self.any_failed.store(true, Ordering::SeqCst);
+    }
+
+    /// First failed rank, if any (fast path: one atomic load).
+    pub(crate) fn check(&self) -> Option<usize> {
+        if !self.any_failed.load(Ordering::SeqCst) {
+            return None;
+        }
+        self.failed.lock().expect("state lock poisoned").first().copied()
+    }
+
+    /// True if `rank` specifically has failed.
+    pub(crate) fn has_failed(&self, rank: usize) -> bool {
+        self.any_failed.load(Ordering::SeqCst)
+            && self.failed.lock().expect("state lock poisoned").contains(&rank)
+    }
+}
+
+/// Panic payload used by the infallible wrappers to carry a typed error
+/// through the unwind to the launcher.
+pub(crate) struct CommFailure(pub(crate) CommError);
+
+/// Panic payload of an injected rank crash.
+pub(crate) struct InjectedCrash {
+    #[allow(dead_code)] // read when formatting outcomes / future telemetry
+    pub(crate) rank: usize,
+}
+
+/// Raises `e` as a rank-fatal unwind carrying the typed error (captured by
+/// the launcher and reported as [`RankOutcome::Err`]).
+///
+/// `resume_unwind` rather than `panic_any`: the unwind is an expected,
+/// typed control-flow path, so it must not trip the process panic hook
+/// and spray a backtrace for every injected fault.
+pub(crate) fn raise(e: CommError) -> ! {
+    std::panic::resume_unwind(Box::new(CommFailure(e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn checksum_detects_single_bit_flip() {
+        let data: Vec<c64> = (0..64).map(|i| c64::new(i as f64, -(i as f64))).collect();
+        let sum = checksum(&data);
+        let mut bad = data.clone();
+        bad[17].re = f64::from_bits(bad[17].re.to_bits() ^ 1);
+        assert_ne!(sum, checksum(&bad));
+        assert_eq!(sum, checksum(&data));
+    }
+
+    #[test]
+    fn checksum_of_empty_is_stable() {
+        assert_eq!(checksum(&[]), checksum(&[]));
+    }
+
+    #[test]
+    fn barrier_releases_all_parties() {
+        let b = Arc::new(CancellableBarrier::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || b.wait()));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn cancelled_barrier_unblocks_waiters() {
+        let b = Arc::new(CancellableBarrier::new(3));
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.wait())
+        };
+        // Give the waiter time to block, then cancel on behalf of rank 2.
+        std::thread::sleep(Duration::from_millis(20));
+        b.cancel(2);
+        assert_eq!(waiter.join().unwrap(), Err(CommError::PeerFailed { rank: 2 }));
+        // Future waiters fail immediately too.
+        assert_eq!(b.wait(), Err(CommError::PeerFailed { rank: 2 }));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy { max_attempts: 5, base_backoff: Duration::from_micros(10) };
+        assert_eq!(p.backoff(0), Duration::from_micros(10));
+        assert_eq!(p.backoff(1), Duration::from_micros(20));
+        assert_eq!(p.backoff(3), Duration::from_micros(80));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(CommError::Timeout.is_transient());
+        assert!(CommError::ChecksumMismatch { src: 0, tag: 1 }.is_transient());
+        assert!(!CommError::PeerFailed { rank: 0 }.is_transient());
+        assert!(!CommError::Shutdown.is_transient());
+    }
+}

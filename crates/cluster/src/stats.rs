@@ -44,6 +44,10 @@ pub struct CommStats {
     total_bytes_sent: u64,
     messages_sent: u64,
     cost: Option<CostModel>,
+    retransmits: u64,
+    corrupt_discarded: u64,
+    duplicates_discarded: u64,
+    queue_high_watermark: usize,
 }
 
 /// Token returned by [`CommStats::phase_start`]; closed by
@@ -59,6 +63,27 @@ impl CommStats {
     pub fn add_bytes_sent(&mut self, bytes: u64) {
         self.total_bytes_sent += bytes;
         self.messages_sent += 1;
+    }
+
+    /// Records a link-layer retransmission (a delivery attempt consumed by
+    /// an injected drop or corruption).
+    pub fn note_retransmit(&mut self) {
+        self.retransmits += 1;
+    }
+
+    /// Records an arriving message discarded for a checksum mismatch.
+    pub fn note_corrupt_discarded(&mut self) {
+        self.corrupt_discarded += 1;
+    }
+
+    /// Records an arriving message discarded as an already-seen duplicate.
+    pub fn note_duplicate_discarded(&mut self) {
+        self.duplicates_discarded += 1;
+    }
+
+    /// Folds an observed destination-queue depth into the high watermark.
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        self.queue_high_watermark = self.queue_high_watermark.max(depth);
     }
 
     /// Opens a phase (timing starts now).
@@ -132,6 +157,27 @@ impl CommStats {
     /// Total messages sent by this rank.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
+    }
+
+    /// Link-layer retransmissions forced by injected drops/corruption.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Arriving messages discarded for checksum mismatch.
+    pub fn corrupt_discarded(&self) -> u64 {
+        self.corrupt_discarded
+    }
+
+    /// Arriving messages discarded as duplicates.
+    pub fn duplicates_discarded(&self) -> u64 {
+        self.duplicates_discarded
+    }
+
+    /// Deepest destination queue this rank ever observed right after one of
+    /// its sends (bounded clusters: never exceeds the configured capacity).
+    pub fn queue_high_watermark(&self) -> usize {
+        self.queue_high_watermark
     }
 
     /// Sum of the durations of all phases with `name`.
@@ -232,6 +278,26 @@ mod tests {
         s.phase_end("exchange", t);
         assert!(s.records()[0].sim_seconds.is_none());
         assert_eq!(s.sim_seconds_in("exchange"), 0.0);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate() {
+        let mut s = CommStats::default();
+        assert_eq!(s.retransmits(), 0);
+        assert_eq!(s.corrupt_discarded(), 0);
+        assert_eq!(s.duplicates_discarded(), 0);
+        assert_eq!(s.queue_high_watermark(), 0);
+        s.note_retransmit();
+        s.note_retransmit();
+        s.note_corrupt_discarded();
+        s.note_duplicate_discarded();
+        s.note_queue_depth(3);
+        s.note_queue_depth(7);
+        s.note_queue_depth(2); // watermark keeps the max
+        assert_eq!(s.retransmits(), 2);
+        assert_eq!(s.corrupt_discarded(), 1);
+        assert_eq!(s.duplicates_discarded(), 1);
+        assert_eq!(s.queue_high_watermark(), 7);
     }
 
     #[test]

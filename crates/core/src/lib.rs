@@ -44,7 +44,7 @@ pub mod window;
 
 pub use conv::ConvStrategy;
 pub use params::{Rational, SoiError, SoiParams};
-pub use pipeline::{ExchangePlan, SimSpec, SoiFft};
+pub use pipeline::{ExchangePlan, SimSpec, SoiFft, SoiRunError};
 pub use report::PlanReport;
 pub use single::SoiFftLocal;
 pub use window::{DemodMode, Window, WindowKind};

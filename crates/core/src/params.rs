@@ -254,7 +254,7 @@ impl SoiParams {
         if l as f64 <= 2.0 * self.mu.as_f64() - 1.0 {
             return Err(SoiError::TooFewSegments { l, mu: self.mu });
         }
-        if self.n % l != 0 {
+        if !self.n.is_multiple_of(l) {
             return Err(SoiError::SegmentsDontDivide { l, n: self.n });
         }
         let m = self.n / l;

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use soifft_cluster::Comm;
+use soifft_cluster::{Comm, CommError, CommStats, ExchangePolicy};
 use soifft_fft::{batch, Plan, SixStepFft, SixStepVariant};
 use soifft_num::c64;
 use soifft_par::Pool;
@@ -68,6 +68,39 @@ pub struct SimSpec {
     pub net_bytes_per_s: f64,
     /// Per-exchange latency floor, seconds.
     pub net_latency_s: f64,
+}
+
+/// A distributed SOI run that could not complete: which pipeline phase
+/// failed, the underlying [`CommError`], and the partial [`CommStats`]
+/// ledger accumulated up to the failure (so a chaos harness or operator
+/// can still see how far the superstep got and what it cost).
+#[derive(Clone, Debug)]
+pub struct SoiRunError {
+    /// Pipeline phase that failed (`"ghost"` or `"all-to-all"`).
+    pub phase: &'static str,
+    /// The communication failure.
+    pub error: CommError,
+    /// This rank's ledger at the moment of failure (boxed to keep the
+    /// error small enough to move through `Result` cheaply).
+    pub stats: Box<CommStats>,
+}
+
+impl SoiRunError {
+    fn new(phase: &'static str, error: CommError, stats: CommStats) -> Self {
+        SoiRunError { phase, error, stats: Box::new(stats) }
+    }
+}
+
+impl std::fmt::Display for SoiRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SOI pipeline failed in {} phase: {}", self.phase, self.error)
+    }
+}
+
+impl std::error::Error for SoiRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// A planned distributed SOI transform. Plan once (collectively — every
@@ -230,8 +263,6 @@ impl SoiFft {
         let p = &self.params;
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
-        let l = p.total_segments();
-        let blocks = p.blocks_per_rank();
 
         // Virtual-time accounting, when configured.
         if let Some(sim) = self.sim {
@@ -243,12 +274,70 @@ impl SoiFft {
 
         // 1. Ghost exchange.
         let ghost = comm.exchange_ghost(local_input, p.ghost_len());
+
+        // 2-3. Convolution, then block DFTs.
+        let u = self.front_end(comm, local_input, &ghost);
+
+        // 4-6. Exchange and per-segment recovery.
+        match self.exchange {
+            ExchangePlan::PerSegment => self.recover_per_segment(comm, &u),
+            ExchangePlan::Overlapped => self.recover_overlapped(comm, &u),
+            _ => self.recover_monolithic(comm, &u),
+        }
+    }
+
+    /// Fault-tolerant forward transform: the same pipeline as
+    /// [`SoiFft::forward`], but the superstep's communication retries
+    /// transient faults up to `policy`'s round budget (the ghost exchange
+    /// through [`Comm::try_exchange_ghost`], the all-to-all through the
+    /// consensus-checked [`Comm::all_to_all_resilient`]) and permanent
+    /// failures surface as a structured [`SoiRunError`] carrying the
+    /// partial [`CommStats`] ledger, instead of panicking or hanging.
+    ///
+    /// Always uses the monolithic exchange form (the resilient collective
+    /// re-sends whole rounds; chunk pipelining and round-based retry do not
+    /// compose). Every rank must call this collectively with the same
+    /// `policy`.
+    pub fn try_forward(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+    ) -> Result<Vec<c64>, SoiRunError> {
+        let p = &self.params;
+        assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
+        assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
+
+        if let Some(sim) = self.sim {
+            comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
+                bytes_per_s: sim.net_bytes_per_s,
+                latency_s: sim.net_latency_s,
+            });
+        }
+
+        let ghost = comm
+            .try_exchange_ghost(local_input, p.ghost_len(), policy)
+            .map_err(|e| SoiRunError::new("ghost", e, comm.stats().clone()))?;
+        let u = self.front_end(comm, local_input, &ghost);
+        let outgoing = self.pack_outgoing(&u);
+        let incoming = comm
+            .all_to_all_resilient(&outgoing, policy)
+            .map_err(|e| SoiRunError::new("all-to-all", e, comm.stats().clone()))?;
+        Ok(self.recover_all(comm, &incoming))
+    }
+
+    /// Phases 2–3 shared by the fallible and infallible pipelines: extends
+    /// the local input with its ghost, convolves (`u = W x`), and runs the
+    /// block DFTs (`I ⊗ F_L`) — fused into one pass when configured
+    /// (§5.3's loop fusion). Phases recorded in the ledger.
+    fn front_end(&self, comm: &mut Comm, local_input: &[c64], ghost: &[c64]) -> Vec<c64> {
+        let p = &self.params;
+        let l = p.total_segments();
+        let blocks = p.blocks_per_rank();
         let mut input_ext = Vec::with_capacity(local_input.len() + ghost.len());
         input_ext.extend_from_slice(local_input);
-        input_ext.extend_from_slice(&ghost);
+        input_ext.extend_from_slice(ghost);
 
-        // 2-3. Convolution, then block DFTs (fused into one pass when
-        // configured — §5.3's loop fusion).
         let mut u = vec![c64::ZERO; blocks * l];
         let conv_flops = p.conv_flops() / p.procs as f64;
         let seg_fft_flops = blocks as f64 * soifft_fft::fft_flops(l);
@@ -288,13 +377,7 @@ impl SoiFft {
                 None => comm.stats_mut().phase_end("segment-fft", t),
             }
         }
-
-        // 4-6. Exchange and per-segment recovery.
-        match self.exchange {
-            ExchangePlan::PerSegment => self.recover_per_segment(comm, &u),
-            ExchangePlan::Overlapped => self.recover_overlapped(comm, &u),
-            _ => self.recover_monolithic(comm, &u),
-        }
+        u
     }
 
     /// Computes only the requested *segments of interest*, distributed —
@@ -453,14 +536,12 @@ impl SoiFft {
         u.chunks_exact(l).map(|block| block[s]).collect()
     }
 
-    /// Monolithic (or chunked) exchange followed by all segment FFTs.
-    fn recover_monolithic(&self, comm: &mut Comm, u: &[c64]) -> Vec<c64> {
+    /// Outgoing buffer for each rank `q`: `[sl][m_local]` for its
+    /// segments (the monolithic exchange layout).
+    fn pack_outgoing(&self, u: &[c64]) -> Vec<Vec<c64>> {
         let p = &self.params;
         let blocks = p.blocks_per_rank();
-        let mine = self.seg_counts[comm.rank()];
-
-        // Outgoing buffer for rank q: [sl][m_local] for its segments.
-        let outgoing: Vec<Vec<c64>> = (0..p.procs)
+        (0..p.procs)
             .map(|q| {
                 let mut buf = Vec::with_capacity(self.seg_counts[q] * blocks);
                 for sl in 0..self.seg_counts[q] {
@@ -468,7 +549,35 @@ impl SoiFft {
                 }
                 buf
             })
-            .collect();
+            .collect()
+    }
+
+    /// Recovers every owned segment from a monolithic-layout exchange
+    /// result (`incoming[r]` holds `[sl][m_local]`), recording the
+    /// `"local-fft"` phase.
+    fn recover_all(&self, comm: &mut Comm, incoming: &[Vec<c64>]) -> Vec<c64> {
+        let p = &self.params;
+        let mine = self.seg_counts[comm.rank()];
+        let mut y = vec![c64::ZERO; mine * p.m()];
+        let t = comm.stats_mut().phase_start();
+        for sl in 0..mine {
+            let z = self.assemble_segment(incoming, sl);
+            self.recover_into(z, &mut y, sl);
+        }
+        let fft_flops = mine as f64 * soifft_fft::fft_flops(p.m_prime());
+        match self.sim_fft_seconds(fft_flops) {
+            Some(sim_s) => comm.stats_mut().phase_end_sim("local-fft", t, sim_s),
+            None => comm.stats_mut().phase_end("local-fft", t),
+        }
+        y
+    }
+
+    /// Monolithic (or chunked) exchange followed by all segment FFTs.
+    fn recover_monolithic(&self, comm: &mut Comm, u: &[c64]) -> Vec<c64> {
+        let p = &self.params;
+        let blocks = p.blocks_per_rank();
+        let mine = self.seg_counts[comm.rank()];
+        let outgoing = self.pack_outgoing(u);
         let incoming = match self.exchange {
             ExchangePlan::Chunked(chunk) if self.uniform_layout() => {
                 comm.all_to_all_chunked(outgoing, chunk)
@@ -489,19 +598,7 @@ impl SoiFft {
             }
             _ => comm.all_to_all(outgoing),
         };
-
-        let mut y = vec![c64::ZERO; mine * p.m()];
-        let t = comm.stats_mut().phase_start();
-        for sl in 0..mine {
-            let z = self.assemble_segment(&incoming, sl);
-            self.recover_into(z, &mut y, sl);
-        }
-        let fft_flops = mine as f64 * soifft_fft::fft_flops(p.m_prime());
-        match self.sim_fft_seconds(fft_flops) {
-            Some(sim_s) => comm.stats_mut().phase_end_sim("local-fft", t, sim_s),
-            None => comm.stats_mut().phase_end("local-fft", t),
-        }
-        y
+        self.recover_all(comm, &incoming)
     }
 
     /// Simulated seconds for a compute phase of `flops`, when virtual time
@@ -585,10 +682,10 @@ impl SoiFft {
                     continue;
                 }
                 let tag = tags::USER + sl as u64;
-                for src in 0..p.procs {
-                    if parts[sl][src].is_none() {
+                for (src, part) in parts[sl].iter_mut().enumerate() {
+                    if part.is_none() {
                         if let Some(data) = comm.try_recv(src, tag) {
-                            parts[sl][src] = Some(data);
+                            *part = Some(data);
                             missing[sl] -= 1;
                             progressed = true;
                         }
@@ -598,10 +695,8 @@ impl SoiFft {
                     // Recover this segment now — later packets keep
                     // flowing while we compute (the overlap).
                     let mut z = Vec::with_capacity(p.m_prime());
-                    for src in 0..p.procs {
-                        z.extend_from_slice(
-                            parts[sl][src].as_ref().expect("all parts present"),
-                        );
+                    for part in &parts[sl] {
+                        z.extend_from_slice(part.as_ref().expect("all parts present"));
                         debug_assert_eq!(z.len() % blocks, 0);
                     }
                     self.recover_into(z, &mut y, sl);
@@ -1072,6 +1167,55 @@ mod tests {
         let got = gather_output(back);
         let err = rel_l2(&got, &x);
         assert!(err < 1e-7, "round trip err={err:.3e}");
+    }
+
+    #[test]
+    fn try_forward_matches_forward_on_healthy_cluster() {
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        let plain = gather_output(Cluster::run(p.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()])
+        }));
+        let resilient = gather_output(Cluster::run(p.procs, |comm| {
+            fft.try_forward(comm, &inputs[comm.rank()], &ExchangePolicy::default())
+                .expect("healthy cluster")
+        }));
+        assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn try_forward_surfaces_structured_error_with_partial_stats() {
+        use soifft_cluster::{run_cluster_with_faults, CrashSite, FaultPlan, RankOutcome};
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        // Rank 2 dies entering the all-to-all: the ghost phase completes,
+        // then the exchange must fail with a structured error carrying the
+        // partial ledger — on every survivor, within the deadline.
+        let plan = FaultPlan::new(9).crash(2, CrashSite::AllToAll);
+        let outcomes = run_cluster_with_faults(p.procs, plan, |comm| {
+            let policy = soifft_cluster::ExchangePolicy {
+                deadline: std::time::Duration::from_secs(2),
+                max_rounds: 2,
+            };
+            fft.try_forward(comm, &inputs[comm.rank()], &policy)
+        });
+        assert!(matches!(outcomes[2], RankOutcome::Crashed));
+        for rank in [0usize, 1, 3] {
+            let run = outcomes[rank].clone().unwrap();
+            let err = run.expect_err("survivors must see the failure");
+            assert_eq!(err.phase, "all-to-all", "rank {rank}");
+            assert!(
+                matches!(err.error, soifft_cluster::CommError::PeerFailed { rank: 2 }),
+                "rank {rank}: {:?}",
+                err.error
+            );
+            // The partial ledger still shows the completed ghost phase.
+            assert_eq!(err.stats.count_of("ghost"), 1);
+        }
     }
 
     #[test]

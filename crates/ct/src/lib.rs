@@ -25,7 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use soifft_cluster::Comm;
+use soifft_cluster::{Comm, CommError, ExchangePolicy};
 use soifft_fft::batch;
 use soifft_fft::twiddle::DynamicBlock;
 use soifft_fft::Plan;
@@ -75,7 +75,7 @@ impl DistributedCtFft {
     pub fn new(n: usize, procs: usize) -> Result<Self, CtError> {
         // Factor out P² and balance the rest.
         let p2 = procs * procs;
-        if n % p2 != 0 {
+        if !n.is_multiple_of(p2) {
             return Err(CtError::NoDivisibleSplit { n, procs });
         }
         let (a, b) = balanced_split(n / p2);
@@ -157,6 +157,51 @@ impl DistributedCtFft {
         // are d-major, i.e. natural order y[d·n1 + c].
         distributed_transpose(comm, &rows, n1, n2)
     }
+
+    /// Fault-tolerant forward transform: same three-transpose algorithm as
+    /// [`DistributedCtFft::forward`], but every all-to-all runs through the
+    /// consensus-checked [`Comm::all_to_all_resilient`] under `policy`, so
+    /// transient faults are retried and permanent failures surface as a
+    /// typed [`CommError`] instead of a panic or a hang. Collective: every
+    /// rank passes the same `policy`.
+    pub fn try_forward(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+    ) -> Result<Vec<c64>, CommError> {
+        assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
+        assert_eq!(local_input.len(), self.n / self.procs, "wrong local length");
+        let (n1, n2, p) = (self.n1, self.n2, self.procs);
+
+        let mut cols = distributed_transpose_resilient(comm, local_input, n1, n2, policy)?;
+
+        let b0 = comm.rank() * (n2 / p);
+        let t = comm.stats_mut().phase_start();
+        let mut scratch = self.plan1.make_scratch();
+        for (i, row) in cols.chunks_exact_mut(n1).enumerate() {
+            self.plan1.forward_with_scratch(row, &mut scratch);
+            let step = (b0 + i) % self.n;
+            let mut tt = 0usize;
+            for v in row.iter_mut() {
+                *v *= self.tw.get(tt);
+                tt += step;
+                if tt >= self.n {
+                    tt -= self.n;
+                }
+            }
+        }
+        comm.stats_mut().phase_end("local-fft", t);
+
+        let mut rows = distributed_transpose_resilient(comm, &cols, n2, n1, policy)?;
+        drop(cols);
+
+        let t = comm.stats_mut().phase_start();
+        batch::forward_rows(&self.plan2, &mut rows);
+        comm.stats_mut().phase_end("local-fft", t);
+
+        distributed_transpose_resilient(comm, &rows, n1, n2, policy)
+    }
 }
 
 /// All-to-all transpose of a `rows × cols` row-major matrix distributed by
@@ -170,17 +215,37 @@ pub fn distributed_transpose(
     rows: usize,
     cols: usize,
 ) -> Vec<c64> {
-    let p = comm.size();
+    let outgoing = pack_transpose(comm.size(), local, rows, cols);
+    let incoming = comm.all_to_all(outgoing);
+    unpack_transpose(comm.size(), &incoming, rows, cols)
+}
+
+/// Fault-tolerant [`distributed_transpose`]: the exchange runs through
+/// [`Comm::all_to_all_resilient`] under `policy`, so transient faults are
+/// retried round-by-round and permanent failures return a typed
+/// [`CommError`].
+pub fn distributed_transpose_resilient(
+    comm: &mut Comm,
+    local: &[c64],
+    rows: usize,
+    cols: usize,
+    policy: &ExchangePolicy,
+) -> Result<Vec<c64>, CommError> {
+    let outgoing = pack_transpose(comm.size(), local, rows, cols);
+    let incoming = comm.all_to_all_resilient(&outgoing, policy)?;
+    Ok(unpack_transpose(comm.size(), &incoming, rows, cols))
+}
+
+/// Pack: to rank q goes my block of columns [q·out_rows, (q+1)·out_rows),
+/// already transposed so the receiver can place it contiguously:
+/// buffer[(col_local)·my_rows + row_local].
+fn pack_transpose(p: usize, local: &[c64], rows: usize, cols: usize) -> Vec<Vec<c64>> {
     assert_eq!(rows % p, 0, "P must divide rows");
     assert_eq!(cols % p, 0, "P must divide cols");
     let my_rows = rows / p;
     let out_rows = cols / p;
     assert_eq!(local.len(), my_rows * cols, "local shape mismatch");
-
-    // Pack: to rank q goes my block of columns [q·out_rows, (q+1)·out_rows),
-    // already transposed so the receiver can place it contiguously:
-    // buffer[(col_local)·my_rows + row_local].
-    let outgoing: Vec<Vec<c64>> = (0..p)
+    (0..p)
         .map(|q| {
             let c0 = q * out_rows;
             let mut buf = vec![c64::ZERO; out_rows * my_rows];
@@ -191,12 +256,14 @@ pub fn distributed_transpose(
             }
             buf
         })
-        .collect();
+        .collect()
+}
 
-    let incoming = comm.all_to_all(outgoing);
-
-    // Unpack: from rank q come my out_rows × (rows/P) tiles covering
-    // original rows [q·my_rows, ...), i.e. transposed columns.
+/// Unpack: from rank q come my out_rows × (rows/P) tiles covering
+/// original rows [q·my_rows, ...), i.e. transposed columns.
+fn unpack_transpose(p: usize, incoming: &[Vec<c64>], rows: usize, cols: usize) -> Vec<c64> {
+    let my_rows = rows / p;
+    let out_rows = cols / p;
     let mut out = vec![c64::ZERO; out_rows * rows];
     for (q, part) in incoming.iter().enumerate() {
         let r0 = q * my_rows;
@@ -438,6 +505,21 @@ mod tests {
         soifft_num::transpose::transpose(&want, &mut want_t, rows, cols);
         let got: Vec<c64> = runs.iter().flat_map(|(y, _)| y.iter().copied()).collect();
         assert!(rel_linf(&got, &want_t) < 1e-10);
+    }
+
+    #[test]
+    fn try_forward_matches_forward_on_healthy_cluster() {
+        let p = 4;
+        let n = 1 << 10;
+        let x = signal(n);
+        let parts = scatter(&x, p);
+        let fft = DistributedCtFft::new(n, p).unwrap();
+        let plain = Cluster::run(p, |comm| fft.forward(comm, &parts[comm.rank()]));
+        let resilient = Cluster::run(p, |comm| {
+            fft.try_forward(comm, &parts[comm.rank()], &ExchangePolicy::default())
+                .expect("healthy cluster")
+        });
+        assert_eq!(plain, resilient);
     }
 
     #[test]

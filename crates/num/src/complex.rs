@@ -376,7 +376,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![c64::new(1.0, 1.0); 10];
+        let v = [c64::new(1.0, 1.0); 10];
         let s: c64 = v.iter().copied().sum();
         assert_eq!(s, c64::new(10.0, 10.0));
     }

@@ -17,14 +17,14 @@ pub fn factorize(mut n: usize) -> Vec<(usize, u32)> {
         }
     };
     let mut m = 0u32;
-    while n % 2 == 0 {
+    while n.is_multiple_of(2) {
         n /= 2;
         m += 1;
     }
     push(2, &mut m);
     let mut p = 3;
     while p * p <= n {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             n /= p;
             m += 1;
         }
@@ -90,7 +90,7 @@ pub fn lcm(a: usize, b: usize) -> usize {
 /// returned unchanged.
 pub fn padded_stride(len: usize, line_elems: usize) -> usize {
     assert!(line_elems > 0);
-    if len >= 512 && len % 512 == 0 {
+    if len >= 512 && len.is_multiple_of(512) {
         len + line_elems
     } else {
         len
@@ -104,7 +104,7 @@ pub fn balanced_split(n: usize) -> (usize, usize) {
     let mut best = (1, n);
     let mut a = 1;
     while a * a <= n {
-        if n % a == 0 {
+        if n.is_multiple_of(a) {
             best = (a, n / a);
         }
         a += 1;

@@ -201,8 +201,8 @@ mod tests {
             let mut snap = vec![c64::ZERO; b];
             cb.snapshot(&mut snap);
             assert_eq!(snap, direct, "step {step}");
-            for i in 0..b {
-                assert_eq!(cb.get(i), direct[i], "step {step} i {i}");
+            for (i, want) in direct.iter().enumerate() {
+                assert_eq!(cb.get(i), *want, "step {step} i {i}");
             }
             // Advance: new elements are at window positions b..b+d.
             cb.advance_strided(&src, (base + b) * stride, stride, d);

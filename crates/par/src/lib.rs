@@ -246,7 +246,7 @@ impl Pool {
         partials
             .into_iter()
             .flatten()
-            .fold(identity, |acc, v| reduce(acc, v))
+            .fold(identity, reduce)
     }
 }
 

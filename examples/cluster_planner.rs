@@ -51,7 +51,7 @@ fn main() {
     );
 
     // Where does this configuration sit on the weak-scaling curve?
-    let sweep = soifft::model::weak_scaling(&[nodes / 2.max(1), nodes, nodes * 2], per_node);
+    let sweep = soifft::model::weak_scaling(&[nodes / 2, nodes, nodes * 2], per_node);
     println!("\nneighbouring weak-scaling points (SOI/Phi):");
     for ScalingPoint { nodes, soi_phi, .. } in sweep {
         println!("  {nodes:>5} nodes -> {soi_phi:.2} TFLOPS");

@@ -1,0 +1,303 @@
+//! Chaos suite: the distributed SOI and Cooley–Tukey pipelines under a
+//! matrix of injected fault scenarios (drop, delay, duplicate, corrupt,
+//! rank crash).
+//!
+//! The invariant each scenario asserts is the fault-model contract from
+//! DESIGN.md §1: a run either produces a **verified-correct spectrum**
+//! (relative ℓ₂ error < 1e-9 against a single-process reference FFT) or
+//! ends in a **typed failure** ([`RankOutcome::Err`]/[`RankOutcome::Crashed`]
+//! or a structured pipeline error) within its deadline — never a hang and
+//! never an unhandled panic. Transient link faults must be absorbed
+//! entirely (the link layer retransmits, the resilient collectives retry
+//! rounds); a crashed rank must unblock every survivor.
+
+use std::time::Duration;
+
+use soifft::cluster::{
+    run_cluster_with_faults, CommError, CrashSite, ExchangePolicy, FaultPlan, RankOutcome,
+};
+use soifft::ct::DistributedCtFft;
+use soifft::fft::Plan;
+use soifft::num::c64;
+use soifft::num::error::rel_l2;
+use soifft::soi::pipeline::{gather_output, scatter_input};
+use soifft::soi::{Rational, SoiFft, SoiParams, SoiRunError};
+
+const PROCS: usize = 4;
+
+/// Per-rank outcomes of a chaos run plus the reference spectrum.
+type ChaosRun<E> = (Vec<RankOutcome<Result<Vec<c64>, E>>>, Vec<c64>);
+
+fn soi_params() -> SoiParams {
+    SoiParams {
+        n: 1 << 12,
+        procs: PROCS,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 40,
+    }
+}
+
+fn signal(n: usize) -> Vec<c64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            c64::new((0.07 * t).sin() - 0.2, 0.5 * (0.013 * t).cos())
+        })
+        .collect()
+}
+
+fn reference_fft(x: &[c64]) -> Vec<c64> {
+    let mut y = x.to_vec();
+    Plan::new(x.len()).forward(&mut y);
+    y
+}
+
+fn policy() -> ExchangePolicy {
+    ExchangePolicy { deadline: Duration::from_secs(2), max_rounds: 3 }
+}
+
+/// A short policy for scenarios that are *expected* to fail: the typed
+/// error must arrive within a few deadline multiples, not minutes.
+fn short_policy() -> ExchangePolicy {
+    ExchangePolicy { deadline: Duration::from_millis(300), max_rounds: 2 }
+}
+
+/// Runs the SOI pipeline under `plan` and returns per-rank outcomes.
+fn run_soi(plan: FaultPlan, policy: ExchangePolicy) -> ChaosRun<SoiRunError> {
+    let p = soi_params();
+    let x = signal(p.n);
+    let want = reference_fft(&x);
+    let inputs = scatter_input(&x, p.procs);
+    let fft = SoiFft::new(p).expect("valid params");
+    let outcomes = run_cluster_with_faults(p.procs, plan, |comm| {
+        fft.try_forward(comm, &inputs[comm.rank()], &policy)
+    });
+    (outcomes, want)
+}
+
+/// Transient-fault scenarios must be absorbed completely: every rank Ok,
+/// spectrum verified against the reference.
+fn assert_soi_correct_under(plan: FaultPlan) {
+    let (outcomes, want) = run_soi(plan, policy());
+    let mut parts = Vec::new();
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        match o {
+            RankOutcome::Ok(Ok(y)) => parts.push(y),
+            other => panic!("rank {rank}: expected success, got {other:?}"),
+        }
+    }
+    let got = gather_output(parts);
+    let err = rel_l2(&got, &want);
+    assert!(err < 1e-9, "spectrum must verify: rel err = {err:.3e}");
+}
+
+/// Hard-fault scenarios must end typed on every rank: the faulted rank
+/// `Crashed` (when the plan crashes one) and every other rank either a
+/// typed `CommError` or a structured `SoiRunError` — never `Panicked`,
+/// never a silently wrong spectrum.
+fn assert_soi_fails_typed_under(plan: FaultPlan, crashed: Option<usize>) {
+    let (outcomes, _) = run_soi(plan, short_policy());
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        match o {
+            RankOutcome::Crashed => {
+                assert_eq!(Some(rank), crashed, "only the planned rank may crash");
+            }
+            RankOutcome::Err(e) => {
+                if let Some(c) = crashed {
+                    assert_eq!(e, CommError::PeerFailed { rank: c }, "rank {rank}");
+                }
+            }
+            RankOutcome::Ok(Err(run_err)) => {
+                if let Some(c) = crashed {
+                    assert_eq!(
+                        run_err.error,
+                        CommError::PeerFailed { rank: c },
+                        "rank {rank}: {run_err}"
+                    );
+                }
+                // The structured error carries the partial ledger.
+                assert!(!run_err.stats.records().is_empty(), "rank {rank}");
+            }
+            RankOutcome::Ok(Ok(_)) => {
+                panic!("rank {rank}: no rank may report success in a hard-fault scenario")
+            }
+            RankOutcome::Panicked(msg) => {
+                panic!("rank {rank}: unhandled panic leaked through: {msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SOI × transient faults: absorbed, spectrum verified.
+// ---------------------------------------------------------------------
+
+#[test]
+fn soi_survives_message_drops() {
+    assert_soi_correct_under(FaultPlan::new(101).drop(0.3));
+}
+
+#[test]
+fn soi_survives_message_delays() {
+    assert_soi_correct_under(FaultPlan::new(102).delay(0.4, Duration::from_micros(200)));
+}
+
+#[test]
+fn soi_survives_message_duplication() {
+    assert_soi_correct_under(FaultPlan::new(103).duplicate(0.4));
+}
+
+#[test]
+fn soi_survives_bit_corruption() {
+    assert_soi_correct_under(FaultPlan::new(104).corrupt(0.3));
+}
+
+#[test]
+fn soi_survives_mixed_fault_storm() {
+    assert_soi_correct_under(
+        FaultPlan::new(105)
+            .drop(0.2)
+            .corrupt(0.15)
+            .duplicate(0.15)
+            .delay(0.2, Duration::from_micros(100)),
+    );
+}
+
+// ---------------------------------------------------------------------
+// SOI × rank crashes: typed failure everywhere, survivors unblock.
+// ---------------------------------------------------------------------
+
+#[test]
+fn soi_rank_crash_in_ghost_phase_fails_typed() {
+    assert_soi_fails_typed_under(FaultPlan::new(106).crash(1, CrashSite::Ghost), Some(1));
+}
+
+#[test]
+fn soi_rank_crash_in_all_to_all_fails_typed() {
+    assert_soi_fails_typed_under(FaultPlan::new(107).crash(2, CrashSite::AllToAll), Some(2));
+}
+
+#[test]
+fn soi_permanent_link_failure_fails_typed() {
+    // Rank 3's outbound link drops every copy of every message, forever:
+    // no retransmit budget can absorb that. Everyone must still end typed
+    // (Timeout/ChecksumMismatch chains), nobody may hang.
+    assert_soi_fails_typed_under(FaultPlan::new(108).drop(1.0).permanent().on_rank(3), None);
+}
+
+#[test]
+fn soi_crash_at_barrier_unblocks_everyone() {
+    // A barrier placed in front of the pipeline: the crashing rank dies in
+    // it, every survivor must unblock with PeerFailed (the cancellable
+    // barrier's contract) rather than deadlocking.
+    let p = soi_params();
+    let x = signal(p.n);
+    let inputs = scatter_input(&x, p.procs);
+    let fft = SoiFft::new(p).expect("valid params");
+    let plan = FaultPlan::new(109).crash(0, CrashSite::Barrier);
+    let outcomes = run_cluster_with_faults(p.procs, plan, |comm| {
+        comm.try_barrier()?;
+        fft.try_forward(comm, &inputs[comm.rank()], &short_policy())
+            .map_err(|e| e.error)
+    });
+    assert!(matches!(outcomes[0], RankOutcome::Crashed));
+    for (rank, o) in outcomes.iter().enumerate().skip(1) {
+        match o {
+            RankOutcome::Ok(Err(CommError::PeerFailed { rank: r })) | RankOutcome::Err(CommError::PeerFailed { rank: r }) => {
+                assert_eq!(*r, 0, "rank {rank}")
+            }
+            other => panic!("rank {rank}: expected PeerFailed, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cooley–Tukey baseline × the same matrix.
+// ---------------------------------------------------------------------
+
+fn run_ct(plan: FaultPlan, policy: ExchangePolicy) -> ChaosRun<CommError> {
+    let n = 1 << 12;
+    let x = signal(n);
+    let want = reference_fft(&x);
+    let inputs = scatter_input(&x, PROCS);
+    let fft = DistributedCtFft::new(n, PROCS).expect("valid split");
+    let outcomes = run_cluster_with_faults(PROCS, plan, |comm| {
+        fft.try_forward(comm, &inputs[comm.rank()], &policy)
+    });
+    (outcomes, want)
+}
+
+fn assert_ct_correct_under(plan: FaultPlan) {
+    let (outcomes, want) = run_ct(plan, policy());
+    let mut parts = Vec::new();
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        match o {
+            RankOutcome::Ok(Ok(y)) => parts.push(y),
+            other => panic!("rank {rank}: expected success, got {other:?}"),
+        }
+    }
+    let got = gather_output(parts);
+    let err = rel_l2(&got, &want);
+    assert!(err < 1e-9, "CT spectrum must verify: rel err = {err:.3e}");
+}
+
+#[test]
+fn ct_survives_message_drops() {
+    assert_ct_correct_under(FaultPlan::new(201).drop(0.3));
+}
+
+#[test]
+fn ct_survives_message_delays() {
+    assert_ct_correct_under(FaultPlan::new(202).delay(0.4, Duration::from_micros(200)));
+}
+
+#[test]
+fn ct_survives_message_duplication() {
+    assert_ct_correct_under(FaultPlan::new(203).duplicate(0.4));
+}
+
+#[test]
+fn ct_survives_bit_corruption() {
+    assert_ct_correct_under(FaultPlan::new(204).corrupt(0.3));
+}
+
+#[test]
+fn ct_rank_crash_fails_typed_and_unblocks_survivors() {
+    let (outcomes, _) = run_ct(FaultPlan::new(205).crash(1, CrashSite::AllToAll), short_policy());
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        match o {
+            RankOutcome::Crashed => assert_eq!(rank, 1),
+            RankOutcome::Err(e) => assert_eq!(e, CommError::PeerFailed { rank: 1 }),
+            RankOutcome::Ok(Err(e)) => assert_eq!(e, CommError::PeerFailed { rank: 1 }),
+            RankOutcome::Ok(Ok(_)) => panic!("rank {rank}: must not succeed"),
+            RankOutcome::Panicked(msg) => panic!("rank {rank}: unhandled panic: {msg}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-cutting: injected-event determinism at the suite level.
+// ---------------------------------------------------------------------
+
+#[test]
+fn chaos_runs_report_fault_events() {
+    // The injector's event counters surface through Comm::fault_events so
+    // a chaos harness can check the plan actually fired.
+    let p = soi_params();
+    let x = signal(p.n);
+    let inputs = scatter_input(&x, p.procs);
+    let fft = SoiFft::new(p).expect("valid params");
+    let plan = FaultPlan::new(110).drop(0.3).duplicate(0.2);
+    let outcomes = run_cluster_with_faults(p.procs, plan, |comm| {
+        let y = fft.try_forward(comm, &inputs[comm.rank()], &policy());
+        (y, comm.fault_events().expect("plan installed"))
+    });
+    let mut total = 0u64;
+    for o in outcomes {
+        let (y, events) = o.unwrap();
+        assert!(y.is_ok());
+        total += events.total();
+    }
+    assert!(total > 0, "the plan must have injected something");
+}

@@ -1,0 +1,103 @@
+//! Property: fault injection is deterministic. A [`FaultPlan`] is a pure
+//! function of its seed — two chaos runs with the identical seed and plan
+//! must inject the identical event sequence and produce byte-identical
+//! outcomes.
+//!
+//! The plans drawn here are the timing-insensitive classes (drop, corrupt,
+//! duplicate — all absorbed by the link layer's retransmit/dedup, so the
+//! delivered payloads are scheduling-independent). Receiver-side discard
+//! *counters* can legitimately differ between runs (a duplicate that is
+//! still in flight when the receiver finishes is never counted), so the
+//! property compares delivered data, per-rank injector event streams, and
+//! the sender-side retransmit counter — the quantities the determinism
+//! guarantee actually covers.
+
+use proptest::prelude::*;
+
+use soifft::cluster::{run_cluster_with_faults, FaultEvents, FaultPlan};
+use soifft::num::c64;
+use soifft::soi::pipeline::scatter_input;
+use soifft::soi::{Rational, SoiFft, SoiParams};
+
+fn soi_params() -> SoiParams {
+    SoiParams {
+        n: 1 << 10,
+        procs: 2,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 16,
+    }
+}
+
+/// One chaos run: per-rank (spectrum bits, injector events, retransmits).
+fn chaos_run(seed: u64, drop_p: f64, corrupt_p: f64, dup_p: f64) -> Vec<(Vec<u64>, FaultEvents, u64)> {
+    let p = soi_params();
+    let x: Vec<c64> = (0..p.n)
+        .map(|i| c64::new((0.11 * i as f64).cos(), (0.07 * i as f64).sin()))
+        .collect();
+    let inputs = scatter_input(&x, p.procs);
+    let fft = SoiFft::new(p).expect("valid params");
+    let plan = FaultPlan::new(seed).drop(drop_p).corrupt(corrupt_p).duplicate(dup_p);
+    let outcomes = run_cluster_with_faults(p.procs, plan, |comm| {
+        let policy = soifft::cluster::ExchangePolicy::default();
+        let y = fft
+            .try_forward(comm, &inputs[comm.rank()], &policy)
+            .expect("transient faults must be absorbed");
+        // Compare exact bit patterns, not approximate equality.
+        let bits: Vec<u64> = y
+            .iter()
+            .flat_map(|z| [z.re.to_bits(), z.im.to_bits()])
+            .collect();
+        (
+            bits,
+            comm.fault_events().expect("plan installed"),
+            comm.stats().retransmits(),
+        )
+    });
+    outcomes.into_iter().map(|o| o.unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn identical_seed_and_plan_give_byte_identical_outcomes(
+        seed in any::<u64>(),
+        drop_pct in 0u32..35,
+        corrupt_pct in 0u32..25,
+        dup_pct in 0u32..25,
+    ) {
+        let (d, c, u) =
+            (drop_pct as f64 / 100.0, corrupt_pct as f64 / 100.0, dup_pct as f64 / 100.0);
+        let first = chaos_run(seed, d, c, u);
+        let second = chaos_run(seed, d, c, u);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_seeds_usually_inject_differently(seed in any::<u64>()) {
+        // Sanity inverse: the seed must actually steer injection (guards
+        // against a seed that is silently ignored). Event *counters* of two
+        // unrelated seeds can coincide by chance, so try a few perturbed
+        // seeds and require at least one divergence.
+        let a = chaos_run(seed, 0.3, 0.2, 0.2);
+        let events_a: Vec<&FaultEvents> = a.iter().map(|(_, e, _)| e).collect();
+        let mut diverged = false;
+        for k in 1u64..=3 {
+            let b = chaos_run(seed ^ 0xDEAD_BEEFu64.wrapping_mul(k), 0.3, 0.2, 0.2);
+            // Payloads agree no matter the seed (faults are absorbed)...
+            let bits_a: Vec<&Vec<u64>> = a.iter().map(|(y, _, _)| y).collect();
+            let bits_b: Vec<Vec<u64>> = b.iter().map(|(y, _, _)| y.clone()).collect();
+            prop_assert_eq!(
+                bits_a.into_iter().cloned().collect::<Vec<_>>(),
+                bits_b
+            );
+            // ...but the injected event streams should not all coincide.
+            if b.iter().map(|(_, e, _)| e).ne(events_a.iter().copied()) {
+                diverged = true;
+                break;
+            }
+        }
+        prop_assert!(diverged, "three perturbed seeds all injected identically");
+    }
+}
