@@ -26,15 +26,9 @@ fn bench_strategies(c: &mut Criterion) {
         let pool = Pool::serial();
         g.throughput(Throughput::Elements(params.per_rank() as u64));
         for strategy in ConvStrategy::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(strategy.label(), nodes),
-                &nodes,
-                |b, _| {
-                    b.iter(|| {
-                        conv::convolve(&params, &window, strategy, &input, &mut out, &pool)
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(strategy.label(), nodes), &nodes, |b, _| {
+                b.iter(|| conv::convolve(&params, &window, strategy, &input, &mut out, &pool));
+            });
         }
     }
     g.finish();
@@ -60,7 +54,14 @@ fn bench_fused_fft(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("separate", |b| {
         b.iter(|| {
-            conv::convolve(&params, &window, ConvStrategy::RowMajor, &input, &mut out, &pool);
+            conv::convolve(
+                &params,
+                &window,
+                ConvStrategy::RowMajor,
+                &input,
+                &mut out,
+                &pool,
+            );
             soifft_fft::batch::forward_rows(&plan, &mut out);
         });
     });

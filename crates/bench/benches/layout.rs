@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use soifft_bench::signal;
 use soifft_fft::{Plan, PlanarFft};
+use soifft_num::c64;
 use soifft_num::soa::{deinterleave_blocked, SoaComplex};
 use soifft_num::transpose::{transpose, transpose_naive};
-use soifft_num::c64;
 
 fn bench_layout(c: &mut Criterion) {
     let n = 1 << 16;

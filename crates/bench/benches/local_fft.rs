@@ -58,7 +58,9 @@ fn bench_sixstep_ladder(c: &mut Criterion) {
 fn bench_fused_demod(c: &mut Criterion) {
     let n = 1 << 16;
     let x = signal(n, 8);
-    let scale: Vec<c64> = (0..n).map(|k| c64::new(1.0 / (1.0 + k as f64), 0.0)).collect();
+    let scale: Vec<c64> = (0..n)
+        .map(|k| c64::new(1.0 / (1.0 + k as f64), 0.0))
+        .collect();
     let plan = SixStepFft::new(n, SixStepVariant::FusedDynamic);
     let mut g = c.benchmark_group("fused_demod");
     g.sample_size(10);

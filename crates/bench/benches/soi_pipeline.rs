@@ -16,7 +16,9 @@ const PROCS: usize = 4;
 fn inputs() -> Vec<Vec<c64>> {
     let x = signal(N, 23);
     let per = N / PROCS;
-    (0..PROCS).map(|r| x[r * per..(r + 1) * per].to_vec()).collect()
+    (0..PROCS)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect()
 }
 
 fn params() -> SoiParams {
@@ -55,7 +57,9 @@ fn bench_exchange_plans(c: &mut Criterion) {
         ("chunked_1k", ExchangePlan::Chunked(1024)),
         ("per_segment", ExchangePlan::PerSegment),
     ] {
-        let soi = SoiFft::new(params()).expect("plannable").with_exchange(plan);
+        let soi = SoiFft::new(params())
+            .expect("plannable")
+            .with_exchange(plan);
         g.bench_function(label, |b| {
             b.iter(|| Cluster::run(PROCS, |comm| soi.forward(comm, &ins[comm.rank()])));
         });

@@ -26,9 +26,13 @@ fn bench_window_build(c: &mut Criterion) {
         WindowKind::KaiserSinc,
         WindowKind::ProlateSinc,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
-            b.iter(|| Window::new(k, &p));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &k| {
+                b.iter(|| Window::new(k, &p));
+            },
+        );
     }
     g.bench_function("Gaussian_analytic_demod", |b| {
         b.iter(|| Window::with_demod_mode(WindowKind::GaussianSinc, &p, DemodMode::Analytic));

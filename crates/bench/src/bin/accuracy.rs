@@ -28,7 +28,11 @@ fn main() {
         (Rational::new(2, 1), 24, 1 << 9),
     ];
 
-    for kind in [WindowKind::GaussianSinc, WindowKind::KaiserSinc, WindowKind::ProlateSinc] {
+    for kind in [
+        WindowKind::GaussianSinc,
+        WindowKind::KaiserSinc,
+        WindowKind::ProlateSinc,
+    ] {
         for &(mu, b, m) in &configs {
             let n = m * l;
             let params = SoiParams {

@@ -14,7 +14,9 @@ fn main() {
     let n = env_usize("SOIFFT_N", 1 << 14);
     let x = signal(n, 1);
     let per = n / procs;
-    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<_> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
 
     let fft = DistributedCtFft::new(n, procs).expect("plannable size");
     let results = Cluster::run(procs, |comm| {
@@ -23,7 +25,10 @@ fn main() {
     });
 
     // Verify against the node-local library.
-    let got: Vec<_> = results.iter().flat_map(|(o, _)| o.iter().copied()).collect();
+    let got: Vec<_> = results
+        .iter()
+        .flat_map(|(o, _)| o.iter().copied())
+        .collect();
     let mut want = x.clone();
     Plan::new(n).forward(&mut want);
     let err = rel_linf(&got, &want);

@@ -21,7 +21,9 @@ fn main() {
     params.validate().expect("valid parameters");
     let x = signal(n, 1);
     let per = params.per_rank();
-    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<_> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
 
     let fft = SoiFft::new(params).expect("plannable");
     let results = Cluster::run(procs, |comm| {
@@ -29,7 +31,10 @@ fn main() {
         (out, comm.stats().clone())
     });
 
-    let got: Vec<_> = results.iter().flat_map(|(o, _)| o.iter().copied()).collect();
+    let got: Vec<_> = results
+        .iter()
+        .flat_map(|(o, _)| o.iter().copied())
+        .collect();
     let mut want = x.clone();
     Plan::new(n).forward(&mut want);
     let err = rel_l2(&got, &want);
@@ -39,7 +44,13 @@ fn main() {
         "N = {n}, P = {procs}, S = {}, mu = {}, B = {}, verified: rel_l2 = {err:.2e}\n",
         params.segments_per_proc, params.mu, params.conv_width
     );
-    let mut t = Table::new(&["rank", "phase sequence", "all-to-alls", "ghost bytes", "a2a bytes"]);
+    let mut t = Table::new(&[
+        "rank",
+        "phase sequence",
+        "all-to-alls",
+        "ghost bytes",
+        "a2a bytes",
+    ]);
     for (rank, (_, stats)) in results.iter().enumerate() {
         let seq: Vec<&str> = stats.records().iter().map(|r| r.name).collect();
         t.row(&[

@@ -26,7 +26,12 @@ fn main() {
         secs(phi.t_conv(n)),
         "0.64 / 0.21".into(),
     ]);
-    t.row(&["T_mpi(N)".into(), secs(xeon.t_mpi(n)), secs(phi.t_mpi(n)), "0.67".into()]);
+    t.row(&[
+        "T_mpi(N)".into(),
+        secs(xeon.t_mpi(n)),
+        secs(phi.t_mpi(n)),
+        "0.67".into(),
+    ]);
     print!("{}", t.render());
 
     let base = xeon.ct_time(n).total();

@@ -60,7 +60,9 @@ fn functional_crosscheck() {
     let n = env_usize("SOIFFT_N", 1 << 16);
     let x = signal(n, 7);
     let per = n / procs;
-    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<_> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
     let mut want = x.clone();
     soifft_fft::Plan::new(n).forward(&mut want);
 
@@ -96,7 +98,10 @@ fn functional_crosscheck() {
             (y, comm.stats().bytes_in("all-to-all"))
         })
     });
-    let got: Vec<_> = soi_out.iter().flat_map(|(y, _)| y.iter().copied()).collect();
+    let got: Vec<_> = soi_out
+        .iter()
+        .flat_map(|(y, _)| y.iter().copied())
+        .collect();
     t.row(&[
         "SOI".into(),
         format!("{soi_s:.3}"),

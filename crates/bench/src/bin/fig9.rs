@@ -20,7 +20,8 @@ fn sim_spec_for(model: &ClusterModel) -> SimSpec {
     SimSpec {
         fft_flops_per_s: model.eff.fft * model.machine.peak_gflops * 1e9,
         conv_flops_per_s: model.eff.conv * model.machine.peak_gflops * 1e9,
-        net_bytes_per_s: model.network.per_node_gib_s * (1u64 << 30) as f64
+        net_bytes_per_s: model.network.per_node_gib_s
+            * (1u64 << 30) as f64
             * model.network.efficiency(model.nodes),
         net_latency_s: 0.0,
     }
@@ -41,8 +42,10 @@ fn model_breakdown() {
         let n = per_node * p as f64;
         // Paper §6.1: 8 segments/process for <=128 nodes, 2 for >=512.
         let segments = if p <= 128 { 8 } else { 2 };
-        for (label, model) in [("Xeon", ClusterModel::xeon(p)), ("Phi", ClusterModel::xeon_phi(p))]
-        {
+        for (label, model) in [
+            ("Xeon", ClusterModel::xeon(p)),
+            ("Phi", ClusterModel::xeon_phi(p)),
+        ] {
             let b = model.soi_time_overlapped(n, segments);
             t.row(&[
                 p.to_string(),
@@ -75,7 +78,9 @@ fn functional_breakdown() {
     };
     let x = signal(n, 3);
     let per = params.per_rank();
-    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<_> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
     let fft = SoiFft::new(params).expect("plannable");
     let stats = Cluster::run(procs, |comm| {
         fft.forward(comm, &inputs[comm.rank()]);
@@ -83,7 +88,14 @@ fn functional_breakdown() {
     });
 
     println!("Functional per-phase ledger (N = {n}, P = {procs}, seconds):");
-    let mut t = Table::new(&["rank", "ghost", "convolution", "segment-fft", "all-to-all", "local-fft"]);
+    let mut t = Table::new(&[
+        "rank",
+        "ghost",
+        "convolution",
+        "segment-fft",
+        "all-to-all",
+        "local-fft",
+    ]);
     for (rank, s) in stats.iter().enumerate() {
         t.row(&[
             rank.to_string(),
@@ -113,7 +125,9 @@ fn virtual_time_breakdown() {
     };
     let x = signal(n, 5);
     let per = params.per_rank();
-    let inputs: Vec<_> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<_> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
 
     println!("\nVirtual-time breakdown of the functional run (simulated seconds,");
     println!("rank 0, at each machine's §4 rates — compare component ratios with");
@@ -123,7 +137,9 @@ fn virtual_time_breakdown() {
         ("Xeon", ClusterModel::xeon(procs as u32)),
         ("Xeon Phi", ClusterModel::xeon_phi(procs as u32)),
     ] {
-        let fft = SoiFft::new(params).expect("plannable").with_sim(sim_spec_for(&model));
+        let fft = SoiFft::new(params)
+            .expect("plannable")
+            .with_sim(sim_spec_for(&model));
         let stats = Cluster::run(procs, |comm| {
             fft.forward(comm, &inputs[comm.rank()]);
             comm.stats().clone()

@@ -21,12 +21,19 @@ fn main() {
     let n = env_usize("SOIFFT_N", 1 << 16);
     let x = signal(n, 123);
     let per = n / procs;
-    let inputs: Vec<Vec<c64>> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<Vec<c64>> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
     let flops = 5.0 * n as f64 * (n as f64).log2();
     let eps = f64::EPSILON;
 
     println!("G-FFT-style measurement, N = {n}, P = {procs} (simulated ranks)\n");
-    let mut t = Table::new(&["transform", "fwd+inv wall (s)", "GFLOPS (fwd)", "HPCC residual"]);
+    let mut t = Table::new(&[
+        "transform",
+        "fwd+inv wall (s)",
+        "GFLOPS (fwd)",
+        "HPCC residual",
+    ]);
 
     // SOI.
     let params = SoiParams {

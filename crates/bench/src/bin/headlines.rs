@@ -15,7 +15,12 @@ fn main() {
 
     let mut t = Table::new(&["paper claim", "paper value", "this reproduction", "ok"]);
     let mut check = |claim: &str, paper: &str, got: String, ok: bool| {
-        t.row(&[claim.into(), paper.into(), got, if ok { "yes" } else { "NO" }.into()]);
+        t.row(&[
+            claim.into(),
+            paper.into(),
+            got,
+            if ok { "yes" } else { "NO" }.into(),
+        ]);
     };
 
     check(

@@ -17,14 +17,11 @@ fn main() {
     let n = env_usize("SOIFFT_N", 1 << 14);
     let x = signal(n, 77);
     let per = n / procs;
-    let inputs: Vec<Vec<c64>> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<Vec<c64>> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
 
-    let mut t = Table::new(&[
-        "transform",
-        "all-to-alls",
-        "ghost msgs",
-        "bytes sent/rank",
-    ]);
+    let mut t = Table::new(&["transform", "all-to-alls", "ghost msgs", "bytes sent/rank"]);
 
     // 1D, conventional Cooley–Tukey.
     let ct = DistributedCtFft::new(n, procs).expect("plannable");

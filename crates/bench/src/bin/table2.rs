@@ -10,7 +10,10 @@ fn main() {
 
     let mut t = Table::new(&["", &xeon.name, &phi.name]);
     let cfg = |m: &MachineSpec| {
-        format!("{} x {} x {} x {}", m.sockets, m.cores_per_socket, m.smt, m.simd)
+        format!(
+            "{} x {} x {} x {}",
+            m.sockets, m.cores_per_socket, m.smt, m.simd
+        )
     };
     t.row(&["Socket x core x SMT x SIMD".into(), cfg(&xeon), cfg(&phi)]);
     t.row(&[

@@ -184,7 +184,9 @@ mod tests {
         let (v, s) = time(|| 21 * 2);
         assert_eq!(v, 42);
         assert!(s >= 0.0);
-        let best = best_of(3, || std::thread::sleep(std::time::Duration::from_micros(100)));
+        let best = best_of(3, || {
+            std::thread::sleep(std::time::Duration::from_micros(100))
+        });
         assert!(best > 0.0);
     }
 

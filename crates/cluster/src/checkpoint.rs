@@ -1,0 +1,295 @@
+//! In-memory checkpoint store for supervised cluster runs.
+//!
+//! A [`CheckpointStore`] holds per-rank, per-phase snapshots of pipeline
+//! state (the SOI phase boundaries: `ghost` / `convolution` /
+//! `segment-fft` / `all-to-all`; the CT baseline uses its own names).
+//! Each snapshot is tagged with the epoch that produced it and carries an
+//! FNV-1a checksum ([`checksum`](crate::resilience::checksum), the same
+//! function the wire layer uses) so a restore can detect corruption
+//! instead of silently recomputing from bad state.
+//!
+//! A phase **commits globally** once *all* ranks have saved it; committed
+//! phases are the resume points a respawned rank may rejoin at (the
+//! supervisor freezes the committed list per epoch so every rank makes
+//! the same collective resume decision). When a phase commits, snapshots
+//! of *earlier-committed* phases are pruned — the store never holds more
+//! than the active recovery frontier plus the phase in flight.
+//!
+//! The store is shared (`Arc`) across epochs and rank incarnations, and
+//! all methods take `&self`; internal state is mutex-protected.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use soifft_num::c64;
+
+use crate::resilience::checksum;
+
+/// Why a snapshot could not be restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// No snapshot exists for this `(rank, phase)`.
+    Missing {
+        /// The rank whose snapshot was requested.
+        rank: usize,
+        /// The requested phase.
+        phase: &'static str,
+    },
+    /// The stored data no longer matches its FNV-1a checksum.
+    Corrupt {
+        /// The rank whose snapshot is corrupt.
+        rank: usize,
+        /// The corrupt phase.
+        phase: &'static str,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Missing { rank, phase } => {
+                write!(f, "no checkpoint for rank {rank} at phase {phase:?}")
+            }
+            CheckpointError::Corrupt { rank, phase } => {
+                write!(
+                    f,
+                    "checkpoint for rank {rank} at phase {phase:?} failed its checksum"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One epoch-tagged, checksummed snapshot.
+#[derive(Clone, Debug)]
+struct Snapshot {
+    epoch: u64,
+    checksum: u64,
+    data: Vec<c64>,
+}
+
+#[derive(Default)]
+struct Inner {
+    snaps: HashMap<(usize, &'static str), Snapshot>,
+    /// Phases that have committed globally, in commit order.
+    committed: Vec<&'static str>,
+    saves: u64,
+    pruned: u64,
+}
+
+/// Shared per-run checkpoint store (see module docs).
+pub struct CheckpointStore {
+    parties: usize,
+    inner: Mutex<Inner>,
+}
+
+impl CheckpointStore {
+    /// A store for a cluster of `parties` ranks (a phase commits once all
+    /// `parties` ranks have saved it).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "need at least one party");
+        CheckpointStore {
+            parties,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The number of ranks whose saves commit a phase.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Saves `rank`'s snapshot of `phase` produced in `epoch`, replacing
+    /// any earlier snapshot for the pair. When this save is the last of
+    /// the `parties` ranks, the phase commits and every snapshot of
+    /// phases committed *before* it is pruned.
+    pub fn save(&self, rank: usize, phase: &'static str, epoch: u64, data: &[c64]) {
+        assert!(rank < self.parties, "rank out of range");
+        let snap = Snapshot {
+            epoch,
+            checksum: checksum(data),
+            data: data.to_vec(),
+        };
+        let mut g = self.lock();
+        g.snaps.insert((rank, phase), snap);
+        g.saves += 1;
+        let all_saved = (0..self.parties).all(|r| g.snaps.contains_key(&(r, phase)));
+        if all_saved && !g.committed.contains(&phase) {
+            g.committed.push(phase);
+            // Prune everything superseded by the new commit frontier.
+            let keep_from = g.committed.len() - 1;
+            let stale: Vec<&'static str> = g.committed[..keep_from].to_vec();
+            for ph in stale {
+                for r in 0..self.parties {
+                    if g.snaps.remove(&(r, ph)).is_some() {
+                        g.pruned += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores `rank`'s snapshot of `phase`, verifying its checksum.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Missing`] if nothing was saved,
+    /// [`CheckpointError::Corrupt`] if the data fails verification.
+    pub fn restore(&self, rank: usize, phase: &'static str) -> Result<Vec<c64>, CheckpointError> {
+        let g = self.lock();
+        let snap = g
+            .snaps
+            .get(&(rank, phase))
+            .ok_or(CheckpointError::Missing { rank, phase })?;
+        if checksum(&snap.data) != snap.checksum {
+            return Err(CheckpointError::Corrupt { rank, phase });
+        }
+        Ok(snap.data.clone())
+    }
+
+    /// True once every rank has saved `phase`.
+    pub fn is_committed(&self, phase: &'static str) -> bool {
+        self.lock().committed.contains(&phase)
+    }
+
+    /// The globally committed phases, in commit order (the last entry is
+    /// the deepest resume point).
+    pub fn committed_phases(&self) -> Vec<&'static str> {
+        self.lock().committed.clone()
+    }
+
+    /// True if `rank` has a snapshot of `phase` (committed or not).
+    pub fn has(&self, rank: usize, phase: &'static str) -> bool {
+        self.lock().snaps.contains_key(&(rank, phase))
+    }
+
+    /// The epoch that produced `rank`'s snapshot of `phase`, if present.
+    pub fn epoch_of(&self, rank: usize, phase: &'static str) -> Option<u64> {
+        self.lock().snaps.get(&(rank, phase)).map(|s| s.epoch)
+    }
+
+    /// Live (unpruned) snapshots currently held.
+    pub fn live_snapshots(&self) -> usize {
+        self.lock().snaps.len()
+    }
+
+    /// Total snapshots ever saved.
+    pub fn saves(&self) -> u64 {
+        self.lock().saves
+    }
+
+    /// Snapshots discarded by commit-time pruning.
+    pub fn pruned(&self) -> u64 {
+        self.lock().pruned
+    }
+
+    /// Chaos hook: flips one bit of `rank`'s stored snapshot of `phase`
+    /// *without* updating its checksum, so the next restore reports
+    /// [`CheckpointError::Corrupt`]. Returns false when no such snapshot
+    /// exists. Test-facing — the pipeline never corrupts its own store.
+    pub fn corrupt(&self, rank: usize, phase: &'static str) -> bool {
+        let mut g = self.lock();
+        match g.snaps.get_mut(&(rank, phase)) {
+            Some(snap) if !snap.data.is_empty() => {
+                let v = &mut snap.data[0];
+                v.re = f64::from_bits(v.re.to_bits() ^ 1);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(seed: u64, len: usize) -> Vec<c64> {
+        (0..len)
+            .map(|i| c64::new((seed as f64) + i as f64, -(i as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let store = CheckpointStore::new(2);
+        let data = buf(7, 33);
+        store.save(0, "ghost", 0, &data);
+        let got = store.restore(0, "ghost").unwrap();
+        let bits = |v: &[c64]| -> Vec<u64> {
+            v.iter()
+                .flat_map(|z| [z.re.to_bits(), z.im.to_bits()])
+                .collect()
+        };
+        assert_eq!(bits(&got), bits(&data));
+    }
+
+    #[test]
+    fn missing_and_corrupt_are_distinguished() {
+        let store = CheckpointStore::new(2);
+        assert_eq!(
+            store.restore(1, "ghost"),
+            Err(CheckpointError::Missing {
+                rank: 1,
+                phase: "ghost"
+            })
+        );
+        store.save(1, "ghost", 0, &buf(1, 8));
+        assert!(store.corrupt(1, "ghost"));
+        assert_eq!(
+            store.restore(1, "ghost"),
+            Err(CheckpointError::Corrupt {
+                rank: 1,
+                phase: "ghost"
+            })
+        );
+        // A fresh save repairs the slot.
+        store.save(1, "ghost", 1, &buf(2, 8));
+        assert!(store.restore(1, "ghost").is_ok());
+        assert_eq!(store.epoch_of(1, "ghost"), Some(1));
+    }
+
+    #[test]
+    fn phase_commits_when_all_ranks_saved() {
+        let store = CheckpointStore::new(3);
+        store.save(0, "conv", 0, &buf(0, 4));
+        store.save(1, "conv", 0, &buf(1, 4));
+        assert!(!store.is_committed("conv"));
+        store.save(2, "conv", 0, &buf(2, 4));
+        assert!(store.is_committed("conv"));
+        assert_eq!(store.committed_phases(), vec!["conv"]);
+    }
+
+    #[test]
+    fn commit_prunes_earlier_phases() {
+        let store = CheckpointStore::new(2);
+        for r in 0..2 {
+            store.save(r, "ghost", 0, &buf(r as u64, 4));
+        }
+        for r in 0..2 {
+            store.save(r, "conv", 0, &buf(10 + r as u64, 4));
+        }
+        assert_eq!(store.committed_phases(), vec!["ghost", "conv"]);
+        // The ghost snapshots are gone; conv survives.
+        assert!(!store.has(0, "ghost"));
+        assert!(!store.has(1, "ghost"));
+        assert!(store.has(0, "conv"));
+        assert_eq!(store.pruned(), 2);
+        assert_eq!(store.live_snapshots(), 2);
+    }
+
+    #[test]
+    fn uncommitted_saves_are_visible_but_not_resume_points() {
+        let store = CheckpointStore::new(2);
+        store.save(0, "segment-fft", 3, &buf(3, 4));
+        assert!(store.has(0, "segment-fft"));
+        assert!(!store.is_committed("segment-fft"));
+        assert_eq!(store.epoch_of(0, "segment-fft"), Some(3));
+        assert_eq!(store.saves(), 1);
+    }
+}

@@ -53,6 +53,11 @@ pub enum CrashSite {
     /// After the rank's `n`-th successful send (fine-grained placement —
     /// e.g. mid-exchange).
     AfterSends(u64),
+    /// On entering the named *compute* phase (e.g. `"segment-fft"`), via
+    /// the pipeline's [`Comm::crash_point`](crate::Comm::crash_point)
+    /// hooks — kills a rank between collectives, where only
+    /// checkpoint/restart (not link-layer retry) can save the run.
+    Phase(&'static str),
 }
 
 /// A targeted rank crash.
@@ -62,6 +67,11 @@ pub struct CrashSpec {
     pub rank: usize,
     /// Where in the communication schedule it dies.
     pub site: CrashSite,
+    /// How many incarnations die (the rank crashes in epochs
+    /// `0..count`, then runs clean — a repeated-crash schedule
+    /// exercising the supervisor's restart budget). Plain,
+    /// non-supervised launches only ever see epoch 0.
+    pub count: u32,
 }
 
 /// A seeded, deterministic description of faults to inject.
@@ -169,7 +179,23 @@ impl FaultPlan {
 
     /// Kill `rank` when it reaches `site`.
     pub fn crash(mut self, rank: usize, site: CrashSite) -> Self {
-        self.crash = Some(CrashSpec { rank, site });
+        self.crash = Some(CrashSpec {
+            rank,
+            site,
+            count: 1,
+        });
+        self
+    }
+
+    /// Kill `rank` at `site` for its first `times` incarnations (it runs
+    /// clean from epoch `times` on) — the repeated-crash schedule that
+    /// exercises a supervisor's restart budget.
+    pub fn crash_times(mut self, rank: usize, site: CrashSite, times: u32) -> Self {
+        self.crash = Some(CrashSpec {
+            rank,
+            site,
+            count: times,
+        });
         self
     }
 
@@ -178,16 +204,34 @@ impl FaultPlan {
         self.crash
     }
 
-    /// Builds the per-rank injector for `rank` in a cluster of `size`.
+    /// Builds the per-rank injector for `rank` in a cluster of `size`
+    /// (epoch 0 — the plain, non-supervised launch).
     pub fn injector_for(&self, rank: usize, size: usize) -> FaultInjector {
+        self.injector_for_epoch(rank, size, 0)
+    }
+
+    /// Builds the per-rank injector for incarnation `epoch` of `rank`.
+    ///
+    /// The crash trigger is active only while `epoch < count` (so a
+    /// respawned rank eventually survives), and the pseudo-random stream
+    /// mixes the epoch in — each incarnation sees fresh-but-deterministic
+    /// message faults. Epoch 0 is stream-identical to [`FaultPlan::injector_for`].
+    pub fn injector_for_epoch(&self, rank: usize, size: usize, epoch: u64) -> FaultInjector {
         assert!(rank < size, "rank out of range");
         if let Some(c) = self.crash {
             assert!(c.rank < size, "crash target rank out of range");
         }
+        let mut plan = self.clone();
+        if plan.crash.is_some_and(|c| epoch >= u64::from(c.count)) {
+            plan.crash = None;
+        }
+        let seed = self.seed
+            ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ epoch.wrapping_mul(0xD6E8_FEB8_6659_FD93);
         FaultInjector {
-            plan: self.clone(),
+            plan,
             rank,
-            rng: SplitMix::new(self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: SplitMix::new(seed),
             sends: 0,
             events: FaultEvents::default(),
         }
@@ -294,7 +338,7 @@ impl FaultInjector {
     pub fn crash_due_sends(&self) -> bool {
         matches!(
             self.plan.crash,
-            Some(CrashSpec { rank, site: CrashSite::AfterSends(n) })
+            Some(CrashSpec { rank, site: CrashSite::AfterSends(n), .. })
                 if rank == self.rank && self.sends >= n
         )
     }
@@ -347,7 +391,10 @@ mod tests {
             assert_eq!(a.action(attempt % 3), b.action(attempt % 3));
         }
         assert_eq!(a.events(), b.events());
-        assert!(a.events().total() > 0, "plan with p>0 must inject something");
+        assert!(
+            a.events().total() > 0,
+            "plan with p>0 must inject something"
+        );
     }
 
     #[test]
@@ -406,7 +453,52 @@ mod tests {
         assert!(!inj.crash_due_sends());
         inj.note_send();
         assert!(inj.crash_due_sends());
-        assert!(!inj.crash_due(CrashSite::Barrier), "site triggers stay independent");
+        assert!(
+            !inj.crash_due(CrashSite::Barrier),
+            "site triggers stay independent"
+        );
+    }
+
+    #[test]
+    fn phase_crash_site_matches_by_name() {
+        let plan = FaultPlan::new(4).crash(1, CrashSite::Phase("segment-fft"));
+        let victim = plan.injector_for(1, 4);
+        assert!(victim.crash_due(CrashSite::Phase("segment-fft")));
+        assert!(!victim.crash_due(CrashSite::Phase("convolution")));
+        assert!(!victim.crash_due(CrashSite::AllToAll));
+    }
+
+    #[test]
+    fn crash_schedule_expires_after_count_epochs() {
+        let plan = FaultPlan::new(4).crash_times(2, CrashSite::AllToAll, 2);
+        for epoch in 0..2 {
+            let inj = plan.injector_for_epoch(2, 4, epoch);
+            assert!(
+                inj.crash_due(CrashSite::AllToAll),
+                "epoch {epoch} still crashes"
+            );
+        }
+        let healed = plan.injector_for_epoch(2, 4, 2);
+        assert!(!healed.crash_due(CrashSite::AllToAll), "epoch 2 runs clean");
+        // The AfterSends trigger expires the same way.
+        let plan = FaultPlan::new(4).crash(0, CrashSite::AfterSends(0));
+        let mut inj = plan.injector_for_epoch(0, 2, 1);
+        inj.note_send();
+        assert!(!inj.crash_due_sends());
+    }
+
+    #[test]
+    fn epoch_zero_stream_matches_plain_injector() {
+        let plan = FaultPlan::new(11).drop(0.4).corrupt(0.2);
+        let mut plain = plan.injector_for(3, 4);
+        let mut epoch0 = plan.injector_for_epoch(3, 4, 0);
+        for attempt in 0..128 {
+            assert_eq!(plain.action(attempt % 3), epoch0.action(attempt % 3));
+        }
+        let mut epoch1 = plan.injector_for_epoch(3, 4, 1);
+        let s0: Vec<_> = (0..64).map(|_| plain.action(0)).collect();
+        let s1: Vec<_> = (0..64).map(|_| epoch1.action(0)).collect();
+        assert_ne!(s0, s1, "incarnations should see fresh fault streams");
     }
 
     #[test]
@@ -416,11 +508,7 @@ mod tests {
         let orig: Vec<c64> = (0..16).map(|i| c64::new(i as f64, 1.0)).collect();
         let mut data = orig.clone();
         inj.corrupt_payload(&mut data);
-        let diffs = orig
-            .iter()
-            .zip(&data)
-            .filter(|(a, b)| a != b)
-            .count();
+        let diffs = orig.iter().zip(&data).filter(|(a, b)| a != b).count();
         assert_eq!(diffs, 1);
     }
 }

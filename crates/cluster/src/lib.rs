@@ -42,15 +42,24 @@
 //! * Coordinated retry — [`Comm::all_to_all_resilient`] runs the exchange
 //!   in rounds on fresh tags with an end-of-round consensus, absorbing
 //!   transient faults that outlive the link-layer budget.
+//! * Checkpoint/restart ([`checkpoint`], [`supervisor`], DESIGN.md §1c) —
+//!   a [`Supervisor`] re-launches the whole rank set after a crash (bounded
+//!   restarts with backoff); recoverable pipelines snapshot phase
+//!   boundaries into a shared [`CheckpointStore`] and resume from the last
+//!   globally committed phase. Every wire message carries the sender
+//!   incarnation's *generation*, so in-flight traffic from a dead epoch is
+//!   discarded on arrival instead of corrupting the retry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod fault;
 pub mod pcie;
 pub mod proxy;
 pub mod resilience;
 pub mod stats;
+pub mod supervisor;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -59,13 +68,15 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use soifft_num::c64;
 
+pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use fault::{CrashSite, CrashSpec, FaultAction, FaultEvents, FaultInjector, FaultPlan};
 pub use pcie::PcieLink;
 pub use proxy::ProxyCore;
 pub use resilience::{
     checksum, CancellableBarrier, CommError, ExchangePolicy, RankOutcome, RetryPolicy,
 };
-pub use stats::{CommStats, CostModel, PhaseRecord};
+pub use stats::{CommStats, CostModel, PhaseRecord, RecoveryOutcome};
+pub use supervisor::{RecoveryCtx, RestartPolicy, SupervisedRun, Supervisor};
 
 use resilience::{ClusterState, CommFailure, InjectedCrash};
 
@@ -83,6 +94,10 @@ pub(crate) struct Message {
     /// FNV-1a checksum of `data` at send time (0 when verification is off);
     /// lets the receiver discard injected corruption.
     pub(crate) checksum: u64,
+    /// Supervision epoch of the sending incarnation; receivers discard
+    /// messages from generations other than their own, so a respawned
+    /// epoch never consumes traffic a dead incarnation left in flight.
+    pub(crate) generation: u64,
     pub(crate) data: Vec<c64>,
 }
 
@@ -91,7 +106,10 @@ pub struct Comm {
     rank: usize,
     size: usize,
     pub(crate) senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
+    /// Shared handle so the supervisor can keep a rank's endpoint alive
+    /// across epochs (messages from a dead incarnation are filtered by
+    /// generation, not by tearing the channel down).
+    receiver: Arc<Receiver<Message>>,
     pending: HashMap<(usize, u64), Vec<Vec<c64>>>,
     /// Sequence numbers already accepted, per source (duplicate filter;
     /// only populated when verification is on).
@@ -108,6 +126,9 @@ pub struct Comm {
     /// Monotone counter agreeing across ranks (collective calls are
     /// collective), isolating each resilient exchange's tag space.
     exchange_epoch: u64,
+    /// Supervision epoch of this incarnation (0 outside supervised runs);
+    /// stamped on every outgoing message and checked on every arrival.
+    pub(crate) generation: u64,
     pub(crate) stats: CommStats,
 }
 
@@ -158,6 +179,15 @@ impl Comm {
         }
     }
 
+    /// Fires the installed fault plan's [`CrashSite::Phase`] trigger for
+    /// the named compute phase. Pipelines call this on entering each phase
+    /// so a chaos plan can kill a rank *between* collectives — the regime
+    /// where only checkpoint/restart (not link-layer retry) saves the run.
+    /// A no-op unless the plan targets exactly this rank and phase.
+    pub fn crash_point(&self, phase: &'static str) {
+        self.maybe_crash(CrashSite::Phase(phase));
+    }
+
     fn die(&self) -> ! {
         self.state.mark_failed(self.rank);
         self.barrier.cancel(self.rank);
@@ -197,6 +227,7 @@ impl Comm {
     /// * [`CommError::ChecksumMismatch`] — budget exhausted and at least
     ///   one corrupted copy reached the wire.
     /// * [`CommError::Shutdown`] — the destination endpoint is gone.
+    #[must_use = "a failed send leaves the collective incomplete; handle or escalate the error"]
     pub fn try_send(&mut self, dst: usize, tag: u64, data: Vec<c64>) -> Result<(), CommError> {
         assert!(dst < self.size, "destination rank out of range");
         self.maybe_crash_sends();
@@ -214,6 +245,7 @@ impl Comm {
         self.next_seq += 1;
         let sum = if self.verify { checksum(&data) } else { 0 };
         let src = self.rank;
+        let generation = self.generation;
         let mut wired_corrupt = false;
         let mut attempt: u32 = 0;
         loop {
@@ -223,21 +255,61 @@ impl Comm {
             };
             match action {
                 FaultAction::Deliver => {
-                    self.wire(dst, Message { src, tag, seq, checksum: sum, data })?;
+                    self.wire(
+                        dst,
+                        Message {
+                            src,
+                            tag,
+                            seq,
+                            checksum: sum,
+                            generation,
+                            data,
+                        },
+                    )?;
                     break;
                 }
                 FaultAction::Delay(d) => {
                     std::thread::sleep(d);
-                    self.wire(dst, Message { src, tag, seq, checksum: sum, data })?;
+                    self.wire(
+                        dst,
+                        Message {
+                            src,
+                            tag,
+                            seq,
+                            checksum: sum,
+                            generation,
+                            data,
+                        },
+                    )?;
                     break;
                 }
                 FaultAction::Duplicate => {
                     let copy = data.clone();
-                    self.wire(dst, Message { src, tag, seq, checksum: sum, data: copy })?;
+                    self.wire(
+                        dst,
+                        Message {
+                            src,
+                            tag,
+                            seq,
+                            checksum: sum,
+                            generation,
+                            data: copy,
+                        },
+                    )?;
                     // The surplus copy is best-effort: the receiver only
                     // needs the first, and may legitimately tear down its
                     // endpoint before this one lands.
-                    let _ = self.wire(dst, Message { src, tag, seq, checksum: sum, data });
+                    let _ = self.wire(
+                        dst,
+                        Message {
+                            src,
+                            tag,
+                            seq,
+                            checksum: sum,
+                            generation,
+                            data,
+                        },
+                    );
                     break;
                 }
                 FaultAction::Corrupt => {
@@ -247,7 +319,17 @@ impl Comm {
                         .expect("corrupt action implies injector")
                         .corrupt_payload(&mut bad);
                     // The stale checksum makes the receiver discard it.
-                    self.wire(dst, Message { src, tag, seq, checksum: sum, data: bad })?;
+                    self.wire(
+                        dst,
+                        Message {
+                            src,
+                            tag,
+                            seq,
+                            checksum: sum,
+                            generation,
+                            data: bad,
+                        },
+                    )?;
                     wired_corrupt = true;
                     self.stats.note_retransmit();
                     attempt += 1;
@@ -313,6 +395,12 @@ impl Comm {
     /// duplicates are discarded (counted in the ledger), everything else
     /// joins the pending map.
     fn ingest(&mut self, msg: Message) {
+        if msg.generation != self.generation {
+            // In-flight traffic from a dead incarnation (or, symmetrically,
+            // from a newer epoch this straggler no longer belongs to).
+            self.stats.note_stale_discarded();
+            return;
+        }
         if self.verify {
             if msg.checksum != checksum(&msg.data) {
                 self.stats.note_corrupt_discarded();
@@ -323,7 +411,10 @@ impl Comm {
                 return;
             }
         }
-        self.pending.entry((msg.src, msg.tag)).or_default().push(msg.data);
+        self.pending
+            .entry((msg.src, msg.tag))
+            .or_default()
+            .push(msg.data);
     }
 
     fn take_pending(&mut self, src: usize, tag: u64) -> Option<Vec<c64>> {
@@ -357,6 +448,7 @@ impl Comm {
     /// * [`CommError::PeerFailed`] — a rank died while we would block
     ///   (already-delivered matching messages are still returned first).
     /// * [`CommError::Shutdown`] — every peer endpoint is gone.
+    #[must_use = "a failed receive leaves the collective incomplete; handle or escalate the error"]
     pub fn recv_deadline(
         &mut self,
         src: usize,
@@ -438,6 +530,7 @@ impl Comm {
 
     /// Synchronizes all ranks; `Err(PeerFailed)` if any rank has died (all
     /// survivors unblock — no deadlock on a poisoned barrier).
+    #[must_use = "an unacknowledged barrier failure desynchronizes the ranks; handle the error"]
     pub fn try_barrier(&self) -> Result<(), CommError> {
         self.maybe_crash(CrashSite::Barrier);
         self.barrier.wait()
@@ -488,7 +581,10 @@ impl Comm {
         assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
         assert!(policy.max_rounds >= 1, "need at least one round");
         // 4 tags per round, 256 tag slots per epoch (tags::resilient_tags).
-        assert!(policy.max_rounds <= 64, "round budget exceeds the per-epoch tag space");
+        assert!(
+            policy.max_rounds <= 64,
+            "round budget exceeds the per-epoch tag space"
+        );
         self.maybe_crash(CrashSite::AllToAll);
         let t = self.stats.phase_start();
         let epoch = self.exchange_epoch;
@@ -835,6 +931,13 @@ pub struct ClusterConfig {
     /// Deadline backing the infallible [`Comm::recv`] — effectively
     /// "forever" for healthy runs, a hang-stop for broken ones.
     pub recv_deadline: Duration,
+    /// How long the launcher waits for all rank threads to finish before
+    /// declaring the stragglers wedged: missing ranks are marked failed
+    /// (unblocking anyone they would deadlock) and reported as
+    /// [`RankOutcome::Panicked`]`("join timeout")` instead of hanging the
+    /// launcher forever. Comfortably above `recv_deadline` by default so
+    /// it only fires for hangs the comm layer cannot see.
+    pub join_deadline: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -844,6 +947,7 @@ impl Default for ClusterConfig {
             faults: None,
             retry: RetryPolicy::default(),
             recv_deadline: Duration::from_secs(120),
+            join_deadline: Duration::from_secs(600),
         }
     }
 }
@@ -851,13 +955,19 @@ impl Default for ClusterConfig {
 impl ClusterConfig {
     /// Config with a fault plan installed (and everything else default).
     pub fn with_faults(plan: FaultPlan) -> Self {
-        ClusterConfig { faults: Some(plan), ..ClusterConfig::default() }
+        ClusterConfig {
+            faults: Some(plan),
+            ..ClusterConfig::default()
+        }
     }
 
     /// Config with bounded per-rank queues (backpressure knob).
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity >= 1, "capacity must be at least 1");
-        ClusterConfig { capacity: Some(capacity), ..ClusterConfig::default() }
+        ClusterConfig {
+            capacity: Some(capacity),
+            ..ClusterConfig::default()
+        }
     }
 }
 
@@ -920,71 +1030,153 @@ impl Cluster {
         F: Fn(&mut Comm) -> T + Sync,
     {
         assert!(ranks >= 1, "need at least one rank");
-        let mut txs = Vec::with_capacity(ranks);
-        let mut rxs = Vec::with_capacity(ranks);
-        for _ in 0..ranks {
-            let (tx, rx) = match config.capacity {
-                Some(cap) => bounded::<Message>(cap),
-                None => unbounded::<Message>(),
-            };
-            txs.push(tx);
-            rxs.push(rx);
+        let (txs, rxs) = make_channels(&config, ranks);
+        launch_epoch(&config, ranks, 0, txs, &rxs, &f)
+    }
+}
+
+/// Builds the per-rank mailboxes for a cluster of `ranks`. The receivers
+/// are shared handles so a supervisor can keep them alive across epochs
+/// (dead-incarnation traffic is filtered by generation, not by channel
+/// teardown).
+pub(crate) fn make_channels(
+    config: &ClusterConfig,
+    ranks: usize,
+) -> (Vec<Sender<Message>>, Vec<Arc<Receiver<Message>>>) {
+    let mut txs = Vec::with_capacity(ranks);
+    let mut rxs = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = match config.capacity {
+            Some(cap) => bounded::<Message>(cap),
+            None => unbounded::<Message>(),
+        };
+        txs.push(tx);
+        rxs.push(Arc::new(rx));
+    }
+    (txs, rxs)
+}
+
+/// Runs one epoch of the cluster: every rank gets a fresh [`Comm`] (fresh
+/// barrier, failure detector, and injector for incarnation `generation`)
+/// over the *given* channels, and the launcher joins the rank threads
+/// under [`ClusterConfig::join_deadline`].
+///
+/// `txs` is taken by value and dropped once the comms are built, so an
+/// epoch's senders disconnect exactly as in a plain launch. `rxs` is
+/// borrowed — the caller decides whether endpoints outlive the epoch.
+pub(crate) fn launch_epoch<T, F>(
+    config: &ClusterConfig,
+    ranks: usize,
+    generation: u64,
+    txs: Vec<Sender<Message>>,
+    rxs: &[Arc<Receiver<Message>>],
+    f: &F,
+) -> Vec<RankOutcome<T>>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert_eq!(rxs.len(), ranks, "need one mailbox per rank");
+    let barrier = Arc::new(CancellableBarrier::new(ranks));
+    let state = Arc::new(ClusterState::new());
+    let mut comms: Vec<Comm> = (0..ranks)
+        .map(|rank| Comm {
+            rank,
+            size: ranks,
+            senders: txs.clone(),
+            receiver: Arc::clone(&rxs[rank]),
+            pending: HashMap::new(),
+            seen: HashMap::new(),
+            barrier: Arc::clone(&barrier),
+            state: Arc::clone(&state),
+            injector: config
+                .faults
+                .as_ref()
+                .map(|p| p.injector_for_epoch(rank, ranks, generation)),
+            verify: config.faults.is_some(),
+            retry: config.retry,
+            recv_deadline_default: config.recv_deadline,
+            next_seq: 0,
+            exchange_epoch: 0,
+            generation,
+            stats: CommStats::default(),
+        })
+        .collect();
+    drop(txs);
+
+    std::thread::scope(|s| {
+        // Completion channel: each rank announces itself as it finishes,
+        // so the launcher can bound its joins instead of blocking forever
+        // on a wedged thread.
+        let (done_tx, done_rx) = unbounded::<usize>();
+        let mut handles = Vec::with_capacity(ranks);
+        for mut comm in comms.drain(..) {
+            let barrier = Arc::clone(&barrier);
+            let state = Arc::clone(&state);
+            let done_tx = done_tx.clone();
+            handles.push(s.spawn(move || {
+                let rank = comm.rank();
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                let outcome = match result {
+                    Ok(v) => RankOutcome::Ok(v),
+                    Err(payload) => {
+                        // Unblock everyone *before* reporting.
+                        state.mark_failed(rank);
+                        barrier.cancel(rank);
+                        classify_panic(payload)
+                    }
+                };
+                let _ = done_tx.send(rank);
+                outcome
+            }));
         }
-        let barrier = Arc::new(CancellableBarrier::new(ranks));
-        let state = Arc::new(ClusterState::new());
-        let mut comms: Vec<Comm> = rxs
+        drop(done_tx);
+        let deadline = Instant::now() + config.join_deadline;
+        let mut completed = vec![false; ranks];
+        let mut n_done = 0;
+        while n_done < ranks {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match done_rx.recv_timeout(deadline - now) {
+                Ok(rank) => {
+                    completed[rank] = true;
+                    n_done += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if n_done < ranks {
+            // Deadline breached: declare the stragglers failed so any rank
+            // blocked *on* them (recv, barrier, backpressure) unwinds, then
+            // join. A thread wedged outside the comm layer still delays
+            // scope exit until it actually ends — threads cannot be killed
+            // — but it is reported as a join timeout regardless of what it
+            // eventually returns.
+            for (rank, done) in completed.iter().enumerate() {
+                if !done {
+                    state.mark_failed(rank);
+                    barrier.cancel(rank);
+                }
+            }
+        }
+        handles
             .into_iter()
             .enumerate()
-            .map(|(rank, receiver)| Comm {
-                rank,
-                size: ranks,
-                senders: txs.clone(),
-                receiver,
-                pending: HashMap::new(),
-                seen: HashMap::new(),
-                barrier: Arc::clone(&barrier),
-                state: Arc::clone(&state),
-                injector: config.faults.as_ref().map(|p| p.injector_for(rank, ranks)),
-                verify: config.faults.is_some(),
-                retry: config.retry,
-                recv_deadline_default: config.recv_deadline,
-                next_seq: 0,
-                exchange_epoch: 0,
-                stats: CommStats::default(),
+            .map(|(rank, h)| {
+                let joined = h
+                    .join()
+                    .unwrap_or_else(|_| RankOutcome::Panicked("rank thread died".to_string()));
+                if completed[rank] {
+                    joined
+                } else {
+                    RankOutcome::Panicked("join timeout".to_string())
+                }
             })
-            .collect();
-        drop(txs);
-
-        std::thread::scope(|s| {
-            let f = &f;
-            let mut handles = Vec::with_capacity(ranks);
-            for mut comm in comms.drain(..) {
-                let barrier = Arc::clone(&barrier);
-                let state = Arc::clone(&state);
-                handles.push(s.spawn(move || {
-                    let rank = comm.rank();
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
-                    match result {
-                        Ok(v) => RankOutcome::Ok(v),
-                        Err(payload) => {
-                            // Unblock everyone *before* reporting.
-                            state.mark_failed(rank);
-                            barrier.cancel(rank);
-                            classify_panic(payload)
-                        }
-                    }
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|_| RankOutcome::Panicked("rank thread died".to_string()))
-                })
-                .collect()
-        })
-    }
+            .collect()
+    })
 }
 
 /// Convenience launcher for chaos runs: [`Cluster::run_with`] with `plan`
@@ -1120,7 +1312,9 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..8).map(|_| comm.recv(0, tags::USER)[0].re as usize).collect()
+                (0..8)
+                    .map(|_| comm.recv(0, tags::USER)[0].re as usize)
+                    .collect()
             }
         });
         assert_eq!(out[1], (0..8).collect::<Vec<_>>());
@@ -1135,7 +1329,7 @@ mod tests {
                 let early = comm.try_recv(1, tags::USER).is_none();
                 comm.barrier(); // release rank 1 to send
                 comm.barrier(); // wait until it has sent
-                // Poll until it arrives (bounded spin).
+                                // Poll until it arrives (bounded spin).
                 let mut got = None;
                 for _ in 0..1_000_000 {
                     if let Some(v) = comm.try_recv(1, tags::USER) {
@@ -1169,18 +1363,19 @@ mod tests {
                 Vec::new()
             } else {
                 comm.barrier(); // everything is in flight (or queued) now
-                // Poll tag USER (even values 0,2,4) then USER+1 (1,3,5):
-                // each per-(src,tag) stream must be FIFO.
+                                // Poll tag USER (even values 0,2,4) then USER+1 (1,3,5):
+                                // each per-(src,tag) stream must be FIFO.
                 let mut evens = Vec::new();
                 while evens.len() < 3 {
                     if let Some(v) = comm.try_recv(0, tags::USER) {
                         evens.push(v[0].re);
                     }
                 }
-                assert!(comm.try_recv(0, tags::USER).is_none(), "even stream drained");
-                let odds: Vec<f64> = (0..3)
-                    .map(|_| comm.recv(0, tags::USER + 1)[0].re)
-                    .collect();
+                assert!(
+                    comm.try_recv(0, tags::USER).is_none(),
+                    "even stream drained"
+                );
+                let odds: Vec<f64> = (0..3).map(|_| comm.recv(0, tags::USER + 1)[0].re).collect();
                 evens.into_iter().chain(odds).collect::<Vec<f64>>()
             }
         });
@@ -1194,7 +1389,11 @@ mod tests {
             let r = comm.rank();
             // outgoing[d][j] encodes (src=r, dst=d, j).
             let outgoing: Vec<Vec<c64>> = (0..p)
-                .map(|d| (0..3).map(|j| c64::new(r as f64, (d * 10 + j) as f64)).collect())
+                .map(|d| {
+                    (0..3)
+                        .map(|j| c64::new(r as f64, (d * 10 + j) as f64))
+                        .collect()
+                })
                 .collect();
             comm.all_to_all(outgoing)
         });
@@ -1393,8 +1592,7 @@ mod tests {
                 for dst in 0..p {
                     let tag = tags::USER + (k % 3) as u64;
                     let len = (next() % 50 + 1) as usize;
-                    let payload =
-                        vec![c64::new(me as f64, (k * p + dst) as f64); len];
+                    let payload = vec![c64::new(me as f64, (k * p + dst) as f64); len];
                     comm.send(dst, tag, payload);
                 }
             }
@@ -1542,7 +1740,10 @@ mod tests {
         let plan = FaultPlan::new(2).drop(1.0).permanent();
         let config = ClusterConfig {
             faults: Some(plan),
-            retry: RetryPolicy { max_attempts: 3, base_backoff: Duration::from_micros(10) },
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_micros(10),
+            },
             ..ClusterConfig::default()
         };
         let outcomes = Cluster::run_with(config, 2, |comm| {
@@ -1588,7 +1789,11 @@ mod tests {
         let p = 3;
         let make = |r: usize| -> Vec<Vec<c64>> {
             (0..p)
-                .map(|d| (0..9).map(|j| c64::new((r * 10 + d) as f64, j as f64)).collect())
+                .map(|d| {
+                    (0..9)
+                        .map(|j| c64::new((r * 10 + d) as f64, j as f64))
+                        .collect()
+                })
                 .collect()
         };
         let plain = Cluster::run(p, |comm| comm.all_to_all(make(comm.rank())));
@@ -1608,8 +1813,10 @@ mod tests {
             let outgoing: Vec<Vec<c64>> = (0..p)
                 .map(|d| vec![c64::new(r as f64, d as f64); 15])
                 .collect();
-            let policy =
-                ExchangePolicy { deadline: Duration::from_secs(2), max_rounds: 4 };
+            let policy = ExchangePolicy {
+                deadline: Duration::from_secs(2),
+                max_rounds: 4,
+            };
             comm.all_to_all_resilient(&outgoing, &policy)
         });
         for (rank, o) in outcomes.into_iter().enumerate() {
@@ -1685,6 +1892,28 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b, "same seed + plan must give identical runs");
+    }
+
+    #[test]
+    fn join_deadline_reports_wedged_rank() {
+        let config = ClusterConfig {
+            join_deadline: Duration::from_millis(50),
+            ..ClusterConfig::default()
+        };
+        let outcomes = Cluster::run_with(config, 3, |comm| {
+            if comm.rank() == 2 {
+                // Wedged *outside* the comm layer, where no failure
+                // detector can unblock it — only the join deadline sees it.
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            comm.rank()
+        });
+        assert_eq!(
+            outcomes[2],
+            RankOutcome::Panicked("join timeout".to_string())
+        );
+        assert_eq!(outcomes[0], RankOutcome::Ok(0));
+        assert_eq!(outcomes[1], RankOutcome::Ok(1));
     }
 
     #[test]

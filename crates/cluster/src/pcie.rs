@@ -30,7 +30,9 @@ impl PcieLink {
     /// A link throttled to `bytes_per_s` (demo runs).
     pub fn with_simulated_bandwidth(bytes_per_s: f64) -> Self {
         assert!(bytes_per_s > 0.0);
-        PcieLink { simulated_bytes_per_s: Some(bytes_per_s) }
+        PcieLink {
+            simulated_bytes_per_s: Some(bytes_per_s),
+        }
     }
 
     /// Host → device transfer; records a `pcie-in` phase.

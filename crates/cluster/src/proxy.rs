@@ -34,7 +34,9 @@ impl Default for ProxyCore {
 impl ProxyCore {
     /// Spawns the proxy worker.
     pub fn new() -> Self {
-        ProxyCore { queue: WorkQueue::new("mpi-proxy") }
+        ProxyCore {
+            queue: WorkQueue::new("mpi-proxy"),
+        }
     }
 
     /// Blocks until every enqueued transfer has been handed to the wire
@@ -76,6 +78,7 @@ impl Comm {
         let first_seq = self.next_seq;
         self.next_seq += n_chunks as u64;
         let verify = self.verify;
+        let generation = self.generation;
         let mut offset = 0usize;
         let mut chunk_idx = 0u64;
         // One proxy job per chunk: stage (copy) then push to the wire.
@@ -88,7 +91,14 @@ impl Comm {
             let tx = sender.clone();
             proxy.queue.push(move || {
                 // "RDMA": hand the staged chunk to the interconnect.
-                let _ = tx.send(Message { src, tag, seq, checksum, data: staged });
+                let _ = tx.send(Message {
+                    src,
+                    tag,
+                    seq,
+                    checksum,
+                    generation,
+                    data: staged,
+                });
             });
             if end == data.len() {
                 break;
@@ -180,7 +190,11 @@ mod tests {
         let p = 4;
         let make = |r: usize| -> Vec<Vec<c64>> {
             (0..p)
-                .map(|d| (0..23).map(|j| c64::new((r * p + d) as f64, j as f64)).collect())
+                .map(|d| {
+                    (0..23)
+                        .map(|j| c64::new((r * p + d) as f64, j as f64))
+                        .collect()
+                })
                 .collect()
         };
         let blocking = Cluster::run(p, |comm| comm.all_to_all(make(comm.rank())));

@@ -56,6 +56,13 @@ pub enum CommError {
     },
     /// The cluster is shutting down (peer endpoints dropped mid-operation).
     Shutdown,
+    /// A recovery attempt needed a checkpoint snapshot that is missing or
+    /// fails its integrity check — the run cannot resume from this rank's
+    /// saved state.
+    CheckpointCorrupt {
+        /// The rank whose snapshot is unusable.
+        rank: usize,
+    },
 }
 
 impl CommError {
@@ -63,7 +70,10 @@ impl CommError {
     /// (timeouts, corruption); false for structural failures (a dead peer,
     /// a shut-down cluster) where retrying cannot help.
     pub fn is_transient(&self) -> bool {
-        matches!(self, CommError::Timeout | CommError::ChecksumMismatch { .. })
+        matches!(
+            self,
+            CommError::Timeout | CommError::ChecksumMismatch { .. }
+        )
     }
 }
 
@@ -73,9 +83,15 @@ impl std::fmt::Display for CommError {
             CommError::Timeout => write!(f, "operation timed out (retransmit budget exhausted)"),
             CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
             CommError::ChecksumMismatch { src, tag } => {
-                write!(f, "checksum mismatch on message from rank {src} (tag {tag})")
+                write!(
+                    f,
+                    "checksum mismatch on message from rank {src} (tag {tag})"
+                )
             }
             CommError::Shutdown => write!(f, "cluster shut down mid-operation"),
+            CommError::CheckpointCorrupt { rank } => {
+                write!(f, "checkpoint for rank {rank} is missing or corrupt")
+            }
         }
     }
 }
@@ -151,7 +167,10 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 4, base_backoff: Duration::from_micros(50) }
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(50),
+        }
     }
 }
 
@@ -178,7 +197,10 @@ pub struct ExchangePolicy {
 
 impl Default for ExchangePolicy {
     fn default() -> Self {
-        ExchangePolicy { deadline: Duration::from_secs(5), max_rounds: 3 }
+        ExchangePolicy {
+            deadline: Duration::from_secs(5),
+            max_rounds: 3,
+        }
     }
 }
 
@@ -224,7 +246,11 @@ impl CancellableBarrier {
         assert!(parties >= 1, "need at least one party");
         CancellableBarrier {
             parties,
-            inner: Mutex::new(BarrierInner { count: 0, generation: 0, cancelled_by: None }),
+            inner: Mutex::new(BarrierInner {
+                count: 0,
+                generation: 0,
+                cancelled_by: None,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -276,7 +302,10 @@ pub(crate) struct ClusterState {
 
 impl ClusterState {
     pub(crate) fn new() -> Self {
-        ClusterState { any_failed: AtomicBool::new(false), failed: Mutex::new(Vec::new()) }
+        ClusterState {
+            any_failed: AtomicBool::new(false),
+            failed: Mutex::new(Vec::new()),
+        }
     }
 
     /// Records `rank` as dead.
@@ -290,13 +319,21 @@ impl ClusterState {
         if !self.any_failed.load(Ordering::SeqCst) {
             return None;
         }
-        self.failed.lock().expect("state lock poisoned").first().copied()
+        self.failed
+            .lock()
+            .expect("state lock poisoned")
+            .first()
+            .copied()
     }
 
     /// True if `rank` specifically has failed.
     pub(crate) fn has_failed(&self, rank: usize) -> bool {
         self.any_failed.load(Ordering::SeqCst)
-            && self.failed.lock().expect("state lock poisoned").contains(&rank)
+            && self
+                .failed
+                .lock()
+                .expect("state lock poisoned")
+                .contains(&rank)
     }
 }
 
@@ -363,14 +400,20 @@ mod tests {
         // Give the waiter time to block, then cancel on behalf of rank 2.
         std::thread::sleep(Duration::from_millis(20));
         b.cancel(2);
-        assert_eq!(waiter.join().unwrap(), Err(CommError::PeerFailed { rank: 2 }));
+        assert_eq!(
+            waiter.join().unwrap(),
+            Err(CommError::PeerFailed { rank: 2 })
+        );
         // Future waiters fail immediately too.
         assert_eq!(b.wait(), Err(CommError::PeerFailed { rank: 2 }));
     }
 
     #[test]
     fn backoff_grows_exponentially() {
-        let p = RetryPolicy { max_attempts: 5, base_backoff: Duration::from_micros(10) };
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_micros(10),
+        };
         assert_eq!(p.backoff(0), Duration::from_micros(10));
         assert_eq!(p.backoff(1), Duration::from_micros(20));
         assert_eq!(p.backoff(3), Duration::from_micros(80));

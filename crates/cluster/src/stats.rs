@@ -37,6 +37,24 @@ pub struct CostModel {
     pub latency_s: f64,
 }
 
+/// How a supervised run ended, fault-recovery-wise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// No recovery machinery was exercised (fault-free run, or recovery
+    /// was not enabled).
+    #[default]
+    None,
+    /// The run lost at least one rank incarnation and still completed.
+    Recovered {
+        /// Supervisor restarts consumed (0 when only degraded-mode
+        /// recomputation was needed).
+        restarts: u32,
+        /// Output segments recomputed by surviving ranks in degraded mode
+        /// (0 when a respawn carried the run to completion).
+        recomputed_segments: usize,
+    },
+}
+
 /// A rank's accumulated ledger.
 #[derive(Clone, Debug, Default)]
 pub struct CommStats {
@@ -47,7 +65,9 @@ pub struct CommStats {
     retransmits: u64,
     corrupt_discarded: u64,
     duplicates_discarded: u64,
+    stale_discarded: u64,
     queue_high_watermark: usize,
+    recovery: RecoveryOutcome,
 }
 
 /// Token returned by [`CommStats::phase_start`]; closed by
@@ -81,6 +101,12 @@ impl CommStats {
         self.duplicates_discarded += 1;
     }
 
+    /// Records an arriving message discarded because it was sent by a dead
+    /// incarnation (its generation tag predates the current epoch).
+    pub fn note_stale_discarded(&mut self) {
+        self.stale_discarded += 1;
+    }
+
     /// Folds an observed destination-queue depth into the high watermark.
     pub fn note_queue_depth(&mut self, depth: usize) {
         self.queue_high_watermark = self.queue_high_watermark.max(depth);
@@ -88,7 +114,10 @@ impl CommStats {
 
     /// Opens a phase (timing starts now).
     pub fn phase_start(&self) -> PhaseToken {
-        PhaseToken { start: Instant::now(), bytes_at_start: self.total_bytes_sent }
+        PhaseToken {
+            start: Instant::now(),
+            bytes_at_start: self.total_bytes_sent,
+        }
     }
 
     /// Closes a phase, appending its record. If a [`CostModel`] is set and
@@ -174,6 +203,38 @@ impl CommStats {
         self.duplicates_discarded
     }
 
+    /// Arriving messages discarded as stale (sent by a dead incarnation
+    /// from an earlier supervision epoch).
+    pub fn stale_discarded(&self) -> u64 {
+        self.stale_discarded
+    }
+
+    /// How the run this ledger belongs to ended, recovery-wise (set by the
+    /// supervised drivers).
+    pub fn recovery(&self) -> RecoveryOutcome {
+        self.recovery
+    }
+
+    /// Stamps the run's recovery outcome onto this ledger.
+    pub fn set_recovery(&mut self, outcome: RecoveryOutcome) {
+        self.recovery = outcome;
+    }
+
+    /// Merges another ledger into this one: phase records are appended in
+    /// order, counters summed, watermarks maxed. Used when a surviving
+    /// rank does a dead rank's work in degraded mode and its accounting
+    /// must land somewhere. Cost model and recovery outcome are untouched.
+    pub fn absorb(&mut self, other: &CommStats) {
+        self.records.extend(other.records.iter().cloned());
+        self.total_bytes_sent += other.total_bytes_sent;
+        self.messages_sent += other.messages_sent;
+        self.retransmits += other.retransmits;
+        self.corrupt_discarded += other.corrupt_discarded;
+        self.duplicates_discarded += other.duplicates_discarded;
+        self.stale_discarded += other.stale_discarded;
+        self.queue_high_watermark = self.queue_high_watermark.max(other.queue_high_watermark);
+    }
+
     /// Deepest destination queue this rank ever observed right after one of
     /// its sends (bounded clusters: never exceeds the configured capacity).
     pub fn queue_high_watermark(&self) -> usize {
@@ -241,14 +302,21 @@ mod tests {
             7
         });
         assert_eq!(v, 7);
-        assert!(s.seconds_in("compute") >= 0.004, "{}", s.seconds_in("compute"));
+        assert!(
+            s.seconds_in("compute") >= 0.004,
+            "{}",
+            s.seconds_in("compute")
+        );
         assert_eq!(s.records()[0].name, "compute");
     }
 
     #[test]
     fn cost_model_produces_simulated_times() {
         let mut s = CommStats::default();
-        s.set_cost_model(CostModel { bytes_per_s: 1000.0, latency_s: 0.5 });
+        s.set_cost_model(CostModel {
+            bytes_per_s: 1000.0,
+            latency_s: 0.5,
+        });
         let t = s.phase_start();
         s.add_bytes_sent(2000);
         s.phase_end("exchange", t);
@@ -298,6 +366,45 @@ mod tests {
         assert_eq!(s.corrupt_discarded(), 1);
         assert_eq!(s.duplicates_discarded(), 1);
         assert_eq!(s.queue_high_watermark(), 7);
+    }
+
+    #[test]
+    fn absorb_merges_ledgers() {
+        let mut a = CommStats::default();
+        a.timed("local-fft", || {});
+        a.add_bytes_sent(100);
+        a.note_retransmit();
+        a.note_queue_depth(3);
+        let mut b = CommStats::default();
+        b.timed("degraded-recover", || {});
+        b.add_bytes_sent(50);
+        b.note_stale_discarded();
+        b.note_queue_depth(9);
+        a.absorb(&b);
+        assert_eq!(a.records().len(), 2);
+        assert_eq!(a.records()[1].name, "degraded-recover");
+        assert_eq!(a.total_bytes_sent(), 150);
+        assert_eq!(a.messages_sent(), 2);
+        assert_eq!(a.retransmits(), 1);
+        assert_eq!(a.stale_discarded(), 1);
+        assert_eq!(a.queue_high_watermark(), 9);
+    }
+
+    #[test]
+    fn recovery_outcome_round_trips() {
+        let mut s = CommStats::default();
+        assert_eq!(s.recovery(), RecoveryOutcome::None);
+        s.set_recovery(RecoveryOutcome::Recovered {
+            restarts: 2,
+            recomputed_segments: 4,
+        });
+        assert_eq!(
+            s.recovery(),
+            RecoveryOutcome::Recovered {
+                restarts: 2,
+                recomputed_segments: 4
+            }
+        );
     }
 
     #[test]

@@ -53,8 +53,8 @@ mod tests {
     use crate::single::SoiFftLocal;
     use crate::window::WindowKind;
     use soifft_fft::Plan;
-    use soifft_num::error::rel_l2;
     use soifft_num::c64;
+    use soifft_num::error::rel_l2;
 
     fn params(b: usize) -> SoiParams {
         SoiParams {
@@ -77,10 +77,7 @@ mod tests {
             })
             .collect();
         for pair in bounds.windows(2) {
-            assert!(
-                pair[1] < pair[0] * 0.5,
-                "bound did not shrink: {bounds:?}"
-            );
+            assert!(pair[1] < pair[0] * 0.5, "bound did not shrink: {bounds:?}");
         }
         assert!(bounds[3] < 1e-7, "{bounds:?}");
     }

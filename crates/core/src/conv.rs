@@ -33,9 +33,9 @@
 //! the mathematical ordering where it holds, and tight tolerances where
 //! re-association differs).
 
+use soifft_num::c64;
 use soifft_num::kernels::{axpy_pointwise, dot, dot_strided};
 use soifft_num::strided::CircularBuffer;
-use soifft_num::c64;
 use soifft_par::Pool;
 
 use crate::params::SoiParams;
@@ -97,7 +97,11 @@ pub fn convolve(
         params.per_rank() + params.ghost_len(),
         "input must include the ghost region"
     );
-    assert_eq!(out.len(), blocks * l, "output must hold blocks_per_rank · L");
+    assert_eq!(
+        out.len(),
+        blocks * l,
+        "output must hold blocks_per_rank · L"
+    );
 
     match strategy {
         ConvStrategy::RowMajor => {
@@ -251,7 +255,11 @@ pub fn convolve_fused_fft(
         params.per_rank() + params.ghost_len(),
         "input must include the ghost region"
     );
-    assert_eq!(out.len(), blocks * l, "output must hold blocks_per_rank · L");
+    assert_eq!(
+        out.len(),
+        blocks * l,
+        "output must hold blocks_per_rank · L"
+    );
 
     out.fill(c64::ZERO);
     pool.par_chunks_mut(out, n_mu * l, |_, offset, piece| {
@@ -281,12 +289,7 @@ pub fn convolve_fused_fft(
 /// Reference implementation straight from the definition (per-row inner
 /// products, no blocking, no parallelism). Used by tests and kept public
 /// for external validation.
-pub fn convolve_reference(
-    params: &SoiParams,
-    window: &Window,
-    input_ext: &[c64],
-    out: &mut [c64],
-) {
+pub fn convolve_reference(params: &SoiParams, window: &Window, input_ext: &[c64], out: &mut [c64]) {
     let l = params.total_segments();
     let n_mu = params.mu.num();
     let d_mu = params.mu.den();
@@ -379,17 +382,21 @@ mod tests {
 
         // Separate: convolve, then batch-FFT each block.
         let mut separate = vec![c64::ZERO; p.blocks_per_rank() * l];
-        convolve(&p, &w, ConvStrategy::RowMajor, &x, &mut separate, &Pool::serial());
+        convolve(
+            &p,
+            &w,
+            ConvStrategy::RowMajor,
+            &x,
+            &mut separate,
+            &Pool::serial(),
+        );
         soifft_fft::batch::forward_rows(&plan, &mut separate);
 
         // Fused.
         for threads in [1, 3] {
             let mut fused = vec![c64::ZERO; separate.len()];
             convolve_fused_fft(&p, &w, &x, &mut fused, &plan, &Pool::new(threads));
-            assert!(
-                rel_linf(&fused, &separate) < 1e-12,
-                "threads={threads}"
-            );
+            assert!(rel_linf(&fused, &separate) < 1e-12, "threads={threads}");
         }
     }
 
@@ -401,7 +408,14 @@ mod tests {
         let mut a = vec![c64::ZERO; p.blocks_per_rank() * p.total_segments()];
         let mut bfr = a.clone();
         convolve(&p, &w, ConvStrategy::RowMajor, &x, &mut a, &Pool::serial());
-        convolve(&p, &w, ConvStrategy::InterchangedBuffered, &x, &mut bfr, &Pool::serial());
+        convolve(
+            &p,
+            &w,
+            ConvStrategy::InterchangedBuffered,
+            &x,
+            &mut bfr,
+            &Pool::serial(),
+        );
         assert!(rel_linf(&a, &bfr) < 1e-13);
     }
 
@@ -426,7 +440,14 @@ mod tests {
         let sum: Vec<c64> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
         let run = |inp: &[c64]| {
             let mut o = vec![c64::ZERO; p.blocks_per_rank() * p.total_segments()];
-            convolve(&p, &w, ConvStrategy::Interchanged, inp, &mut o, &Pool::serial());
+            convolve(
+                &p,
+                &w,
+                ConvStrategy::Interchanged,
+                inp,
+                &mut o,
+                &Pool::serial(),
+            );
             o
         };
         let lhs = run(&sum);
@@ -441,7 +462,14 @@ mod tests {
         let w = Window::new(WindowKind::GaussianSinc, &p);
         let x = vec![c64::ZERO; p.per_rank()]; // no ghost
         let mut out = vec![c64::ZERO; p.blocks_per_rank() * p.total_segments()];
-        convolve(&p, &w, ConvStrategy::RowMajor, &x, &mut out, &Pool::serial());
+        convolve(
+            &p,
+            &w,
+            ConvStrategy::RowMajor,
+            &x,
+            &mut out,
+            &Pool::serial(),
+        );
     }
 
     #[test]

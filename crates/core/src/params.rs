@@ -28,7 +28,10 @@ impl Rational {
     pub fn new(num: usize, den: usize) -> Self {
         assert!(num > 0 && den > 0, "rational components must be positive");
         let g = soifft_num::factor::gcd(num, den);
-        Rational { num: num / g, den: den / g }
+        Rational {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Numerator (`n_µ`).
@@ -264,11 +267,17 @@ impl SoiParams {
         };
         let div = self.procs * self.mu.num();
         if m_prime % div != 0 {
-            return Err(SoiError::ChunksStraddleRanks { m_prime, divisor: div });
+            return Err(SoiError::ChunksStraddleRanks {
+                m_prime,
+                divisor: div,
+            });
         }
         let ghost = (self.conv_width - self.mu.den()) * l;
         if ghost > self.n / self.procs {
-            return Err(SoiError::GhostTooLarge { ghost, per_rank: self.n / self.procs });
+            return Err(SoiError::GhostTooLarge {
+                ghost,
+                per_rank: self.n / self.procs,
+            });
         }
         Ok(())
     }
@@ -376,11 +385,14 @@ mod tests {
 
         let mut p = valid();
         p.conv_width = 7; // == d_mu
-        assert!(matches!(p.validate(), Err(SoiError::ConvWidthTooSmall { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(SoiError::ConvWidthTooSmall { .. })
+        ));
 
         let mut p = valid();
         p.n = 7 * (1 << 10) + 8; // still divisible by L=8 but not by d_mu·L ⇒
-        // M = 897 not divisible by 7.
+                                 // M = 897 not divisible by 7.
         let r = p.validate();
         assert!(
             matches!(r, Err(SoiError::OversampleNotIntegral { .. })),
@@ -389,7 +401,10 @@ mod tests {
 
         let mut p = valid();
         p.n = 7 * (1 << 10) + 1; // not divisible by L
-        assert!(matches!(p.validate(), Err(SoiError::SegmentsDontDivide { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(SoiError::SegmentsDontDivide { .. })
+        ));
 
         let mut p = valid();
         p.conv_width = 300; // ghost (293·8) exceeds per-rank 1792
@@ -496,7 +511,10 @@ mod tests {
     fn error_messages_render() {
         let e = SoiError::SegmentsDontDivide { l: 8, n: 100 };
         assert!(e.to_string().contains("L=8"));
-        let e = SoiError::GhostTooLarge { ghost: 10, per_rank: 5 };
+        let e = SoiError::GhostTooLarge {
+            ghost: 10,
+            per_rank: 5,
+        };
         assert!(e.to_string().contains("ghost"));
     }
 }

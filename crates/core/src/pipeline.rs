@@ -19,7 +19,10 @@
 
 use std::sync::Arc;
 
-use soifft_cluster::{Comm, CommError, CommStats, ExchangePolicy};
+use soifft_cluster::{
+    CheckpointStore, Cluster, ClusterConfig, Comm, CommError, CommStats, ExchangePolicy,
+    RankOutcome, RecoveryCtx, RecoveryOutcome, RestartPolicy, Supervisor,
+};
 use soifft_fft::{batch, Plan, SixStepFft, SixStepVariant};
 use soifft_num::c64;
 use soifft_par::Pool;
@@ -70,13 +73,32 @@ pub struct SimSpec {
     pub net_latency_s: f64,
 }
 
+/// Phase names of the recoverable SOI pipeline: the checkpoint keys used
+/// by [`SoiFft::try_forward_recoverable`] in the supervisor's
+/// [`CheckpointStore`], and the labels accepted by
+/// [`CrashSite::Phase`](soifft_cluster::CrashSite::Phase) crash plans.
+pub mod phases {
+    /// Ghost exchange result (the successor rank's input prefix).
+    pub const GHOST: &str = "ghost";
+    /// Post-convolution `u = W x` (non-fused pipelines only — the fused
+    /// form has no standalone convolution boundary).
+    pub const CONVOLUTION: &str = "convolution";
+    /// `u` after the block DFTs (`I ⊗ F_L`) — the exchange frontier.
+    pub const SEGMENT_FFT: &str = "segment-fft";
+    /// The flattened all-to-all result (everything this rank needs to
+    /// recover its segments without further communication).
+    pub const ALL_TO_ALL: &str = "all-to-all";
+}
+
 /// A distributed SOI run that could not complete: which pipeline phase
 /// failed, the underlying [`CommError`], and the partial [`CommStats`]
 /// ledger accumulated up to the failure (so a chaos harness or operator
 /// can still see how far the superstep got and what it cost).
 #[derive(Clone, Debug)]
 pub struct SoiRunError {
-    /// Pipeline phase that failed (`"ghost"` or `"all-to-all"`).
+    /// Pipeline phase that failed (`"ghost"`, `"all-to-all"`, or
+    /// `"checkpoint"` when a recovery resume found its snapshot missing or
+    /// corrupt).
     pub phase: &'static str,
     /// The communication failure.
     pub error: CommError,
@@ -87,13 +109,21 @@ pub struct SoiRunError {
 
 impl SoiRunError {
     fn new(phase: &'static str, error: CommError, stats: CommStats) -> Self {
-        SoiRunError { phase, error, stats: Box::new(stats) }
+        SoiRunError {
+            phase,
+            error,
+            stats: Box::new(stats),
+        }
     }
 }
 
 impl std::fmt::Display for SoiRunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SOI pipeline failed in {} phase: {}", self.phase, self.error)
+        write!(
+            f,
+            "SOI pipeline failed in {} phase: {}",
+            self.phase, self.error
+        )
     }
 }
 
@@ -101,6 +131,24 @@ impl std::error::Error for SoiRunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.error)
     }
+}
+
+/// The result of a supervised, checkpointing SOI run
+/// ([`SoiFft::forward_recovered`]): every rank's output, present even when
+/// rank incarnations died along the way.
+#[derive(Clone, Debug)]
+pub struct RecoveredRun {
+    /// Per-rank output slices, indexed by rank (natural order, exactly as
+    /// [`SoiFft::forward`] would have returned them).
+    pub outputs: Vec<Vec<c64>>,
+    /// Per-rank communication ledgers. A rank that died mid-epoch keeps
+    /// the ledger of its final incarnation; degraded-mode recompute work is
+    /// absorbed into the ledger of the survivor that performed it.
+    pub stats: Vec<CommStats>,
+    /// How the run completed — [`RecoveryOutcome::None`] for a clean run,
+    /// [`RecoveryOutcome::Recovered`] when restarts or degraded-mode
+    /// recomputation were needed. Mirrored into every ledger in `stats`.
+    pub recovery: RecoveryOutcome,
 }
 
 /// A planned distributed SOI transform. Plan once (collectively — every
@@ -326,11 +374,369 @@ impl SoiFft {
         Ok(self.recover_all(comm, &incoming))
     }
 
+    /// Checkpointing forward transform for supervised runs: the same
+    /// fault-tolerant pipeline as [`SoiFft::try_forward`], but each phase
+    /// boundary snapshots its state into the supervisor's
+    /// [`CheckpointStore`], and on a respawned epoch the rank *resumes* at
+    /// the deepest globally committed phase instead of recomputing from
+    /// scratch — restoring its snapshot and skipping the communication the
+    /// collective already agreed on. Intended to run under
+    /// [`Supervisor::run`] (see [`SoiFft::forward_recovered`]); `ctx` is the
+    /// per-epoch recovery context the supervisor passes to each rank.
+    ///
+    /// The *frozen committed-phase list* decides which collectives re-run
+    /// (every rank sees the same list, so every rank takes the same
+    /// communication path): a committed `"all-to-all"` skips straight to
+    /// the local recovery FFTs; an uncommitted `"ghost"` re-runs the ghost
+    /// exchange for everyone, snapshots or not (peers need this rank's
+    /// prefix). *Local* state then resumes from this rank's own deepest
+    /// snapshot — `"segment-fft"` as-is, `"convolution"` plus a redo of
+    /// the block DFTs, else the full front end — committed or not, since a
+    /// rank's own snapshot is valid either way and phase `k` is pruned
+    /// only once `k+1` commits, which requires this rank's own `k+1` save.
+    ///
+    /// A restore of committed state that finds its snapshot missing or
+    /// corrupt surfaces as
+    /// `SoiRunError { phase: "checkpoint", error: CommError::CheckpointCorrupt, .. }`.
+    pub fn try_forward_recoverable(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+        ctx: &RecoveryCtx,
+    ) -> Result<Vec<c64>, SoiRunError> {
+        let p = &self.params;
+        assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
+        assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
+        assert_eq!(
+            ctx.store().parties(),
+            p.procs,
+            "checkpoint store sized for a different cluster"
+        );
+
+        if let Some(sim) = self.sim {
+            comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
+                bytes_per_s: sim.net_bytes_per_s,
+                latency_s: sim.net_latency_s,
+            });
+        }
+
+        let rank = comm.rank();
+        let store: &CheckpointStore = ctx.store();
+        let epoch = ctx.epoch();
+
+        // Deepest committed phase first: a committed all-to-all means the
+        // collective part of the superstep is over — recover locally.
+        if ctx.committed(phases::ALL_TO_ALL) {
+            let flat = match store.restore(rank, phases::ALL_TO_ALL) {
+                Ok(flat) => flat,
+                Err(_) => {
+                    return Err(SoiRunError::new(
+                        "checkpoint",
+                        CommError::CheckpointCorrupt { rank },
+                        comm.stats().clone(),
+                    ))
+                }
+            };
+            // Each source contributed the same count: mine · blocks.
+            let chunk = flat.len() / p.procs;
+            let incoming: Vec<Vec<c64>> = if chunk == 0 {
+                vec![Vec::new(); p.procs]
+            } else {
+                flat.chunks_exact(chunk).map(<[c64]>::to_vec).collect()
+            };
+            return Ok(self.recover_all(comm, &incoming));
+        }
+
+        // The ghost exchange is collective: it re-runs whenever the phase
+        // is not globally committed — even ranks holding deeper snapshots
+        // participate, because their peers need this rank's input prefix.
+        let fresh_ghost = if ctx.committed(phases::GHOST) {
+            None
+        } else {
+            let g = comm
+                .try_exchange_ghost(local_input, p.ghost_len(), policy)
+                .map_err(|e| SoiRunError::new("ghost", e, comm.stats().clone()))?;
+            store.save(rank, phases::GHOST, epoch, &g);
+            Some(g)
+        };
+
+        // Local state resumes from this rank's OWN deepest snapshot
+        // (committed or not — the data is valid either way). A rank only
+        // restores phase k when it holds no k+1 snapshot, and k's
+        // snapshots are pruned only once k+1 commits — which needs this
+        // very rank's k+1 save — so a restore can never race a prune.
+        let u = if let Ok(u) = store.restore(rank, phases::SEGMENT_FFT) {
+            u
+        } else if let Ok(mut u) = store.restore(rank, phases::CONVOLUTION) {
+            comm.crash_point(phases::SEGMENT_FFT);
+            let t = comm.stats_mut().phase_start();
+            batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
+            let seg_fft_flops =
+                p.blocks_per_rank() as f64 * soifft_fft::fft_flops(p.total_segments());
+            match self.sim_fft_seconds(seg_fft_flops) {
+                Some(sim_s) => comm.stats_mut().phase_end_sim("segment-fft", t, sim_s),
+                None => comm.stats_mut().phase_end("segment-fft", t),
+            }
+            store.save(rank, phases::SEGMENT_FFT, epoch, &u);
+            u
+        } else {
+            let ghost = match fresh_ghost {
+                Some(g) => g,
+                None => match store.restore(rank, phases::GHOST) {
+                    Ok(g) => g,
+                    Err(_) => {
+                        return Err(SoiRunError::new(
+                            "checkpoint",
+                            CommError::CheckpointCorrupt { rank },
+                            comm.stats().clone(),
+                        ))
+                    }
+                },
+            };
+            self.front_end_with(comm, local_input, &ghost, Some((store, epoch)))
+        };
+
+        let outgoing = self.pack_outgoing(&u);
+        let incoming = comm
+            .all_to_all_resilient(&outgoing, policy)
+            .map_err(|e| SoiRunError::new("all-to-all", e, comm.stats().clone()))?;
+        let flat: Vec<c64> = incoming.iter().flatten().copied().collect();
+        store.save(rank, phases::ALL_TO_ALL, epoch, &flat);
+        Ok(self.recover_all(comm, &incoming))
+    }
+
+    /// Supervised forward transform: runs the whole cluster under a
+    /// [`Supervisor`], so a crashed SOI run *completes* instead of merely
+    /// failing cleanly. The driver owns every rank's input slice (as a real
+    /// launcher would own the on-disk input), which is what makes the two
+    /// recovery layers possible:
+    ///
+    /// 1. **Respawn** — while the `restart` budget lasts, a death re-runs
+    ///    the collective as a new epoch; each rank resumes from the last
+    ///    globally committed checkpoint via
+    ///    [`SoiFft::try_forward_recoverable`], and stale messages from dead
+    ///    incarnations are discarded by generation tag.
+    /// 2. **Degraded mode** — if ranks still died with the budget
+    ///    exhausted, the survivors re-derive every missing rank's exchange
+    ///    frontier (from its deepest surviving snapshot, or from the
+    ///    inputs) and recompute the missing output segments themselves,
+    ///    split round-robin.
+    ///
+    /// On success, `recovery` (mirrored into every ledger) reports what it
+    /// took: [`RecoveryOutcome::None`] for a clean first epoch, otherwise
+    /// `Recovered { restarts, recomputed_segments }`. Returns the first
+    /// rank's [`SoiRunError`] only when the run failed for a reason
+    /// recovery cannot paper over (e.g. a fault storm exhausting the
+    /// retry budget with no rank actually dead, or a corrupt checkpoint
+    /// discovered on resume).
+    ///
+    /// Always uses the monolithic exchange form, like
+    /// [`SoiFft::try_forward`].
+    pub fn forward_recovered(
+        &self,
+        config: ClusterConfig,
+        restart: RestartPolicy,
+        policy: &ExchangePolicy,
+        inputs: &[Vec<c64>],
+    ) -> Result<RecoveredRun, SoiRunError> {
+        let p = &self.params;
+        assert_eq!(inputs.len(), p.procs, "one input slice per rank");
+        for (rank, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                input.len(),
+                p.per_rank(),
+                "wrong input length for rank {rank}"
+            );
+        }
+
+        let supervisor = Supervisor::new(config, restart);
+        let run = supervisor.run(p.procs, |comm, ctx| {
+            let out = self.try_forward_recoverable(comm, &inputs[comm.rank()], policy, ctx);
+            (out, comm.stats().clone())
+        });
+        let restarts = run.restarts;
+        let store = run.store;
+
+        let mut outputs: Vec<Option<Vec<c64>>> = vec![None; p.procs];
+        let mut stats: Vec<CommStats> = vec![CommStats::default(); p.procs];
+        let mut alive = vec![true; p.procs];
+        let mut any_dead = false;
+        let mut first_err: Option<SoiRunError> = None;
+        for (rank, outcome) in run.outcomes.into_iter().enumerate() {
+            match outcome {
+                RankOutcome::Ok((Ok(y), ledger)) => {
+                    outputs[rank] = Some(y);
+                    stats[rank] = ledger;
+                }
+                RankOutcome::Ok((Err(e), ledger)) => {
+                    stats[rank] = ledger;
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                // The thread survived (returned via the typed-abort path)
+                // but produced no output.
+                RankOutcome::Err(_) => {}
+                RankOutcome::Crashed | RankOutcome::Panicked(_) => {
+                    alive[rank] = false;
+                    any_dead = true;
+                }
+            }
+        }
+
+        // Clean completion: every rank produced its slice.
+        if outputs.iter().all(Option::is_some) {
+            let recovery = if restarts > 0 {
+                RecoveryOutcome::Recovered {
+                    restarts,
+                    recomputed_segments: 0,
+                }
+            } else {
+                RecoveryOutcome::None
+            };
+            for ledger in &mut stats {
+                ledger.set_recovery(recovery);
+            }
+            return Ok(RecoveredRun {
+                outputs: outputs.into_iter().map(|y| y.unwrap_or_default()).collect(),
+                stats,
+                recovery,
+            });
+        }
+
+        // Ranks failed but nothing died: a failure respawn and degraded
+        // recomputation cannot paper over (a fault storm past the retry
+        // budget, a corrupt checkpoint on resume). Surface it typed.
+        if !any_dead {
+            return Err(first_err.unwrap_or_else(|| {
+                SoiRunError::new("recovery", CommError::Shutdown, CommStats::default())
+            }));
+        }
+        let survivors: Vec<usize> = (0..p.procs).filter(|&q| alive[q]).collect();
+        if survivors.is_empty() {
+            return Err(first_err.unwrap_or_else(|| {
+                SoiRunError::new(
+                    "recovery",
+                    CommError::PeerFailed { rank: 0 },
+                    CommStats::default(),
+                )
+            }));
+        }
+
+        // Degraded mode: the restart budget is exhausted and ranks are
+        // dead. Re-derive every rank's exchange frontier (from snapshots
+        // where they survive, from the driver-held inputs where they
+        // don't), then let the surviving ranks recompute the missing
+        // output segments round-robin.
+        let l = p.total_segments();
+        let m = p.m();
+        let us: Vec<Vec<c64>> = (0..p.procs)
+            .map(|q| self.exchange_frontier(&store, q, inputs))
+            .collect();
+        let missing: Vec<usize> = (0..p.procs).filter(|&q| outputs[q].is_none()).collect();
+        let jobs: Vec<(usize, usize)> = missing
+            .iter()
+            .flat_map(|&owner| (0..self.seg_counts[owner]).map(move |sl| (owner, sl)))
+            .collect();
+        let recomputed_segments = jobs.len();
+        let workers = survivors.len();
+        let results = Cluster::run(workers, |comm| {
+            let worker = comm.rank();
+            let mut done: Vec<(usize, usize, Vec<c64>)> = Vec::new();
+            let t = comm.stats_mut().phase_start();
+            for (j, &(owner, sl)) in jobs.iter().enumerate() {
+                if j % workers != worker {
+                    continue;
+                }
+                let s = self.seg_base[owner] + sl;
+                let mut z = Vec::with_capacity(p.m_prime());
+                for u_q in &us {
+                    z.extend(u_q.chunks_exact(l).map(|block| block[s]));
+                }
+                let mut bins = vec![c64::ZERO; m];
+                self.recover_into(z, &mut bins, 0);
+                done.push((owner, sl, bins));
+            }
+            comm.stats_mut().phase_end("degraded-recover", t);
+            (done, comm.stats().clone())
+        });
+        for (worker, (done, ledger)) in results.into_iter().enumerate() {
+            stats[survivors[worker]].absorb(&ledger);
+            for (owner, sl, bins) in done {
+                let out = outputs[owner]
+                    .get_or_insert_with(|| vec![c64::ZERO; self.seg_counts[owner] * m]);
+                out[sl * m..(sl + 1) * m].copy_from_slice(&bins);
+            }
+        }
+
+        let recovery = RecoveryOutcome::Recovered {
+            restarts,
+            recomputed_segments,
+        };
+        for ledger in &mut stats {
+            ledger.set_recovery(recovery);
+        }
+        Ok(RecoveredRun {
+            outputs: outputs.into_iter().map(|y| y.unwrap_or_default()).collect(),
+            stats,
+            recovery,
+        })
+    }
+
+    /// Rank `q`'s exchange frontier (post-block-DFT `u`) for degraded-mode
+    /// recovery, from the deepest usable source: its `"segment-fft"`
+    /// snapshot as-is; its `"convolution"` snapshot plus the block DFTs;
+    /// otherwise recomputed from the driver-held inputs (the ghost is just
+    /// the successor rank's input prefix, so a missing or corrupt ghost
+    /// snapshot only means more recomputation, never failure).
+    fn exchange_frontier(
+        &self,
+        store: &CheckpointStore,
+        q: usize,
+        inputs: &[Vec<c64>],
+    ) -> Vec<c64> {
+        let p = &self.params;
+        if let Ok(u) = store.restore(q, phases::SEGMENT_FFT) {
+            return u;
+        }
+        if let Ok(mut u) = store.restore(q, phases::CONVOLUTION) {
+            batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
+            return u;
+        }
+        let ghost = store
+            .restore(q, phases::GHOST)
+            .unwrap_or_else(|_| inputs[(q + 1) % p.procs][..p.ghost_len()].to_vec());
+        let mut input_ext = Vec::with_capacity(inputs[q].len() + ghost.len());
+        input_ext.extend_from_slice(&inputs[q]);
+        input_ext.extend_from_slice(&ghost);
+        self.compute_u(&input_ext)
+    }
+
     /// Phases 2–3 shared by the fallible and infallible pipelines: extends
     /// the local input with its ghost, convolves (`u = W x`), and runs the
     /// block DFTs (`I ⊗ F_L`) — fused into one pass when configured
     /// (§5.3's loop fusion). Phases recorded in the ledger.
     fn front_end(&self, comm: &mut Comm, local_input: &[c64], ghost: &[c64]) -> Vec<c64> {
+        self.front_end_with(comm, local_input, ghost, None)
+    }
+
+    /// [`SoiFft::front_end`] with optional checkpointing: when a store and
+    /// epoch are supplied, `u` is snapshotted after the convolution
+    /// (non-fused pipelines) and after the block DFTs. Crash points named
+    /// after the phases fire at each phase entry, so
+    /// [`CrashSite::Phase`](soifft_cluster::CrashSite::Phase) plans can
+    /// kill a rank mid-front-end in both the plain and recoverable
+    /// pipelines. The fused form has no standalone convolution boundary,
+    /// so it exposes only the `"convolution"` crash point and the
+    /// `"segment-fft"` snapshot.
+    fn front_end_with(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        ghost: &[c64],
+        checkpoint: Option<(&CheckpointStore, u64)>,
+    ) -> Vec<c64> {
         let p = &self.params;
         let l = p.total_segments();
         let blocks = p.blocks_per_rank();
@@ -342,6 +748,7 @@ impl SoiFft {
         let conv_flops = p.conv_flops() / p.procs as f64;
         let seg_fft_flops = blocks as f64 * soifft_fft::fft_flops(l);
         if self.fuse_segment_fft {
+            comm.crash_point(phases::CONVOLUTION);
             let t = comm.stats_mut().phase_start();
             crate::conv::convolve_fused_fft(
                 p,
@@ -353,15 +760,25 @@ impl SoiFft {
             );
             match self.sim {
                 Some(s) => {
-                    let sim_s =
-                        conv_flops / s.conv_flops_per_s + seg_fft_flops / s.fft_flops_per_s;
+                    let sim_s = conv_flops / s.conv_flops_per_s + seg_fft_flops / s.fft_flops_per_s;
                     comm.stats_mut().phase_end_sim("convolution", t, sim_s);
                 }
                 None => comm.stats_mut().phase_end("convolution", t),
             }
+            if let Some((store, epoch)) = checkpoint {
+                store.save(comm.rank(), phases::SEGMENT_FFT, epoch, &u);
+            }
         } else {
+            comm.crash_point(phases::CONVOLUTION);
             let t = comm.stats_mut().phase_start();
-            convolve(p, &self.window, self.strategy, &input_ext, &mut u, &self.pool);
+            convolve(
+                p,
+                &self.window,
+                self.strategy,
+                &input_ext,
+                &mut u,
+                &self.pool,
+            );
             match self.sim {
                 Some(s) => {
                     let sim_s = conv_flops / s.conv_flops_per_s;
@@ -369,13 +786,52 @@ impl SoiFft {
                 }
                 None => comm.stats_mut().phase_end("convolution", t),
             }
+            if let Some((store, epoch)) = checkpoint {
+                store.save(comm.rank(), phases::CONVOLUTION, epoch, &u);
+            }
 
+            comm.crash_point(phases::SEGMENT_FFT);
             let t = comm.stats_mut().phase_start();
             batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
             match self.sim_fft_seconds(seg_fft_flops) {
                 Some(sim_s) => comm.stats_mut().phase_end_sim("segment-fft", t, sim_s),
                 None => comm.stats_mut().phase_end("segment-fft", t),
             }
+            if let Some((store, epoch)) = checkpoint {
+                store.save(comm.rank(), phases::SEGMENT_FFT, epoch, &u);
+            }
+        }
+        u
+    }
+
+    /// The math of phases 2–3 with no communicator, ledger, or crash
+    /// points: `input_ext` (local input + ghost) in, post-block-DFT `u`
+    /// out. Used by degraded-mode recovery to re-derive a dead rank's
+    /// exchange frontier from the driver-held inputs.
+    fn compute_u(&self, input_ext: &[c64]) -> Vec<c64> {
+        let p = &self.params;
+        let l = p.total_segments();
+        let blocks = p.blocks_per_rank();
+        let mut u = vec![c64::ZERO; blocks * l];
+        if self.fuse_segment_fft {
+            crate::conv::convolve_fused_fft(
+                p,
+                &self.window,
+                input_ext,
+                &mut u,
+                &self.plan_l,
+                &self.pool,
+            );
+        } else {
+            convolve(
+                p,
+                &self.window,
+                self.strategy,
+                input_ext,
+                &mut u,
+                &self.pool,
+            );
+            batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
         }
         u
     }
@@ -414,7 +870,14 @@ impl SoiFft {
         input_ext.extend_from_slice(&ghost);
         let mut u = vec![c64::ZERO; blocks * l];
         let t = comm.stats_mut().phase_start();
-        convolve(p, &self.window, self.strategy, &input_ext, &mut u, &self.pool);
+        convolve(
+            p,
+            &self.window,
+            self.strategy,
+            &input_ext,
+            &mut u,
+            &self.pool,
+        );
         comm.stats_mut().phase_end("convolution", t);
         let t = comm.stats_mut().phase_start();
         batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
@@ -515,7 +978,9 @@ impl SoiFft {
     /// structure (one all-to-all) in the synthesis direction.
     pub fn inverse(&self, comm: &mut Comm, local_input: &[c64]) -> Vec<c64> {
         assert!(
-            self.seg_counts.iter().all(|&c| c == self.params.segments_per_proc),
+            self.seg_counts
+                .iter()
+                .all(|&c| c == self.params.segments_per_proc),
             "inverse requires the uniform segment layout (forward's input and \
              output distributions must coincide)"
         );
@@ -709,9 +1174,7 @@ impl SoiFft {
                 // hot spin.
                 if let Some(sl) = (0..mine).find(|&sl| !done[sl]) {
                     let tag = tags::USER + sl as u64;
-                    if let Some(src) =
-                        (0..p.procs).find(|&s| parts[sl][s].is_none())
-                    {
+                    if let Some(src) = (0..p.procs).find(|&s| parts[sl][s].is_none()) {
                         let data = comm.recv(src, tag);
                         parts[sl][src] = Some(data);
                         missing[sl] -= 1;
@@ -773,7 +1236,9 @@ fn prefix_sums(counts: &[usize]) -> Vec<usize> {
 pub fn scatter_input(x: &[c64], procs: usize) -> Vec<Vec<c64>> {
     assert_eq!(x.len() % procs, 0);
     let per = x.len() / procs;
-    (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect()
+    (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect()
 }
 
 /// Reassembles rank outputs into the global vector (testing/benching
@@ -809,9 +1274,7 @@ mod tests {
         let x = signal(params.n);
         let inputs = scatter_input(&x, params.procs);
         let fft = SoiFft::new(params).unwrap().with_exchange(exchange);
-        let outputs = Cluster::run(params.procs, |comm| {
-            fft.forward(comm, &inputs[comm.rank()])
-        });
+        let outputs = Cluster::run(params.procs, |comm| fft.forward(comm, &inputs[comm.rank()]));
         (gather_output(outputs), reference_fft(&x))
     }
 
@@ -894,14 +1357,9 @@ mod tests {
         let p = params(4, 2);
         let x = signal(p.n);
         let (dist, _) = run_distributed(p, ExchangePlan::Monolithic);
-        let local = crate::single::SoiFftLocal::new(
-            p.n,
-            p.total_segments(),
-            p.mu,
-            p.conv_width,
-        )
-        .unwrap()
-        .forward(&x);
+        let local = crate::single::SoiFftLocal::new(p.n, p.total_segments(), p.mu, p.conv_width)
+            .unwrap()
+            .forward(&x);
         // Same algorithm, same window ⇒ results agree to rounding.
         assert!(rel_l2(&dist, &local) < 1e-10);
     }
@@ -918,7 +1376,11 @@ mod tests {
             comm.stats().clone()
         });
         for s in &stats {
-            assert_eq!(s.count_of("all-to-all"), 1, "SOI needs exactly one all-to-all");
+            assert_eq!(
+                s.count_of("all-to-all"),
+                1,
+                "SOI needs exactly one all-to-all"
+            );
             assert_eq!(s.count_of("ghost"), 1);
             assert_eq!(s.count_of("convolution"), 1);
             assert!(s.seconds_in("local-fft") > 0.0);
@@ -992,8 +1454,7 @@ mod tests {
         assert_eq!(found, wanted.len());
 
         // Volume: 2 of 8 segments ⇒ 1/4 of the full exchange.
-        let full_bytes =
-            (p.segments_per_proc * p.blocks_per_rank() * p.procs * 16) as u64;
+        let full_bytes = (p.segments_per_proc * p.blocks_per_rank() * p.procs * 16) as u64;
         for (_, bytes) in &runs {
             assert_eq!(*bytes, full_bytes / 4);
         }
@@ -1059,7 +1520,9 @@ mod tests {
     #[should_panic(expected = "counts must sum to L")]
     fn bad_segment_counts_rejected() {
         let p = params(4, 2);
-        let _ = SoiFft::new(p).unwrap().with_segment_counts(vec![1, 2, 3, 4]);
+        let _ = SoiFft::new(p)
+            .unwrap()
+            .with_segment_counts(vec![1, 2, 3, 4]);
     }
 
     #[test]
@@ -1109,13 +1572,11 @@ mod tests {
             let conv_expect = p.conv_flops() / p.procs as f64 / sim.conv_flops_per_s;
             assert!((s.sim_seconds_in("convolution") - conv_expect).abs() < 1e-12);
 
-            let seg_expect = p.blocks_per_rank() as f64
-                * soifft_fft::fft_flops(p.total_segments())
+            let seg_expect = p.blocks_per_rank() as f64 * soifft_fft::fft_flops(p.total_segments())
                 / sim.fft_flops_per_s;
             assert!((s.sim_seconds_in("segment-fft") - seg_expect).abs() < 1e-12);
 
-            let local_expect = p.segments_per_proc as f64
-                * soifft_fft::fft_flops(p.m_prime())
+            let local_expect = p.segments_per_proc as f64 * soifft_fft::fft_flops(p.m_prime())
                 / sim.fft_flops_per_s;
             assert!((s.sim_seconds_in("local-fft") - local_expect).abs() < 1e-12);
 
@@ -1161,9 +1622,7 @@ mod tests {
         let inputs = scatter_input(&x, p.procs);
         let fft = SoiFft::new(p).unwrap();
         let spectra = Cluster::run(p.procs, |comm| fft.forward(comm, &inputs[comm.rank()]));
-        let back = Cluster::run(p.procs, |comm| {
-            fft.inverse(comm, &spectra[comm.rank()])
-        });
+        let back = Cluster::run(p.procs, |comm| fft.inverse(comm, &spectra[comm.rank()]));
         let got = gather_output(back);
         let err = rel_l2(&got, &x);
         assert!(err < 1e-7, "round trip err={err:.3e}");

@@ -55,8 +55,7 @@ impl PlanReport {
         let elem = std::mem::size_of::<soifft_num::c64>();
         let blocks = params.blocks_per_rank();
         let seg_fft = blocks as f64 * soifft_fft::fft_flops(l);
-        let recovery =
-            params.segments_per_proc as f64 * soifft_fft::fft_flops(m_prime);
+        let recovery = params.segments_per_proc as f64 * soifft_fft::fft_flops(m_prime);
         // Same constant as the window design (kept in sync by a test).
         let rho = 0.25;
         let exponent = std::f64::consts::PI
@@ -95,9 +94,16 @@ impl PlanReport {
 impl fmt::Display for PlanReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let p = &self.params;
-        writeln!(f, "SOI plan: N = {}, P = {}, S = {}, mu = {}, B = {}",
-            p.n, p.procs, p.segments_per_proc, p.mu, p.conv_width)?;
-        writeln!(f, "  segments L = {}, M = {}, M' = {}", self.l, self.m, self.m_prime)?;
+        writeln!(
+            f,
+            "SOI plan: N = {}, P = {}, S = {}, mu = {}, B = {}",
+            p.n, p.procs, p.segments_per_proc, p.mu, p.conv_width
+        )?;
+        writeln!(
+            f,
+            "  segments L = {}, M = {}, M' = {}",
+            self.l, self.m, self.m_prime
+        )?;
         writeln!(
             f,
             "  per-rank memory: taps {} KB, conv output {} KB",
@@ -129,9 +135,9 @@ impl fmt::Display for PlanReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accuracy::alias_bound;
     use crate::params::Rational;
     use crate::window::{Window, WindowKind};
-    use crate::accuracy::alias_bound;
 
     fn params() -> SoiParams {
         SoiParams {

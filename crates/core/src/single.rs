@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use soifft_fft::batch;
 use soifft_fft::{Plan, SixStepFft, SixStepVariant};
-use soifft_num::transpose::transpose;
 use soifft_num::c64;
+use soifft_num::transpose::transpose;
 use soifft_par::Pool;
 
 use crate::conv::{convolve, ConvStrategy};
@@ -128,7 +128,14 @@ impl SoiFftLocal {
 
         // Convolution-and-oversampling: M' blocks of L.
         let mut u = vec![c64::ZERO; m_prime * l];
-        convolve(p, &self.window, self.strategy, &input_ext, &mut u, &self.pool);
+        convolve(
+            p,
+            &self.window,
+            self.strategy,
+            &input_ext,
+            &mut u,
+            &self.pool,
+        );
 
         // Block DFTs (I_{M'} ⊗ F_L).
         batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
@@ -179,7 +186,14 @@ impl SoiFftLocal {
         input_ext.extend_from_slice(&input[..ghost]);
 
         let mut u = vec![c64::ZERO; m_prime * l];
-        convolve(p, &self.window, self.strategy, &input_ext, &mut u, &self.pool);
+        convolve(
+            p,
+            &self.window,
+            self.strategy,
+            &input_ext,
+            &mut u,
+            &self.pool,
+        );
         batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
 
         // Gather only the wanted segments' time series (no full transpose).
@@ -295,9 +309,15 @@ mod tests {
         // Pure tone → single bin (tests segment boundaries: bin in the
         // middle of segment 5).
         let k = 5 * (n / 8) + n / 16;
-        let x: Vec<c64> = (0..n).map(|i| c64::root_of_unity(n, -((i * k) as i64))).collect();
+        let x: Vec<c64> = (0..n)
+            .map(|i| c64::root_of_unity(n, -((i * k) as i64)))
+            .collect();
         let got = soi.forward(&x);
-        assert!((got[k].re - n as f64).abs() < 1e-5 * n as f64, "{:?}", got[k]);
+        assert!(
+            (got[k].re - n as f64).abs() < 1e-5 * n as f64,
+            "{:?}",
+            got[k]
+        );
         let off_energy: f64 = got
             .iter()
             .enumerate()

@@ -31,8 +31,8 @@
 //! constants are computed numerically, which is also available for the
 //! Gaussian as a cross-check.
 
-use soifft_num::special::{bessel_i0, erf, sinc};
 use soifft_num::c64;
+use soifft_num::special::{bessel_i0, erf, sinc};
 
 use crate::params::SoiParams;
 
@@ -218,15 +218,17 @@ impl Window {
                 );
                 false
             }
-            DemodMode::Auto => {
-                !has_closed_form || (m as u128) * (bl as u128) <= 1u128 << 30
-            }
+            DemodMode::Auto => !has_closed_form || (m as u128) * (bl as u128) <= 1u128 << 30,
         };
         let inv_sigma_recip = sigma; // demod multiplies by σ / ŵ.
         let mut demod = Vec::with_capacity(m);
         for ll in 0..m {
             let f = -(ll as f64) / n as f64;
-            let what = if numeric { w.spectrum_numeric(f) } else { w.spectrum_analytic(f) };
+            let what = if numeric {
+                w.spectrum_numeric(f)
+            } else {
+                w.spectrum_analytic(f)
+            };
             demod.push(c64::real(inv_sigma_recip) / what);
         }
         w.demod = demod;
@@ -407,7 +409,11 @@ mod tests {
             let cols = w.taps_for_p(p);
             for j in 0..n_mu {
                 for bb in 0..b {
-                    assert_eq!(cols[j * b + bb], w.taps_row(j)[bb * l + p], "p={p} j={j} b={bb}");
+                    assert_eq!(
+                        cols[j * b + bb],
+                        w.taps_row(j)[bb * l + p],
+                        "p={p} j={j} b={bb}"
+                    );
                 }
             }
         }

@@ -25,12 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use soifft_cluster::{Comm, CommError, ExchangePolicy};
+use soifft_cluster::{CheckpointStore, Comm, CommError, ExchangePolicy, RecoveryCtx};
 use soifft_fft::batch;
 use soifft_fft::twiddle::DynamicBlock;
 use soifft_fft::Plan;
-use soifft_num::factor::balanced_split;
 use soifft_num::c64;
+use soifft_num::factor::balanced_split;
 
 /// A planned distributed Cooley–Tukey transform.
 #[derive(Debug)]
@@ -68,6 +68,20 @@ impl std::fmt::Display for CtError {
 }
 
 impl std::error::Error for CtError {}
+
+/// Checkpoint keys of the recoverable CT pipeline
+/// ([`DistributedCtFft::try_forward_recoverable`]) — prefixed `ct-` so a
+/// shared [`CheckpointStore`] can never confuse them with the SOI phases.
+mod ct_phases {
+    /// Result of the first all-to-all transpose.
+    pub const TRANSPOSE_1: &str = "ct-transpose-1";
+    /// Columns after the `n1`-point FFTs + twiddle.
+    pub const FFT_1: &str = "ct-fft-1";
+    /// Result of the second all-to-all transpose.
+    pub const TRANSPOSE_2: &str = "ct-transpose-2";
+    /// Rows after the `n2`-point FFTs.
+    pub const FFT_2: &str = "ct-fft-2";
+}
 
 impl DistributedCtFft {
     /// Plans a transform of length `n` over `procs` ranks, choosing the
@@ -118,30 +132,14 @@ impl DistributedCtFft {
     pub fn forward(&self, comm: &mut Comm, local_input: &[c64]) -> Vec<c64> {
         assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), self.n / self.procs, "wrong local length");
-        let (n1, n2, p) = (self.n1, self.n2, self.procs);
+        let (n1, n2) = (self.n1, self.n2);
 
         // Step 1: all-to-all transpose (n1×n2 → n2×n1). Local rows: a ∈
         // [r·n1/P, ...); after: rows b ∈ [r·n2/P, ...), length n1.
         let mut cols = distributed_transpose(comm, local_input, n1, n2);
 
-        // Step 2+3: local n1-point FFTs over rows, fused twiddle W_N^{bc}
-        // (exponent stepped incrementally — no per-element modulo).
-        let b0 = comm.rank() * (n2 / p);
-        let t = comm.stats_mut().phase_start();
-        let mut scratch = self.plan1.make_scratch();
-        for (i, row) in cols.chunks_exact_mut(n1).enumerate() {
-            self.plan1.forward_with_scratch(row, &mut scratch);
-            let step = (b0 + i) % self.n;
-            let mut tt = 0usize;
-            for v in row.iter_mut() {
-                *v *= self.tw.get(tt);
-                tt += step;
-                if tt >= self.n {
-                    tt -= self.n;
-                }
-            }
-        }
-        comm.stats_mut().phase_end("local-fft", t);
+        // Step 2+3: local n1-point FFTs over rows, fused twiddle W_N^{bc}.
+        self.fft1_twiddle(comm, &mut cols);
 
         // Step 4: all-to-all transpose back (n2×n1 → n1×n2): rank owns
         // rows c ∈ [r·n1/P, ...), length n2.
@@ -172,14 +170,131 @@ impl DistributedCtFft {
     ) -> Result<Vec<c64>, CommError> {
         assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), self.n / self.procs, "wrong local length");
-        let (n1, n2, p) = (self.n1, self.n2, self.procs);
+        let (n1, n2) = (self.n1, self.n2);
 
         let mut cols = distributed_transpose_resilient(comm, local_input, n1, n2, policy)?;
+        self.fft1_twiddle(comm, &mut cols);
 
-        let b0 = comm.rank() * (n2 / p);
+        let mut rows = distributed_transpose_resilient(comm, &cols, n2, n1, policy)?;
+        drop(cols);
+
+        let t = comm.stats_mut().phase_start();
+        batch::forward_rows(&self.plan2, &mut rows);
+        comm.stats_mut().phase_end("local-fft", t);
+
+        distributed_transpose_resilient(comm, &rows, n1, n2, policy)
+    }
+
+    /// Checkpointing fault-tolerant forward transform for supervised runs:
+    /// the [`DistributedCtFft::try_forward`] pipeline, but each of the four
+    /// intermediate stages snapshots into the supervisor's
+    /// [`CheckpointStore`] (under `ct-`-prefixed keys), and a respawned
+    /// epoch skips every globally committed transpose and resumes local
+    /// work from this rank's own deepest snapshot — so a crash between the
+    /// baseline's three all-to-alls does not repeat the exchanges the
+    /// collective already completed. Run it under
+    /// [`Supervisor::run`](soifft_cluster::Supervisor::run) with the
+    /// [`RecoveryCtx`] the supervisor hands each rank.
+    ///
+    /// A restore that finds its snapshot missing or corrupt returns
+    /// [`CommError::CheckpointCorrupt`]. Collective: the committed-phase
+    /// list is frozen per epoch, so every rank takes the same resume path.
+    pub fn try_forward_recoverable(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+        ctx: &RecoveryCtx,
+    ) -> Result<Vec<c64>, CommError> {
+        assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
+        assert_eq!(local_input.len(), self.n / self.procs, "wrong local length");
+        assert_eq!(
+            ctx.store().parties(),
+            self.procs,
+            "checkpoint store sized for a different cluster"
+        );
+        let (n1, n2) = (self.n1, self.n2);
+        let rank = comm.rank();
+        let store: &CheckpointStore = ctx.store();
+        let epoch = ctx.epoch();
+        let restore = |phase: &'static str| {
+            store
+                .restore(rank, phase)
+                .map_err(|_| CommError::CheckpointCorrupt { rank })
+        };
+
+        // The frozen committed list decides which transposes re-run (a
+        // collective decision every rank resolves identically); local FFT
+        // stages resume from this rank's own deepest snapshot, committed
+        // or not. A rank restores stage k only when it holds no k+1
+        // snapshot, and k is pruned only once k+1 commits — which needs
+        // this rank's own k+1 save — so restores never race prunes.
+        if ctx.committed(ct_phases::FFT_2) {
+            let rows = restore(ct_phases::FFT_2)?;
+            return distributed_transpose_resilient(comm, &rows, n1, n2, policy);
+        }
+
+        let rows = if ctx.committed(ct_phases::TRANSPOSE_2) {
+            if let Ok(rows) = restore(ct_phases::FFT_2) {
+                rows
+            } else {
+                let mut rows = restore(ct_phases::TRANSPOSE_2)?;
+                comm.crash_point(ct_phases::FFT_2);
+                let t = comm.stats_mut().phase_start();
+                batch::forward_rows(&self.plan2, &mut rows);
+                comm.stats_mut().phase_end("local-fft", t);
+                store.save(rank, ct_phases::FFT_2, epoch, &rows);
+                rows
+            }
+        } else {
+            // The second transpose must re-run, which needs this rank's
+            // post-FFT columns — own snapshot first, else recompute.
+            let fresh_t1 = if ctx.committed(ct_phases::TRANSPOSE_1) {
+                None
+            } else {
+                let cols = distributed_transpose_resilient(comm, local_input, n1, n2, policy)?;
+                store.save(rank, ct_phases::TRANSPOSE_1, epoch, &cols);
+                Some(cols)
+            };
+            let cols = if let Ok(cols) = restore(ct_phases::FFT_1) {
+                cols
+            } else {
+                let mut cols = match fresh_t1 {
+                    Some(cols) => cols,
+                    None => restore(ct_phases::TRANSPOSE_1)?,
+                };
+                comm.crash_point(ct_phases::FFT_1);
+                self.fft1_twiddle(comm, &mut cols);
+                store.save(rank, ct_phases::FFT_1, epoch, &cols);
+                cols
+            };
+            let fresh_t2 = distributed_transpose_resilient(comm, &cols, n2, n1, policy)?;
+            store.save(rank, ct_phases::TRANSPOSE_2, epoch, &fresh_t2);
+            if let Ok(rows) = restore(ct_phases::FFT_2) {
+                rows // own snapshot from an earlier epoch — FFTs already done
+            } else {
+                let mut rows = fresh_t2;
+                comm.crash_point(ct_phases::FFT_2);
+                let t = comm.stats_mut().phase_start();
+                batch::forward_rows(&self.plan2, &mut rows);
+                comm.stats_mut().phase_end("local-fft", t);
+                store.save(rank, ct_phases::FFT_2, epoch, &rows);
+                rows
+            }
+        };
+
+        distributed_transpose_resilient(comm, &rows, n1, n2, policy)
+    }
+
+    /// Steps 2+3 shared by every forward variant: local `n1`-point FFTs
+    /// over the transposed rows with the fused twiddle `W_N^{bc}` (exponent
+    /// stepped incrementally — no per-element modulo). Records the
+    /// `"local-fft"` phase.
+    fn fft1_twiddle(&self, comm: &mut Comm, cols: &mut [c64]) {
+        let b0 = comm.rank() * (self.n2 / self.procs);
         let t = comm.stats_mut().phase_start();
         let mut scratch = self.plan1.make_scratch();
-        for (i, row) in cols.chunks_exact_mut(n1).enumerate() {
+        for (i, row) in cols.chunks_exact_mut(self.n1).enumerate() {
             self.plan1.forward_with_scratch(row, &mut scratch);
             let step = (b0 + i) % self.n;
             let mut tt = 0usize;
@@ -192,15 +307,6 @@ impl DistributedCtFft {
             }
         }
         comm.stats_mut().phase_end("local-fft", t);
-
-        let mut rows = distributed_transpose_resilient(comm, &cols, n2, n1, policy)?;
-        drop(cols);
-
-        let t = comm.stats_mut().phase_start();
-        batch::forward_rows(&self.plan2, &mut rows);
-        comm.stats_mut().phase_end("local-fft", t);
-
-        distributed_transpose_resilient(comm, &rows, n1, n2, policy)
     }
 }
 
@@ -209,12 +315,7 @@ impl DistributedCtFft {
 /// `cols/P` consecutive rows of the transposed (`cols × rows`) matrix.
 ///
 /// Requires `P | rows` and `P | cols`.
-pub fn distributed_transpose(
-    comm: &mut Comm,
-    local: &[c64],
-    rows: usize,
-    cols: usize,
-) -> Vec<c64> {
+pub fn distributed_transpose(comm: &mut Comm, local: &[c64], rows: usize, cols: usize) -> Vec<c64> {
     let outgoing = pack_transpose(comm.size(), local, rows, cols);
     let incoming = comm.all_to_all(outgoing);
     unpack_transpose(comm.size(), &incoming, rows, cols)
@@ -486,8 +587,7 @@ mod tests {
         let (rows, cols, p) = (16usize, 24usize, 4usize);
         let x = signal(rows * cols);
         let per = rows / p * cols;
-        let parts: Vec<Vec<c64>> =
-            (0..p).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+        let parts: Vec<Vec<c64>> = (0..p).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
         let fft = Distributed2dFft::new(rows, cols, p);
         let runs = Cluster::run(p, |comm| {
             let y = fft.forward(comm, &parts[comm.rank()]);

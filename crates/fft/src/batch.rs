@@ -85,7 +85,10 @@ mod tests {
         forward_rows(&plan, &mut batch);
         for r in 0..rows {
             let want = dft(&src[r * n..(r + 1) * n]);
-            assert!(rel_linf(&batch[r * n..(r + 1) * n], &want) < 1e-11, "row {r}");
+            assert!(
+                rel_linf(&batch[r * n..(r + 1) * n], &want) < 1e-11,
+                "row {r}"
+            );
         }
     }
 

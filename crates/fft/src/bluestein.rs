@@ -46,7 +46,13 @@ impl BluesteinPlan {
             kernel[m - t] = v;
         }
         inner.forward(&mut kernel);
-        BluesteinPlan { n, m, inner, chirp, kernel_fft: kernel }
+        BluesteinPlan {
+            n,
+            m,
+            inner,
+            chirp,
+            kernel_fft: kernel,
+        }
     }
 
     /// The (outer) transform length.
@@ -122,7 +128,9 @@ mod tests {
 
     #[test]
     fn primes_match_direct_dft() {
-        for n in [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 61, 127, 251, 509] {
+        for n in [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 61, 127, 251, 509,
+        ] {
             let err = run(n);
             assert!(err < 1e-10, "n={n}: err={err:.3e}");
         }

@@ -34,7 +34,11 @@ impl IterativeFft {
         for i in 1..n {
             rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (log2n.max(1) - 1));
         }
-        IterativeFft { n, rev, tw: Twiddles::new(n.max(2)) }
+        IterativeFft {
+            n,
+            rev,
+            tw: Twiddles::new(n.max(2)),
+        }
     }
 
     /// Transform length.

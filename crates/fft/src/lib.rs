@@ -30,8 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod cache;
 pub mod bluestein;
+pub mod cache;
 pub mod dft;
 pub mod iterative;
 pub mod multi;
@@ -48,8 +48,8 @@ pub use multi::{Plan2d, Plan3d};
 pub use plan::Plan;
 pub use planar::PlanarFft;
 pub use real::RealFft;
-pub use stockham::StockhamFft;
 pub use sixstep::{SixStepFft, SixStepVariant};
+pub use stockham::StockhamFft;
 
 /// Flops of an `n`-point complex FFT under the paper's `5 n log₂ n`
 /// convention (used consistently for GFLOPS reporting so that rates are

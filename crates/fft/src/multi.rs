@@ -9,8 +9,8 @@
 //! transpose between dimension passes) versus the three of a conventional
 //! distributed 1D transform.
 
-use soifft_num::transpose::transpose;
 use soifft_num::c64;
+use soifft_num::transpose::transpose;
 
 use crate::batch;
 use crate::plan::Plan;
@@ -28,7 +28,12 @@ impl Plan2d {
     /// Builds a plan for `rows × cols` transforms.
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows >= 1 && cols >= 1);
-        Plan2d { rows, cols, row_plan: Plan::new(cols), col_plan: Plan::new(rows) }
+        Plan2d {
+            rows,
+            cols,
+            row_plan: Plan::new(cols),
+            col_plan: Plan::new(rows),
+        }
     }
 
     /// The shape `(rows, cols)`.

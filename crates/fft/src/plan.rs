@@ -61,7 +61,10 @@ impl Plan {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "transform length must be at least 1");
         if n == 1 {
-            return Plan { n, kind: Kind::Identity };
+            return Plan {
+                n,
+                kind: Kind::Identity,
+            };
         }
         let fac = factorize(n);
         if fac.iter().all(|&(p, _)| p <= MAX_RADIX) {
@@ -88,9 +91,18 @@ impl Plan {
                     }
                 }
             }
-            Plan { n, kind: Kind::CooleyTukey { factors, tw: Twiddles::new(n) } }
+            Plan {
+                n,
+                kind: Kind::CooleyTukey {
+                    factors,
+                    tw: Twiddles::new(n),
+                },
+            }
         } else {
-            Plan { n, kind: Kind::Bluestein(Box::new(BluesteinPlan::new(n))) }
+            Plan {
+                n,
+                kind: Kind::Bluestein(Box::new(BluesteinPlan::new(n))),
+            }
         }
     }
 
@@ -480,7 +492,19 @@ mod tests {
 
     #[test]
     fn mixed_sizes_match_direct_dft() {
-        for n in [6, 12, 24, 48, 60, 120, 360, 960, 1000, 1 << 10, 3 * (1 << 8)] {
+        for n in [
+            6,
+            12,
+            24,
+            48,
+            60,
+            120,
+            360,
+            960,
+            1000,
+            1 << 10,
+            3 * (1 << 8),
+        ] {
             check_forward(n, 1e-11);
         }
     }

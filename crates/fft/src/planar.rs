@@ -26,7 +26,10 @@ pub struct PlanarFft {
 impl PlanarFft {
     /// Builds a plan for `n`-point transforms (`n` a power of two).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "PlanarFft requires a power-of-two length");
+        assert!(
+            n.is_power_of_two(),
+            "PlanarFft requires a power-of-two length"
+        );
         let mut tw_re = Vec::with_capacity(n / 2 + 1);
         let mut tw_im = Vec::with_capacity(n / 2 + 1);
         for j in 0..(n / 2).max(1) {
@@ -58,7 +61,10 @@ impl PlanarFft {
     ) {
         assert_eq!(re.len(), self.n, "re plane length");
         assert_eq!(im.len(), self.n, "im plane length");
-        assert!(scratch_re.len() >= self.n && scratch_im.len() >= self.n, "scratch");
+        assert!(
+            scratch_re.len() >= self.n && scratch_im.len() >= self.n,
+            "scratch"
+        );
         scratch_re[..self.n].copy_from_slice(re);
         scratch_im[..self.n].copy_from_slice(im);
         self.rec(

@@ -31,8 +31,15 @@ pub struct RealFft {
 impl RealFft {
     /// Builds a plan for length `n` (must be even).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_multiple_of(2), "real FFT length must be even and >= 2");
-        RealFft { n, half: Plan::new(n / 2), tw: Twiddles::new(n) }
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "real FFT length must be even and >= 2"
+        );
+        RealFft {
+            n,
+            half: Plan::new(n / 2),
+            tw: Twiddles::new(n),
+        }
     }
 
     /// Transform length (number of real samples).

@@ -148,18 +148,10 @@ impl SixStepFft {
 
     /// Builds a plan with an explicit `n1 × n2` decomposition
     /// (`n1 * n2 == n`).
-    pub fn with_split(
-        n: usize,
-        n1: usize,
-        n2: usize,
-        variant: SixStepVariant,
-        pool: Pool,
-    ) -> Self {
+    pub fn with_split(n: usize, n1: usize, n2: usize, variant: SixStepVariant, pool: Pool) -> Self {
         assert!(n >= 1 && n1 * n2 == n, "n1*n2 must equal n");
         let tw = match variant {
-            SixStepVariant::Naive | SixStepVariant::Fused => {
-                TwiddleStore::Full(Twiddles::new(n))
-            }
+            SixStepVariant::Naive | SixStepVariant::Fused => TwiddleStore::Full(Twiddles::new(n)),
             SixStepVariant::FusedDynamic | SixStepVariant::FusedParallel => {
                 TwiddleStore::Dynamic(DynamicBlock::new(n))
             }
@@ -285,14 +277,7 @@ impl SixStepFft {
             let mut a0 = 0;
             while a0 < n1 {
                 let rows = TILE.min(n1 - a0);
-                transpose_tile(
-                    &data[a0 * n2 + b0..],
-                    n2,
-                    &mut buf[a0..],
-                    cs,
-                    rows,
-                    g,
-                );
+                transpose_tile(&data[a0 * n2 + b0..], n2, &mut buf[a0..], cs, rows, g);
                 a0 += rows;
             }
             // FFT each gathered column, then twiddle in-cache (steps 2+3
@@ -307,14 +292,7 @@ impl SixStepFft {
             let mut c0 = 0;
             while c0 < n1 {
                 let cols = TILE.min(n1 - c0);
-                transpose_tile(
-                    &buf[c0..],
-                    cs,
-                    &mut aux[c0 * n2 + b0..],
-                    n2,
-                    g,
-                    cols,
-                );
+                transpose_tile(&buf[c0..], cs, &mut aux[c0 * n2 + b0..], n2, g, cols);
                 c0 += cols;
             }
             b0 += g;
@@ -476,7 +454,12 @@ mod tests {
     #[test]
     fn parallel_variant_with_threads_matches() {
         for threads in [1, 2, 4] {
-            check(512, SixStepVariant::FusedParallel, Pool::new(threads), 1e-11);
+            check(
+                512,
+                SixStepVariant::FusedParallel,
+                Pool::new(threads),
+                1e-11,
+            );
         }
     }
 
@@ -487,16 +470,12 @@ mod tests {
             let n = n1 * n2;
             let x = signal(n);
             for variant in SixStepVariant::LADDER {
-                let plan =
-                    SixStepFft::with_split(n, n1, n2, variant, Pool::new(2));
+                let plan = SixStepFft::with_split(n, n1, n2, variant, Pool::new(2));
                 let mut got = x.clone();
                 let mut aux = vec![c64::ZERO; n];
                 plan.forward(&mut got, &mut aux);
                 let want = dft(&x);
-                assert!(
-                    rel_linf(&got, &want) < 1e-11,
-                    "{n1}x{n2} {variant:?}"
-                );
+                assert!(rel_linf(&got, &want) < 1e-11, "{n1}x{n2} {variant:?}");
             }
         }
     }

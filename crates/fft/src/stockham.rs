@@ -30,7 +30,10 @@ impl StockhamFft {
     /// Builds a plan for length `n` (a power of two ≥ 1).
     pub fn new(n: usize) -> Self {
         assert!(n.is_power_of_two(), "StockhamFft requires a power of two");
-        StockhamFft { n, tw: Twiddles::new(n.max(2)) }
+        StockhamFft {
+            n,
+            tw: Twiddles::new(n.max(2)),
+        }
     }
 
     /// Transform length.

@@ -126,7 +126,10 @@ pub struct Efficiencies {
 
 impl Default for Efficiencies {
     fn default() -> Self {
-        Efficiencies { fft: 0.12, conv: 0.40 }
+        Efficiencies {
+            fft: 0.12,
+            conv: 0.40,
+        }
     }
 }
 
@@ -233,7 +236,10 @@ pub struct SoiConstants {
 
 impl Default for SoiConstants {
     fn default() -> Self {
-        SoiConstants { mu: 8.0 / 7.0, b: 72.0 }
+        SoiConstants {
+            mu: 8.0 / 7.0,
+            b: 72.0,
+        }
     }
 }
 
@@ -306,7 +312,10 @@ impl ClusterModel {
 
     /// A Xeon Phi cluster (symmetric mode) with default constants.
     pub fn xeon_phi(nodes: u32) -> Self {
-        ClusterModel { machine: MachineSpec::xeon_phi_se10(), ..Self::xeon(nodes) }
+        ClusterModel {
+            machine: MachineSpec::xeon_phi_se10(),
+            ..Self::xeon(nodes)
+        }
     }
 
     /// Aggregate peak flops across the cluster.
@@ -398,7 +407,10 @@ impl ClusterModel {
     /// `soifft_core::SoiFft::with_segment_counts`.
     pub fn proportional_segments(peaks_gflops: &[f64], total: usize) -> Vec<usize> {
         assert!(!peaks_gflops.is_empty());
-        assert!(peaks_gflops.iter().all(|&p| p > 0.0), "peaks must be positive");
+        assert!(
+            peaks_gflops.iter().all(|&p| p > 0.0),
+            "peaks must be positive"
+        );
         let sum: f64 = peaks_gflops.iter().sum();
         let ideal: Vec<f64> = peaks_gflops
             .iter()
@@ -431,7 +443,10 @@ impl ClusterModel {
         let per_seg_mpi = base.mpi / segments as f64;
         let per_seg_fft = base.local_fft / segments as f64;
         let hidden = (per_seg_mpi.min(per_seg_fft)) * (segments - 1) as f64;
-        Breakdown { mpi: base.mpi - hidden, ..base }
+        Breakdown {
+            mpi: base.mpi - hidden,
+            ..base
+        }
     }
 
     /// Event-simulated schedule of the segmented pipeline (see
@@ -665,7 +680,10 @@ mod tests {
         let os = FatTreeSpec::oversubscription_for(20, 512, eta512);
         assert!(os > 1.0 && os < 3.0, "implied oversubscription {os}");
         // And the forward direction reproduces the efficiency.
-        let ft = FatTreeSpec { leaf_ports: 20, oversubscription: os };
+        let ft = FatTreeSpec {
+            leaf_ports: 20,
+            oversubscription: os,
+        };
         assert!((ft.efficiency(512) - eta512).abs() < 1e-12);
         // Structural model: full bandwidth inside one leaf, monotone decay
         // beyond, asymptote 1/oversubscription.
@@ -703,7 +721,12 @@ mod tests {
 
     #[test]
     fn breakdown_total_sums_components() {
-        let b = Breakdown { local_fft: 1.0, conv: 2.0, mpi: 3.0, pci: 0.5 };
+        let b = Breakdown {
+            local_fft: 1.0,
+            conv: 2.0,
+            mpi: 3.0,
+            pci: 0.5,
+        };
         assert_eq!(b.total(), 6.5);
     }
 

@@ -68,7 +68,10 @@ impl c64 {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        c64 { re: self.re, im: -self.im }
+        c64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `re² + im²`.
@@ -93,13 +96,19 @@ impl c64 {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        c64 { re: self.re / d, im: -self.im / d }
+        c64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Scales by a real factor.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        c64 { re: self.re * s, im: self.im * s }
+        c64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Fused multiply-accumulate `self + a*b` written so the optimizer can
@@ -117,13 +126,19 @@ impl c64 {
     /// butterfly exploits this).
     #[inline(always)]
     pub fn mul_i(self) -> Self {
-        c64 { re: -self.im, im: self.re }
+        c64 {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiplication by `-i`.
     #[inline(always)]
     pub fn mul_neg_i(self) -> Self {
-        c64 { re: self.im, im: -self.re }
+        c64 {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// True when either component is NaN.
@@ -143,7 +158,10 @@ impl Add for c64 {
     type Output = c64;
     #[inline(always)]
     fn add(self, rhs: c64) -> c64 {
-        c64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        c64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -151,7 +169,10 @@ impl Sub for c64 {
     type Output = c64;
     #[inline(always)]
     fn sub(self, rhs: c64) -> c64 {
-        c64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        c64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -179,7 +200,10 @@ impl Neg for c64 {
     type Output = c64;
     #[inline(always)]
     fn neg(self) -> c64 {
-        c64 { re: -self.re, im: -self.im }
+        c64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -296,7 +320,10 @@ mod tests {
         let b = c64::new(-3.0, 0.5);
         assert_eq!(a + b, c64::new(-2.0, 2.5));
         assert_eq!(a - b, c64::new(4.0, 1.5));
-        assert_eq!(a * b, c64::new(1.0 * -3.0 - 2.0 * 0.5, 1.0 * 0.5 + 2.0 * -3.0));
+        assert_eq!(
+            a * b,
+            c64::new(1.0 * -3.0 - 2.0 * 0.5, 1.0 * 0.5 + 2.0 * -3.0)
+        );
         assert!(close(a / b * b, a));
         assert!(close(a * a.inv(), c64::ONE));
         assert_eq!(-a, c64::new(-1.0, -2.0));

@@ -81,12 +81,12 @@ mod tests {
         let norm: f64 = v.iter().map(|x| x * x).sum();
         assert!((norm - 1.0).abs() < 1e-12);
         for i in 0..v.len() / 2 {
-            assert!(
-                (v[i] - v[v.len() - 1 - i]).abs() < 1e-9,
-                "asymmetry at {i}"
-            );
+            assert!((v[i] - v[v.len() - 1 - i]).abs() < 1e-9, "asymmetry at {i}");
         }
-        assert!(v.iter().all(|&x| x > -1e-12), "ground DPSS must be nonnegative");
+        assert!(
+            v.iter().all(|&x| x > -1e-12),
+            "ground DPSS must be nonnegative"
+        );
         // Peak in the middle.
         let mid = v.len() / 2;
         assert!(v[mid] >= *v.first().unwrap());

@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn factorize_reconstructs() {
         for n in 1..500usize {
-            let prod: usize = factorize(n)
-                .iter()
-                .map(|&(p, m)| p.pow(m))
-                .product();
+            let prod: usize = factorize(n).iter().map(|&(p, m)| p.pow(m)).product();
             assert_eq!(prod, n);
         }
     }
@@ -179,7 +176,7 @@ mod tests {
         assert_eq!(padded_stride(100, 4), 100);
         assert_eq!(padded_stride(511, 4), 511);
         assert_eq!(padded_stride(768, 4), 768); // multiple of 256, not 512
-        // Conflict-prone strides padded by one line.
+                                                // Conflict-prone strides padded by one line.
         assert_eq!(padded_stride(512, 4), 516);
         assert_eq!(padded_stride(1 << 15, 4), (1 << 15) + 4);
         assert_eq!(padded_stride(1024, 8), 1032);

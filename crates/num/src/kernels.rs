@@ -42,7 +42,10 @@ pub fn dot(t: &[c64], x: &[c64]) -> c64 {
 #[inline]
 pub fn dot_strided(t: &[c64], x: &[c64], stride: usize) -> c64 {
     assert!(stride >= 1);
-    assert!(x.len() > (t.len().max(1) - 1) * stride || t.is_empty(), "x too short");
+    assert!(
+        x.len() > (t.len().max(1) - 1) * stride || t.is_empty(),
+        "x too short"
+    );
     let mut acc = c64::ZERO;
     let mut idx = 0;
     for &tv in t {
@@ -82,7 +85,9 @@ mod tests {
     use super::*;
 
     fn v(n: usize, k: f64) -> Vec<c64> {
-        (0..n).map(|i| c64::new(i as f64 * k, k - i as f64)).collect()
+        (0..n)
+            .map(|i| c64::new(i as f64 * k, k - i as f64))
+            .collect()
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct SoaComplex {
 impl SoaComplex {
     /// Creates a zero-filled SoA vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        SoaComplex { re: vec![0.0; n], im: vec![0.0; n] }
+        SoaComplex {
+            re: vec![0.0; n],
+            im: vec![0.0; n],
+        }
     }
 
     /// Builds from separate component vectors.
@@ -170,7 +173,9 @@ mod tests {
     use super::*;
 
     fn ramp(n: usize) -> Vec<c64> {
-        (0..n).map(|i| c64::new(i as f64, -(i as f64) - 0.5)).collect()
+        (0..n)
+            .map(|i| c64::new(i as f64, -(i as f64) - 0.5))
+            .collect()
     }
 
     #[test]

@@ -147,9 +147,10 @@ pub fn bessel_i0(x: f64) -> f64 {
     let ax = x.abs();
     if ax < 3.75 {
         let t = (ax / 3.75) * (ax / 3.75);
-        1.0 + t * (3.515_622_9
-            + t * (3.089_942_4
-                + t * (1.206_749_2 + t * (0.265_973_2 + t * (0.036_076_8 + t * 0.004_581_3)))))
+        1.0 + t
+            * (3.515_622_9
+                + t * (3.089_942_4
+                    + t * (1.206_749_2 + t * (0.265_973_2 + t * (0.036_076_8 + t * 0.004_581_3)))))
     } else {
         let t = 3.75 / ax;
         (ax.exp() / ax.sqrt())
@@ -223,10 +224,7 @@ mod tests {
     #[test]
     fn erfc_complements_erf() {
         for &x in &[-3.0, -1.0, -0.3, 0.0, 0.3, 1.0, 2.5, 3.9] {
-            assert!(
-                (erf(x) + erfc(x) - 1.0).abs() < 1e-14,
-                "erf+erfc at {x}"
-            );
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-14, "erf+erfc at {x}");
         }
     }
 

@@ -88,7 +88,10 @@ impl CircularBuffer {
     /// Creates a buffer of capacity `cap` filled with zeros.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "capacity must be positive");
-        CircularBuffer { buf: vec![c64::ZERO; cap], head: 0 }
+        CircularBuffer {
+            buf: vec![c64::ZERO; cap],
+            head: 0,
+        }
     }
 
     /// Capacity in elements.

@@ -119,7 +119,16 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_various_shapes() {
-        for &(r, c) in &[(1, 1), (1, 17), (17, 1), (8, 8), (16, 32), (13, 7), (40, 24), (9, 64)] {
+        for &(r, c) in &[
+            (1, 1),
+            (1, 17),
+            (17, 1),
+            (8, 8),
+            (16, 32),
+            (13, 7),
+            (40, 24),
+            (9, 64),
+        ] {
             let src = mat(r, c);
             let mut a = vec![c64::ZERO; r * c];
             let mut b = vec![c64::ZERO; r * c];
@@ -169,7 +178,9 @@ mod tests {
         let cols = 5;
         let src_stride = 11;
         let dst_stride = 9;
-        let src: Vec<c64> = (0..src_stride * rows).map(|i| c64::real(i as f64)).collect();
+        let src: Vec<c64> = (0..src_stride * rows)
+            .map(|i| c64::real(i as f64))
+            .collect();
         let mut dst = vec![c64::ZERO; dst_stride * cols];
         transpose_tile(&src, src_stride, &mut dst, dst_stride, rows, cols);
         for r in 0..rows {

@@ -74,7 +74,11 @@ fn shifted_solve(diag: &[f64], off: &[f64], lambda: f64, b: &mut [f64]) {
     let n = diag.len();
     if n == 1 {
         let d = diag[0] - lambda;
-        b[0] /= if d.abs() < 1e-300 { 1e-300_f64.copysign(d) } else { d };
+        b[0] /= if d.abs() < 1e-300 {
+            1e-300_f64.copysign(d)
+        } else {
+            d
+        };
         return;
     }
     let mut c = vec![0.0f64; n]; // super-diagonal multipliers

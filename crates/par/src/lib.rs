@@ -243,10 +243,7 @@ impl Pool {
                 });
             }
         });
-        partials
-            .into_iter()
-            .flatten()
-            .fold(identity, reduce)
+        partials.into_iter().flatten().fold(identity, reduce)
     }
 }
 
@@ -289,7 +286,11 @@ impl WorkQueue {
                 }
             })
             .expect("failed to spawn worker thread");
-        WorkQueue { tx: Some(tx), handle: Some(handle), pending }
+        WorkQueue {
+            tx: Some(tx),
+            handle: Some(handle),
+            pending,
+        }
     }
 
     /// Enqueues a job; returns immediately.

@@ -15,11 +15,20 @@
 //! survivors must not hang: the failure detector turns their blocked
 //! receives into typed `PeerFailed` errors carrying the partial
 //! communication ledger.
+//!
+//! Scenario 3 runs the same crash under supervision: the supervisor
+//! respawns the dead rank, the replacement resumes from its phase
+//! checkpoints, and the run completes and verifies.
+//!
+//! Scenario 4 exhausts the restart budget (it is zero): the survivors
+//! recompute the dead rank's segments from checkpointed exchange inputs
+//! and the run still completes, degraded but correct.
 
 use std::time::Duration;
 
 use soifft::cluster::{
-    run_cluster_with_faults, CommError, CrashSite, ExchangePolicy, FaultPlan, RankOutcome,
+    run_cluster_with_faults, ClusterConfig, CommError, CrashSite, ExchangePolicy, FaultPlan,
+    RankOutcome, RecoveryOutcome, RestartPolicy,
 };
 use soifft::fft::Plan;
 use soifft::num::c64;
@@ -55,7 +64,10 @@ fn main() {
         .corrupt(0.15)
         .duplicate(0.15)
         .delay(0.2, Duration::from_micros(100));
-    let policy = ExchangePolicy { deadline: Duration::from_secs(2), max_rounds: 3 };
+    let policy = ExchangePolicy {
+        deadline: Duration::from_secs(2),
+        max_rounds: 3,
+    };
     println!("scenario 1: SOI N = {n}, P = {procs}, fault storm (seed 42)");
     println!("  plan: drop 25% / corrupt 15% / duplicate 15% / delay 20%\n");
 
@@ -63,7 +75,11 @@ fn main() {
         let y = fft
             .try_forward(comm, &inputs[comm.rank()], &policy)
             .expect("transient faults must be absorbed");
-        (y, comm.fault_events().expect("plan installed"), comm.stats().retransmits())
+        (
+            y,
+            comm.fault_events().expect("plan installed"),
+            comm.stats().retransmits(),
+        )
     });
 
     let mut parts = Vec::new();
@@ -83,13 +99,15 @@ fn main() {
 
     // --- scenario 2: rank 2 crashes mid-exchange, survivors unblock -------
     let crash_plan = FaultPlan::new(7).crash(2, CrashSite::AllToAll);
-    let short = ExchangePolicy { deadline: Duration::from_millis(300), max_rounds: 2 };
+    let short = ExchangePolicy {
+        deadline: Duration::from_millis(300),
+        max_rounds: 2,
+    };
     println!("\nscenario 2: rank 2 crashes in the all-to-all");
 
-    let outcomes =
-        run_cluster_with_faults(procs, crash_plan, |comm| {
-            fft.try_forward(comm, &inputs[comm.rank()], &short)
-        });
+    let outcomes = run_cluster_with_faults(procs, crash_plan, |comm| {
+        fft.try_forward(comm, &inputs[comm.rank()], &short)
+    });
     for (rank, o) in outcomes.iter().enumerate() {
         match o {
             RankOutcome::Crashed => println!("  rank {rank}: crashed (injected)"),
@@ -110,5 +128,58 @@ fn main() {
         }
     }
     assert!(matches!(outcomes[2], RankOutcome::Crashed));
-    println!("\nok: faults absorbed when transient, typed and non-blocking when fatal.");
+
+    // --- scenario 3: same crash, but supervised — respawn and complete ----
+    println!("\nscenario 3: rank 2 crashes in the all-to-all, supervisor respawns it");
+    let crash_plan = FaultPlan::new(7).crash(2, CrashSite::AllToAll);
+    let run = fft
+        .forward_recovered(
+            ClusterConfig::with_faults(crash_plan),
+            RestartPolicy::default(),
+            &policy,
+            &inputs,
+        )
+        .expect("supervised run completes");
+    let RecoveryOutcome::Recovered {
+        restarts,
+        recomputed_segments,
+    } = run.recovery
+    else {
+        panic!("expected a recovery, got {:?}", run.recovery);
+    };
+    println!("  recovery: {restarts} restart(s), {recomputed_segments} segment(s) recomputed");
+    let got = gather_output(run.outputs);
+    let err = rel_l2(&got, &reference);
+    println!("  spectrum verified after respawn: rel_l2 = {err:.3e}");
+    assert!(err < 1e-9);
+
+    // --- scenario 4: restart budget exhausted, degraded-mode completion ---
+    println!("\nscenario 4: rank 1 crashes in the segment FFT, restart budget is zero");
+    let crash_plan = FaultPlan::new(9).crash(1, CrashSite::Phase("segment-fft"));
+    let run = fft
+        .forward_recovered(
+            ClusterConfig::with_faults(crash_plan),
+            RestartPolicy::disabled(),
+            &policy,
+            &inputs,
+        )
+        .expect("degraded run completes");
+    let RecoveryOutcome::Recovered {
+        restarts,
+        recomputed_segments,
+    } = run.recovery
+    else {
+        panic!("expected a degraded recovery, got {:?}", run.recovery);
+    };
+    println!(
+        "  recovery: {restarts} restart(s), {recomputed_segments} segment(s) recomputed by survivors"
+    );
+    let got = gather_output(run.outputs);
+    let err = rel_l2(&got, &reference);
+    println!("  spectrum verified in degraded mode: rel_l2 = {err:.3e}");
+    assert!(err < 1e-9);
+
+    println!(
+        "\nok: faults absorbed when transient, typed when unsupervised, recovered when supervised."
+    );
 }

@@ -22,9 +22,7 @@ fn main() {
     let xeon = ClusterModel::xeon(nodes);
     let phi = ClusterModel::xeon_phi(nodes);
 
-    println!(
-        "capacity plan: {nodes} nodes, {per_node:.0} points/node (N = {n:.3e})\n"
-    );
+    println!("capacity plan: {nodes} nodes, {per_node:.0} points/node (N = {n:.3e})\n");
     println!("{:<34}{:>10}{:>10}", "configuration", "time (s)", "TFLOPS");
     let report = |label: &str, t: f64| {
         println!("{label:<34}{t:>10.3}{:>10.2}", ClusterModel::tflops(n, t));

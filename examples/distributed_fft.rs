@@ -25,11 +25,16 @@ fn main() {
     let x: Vec<c64> = (0..n)
         .map(|i| {
             let t = i as f64;
-            c64::new((0.002 * t).sin() + (0.13 * t).cos() * 0.3, (0.0007 * t).cos())
+            c64::new(
+                (0.002 * t).sin() + (0.13 * t).cos() * 0.3,
+                (0.0007 * t).cos(),
+            )
         })
         .collect();
     let per = n / procs;
-    let inputs: Vec<Vec<c64>> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<Vec<c64>> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
 
     let mut reference = x.clone();
     Plan::new(n).forward(&mut reference);
@@ -47,7 +52,10 @@ fn main() {
         let y = soi.forward(comm, &inputs[comm.rank()]);
         (y, comm.stats().clone())
     });
-    let soi_out: Vec<c64> = soi_runs.iter().flat_map(|(y, _)| y.iter().copied()).collect();
+    let soi_out: Vec<c64> = soi_runs
+        .iter()
+        .flat_map(|(y, _)| y.iter().copied())
+        .collect();
     let soi_err = rel_l2(&soi_out, &reference);
     let soi_bytes = soi_runs[0].1.total_bytes_sent();
 
@@ -57,14 +65,25 @@ fn main() {
         let y = ct.forward(comm, &inputs[comm.rank()]);
         (y, comm.stats().clone())
     });
-    let ct_out: Vec<c64> = ct_runs.iter().flat_map(|(y, _)| y.iter().copied()).collect();
+    let ct_out: Vec<c64> = ct_runs
+        .iter()
+        .flat_map(|(y, _)| y.iter().copied())
+        .collect();
     let ct_err = rel_l2(&ct_out, &reference);
     let ct_bytes = ct_runs[0].1.total_bytes_sent();
 
     println!("distributed 1D FFT, N = {n}, P = {procs} simulated ranks\n");
     println!("algorithm      all-to-alls  bytes sent/rank  rel_l2 error");
-    println!("SOI            {:>11}  {:>15}  {soi_err:.3e}", soi_runs[0].1.count_of("all-to-all"), soi_bytes);
-    println!("Cooley-Tukey   {:>11}  {:>15}  {ct_err:.3e}", ct_runs[0].1.count_of("all-to-all"), ct_bytes);
+    println!(
+        "SOI            {:>11}  {:>15}  {soi_err:.3e}",
+        soi_runs[0].1.count_of("all-to-all"),
+        soi_bytes
+    );
+    println!(
+        "Cooley-Tukey   {:>11}  {:>15}  {ct_err:.3e}",
+        ct_runs[0].1.count_of("all-to-all"),
+        ct_bytes
+    );
     println!(
         "\ncommunication ratio CT/SOI = {:.2}x  (SOI sends µN once; CT sends N three times)",
         ct_bytes as f64 / soi_bytes as f64

@@ -33,7 +33,12 @@ fn convolve_direct(x: &[f64], h: &[f64]) -> Vec<f64> {
     let n = x.len();
     let k = h.len();
     (0..n - k + 1)
-        .map(|i| h.iter().enumerate().map(|(j, &hj)| hj * x[i + k - 1 - j]).sum())
+        .map(|i| {
+            h.iter()
+                .enumerate()
+                .map(|(j, &hj)| hj * x[i + k - 1 - j])
+                .sum()
+        })
         .collect()
 }
 
@@ -100,7 +105,10 @@ fn main() {
 
     println!("overlap-save FIR filtering, N = {n}, taps = {taps}");
     println!("  fast (FFT)    : {t_fast:.4} s");
-    println!("  direct        : {t_direct:.4} s  ({:.1}x slower)", t_direct / t_fast);
+    println!(
+        "  direct        : {t_direct:.4} s  ({:.1}x slower)",
+        t_direct / t_fast
+    );
     println!("  max |fast - direct| = {max_err:.3e}");
     println!("  RMS in {rms_in:.3} -> out {rms_out:.3} (high tone removed)");
 

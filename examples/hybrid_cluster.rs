@@ -66,7 +66,9 @@ fn main() {
 
     // Balanced (heterogeneous) run: plan once, clone per rank with that
     // rank's virtual-time rates.
-    let planned = SoiFft::new(params).unwrap().with_segment_counts(counts.clone());
+    let planned = SoiFft::new(params)
+        .unwrap()
+        .with_segment_counts(counts.clone());
     let bal = Cluster::run(4, |comm| {
         let f = planned.clone().with_sim(sims[comm.rank()]);
         let y = f.forward(comm, &inputs[comm.rank()]);
@@ -95,10 +97,7 @@ fn main() {
     let mut worst_bal: f64 = 0.0;
     for r in 0..4 {
         let machine = if r < 2 { "Xeon sock" } else { "Xeon Phi " };
-        println!(
-            "   {r}  {machine}  {:>10.2e}   {:>10.2e}",
-            uni[r], bal[r].1
-        );
+        println!("   {r}  {machine}  {:>10.2e}   {:>10.2e}", uni[r], bal[r].1);
         worst_uni = worst_uni.max(uni[r]);
         worst_bal = worst_bal.max(bal[r].1);
     }

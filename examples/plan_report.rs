@@ -12,7 +12,10 @@ use soifft::soi::{PlanReport, SoiParams};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(7 * (1 << 20));
+    let n: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7 * (1 << 20));
     let procs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
 
     // First try the paper's defaults outright.

@@ -45,10 +45,16 @@ fn main() {
 
     println!("SOI FFT quickstart");
     println!("  N            = {n}");
-    println!("  segments (L) = {segments}  (each recovers {} bins)", n / segments);
+    println!(
+        "  segments (L) = {segments}  (each recovers {} bins)",
+        n / segments
+    );
     println!("  mu           = 5/4, B = 72");
     println!("  rel_l2 error vs conventional FFT = {err:.3e}");
-    println!("  strongest bins: {} and {} (expected 1234 and 40000)", peaks[0].0, peaks[1].0);
+    println!(
+        "  strongest bins: {} and {} (expected 1234 and 40000)",
+        peaks[0].0, peaks[1].0
+    );
 
     assert!(err < 1e-6, "SOI accuracy regression");
     let top2: Vec<usize> = peaks[..2].iter().map(|p| p.0).collect();

@@ -52,7 +52,9 @@ fn main() {
 
     // Distribute time slices and transform.
     let per = params.per_rank();
-    let inputs: Vec<Vec<c64>> = (0..procs).map(|r| x[r * per..(r + 1) * per].to_vec()).collect();
+    let inputs: Vec<Vec<c64>> = (0..procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
     let fft = SoiFft::new(params).expect("plannable");
 
     // Each rank detects peaks in its own frequency segments — no gather of
@@ -81,7 +83,10 @@ fn main() {
         println!(
             "rank {rank}: owns bins [{lo}, {}), detections: {:?}",
             lo + per,
-            found.iter().map(|&(b, a)| format!("bin {b} (amp {a:.2})")).collect::<Vec<_>>()
+            found
+                .iter()
+                .map(|&(b, a)| format!("bin {b} (amp {a:.2})"))
+                .collect::<Vec<_>>()
         );
         all.extend_from_slice(found);
     }
@@ -98,7 +103,10 @@ fn main() {
             hit.1
         );
     }
-    println!("\nall {} emitters detected with correct amplitudes — ok.", EMITTERS.len());
+    println!(
+        "\nall {} emitters detected with correct amplitudes — ok.",
+        EMITTERS.len()
+    );
 
     // --- Segment-of-interest follow-up -------------------------------------
     // Revisit just the band around the strongest emitter: the namesake

@@ -14,7 +14,8 @@
 use std::time::Duration;
 
 use soifft::cluster::{
-    run_cluster_with_faults, CommError, CrashSite, ExchangePolicy, FaultPlan, RankOutcome,
+    run_cluster_with_faults, ClusterConfig, CommError, CrashSite, ExchangePolicy, FaultPlan,
+    RankOutcome, RecoveryOutcome, RestartPolicy, Supervisor,
 };
 use soifft::ct::DistributedCtFft;
 use soifft::fft::Plan;
@@ -54,13 +55,19 @@ fn reference_fft(x: &[c64]) -> Vec<c64> {
 }
 
 fn policy() -> ExchangePolicy {
-    ExchangePolicy { deadline: Duration::from_secs(2), max_rounds: 3 }
+    ExchangePolicy {
+        deadline: Duration::from_secs(2),
+        max_rounds: 3,
+    }
 }
 
 /// A short policy for scenarios that are *expected* to fail: the typed
 /// error must arrive within a few deadline multiples, not minutes.
 fn short_policy() -> ExchangePolicy {
-    ExchangePolicy { deadline: Duration::from_millis(300), max_rounds: 2 }
+    ExchangePolicy {
+        deadline: Duration::from_millis(300),
+        max_rounds: 2,
+    }
 }
 
 /// Runs the SOI pipeline under `plan` and returns per-rank outcomes.
@@ -204,12 +211,197 @@ fn soi_crash_at_barrier_unblocks_everyone() {
     assert!(matches!(outcomes[0], RankOutcome::Crashed));
     for (rank, o) in outcomes.iter().enumerate().skip(1) {
         match o {
-            RankOutcome::Ok(Err(CommError::PeerFailed { rank: r })) | RankOutcome::Err(CommError::PeerFailed { rank: r }) => {
+            RankOutcome::Ok(Err(CommError::PeerFailed { rank: r }))
+            | RankOutcome::Err(CommError::PeerFailed { rank: r }) => {
                 assert_eq!(*r, 0, "rank {rank}")
             }
             other => panic!("rank {rank}: expected PeerFailed, got {other:?}"),
         }
     }
+}
+
+#[test]
+fn soi_rank_crash_in_convolution_fails_typed() {
+    assert_soi_fails_typed_under(
+        FaultPlan::new(111).crash(3, CrashSite::Phase("convolution")),
+        Some(3),
+    );
+}
+
+#[test]
+fn soi_rank_crash_in_segment_fft_fails_typed() {
+    assert_soi_fails_typed_under(
+        FaultPlan::new(112).crash(1, CrashSite::Phase("segment-fft")),
+        Some(1),
+    );
+}
+
+#[test]
+fn soi_failure_without_recovery_is_deterministic() {
+    // With recovery disabled the typed-failure path is the PR 1 contract,
+    // and it must be reproducible: the same plan yields the same per-rank
+    // outcome classification on every run.
+    let run = || {
+        run_soi(
+            FaultPlan::new(113).crash(2, CrashSite::AllToAll),
+            short_policy(),
+        )
+        .0
+    };
+    let classify = |outcomes: Vec<RankOutcome<Result<Vec<c64>, SoiRunError>>>| -> Vec<String> {
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                RankOutcome::Crashed => "crashed".to_string(),
+                RankOutcome::Err(e) => format!("err:{e}"),
+                RankOutcome::Ok(Err(e)) => format!("run-err:{}:{}", e.phase, e.error),
+                RankOutcome::Ok(Ok(_)) => "ok".to_string(),
+                RankOutcome::Panicked(msg) => format!("panic:{msg}"),
+            })
+            .collect()
+    };
+    assert_eq!(classify(run()), classify(run()));
+}
+
+// ---------------------------------------------------------------------
+// SOI × supervised recovery: crashed runs COMPLETE and verify.
+// ---------------------------------------------------------------------
+
+/// Runs the supervised pipeline and asserts the gathered spectrum
+/// verifies; returns the reported recovery outcome.
+fn run_soi_recovered(plan: FaultPlan, restart: RestartPolicy) -> RecoveryOutcome {
+    let p = soi_params();
+    let x = signal(p.n);
+    let want = reference_fft(&x);
+    let inputs = scatter_input(&x, p.procs);
+    let fft = SoiFft::new(p).expect("valid params");
+    let run = fft
+        .forward_recovered(
+            ClusterConfig::with_faults(plan),
+            restart,
+            &policy(),
+            &inputs,
+        )
+        .expect("supervised run must complete");
+    let got = gather_output(run.outputs);
+    let err = rel_l2(&got, &want);
+    assert!(
+        err < 1e-9,
+        "recovered spectrum must verify: rel err = {err:.3e}"
+    );
+    for (rank, stats) in run.stats.iter().enumerate() {
+        assert_eq!(stats.recovery(), run.recovery, "rank {rank} ledger");
+    }
+    run.recovery
+}
+
+#[test]
+fn soi_crash_recovers_with_respawn() {
+    // One incarnation of rank 2 dies at the all-to-all; the supervisor
+    // respawns, epoch 1 resumes from the committed checkpoints, and the
+    // run completes with a verified spectrum.
+    let recovery = run_soi_recovered(
+        FaultPlan::new(121).crash(2, CrashSite::AllToAll),
+        RestartPolicy::default(),
+    );
+    assert_eq!(
+        recovery,
+        RecoveryOutcome::Recovered {
+            restarts: 1,
+            recomputed_segments: 0
+        }
+    );
+}
+
+#[test]
+fn soi_crash_mid_front_end_recovers_with_respawn() {
+    let recovery = run_soi_recovered(
+        FaultPlan::new(122).crash(1, CrashSite::Phase("segment-fft")),
+        RestartPolicy::default(),
+    );
+    assert_eq!(
+        recovery,
+        RecoveryOutcome::Recovered {
+            restarts: 1,
+            recomputed_segments: 0
+        }
+    );
+}
+
+#[test]
+fn soi_repeated_crash_recovers_within_budget() {
+    // Two consecutive incarnations of rank 1 die; the default budget of
+    // two restarts is exactly enough.
+    let recovery = run_soi_recovered(
+        FaultPlan::new(123).crash_times(1, CrashSite::AllToAll, 2),
+        RestartPolicy::default(),
+    );
+    assert_eq!(
+        recovery,
+        RecoveryOutcome::Recovered {
+            restarts: 2,
+            recomputed_segments: 0
+        }
+    );
+}
+
+#[test]
+fn soi_restart_budget_zero_degrades_and_completes() {
+    // Recovery with no respawn budget at all: rank 2 dies mid-front-end
+    // and stays dead. The three survivors re-derive the exchange frontier
+    // (rank 2's from its convolution snapshot) and recompute every
+    // missing output segment — all four ranks' outputs were lost with the
+    // exchange, so all 4 × 2 segments are recomputed.
+    let recovery = run_soi_recovered(
+        FaultPlan::new(124).crash(2, CrashSite::Phase("segment-fft")),
+        RestartPolicy::disabled(),
+    );
+    assert_eq!(
+        recovery,
+        RecoveryOutcome::Recovered {
+            restarts: 0,
+            recomputed_segments: 8
+        }
+    );
+}
+
+#[test]
+fn soi_exhausted_budget_falls_back_to_degraded_mode() {
+    // Rank 0 dies in every incarnation; after the budget is spent the
+    // supervisor stops respawning and the degraded path finishes the job.
+    let recovery = run_soi_recovered(
+        FaultPlan::new(125).crash_times(0, CrashSite::AllToAll, 10),
+        RestartPolicy {
+            max_restarts: 1,
+            ..RestartPolicy::default()
+        },
+    );
+    match recovery {
+        RecoveryOutcome::Recovered {
+            restarts: 1,
+            recomputed_segments,
+        } => {
+            assert_eq!(recomputed_segments, 8, "every output segment was lost")
+        }
+        other => panic!("expected degraded completion, got {other:?}"),
+    }
+}
+
+#[test]
+fn soi_recovered_clean_run_reports_no_recovery() {
+    let recovery = run_soi_recovered(FaultPlan::new(126), RestartPolicy::default());
+    assert_eq!(recovery, RecoveryOutcome::None);
+}
+
+#[test]
+fn soi_recovered_absorbs_transient_storm_without_restarts() {
+    // Transient faults are the link layer's job, not the supervisor's:
+    // the run completes in epoch 0 with no recovery machinery exercised.
+    let recovery = run_soi_recovered(
+        FaultPlan::new(127).drop(0.2).corrupt(0.1).duplicate(0.1),
+        RestartPolicy::default(),
+    );
+    assert_eq!(recovery, RecoveryOutcome::None);
 }
 
 // ---------------------------------------------------------------------
@@ -264,7 +456,10 @@ fn ct_survives_bit_corruption() {
 
 #[test]
 fn ct_rank_crash_fails_typed_and_unblocks_survivors() {
-    let (outcomes, _) = run_ct(FaultPlan::new(205).crash(1, CrashSite::AllToAll), short_policy());
+    let (outcomes, _) = run_ct(
+        FaultPlan::new(205).crash(1, CrashSite::AllToAll),
+        short_policy(),
+    );
     for (rank, o) in outcomes.into_iter().enumerate() {
         match o {
             RankOutcome::Crashed => assert_eq!(rank, 1),
@@ -274,6 +469,78 @@ fn ct_rank_crash_fails_typed_and_unblocks_survivors() {
             RankOutcome::Panicked(msg) => panic!("rank {rank}: unhandled panic: {msg}"),
         }
     }
+}
+
+#[test]
+fn ct_crash_recovers_with_respawn() {
+    // The baseline's recoverable variant under the supervisor directly:
+    // one incarnation of rank 1 dies at the first transpose, epoch 1
+    // resumes from the committed ct-* checkpoints and verifies.
+    let n = 1 << 12;
+    let x = signal(n);
+    let want = reference_fft(&x);
+    let inputs = scatter_input(&x, PROCS);
+    let fft = DistributedCtFft::new(n, PROCS).expect("valid split");
+    let plan = FaultPlan::new(221).crash(1, CrashSite::AllToAll);
+    let supervisor = Supervisor::new(ClusterConfig::with_faults(plan), RestartPolicy::default());
+    let run = supervisor.run(PROCS, |comm, ctx| {
+        fft.try_forward_recoverable(comm, &inputs[comm.rank()], &policy(), ctx)
+    });
+    assert_eq!(run.restarts, 1, "one respawn must suffice");
+    let mut parts = Vec::new();
+    for (rank, o) in run.outcomes.into_iter().enumerate() {
+        match o {
+            RankOutcome::Ok(Ok(y)) => parts.push(y),
+            other => panic!("rank {rank}: expected success after respawn, got {other:?}"),
+        }
+    }
+    let got = gather_output(parts);
+    let err = rel_l2(&got, &want);
+    assert!(
+        err < 1e-9,
+        "CT recovered spectrum must verify: rel err = {err:.3e}"
+    );
+}
+
+#[test]
+fn ct_repeated_crash_recovers_and_skips_committed_transposes() {
+    // Rank 3 dies twice at its second local-FFT stage; by then the first
+    // two transposes have committed, so each respawned epoch resumes past
+    // them (the committed list freezes per epoch) and the third attempt
+    // completes and verifies.
+    let n = 1 << 12;
+    let x = signal(n);
+    let want = reference_fft(&x);
+    let inputs = scatter_input(&x, PROCS);
+    let fft = DistributedCtFft::new(n, PROCS).expect("valid split");
+    let plan = FaultPlan::new(222).crash_times(3, CrashSite::Phase("ct-fft-2"), 2);
+    let supervisor = Supervisor::new(ClusterConfig::with_faults(plan), RestartPolicy::default());
+    let run = supervisor.run(PROCS, |comm, ctx| {
+        let y = fft.try_forward_recoverable(comm, &inputs[comm.rank()], &policy(), ctx);
+        (y, comm.stats().count_of("all-to-all"))
+    });
+    assert_eq!(run.restarts, 2);
+    let mut parts = Vec::new();
+    for (rank, o) in run.outcomes.into_iter().enumerate() {
+        match o {
+            RankOutcome::Ok((Ok(y), a2a)) => {
+                // The final epoch resumed at the committed second
+                // transpose: only the last exchange re-ran.
+                assert_eq!(
+                    a2a, 1,
+                    "rank {rank}: resumed epochs must skip committed exchanges"
+                );
+                parts.push(y);
+            }
+            other => panic!("rank {rank}: expected success after respawns, got {other:?}"),
+        }
+    }
+    let got = gather_output(parts);
+    let err = rel_l2(&got, &want);
+    assert!(
+        err < 1e-9,
+        "CT recovered spectrum must verify: rel err = {err:.3e}"
+    );
 }
 
 // ---------------------------------------------------------------------

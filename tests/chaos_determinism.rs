@@ -30,14 +30,22 @@ fn soi_params() -> SoiParams {
 }
 
 /// One chaos run: per-rank (spectrum bits, injector events, retransmits).
-fn chaos_run(seed: u64, drop_p: f64, corrupt_p: f64, dup_p: f64) -> Vec<(Vec<u64>, FaultEvents, u64)> {
+fn chaos_run(
+    seed: u64,
+    drop_p: f64,
+    corrupt_p: f64,
+    dup_p: f64,
+) -> Vec<(Vec<u64>, FaultEvents, u64)> {
     let p = soi_params();
     let x: Vec<c64> = (0..p.n)
         .map(|i| c64::new((0.11 * i as f64).cos(), (0.07 * i as f64).sin()))
         .collect();
     let inputs = scatter_input(&x, p.procs);
     let fft = SoiFft::new(p).expect("valid params");
-    let plan = FaultPlan::new(seed).drop(drop_p).corrupt(corrupt_p).duplicate(dup_p);
+    let plan = FaultPlan::new(seed)
+        .drop(drop_p)
+        .corrupt(corrupt_p)
+        .duplicate(dup_p);
     let outcomes = run_cluster_with_faults(p.procs, plan, |comm| {
         let policy = soifft::cluster::ExchangePolicy::default();
         let y = fft

@@ -99,7 +99,11 @@ fn accuracy_improves_with_window_width() {
             mu: Rational::new(2, 1),
             conv_width: b,
         };
-        errors.push(run_soi(params, WindowKind::GaussianSinc, ExchangePlan::Monolithic));
+        errors.push(run_soi(
+            params,
+            WindowKind::GaussianSinc,
+            ExchangePlan::Monolithic,
+        ));
     }
     for w in errors.windows(2) {
         assert!(w[1] < w[0] * 0.3, "errors not dropping: {errors:?}");
@@ -120,7 +124,11 @@ fn accuracy_improves_with_oversampling() {
             conv_width: 36,
         };
         params.validate().expect("valid");
-        errors.push(run_soi(params, WindowKind::GaussianSinc, ExchangePlan::Monolithic));
+        errors.push(run_soi(
+            params,
+            WindowKind::GaussianSinc,
+            ExchangePlan::Monolithic,
+        ));
     }
     for w in errors.windows(2) {
         assert!(w[1] < w[0], "errors not dropping with mu: {errors:?}");
@@ -195,9 +203,14 @@ fn local_and_distributed_soi_are_identical() {
     let dist = gather_output(Cluster::run(params.procs, |comm| {
         dist_fft.forward(comm, &inputs[comm.rank()])
     }));
-    let local = SoiFftLocal::new(params.n, params.total_segments(), params.mu, params.conv_width)
-        .unwrap()
-        .forward(&x);
+    let local = SoiFftLocal::new(
+        params.n,
+        params.total_segments(),
+        params.mu,
+        params.conv_width,
+    )
+    .unwrap()
+    .forward(&x);
     assert!(rel_l2(&dist, &local) < 1e-11);
 }
 

@@ -5,8 +5,8 @@
 use soifft::cluster::Cluster;
 use soifft::ct::DistributedCtFft;
 use soifft::fft::Plan;
-use soifft::num::error::rel_l2;
 use soifft::num::c64;
+use soifft::num::error::rel_l2;
 use soifft::soi::pipeline::{gather_output, scatter_input};
 use soifft::soi::{Rational, SoiFft, SoiParams, WindowKind};
 

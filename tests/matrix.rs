@@ -4,8 +4,8 @@
 
 use soifft::cluster::Cluster;
 use soifft::fft::Plan;
-use soifft::num::error::rel_l2;
 use soifft::num::c64;
+use soifft::num::error::rel_l2;
 use soifft::soi::pipeline::{gather_output, scatter_input, ExchangePlan};
 use soifft::soi::{ConvStrategy, Rational, SoiFft, SoiParams, WindowKind};
 

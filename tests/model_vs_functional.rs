@@ -10,7 +10,9 @@ use soifft::soi::pipeline::scatter_input;
 use soifft::soi::{Rational, SoiFft, SoiParams};
 
 fn signal(n: usize) -> Vec<c64> {
-    (0..n).map(|i| c64::new((0.3 * i as f64).sin(), 0.1)).collect()
+    (0..n)
+        .map(|i| c64::new((0.3 * i as f64).sin(), 0.1))
+        .collect()
 }
 
 /// The model's CT communication term is `3·16·N` bytes total; the
@@ -48,7 +50,10 @@ fn soi_total_alltoall_bytes_match_model() {
     let fft = SoiFft::new(params).unwrap();
     let stats = Cluster::run(procs, |comm| {
         fft.forward(comm, &inputs[comm.rank()]);
-        (comm.stats().bytes_in("all-to-all"), comm.stats().bytes_in("ghost"))
+        (
+            comm.stats().bytes_in("all-to-all"),
+            comm.stats().bytes_in("ghost"),
+        )
     });
     let a2a: u64 = stats.iter().map(|s| s.0).sum();
     let ghost: u64 = stats.iter().map(|s| s.1).sum();

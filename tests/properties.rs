@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use soifft::fft::{dft, Plan, SixStepFft, SixStepVariant};
+use soifft::num::c64;
 use soifft::num::error::{rel_l2, rel_linf};
 use soifft::num::transpose::{transpose, transpose_square_in_place};
-use soifft::num::c64;
 use soifft::soi::{Rational, SoiFftLocal};
 
 fn complex_vec(n: usize) -> impl Strategy<Value = Vec<c64>> {

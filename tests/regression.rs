@@ -47,10 +47,34 @@ fn accuracy_bounds_pinned() {
         }
     };
     let cases: [(WindowKind, Rational, usize, usize, f64); 4] = [
-        (WindowKind::GaussianSinc, Rational::new(8, 7), 72, 7 * 128, 1.5e-6),
-        (WindowKind::ProlateSinc, Rational::new(8, 7), 72, 7 * 128, 3e-11),
-        (WindowKind::GaussianSinc, Rational::new(5, 4), 72, 512, 1.4e-10),
-        (WindowKind::KaiserSinc, Rational::new(8, 7), 72, 7 * 128, 2.7e-6),
+        (
+            WindowKind::GaussianSinc,
+            Rational::new(8, 7),
+            72,
+            7 * 128,
+            1.5e-6,
+        ),
+        (
+            WindowKind::ProlateSinc,
+            Rational::new(8, 7),
+            72,
+            7 * 128,
+            3e-11,
+        ),
+        (
+            WindowKind::GaussianSinc,
+            Rational::new(5, 4),
+            72,
+            512,
+            1.4e-10,
+        ),
+        (
+            WindowKind::KaiserSinc,
+            Rational::new(8, 7),
+            72,
+            7 * 128,
+            2.7e-6,
+        ),
     ];
     for (kind, mu, b, m, expect) in cases {
         let p = mk(mu, b, m);

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use soifft::cluster::Cluster;
 use soifft::fft::Plan;
-use soifft::num::error::{rel_l2, rel_linf};
 use soifft::num::c64;
+use soifft::num::error::{rel_l2, rel_linf};
 use soifft::par::Pool;
 use soifft::soi::conv::{convolve, convolve_reference};
 use soifft::soi::pipeline::{gather_output, scatter_input};
@@ -27,9 +27,9 @@ fn seeded(n: usize, seed: u64) -> Vec<c64> {
 fn valid_params() -> impl Strategy<Value = SoiParams> {
     (
         prop::sample::select(vec![(2usize, 1usize), (3, 2), (5, 4), (8, 7)]),
-        prop::sample::select(vec![1usize, 2, 4]),      // procs
-        prop::sample::select(vec![1usize, 2, 4]),      // segments/proc
-        prop::sample::select(vec![10usize, 16, 24]),   // B
+        prop::sample::select(vec![1usize, 2, 4]),    // procs
+        prop::sample::select(vec![1usize, 2, 4]),    // segments/proc
+        prop::sample::select(vec![10usize, 16, 24]), // B
         prop::sample::select(vec![64usize, 128, 256]), // M base (×d_µ)
     )
         .prop_map(|((n_mu, d_mu), procs, s, b, m_base)| {
