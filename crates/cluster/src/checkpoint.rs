@@ -77,6 +77,10 @@ struct Inner {
     committed: Vec<&'static str>,
     saves: u64,
     pruned: u64,
+    /// When set, a phase is re-verified against its checksums before it
+    /// may commit (see [`CheckpointStore::enable_scrub_on_commit`]).
+    scrub_on_commit: bool,
+    scrub_failures: u64,
 }
 
 /// Shared per-run checkpoint store (see module docs).
@@ -120,6 +124,21 @@ impl CheckpointStore {
         g.snaps.insert((rank, phase), snap);
         g.saves += 1;
         let all_saved = (0..self.parties).all(|r| g.snaps.contains_key(&(r, phase)));
+        if all_saved && g.scrub_on_commit {
+            // Scrub pass: a snapshot flipped in store memory since its save
+            // is caught *now*, at write/commit time — the phase stays
+            // uncommitted (never becomes a resume point) until the owning
+            // rank re-saves clean data.
+            let bad = (0..self.parties).filter(|&r| {
+                let snap = &g.snaps[&(r, phase)];
+                checksum(&snap.data) != snap.checksum
+            });
+            let failures = bad.count() as u64;
+            if failures > 0 {
+                g.scrub_failures += failures;
+                return;
+            }
+        }
         if all_saved && !g.committed.contains(&phase) {
             g.committed.push(phase);
             // Prune everything superseded by the new commit frontier.
@@ -150,6 +169,48 @@ impl CheckpointStore {
             return Err(CheckpointError::Corrupt { rank, phase });
         }
         Ok(snap.data.clone())
+    }
+
+    /// Verifies every live snapshot against its stored FNV-1a checksum
+    /// (without waiting for a restore to need it). Returns the number of
+    /// snapshots verified, or the first corruption found.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Corrupt`] naming the first bad `(rank, phase)`,
+    /// in deterministic (sorted) order.
+    pub fn scrub(&self) -> Result<usize, CheckpointError> {
+        let g = self.lock();
+        let mut keys: Vec<&(usize, &'static str)> = g.snaps.keys().collect();
+        keys.sort();
+        for &&(rank, phase) in &keys {
+            let snap = &g.snaps[&(rank, phase)];
+            if checksum(&snap.data) != snap.checksum {
+                return Err(CheckpointError::Corrupt { rank, phase });
+            }
+        }
+        Ok(keys.len())
+    }
+
+    /// Turns on the scrub-on-commit pass: before a phase commits (all
+    /// ranks saved), every one of its snapshots is re-verified against its
+    /// checksum, and a corrupt snapshot blocks the commit — so a flipped
+    /// image is caught at write time, not at the moment a recovery needs
+    /// it. Callable on the shared store at any point (the supervised
+    /// pipelines enable it when their validation policy is on).
+    pub fn enable_scrub_on_commit(&self) {
+        self.lock().scrub_on_commit = true;
+    }
+
+    /// Commits blocked (and snapshots flagged) by the scrub-on-commit pass.
+    pub fn scrub_failures(&self) -> u64 {
+        self.lock().scrub_failures
+    }
+
+    /// The FNV-1a checksum recorded when `rank`'s snapshot of `phase` was
+    /// saved, if present. Lets a writer verify its save landed intact
+    /// (write-time read-back) without cloning the payload out.
+    pub fn stored_checksum(&self, rank: usize, phase: &'static str) -> Option<u64> {
+        self.lock().snaps.get(&(rank, phase)).map(|s| s.checksum)
     }
 
     /// True once every rank has saved `phase`.
@@ -281,6 +342,64 @@ mod tests {
         assert!(store.has(0, "conv"));
         assert_eq!(store.pruned(), 2);
         assert_eq!(store.live_snapshots(), 2);
+    }
+
+    #[test]
+    fn scrub_verifies_all_live_snapshots() {
+        let store = CheckpointStore::new(2);
+        store.save(0, "ghost", 0, &buf(1, 8));
+        store.save(1, "ghost", 0, &buf(2, 8));
+        assert_eq!(store.scrub(), Ok(2));
+        assert!(store.corrupt(1, "ghost"));
+        assert_eq!(
+            store.scrub(),
+            Err(CheckpointError::Corrupt {
+                rank: 1,
+                phase: "ghost"
+            })
+        );
+        assert_eq!(store.scrub_failures(), 0, "manual scrub does not count");
+    }
+
+    #[test]
+    fn scrub_on_commit_blocks_commit_until_resave() {
+        let store = CheckpointStore::new(2);
+        store.enable_scrub_on_commit();
+        store.save(0, "conv", 0, &buf(1, 8));
+        store.save(1, "conv", 0, &buf(2, 8));
+        assert!(store.is_committed("conv"), "clean saves commit normally");
+
+        let store = CheckpointStore::new(2);
+        store.enable_scrub_on_commit();
+        store.save(0, "conv", 0, &buf(1, 8));
+        assert!(store.corrupt(0, "conv"));
+        store.save(1, "conv", 0, &buf(2, 8));
+        assert!(
+            !store.is_committed("conv"),
+            "a flipped image must not become a resume point"
+        );
+        assert_eq!(store.scrub_failures(), 1);
+        // The owning rank re-saves clean data: the phase commits.
+        store.save(0, "conv", 1, &buf(3, 8));
+        assert!(store.is_committed("conv"));
+    }
+
+    #[test]
+    fn stored_checksum_supports_write_time_readback() {
+        let store = CheckpointStore::new(1);
+        assert_eq!(store.stored_checksum(0, "ghost"), None);
+        let data = buf(9, 16);
+        store.save(0, "ghost", 0, &data);
+        assert_eq!(
+            store.stored_checksum(0, "ghost"),
+            Some(crate::resilience::checksum(&data))
+        );
+        let mut flipped = data.clone();
+        flipped[3].im = f64::from_bits(flipped[3].im.to_bits() ^ (1 << 62));
+        assert_ne!(
+            store.stored_checksum(0, "ghost"),
+            Some(crate::resilience::checksum(&flipped))
+        );
     }
 
     #[test]

@@ -60,6 +60,53 @@ pub enum CrashSite {
     Phase(&'static str),
 }
 
+/// A compute-side buffer an injected bit flip targets.
+///
+/// These are the silent-data-corruption sites the link layer *provably
+/// cannot catch*: wire checksums cover a payload only between the moment
+/// the sender hashes it and the moment the receiver verifies it. A flip
+/// that lands in a buffer before it is hashed (a convolution or FFT
+/// output sitting in memory), after it is reassembled (a gathered
+/// segment), or in a checkpoint image as it is written, passes every
+/// link-layer check and yields a confidently wrong spectrum — unless the
+/// pipeline's phase invariants (`soifft-core`'s `verify` module) catch it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BitFlipSite {
+    /// The output buffer of a rank's local FFT (the SOI block DFTs or a
+    /// CT column/row FFT), flipped while it waits for the next phase.
+    LocalFftBuffer,
+    /// The SOI convolution output `u = W x`, flipped between the
+    /// convolution and the block DFTs that consume it.
+    ConvBuffer,
+    /// A checkpoint snapshot, flipped as the image is written — *before*
+    /// the store takes its FNV-1a checksum, so a later restore verifies
+    /// clean and silently resumes from corrupt state.
+    CheckpointImage,
+    /// A reassembled segment on the receiving rank, flipped *after* the
+    /// all-to-all delivered (and checksum-verified) every part.
+    GatheredSegment,
+}
+
+/// A targeted compute-side bit flip (see [`BitFlipSite`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitFlipSpec {
+    /// The rank whose buffer is flipped.
+    pub rank: usize,
+    /// Which buffer the flip lands in.
+    pub site: BitFlipSite,
+    /// Which bit of the chosen `f64` word is flipped (0–63). The word
+    /// (and its real/imaginary half) is drawn from the injector's
+    /// dedicated flip stream. Defaults to 62 — a high exponent bit, the
+    /// worst case for the victim: one word's magnitude changes by orders
+    /// of magnitude and the spectrum is grossly wrong everywhere.
+    pub bit: u32,
+    /// How many times the flip fires per rank incarnation. The default 1
+    /// models a single upset (a localized re-execution then runs clean);
+    /// `u32::MAX` models a hard fault that defeats every retry, driving
+    /// the validation layer's bounded-budget escalation.
+    pub count: u32,
+}
+
 /// A targeted rank crash.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashSpec {
@@ -103,6 +150,7 @@ pub struct FaultPlan {
     fault_limit: u32,
     only_rank: Option<usize>,
     crash: Option<CrashSpec>,
+    flip: Option<BitFlipSpec>,
 }
 
 impl FaultPlan {
@@ -118,6 +166,7 @@ impl FaultPlan {
             fault_limit: 2,
             only_rank: None,
             crash: None,
+            flip: None,
         }
     }
 
@@ -204,6 +253,43 @@ impl FaultPlan {
         self.crash
     }
 
+    /// Flip one bit of `rank`'s buffer at `site`, once, in epoch 0 (the
+    /// default high-exponent bit 62 — see [`BitFlipSpec::bit`]).
+    pub fn bit_flip(self, rank: usize, site: BitFlipSite) -> Self {
+        self.bit_flip_times(rank, site, 1)
+    }
+
+    /// Flip one bit of `rank`'s buffer at `site` on its first `times`
+    /// visits per incarnation. `u32::MAX` models a hard fault: every
+    /// localized re-execution re-corrupts, so a `Recover` validation
+    /// policy exhausts its retry budget and escalates.
+    pub fn bit_flip_times(mut self, rank: usize, site: BitFlipSite, times: u32) -> Self {
+        self.flip = Some(BitFlipSpec {
+            rank,
+            site,
+            bit: 62,
+            count: times,
+        });
+        self
+    }
+
+    /// Overrides which bit the configured flip targets (0–63; low mantissa
+    /// bits make the corruption subtle, exponent bits make it gross).
+    ///
+    /// # Panics
+    /// Panics if no flip is configured or `bit > 63`.
+    pub fn flip_bit(mut self, bit: u32) -> Self {
+        assert!(bit < 64, "bit index out of range");
+        let spec = self.flip.as_mut().expect("configure a bit flip first");
+        spec.bit = bit;
+        self
+    }
+
+    /// The configured bit flip, if any.
+    pub fn flip_spec(&self) -> Option<BitFlipSpec> {
+        self.flip
+    }
+
     /// Builds the per-rank injector for `rank` in a cluster of `size`
     /// (epoch 0 — the plain, non-supervised launch).
     pub fn injector_for(&self, rank: usize, size: usize) -> FaultInjector {
@@ -225,6 +311,12 @@ impl FaultPlan {
         if plan.crash.is_some_and(|c| epoch >= u64::from(c.count)) {
             plan.crash = None;
         }
+        // A bit flip is a single upset event: it fires (up to its
+        // per-incarnation count) in epoch 0 only, so a supervised respawn
+        // recomputes clean — mirroring how crash schedules expire.
+        if epoch > 0 {
+            plan.flip = None;
+        }
         let seed = self.seed
             ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ epoch.wrapping_mul(0xD6E8_FEB8_6659_FD93);
@@ -232,7 +324,12 @@ impl FaultPlan {
             plan,
             rank,
             rng: SplitMix::new(seed),
+            // An independent stream for flip word selection, so enabling a
+            // flip never perturbs the link-fault decisions (and vice
+            // versa) — the determinism proptest relies on this isolation.
+            flip_rng: SplitMix::new(seed ^ 0xB5AD_4ECE_DA1C_E2A9),
             sends: 0,
+            flips_fired: 0,
             events: FaultEvents::default(),
         }
     }
@@ -250,12 +347,14 @@ pub struct FaultEvents {
     pub duplicates: u64,
     /// Delivery attempts corrupted.
     pub corruptions: u64,
+    /// Compute-side bit flips applied ([`BitFlipSite`] sites).
+    pub bit_flips: u64,
 }
 
 impl FaultEvents {
     /// Total injected events.
     pub fn total(&self) -> u64 {
-        self.drops + self.delays + self.duplicates + self.corruptions
+        self.drops + self.delays + self.duplicates + self.corruptions + self.bit_flips
     }
 }
 
@@ -265,7 +364,9 @@ pub struct FaultInjector {
     plan: FaultPlan,
     rank: usize,
     rng: SplitMix,
+    flip_rng: SplitMix,
     sends: u64,
+    flips_fired: u32,
     events: FaultEvents,
 }
 
@@ -315,6 +416,37 @@ impl FaultInjector {
         }
         let i = (self.rng.next_u64() as usize) % data.len();
         data[i].re = f64::from_bits(data[i].re.to_bits() ^ 1);
+    }
+
+    /// True while the plan still has a bit flip pending for this rank at
+    /// `site` (non-consuming — lets call sites skip defensive copies when
+    /// no flip can fire).
+    pub fn flip_planned(&self, site: BitFlipSite) -> bool {
+        matches!(
+            self.plan.flip,
+            Some(spec) if spec.rank == self.rank
+                && spec.site == site
+                && self.flips_fired < spec.count
+        )
+    }
+
+    /// Applies the planned bit flip to `data` if it targets this rank and
+    /// `site` and its per-incarnation budget remains: one seeded word of
+    /// `data` (real or imaginary half) gets bit [`BitFlipSpec::bit`]
+    /// flipped. Returns the flipped element index, or `None` when nothing
+    /// fired.
+    pub fn apply_bit_flip(&mut self, site: BitFlipSite, data: &mut [c64]) -> Option<usize> {
+        if !self.flip_planned(site) || data.is_empty() {
+            return None;
+        }
+        let spec = self.plan.flip.expect("flip_planned implies a spec");
+        let word = self.flip_rng.next_u64() as usize % (2 * data.len());
+        let z = &mut data[word / 2];
+        let half = if word % 2 == 0 { &mut z.re } else { &mut z.im };
+        *half = f64::from_bits(half.to_bits() ^ (1u64 << spec.bit));
+        self.flips_fired += 1;
+        self.events.bit_flips += 1;
+        Some(word / 2)
     }
 
     /// Records a completed send (advances the [`CrashSite::AfterSends`]
@@ -499,6 +631,102 @@ mod tests {
         let s0: Vec<_> = (0..64).map(|_| plain.action(0)).collect();
         let s1: Vec<_> = (0..64).map(|_| epoch1.action(0)).collect();
         assert_ne!(s0, s1, "incarnations should see fresh fault streams");
+    }
+
+    #[test]
+    fn bit_flip_fires_once_on_target_rank_and_site() {
+        let plan = FaultPlan::new(13).bit_flip(1, BitFlipSite::ConvBuffer);
+        let mut victim = plan.injector_for(1, 4);
+        let mut bystander = plan.injector_for(0, 4);
+        let orig: Vec<c64> = (0..32).map(|i| c64::new(i as f64 + 1.0, -1.0)).collect();
+
+        let mut data = orig.clone();
+        assert!(bystander
+            .apply_bit_flip(BitFlipSite::ConvBuffer, &mut data)
+            .is_none());
+        assert!(victim
+            .apply_bit_flip(BitFlipSite::LocalFftBuffer, &mut data)
+            .is_none());
+        assert_eq!(data, orig, "wrong rank/site must not touch the buffer");
+
+        let idx = victim
+            .apply_bit_flip(BitFlipSite::ConvBuffer, &mut data)
+            .expect("flip fires");
+        let diffs = orig.iter().zip(&data).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1, "exactly one element flipped");
+        assert_ne!(data[idx], orig[idx]);
+        assert_eq!(victim.events().bit_flips, 1);
+
+        // Budget spent: a re-execution of the phase runs clean.
+        let mut again = orig.clone();
+        assert!(victim
+            .apply_bit_flip(BitFlipSite::ConvBuffer, &mut again)
+            .is_none());
+        assert!(!victim.flip_planned(BitFlipSite::ConvBuffer));
+    }
+
+    #[test]
+    fn bit_flip_targets_the_requested_bit() {
+        let plan = FaultPlan::new(13)
+            .bit_flip(0, BitFlipSite::GatheredSegment)
+            .flip_bit(3);
+        let mut inj = plan.injector_for(0, 1);
+        let orig: Vec<c64> = (0..8).map(|i| c64::new(i as f64, i as f64)).collect();
+        let mut data = orig.clone();
+        let idx = inj
+            .apply_bit_flip(BitFlipSite::GatheredSegment, &mut data)
+            .unwrap();
+        let xor = (orig[idx].re.to_bits() ^ data[idx].re.to_bits())
+            | (orig[idx].im.to_bits() ^ data[idx].im.to_bits());
+        assert_eq!(xor, 1 << 3, "exactly bit 3 of one half flipped");
+    }
+
+    #[test]
+    fn permanent_bit_flip_defeats_reexecution() {
+        let plan = FaultPlan::new(21).bit_flip_times(0, BitFlipSite::LocalFftBuffer, u32::MAX);
+        let mut inj = plan.injector_for(0, 2);
+        let mut data: Vec<c64> = (0..4).map(|i| c64::new(i as f64, 0.0)).collect();
+        for _ in 0..8 {
+            assert!(inj
+                .apply_bit_flip(BitFlipSite::LocalFftBuffer, &mut data)
+                .is_some());
+        }
+        assert_eq!(inj.events().bit_flips, 8);
+    }
+
+    #[test]
+    fn bit_flip_expires_after_epoch_zero() {
+        let plan = FaultPlan::new(5).bit_flip(2, BitFlipSite::CheckpointImage);
+        let mut respawned = plan.injector_for_epoch(2, 4, 1);
+        let mut data = vec![c64::new(1.0, 2.0); 4];
+        assert!(!respawned.flip_planned(BitFlipSite::CheckpointImage));
+        assert!(respawned
+            .apply_bit_flip(BitFlipSite::CheckpointImage, &mut data)
+            .is_none());
+    }
+
+    #[test]
+    fn bit_flip_word_choice_is_deterministic() {
+        let plan = FaultPlan::new(77).bit_flip(0, BitFlipSite::ConvBuffer);
+        let run = || {
+            let mut inj = plan.injector_for(0, 2);
+            let mut data = vec![c64::new(1.5, -0.5); 64];
+            inj.apply_bit_flip(BitFlipSite::ConvBuffer, &mut data)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flip_stream_does_not_perturb_link_fault_stream() {
+        let base = FaultPlan::new(7).drop(0.3).corrupt(0.2);
+        let with_flip = base.clone().bit_flip(1, BitFlipSite::ConvBuffer);
+        let mut a = base.injector_for(1, 4);
+        let mut b = with_flip.injector_for(1, 4);
+        let mut data = vec![c64::new(1.0, 1.0); 16];
+        b.apply_bit_flip(BitFlipSite::ConvBuffer, &mut data);
+        for attempt in 0..128 {
+            assert_eq!(a.action(attempt % 3), b.action(attempt % 3));
+        }
     }
 
     #[test]

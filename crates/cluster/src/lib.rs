@@ -69,11 +69,15 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender,
 use soifft_num::c64;
 
 pub use checkpoint::{CheckpointError, CheckpointStore};
-pub use fault::{CrashSite, CrashSpec, FaultAction, FaultEvents, FaultInjector, FaultPlan};
+pub use fault::{
+    BitFlipSite, BitFlipSpec, CrashSite, CrashSpec, FaultAction, FaultEvents, FaultInjector,
+    FaultPlan,
+};
 pub use pcie::PcieLink;
 pub use proxy::ProxyCore;
 pub use resilience::{
     checksum, CancellableBarrier, CommError, ExchangePolicy, RankOutcome, RetryPolicy,
+    ValidationPolicy,
 };
 pub use stats::{CommStats, CostModel, PhaseRecord, RecoveryOutcome};
 pub use supervisor::{RecoveryCtx, RestartPolicy, SupervisedRun, Supervisor};
@@ -177,6 +181,27 @@ impl Comm {
                 self.die();
             }
         }
+    }
+
+    /// Applies the installed fault plan's bit flip to `data` if the plan
+    /// targets this rank and `site`, returning the flipped element index.
+    /// Pipelines call this at each silent-data-corruption site *after* the
+    /// phase's integrity guard (checksum or energy) has been computed, so
+    /// the flip models memory corruption the link layer never observes.
+    /// A no-op (`None`) without a matching plan or once the flip budget is
+    /// spent.
+    pub fn inject_bit_flip(&mut self, site: BitFlipSite, data: &mut [c64]) -> Option<usize> {
+        self.injector
+            .as_mut()
+            .and_then(|i| i.apply_bit_flip(site, data))
+    }
+
+    /// Whether the installed fault plan still has a pending bit flip for
+    /// this rank at `site`. Lets pipelines avoid defensive copies (e.g. a
+    /// pre-image clone for write-time checkpoint verification) on the vast
+    /// majority of ranks where no flip will ever fire.
+    pub fn flip_planned(&self, site: BitFlipSite) -> bool {
+        self.injector.as_ref().is_some_and(|i| i.flip_planned(site))
     }
 
     /// Fires the installed fault plan's [`CrashSite::Phase`] trigger for

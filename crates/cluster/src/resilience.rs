@@ -36,6 +36,7 @@ use soifft_num::c64;
 /// [`RankOutcome::Err`]; the fallible API (`try_*`, `*_deadline`,
 /// `*_resilient`) returns them directly.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CommError {
     /// A deadline elapsed, or the link-layer retransmit budget was
     /// exhausted without a successful delivery.
@@ -62,6 +63,19 @@ pub enum CommError {
     CheckpointCorrupt {
         /// The rank whose snapshot is unusable.
         rank: usize,
+    },
+    /// A phase invariant (Parseval energy balance, linearity probe, or a
+    /// per-segment spectral checksum) detected silent data corruption in a
+    /// compute buffer — corruption the link layer cannot see — and the
+    /// validation policy either runs in report-only mode or exhausted its
+    /// localized re-execution budget without producing clean data.
+    SilentCorruption {
+        /// The rank that owns the corrupt buffer.
+        rank: usize,
+        /// The local segment index the corruption was localized to, when
+        /// the failing invariant has per-segment resolution (`None` for
+        /// whole-phase invariants like the front-end energy balance).
+        segment: Option<usize>,
     },
 }
 
@@ -92,6 +106,17 @@ impl std::fmt::Display for CommError {
             CommError::CheckpointCorrupt { rank } => {
                 write!(f, "checkpoint for rank {rank} is missing or corrupt")
             }
+            CommError::SilentCorruption { rank, segment } => match segment {
+                Some(s) => write!(
+                    f,
+                    "silent data corruption detected on rank {rank}, segment {s}, \
+                     beyond the repair budget"
+                ),
+                None => write!(
+                    f,
+                    "silent data corruption detected on rank {rank}, beyond the repair budget"
+                ),
+            },
         }
     }
 }
@@ -101,6 +126,7 @@ impl std::error::Error for CommError {}
 /// One rank's result from a fault-tolerant launch
 /// ([`Cluster::run_with`](crate::Cluster::run_with)).
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum RankOutcome<T> {
     /// The rank's closure returned normally.
     Ok(T),
@@ -204,21 +230,69 @@ impl Default for ExchangePolicy {
     }
 }
 
+/// How the distributed pipelines defend against silent data corruption.
+///
+/// The link layer already checksums every wire message; this policy
+/// governs the *compute-side* (algorithm-based fault tolerance) checks —
+/// phase-boundary invariants like Parseval energy balance, a seeded
+/// linearity probe, and per-segment spectral checksums carried through
+/// the all-to-all (see `soifft-core`'s `verify` module).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValidationPolicy {
+    /// No invariant checks (the seed behaviour): a compute-side bit flip
+    /// completes the run with a confidently wrong spectrum.
+    #[default]
+    Off,
+    /// Compute every invariant and report the first violation as
+    /// [`CommError::SilentCorruption`], without attempting repair.
+    CheckOnly,
+    /// Detect, localize, and repair: re-execute only the flagged
+    /// segment/phase on the owning rank (using live inputs or the
+    /// checkpoint store as the rollback source), escalating to
+    /// [`CommError::SilentCorruption`] after a bounded retry budget.
+    Recover,
+}
+
+impl ValidationPolicy {
+    /// True when invariants are computed at all.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, ValidationPolicy::Off)
+    }
+
+    /// True when detection is followed by localized re-execution.
+    pub fn recovers(&self) -> bool {
+        matches!(self, ValidationPolicy::Recover)
+    }
+}
+
 /// FNV-1a over the bit representation of a complex buffer — the
 /// per-message checksum used to detect injected corruption.
+///
+/// Mixes whole 64-bit words rather than bytes, across four independent
+/// FNV lanes folded together at the end: xor-then-multiply by an odd
+/// prime is injective per step, so any single-bit difference flips one
+/// lane and therefore the digest, while the lanes hide the multiply
+/// latency behind instruction-level parallelism. The ABFT layer hashes
+/// every exchange frontier with this, so it sits on the validated hot
+/// path.
 pub fn checksum(data: &[c64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for i in 0..8 {
-            h ^= (v >> (8 * i)) & 0xff;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    };
-    for z in data {
-        mix(z.re.to_bits());
-        mix(z.im.to_bits());
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut lanes = [SEED, SEED ^ 0x9E37, SEED ^ 0x79B9, SEED ^ 0xE3779B9];
+    let mut pairs = data.chunks_exact(2);
+    for pair in &mut pairs {
+        lanes[0] = (lanes[0] ^ pair[0].re.to_bits()).wrapping_mul(PRIME);
+        lanes[1] = (lanes[1] ^ pair[0].im.to_bits()).wrapping_mul(PRIME);
+        lanes[2] = (lanes[2] ^ pair[1].re.to_bits()).wrapping_mul(PRIME);
+        lanes[3] = (lanes[3] ^ pair[1].im.to_bits()).wrapping_mul(PRIME);
     }
-    h
+    for z in pairs.remainder() {
+        lanes[0] = (lanes[0] ^ z.re.to_bits()).wrapping_mul(PRIME);
+        lanes[1] = (lanes[1] ^ z.im.to_bits()).wrapping_mul(PRIME);
+    }
+    lanes
+        .into_iter()
+        .fold(SEED, |h, lane| (h ^ lane).wrapping_mul(PRIME))
 }
 
 /// A barrier that can be cancelled when a rank dies.
@@ -425,5 +499,36 @@ mod tests {
         assert!(CommError::ChecksumMismatch { src: 0, tag: 1 }.is_transient());
         assert!(!CommError::PeerFailed { rank: 0 }.is_transient());
         assert!(!CommError::Shutdown.is_transient());
+        // Corruption past the repair budget is structural: retrying the
+        // same computation on the same hardware fault cannot help.
+        assert!(!CommError::SilentCorruption {
+            rank: 0,
+            segment: None
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn silent_corruption_reports_localization() {
+        let whole_phase = CommError::SilentCorruption {
+            rank: 3,
+            segment: None,
+        };
+        assert!(whole_phase.to_string().contains("rank 3"));
+        let localized = CommError::SilentCorruption {
+            rank: 1,
+            segment: Some(5),
+        };
+        assert!(localized.to_string().contains("segment 5"));
+    }
+
+    #[test]
+    fn validation_policy_classification() {
+        assert_eq!(ValidationPolicy::default(), ValidationPolicy::Off);
+        assert!(!ValidationPolicy::Off.is_on());
+        assert!(ValidationPolicy::CheckOnly.is_on());
+        assert!(!ValidationPolicy::CheckOnly.recovers());
+        assert!(ValidationPolicy::Recover.is_on());
+        assert!(ValidationPolicy::Recover.recovers());
     }
 }

@@ -66,6 +66,9 @@ pub struct CommStats {
     corrupt_discarded: u64,
     duplicates_discarded: u64,
     stale_discarded: u64,
+    sdc_detected: u64,
+    sdc_repaired: u64,
+    sdc_false_positives: u64,
     queue_high_watermark: usize,
     recovery: RecoveryOutcome,
 }
@@ -105,6 +108,27 @@ impl CommStats {
     /// incarnation (its generation tag predates the current epoch).
     pub fn note_stale_discarded(&mut self) {
         self.stale_discarded += 1;
+    }
+
+    /// Records a phase invariant flagging silent data corruption in a
+    /// compute buffer (ABFT detection — distinct from
+    /// [`CommStats::note_corrupt_discarded`], which counts *wire*
+    /// corruption caught by message checksums).
+    pub fn note_sdc_detected(&mut self) {
+        self.sdc_detected += 1;
+    }
+
+    /// Records a detected corruption repaired by localized re-execution
+    /// (the re-run's invariants verified clean).
+    pub fn note_sdc_repaired(&mut self) {
+        self.sdc_repaired += 1;
+    }
+
+    /// Records an invariant violation that an immediate re-verification of
+    /// the *unchanged* data contradicted — a spurious detection (tolerance
+    /// set too tight), not corruption.
+    pub fn note_sdc_false_positive(&mut self) {
+        self.sdc_false_positives += 1;
     }
 
     /// Folds an observed destination-queue depth into the high watermark.
@@ -209,6 +233,22 @@ impl CommStats {
         self.stale_discarded
     }
 
+    /// Invariant violations flagged by the validation layer (ABFT
+    /// detections of compute-side corruption).
+    pub fn sdc_detected(&self) -> u64 {
+        self.sdc_detected
+    }
+
+    /// Detections repaired by localized re-execution.
+    pub fn sdc_repaired(&self) -> u64 {
+        self.sdc_repaired
+    }
+
+    /// Spurious detections (flagged, then re-verified clean unchanged).
+    pub fn sdc_false_positives(&self) -> u64 {
+        self.sdc_false_positives
+    }
+
     /// How the run this ledger belongs to ended, recovery-wise (set by the
     /// supervised drivers).
     pub fn recovery(&self) -> RecoveryOutcome {
@@ -232,6 +272,9 @@ impl CommStats {
         self.corrupt_discarded += other.corrupt_discarded;
         self.duplicates_discarded += other.duplicates_discarded;
         self.stale_discarded += other.stale_discarded;
+        self.sdc_detected += other.sdc_detected;
+        self.sdc_repaired += other.sdc_repaired;
+        self.sdc_false_positives += other.sdc_false_positives;
         self.queue_high_watermark = self.queue_high_watermark.max(other.queue_high_watermark);
     }
 
@@ -380,6 +423,8 @@ mod tests {
         b.add_bytes_sent(50);
         b.note_stale_discarded();
         b.note_queue_depth(9);
+        b.note_sdc_detected();
+        b.note_sdc_repaired();
         a.absorb(&b);
         assert_eq!(a.records().len(), 2);
         assert_eq!(a.records()[1].name, "degraded-recover");
@@ -388,6 +433,23 @@ mod tests {
         assert_eq!(a.retransmits(), 1);
         assert_eq!(a.stale_discarded(), 1);
         assert_eq!(a.queue_high_watermark(), 9);
+        assert_eq!(a.sdc_detected(), 1);
+        assert_eq!(a.sdc_repaired(), 1);
+    }
+
+    #[test]
+    fn sdc_counters_accumulate() {
+        let mut s = CommStats::default();
+        assert_eq!(s.sdc_detected(), 0);
+        assert_eq!(s.sdc_repaired(), 0);
+        assert_eq!(s.sdc_false_positives(), 0);
+        s.note_sdc_detected();
+        s.note_sdc_detected();
+        s.note_sdc_repaired();
+        s.note_sdc_false_positive();
+        assert_eq!(s.sdc_detected(), 2);
+        assert_eq!(s.sdc_repaired(), 1);
+        assert_eq!(s.sdc_false_positives(), 1);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod params;
 pub mod pipeline;
 pub mod report;
 pub mod single;
+pub mod verify;
 pub mod window;
 
 pub use conv::ConvStrategy;
@@ -47,4 +48,5 @@ pub use params::{Rational, SoiError, SoiParams};
 pub use pipeline::{ExchangePlan, SimSpec, SoiFft, SoiRunError};
 pub use report::PlanReport;
 pub use single::SoiFftLocal;
+pub use verify::ValidationPolicy;
 pub use window::{DemodMode, Window, WindowKind};

@@ -328,6 +328,24 @@ impl SoiParams {
         let n = self.n as f64;
         5.0 * n * n.log2()
     }
+
+    /// Estimated extra flops **per rank** of one fully validated superstep
+    /// (`ValidationPolicy::CheckOnly` on a fault-free run): two energy
+    /// passes over the `µN/P` exchange frontier (3 flops per element for
+    /// `|z|²`, before and after the block DFTs), one checksum sweep over
+    /// the convolution output and one over the gathered segments (counted
+    /// at 2 ops per element), and the linearity probe's three extra
+    /// `L`-point FFTs. Linear in the frontier size — the basis of the
+    /// pipeline's ≤5 % ABFT overhead budget, since the convolution alone
+    /// costs `8Bµ` flops per element ([`SoiParams::conv_flops`]).
+    /// `Recover` on a fault-free run adds only one frontier copy on top.
+    pub fn validation_flops(&self) -> f64 {
+        let frontier = (self.blocks_per_rank() * self.total_segments()) as f64;
+        let energy_passes = 2.0 * 3.0 * frontier;
+        let checksum_sweeps = 2.0 * 2.0 * frontier;
+        let probe = 3.0 * soifft_fft::fft_flops(self.total_segments());
+        energy_passes + checksum_sweeps + probe
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +523,23 @@ mod tests {
     fn suggest_rejects_impossible_shapes() {
         // 2 elements on 4 ranks: nothing can work.
         assert!(SoiParams::suggest(2, 4).is_none());
+    }
+
+    #[test]
+    fn validation_overhead_is_a_small_fraction_of_the_convolution() {
+        let p = SoiParams {
+            n: 1 << 20,
+            procs: 4,
+            segments_per_proc: 2,
+            mu: Rational::new(2, 1),
+            conv_width: 40,
+        };
+        let per_rank_conv = p.conv_flops() / p.procs as f64;
+        let ratio = p.validation_flops() / per_rank_conv;
+        assert!(
+            ratio > 0.0 && ratio < 0.05,
+            "ABFT overhead ratio {ratio:.4}"
+        );
     }
 
     #[test]

@@ -20,8 +20,9 @@
 use std::sync::Arc;
 
 use soifft_cluster::{
-    CheckpointStore, Cluster, ClusterConfig, Comm, CommError, CommStats, ExchangePolicy,
-    RankOutcome, RecoveryCtx, RecoveryOutcome, RestartPolicy, Supervisor,
+    checksum, BitFlipSite, CheckpointStore, Cluster, ClusterConfig, Comm, CommError, CommStats,
+    ExchangePolicy, RankOutcome, RecoveryCtx, RecoveryOutcome, RestartPolicy, Supervisor,
+    ValidationPolicy,
 };
 use soifft_fft::{batch, Plan, SixStepFft, SixStepVariant};
 use soifft_num::c64;
@@ -29,6 +30,7 @@ use soifft_par::Pool;
 
 use crate::conv::{convolve, ConvStrategy};
 use crate::params::{SoiError, SoiParams};
+use crate::verify;
 use crate::window::{Window, WindowKind};
 
 /// How the all-to-all is performed.
@@ -95,6 +97,7 @@ pub mod phases {
 /// ledger accumulated up to the failure (so a chaos harness or operator
 /// can still see how far the superstep got and what it cost).
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct SoiRunError {
     /// Pipeline phase that failed (`"ghost"`, `"all-to-all"`, or
     /// `"checkpoint"` when a recovery resume found its snapshot missing or
@@ -193,6 +196,7 @@ pub struct SoiFft {
     pool: Pool,
     sim: Option<SimSpec>,
     fuse_segment_fft: bool,
+    validation: ValidationPolicy,
     /// Segments owned by each rank (uniform `S` by default; heterogeneous
     /// for mixed Xeon/Phi clusters per §6.1's load-balance rule).
     seg_counts: Vec<usize>,
@@ -228,6 +232,7 @@ impl SoiFft {
             pool: Pool::serial(),
             sim: None,
             fuse_segment_fft: false,
+            validation: ValidationPolicy::Off,
             seg_counts: counts,
             seg_base: base,
         })
@@ -284,6 +289,24 @@ impl SoiFft {
         self
     }
 
+    /// Selects the silent-data-corruption defense (ABFT) level. `Off`
+    /// (the default) runs no invariant checks; `CheckOnly` verifies the
+    /// phase-boundary invariants of [`crate::verify`] and surfaces the
+    /// first violation as
+    /// [`CommError::SilentCorruption`]; `Recover` additionally re-executes
+    /// only the flagged phase or segment on the owning rank, up to
+    /// [`verify::RETRY_BUDGET`] attempts, before escalating. Detection and
+    /// repair events land in the rank's [`CommStats`] SDC counters.
+    ///
+    /// The fused front end ([`SoiFft::with_fused_segment_fft`]) has no
+    /// standalone convolution boundary, so its per-phase Parseval check is
+    /// unavailable; validation there falls back to a whole-front-end
+    /// checksum guard plus the machinery linearity probe.
+    pub fn with_validation(mut self, validation: ValidationPolicy) -> Self {
+        self.validation = validation;
+        self
+    }
+
     /// Fuses the block DFTs (`I ⊗ F_L`) into the convolution loop (§5.3's
     /// sweep-saving fusion). Forces the row-major convolution form — the
     /// paper notes the fusion cannot apply to the decomposed form.
@@ -323,8 +346,13 @@ impl SoiFft {
         // 1. Ghost exchange.
         let ghost = comm.exchange_ghost(local_input, p.ghost_len());
 
-        // 2-3. Convolution, then block DFTs.
-        let u = self.front_end(comm, local_input, &ghost);
+        // 2-3. Convolution, then block DFTs. The infallible API has no
+        // typed error channel, so an unrepairable silent-corruption
+        // detection surfaces as a rank panic (like any other fatal fault
+        // on this path); use `try_forward` for structured SDC reports.
+        let u = self
+            .front_end(comm, local_input, &ghost)
+            .unwrap_or_else(|e| panic!("{e}"));
 
         // 4-6. Exchange and per-segment recovery.
         match self.exchange {
@@ -363,14 +391,20 @@ impl SoiFft {
             });
         }
 
+        self.probe_machinery(comm)?;
         let ghost = comm
             .try_exchange_ghost(local_input, p.ghost_len(), policy)
             .map_err(|e| SoiRunError::new("ghost", e, comm.stats().clone()))?;
-        let u = self.front_end(comm, local_input, &ghost);
-        let outgoing = self.pack_outgoing(&u);
+        let u = self.front_end(comm, local_input, &ghost)?;
+        let outgoing = if self.validation.is_on() {
+            self.pack_outgoing_tagged(&u)
+        } else {
+            self.pack_outgoing(&u)
+        };
         let incoming = comm
             .all_to_all_resilient(&outgoing, policy)
             .map_err(|e| SoiRunError::new("all-to-all", e, comm.stats().clone()))?;
+        let incoming = self.receive_checked(comm, incoming)?;
         Ok(self.recover_all(comm, &incoming))
     }
 
@@ -424,6 +458,12 @@ impl SoiFft {
         let rank = comm.rank();
         let store: &CheckpointStore = ctx.store();
         let epoch = ctx.epoch();
+        if self.validation.is_on() {
+            // Belt-and-braces for in-store rot: the store re-verifies every
+            // snapshot against its checksum before a phase commits.
+            store.enable_scrub_on_commit();
+        }
+        self.probe_machinery(comm)?;
 
         // Deepest committed phase first: a committed all-to-all means the
         // collective part of the superstep is over — recover locally.
@@ -457,7 +497,7 @@ impl SoiFft {
             let g = comm
                 .try_exchange_ghost(local_input, p.ghost_len(), policy)
                 .map_err(|e| SoiRunError::new("ghost", e, comm.stats().clone()))?;
-            store.save(rank, phases::GHOST, epoch, &g);
+            self.save_checked(comm, store, phases::GHOST, epoch, &g)?;
             Some(g)
         };
 
@@ -478,7 +518,7 @@ impl SoiFft {
                 Some(sim_s) => comm.stats_mut().phase_end_sim("segment-fft", t, sim_s),
                 None => comm.stats_mut().phase_end("segment-fft", t),
             }
-            store.save(rank, phases::SEGMENT_FFT, epoch, &u);
+            self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &u)?;
             u
         } else {
             let ghost = match fresh_ghost {
@@ -494,15 +534,22 @@ impl SoiFft {
                     }
                 },
             };
-            self.front_end_with(comm, local_input, &ghost, Some((store, epoch)))
+            self.front_end_with(comm, local_input, &ghost, Some((store, epoch)))?
         };
 
-        let outgoing = self.pack_outgoing(&u);
+        let outgoing = if self.validation.is_on() {
+            self.pack_outgoing_tagged(&u)
+        } else {
+            self.pack_outgoing(&u)
+        };
         let incoming = comm
             .all_to_all_resilient(&outgoing, policy)
             .map_err(|e| SoiRunError::new("all-to-all", e, comm.stats().clone()))?;
+        // Verify (and strip the tags) BEFORE the snapshot, so a committed
+        // all-to-all checkpoint always holds clean, payload-only data.
+        let incoming = self.receive_checked(comm, incoming)?;
         let flat: Vec<c64> = incoming.iter().flatten().copied().collect();
-        store.save(rank, phases::ALL_TO_ALL, epoch, &flat);
+        self.save_checked(comm, store, phases::ALL_TO_ALL, epoch, &flat)?;
         Ok(self.recover_all(comm, &incoming))
     }
 
@@ -579,6 +626,13 @@ impl SoiFft {
                 // but produced no output.
                 RankOutcome::Err(_) => {}
                 RankOutcome::Crashed | RankOutcome::Panicked(_) => {
+                    alive[rank] = false;
+                    any_dead = true;
+                }
+                // `RankOutcome` is non-exhaustive: treat any future
+                // outcome kind as a dead rank so degraded mode can still
+                // complete the run rather than silently dropping a slice.
+                _ => {
                     alive[rank] = false;
                     any_dead = true;
                 }
@@ -716,8 +770,14 @@ impl SoiFft {
     /// Phases 2–3 shared by the fallible and infallible pipelines: extends
     /// the local input with its ghost, convolves (`u = W x`), and runs the
     /// block DFTs (`I ⊗ F_L`) — fused into one pass when configured
-    /// (§5.3's loop fusion). Phases recorded in the ledger.
-    fn front_end(&self, comm: &mut Comm, local_input: &[c64], ghost: &[c64]) -> Vec<c64> {
+    /// (§5.3's loop fusion). Phases recorded in the ledger. Errs only with
+    /// [`CommError::SilentCorruption`], and only when validation is on.
+    fn front_end(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        ghost: &[c64],
+    ) -> Result<Vec<c64>, SoiRunError> {
         self.front_end_with(comm, local_input, ghost, None)
     }
 
@@ -730,16 +790,26 @@ impl SoiFft {
     /// pipelines. The fused form has no standalone convolution boundary,
     /// so it exposes only the `"convolution"` crash point and the
     /// `"segment-fft"` snapshot.
+    ///
+    /// When validation is on, each phase's output buffer is guarded the
+    /// moment it is produced (convolution by an FNV-1a checksum, the block
+    /// DFTs by the Parseval energy balance `E_out = L·E_in`), any planned
+    /// [`BitFlipSite::ConvBuffer`]/[`BitFlipSite::LocalFftBuffer`] flip is
+    /// injected *after* the guard, and the invariant is re-verified before
+    /// the next phase consumes the buffer — the ABFT detection model for
+    /// memory corruption that never crosses a wire. `Recover` re-executes
+    /// only the flagged phase, up to [`verify::RETRY_BUDGET`] times.
     fn front_end_with(
         &self,
         comm: &mut Comm,
         local_input: &[c64],
         ghost: &[c64],
         checkpoint: Option<(&CheckpointStore, u64)>,
-    ) -> Vec<c64> {
+    ) -> Result<Vec<c64>, SoiRunError> {
         let p = &self.params;
         let l = p.total_segments();
         let blocks = p.blocks_per_rank();
+        let validate = self.validation.is_on();
         let mut input_ext = Vec::with_capacity(local_input.len() + ghost.len());
         input_ext.extend_from_slice(local_input);
         input_ext.extend_from_slice(ghost);
@@ -765,8 +835,37 @@ impl SoiFft {
                 }
                 None => comm.stats_mut().phase_end("convolution", t),
             }
+            // Fusion never materializes the pre-FFT rows, so the Parseval
+            // balance is unavailable; the whole fused front end is guarded
+            // by a checksum instead (plus the run-level linearity probe).
+            let guard = validate.then(|| checksum(&u));
+            comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+            if let Some(guard) = guard {
+                let mut attempts = 0u32;
+                while checksum(&u) != guard {
+                    comm.stats_mut().note_sdc_detected();
+                    if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
+                        return Err(self.sdc_error(comm, phases::SEGMENT_FFT, None));
+                    }
+                    attempts += 1;
+                    u.fill(c64::ZERO);
+                    crate::conv::convolve_fused_fft(
+                        p,
+                        &self.window,
+                        &input_ext,
+                        &mut u,
+                        &self.plan_l,
+                        &self.pool,
+                    );
+                    // A stuck-at fault corrupts the re-execution too.
+                    comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+                }
+                if attempts > 0 {
+                    comm.stats_mut().note_sdc_repaired();
+                }
+            }
             if let Some((store, epoch)) = checkpoint {
-                store.save(comm.rank(), phases::SEGMENT_FFT, epoch, &u);
+                self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &u)?;
             }
         } else {
             comm.crash_point(phases::CONVOLUTION);
@@ -786,22 +885,92 @@ impl SoiFft {
                 }
                 None => comm.stats_mut().phase_end("convolution", t),
             }
+            // Guard the convolution output the moment it exists; a planned
+            // flip then models corruption while `u` waits in memory for
+            // the block DFTs.
+            let conv_guard = validate.then(|| checksum(&u));
+            comm.inject_bit_flip(BitFlipSite::ConvBuffer, &mut u);
+            if let Some(guard) = conv_guard {
+                let mut attempts = 0u32;
+                while checksum(&u) != guard {
+                    comm.stats_mut().note_sdc_detected();
+                    if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
+                        return Err(self.sdc_error(comm, phases::CONVOLUTION, None));
+                    }
+                    attempts += 1;
+                    u.fill(c64::ZERO);
+                    convolve(
+                        p,
+                        &self.window,
+                        self.strategy,
+                        &input_ext,
+                        &mut u,
+                        &self.pool,
+                    );
+                    // A stuck-at fault corrupts the re-execution too.
+                    comm.inject_bit_flip(BitFlipSite::ConvBuffer, &mut u);
+                }
+                if attempts > 0 {
+                    comm.stats_mut().note_sdc_repaired();
+                }
+            }
             if let Some((store, epoch)) = checkpoint {
-                store.save(comm.rank(), phases::CONVOLUTION, epoch, &u);
+                self.save_checked(comm, store, phases::CONVOLUTION, epoch, &u)?;
             }
 
             comm.crash_point(phases::SEGMENT_FFT);
+            // Parseval guard: an unnormalized L-point row DFT scales total
+            // energy by exactly L, so `E_out ≈ L·E_in` checks the whole
+            // batch in one O(n) pass. The transform is in place; a repair
+            // rebuilds the pre-FFT rows by re-running the deterministic
+            // convolution, keeping a frontier-sized clone off the
+            // fault-free hot path.
+            let e_in = validate.then(|| verify::energy(&u));
             let t = comm.stats_mut().phase_start();
             batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
             match self.sim_fft_seconds(seg_fft_flops) {
                 Some(sim_s) => comm.stats_mut().phase_end_sim("segment-fft", t, sim_s),
                 None => comm.stats_mut().phase_end("segment-fft", t),
             }
+            comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+            if let Some(e_in) = e_in {
+                let tol = verify::energy_tolerance(l);
+                let mut attempts = 0u32;
+                while !verify::parseval_ok(e_in, verify::energy(&u), l, tol) {
+                    // Re-evaluate before acting: a disturbed invariant
+                    // *evaluation* over clean data is a detector false
+                    // positive, not data corruption.
+                    if verify::parseval_ok(e_in, verify::energy(&u), l, tol) {
+                        comm.stats_mut().note_sdc_false_positive();
+                        break;
+                    }
+                    comm.stats_mut().note_sdc_detected();
+                    if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
+                        return Err(self.sdc_error(comm, phases::SEGMENT_FFT, None));
+                    }
+                    attempts += 1;
+                    u.fill(c64::ZERO);
+                    convolve(
+                        p,
+                        &self.window,
+                        self.strategy,
+                        &input_ext,
+                        &mut u,
+                        &self.pool,
+                    );
+                    batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
+                    // A stuck-at fault corrupts the re-execution too.
+                    comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+                }
+                if attempts > 0 {
+                    comm.stats_mut().note_sdc_repaired();
+                }
+            }
             if let Some((store, epoch)) = checkpoint {
-                store.save(comm.rank(), phases::SEGMENT_FFT, epoch, &u);
+                self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &u)?;
             }
         }
-        u
+        Ok(u)
     }
 
     /// The math of phases 2–3 with no communicator, ledger, or crash
@@ -1017,6 +1186,190 @@ impl SoiFft {
             .collect()
     }
 
+    /// [`SoiFft::pack_outgoing`] with sender-side integrity tags: after
+    /// each destination's payload, one extra element per segment carrying
+    /// the FNV-1a checksum of that segment's part
+    /// ([`verify::encode_checksum`]). Receivers strip and re-verify the
+    /// tags after reassembly ([`SoiFft::receive_checked`]), closing the
+    /// window between the link layer's wire checks and the recovery FFTs
+    /// actually consuming the gathered data.
+    fn pack_outgoing_tagged(&self, u: &[c64]) -> Vec<Vec<c64>> {
+        let p = &self.params;
+        let blocks = p.blocks_per_rank();
+        (0..p.procs)
+            .map(|q| {
+                let mut buf = Vec::with_capacity(self.seg_counts[q] * (blocks + 1));
+                for sl in 0..self.seg_counts[q] {
+                    buf.extend(self.pack_for(u, q, sl));
+                }
+                let tags: Vec<c64> = (0..self.seg_counts[q])
+                    .map(|sl| {
+                        verify::encode_checksum(checksum(&buf[sl * blocks..(sl + 1) * blocks]))
+                    })
+                    .collect();
+                buf.extend(tags);
+                buf
+            })
+            .collect()
+    }
+
+    /// Post-exchange SDC stage. Applies any planned
+    /// [`BitFlipSite::GatheredSegment`] flip to the received data
+    /// (modeling corruption in the window between the link layer's
+    /// receive verification and the recovery FFTs consuming the buffer);
+    /// then, when validation is on, strips the sender-side checksum tags
+    /// appended by [`SoiFft::pack_outgoing_tagged`] and re-verifies every
+    /// `(source, segment)` part. Under `Recover`, a flagged part's
+    /// reassembly is re-executed from the pristine received buffer — the
+    /// corruption is receiver-side, so the bytes the wire delivered are
+    /// the rollback source; escalation carries the *global* id of the
+    /// owned segment the flagged part feeds.
+    fn receive_checked(
+        &self,
+        comm: &mut Comm,
+        incoming: Vec<Vec<c64>>,
+    ) -> Result<Vec<Vec<c64>>, SoiRunError> {
+        let p = &self.params;
+        let blocks = p.blocks_per_rank();
+        let me = comm.rank();
+        let mine = self.seg_counts[me];
+
+        let (mut data, tags): (Vec<Vec<c64>>, Vec<Vec<u64>>) = if self.validation.is_on() {
+            incoming
+                .into_iter()
+                .map(|mut buf| {
+                    let tags = buf.split_off(mine * blocks);
+                    let tags = tags.iter().map(|&t| verify::decode_checksum(t)).collect();
+                    (buf, tags)
+                })
+                .unzip()
+        } else {
+            (incoming, Vec::new())
+        };
+
+        let chunk = mine * blocks;
+        let pristine = (self.validation.recovers()
+            && comm.flip_planned(BitFlipSite::GatheredSegment))
+        .then(|| data.clone());
+        if chunk > 0 && comm.flip_planned(BitFlipSite::GatheredSegment) {
+            let mut flat: Vec<c64> = data.iter().flatten().copied().collect();
+            comm.inject_bit_flip(BitFlipSite::GatheredSegment, &mut flat);
+            for (dst, src_chunk) in data.iter_mut().zip(flat.chunks_exact(chunk)) {
+                dst.copy_from_slice(src_chunk);
+            }
+        }
+        if !self.validation.is_on() {
+            return Ok(data);
+        }
+
+        let mut attempts = 0u32;
+        loop {
+            let bad = (0..p.procs)
+                .flat_map(|src| (0..mine).map(move |sl| (src, sl)))
+                .find(|&(src, sl)| {
+                    checksum(&data[src][sl * blocks..(sl + 1) * blocks]) != tags[src][sl]
+                });
+            let Some((src, sl)) = bad else { break };
+            comm.stats_mut().note_sdc_detected();
+            let repairable = self.validation.recovers() && pristine.is_some();
+            if !repairable || attempts >= verify::RETRY_BUDGET {
+                return Err(self.sdc_error(comm, "all-to-all", Some(self.seg_base[me] + sl)));
+            }
+            attempts += 1;
+            let pr = pristine.as_ref().expect("repairable implies pristine");
+            data[src][sl * blocks..(sl + 1) * blocks]
+                .copy_from_slice(&pr[src][sl * blocks..(sl + 1) * blocks]);
+            // A stuck-at fault corrupts the re-executed reassembly too.
+            comm.inject_bit_flip(
+                BitFlipSite::GatheredSegment,
+                &mut data[src][sl * blocks..(sl + 1) * blocks],
+            );
+        }
+        if attempts > 0 {
+            comm.stats_mut().note_sdc_repaired();
+        }
+        Ok(data)
+    }
+
+    /// Checkpoint save with write-time verification: stores `data`, then
+    /// — when validation is on — reads the committed checksum back and
+    /// compares it against the *live* buffer. This catches a flip that
+    /// landed on the snapshot image before the store hashed it: such an
+    /// image is self-consistent, so the store's restore-time check (and
+    /// its commit-time scrub) can never see it. Under `Recover` a flagged
+    /// save is simply redone from the live buffer.
+    fn save_checked(
+        &self,
+        comm: &mut Comm,
+        store: &CheckpointStore,
+        phase: &'static str,
+        epoch: u64,
+        data: &[c64],
+    ) -> Result<(), SoiRunError> {
+        let rank = comm.rank();
+        if !comm.flip_planned(BitFlipSite::CheckpointImage) && !self.validation.is_on() {
+            store.save(rank, phase, epoch, data);
+            return Ok(());
+        }
+        let mut attempts = 0u32;
+        loop {
+            if comm.flip_planned(BitFlipSite::CheckpointImage) {
+                // Flip a private copy so the planned fault corrupts the
+                // stored bytes, not the live pipeline buffer.
+                let mut image = data.to_vec();
+                comm.inject_bit_flip(BitFlipSite::CheckpointImage, &mut image);
+                store.save(rank, phase, epoch, &image);
+            } else {
+                store.save(rank, phase, epoch, data);
+            }
+            if !self.validation.is_on() {
+                return Ok(());
+            }
+            if store.stored_checksum(rank, phase) == Some(checksum(data)) {
+                if attempts > 0 {
+                    comm.stats_mut().note_sdc_repaired();
+                }
+                return Ok(());
+            }
+            comm.stats_mut().note_sdc_detected();
+            if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
+                return Err(self.sdc_error(comm, "checkpoint", None));
+            }
+            attempts += 1;
+        }
+    }
+
+    /// Once-per-run FFT machinery check: verifies `F(x+αr) = F(x)+αF(r)`
+    /// on seeded vectors through the row-FFT plan
+    /// ([`verify::linearity_probe`]), catching corrupted plan state
+    /// (twiddle tables, dispatch) that per-buffer checksums cannot see. A
+    /// failure has no localized repair — the plan itself is suspect — so
+    /// it escalates immediately under every validating policy.
+    fn probe_machinery(&self, comm: &mut Comm) -> Result<(), SoiRunError> {
+        if !self.validation.is_on() {
+            return Ok(());
+        }
+        let seed = PROBE_SEED ^ comm.rank() as u64;
+        if verify::linearity_probe(&self.plan_l, seed, verify::PROBE_TOLERANCE) {
+            return Ok(());
+        }
+        comm.stats_mut().note_sdc_detected();
+        Err(self.sdc_error(comm, "verify-probe", None))
+    }
+
+    /// A [`CommError::SilentCorruption`] escalation at `phase`, carrying
+    /// the ledger with its recorded detections.
+    fn sdc_error(&self, comm: &Comm, phase: &'static str, segment: Option<usize>) -> SoiRunError {
+        SoiRunError::new(
+            phase,
+            CommError::SilentCorruption {
+                rank: comm.rank(),
+                segment,
+            },
+            comm.stats().clone(),
+        )
+    }
+
     /// Recovers every owned segment from a monolithic-layout exchange
     /// result (`incoming[r]` holds `[sl][m_local]`), recording the
     /// `"local-fft"` phase.
@@ -1219,6 +1572,10 @@ impl SoiFft {
         y[sl * m..(sl + 1) * m].copy_from_slice(&z[..m]);
     }
 }
+
+/// Seed of the once-per-validated-run linearity probe (xor-ed with the
+/// rank so ranks draw distinct probe vectors).
+const PROBE_SEED: u64 = 0x50D1_F1A6_0B5E_55ED;
 
 /// Exclusive prefix sums (`[0, c0, c0+c1, ...]`, length `counts.len()`).
 fn prefix_sums(counts: &[usize]) -> Vec<usize> {

@@ -25,12 +25,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use soifft_cluster::{CheckpointStore, Comm, CommError, ExchangePolicy, RecoveryCtx};
+use soifft_cluster::{
+    BitFlipSite, CheckpointStore, Comm, CommError, ExchangePolicy, RecoveryCtx, ValidationPolicy,
+};
 use soifft_fft::batch;
 use soifft_fft::twiddle::DynamicBlock;
 use soifft_fft::Plan;
 use soifft_num::c64;
 use soifft_num::factor::balanced_split;
+
+/// Localized re-execution attempts per detected silent corruption before
+/// escalating (mirrors the SOI pipeline's retry budget in
+/// `soifft_core::verify` — the ct crate deliberately does not depend on
+/// core).
+const SDC_RETRY_BUDGET: u32 = 2;
 
 /// A planned distributed Cooley–Tukey transform.
 #[derive(Debug)]
@@ -42,6 +50,7 @@ pub struct DistributedCtFft {
     plan1: Plan,
     plan2: Plan,
     tw: DynamicBlock,
+    validation: ValidationPolicy,
 }
 
 /// Planning errors.
@@ -109,7 +118,21 @@ impl DistributedCtFft {
             plan1: Plan::new(n1),
             plan2: Plan::new(n2),
             tw: DynamicBlock::new(n),
+            validation: ValidationPolicy::Off,
         }
+    }
+
+    /// Selects the silent-data-corruption defense level for the resilient
+    /// pipelines ([`DistributedCtFft::try_forward`] and
+    /// [`DistributedCtFft::try_forward_recoverable`]): the first local FFT
+    /// stage is guarded by the Parseval energy balance `E_out = n1·E_in`
+    /// (exact because the fused twiddles have unit modulus), with
+    /// `CheckOnly` surfacing a violation as
+    /// [`CommError::SilentCorruption`] and `Recover` re-executing the
+    /// stage from its pre-FFT columns up to the retry budget first.
+    pub fn with_validation(mut self, validation: ValidationPolicy) -> Self {
+        self.validation = validation;
+        self
     }
 
     /// Transform length.
@@ -173,7 +196,7 @@ impl DistributedCtFft {
         let (n1, n2) = (self.n1, self.n2);
 
         let mut cols = distributed_transpose_resilient(comm, local_input, n1, n2, policy)?;
-        self.fft1_twiddle(comm, &mut cols);
+        self.fft1_checked(comm, &mut cols)?;
 
         let mut rows = distributed_transpose_resilient(comm, &cols, n2, n1, policy)?;
         drop(cols);
@@ -264,7 +287,7 @@ impl DistributedCtFft {
                     None => restore(ct_phases::TRANSPOSE_1)?,
                 };
                 comm.crash_point(ct_phases::FFT_1);
-                self.fft1_twiddle(comm, &mut cols);
+                self.fft1_checked(comm, &mut cols)?;
                 store.save(rank, ct_phases::FFT_1, epoch, &cols);
                 cols
             };
@@ -284,6 +307,55 @@ impl DistributedCtFft {
         };
 
         distributed_transpose_resilient(comm, &rows, n1, n2, policy)
+    }
+
+    /// [`DistributedCtFft::fft1_twiddle`] under the ABFT guard used by the
+    /// resilient pipelines. The invariant: an unnormalized `n1`-point DFT
+    /// scales total energy by exactly `n1`, and the fused twiddles
+    /// `W_N^{bc}` have unit modulus, so across the whole stage
+    /// `E_out = n1·E_in` to roundoff. The energy is captured *before* the
+    /// stage, any planned [`BitFlipSite::LocalFftBuffer`] flip is injected
+    /// after it (memory corruption the link layer never observes), and
+    /// the balance is re-verified before the next transpose ships the
+    /// buffer. `Recover` re-executes the stage from its pre-FFT columns up
+    /// to [`SDC_RETRY_BUDGET`] times; then (or immediately under
+    /// `CheckOnly`) escalates as [`CommError::SilentCorruption`].
+    fn fft1_checked(&self, comm: &mut Comm, cols: &mut [c64]) -> Result<(), CommError> {
+        let validate = self.validation.is_on();
+        let energy = |data: &[c64]| -> f64 { data.iter().map(|z| z.norm_sqr()).sum() };
+        let e_in = energy(cols);
+        let pre = (validate && self.validation.recovers()).then(|| cols.to_vec());
+        self.fft1_twiddle(comm, cols);
+        comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, cols);
+        if !validate {
+            return Ok(());
+        }
+        // Roundoff grows with the butterfly depth; ~two orders above
+        // worst-case drift, ~ten below a high-exponent flip.
+        let tol = 1e-12 * (self.n1.max(2) as f64).log2();
+        let expect = e_in * self.n1 as f64;
+        let scale = expect.abs().max(f64::MIN_POSITIVE);
+        let balanced = |e_out: f64| e_out.is_finite() && ((e_out - expect) / scale).abs() <= tol;
+        let mut attempts = 0u32;
+        while !balanced(energy(cols)) {
+            comm.stats_mut().note_sdc_detected();
+            if !self.validation.recovers() || attempts >= SDC_RETRY_BUDGET {
+                return Err(CommError::SilentCorruption {
+                    rank: comm.rank(),
+                    segment: None,
+                });
+            }
+            attempts += 1;
+            let pre = pre.as_ref().expect("Recover keeps the pre-FFT columns");
+            cols.copy_from_slice(pre);
+            self.fft1_twiddle(comm, cols);
+            // A stuck-at fault corrupts the re-execution too.
+            comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, cols);
+        }
+        if attempts > 0 {
+            comm.stats_mut().note_sdc_repaired();
+        }
+        Ok(())
     }
 
     /// Steps 2+3 shared by every forward variant: local `n1`-point FFTs
@@ -443,7 +515,7 @@ impl Distributed2dFft {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soifft_cluster::Cluster;
+    use soifft_cluster::{Cluster, ClusterConfig, FaultPlan, RankOutcome};
     use soifft_num::error::rel_linf;
 
     fn signal(n: usize) -> Vec<c64> {
@@ -641,5 +713,73 @@ mod tests {
     #[should_panic(expected = "P must divide n1")]
     fn bad_split_panics() {
         DistributedCtFft::with_split(12, 4, 3, 4);
+    }
+
+    fn run_validated(
+        plan: Option<FaultPlan>,
+        validation: ValidationPolicy,
+    ) -> Vec<RankOutcome<Result<Vec<c64>, CommError>>> {
+        let p = 4;
+        let n = 1 << 10;
+        let x = signal(n);
+        let parts = scatter(&x, p);
+        let fft = DistributedCtFft::new(n, p)
+            .unwrap()
+            .with_validation(validation);
+        let config = match plan {
+            Some(plan) => ClusterConfig::with_faults(plan),
+            None => ClusterConfig::default(),
+        };
+        Cluster::run_with(config, p, move |comm| {
+            fft.try_forward(comm, &parts[comm.rank()], &ExchangePolicy::default())
+        })
+    }
+
+    fn outputs_of(runs: Vec<RankOutcome<Result<Vec<c64>, CommError>>>) -> Vec<c64> {
+        runs.into_iter()
+            .flat_map(|o| match o {
+                RankOutcome::Ok(Ok(y)) => y,
+                other => panic!("rank did not complete: {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft1_flip_slips_through_when_validation_is_off() {
+        let clean = outputs_of(run_validated(None, ValidationPolicy::Off));
+        let plan = FaultPlan::new(77).bit_flip(2, BitFlipSite::LocalFftBuffer);
+        let flipped = outputs_of(run_validated(Some(plan), ValidationPolicy::Off));
+        assert_ne!(
+            clean, flipped,
+            "an unchecked flip must corrupt the spectrum"
+        );
+    }
+
+    #[test]
+    fn fft1_flip_is_detected_under_check_only() {
+        let plan = FaultPlan::new(77).bit_flip(2, BitFlipSite::LocalFftBuffer);
+        let runs = run_validated(Some(plan), ValidationPolicy::CheckOnly);
+        let mut detected = false;
+        for (rank, o) in runs.into_iter().enumerate() {
+            match o {
+                RankOutcome::Ok(Err(CommError::SilentCorruption { rank: r, .. })) => {
+                    assert_eq!(r, 2, "localized to the flipped rank");
+                    detected = true;
+                }
+                // Peers fail collaterally when the victim aborts the
+                // collective, or may finish if the abort lands late.
+                RankOutcome::Ok(_) => {}
+                other => panic!("rank {rank}: unexpected outcome {other:?}"),
+            }
+        }
+        assert!(detected, "the flipped rank must report SilentCorruption");
+    }
+
+    #[test]
+    fn fft1_flip_is_repaired_under_recover_bit_identically() {
+        let clean = outputs_of(run_validated(None, ValidationPolicy::Recover));
+        let plan = FaultPlan::new(77).bit_flip(2, BitFlipSite::LocalFftBuffer);
+        let repaired = outputs_of(run_validated(Some(plan), ValidationPolicy::Recover));
+        assert_eq!(clean, repaired, "repair must be bit-identical");
     }
 }

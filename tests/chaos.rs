@@ -132,6 +132,8 @@ fn assert_soi_fails_typed_under(plan: FaultPlan, crashed: Option<usize>) {
             RankOutcome::Panicked(msg) => {
                 panic!("rank {rank}: unhandled panic leaked through: {msg}")
             }
+            // RankOutcome is non-exhaustive.
+            other => panic!("rank {rank}: unexpected outcome {other:?}"),
         }
     }
 }
@@ -257,6 +259,8 @@ fn soi_failure_without_recovery_is_deterministic() {
                 RankOutcome::Ok(Err(e)) => format!("run-err:{}:{}", e.phase, e.error),
                 RankOutcome::Ok(Ok(_)) => "ok".to_string(),
                 RankOutcome::Panicked(msg) => format!("panic:{msg}"),
+                // RankOutcome is non-exhaustive.
+                other => format!("other:{other:?}"),
             })
             .collect()
     };
@@ -467,6 +471,8 @@ fn ct_rank_crash_fails_typed_and_unblocks_survivors() {
             RankOutcome::Ok(Err(e)) => assert_eq!(e, CommError::PeerFailed { rank: 1 }),
             RankOutcome::Ok(Ok(_)) => panic!("rank {rank}: must not succeed"),
             RankOutcome::Panicked(msg) => panic!("rank {rank}: unhandled panic: {msg}"),
+            // RankOutcome is non-exhaustive.
+            other => panic!("rank {rank}: unexpected outcome {other:?}"),
         }
     }
 }
