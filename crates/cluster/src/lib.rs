@@ -60,6 +60,7 @@ pub mod proxy;
 pub mod resilience;
 pub mod stats;
 pub mod supervisor;
+pub mod trace;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -81,6 +82,7 @@ pub use resilience::{
 };
 pub use stats::{CommStats, CostModel, PhaseRecord, RecoveryOutcome};
 pub use supervisor::{RecoveryCtx, RestartPolicy, SupervisedRun, Supervisor};
+pub use trace::{chrome_trace_json, text_tree, PhaseProfile, RunProfile, TraceConfig, TraceEvent};
 
 use resilience::{ClusterState, CommFailure, InjectedCrash};
 
@@ -252,9 +254,15 @@ impl Comm {
     /// * [`CommError::ChecksumMismatch`] — budget exhausted and at least
     ///   one corrupted copy reached the wire.
     /// * [`CommError::Shutdown`] — the destination endpoint is gone.
+    /// * [`CommError::InvalidArgument`] — `dst` is not a rank of this
+    ///   cluster.
     #[must_use = "a failed send leaves the collective incomplete; handle or escalate the error"]
     pub fn try_send(&mut self, dst: usize, tag: u64, data: Vec<c64>) -> Result<(), CommError> {
-        assert!(dst < self.size, "destination rank out of range");
+        if dst >= self.size {
+            return Err(CommError::InvalidArgument {
+                what: "destination rank out of range",
+            });
+        }
         self.maybe_crash_sends();
         let bytes = (data.len() * std::mem::size_of::<c64>()) as u64;
         self.stats.add_bytes_sent(bytes);
@@ -473,6 +481,8 @@ impl Comm {
     /// * [`CommError::PeerFailed`] — a rank died while we would block
     ///   (already-delivered matching messages are still returned first).
     /// * [`CommError::Shutdown`] — every peer endpoint is gone.
+    /// * [`CommError::InvalidArgument`] — `src` is not a rank of this
+    ///   cluster.
     #[must_use = "a failed receive leaves the collective incomplete; handle or escalate the error"]
     pub fn recv_deadline(
         &mut self,
@@ -486,7 +496,11 @@ impl Comm {
     /// Deadline-based receive against an absolute instant (lets a
     /// collective spread one budget across many receives).
     fn recv_until(&mut self, src: usize, tag: u64, end: Instant) -> Result<Vec<c64>, CommError> {
-        assert!(src < self.size, "source rank out of range");
+        if src >= self.size {
+            return Err(CommError::InvalidArgument {
+                what: "source rank out of range",
+            });
+        }
         loop {
             if let Some(data) = self.take_pending(src, tag) {
                 return Ok(data);
@@ -519,6 +533,12 @@ impl Comm {
     /// Non-blocking receive: returns a matching message if one has already
     /// arrived, without waiting (the `MPI_Iprobe + MPI_Recv` pattern used
     /// when polling for pipelined chunks while computing).
+    ///
+    /// # Panics
+    /// If `src` is not a rank of this cluster. (The `Option` return means
+    /// "no message yet", which an out-of-range source would silently —
+    /// and forever — masquerade as; the fallible receive for probing
+    /// questionable arguments is [`Comm::recv_deadline`].)
     pub fn try_recv(&mut self, src: usize, tag: u64) -> Option<Vec<c64>> {
         assert!(src < self.size, "source rank out of range");
         // Drain the channel into the pending map without blocking.
@@ -595,21 +615,32 @@ impl Comm {
     /// ledgers stay meaningful).
     ///
     /// # Errors
-    /// The last round's [`CommError`] when the budget is exhausted, or the
+    /// The last round's [`CommError`] when the budget is exhausted, the
     /// first structural failure ([`CommError::PeerFailed`] /
-    /// [`CommError::Shutdown`]).
+    /// [`CommError::Shutdown`]), or [`CommError::InvalidArgument`] for a
+    /// wrong buffer count or a round budget of zero / beyond the
+    /// per-epoch tag space.
     pub fn all_to_all_resilient(
         &mut self,
         outgoing: &[Vec<c64>],
         policy: &ExchangePolicy,
     ) -> Result<Vec<Vec<c64>>, CommError> {
-        assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
-        assert!(policy.max_rounds >= 1, "need at least one round");
+        if outgoing.len() != self.size {
+            return Err(CommError::InvalidArgument {
+                what: "need one buffer per rank",
+            });
+        }
+        if policy.max_rounds < 1 {
+            return Err(CommError::InvalidArgument {
+                what: "need at least one round",
+            });
+        }
         // 4 tags per round, 256 tag slots per epoch (tags::resilient_tags).
-        assert!(
-            policy.max_rounds <= 64,
-            "round budget exceeds the per-epoch tag space"
-        );
+        if policy.max_rounds > 64 {
+            return Err(CommError::InvalidArgument {
+                what: "round budget exceeds the per-epoch tag space",
+            });
+        }
         self.maybe_crash(CrashSite::AllToAll);
         let t = self.stats.phase_start();
         let epoch = self.exchange_epoch;
@@ -674,14 +705,27 @@ impl Comm {
     /// simply waits another round — so no round can create a stale
     /// duplicate for a later exchange. Structural failures return
     /// immediately. Recorded as one `"ghost"` phase either way.
+    ///
+    /// # Errors
+    /// Besides the transport failures, [`CommError::InvalidArgument`]
+    /// when `ghost_len` exceeds the local buffer or the round budget is
+    /// zero — misuse a `try_*` API reports, never panics on.
     pub fn try_exchange_ghost(
         &mut self,
         local: &[c64],
         ghost_len: usize,
         policy: &ExchangePolicy,
     ) -> Result<Vec<c64>, CommError> {
-        assert!(ghost_len <= local.len(), "ghost larger than local data");
-        assert!(policy.max_rounds >= 1, "need at least one round");
+        if ghost_len > local.len() {
+            return Err(CommError::InvalidArgument {
+                what: "ghost larger than local data",
+            });
+        }
+        if policy.max_rounds < 1 {
+            return Err(CommError::InvalidArgument {
+                what: "need at least one round",
+            });
+        }
         self.maybe_crash(CrashSite::Ghost);
         let t = self.stats.phase_start();
         let prev = (self.rank + self.size - 1) % self.size;
@@ -753,7 +797,7 @@ impl Comm {
     /// elements as you send to `src`).
     pub fn all_to_all_chunked(
         &mut self,
-        outgoing: Vec<Vec<c64>>,
+        mut outgoing: Vec<Vec<c64>>,
         chunk_elems: usize,
     ) -> Vec<Vec<c64>> {
         assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
@@ -761,32 +805,67 @@ impl Comm {
         self.maybe_crash(CrashSite::AllToAll);
         let t = self.stats.phase_start();
         let lens: Vec<usize> = outgoing.iter().map(Vec::len).collect();
-        // Round-robin over destinations, one chunk at a time.
+        self.send_chunks(&mut outgoing, &lens, chunk_elems);
+        // Expected lengths mirror what we sent (symmetric exchange).
+        let incoming = self.recv_chunks(&lens);
+        self.stats.phase_end("all-to-all", t);
+        incoming
+    }
+
+    /// Sends every buffer round-robin across destinations in chunks of at
+    /// most `chunk_elems` elements. A chunk that covers a *whole* buffer
+    /// is moved out of `outgoing` and sent without copying; a partial
+    /// chunk must be staged into a fresh allocation (the transport owns
+    /// each message's payload) and is counted as a staging copy in the
+    /// ledger, so the chunk-size / allocation trade-off is measurable.
+    fn send_chunks(&mut self, outgoing: &mut [Vec<c64>], lens: &[usize], chunk_elems: usize) {
         let mut offsets = vec![0usize; self.size];
         let mut more = true;
         while more {
             more = false;
-            for (dst, buf) in outgoing.iter().enumerate() {
+            self.stats.span_open("a2a-round");
+            for dst in 0..self.size {
                 let off = offsets[dst];
                 if off >= lens[dst] {
                     continue;
                 }
                 let take = chunk_elems.min(lens[dst] - off);
-                self.send(dst, tags::ALL_TO_ALL_CHUNK, buf[off..off + take].to_vec());
+                let payload = if off == 0 && take == lens[dst] {
+                    std::mem::take(&mut outgoing[dst])
+                } else {
+                    self.stats.note_comm_alloc();
+                    outgoing[dst][off..off + take].to_vec()
+                };
+                self.send(dst, tags::ALL_TO_ALL_CHUNK, payload);
                 offsets[dst] = off + take;
                 more |= offsets[dst] < lens[dst];
             }
+            self.stats.span_close("a2a-round");
         }
-        // Reassemble, receiving chunks in order per source. Expected
-        // lengths mirror what we sent (symmetric exchange).
-        let mut incoming: Vec<Vec<c64>> = (0..self.size).map(|_| Vec::new()).collect();
-        for (src, slot) in incoming.iter_mut().enumerate() {
-            while slot.len() < lens[src] {
+    }
+
+    /// Reassembles the chunked exchange, receiving chunks in order per
+    /// source. Each slot is sized once up front; a volume that arrives as
+    /// a single chunk adopts the transport's buffer outright.
+    fn recv_chunks(&mut self, expected: &[usize]) -> Vec<Vec<c64>> {
+        let mut incoming: Vec<Vec<c64>> = Vec::with_capacity(self.size);
+        for (src, &want) in expected.iter().enumerate() {
+            let mut slot: Vec<c64> = Vec::new();
+            let mut first = true;
+            while slot.len() < want {
                 let chunk = self.recv(src, tags::ALL_TO_ALL_CHUNK);
+                if first && chunk.len() == want {
+                    slot = chunk;
+                    break;
+                }
+                if first {
+                    slot.reserve_exact(want);
+                    first = false;
+                }
                 slot.extend_from_slice(&chunk);
             }
+            incoming.push(slot);
         }
-        self.stats.phase_end("all-to-all", t);
         incoming
     }
 
@@ -797,7 +876,7 @@ impl Comm {
     /// differ.
     pub fn all_to_all_chunked_v(
         &mut self,
-        outgoing: Vec<Vec<c64>>,
+        mut outgoing: Vec<Vec<c64>>,
         chunk_elems: usize,
         expected: &[usize],
     ) -> Vec<Vec<c64>> {
@@ -807,28 +886,8 @@ impl Comm {
         self.maybe_crash(CrashSite::AllToAll);
         let t = self.stats.phase_start();
         let lens: Vec<usize> = outgoing.iter().map(Vec::len).collect();
-        let mut offsets = vec![0usize; self.size];
-        let mut more = true;
-        while more {
-            more = false;
-            for (dst, buf) in outgoing.iter().enumerate() {
-                let off = offsets[dst];
-                if off >= lens[dst] {
-                    continue;
-                }
-                let take = chunk_elems.min(lens[dst] - off);
-                self.send(dst, tags::ALL_TO_ALL_CHUNK, buf[off..off + take].to_vec());
-                offsets[dst] = off + take;
-                more |= offsets[dst] < lens[dst];
-            }
-        }
-        let mut incoming: Vec<Vec<c64>> = (0..self.size).map(|_| Vec::new()).collect();
-        for (src, slot) in incoming.iter_mut().enumerate() {
-            while slot.len() < expected[src] {
-                let chunk = self.recv(src, tags::ALL_TO_ALL_CHUNK);
-                slot.extend_from_slice(&chunk);
-            }
-        }
+        self.send_chunks(&mut outgoing, &lens, chunk_elems);
+        let incoming = self.recv_chunks(expected);
         self.stats.phase_end("all-to-all", t);
         incoming
     }
@@ -963,6 +1022,11 @@ pub struct ClusterConfig {
     /// launcher forever. Comfortably above `recv_deadline` by default so
     /// it only fires for hangs the comm layer cannot see.
     pub join_deadline: Duration,
+    /// Hierarchical trace collection (off by default). When enabled, every
+    /// rank's [`CommStats`] records [`TraceEvent`]s against one shared
+    /// origin instant, so cross-rank timelines align in the
+    /// [`chrome_trace_json`] / [`text_tree`] exporters.
+    pub trace: TraceConfig,
 }
 
 impl Default for ClusterConfig {
@@ -973,6 +1037,7 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             recv_deadline: Duration::from_secs(120),
             join_deadline: Duration::from_secs(600),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -991,6 +1056,15 @@ impl ClusterConfig {
         assert!(capacity >= 1, "capacity must be at least 1");
         ClusterConfig {
             capacity: Some(capacity),
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Config with hierarchical tracing enabled (and everything else
+    /// default).
+    pub fn with_trace() -> Self {
+        ClusterConfig {
+            trace: TraceConfig::enabled(),
             ..ClusterConfig::default()
         }
     }
@@ -1104,6 +1178,9 @@ where
     assert_eq!(rxs.len(), ranks, "need one mailbox per rank");
     let barrier = Arc::new(CancellableBarrier::new(ranks));
     let state = Arc::new(ClusterState::new());
+    // One origin for the whole epoch, so every rank's trace timestamps
+    // share a zero point and cross-rank timelines line up.
+    let trace_origin = config.trace.enabled.then(Instant::now);
     let mut comms: Vec<Comm> = (0..ranks)
         .map(|rank| Comm {
             rank,
@@ -1124,7 +1201,13 @@ where
             next_seq: 0,
             exchange_epoch: 0,
             generation,
-            stats: CommStats::default(),
+            stats: {
+                let mut stats = CommStats::default();
+                if let Some(origin) = trace_origin {
+                    stats.enable_trace(origin);
+                }
+                stats
+            },
         })
         .collect();
     drop(txs);
@@ -1575,6 +1658,171 @@ mod tests {
     fn allreduce_single_rank() {
         let out = Cluster::run(1, |comm| comm.allreduce_max(-3.5));
         assert_eq!(out[0], -3.5);
+    }
+
+    #[test]
+    fn try_exchange_ghost_rejects_oversized_ghost_with_typed_error() {
+        // Regression: this used to `assert!` and take the rank down. A
+        // `try_*` API must report misuse as a typed error instead.
+        let out = Cluster::run(2, |comm| {
+            let local = vec![c64::ZERO; 4];
+            let too_big = comm.try_exchange_ghost(&local, 5, &ExchangePolicy::default());
+            let no_rounds = comm.try_exchange_ghost(
+                &local,
+                2,
+                &ExchangePolicy {
+                    max_rounds: 0,
+                    ..ExchangePolicy::default()
+                },
+            );
+            (too_big.err(), no_rounds.err())
+        });
+        for (too_big, no_rounds) in out {
+            assert!(matches!(too_big, Some(CommError::InvalidArgument { .. })));
+            assert!(matches!(no_rounds, Some(CommError::InvalidArgument { .. })));
+        }
+    }
+
+    #[test]
+    fn try_paths_reject_invalid_arguments_without_panicking() {
+        let out = Cluster::run(2, |comm| {
+            let bad_send = comm.try_send(99, tags::USER, vec![c64::ZERO]);
+            let bad_recv = comm.recv_deadline(99, tags::USER, Duration::from_millis(5));
+            let short = vec![Vec::new(); 1];
+            let bad_bufs = comm.all_to_all_resilient(&short, &ExchangePolicy::default());
+            let ok_bufs = vec![Vec::new(); comm.size()];
+            let no_rounds = comm.all_to_all_resilient(
+                &ok_bufs,
+                &ExchangePolicy {
+                    max_rounds: 0,
+                    ..ExchangePolicy::default()
+                },
+            );
+            let too_many_rounds = comm.all_to_all_resilient(
+                &ok_bufs,
+                &ExchangePolicy {
+                    max_rounds: 65,
+                    ..ExchangePolicy::default()
+                },
+            );
+            (
+                bad_send.err(),
+                bad_recv.err(),
+                bad_bufs.err(),
+                no_rounds.err(),
+                too_many_rounds.err(),
+            )
+        });
+        for errs in out {
+            assert!(matches!(errs.0, Some(CommError::InvalidArgument { .. })));
+            assert!(matches!(errs.1, Some(CommError::InvalidArgument { .. })));
+            assert!(matches!(errs.2, Some(CommError::InvalidArgument { .. })));
+            assert!(matches!(errs.3, Some(CommError::InvalidArgument { .. })));
+            assert!(matches!(errs.4, Some(CommError::InvalidArgument { .. })));
+        }
+    }
+
+    #[test]
+    fn chunked_with_chunk_larger_than_every_buffer_moves_without_copies() {
+        // Satellite edge case: chunk_elems exceeds every buffer, so each
+        // buffer ships as one moved-out chunk — zero staging copies.
+        let p = 3;
+        let make_outgoing = |r: usize| -> Vec<Vec<c64>> {
+            (0..p)
+                .map(|d| {
+                    (0..17)
+                        .map(|j| c64::new((r * 10 + d) as f64, j as f64))
+                        .collect()
+                })
+                .collect()
+        };
+        let blocking = Cluster::run(p, |comm| comm.all_to_all(make_outgoing(comm.rank())));
+        let out = Cluster::run(p, |comm| {
+            let incoming = comm.all_to_all_chunked(make_outgoing(comm.rank()), 1000);
+            (incoming, comm.stats().comm_allocs())
+        });
+        for (r, (incoming, allocs)) in out.into_iter().enumerate() {
+            assert_eq!(incoming, blocking[r]);
+            assert_eq!(allocs, 0, "whole-buffer chunks must be moved, not copied");
+        }
+    }
+
+    #[test]
+    fn chunked_partial_chunks_count_staging_copies() {
+        // 17 elements in chunks of 4 → ceil(17/4) = 5 staging copies per
+        // destination (no chunk covers a whole buffer). The counter is
+        // how the perf fix is verified: the same exchange used to copy
+        // every chunk unconditionally.
+        let p = 3;
+        let out = Cluster::run(p, |comm| {
+            let r = comm.rank();
+            let outgoing: Vec<Vec<c64>> = (0..p).map(|_| vec![c64::real(r as f64); 17]).collect();
+            comm.all_to_all_chunked(outgoing, 4);
+            comm.stats().comm_allocs()
+        });
+        for allocs in out {
+            assert_eq!(allocs, (p as u64) * 5);
+        }
+    }
+
+    #[test]
+    fn ghost_exchange_at_full_local_length() {
+        // Satellite edge case: ghost_len == per-rank length (the whole
+        // local buffer is the ghost region), on both the infallible and
+        // fallible paths.
+        let p = 3;
+        let per_rank = 6;
+        let out = Cluster::run(p, |comm| {
+            let r = comm.rank();
+            let local: Vec<c64> = (0..per_rank)
+                .map(|i| c64::new(r as f64, i as f64))
+                .collect();
+            let infallible = comm.exchange_ghost(&local, per_rank);
+            let fallible = comm
+                .try_exchange_ghost(&local, per_rank, &ExchangePolicy::default())
+                .expect("full-length ghost is valid");
+            (infallible, fallible)
+        });
+        for (r, (infallible, fallible)) in out.into_iter().enumerate() {
+            let next = (r + 1) % p;
+            assert_eq!(infallible.len(), per_rank);
+            assert_eq!(infallible, fallible);
+            for (i, v) in infallible.iter().enumerate() {
+                assert_eq!(v.re as usize, next);
+                assert_eq!(v.im as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_enabled_by_config() {
+        let out = Cluster::run(2, |comm| {
+            comm.all_to_all(vec![vec![c64::ZERO; 4]; 2]);
+            comm.stats().clone()
+        });
+        for s in &out {
+            assert!(!s.trace_enabled());
+            assert!(s.trace_events().is_empty());
+        }
+
+        let outcomes = Cluster::run_with(ClusterConfig::with_trace(), 2, |comm| {
+            comm.stats_mut().span_open("superstep");
+            comm.all_to_all(vec![vec![c64::ZERO; 4]; 2]);
+            comm.stats_mut().span_close("superstep");
+            comm.stats().clone()
+        });
+        for o in outcomes {
+            let s = o.unwrap();
+            assert!(s.trace_enabled());
+            // The flat ledger is identical either way...
+            let phases: Vec<&str> = s.records().iter().map(|r| r.name).collect();
+            assert_eq!(phases, vec!["all-to-all"]);
+            // ...while the trace holds the phase leaf nested in the span.
+            let names: Vec<&str> = s.trace_events().iter().map(|e| e.name).collect();
+            assert_eq!(names, vec!["all-to-all", "superstep"]);
+            assert_eq!(s.trace_events()[0].depth, 1);
+            assert_eq!(s.trace_events()[0].bytes, 2 * 4 * 16);
+        }
     }
 
     #[test]

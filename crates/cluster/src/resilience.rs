@@ -77,6 +77,16 @@ pub enum CommError {
         /// whole-phase invariants like the front-end energy balance).
         segment: Option<usize>,
     },
+    /// A fallible (`try_*`) entry point was called with arguments it can
+    /// never satisfy (e.g. a ghost region larger than the local buffer,
+    /// a destination rank outside the cluster, or a zero retry budget).
+    /// The infallible collectives keep their documented `assert!`s; the
+    /// `try_*` family reports the same misuse as a typed error so a
+    /// caller probing a configuration does not bring the rank down.
+    InvalidArgument {
+        /// What was wrong with the call.
+        what: &'static str,
+    },
 }
 
 impl CommError {
@@ -117,6 +127,7 @@ impl std::fmt::Display for CommError {
                     "silent data corruption detected on rank {rank}, beyond the repair budget"
                 ),
             },
+            CommError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
         }
     }
 }

@@ -9,6 +9,8 @@
 
 use std::time::Instant;
 
+use crate::trace::{TraceBuf, TraceEvent};
+
 /// One completed phase: name, wall-clock seconds, bytes sent during it,
 /// and (when a cost model is active) the *simulated* seconds the phase
 /// would take on the modeled hardware.
@@ -71,6 +73,10 @@ pub struct CommStats {
     sdc_false_positives: u64,
     queue_high_watermark: usize,
     recovery: RecoveryOutcome,
+    comm_allocs: u64,
+    pool_busy_s: f64,
+    pool_tasks: u64,
+    trace: Option<TraceBuf>,
 }
 
 /// Token returned by [`CommStats::phase_start`]; closed by
@@ -148,13 +154,17 @@ impl CommStats {
     /// the phase sent bytes, its simulated communication time is recorded.
     pub fn phase_end(&mut self, name: &'static str, token: PhaseToken) {
         let bytes = self.total_bytes_sent - token.bytes_at_start;
+        let seconds = token.start.elapsed().as_secs_f64();
         let sim = self
             .cost
             .filter(|_| bytes > 0)
             .map(|c| c.latency_s + bytes as f64 / c.bytes_per_s);
+        if let Some(trace) = &mut self.trace {
+            trace.leaf(name, token.start, seconds, bytes, sim);
+        }
         self.records.push(PhaseRecord {
             name,
-            seconds: token.start.elapsed().as_secs_f64(),
+            seconds,
             bytes_sent: bytes,
             sim_seconds: sim,
         });
@@ -165,9 +175,13 @@ impl CommStats {
     /// modeled machine's rate).
     pub fn phase_end_sim(&mut self, name: &'static str, token: PhaseToken, sim_seconds: f64) {
         let bytes = self.total_bytes_sent - token.bytes_at_start;
+        let seconds = token.start.elapsed().as_secs_f64();
+        if let Some(trace) = &mut self.trace {
+            trace.leaf(name, token.start, seconds, bytes, Some(sim_seconds));
+        }
         self.records.push(PhaseRecord {
             name,
-            seconds: token.start.elapsed().as_secs_f64(),
+            seconds,
             bytes_sent: bytes,
             sim_seconds: Some(sim_seconds),
         });
@@ -177,6 +191,77 @@ impl CommStats {
     /// get `sim_seconds = latency + bytes/bandwidth`.
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = Some(cost);
+    }
+
+    /// Removes any installed cost model; subsequent phases record wall
+    /// time only. Plans without a virtual-time spec call this so a
+    /// `Comm` reused across plans does not keep accruing simulated time
+    /// from a previous plan's model.
+    pub fn clear_cost_model(&mut self) {
+        self.cost = None;
+    }
+
+    /// Turns on hierarchical tracing for this ledger. `origin` is the
+    /// zero point for event timestamps; the cluster driver passes one
+    /// shared instant to every rank of an epoch so cross-rank timelines
+    /// align in the exporters.
+    pub fn enable_trace(&mut self, origin: Instant) {
+        self.trace = Some(TraceBuf::new(origin));
+    }
+
+    /// Whether hierarchical tracing is active.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Closed trace events (empty when tracing is disabled).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.trace.as_ref().map_or(&[], |t| t.events())
+    }
+
+    /// Opens a named span. A no-op unless tracing is enabled — the
+    /// disabled path is a single `Option` discriminant test.
+    pub fn span_open(&mut self, name: &'static str) {
+        if let Some(trace) = &mut self.trace {
+            trace.open(name, self.total_bytes_sent);
+        }
+    }
+
+    /// Closes the innermost span, which must be `name`. No-op when
+    /// tracing is disabled.
+    pub fn span_close(&mut self, name: &'static str) {
+        if let Some(trace) = &mut self.trace {
+            trace.close(name, self.total_bytes_sent, None);
+        }
+    }
+
+    /// Records a communication-layer staging copy (a chunk that could
+    /// not be moved out of its source buffer and had to be copied into
+    /// a fresh allocation before sending).
+    pub fn note_comm_alloc(&mut self) {
+        self.comm_allocs += 1;
+    }
+
+    /// Communication-layer staging copies made on behalf of this rank.
+    pub fn comm_allocs(&self) -> u64 {
+        self.comm_allocs
+    }
+
+    /// Folds a pool-worker busy snapshot into this ledger (busy seconds
+    /// and task count from an instrumented `soifft_par::Pool`).
+    pub fn add_pool_metrics(&mut self, busy_s: f64, tasks: u64) {
+        self.pool_busy_s += busy_s;
+        self.pool_tasks += tasks;
+    }
+
+    /// Accumulated pool-worker busy seconds.
+    pub fn pool_busy_seconds(&self) -> f64 {
+        self.pool_busy_s
+    }
+
+    /// Accumulated pool-worker task executions.
+    pub fn pool_tasks(&self) -> u64 {
+        self.pool_tasks
     }
 
     /// Total simulated seconds across phases named `name` (0.0 if no model
@@ -276,6 +361,12 @@ impl CommStats {
         self.sdc_repaired += other.sdc_repaired;
         self.sdc_false_positives += other.sdc_false_positives;
         self.queue_high_watermark = self.queue_high_watermark.max(other.queue_high_watermark);
+        self.comm_allocs += other.comm_allocs;
+        self.pool_busy_s += other.pool_busy_s;
+        self.pool_tasks += other.pool_tasks;
+        if let (Some(mine), Some(theirs)) = (&mut self.trace, &other.trace) {
+            mine.absorb(theirs);
+        }
     }
 
     /// Deepest destination queue this rank ever observed right after one of
@@ -450,6 +541,42 @@ mod tests {
         assert_eq!(s.sdc_detected(), 2);
         assert_eq!(s.sdc_repaired(), 1);
         assert_eq!(s.sdc_false_positives(), 1);
+    }
+
+    #[test]
+    fn clear_cost_model_stops_simulated_time() {
+        let mut s = CommStats::default();
+        s.set_cost_model(CostModel {
+            bytes_per_s: 1000.0,
+            latency_s: 0.5,
+        });
+        let t = s.phase_start();
+        s.add_bytes_sent(500);
+        s.phase_end("exchange", t);
+        assert!(s.records()[0].sim_seconds.is_some());
+        s.clear_cost_model();
+        let t = s.phase_start();
+        s.add_bytes_sent(500);
+        s.phase_end("exchange", t);
+        assert!(
+            s.records()[1].sim_seconds.is_none(),
+            "cleared model must not produce simulated time"
+        );
+    }
+
+    #[test]
+    fn comm_alloc_and_pool_counters_accumulate_and_absorb() {
+        let mut a = CommStats::default();
+        a.note_comm_alloc();
+        a.add_pool_metrics(0.25, 4);
+        let mut b = CommStats::default();
+        b.note_comm_alloc();
+        b.note_comm_alloc();
+        b.add_pool_metrics(0.5, 6);
+        a.absorb(&b);
+        assert_eq!(a.comm_allocs(), 3);
+        assert!((a.pool_busy_seconds() - 0.75).abs() < 1e-12);
+        assert_eq!(a.pool_tasks(), 10);
     }
 
     #[test]

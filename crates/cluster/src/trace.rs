@@ -1,0 +1,538 @@
+//! Per-phase tracing and cross-rank profiling.
+//!
+//! The paper's central evidence (§6, Fig 9) is a *time breakdown*: SOI
+//! wins because the all-to-all shrinks while local compute stays cheap.
+//! [`super::stats::CommStats`] already keeps a flat per-rank phase
+//! ledger; this module adds the three pieces needed to turn that ledger
+//! into a measured Fig 9:
+//!
+//! 1. **Hierarchical spans.** When tracing is enabled each rank keeps a
+//!    [`TraceEvent`] buffer alongside its phase records. Explicit spans
+//!    (`superstep`, `pack`, `checkpoint-save`, ...) nest around the
+//!    existing phases, which are mirrored into the buffer as leaves.
+//!    The trace buffer is *separate* from the phase records, so the
+//!    flat ledger — and every structural assertion on it — is identical
+//!    with tracing on or off.
+//! 2. **[`RunProfile`]**: cross-rank aggregation — per-phase min /
+//!    median / max wall seconds, exact byte and retry totals, virtual
+//!    time under the cost model, pool-worker busy accounting.
+//! 3. **Exporters**: a human-readable text tree ([`text_tree`]) and
+//!    chrome://tracing JSON ([`chrome_trace_json`], load via
+//!    `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! Overhead budget: with [`TraceConfig::enabled`] false (the default)
+//! every instrumentation point is one `Option` discriminant test — the
+//! release-mode gate in `tests/trace_overhead.rs` holds the difference
+//! under 2%. Enabled, each span close is an `O(1)` push onto a
+//! pre-grown `Vec`.
+
+use std::time::Instant;
+
+use crate::stats::CommStats;
+
+/// Switch for the observability layer, carried by
+/// [`crate::ClusterConfig`]. Off by default: the disabled fast path is
+/// a handful of branches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record hierarchical trace events on every rank.
+    pub enabled: bool,
+}
+
+impl TraceConfig {
+    /// Tracing on.
+    pub fn enabled() -> Self {
+        TraceConfig { enabled: true }
+    }
+
+    /// Tracing off (the default).
+    pub fn disabled() -> Self {
+        TraceConfig { enabled: false }
+    }
+}
+
+/// One closed span or mirrored phase in a rank's trace buffer.
+///
+/// Timestamps are seconds since the run's shared origin instant (all
+/// ranks of an epoch share one origin, so cross-rank timelines line
+/// up in the chrome trace).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span or phase label.
+    pub name: &'static str,
+    /// Nesting depth at the time the span was open (0 = top level).
+    pub depth: usize,
+    /// Start, seconds since the trace origin.
+    pub start_s: f64,
+    /// Duration in wall-clock seconds.
+    pub dur_s: f64,
+    /// Bytes this rank sent while the span was open.
+    pub bytes: u64,
+    /// Virtual-time duration, when the closing site computed one.
+    pub sim_s: Option<f64>,
+}
+
+/// Per-rank trace storage: shared origin, open-span stack, closed
+/// events. Lives inside [`CommStats`] as an `Option` so the disabled
+/// path stays allocation-free.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceBuf {
+    origin: Instant,
+    open: Vec<(&'static str, Instant, u64)>,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuf {
+    pub(crate) fn new(origin: Instant) -> Self {
+        TraceBuf {
+            origin,
+            open: Vec::with_capacity(8),
+            events: Vec::with_capacity(64),
+        }
+    }
+
+    pub(crate) fn open(&mut self, name: &'static str, bytes_now: u64) {
+        self.open.push((name, Instant::now(), bytes_now));
+    }
+
+    pub(crate) fn close(&mut self, name: &'static str, bytes_now: u64, sim_s: Option<f64>) {
+        debug_assert_eq!(
+            self.open.last().map(|(n, _, _)| *n),
+            Some(name),
+            "span close does not match innermost open span"
+        );
+        let Some((opened, start, bytes_at_start)) = self.open.pop() else {
+            return;
+        };
+        self.events.push(TraceEvent {
+            name: opened,
+            depth: self.open.len(),
+            start_s: start.saturating_duration_since(self.origin).as_secs_f64(),
+            dur_s: start.elapsed().as_secs_f64(),
+            bytes: bytes_now - bytes_at_start,
+            sim_s,
+        });
+    }
+
+    /// Mirrors a closed flat phase into the trace buffer as a leaf
+    /// under the currently open spans.
+    pub(crate) fn leaf(
+        &mut self,
+        name: &'static str,
+        start: Instant,
+        dur_s: f64,
+        bytes: u64,
+        sim_s: Option<f64>,
+    ) {
+        self.events.push(TraceEvent {
+            name,
+            depth: self.open.len(),
+            start_s: start.saturating_duration_since(self.origin).as_secs_f64(),
+            dur_s,
+            bytes,
+            sim_s,
+        });
+    }
+
+    pub(crate) fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub(crate) fn absorb(&mut self, other: &TraceBuf) {
+        self.events.extend(other.events.iter().cloned());
+    }
+}
+
+/// Cross-rank aggregate for one phase/span name.
+#[derive(Clone, Debug)]
+pub struct PhaseProfile {
+    /// Phase or span label.
+    pub name: String,
+    /// Total records across all ranks.
+    pub count: usize,
+    /// Minimum per-rank total wall seconds (over ranks that recorded
+    /// the phase at all).
+    pub min_s: f64,
+    /// Median per-rank total wall seconds.
+    pub median_s: f64,
+    /// Maximum per-rank total wall seconds.
+    pub max_s: f64,
+    /// Bytes sent during the phase, summed over all ranks (exact).
+    pub total_bytes: u64,
+    /// Virtual time under the cost model, summed over all ranks
+    /// (`None` when no record of this phase carried a simulated time).
+    pub total_sim_s: Option<f64>,
+    /// Maximum per-rank virtual-time total — the critical-path estimate
+    /// the model compares against.
+    pub max_sim_s: Option<f64>,
+}
+
+/// Whole-run aggregation of per-rank ledgers: Fig 9 in struct form.
+#[derive(Clone, Debug)]
+pub struct RunProfile {
+    /// Number of rank ledgers aggregated.
+    pub ranks: usize,
+    /// Per-phase aggregates, in first-appearance order (flat phase
+    /// records first, then span-only names from the trace buffers).
+    pub phases: Vec<PhaseProfile>,
+    /// Total bytes sent by all ranks (exactly `Σ total_bytes_sent`).
+    pub total_bytes: u64,
+    /// Total messages sent by all ranks.
+    pub total_messages: u64,
+    /// Link-layer retransmissions, summed.
+    pub retransmits: u64,
+    /// Checksum-mismatch discards, summed.
+    pub corrupt_discarded: u64,
+    /// Duplicate discards, summed.
+    pub duplicates_discarded: u64,
+    /// Stale-incarnation discards, summed.
+    pub stale_discarded: u64,
+    /// ABFT detections, summed.
+    pub sdc_detected: u64,
+    /// ABFT repairs, summed.
+    pub sdc_repaired: u64,
+    /// Comm-layer staging copies (chunked all-to-all partial chunks).
+    pub comm_allocs: u64,
+    /// Pool-worker busy seconds, summed over ranks.
+    pub pool_busy_s: f64,
+    /// Pool-worker tasks executed, summed over ranks.
+    pub pool_tasks: u64,
+}
+
+impl RunProfile {
+    /// Aggregates one ledger per rank into a profile.
+    ///
+    /// Byte and retry totals are exact sums; wall-clock statistics are
+    /// min/median/max over the per-rank *totals* for each phase name
+    /// (ranks that never recorded a phase are excluded from its
+    /// order statistics, matching how Fig 9 reports per-node phase
+    /// times rather than averaging in idle nodes).
+    pub fn from_stats(stats: &[CommStats]) -> Self {
+        let mut names: Vec<&'static str> = Vec::new();
+        for s in stats {
+            for r in s.records() {
+                if !names.contains(&r.name) {
+                    names.push(r.name);
+                }
+            }
+            for e in s.trace_events() {
+                if !names.contains(&e.name) {
+                    names.push(e.name);
+                }
+            }
+        }
+
+        let mut phases = Vec::with_capacity(names.len());
+        for name in names {
+            let mut per_rank: Vec<(f64, u64, Option<f64>, usize)> = Vec::new();
+            for s in stats {
+                let count = s.count_of(name);
+                let from_records = count > 0;
+                // Span-only names never reach the flat records; fall
+                // back to the trace buffer for them.
+                let span_events: Vec<_> =
+                    s.trace_events().iter().filter(|e| e.name == name).collect();
+                if !from_records && span_events.is_empty() {
+                    continue;
+                }
+                let (secs, bytes, sim, n) = if from_records {
+                    let sim_total = s.sim_seconds_in(name);
+                    let has_sim = s
+                        .records()
+                        .iter()
+                        .any(|r| r.name == name && r.sim_seconds.is_some());
+                    (
+                        s.seconds_in(name),
+                        s.bytes_in(name),
+                        has_sim.then_some(sim_total),
+                        count,
+                    )
+                } else {
+                    let secs: f64 = span_events.iter().map(|e| e.dur_s).sum();
+                    let bytes: u64 = span_events.iter().map(|e| e.bytes).sum();
+                    let has_sim = span_events.iter().any(|e| e.sim_s.is_some());
+                    let sim: f64 = span_events.iter().filter_map(|e| e.sim_s).sum();
+                    (secs, bytes, has_sim.then_some(sim), span_events.len())
+                };
+                per_rank.push((secs, bytes, sim, n));
+            }
+            if per_rank.is_empty() {
+                continue;
+            }
+            let mut secs: Vec<f64> = per_rank.iter().map(|&(s, ..)| s).collect();
+            secs.sort_by(|a, b| a.total_cmp(b));
+            let median_s = if secs.len() % 2 == 1 {
+                secs[secs.len() / 2]
+            } else {
+                0.5 * (secs[secs.len() / 2 - 1] + secs[secs.len() / 2])
+            };
+            let sims: Vec<f64> = per_rank.iter().filter_map(|&(_, _, s, _)| s).collect();
+            let total_sim_s = (!sims.is_empty()).then(|| sims.iter().sum());
+            let max_sim_s = sims.iter().copied().reduce(f64::max);
+            phases.push(PhaseProfile {
+                name: name.to_string(),
+                count: per_rank.iter().map(|&(.., n)| n).sum(),
+                min_s: secs[0],
+                median_s,
+                max_s: secs[secs.len() - 1],
+                total_bytes: per_rank.iter().map(|&(_, b, ..)| b).sum(),
+                total_sim_s,
+                max_sim_s,
+            });
+        }
+
+        RunProfile {
+            ranks: stats.len(),
+            phases,
+            total_bytes: stats.iter().map(|s| s.total_bytes_sent()).sum(),
+            total_messages: stats.iter().map(|s| s.messages_sent()).sum(),
+            retransmits: stats.iter().map(|s| s.retransmits()).sum(),
+            corrupt_discarded: stats.iter().map(|s| s.corrupt_discarded()).sum(),
+            duplicates_discarded: stats.iter().map(|s| s.duplicates_discarded()).sum(),
+            stale_discarded: stats.iter().map(|s| s.stale_discarded()).sum(),
+            sdc_detected: stats.iter().map(|s| s.sdc_detected()).sum(),
+            sdc_repaired: stats.iter().map(|s| s.sdc_repaired()).sum(),
+            comm_allocs: stats.iter().map(|s| s.comm_allocs()).sum(),
+            pool_busy_s: stats.iter().map(|s| s.pool_busy_seconds()).sum(),
+            pool_tasks: stats.iter().map(|s| s.pool_tasks()).sum(),
+        }
+    }
+
+    /// The aggregate for `name`, if any rank recorded it.
+    pub fn phase(&self, name: &str) -> Option<&PhaseProfile> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+/// Renders the run as a human-readable report: rank 0's span tree
+/// (indented by nesting depth, in start order) followed by the
+/// cross-rank per-phase table and the counter block. Works with
+/// tracing disabled too — the tree section then falls back to the
+/// flat phase ledger.
+pub fn text_tree(stats: &[CommStats]) -> String {
+    use std::fmt::Write;
+    let profile = RunProfile::from_stats(stats);
+    let mut out = String::new();
+    let _ = writeln!(out, "run profile ({} ranks)", profile.ranks);
+
+    let _ = writeln!(out, "\nrank 0 timeline:");
+    if let Some(s) = stats.first() {
+        if s.trace_enabled() {
+            let mut events: Vec<&TraceEvent> = s.trace_events().iter().collect();
+            events.sort_by(|a, b| {
+                a.start_s
+                    .total_cmp(&b.start_s)
+                    .then_with(|| b.dur_s.total_cmp(&a.dur_s))
+            });
+            for e in events {
+                let pad = "  ".repeat(e.depth + 1);
+                let sim = match e.sim_s {
+                    Some(v) => format!("  sim {:.6} s", v),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}{:<20} {:>10.6} s  {:>12} B{sim}",
+                    e.name, e.dur_s, e.bytes
+                );
+            }
+        } else {
+            for r in s.records() {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:>10.6} s  {:>12} B",
+                    r.name, r.seconds, r.bytes_sent
+                );
+            }
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\nper-phase across ranks (wall seconds; bytes/sim are exact sums):"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>5}  {:>10}  {:>10}  {:>10}  {:>12}  {:>10}",
+        "phase", "count", "min", "median", "max", "bytes", "sim-total"
+    );
+    for p in &profile.phases {
+        let sim = match p.total_sim_s {
+            Some(v) => format!("{v:>10.6}"),
+            None => format!("{:>10}", "-"),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>5}  {:>10.6}  {:>10.6}  {:>10.6}  {:>12}  {sim}",
+            p.name, p.count, p.min_s, p.median_s, p.max_s, p.total_bytes
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\ncounters: {} B in {} messages, {} retransmits, {} corrupt / {} duplicate / {} stale discarded",
+        profile.total_bytes,
+        profile.total_messages,
+        profile.retransmits,
+        profile.corrupt_discarded,
+        profile.duplicates_discarded,
+        profile.stale_discarded,
+    );
+    let _ = writeln!(
+        out,
+        "          {} sdc detected, {} repaired; {} staging copies; pool {:.6} s busy over {} tasks",
+        profile.sdc_detected,
+        profile.sdc_repaired,
+        profile.comm_allocs,
+        profile.pool_busy_s,
+        profile.pool_tasks,
+    );
+    out
+}
+
+/// Serializes all ranks' trace events as chrome://tracing JSON
+/// ("X" complete events, microsecond timestamps, `tid` = rank).
+///
+/// The format is the Trace Event Format's JSON-object flavor; load the
+/// string into `chrome://tracing` or Perfetto. Hand-formatted — names
+/// are `'static` identifiers from this codebase, so no escaping is
+/// needed. Ranks with tracing disabled fall back to their flat phase
+/// ledger laid end-to-end.
+pub fn chrome_trace_json(stats: &[CommStats]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    let mut first = true;
+    for (rank, s) in stats.iter().enumerate() {
+        let mut emit = |name: &str, start_s: f64, dur_s: f64, bytes: u64, sim: Option<f64>| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let sim_arg = match sim {
+                Some(v) => format!(", \"sim_s\": {v:.9}"),
+                None => String::new(),
+            };
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{name}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+                 \"pid\": 0, \"tid\": {rank}, \"args\": {{\"bytes\": {bytes}{sim_arg}}}}}",
+                start_s * 1e6,
+                dur_s * 1e6,
+            );
+        };
+        if s.trace_enabled() {
+            for e in s.trace_events() {
+                emit(e.name, e.start_s, e.dur_s, e.bytes, e.sim_s);
+            }
+        } else {
+            let mut cursor = 0.0;
+            for r in s.records() {
+                emit(r.name, cursor, r.seconds, r.bytes_sent, r.sim_seconds);
+                cursor += r.seconds;
+            }
+        }
+    }
+    out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced_stats() -> CommStats {
+        let mut s = CommStats::default();
+        s.enable_trace(Instant::now());
+        s.span_open("superstep");
+        let t = s.phase_start();
+        s.add_bytes_sent(160);
+        s.phase_end("ghost", t);
+        s.span_open("pack");
+        s.span_close("pack");
+        let t = s.phase_start();
+        s.add_bytes_sent(320);
+        s.phase_end("all-to-all", t);
+        s.span_close("superstep");
+        s
+    }
+
+    #[test]
+    fn spans_nest_and_phases_mirror_as_leaves() {
+        let s = traced_stats();
+        // Flat ledger unchanged by tracing: exactly the two phases.
+        let names: Vec<_> = s.records().iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["ghost", "all-to-all"]);
+        // Trace buffer holds leaves + spans with correct nesting.
+        let ev = s.trace_events();
+        let by_name = |n: &str| ev.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("ghost").depth, 1);
+        assert_eq!(by_name("pack").depth, 1);
+        assert_eq!(by_name("all-to-all").depth, 1);
+        assert_eq!(by_name("superstep").depth, 0);
+        assert_eq!(by_name("superstep").bytes, 480);
+        assert_eq!(by_name("ghost").bytes, 160);
+        // The superstep span covers its children.
+        assert!(by_name("superstep").dur_s >= by_name("ghost").dur_s);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let mut s = CommStats::default();
+        s.span_open("superstep");
+        let t = s.phase_start();
+        s.phase_end("ghost", t);
+        s.span_close("superstep");
+        assert!(!s.trace_enabled());
+        assert!(s.trace_events().is_empty());
+        assert_eq!(s.records().len(), 1);
+    }
+
+    #[test]
+    fn profile_aggregates_exact_bytes_and_order_stats() {
+        let stats: Vec<CommStats> = (0..3).map(|_| traced_stats()).collect();
+        let p = RunProfile::from_stats(&stats);
+        assert_eq!(p.ranks, 3);
+        assert_eq!(p.total_bytes, 3 * 480);
+        let ghost = p.phase("ghost").unwrap();
+        assert_eq!(ghost.count, 3);
+        assert_eq!(ghost.total_bytes, 3 * 160);
+        assert!(ghost.min_s <= ghost.median_s && ghost.median_s <= ghost.max_s);
+        // Span-only names aggregate from the trace buffer.
+        let sup = p.phase("superstep").unwrap();
+        assert_eq!(sup.count, 3);
+        assert_eq!(sup.total_bytes, 3 * 480);
+        let pack = p.phase("pack").unwrap();
+        assert_eq!(pack.count, 3);
+    }
+
+    #[test]
+    fn exporters_cover_all_events() {
+        let stats = vec![traced_stats(), traced_stats()];
+        let tree = text_tree(&stats);
+        for name in ["superstep", "ghost", "pack", "all-to-all"] {
+            assert!(tree.contains(name), "missing {name} in:\n{tree}");
+        }
+        assert!(tree.contains("960 B"), "total bytes line in:\n{tree}");
+        let json = chrome_trace_json(&stats);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 8);
+        assert_eq!(json.matches("\"tid\": 1").count(), 4);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn untraced_stats_export_flat_ledger() {
+        let mut s = CommStats::default();
+        let t = s.phase_start();
+        s.add_bytes_sent(16);
+        s.phase_end("all-to-all", t);
+        let json = chrome_trace_json(std::slice::from_ref(&s));
+        assert!(json.contains("\"name\": \"all-to-all\""));
+        let tree = text_tree(std::slice::from_ref(&s));
+        assert!(tree.contains("all-to-all"));
+    }
+}

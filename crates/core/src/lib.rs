@@ -46,7 +46,7 @@ pub mod window;
 pub use conv::ConvStrategy;
 pub use params::{Rational, SoiError, SoiParams};
 pub use pipeline::{ExchangePlan, SimSpec, SoiFft, SoiRunError};
-pub use report::PlanReport;
+pub use report::{PlanReport, PredictedBreakdown};
 pub use single::SoiFftLocal;
 pub use verify::ValidationPolicy;
 pub use window::{DemodMode, Window, WindowKind};

@@ -335,13 +335,17 @@ impl SoiFft {
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
 
-        // Virtual-time accounting, when configured.
-        if let Some(sim) = self.sim {
-            comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
+        // Virtual-time accounting, when configured — and *cleared* when
+        // not: a plan without a `SimSpec` must not inherit the cost model
+        // a previous plan left on this reused `Comm`.
+        match self.sim {
+            Some(sim) => comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
                 bytes_per_s: sim.net_bytes_per_s,
                 latency_s: sim.net_latency_s,
-            });
+            }),
+            None => comm.stats_mut().clear_cost_model(),
         }
+        comm.stats_mut().span_open("superstep");
 
         // 1. Ghost exchange.
         let ghost = comm.exchange_ghost(local_input, p.ghost_len());
@@ -355,11 +359,13 @@ impl SoiFft {
             .unwrap_or_else(|e| panic!("{e}"));
 
         // 4-6. Exchange and per-segment recovery.
-        match self.exchange {
+        let y = match self.exchange {
             ExchangePlan::PerSegment => self.recover_per_segment(comm, &u),
             ExchangePlan::Overlapped => self.recover_overlapped(comm, &u),
             _ => self.recover_monolithic(comm, &u),
-        }
+        };
+        comm.stats_mut().span_close("superstep");
+        y
     }
 
     /// Fault-tolerant forward transform: the same pipeline as
@@ -384,23 +390,41 @@ impl SoiFft {
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
 
-        if let Some(sim) = self.sim {
-            comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
+        match self.sim {
+            Some(sim) => comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
                 bytes_per_s: sim.net_bytes_per_s,
                 latency_s: sim.net_latency_s,
-            });
+            }),
+            None => comm.stats_mut().clear_cost_model(),
         }
 
+        comm.stats_mut().span_open("superstep");
+        let result = self.try_forward_body(comm, local_input, policy);
+        comm.stats_mut().span_close("superstep");
+        result
+    }
+
+    /// [`SoiFft::try_forward`]'s pipeline body, split out so the
+    /// `"superstep"` trace span closes on the error path too.
+    fn try_forward_body(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+    ) -> Result<Vec<c64>, SoiRunError> {
+        let p = &self.params;
         self.probe_machinery(comm)?;
         let ghost = comm
             .try_exchange_ghost(local_input, p.ghost_len(), policy)
             .map_err(|e| SoiRunError::new("ghost", e, comm.stats().clone()))?;
         let u = self.front_end(comm, local_input, &ghost)?;
+        comm.stats_mut().span_open("pack");
         let outgoing = if self.validation.is_on() {
             self.pack_outgoing_tagged(&u)
         } else {
             self.pack_outgoing(&u)
         };
+        comm.stats_mut().span_close("pack");
         let incoming = comm
             .all_to_all_resilient(&outgoing, policy)
             .map_err(|e| SoiRunError::new("all-to-all", e, comm.stats().clone()))?;
@@ -448,13 +472,30 @@ impl SoiFft {
             "checkpoint store sized for a different cluster"
         );
 
-        if let Some(sim) = self.sim {
-            comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
+        match self.sim {
+            Some(sim) => comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
                 bytes_per_s: sim.net_bytes_per_s,
                 latency_s: sim.net_latency_s,
-            });
+            }),
+            None => comm.stats_mut().clear_cost_model(),
         }
 
+        comm.stats_mut().span_open("superstep");
+        let result = self.try_forward_recoverable_body(comm, local_input, policy, ctx);
+        comm.stats_mut().span_close("superstep");
+        result
+    }
+
+    /// [`SoiFft::try_forward_recoverable`]'s pipeline body, split out so
+    /// the `"superstep"` trace span closes on the error path too.
+    fn try_forward_recoverable_body(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+        ctx: &RecoveryCtx,
+    ) -> Result<Vec<c64>, SoiRunError> {
+        let p = &self.params;
         let rank = comm.rank();
         let store: &CheckpointStore = ctx.store();
         let epoch = ctx.epoch();
@@ -468,7 +509,7 @@ impl SoiFft {
         // Deepest committed phase first: a committed all-to-all means the
         // collective part of the superstep is over — recover locally.
         if ctx.committed(phases::ALL_TO_ALL) {
-            let flat = match store.restore(rank, phases::ALL_TO_ALL) {
+            let flat = match self.traced_restore(comm, store, rank, phases::ALL_TO_ALL) {
                 Ok(flat) => flat,
                 Err(_) => {
                     return Err(SoiRunError::new(
@@ -506,9 +547,9 @@ impl SoiFft {
         // restores phase k when it holds no k+1 snapshot, and k's
         // snapshots are pruned only once k+1 commits — which needs this
         // very rank's k+1 save — so a restore can never race a prune.
-        let u = if let Ok(u) = store.restore(rank, phases::SEGMENT_FFT) {
+        let u = if let Ok(u) = self.traced_restore(comm, store, rank, phases::SEGMENT_FFT) {
             u
-        } else if let Ok(mut u) = store.restore(rank, phases::CONVOLUTION) {
+        } else if let Ok(mut u) = self.traced_restore(comm, store, rank, phases::CONVOLUTION) {
             comm.crash_point(phases::SEGMENT_FFT);
             let t = comm.stats_mut().phase_start();
             batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
@@ -523,7 +564,7 @@ impl SoiFft {
         } else {
             let ghost = match fresh_ghost {
                 Some(g) => g,
-                None => match store.restore(rank, phases::GHOST) {
+                None => match self.traced_restore(comm, store, rank, phases::GHOST) {
                     Ok(g) => g,
                     Err(_) => {
                         return Err(SoiRunError::new(
@@ -537,11 +578,13 @@ impl SoiFft {
             self.front_end_with(comm, local_input, &ghost, Some((store, epoch)))?
         };
 
+        comm.stats_mut().span_open("pack");
         let outgoing = if self.validation.is_on() {
             self.pack_outgoing_tagged(&u)
         } else {
             self.pack_outgoing(&u)
         };
+        comm.stats_mut().span_close("pack");
         let incoming = comm
             .all_to_all_resilient(&outgoing, policy)
             .map_err(|e| SoiRunError::new("all-to-all", e, comm.stats().clone()))?;
@@ -841,13 +884,16 @@ impl SoiFft {
             let guard = validate.then(|| checksum(&u));
             comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
             if let Some(guard) = guard {
+                comm.stats_mut().span_open("sdc-verify");
                 let mut attempts = 0u32;
                 while checksum(&u) != guard {
                     comm.stats_mut().note_sdc_detected();
                     if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
+                        comm.stats_mut().span_close("sdc-verify");
                         return Err(self.sdc_error(comm, phases::SEGMENT_FFT, None));
                     }
                     attempts += 1;
+                    comm.stats_mut().span_open("sdc-repair");
                     u.fill(c64::ZERO);
                     crate::conv::convolve_fused_fft(
                         p,
@@ -859,10 +905,12 @@ impl SoiFft {
                     );
                     // A stuck-at fault corrupts the re-execution too.
                     comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+                    comm.stats_mut().span_close("sdc-repair");
                 }
                 if attempts > 0 {
                     comm.stats_mut().note_sdc_repaired();
                 }
+                comm.stats_mut().span_close("sdc-verify");
             }
             if let Some((store, epoch)) = checkpoint {
                 self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &u)?;
@@ -891,13 +939,16 @@ impl SoiFft {
             let conv_guard = validate.then(|| checksum(&u));
             comm.inject_bit_flip(BitFlipSite::ConvBuffer, &mut u);
             if let Some(guard) = conv_guard {
+                comm.stats_mut().span_open("sdc-verify");
                 let mut attempts = 0u32;
                 while checksum(&u) != guard {
                     comm.stats_mut().note_sdc_detected();
                     if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
+                        comm.stats_mut().span_close("sdc-verify");
                         return Err(self.sdc_error(comm, phases::CONVOLUTION, None));
                     }
                     attempts += 1;
+                    comm.stats_mut().span_open("sdc-repair");
                     u.fill(c64::ZERO);
                     convolve(
                         p,
@@ -909,10 +960,12 @@ impl SoiFft {
                     );
                     // A stuck-at fault corrupts the re-execution too.
                     comm.inject_bit_flip(BitFlipSite::ConvBuffer, &mut u);
+                    comm.stats_mut().span_close("sdc-repair");
                 }
                 if attempts > 0 {
                     comm.stats_mut().note_sdc_repaired();
                 }
+                comm.stats_mut().span_close("sdc-verify");
             }
             if let Some((store, epoch)) = checkpoint {
                 self.save_checked(comm, store, phases::CONVOLUTION, epoch, &u)?;
@@ -935,6 +988,7 @@ impl SoiFft {
             comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
             if let Some(e_in) = e_in {
                 let tol = verify::energy_tolerance(l);
+                comm.stats_mut().span_open("sdc-verify");
                 let mut attempts = 0u32;
                 while !verify::parseval_ok(e_in, verify::energy(&u), l, tol) {
                     // Re-evaluate before acting: a disturbed invariant
@@ -946,9 +1000,11 @@ impl SoiFft {
                     }
                     comm.stats_mut().note_sdc_detected();
                     if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
+                        comm.stats_mut().span_close("sdc-verify");
                         return Err(self.sdc_error(comm, phases::SEGMENT_FFT, None));
                     }
                     attempts += 1;
+                    comm.stats_mut().span_open("sdc-repair");
                     u.fill(c64::ZERO);
                     convolve(
                         p,
@@ -961,10 +1017,12 @@ impl SoiFft {
                     batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
                     // A stuck-at fault corrupts the re-execution too.
                     comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+                    comm.stats_mut().span_close("sdc-repair");
                 }
                 if attempts > 0 {
                     comm.stats_mut().note_sdc_repaired();
                 }
+                comm.stats_mut().span_close("sdc-verify");
             }
             if let Some((store, epoch)) = checkpoint {
                 self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &u)?;
@@ -1262,6 +1320,7 @@ impl SoiFft {
             return Ok(data);
         }
 
+        comm.stats_mut().span_open("sdc-verify");
         let mut attempts = 0u32;
         loop {
             let bad = (0..p.procs)
@@ -1273,9 +1332,11 @@ impl SoiFft {
             comm.stats_mut().note_sdc_detected();
             let repairable = self.validation.recovers() && pristine.is_some();
             if !repairable || attempts >= verify::RETRY_BUDGET {
+                comm.stats_mut().span_close("sdc-verify");
                 return Err(self.sdc_error(comm, "all-to-all", Some(self.seg_base[me] + sl)));
             }
             attempts += 1;
+            comm.stats_mut().span_open("sdc-repair");
             let pr = pristine.as_ref().expect("repairable implies pristine");
             data[src][sl * blocks..(sl + 1) * blocks]
                 .copy_from_slice(&pr[src][sl * blocks..(sl + 1) * blocks]);
@@ -1284,10 +1345,12 @@ impl SoiFft {
                 BitFlipSite::GatheredSegment,
                 &mut data[src][sl * blocks..(sl + 1) * blocks],
             );
+            comm.stats_mut().span_close("sdc-repair");
         }
         if attempts > 0 {
             comm.stats_mut().note_sdc_repaired();
         }
+        comm.stats_mut().span_close("sdc-verify");
         Ok(data)
     }
 
@@ -1299,6 +1362,22 @@ impl SoiFft {
     /// its commit-time scrub) can never see it. Under `Recover` a flagged
     /// save is simply redone from the live buffer.
     fn save_checked(
+        &self,
+        comm: &mut Comm,
+        store: &CheckpointStore,
+        phase: &'static str,
+        epoch: u64,
+        data: &[c64],
+    ) -> Result<(), SoiRunError> {
+        comm.stats_mut().span_open("checkpoint-save");
+        let result = self.save_checked_body(comm, store, phase, epoch, data);
+        comm.stats_mut().span_close("checkpoint-save");
+        result
+    }
+
+    /// [`SoiFft::save_checked`]'s body, split out so the
+    /// `"checkpoint-save"` trace span closes on the error path too.
+    fn save_checked_body(
         &self,
         comm: &mut Comm,
         store: &CheckpointStore,
@@ -1339,6 +1418,21 @@ impl SoiFft {
         }
     }
 
+    /// A [`CheckpointStore::restore`] wrapped in a `"checkpoint-restore"`
+    /// trace span, so resume-path restores show up in the profile.
+    fn traced_restore(
+        &self,
+        comm: &mut Comm,
+        store: &CheckpointStore,
+        rank: usize,
+        phase: &'static str,
+    ) -> Result<Vec<c64>, soifft_cluster::CheckpointError> {
+        comm.stats_mut().span_open("checkpoint-restore");
+        let result = store.restore(rank, phase);
+        comm.stats_mut().span_close("checkpoint-restore");
+        result
+    }
+
     /// Once-per-run FFT machinery check: verifies `F(x+αr) = F(x)+αF(r)`
     /// on seeded vectors through the row-FFT plan
     /// ([`verify::linearity_probe`]), catching corrupted plan state
@@ -1350,7 +1444,10 @@ impl SoiFft {
             return Ok(());
         }
         let seed = PROBE_SEED ^ comm.rank() as u64;
-        if verify::linearity_probe(&self.plan_l, seed, verify::PROBE_TOLERANCE) {
+        comm.stats_mut().span_open("sdc-verify");
+        let ok = verify::linearity_probe(&self.plan_l, seed, verify::PROBE_TOLERANCE);
+        comm.stats_mut().span_close("sdc-verify");
+        if ok {
             return Ok(());
         }
         comm.stats_mut().note_sdc_detected();
@@ -1395,7 +1492,9 @@ impl SoiFft {
         let p = &self.params;
         let blocks = p.blocks_per_rank();
         let mine = self.seg_counts[comm.rank()];
+        comm.stats_mut().span_open("pack");
         let outgoing = self.pack_outgoing(u);
+        comm.stats_mut().span_close("pack");
         let incoming = match self.exchange {
             ExchangePlan::Chunked(chunk) if self.uniform_layout() => {
                 comm.all_to_all_chunked(outgoing, chunk)
@@ -1946,6 +2045,115 @@ mod tests {
                 s.sim_seconds_in("all-to-all"),
                 a2a_expect
             );
+        }
+    }
+
+    #[test]
+    fn plan_without_sim_clears_stale_cost_model_on_reused_comm() {
+        // Regression: a simulated plan installs a CostModel on the Comm's
+        // ledger; a later plain plan on the SAME Comm must not keep
+        // annotating phases with the stale model's virtual time.
+        let p = params(4, 2);
+        let sim = SimSpec {
+            fft_flops_per_s: 1e9,
+            conv_flops_per_s: 2e9,
+            net_bytes_per_s: 1e8,
+            net_latency_s: 1e-4,
+        };
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let simulated = SoiFft::new(p).unwrap().with_sim(sim);
+        let plain = SoiFft::new(p).unwrap();
+        let stats = Cluster::run(p.procs, |comm| {
+            simulated.forward(comm, &inputs[comm.rank()]);
+            let after_sim = comm.stats().records().len();
+            plain.forward(comm, &inputs[comm.rank()]);
+            (after_sim, comm.stats().clone())
+        });
+        for (after_sim, s) in &stats {
+            // First run is simulated: its comm phases carry sim time.
+            assert!(s.records()[..*after_sim]
+                .iter()
+                .any(|r| r.sim_seconds.is_some()));
+            // Second run is not: every later record must be wall-clock only.
+            for r in &s.records()[*after_sim..] {
+                assert_eq!(
+                    r.sim_seconds, None,
+                    "phase {:?} kept the stale cost model",
+                    r.name
+                );
+            }
+        }
+
+        // The same leak applies to the fault-tolerant path.
+        let stats = Cluster::run(p.procs, |comm| {
+            let policy = ExchangePolicy::default();
+            simulated
+                .try_forward(comm, &inputs[comm.rank()], &policy)
+                .unwrap();
+            let after_sim = comm.stats().records().len();
+            plain
+                .try_forward(comm, &inputs[comm.rank()], &policy)
+                .unwrap();
+            (after_sim, comm.stats().clone())
+        });
+        for (after_sim, s) in &stats {
+            for r in &s.records()[*after_sim..] {
+                assert_eq!(r.sim_seconds, None, "try_forward leaked the cost model");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_superstep_nests_every_phase() {
+        // With tracing on, the forward superstep emits one "superstep"
+        // span whose children are the pipeline phases plus the pack span,
+        // and the flat ledger is unchanged by tracing.
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        let traced: Vec<CommStats> = Cluster::run_with(
+            soifft_cluster::ClusterConfig::with_trace(),
+            p.procs,
+            |comm| {
+                fft.forward(comm, &inputs[comm.rank()]);
+                comm.stats().clone()
+            },
+        )
+        .into_iter()
+        .map(|o| match o {
+            RankOutcome::Ok(s) => s,
+            other => panic!("rank failed: {other:?}"),
+        })
+        .collect();
+        let plain = Cluster::run(p.procs, |comm| {
+            fft.forward(comm, &inputs[comm.rank()]);
+            comm.stats().clone()
+        });
+        for (t, u) in traced.iter().zip(&plain) {
+            let t_names: Vec<_> = t.records().iter().map(|r| r.name).collect();
+            let u_names: Vec<_> = u.records().iter().map(|r| r.name).collect();
+            assert_eq!(t_names, u_names, "tracing must not change the flat ledger");
+
+            let events = t.trace_events();
+            let supersteps: Vec<_> = events.iter().filter(|e| e.name == "superstep").collect();
+            assert_eq!(supersteps.len(), 1);
+            assert_eq!(supersteps[0].depth, 0);
+            for name in [
+                "ghost",
+                "convolution",
+                "segment-fft",
+                "pack",
+                "all-to-all",
+                "local-fft",
+            ] {
+                let ev = events
+                    .iter()
+                    .find(|e| e.name == name)
+                    .unwrap_or_else(|| panic!("missing span {name}"));
+                assert_eq!(ev.depth, 1, "{name} must nest under the superstep");
+            }
         }
     }
 

@@ -12,6 +12,7 @@
 use std::fmt;
 
 use crate::params::{SoiError, SoiParams};
+use crate::pipeline::SimSpec;
 
 /// A derived summary of an SOI configuration.
 #[derive(Clone, Debug)]
@@ -36,6 +37,11 @@ pub struct PlanReport {
     pub conv_flops: f64,
     /// Local FFT flops per rank (block DFTs + recoveries).
     pub fft_flops: f64,
+    /// Block-DFT (`I ⊗ F_L`) share of `fft_flops`: the segment-fft phase.
+    pub seg_fft_flops: f64,
+    /// Recovery-FFT (`F_{M'}` per owned segment) share of `fft_flops`:
+    /// the local-fft phase.
+    pub recovery_fft_flops: f64,
     /// The Gaussian-design stopband exponent `π(B−d_µ)(1−ρ)(µ−1)/2`
     /// (error ≈ e^−this; the prolate taper roughly doubles it).
     pub accuracy_exponent: f64,
@@ -73,6 +79,8 @@ impl PlanReport {
             alltoall_bytes: params.segments_per_proc * blocks * params.procs * elem,
             conv_flops: params.conv_flops() / params.procs as f64,
             fft_flops: seg_fft + recovery,
+            seg_fft_flops: seg_fft,
+            recovery_fft_flops: recovery,
             accuracy_exponent: exponent,
             params,
         })
@@ -88,6 +96,66 @@ impl PlanReport {
     /// on 2²⁷-point nodes).
     pub fn conv_to_fft_ratio(&self) -> f64 {
         self.conv_flops / self.fft_flops
+    }
+
+    /// The model-side per-phase time breakdown at the given machine rates
+    /// (the a-priori Fig 9 prediction): each phase uses exactly the
+    /// formula the virtual-time ledger applies during a simulated
+    /// monolithic run, so a measured `sim_seconds` breakdown and this
+    /// prediction agree to rounding.
+    pub fn predicted_phases(&self, sim: &SimSpec) -> PredictedBreakdown {
+        let ghost_s = if self.ghost_bytes > 0 {
+            sim.net_latency_s + self.ghost_bytes as f64 / sim.net_bytes_per_s
+        } else {
+            0.0
+        };
+        PredictedBreakdown {
+            ghost_s,
+            convolution_s: self.conv_flops / sim.conv_flops_per_s,
+            segment_fft_s: self.seg_fft_flops / sim.fft_flops_per_s,
+            all_to_all_s: sim.net_latency_s + self.alltoall_bytes as f64 / sim.net_bytes_per_s,
+            local_fft_s: self.recovery_fft_flops / sim.fft_flops_per_s,
+        }
+    }
+}
+
+/// Predicted per-rank seconds for each phase of the monolithic SOI
+/// superstep at a [`SimSpec`]'s rates ([`PlanReport::predicted_phases`]).
+/// Field order is pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PredictedBreakdown {
+    /// Ghost exchange: `latency + ghost_bytes/bw`.
+    pub ghost_s: f64,
+    /// Convolution `u = Wx`: `conv_flops/conv_rate`.
+    pub convolution_s: f64,
+    /// Block DFTs (`I ⊗ F_L`): `seg_fft_flops/fft_rate`.
+    pub segment_fft_s: f64,
+    /// The single all-to-all: `latency + alltoall_bytes/bw`.
+    pub all_to_all_s: f64,
+    /// Recovery FFTs (`F_{M'}`): `recovery_fft_flops/fft_rate`.
+    pub local_fft_s: f64,
+}
+
+impl PredictedBreakdown {
+    /// Sum over the whole superstep.
+    pub fn total_s(&self) -> f64 {
+        self.ghost_s
+            + self.convolution_s
+            + self.segment_fft_s
+            + self.all_to_all_s
+            + self.local_fft_s
+    }
+
+    /// `(name, predicted seconds)` pairs in pipeline order, keyed by the
+    /// ledger's phase names.
+    pub fn phases(&self) -> [(&'static str, f64); 5] {
+        [
+            ("ghost", self.ghost_s),
+            ("convolution", self.convolution_s),
+            ("segment-fft", self.segment_fft_s),
+            ("all-to-all", self.all_to_all_s),
+            ("local-fft", self.local_fft_s),
+        ]
     }
 }
 
@@ -175,6 +243,26 @@ mod tests {
             bound < est * 100.0 && bound > est / 1000.0,
             "bound {bound:.2e} vs estimate {est:.2e}"
         );
+    }
+
+    #[test]
+    fn predicted_breakdown_uses_the_ledger_formulas() {
+        let r = PlanReport::new(params()).unwrap();
+        let sim = SimSpec {
+            fft_flops_per_s: 1e9,
+            conv_flops_per_s: 2e9,
+            net_bytes_per_s: 1e8,
+            net_latency_s: 1e-4,
+        };
+        let b = r.predicted_phases(&sim);
+        assert_eq!(b.convolution_s, r.conv_flops / 2e9);
+        assert_eq!(b.segment_fft_s, r.seg_fft_flops / 1e9);
+        assert_eq!(b.local_fft_s, r.recovery_fft_flops / 1e9);
+        assert_eq!(b.ghost_s, 1e-4 + r.ghost_bytes as f64 / 1e8);
+        assert_eq!(b.all_to_all_s, 1e-4 + r.alltoall_bytes as f64 / 1e8);
+        assert_eq!(r.seg_fft_flops + r.recovery_fft_flops, r.fft_flops);
+        let total: f64 = b.phases().iter().map(|(_, s)| s).sum();
+        assert!((b.total_s() - total).abs() < 1e-15);
     }
 
     #[test]

@@ -156,6 +156,7 @@ impl DistributedCtFft {
         assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), self.n / self.procs, "wrong local length");
         let (n1, n2) = (self.n1, self.n2);
+        comm.stats_mut().span_open("superstep");
 
         // Step 1: all-to-all transpose (n1×n2 → n2×n1). Local rows: a ∈
         // [r·n1/P, ...); after: rows b ∈ [r·n2/P, ...), length n1.
@@ -176,7 +177,9 @@ impl DistributedCtFft {
 
         // Step 6: final all-to-all transpose (n1×n2 → n2×n1): output rows
         // are d-major, i.e. natural order y[d·n1 + c].
-        distributed_transpose(comm, &rows, n1, n2)
+        let out = distributed_transpose(comm, &rows, n1, n2);
+        comm.stats_mut().span_close("superstep");
+        out
     }
 
     /// Fault-tolerant forward transform: same three-transpose algorithm as
@@ -193,6 +196,21 @@ impl DistributedCtFft {
     ) -> Result<Vec<c64>, CommError> {
         assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), self.n / self.procs, "wrong local length");
+
+        comm.stats_mut().span_open("superstep");
+        let result = self.try_forward_body(comm, local_input, policy);
+        comm.stats_mut().span_close("superstep");
+        result
+    }
+
+    /// [`DistributedCtFft::try_forward`]'s pipeline body, split out so the
+    /// `"superstep"` trace span closes on the error path too.
+    fn try_forward_body(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+    ) -> Result<Vec<c64>, CommError> {
         let (n1, n2) = (self.n1, self.n2);
 
         let mut cols = distributed_transpose_resilient(comm, local_input, n1, n2, policy)?;

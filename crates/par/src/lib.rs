@@ -24,10 +24,42 @@
 #![warn(missing_docs)]
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
+
+/// Busy/idle accounting for an instrumented [`Pool`].
+///
+/// Workers add the wall time of every task closure they run (`busy`)
+/// and count the tasks; idle time is whatever remains of
+/// `threads × region wall time`. Shared through an `Arc`, so clones of
+/// an instrumented pool (e.g. one per rank thread) report into the same
+/// counters. Reading is racy-but-monotonic: totals only grow.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    busy_ns: AtomicU64,
+    tasks: AtomicU64,
+}
+
+impl PoolMetrics {
+    /// Total wall-clock seconds workers spent inside task closures.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Total task closures executed.
+    pub fn tasks(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    fn note(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// A parallelism context with a fixed number of worker threads.
 ///
@@ -53,6 +85,9 @@ use crossbeam::channel::{unbounded, Sender};
 #[derive(Clone, Debug)]
 pub struct Pool {
     threads: usize,
+    /// Busy accounting, shared by clones; `None` (the default) keeps
+    /// every primitive's hot path free of timer calls.
+    metrics: Option<Arc<PoolMetrics>>,
 }
 
 impl Default for Pool {
@@ -71,7 +106,10 @@ impl Pool {
     /// (`threads >= 1`).
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "a pool needs at least one thread");
-        Pool { threads }
+        Pool {
+            threads,
+            metrics: None,
+        }
     }
 
     /// A single-threaded pool (all primitives run inline).
@@ -79,9 +117,36 @@ impl Pool {
         Pool::new(1)
     }
 
+    /// Creates a pool with busy/task accounting attached; read the
+    /// counters through [`Pool::metrics`]. Clones share the counters.
+    pub fn instrumented(threads: usize) -> Self {
+        let mut pool = Pool::new(threads);
+        pool.metrics = Some(Arc::default());
+        pool
+    }
+
+    /// The busy-accounting handle, when this pool is instrumented.
+    pub fn metrics(&self) -> Option<&Arc<PoolMetrics>> {
+        self.metrics.as_ref()
+    }
+
     /// The configured thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Runs `f`, folding its wall time into the metrics when the pool is
+    /// instrumented. The uninstrumented path is one `Option` branch.
+    fn timed<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.metrics {
+            None => f(),
+            Some(m) => {
+                let t = Instant::now();
+                let out = f();
+                m.note(t.elapsed());
+                out
+            }
+        }
     }
 
     /// Runs `a` and `b` in parallel and returns both results.
@@ -95,11 +160,11 @@ impl Pool {
         RB: Send,
     {
         if self.threads == 1 {
-            return (a(), b());
+            return (self.timed(a), self.timed(b));
         }
         std::thread::scope(|s| {
-            let hb = s.spawn(b);
-            let ra = a();
+            let hb = s.spawn(move || self.timed(b));
+            let ra = self.timed(a);
             (ra, hb.join().expect("joined task panicked"))
         })
     }
@@ -131,7 +196,7 @@ impl Pool {
         let granules = data.len() / granule;
         let pieces = self.threads.min(granules.max(1));
         if pieces <= 1 {
-            f(0, 0, data);
+            self.timed(|| f(0, 0, data));
             return;
         }
         // Ceil-divide granules over pieces, convert back to elements.
@@ -147,7 +212,7 @@ impl Pool {
                 rest = tail;
                 let this_offset = offset;
                 let this_idx = idx;
-                s.spawn(move || f(this_idx, this_offset, head));
+                s.spawn(move || self.timed(|| f(this_idx, this_offset, head)));
                 offset += take;
                 idx += 1;
             }
@@ -168,7 +233,7 @@ impl Pool {
             return;
         }
         if self.threads == 1 || len <= grain {
-            f(range);
+            self.timed(|| f(range));
             return;
         }
         let cursor = AtomicUsize::new(range.start);
@@ -182,7 +247,7 @@ impl Pool {
                         break;
                     }
                     let hi = (lo + grain).min(end);
-                    f(lo..hi);
+                    self.timed(|| f(lo..hi));
                 });
             }
         });
@@ -224,7 +289,7 @@ impl Pool {
             return identity;
         }
         if self.threads == 1 || len <= grain {
-            return reduce(identity, map(range));
+            return reduce(identity, self.timed(|| map(range)));
         }
         // Static partition into ordered pieces so the fold order is
         // deterministic regardless of which thread finishes first.
@@ -238,7 +303,7 @@ impl Pool {
                 let hi = (lo + per).min(range.end);
                 s.spawn(move || {
                     if lo < hi {
-                        *slot = Some(map(lo..hi));
+                        *slot = Some(self.timed(|| map(lo..hi)));
                     }
                 });
             }
@@ -496,5 +561,54 @@ mod tests {
         assert_eq!(Pool::new(7).threads(), 7);
         assert!(default_parallelism() >= 1);
         assert!(Pool::default().threads() >= 1);
+        assert!(Pool::new(2).metrics().is_none());
+    }
+
+    #[test]
+    fn instrumented_pool_counts_busy_time_and_tasks() {
+        for threads in [1, 3] {
+            let pool = Pool::instrumented(threads);
+            let mut data = vec![0u64; 96];
+            pool.par_chunks_mut(&mut data, 8, |_, offset, chunk| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (offset + i) as u64;
+                }
+            });
+            pool.par_for_each(0..10, 2, |_| {});
+            let (a, b) = pool.join(|| 1, || 2);
+            assert_eq!((a, b), (1, 2));
+            let m = pool.metrics().expect("instrumented");
+            // par_chunks_mut ran at least one timed piece (2 ms sleep
+            // each), par_ranges some chunks, join exactly two closures.
+            assert!(m.tasks() >= 1 + 1 + 2, "threads={threads}: {}", m.tasks());
+            assert!(
+                m.busy_seconds() >= 0.002,
+                "threads={threads}: {}",
+                m.busy_seconds()
+            );
+            // Clones share the counters.
+            let before = pool.metrics().unwrap().tasks();
+            let clone = pool.clone();
+            clone.par_for_each(0..4, 1, |_| {});
+            assert!(pool.metrics().unwrap().tasks() > before);
+        }
+    }
+
+    #[test]
+    fn uninstrumented_pool_results_match_instrumented() {
+        let plain = Pool::new(3);
+        let inst = Pool::instrumented(3);
+        let sum = |p: &Pool| {
+            p.par_reduce(
+                0..1000,
+                16,
+                0u64,
+                |r| r.map(|i| i as u64).sum::<u64>(),
+                |a, b| a + b,
+            )
+        };
+        assert_eq!(sum(&plain), sum(&inst));
+        assert!(inst.metrics().unwrap().tasks() > 0);
     }
 }

@@ -1,0 +1,182 @@
+//! Per-phase profiling of the distributed SOI superstep (the paper's
+//! Fig 9 time breakdown, measured instead of modeled).
+//!
+//! ```sh
+//! cargo run --release --example profile_run
+//! ```
+//!
+//! Runs the SOI transform on a 4-rank simulated cluster with tracing on
+//! ([`ClusterConfig::with_trace`]) and Table 2-flavoured virtual-time
+//! rates, then:
+//!
+//! * prints the rank-0 span tree and the cross-rank per-phase table
+//!   ([`text_tree`]) — the measured Fig 9 breakdown,
+//! * compares every phase's simulated time against the a-priori model
+//!   prediction ([`PlanReport::predicted_phases`]); the two must agree to
+//!   rounding because the ledger applies the very same formulas,
+//! * runs the Cooley-Tukey baseline traced for the communication
+//!   contrast (three all-to-alls vs one),
+//! * writes `artifacts/example_profile.json` (chrome://tracing — open via
+//!   `chrome://tracing` or <https://ui.perfetto.dev>) and
+//!   `artifacts/example_profile.txt` (this report).
+
+use std::fs;
+
+use soifft::cluster::{
+    chrome_trace_json, text_tree, Cluster, ClusterConfig, CommStats, RankOutcome, RunProfile,
+};
+use soifft::ct::DistributedCtFft;
+use soifft::model::MachineSpec;
+use soifft::num::c64;
+use soifft::num::error::rel_l2;
+use soifft::par::Pool;
+use soifft::soi::{PlanReport, Rational, SimSpec, SoiFft, SoiParams};
+
+fn signal(n: usize) -> Vec<c64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            c64::new((0.05 * t).sin() + 0.4, 0.3 * (0.11 * t).cos())
+        })
+        .collect()
+}
+
+fn unwrap_ranks(outcomes: Vec<RankOutcome<CommStats>>) -> Vec<CommStats> {
+    outcomes
+        .into_iter()
+        .map(|o| match o {
+            RankOutcome::Ok(s) => s,
+            other => panic!("rank failed: {other:?}"),
+        })
+        .collect()
+}
+
+fn main() {
+    let params = SoiParams {
+        n: 1 << 12,
+        procs: 4,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 20,
+    };
+    // Table 2-flavoured rates: a Xeon Phi-class node at the usual FFT and
+    // convolution efficiencies, FDR-InfiniBand-class links.
+    let phi = MachineSpec::xeon_phi_se10();
+    let sim = SimSpec {
+        fft_flops_per_s: 0.12 * phi.peak_gflops * 1e9,
+        conv_flops_per_s: 0.40 * phi.peak_gflops * 1e9,
+        net_bytes_per_s: 3.0 * (1u64 << 30) as f64,
+        net_latency_s: 1e-6,
+    };
+
+    let x = signal(params.n);
+    let per = params.per_rank();
+    let inputs: Vec<Vec<c64>> = (0..params.procs)
+        .map(|r| x[r * per..(r + 1) * per].to_vec())
+        .collect();
+
+    // One instrumented intra-node pool, shared by the simulated ranks
+    // (they are threads of one process here); its busy-time counters are
+    // folded into the profile below.
+    let pool = Pool::instrumented(2);
+    let fft = SoiFft::new(params)
+        .unwrap()
+        .with_sim(sim)
+        .with_pool(pool.clone());
+
+    let soi_run = Cluster::run_with(ClusterConfig::with_trace(), params.procs, |comm| {
+        let y = fft.forward(comm, &inputs[comm.rank()]);
+        (y, comm.stats().clone())
+    });
+    let mut ys = Vec::new();
+    let mut stats = Vec::new();
+    for o in soi_run {
+        match o {
+            RankOutcome::Ok((y, s)) => {
+                ys.push(y);
+                stats.push(s);
+            }
+            other => panic!("rank failed: {other:?}"),
+        }
+    }
+
+    // Verify before profiling anything.
+    let got: Vec<c64> = ys.into_iter().flatten().collect();
+    let mut want = x.clone();
+    soifft::fft::Plan::new(params.n).forward(&mut want);
+    let err = rel_l2(&got, &want);
+    assert!(err < 1e-7, "transform failed: rel_l2 = {err:.2e}");
+
+    // Fold the shared pool's busy time into rank 0's ledger (the pool is
+    // node-wide; the profile sums the column across ranks anyway).
+    if let Some(m) = pool.metrics() {
+        stats[0].add_pool_metrics(m.busy_seconds(), m.tasks());
+    }
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "SOI profile: N = 2^{}, P = {}, S = {} (transform verified, rel_l2 = {err:.1e})\n\n",
+        params.n.trailing_zeros(),
+        params.procs,
+        params.segments_per_proc
+    ));
+    report.push_str(&text_tree(&stats));
+
+    // Measured (simulated-time) breakdown vs the a-priori model — the
+    // Fig 9 bars next to their prediction. Same formulas, so the match is
+    // exact up to floating-point rounding.
+    let breakdown = PlanReport::new(params).unwrap().predicted_phases(&sim);
+    report.push_str("\nmeasured vs model (simulated seconds per rank):\n");
+    report.push_str("  phase         measured       model          |rel diff|\n");
+    for (name, model_s) in breakdown.phases() {
+        let measured = stats[0].sim_seconds_in(name);
+        let rel = (measured - model_s).abs() / model_s.max(1e-300);
+        report.push_str(&format!(
+            "  {name:<12}  {measured:>11.4e}  {model_s:>11.4e}  {rel:>9.1e}\n"
+        ));
+        assert!(rel < 1e-9, "{name}: measured {measured} vs model {model_s}");
+    }
+    report.push_str(&format!(
+        "  total         {:>11.4e}  {:>11.4e}\n",
+        breakdown
+            .phases()
+            .iter()
+            .map(|(n, _)| stats[0].sim_seconds_in(n))
+            .sum::<f64>(),
+        breakdown.total_s()
+    ));
+
+    // The Cooley-Tukey baseline, traced the same way: three all-to-alls'
+    // worth of bytes against SOI's one (times the µ oversampling).
+    let ct = DistributedCtFft::new(params.n, params.procs).unwrap();
+    let ct_stats = unwrap_ranks(Cluster::run_with(
+        ClusterConfig::with_trace(),
+        params.procs,
+        |comm| {
+            ct.forward(comm, &inputs[comm.rank()]);
+            comm.stats().clone()
+        },
+    ));
+    let soi_a2a = RunProfile::from_stats(&stats)
+        .phase("all-to-all")
+        .map_or(0, |p| p.total_bytes);
+    let ct_a2a = RunProfile::from_stats(&ct_stats)
+        .phase("all-to-all")
+        .map_or(0, |p| p.total_bytes);
+    report.push_str(&format!(
+        "\ncommunication: SOI {} all-to-all B in {} exchange, CT baseline {} B in {} \
+         (SOI pays the µ = {} oversampling once instead of exchanging three times)\n",
+        soi_a2a,
+        stats[0].count_of("all-to-all"),
+        ct_a2a,
+        ct_stats[0].count_of("all-to-all"),
+        params.mu,
+    ));
+
+    print!("{report}");
+
+    fs::create_dir_all("artifacts").unwrap();
+    fs::write("artifacts/example_profile.json", chrome_trace_json(&stats)).unwrap();
+    fs::write("artifacts/example_profile.txt", &report).unwrap();
+    println!("\nwrote artifacts/example_profile.json (chrome://tracing) and artifacts/example_profile.txt");
+}

@@ -1,0 +1,75 @@
+//! Release-mode overhead gate for the tracing layer: a traced superstep
+//! must cost within 2% of an untraced one (median of repeated runs, with
+//! a small absolute floor so micro-second jitter on fast machines cannot
+//! fail the gate spuriously). The span instrumentation is a handful of
+//! `Instant::now` calls per superstep, so anything above the tolerance
+//! means a hot-path regression, not noise.
+//!
+//! Ignored by default — timing assertions are meaningless under an
+//! unoptimized build or a loaded CI sharder. The nightly workflow runs it
+//! explicitly:
+//!
+//! ```sh
+//! cargo test --release --test trace_overhead -- --ignored
+//! ```
+
+use std::time::Instant;
+
+use soifft::cluster::{Cluster, ClusterConfig};
+use soifft::num::c64;
+use soifft::soi::pipeline::scatter_input;
+use soifft::soi::{Rational, SoiFft, SoiParams};
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+#[test]
+#[ignore = "timing gate: run in release via the nightly workflow"]
+fn disabled_and_enabled_tracing_stay_within_two_percent() {
+    let params = SoiParams {
+        n: 1 << 14,
+        procs: 4,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 20,
+    };
+    let inputs = scatter_input(
+        &(0..params.n)
+            .map(|i| c64::new((0.05 * i as f64).sin(), (0.11 * i as f64).cos()))
+            .collect::<Vec<_>>(),
+        params.procs,
+    );
+    let fft = SoiFft::new(params).unwrap();
+
+    let time_with = |config: fn() -> ClusterConfig| -> Vec<f64> {
+        (0..15)
+            .map(|_| {
+                let t = Instant::now();
+                Cluster::run_with(config(), params.procs, |comm| {
+                    fft.forward(comm, &inputs[comm.rank()]);
+                })
+                .into_iter()
+                .for_each(|o| {
+                    o.unwrap();
+                });
+                t.elapsed().as_secs_f64()
+            })
+            .collect()
+    };
+
+    // Warm up allocators, thread spawning and branch predictors once.
+    let _ = time_with(ClusterConfig::default);
+
+    let disabled = median(time_with(ClusterConfig::default));
+    let enabled = median(time_with(ClusterConfig::with_trace));
+
+    // 2% relative, 200µs absolute floor (a superstep at this size runs
+    // ~ms; the floor only matters if the machine is improbably fast).
+    let budget = disabled * 1.02 + 200e-6;
+    assert!(
+        enabled <= budget,
+        "traced superstep {enabled:.6} s exceeds untraced {disabled:.6} s + 2% ({budget:.6} s)"
+    );
+}

@@ -1,0 +1,130 @@
+//! The tracing layer's accounting must *reconcile*: the aggregated
+//! [`RunProfile`] is derived from the per-rank ledgers, so its byte and
+//! retry counters must equal the ledger sums exactly, its simulated
+//! per-phase times must equal the closed-form model prediction
+//! ([`PlanReport::predicted_phases`] — same formulas, same numbers), and
+//! every rank's `"superstep"` span must contain its child phases (a child
+//! is a disjoint sub-interval of the parent, so child durations can never
+//! sum past the parent's).
+
+use proptest::prelude::*;
+
+use soifft::cluster::{Cluster, ClusterConfig, CommStats, RankOutcome, RunProfile};
+use soifft::num::c64;
+use soifft::soi::pipeline::scatter_input;
+use soifft::soi::{PlanReport, Rational, SimSpec, SoiFft, SoiParams};
+
+fn signal(n: usize) -> Vec<c64> {
+    (0..n)
+        .map(|i| c64::new((0.05 * i as f64).sin() + 0.4, 0.3 * (0.11 * i as f64).cos()))
+        .collect()
+}
+
+fn sim() -> SimSpec {
+    SimSpec {
+        fft_flops_per_s: 1e9,
+        conv_flops_per_s: 2e9,
+        net_bytes_per_s: 1e8,
+        net_latency_s: 1e-4,
+    }
+}
+
+/// A traced, simulated SOI run; returns the per-rank ledgers.
+fn traced_run(params: SoiParams) -> Vec<CommStats> {
+    let inputs = scatter_input(&signal(params.n), params.procs);
+    let fft = SoiFft::new(params).expect("valid params").with_sim(sim());
+    Cluster::run_with(ClusterConfig::with_trace(), params.procs, |comm| {
+        fft.forward(comm, &inputs[comm.rank()]);
+        comm.stats().clone()
+    })
+    .into_iter()
+    .map(|o| match o {
+        RankOutcome::Ok(s) => s,
+        other => panic!("rank failed: {other:?}"),
+    })
+    .collect()
+}
+
+fn check_reconciles(params: SoiParams, stats: &[CommStats]) {
+    let profile = RunProfile::from_stats(stats);
+
+    // Bytes and retries are exact ledger sums — no tolerance.
+    let ledger_bytes: u64 = stats.iter().map(CommStats::total_bytes_sent).sum();
+    assert_eq!(profile.total_bytes, ledger_bytes);
+    let ledger_retx: u64 = stats.iter().map(CommStats::retransmits).sum();
+    assert_eq!(profile.retransmits, ledger_retx);
+
+    // Per-phase simulated time equals the a-priori model exactly: the
+    // ledger applied the same formulas the report predicts with.
+    let predicted = PlanReport::new(params).unwrap().predicted_phases(&sim());
+    for s in stats {
+        for (name, model_s) in predicted.phases() {
+            let measured = s.sim_seconds_in(name);
+            assert!(
+                (measured - model_s).abs() <= 1e-12 * model_s.max(1.0),
+                "{name}: measured sim {measured} vs model {model_s}"
+            );
+        }
+    }
+
+    // The all-to-all column is the paper's headline quantity: µ·N/P bytes
+    // per rank, summed over ranks.
+    let a2a = profile.phase("all-to-all").expect("phase present");
+    let per_rank = PlanReport::new(params).unwrap().alltoall_bytes as u64;
+    assert_eq!(a2a.total_bytes, per_rank * params.procs as u64);
+
+    // Span containment: each rank's superstep wall time bounds the sum of
+    // its children (children are disjoint sub-intervals of the parent).
+    for s in stats {
+        let events = s.trace_events();
+        let superstep = events
+            .iter()
+            .find(|e| e.name == "superstep")
+            .expect("superstep span");
+        let children: f64 = events
+            .iter()
+            .filter(|e| e.depth == 1)
+            .map(|e| e.dur_s)
+            .sum();
+        assert!(
+            children <= superstep.dur_s * (1.0 + 1e-9) + 1e-9,
+            "children sum {children} exceeds superstep {}",
+            superstep.dur_s
+        );
+    }
+}
+
+#[test]
+fn profile_reconciles_with_ledgers_and_model() {
+    let params = SoiParams {
+        n: 1 << 12,
+        procs: 4,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 20,
+    };
+    let stats = traced_run(params);
+    check_reconciles(params, &stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The reconciliation invariants hold across cluster shapes, not just
+    /// the hand-picked one.
+    #[test]
+    fn profile_reconciles_across_cluster_shapes(
+        shape in prop::sample::select(vec![(1usize, 8usize), (2, 4), (4, 2), (8, 1), (4, 4)]),
+    ) {
+        let (procs, segments) = shape;
+        let params = SoiParams {
+            n: 1 << 12,
+            procs,
+            segments_per_proc: segments,
+            mu: Rational::new(2, 1),
+            conv_width: 20,
+        };
+        let stats = traced_run(params);
+        check_reconciles(params, &stats);
+    }
+}
