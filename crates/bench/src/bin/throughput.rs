@@ -1,0 +1,246 @@
+//! Serving-shape throughput bench: `B` back-to-back transforms through one
+//! planned workspace ([`soifft_core::SoiFft::forward_many`]) against the
+//! same batch served by repeated fresh [`soifft_core::SoiFft::forward`]
+//! calls — the steady-state zero-allocation claim, priced in transforms
+//! per second, bytes allocated per transform (a counting global allocator
+//! watches the whole process), and p50/p99 per-transform latency.
+//!
+//! Methodology: one cluster serves four windows in sequence — an
+//! unmeasured process warmup (page tables, malloc arenas, plan cache),
+//! a wall-clocked batch of fresh `forward()` calls, the same batch
+//! through one `forward_many` (its internal workspace cold start is
+//! charged to the batch — the serving shape owns its warmup), and
+//! barrier-aligned per-call loops for the latency percentiles. Both modes
+//! run the identical plan, inputs, and cluster.
+//!
+//! Prints a human-readable table on stdout (the nightly workflow captures
+//! it as `artifacts/example_throughput.txt`) and writes machine-readable
+//! `BENCH_5.json` (override the path with `SOIFFT_THROUGHPUT_JSON`).
+//!
+//! The default size (2²³ points) is deliberately past allocator-cache
+//! territory: at tera-scale-shaped buffer sizes (tens of MB each) every
+//! fresh allocation goes back to the OS on free, so the fresh-forward
+//! baseline pays kernel page-zeroing on every call — exactly the cost a
+//! planned workspace exists to avoid.
+//!
+//! Scaling knobs: `SOIFFT_THROUGHPUT_N` (points, default 2²³),
+//! `SOIFFT_THROUGHPUT_P` (ranks, default 4), `SOIFFT_THROUGHPUT_B`
+//! (batch size, default 5), `SOIFFT_THROUGHPUT_S` (segments per rank,
+//! default 32), `SOIFFT_THROUGHPUT_W` (convolution width, default 8),
+//! `SOIFFT_THROUGHPUT_REPS` (best-of repetitions per wall window,
+//! default 3).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use soifft_bench::{env_usize, signal, Table};
+use soifft_cluster::Cluster;
+use soifft_core::pipeline::scatter_input;
+use soifft_core::{Rational, SoiFft, SoiParams};
+use soifft_num::c64;
+
+/// Bytes requested from the heap, process-wide (alloc + realloc).
+static HEAP_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] with a byte meter in front, so "bytes allocated per
+/// transform" is a measurement, not an estimate.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        HEAP_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// One serving mode's scorecard.
+struct Score {
+    transforms_per_s: f64,
+    bytes_per_transform: f64,
+    p50_s: f64,
+    p99_s: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let n = env_usize("SOIFFT_THROUGHPUT_N", 1 << 23);
+    let procs = env_usize("SOIFFT_THROUGHPUT_P", 4);
+    let batch = env_usize("SOIFFT_THROUGHPUT_B", 5);
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: env_usize("SOIFFT_THROUGHPUT_S", 32),
+        mu: Rational::new(2, 1),
+        conv_width: env_usize("SOIFFT_THROUGHPUT_W", 8),
+    };
+    params.validate().expect("valid bench parameters");
+
+    // One distinct input per batch slot, pre-scattered so staging stays
+    // out of the timed region. The fused front end is the serving
+    // configuration (one sweep fewer over the data, §5.3) and both modes
+    // run it identically.
+    let scattered: Vec<Vec<Vec<c64>>> = (0..batch)
+        .map(|b| scatter_input(&signal(n, 42 + b as u64), procs))
+        .collect();
+    let fft = SoiFft::new(params).expect("plan").with_fused_segment_fft();
+
+    let measured = Cluster::run(procs, |comm| {
+        let mine: Vec<&Vec<c64>> = scattered.iter().map(|s| &s[comm.rank()]).collect();
+
+        // Process warmup, unmeasured: faults in the malloc arenas and
+        // page tables both modes will reuse, so neither measured window
+        // pays one-time process costs.
+        for x in mine.iter().take(2) {
+            std::hint::black_box(fft.forward(comm, x));
+        }
+
+        // Wall windows, alternating and best-of-R so a transient noise
+        // burst on a shared machine cannot sink one mode selectively.
+        //
+        // Fresh mode: every transform allocates its own workspace and
+        // output. Throughput mode: the whole batch through
+        // `forward_many_into` with a planned workspace and output ring
+        // (the serving steady state: one warm batch has already sized
+        // everything, subsequent batches recycle it all). Each window is
+        // wall-clocked cluster-wide — the closing barrier puts every
+        // rank's completion inside the clock.
+        let owned: Vec<Vec<c64>> = mine.iter().map(|x| (*x).clone()).collect();
+        let mut ws = fft.make_workspace();
+        let mut outs = vec![Vec::new(); owned.len()];
+        fft.forward_many_into(comm, &owned, &mut ws, &mut outs);
+
+        let reps = env_usize("SOIFFT_THROUGHPUT_REPS", 3);
+        let mut fresh_wall = f64::INFINITY;
+        let mut many_wall = f64::INFINITY;
+        let mut fresh_bytes = u64::MAX;
+        let mut many_bytes = u64::MAX;
+        for _ in 0..reps {
+            comm.barrier();
+            let bytes0 = HEAP_BYTES.load(Ordering::SeqCst);
+            let t = Instant::now();
+            for x in &mine {
+                std::hint::black_box(fft.forward(comm, x));
+            }
+            comm.barrier();
+            fresh_wall = fresh_wall.min(t.elapsed().as_secs_f64());
+            fresh_bytes = fresh_bytes.min(HEAP_BYTES.load(Ordering::SeqCst) - bytes0);
+
+            comm.barrier();
+            let bytes1 = HEAP_BYTES.load(Ordering::SeqCst);
+            let t = Instant::now();
+            fft.forward_many_into(comm, &owned, &mut ws, &mut outs);
+            comm.barrier();
+            many_wall = many_wall.min(t.elapsed().as_secs_f64());
+            many_bytes = many_bytes.min(HEAP_BYTES.load(Ordering::SeqCst) - bytes1);
+        }
+        std::hint::black_box(&outs);
+
+        // Window 3 — per-call latencies, barrier-aligned so each sample
+        // covers exactly one cluster-wide superstep: fresh first, then a
+        // warm workspace.
+        let mut fresh_lat = Vec::with_capacity(batch);
+        for x in &mine {
+            comm.barrier();
+            let t = Instant::now();
+            std::hint::black_box(fft.forward(comm, x));
+            fresh_lat.push(t.elapsed().as_secs_f64());
+        }
+        // Reuse the already-warm workspace from window 2.
+        let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+        fft.forward_into(comm, mine[0], &mut ws, &mut y);
+        let mut warm_lat = Vec::with_capacity(batch);
+        for x in &mine {
+            comm.barrier();
+            let t = Instant::now();
+            fft.forward_into(comm, x, &mut ws, &mut y);
+            warm_lat.push(t.elapsed().as_secs_f64());
+        }
+        comm.barrier();
+        (fresh_wall, fresh_bytes, many_wall, many_bytes, fresh_lat, warm_lat)
+    });
+
+    let (fresh_wall, fresh_bytes, many_wall, many_bytes, mut fresh_lat, mut warm_lat) =
+        measured.into_iter().next().expect("rank 0");
+    fresh_lat.sort_by(f64::total_cmp);
+    warm_lat.sort_by(f64::total_cmp);
+
+    let fresh = Score {
+        transforms_per_s: batch as f64 / fresh_wall,
+        bytes_per_transform: fresh_bytes as f64 / batch as f64,
+        p50_s: percentile(&fresh_lat, 0.50),
+        p99_s: percentile(&fresh_lat, 0.99),
+    };
+    let many = Score {
+        transforms_per_s: batch as f64 / many_wall,
+        bytes_per_transform: many_bytes as f64 / batch as f64,
+        p50_s: percentile(&warm_lat, 0.50),
+        p99_s: percentile(&warm_lat, 0.99),
+    };
+    let speedup = many.transforms_per_s / fresh.transforms_per_s;
+
+    let mut table = Table::new(&[
+        "mode",
+        "transforms/s",
+        "bytes/transform",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
+    let row = |t: &mut Table, name: &str, s: &Score| {
+        t.row(&[
+            name.into(),
+            format!("{:.3}", s.transforms_per_s),
+            format!("{:.0}", s.bytes_per_transform),
+            format!("{:.2}", s.p50_s * 1e3),
+            format!("{:.2}", s.p99_s * 1e3),
+        ]);
+    };
+    row(&mut table, "fresh forward()", &fresh);
+    row(&mut table, "forward_many", &many);
+
+    println!(
+        "Throughput (serving) mode: N = 2^{} = {n}, P = {procs}, batch = {batch}, \
+         S = {s}, B = {w}, fused front end",
+        n.ilog2(),
+        s = params.segments_per_proc,
+        w = params.conv_width,
+    );
+    println!("forward_many runs the batch through ONE planned workspace; fresh");
+    println!("forward() re-allocates the working set per transform.\n");
+    print!("{}", table.render());
+    println!("\nforward_many speedup over fresh forward(): {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"n\": {n},\n  \"procs\": {procs},\n  \"batch\": {batch},\n  \"segments_per_proc\": {s},\n  \"conv_width\": {w},\n  \"fresh_forward\": {{\n    \"transforms_per_s\": {ft:.6},\n    \"bytes_allocated_per_transform\": {fb:.0},\n    \"p50_latency_s\": {fp50:.6},\n    \"p99_latency_s\": {fp99:.6}\n  }},\n  \"forward_many\": {{\n    \"transforms_per_s\": {mt:.6},\n    \"bytes_allocated_per_transform\": {mb:.0},\n    \"p50_latency_s\": {mp50:.6},\n    \"p99_latency_s\": {mp99:.6}\n  }},\n  \"speedup\": {speedup:.4}\n}}\n",
+        s = params.segments_per_proc,
+        w = params.conv_width,
+        ft = fresh.transforms_per_s,
+        fb = fresh.bytes_per_transform,
+        fp50 = fresh.p50_s,
+        fp99 = fresh.p99_s,
+        mt = many.transforms_per_s,
+        mb = many.bytes_per_transform,
+        mp50 = many.p50_s,
+        mp99 = many.p99_s,
+    );
+    let path =
+        std::env::var("SOIFFT_THROUGHPUT_JSON").unwrap_or_else(|_| "BENCH_5.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_5.json");
+    eprintln!("wrote {path}");
+}

@@ -107,6 +107,60 @@ pub(crate) struct Message {
     pub(crate) data: Vec<c64>,
 }
 
+/// Per-rank freelist of recycled message payload buffers, binned by
+/// power-of-two capacity class. Buffers acquired here are allocated with
+/// capacity rounded up to the class size, so a recycled buffer always
+/// satisfies any later request of its class — the invariant that makes
+/// the steady-state exchange allocation-free: every send stages from the
+/// pool, every consumed receive is recycled back, and after warmup the
+/// two flows balance. Misses are counted in the [`CommStats`]
+/// `comm_allocs` ledger by the callers that stage message payloads.
+#[derive(Debug, Default)]
+struct BufferPool {
+    bins: Vec<Vec<Vec<c64>>>,
+}
+
+/// Recycled buffers kept per capacity class; beyond this the surplus is
+/// dropped (bounds pool memory under bursty exchanges).
+const POOL_BIN_DEPTH: usize = 32;
+
+impl BufferPool {
+    /// Class that guarantees capacity for `len`: smallest k with 2^k ≥ len.
+    fn class_for_len(len: usize) -> usize {
+        len.next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Class a buffer of capacity `cap` can serve: largest k with 2^k ≤ cap.
+    fn class_for_cap(cap: usize) -> usize {
+        (usize::BITS - 1 - cap.leading_zeros()) as usize
+    }
+
+    /// Pops an empty buffer with capacity ≥ `len`, if one is pooled.
+    fn take(&mut self, len: usize) -> Option<Vec<c64>> {
+        let k = Self::class_for_len(len);
+        let mut buf = self.bins.get_mut(k)?.pop()?;
+        buf.clear();
+        Some(buf)
+    }
+
+    /// Returns `buf` to its capacity class (dropped when the class is
+    /// full or the buffer owns no storage).
+    fn give(&mut self, buf: Vec<c64>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let k = Self::class_for_cap(cap);
+        if self.bins.len() <= k {
+            self.bins.resize_with(k + 1, Vec::new);
+        }
+        let bin = &mut self.bins[k];
+        if bin.len() < POOL_BIN_DEPTH {
+            bin.push(buf);
+        }
+    }
+}
+
 /// One rank's endpoint into the cluster: rank id, peers, and statistics.
 pub struct Comm {
     rank: usize,
@@ -136,7 +190,15 @@ pub struct Comm {
     /// stamped on every outgoing message and checked on every arrival.
     pub(crate) generation: u64,
     pub(crate) stats: CommStats,
+    /// Freelist of recycled payload buffers (see [`BufferPool`]).
+    pool: BufferPool,
 }
+
+/// Warm `(src, tag)` queues kept in the pending map before the map is
+/// compacted; empty queues are retained below this so steady-state
+/// exchanges re-fill an existing entry instead of re-allocating it, while
+/// resilient runs (which mint fresh epoch tags) still get garbage-collected.
+const PENDING_GC_LEN: usize = 512;
 
 impl Comm {
     /// This rank's id in `[0, size)`.
@@ -452,11 +514,44 @@ impl Comm {
 
     fn take_pending(&mut self, src: usize, tag: u64) -> Option<Vec<c64>> {
         let queue = self.pending.get_mut(&(src, tag))?;
-        let data = queue.remove(0);
         if queue.is_empty() {
-            self.pending.remove(&(src, tag));
+            // Keep the drained entry warm: steady-state exchanges reuse the
+            // same (src, tag) keys every iteration, and re-inserting the
+            // entry would allocate. Compact only once the map has grown past
+            // the warm working set (resilient epochs mint fresh tags).
+            if self.pending.len() > PENDING_GC_LEN {
+                self.pending.retain(|_, q| !q.is_empty());
+            }
+            return None;
         }
-        Some(data)
+        Some(queue.remove(0))
+    }
+
+    /// Takes a cleared buffer with capacity ≥ `len` from this rank's
+    /// freelist, or allocates one (rounded up to the pool's capacity
+    /// class) and charges the `comm_allocs` ledger. Message payloads the
+    /// transport stages (ghost halos, all-to-all chunks, resilient
+    /// retransmit copies) come from here, so a steady-state exchange that
+    /// recycles what it receives allocates nothing.
+    pub fn acquire_buffer(&mut self, len: usize) -> Vec<c64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        match self.pool.take(len) {
+            Some(buf) => buf,
+            None => {
+                self.stats.note_comm_alloc();
+                Vec::with_capacity(len.next_power_of_two())
+            }
+        }
+    }
+
+    /// Returns a no-longer-needed payload buffer to this rank's freelist
+    /// so a later [`Comm::acquire_buffer`] of its capacity class is served
+    /// without allocating. Contents are discarded; zero-capacity buffers
+    /// are dropped.
+    pub fn recycle_buffer(&mut self, buf: Vec<c64>) {
+        self.pool.give(buf);
     }
 
     /// Blocks until a message from `src` with `tag` arrives and returns it.
@@ -602,6 +697,31 @@ impl Comm {
         incoming
     }
 
+    /// [`Comm::all_to_all`] against caller-owned buffers — the workspace
+    /// form of the exchange. Each `outgoing[d]` is moved onto the wire
+    /// (left empty); whatever `incoming` held from a previous iteration is
+    /// recycled into the pool before the received payloads are pushed, so
+    /// an iterated exchange that refills its outgoing buffers from the
+    /// pool allocates nothing in steady state. Wire traffic is identical
+    /// to [`Comm::all_to_all`].
+    pub fn all_to_all_into(&mut self, outgoing: &mut [Vec<c64>], incoming: &mut Vec<Vec<c64>>) {
+        assert_eq!(outgoing.len(), self.size, "need one buffer per rank");
+        self.maybe_crash(CrashSite::AllToAll);
+        let t = self.stats.phase_start();
+        for (dst, slot) in outgoing.iter_mut().enumerate() {
+            let data = std::mem::take(slot);
+            self.send(dst, tags::ALL_TO_ALL, data);
+        }
+        for old in incoming.drain(..) {
+            self.pool.give(old);
+        }
+        for src in 0..self.size {
+            let got = self.recv(src, tags::ALL_TO_ALL);
+            incoming.push(got);
+        }
+        self.stats.phase_end("all-to-all", t);
+    }
+
     /// Fault-tolerant all-to-all: the exchange runs in *rounds* on fresh
     /// tags; after each round the ranks run a small consensus (max-reduce
     /// of a failure flag) and, if anyone failed, everyone retries — up to
@@ -650,8 +770,12 @@ impl Comm {
             let (data_tag, reduce_tag, bcast_tag) = tags::resilient_tags(epoch, round);
             let end = Instant::now() + policy.deadline;
             let mut local_err: Option<CommError> = None;
-            for (dst, data) in outgoing.iter().enumerate() {
-                if let Err(e) = self.try_send(dst, data_tag, data.clone()) {
+            for (dst, payload) in outgoing.iter().enumerate() {
+                // Each round posts a pool-staged copy (the caller keeps the
+                // originals for potential retransmission next round).
+                let mut copy = self.acquire_buffer(payload.len());
+                copy.extend_from_slice(payload);
+                if let Err(e) = self.try_send(dst, data_tag, copy) {
                     local_err = Some(e);
                     break;
                 }
@@ -730,12 +854,15 @@ impl Comm {
         let t = self.stats.phase_start();
         let prev = (self.rank + self.size - 1) % self.size;
         let next = (self.rank + 1) % self.size;
-        let out = local[..ghost_len].to_vec();
         let mut sent = false;
         let mut last = CommError::Timeout;
         for _ in 0..policy.max_rounds {
             if !sent {
-                match self.try_send(prev, tags::GHOST, out.clone()) {
+                // Staged fresh per attempt from the pool (the transport owns
+                // each posted payload; `local` stays borrowed for re-sends).
+                let mut out = self.acquire_buffer(ghost_len);
+                out.extend_from_slice(&local[..ghost_len]);
+                match self.try_send(prev, tags::GHOST, out) {
                     Ok(()) => sent = true,
                     Err(e) if e.is_transient() => {
                         last = e;
@@ -833,8 +960,12 @@ impl Comm {
                 let payload = if off == 0 && take == lens[dst] {
                     std::mem::take(&mut outgoing[dst])
                 } else {
-                    self.stats.note_comm_alloc();
-                    outgoing[dst][off..off + take].to_vec()
+                    // Staged from the pool: a recycled chunk from an earlier
+                    // round serves this copy free; only a pool miss counts
+                    // as a staging allocation in the ledger.
+                    let mut staged = self.acquire_buffer(take);
+                    staged.extend_from_slice(&outgoing[dst][off..off + take]);
+                    staged
                 };
                 self.send(dst, tags::ALL_TO_ALL_CHUNK, payload);
                 offsets[dst] = off + take;
@@ -845,8 +976,12 @@ impl Comm {
     }
 
     /// Reassembles the chunked exchange, receiving chunks in order per
-    /// source. Each slot is sized once up front; a volume that arrives as
-    /// a single chunk adopts the transport's buffer outright.
+    /// source. Each slot is sized once up front (from the pool when a
+    /// recycled buffer fits, uncounted otherwise — the slot is the
+    /// caller's result, not a staging copy); a volume that arrives as a
+    /// single chunk adopts the transport's buffer outright. Consumed chunk
+    /// payloads are recycled, so the next round's (or next call's) staging
+    /// copies come free.
     fn recv_chunks(&mut self, expected: &[usize]) -> Vec<Vec<c64>> {
         let mut incoming: Vec<Vec<c64>> = Vec::with_capacity(self.size);
         for (src, &want) in expected.iter().enumerate() {
@@ -859,10 +994,14 @@ impl Comm {
                     break;
                 }
                 if first {
-                    slot.reserve_exact(want);
+                    match self.pool.take(want) {
+                        Some(buf) => slot = buf,
+                        None => slot.reserve_exact(want),
+                    }
                     first = false;
                 }
                 slot.extend_from_slice(&chunk);
+                self.pool.give(chunk);
             }
             incoming.push(slot);
         }
@@ -902,7 +1041,8 @@ impl Comm {
         let t = self.stats.phase_start();
         let prev = (self.rank + self.size - 1) % self.size;
         let next = (self.rank + 1) % self.size;
-        let out = local[..ghost_len].to_vec();
+        let mut out = self.acquire_buffer(ghost_len);
+        out.extend_from_slice(&local[..ghost_len]);
         let got = self.send_recv(prev, tags::GHOST, out, next, tags::GHOST);
         self.stats.phase_end("ghost", t);
         got
@@ -1208,6 +1348,7 @@ where
                 }
                 stats
             },
+            pool: BufferPool::default(),
         })
         .collect();
     drop(txs);

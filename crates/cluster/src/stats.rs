@@ -142,6 +142,14 @@ impl CommStats {
         self.queue_high_watermark = self.queue_high_watermark.max(depth);
     }
 
+    /// Pre-grows the phase-record log by `extra` entries so the appends
+    /// inside an upcoming measured window (each collective closes a phase)
+    /// don't reallocate it. Zero-allocation harnesses call this before
+    /// their counting window.
+    pub fn reserve_records(&mut self, extra: usize) {
+        self.records.reserve(extra);
+    }
+
     /// Opens a phase (timing starts now).
     pub fn phase_start(&self) -> PhaseToken {
         PhaseToken {

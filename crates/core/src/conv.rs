@@ -70,6 +70,67 @@ impl ConvStrategy {
     }
 }
 
+/// One pool worker's reusable convolution state: the §5.3 circular
+/// buffer + its dense snapshot (buffered columns) and one `F_L` plan
+/// scratch (fused conv+FFT). Owned by [`ConvScratch`], one slot per
+/// worker, so no parallel piece ever allocates.
+#[derive(Clone, Debug)]
+struct ConvWorker {
+    ring: CircularBuffer,
+    dense: Vec<c64>,
+    fft: Vec<c64>,
+}
+
+/// Reusable scratch for the convolution stage: the transposed
+/// intermediate `ut` of the interchanged forms plus one [`ConvWorker`]
+/// per pool thread. Plan it once ([`ConvScratch::new`]) and pass it to
+/// [`convolve_with_scratch`] / [`convolve_fused_fft_with_scratch`];
+/// steady-state calls then perform zero heap allocations.
+#[derive(Clone, Debug)]
+pub struct ConvScratch {
+    ut: Vec<c64>,
+    workers: Vec<ConvWorker>,
+}
+
+impl ConvScratch {
+    /// Sizes scratch for `params` under `pool`: `ut` holds the full
+    /// `L × blocks_per_rank` transposed intermediate, each worker a
+    /// `B`-tap ring + snapshot and an `F_L` plan scratch.
+    pub fn new(params: &SoiParams, plan_l: &soifft_fft::Plan, pool: &Pool) -> Self {
+        let l = params.total_segments();
+        let blocks = params.blocks_per_rank();
+        let b = params.conv_width;
+        ConvScratch {
+            ut: vec![c64::ZERO; l * blocks],
+            workers: (0..pool.threads())
+                .map(|_| ConvWorker {
+                    ring: CircularBuffer::new(b),
+                    dense: vec![c64::ZERO; b],
+                    fft: plan_l.make_scratch(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The sized-but-planless scratch [`convolve`] builds for itself: the
+/// unfused strategies never touch the per-worker FFT scratch.
+fn unplanned_scratch(params: &SoiParams, pool: &Pool) -> ConvScratch {
+    let l = params.total_segments();
+    let blocks = params.blocks_per_rank();
+    let b = params.conv_width;
+    ConvScratch {
+        ut: vec![c64::ZERO; l * blocks],
+        workers: (0..pool.threads())
+            .map(|_| ConvWorker {
+                ring: CircularBuffer::new(b),
+                dense: vec![c64::ZERO; b],
+                fft: Vec::new(),
+            })
+            .collect(),
+    }
+}
+
 /// Runs the convolution for one rank.
 ///
 /// * `input_ext` — this rank's `N/P` input elements followed by the
@@ -78,6 +139,9 @@ impl ConvStrategy {
 /// * `pool` — intra-node parallelism (chunks for RowMajor, columns for the
 ///   interchanged forms, mirroring the paper's `loop_a` thread-level
 ///   parallelization).
+///
+/// Allocates its scratch internally; repeated callers should plan a
+/// [`ConvScratch`] once and use [`convolve_with_scratch`].
 pub fn convolve(
     params: &SoiParams,
     window: &Window,
@@ -85,6 +149,22 @@ pub fn convolve(
     input_ext: &[c64],
     out: &mut [c64],
     pool: &Pool,
+) {
+    let mut scratch = unplanned_scratch(params, pool);
+    convolve_with_scratch(params, window, strategy, input_ext, out, pool, &mut scratch);
+}
+
+/// [`convolve`] against caller-owned [`ConvScratch`]: no heap allocation
+/// inside the call (all three strategies).
+#[allow(clippy::too_many_arguments)]
+pub fn convolve_with_scratch(
+    params: &SoiParams,
+    window: &Window,
+    strategy: ConvStrategy,
+    input_ext: &[c64],
+    out: &mut [c64],
+    pool: &Pool,
+    scratch: &mut ConvScratch,
 ) {
     let l = params.total_segments();
     let blocks = params.blocks_per_rank();
@@ -133,15 +213,18 @@ pub fn convolve(
             // Column-decomposed: write the transposed result (one
             // contiguous row per input column p), then transpose into
             // block-major order — the paper's extra memory sweep.
-            let mut ut = vec![c64::ZERO; l * blocks];
+            if scratch.ut.len() < l * blocks {
+                scratch.ut.resize(l * blocks, c64::ZERO);
+            }
+            let ut = &mut scratch.ut[..l * blocks];
             let buffered = strategy == ConvStrategy::InterchangedBuffered;
-            pool.par_chunks_mut(&mut ut, blocks, |_, offset, cols| {
+            pool.par_chunks_mut_scratch(ut, blocks, &mut scratch.workers, |_, offset, cols, w| {
                 let p0 = offset / blocks;
                 for (pi, col_out) in cols.chunks_exact_mut(blocks).enumerate() {
                     let p = p0 + pi;
                     if buffered {
                         column_pass_buffered(
-                            window, input_ext, col_out, p, l, chunks, n_mu, d_mu, b,
+                            window, input_ext, col_out, p, l, chunks, n_mu, d_mu, b, w,
                         );
                     } else {
                         column_pass_strided(
@@ -153,7 +236,7 @@ pub fn convolve(
             // The paper's "extra main memory sweep" of the decomposed form,
             // band-parallel over output blocks (each thread writes its own
             // contiguous rows of `out`, reading `ut` strided).
-            let ut_ro: &[c64] = &ut;
+            let ut_ro: &[c64] = ut;
             pool.par_chunks_mut(out, l, |_, offset, band| {
                 let m0 = offset / l;
                 for (mi, block) in band.chunks_exact_mut(l).enumerate() {
@@ -191,7 +274,9 @@ fn column_pass_strided(
 }
 
 /// One column with circular-buffer staging: `B` contiguous loads up front,
-/// then `d_µ` strided loads per chunk.
+/// then `d_µ` strided loads per chunk. The ring and its dense snapshot
+/// live in the worker's [`ConvWorker`] slot (`fill_strided` rewinds the
+/// ring, so reuse across columns and calls is exact).
 #[allow(clippy::too_many_arguments)]
 fn column_pass_buffered(
     window: &Window,
@@ -203,21 +288,26 @@ fn column_pass_buffered(
     n_mu: usize,
     d_mu: usize,
     b: usize,
+    w: &mut ConvWorker,
 ) {
     let taps = window.taps_for_p(p);
-    let mut ring = CircularBuffer::new(b);
-    ring.fill_strided(input_ext, p, l);
-    let mut dense = vec![c64::ZERO; b];
+    if w.ring.capacity() != b {
+        w.ring = CircularBuffer::new(b);
+    }
+    if w.dense.len() != b {
+        w.dense.resize(b, c64::ZERO);
+    }
+    w.ring.fill_strided(input_ext, p, l);
     for c in 0..chunks {
-        ring.snapshot(&mut dense);
+        w.ring.snapshot(&mut w.dense);
         for j in 0..n_mu {
-            col_out[c * n_mu + j] = dot(&taps[j * b..(j + 1) * b], &dense);
+            col_out[c * n_mu + j] = dot(&taps[j * b..(j + 1) * b], &w.dense);
         }
         if c + 1 < chunks {
             // Slide the window by d_µ blocks: new elements live at block
             // indices c·d_µ + b .. c·d_µ + b + d_µ of column p.
             let start = (c * d_mu + b) * l + p;
-            ring.advance_strided(input_ext, start, l, d_mu);
+            w.ring.advance_strided(input_ext, start, l, d_mu);
         }
     }
 }
@@ -244,6 +334,23 @@ pub fn convolve_fused_fft(
     plan_l: &soifft_fft::Plan,
     pool: &Pool,
 ) {
+    let mut scratch = ConvScratch::new(params, plan_l, pool);
+    convolve_fused_fft_with_scratch(params, window, input_ext, out, plan_l, pool, &mut scratch);
+}
+
+/// [`convolve_fused_fft`] against caller-owned [`ConvScratch`] (per-worker
+/// `F_L` scratch is grown on first use if the scratch was planned for a
+/// different `plan_l`; steady-state calls never allocate).
+#[allow(clippy::too_many_arguments)]
+pub fn convolve_fused_fft_with_scratch(
+    params: &SoiParams,
+    window: &Window,
+    input_ext: &[c64],
+    out: &mut [c64],
+    plan_l: &soifft_fft::Plan,
+    pool: &Pool,
+    scratch: &mut ConvScratch,
+) {
     let l = params.total_segments();
     let blocks = params.blocks_per_rank();
     let n_mu = params.mu.num();
@@ -262,9 +369,11 @@ pub fn convolve_fused_fft(
     );
 
     out.fill(c64::ZERO);
-    pool.par_chunks_mut(out, n_mu * l, |_, offset, piece| {
+    pool.par_chunks_mut_scratch(out, n_mu * l, &mut scratch.workers, |_, offset, piece, w| {
         let c0 = offset / (n_mu * l);
-        let mut scratch = plan_l.make_scratch();
+        if w.fft.len() < plan_l.scratch_len() {
+            w.fft.resize(plan_l.scratch_len(), c64::ZERO);
+        }
         for (ci, chunk_out) in piece.chunks_exact_mut(n_mu * l).enumerate() {
             let c = c0 + ci;
             let in_base = c * d_mu * l;
@@ -280,7 +389,7 @@ pub fn convolve_fused_fft(
                 }
                 // The block is hot in cache: transform it now instead of
                 // in a later full sweep.
-                plan_l.forward_with_scratch(block, &mut scratch);
+                plan_l.forward_with_scratch(block, &mut w.fft);
             }
         }
     });

@@ -24,11 +24,13 @@ use soifft_cluster::{
     ExchangePolicy, RankOutcome, RecoveryCtx, RecoveryOutcome, RestartPolicy, Supervisor,
     ValidationPolicy,
 };
-use soifft_fft::{batch, Plan, SixStepFft, SixStepVariant};
+use soifft_fft::{batch, Plan, SixStepFft, SixStepScratch, SixStepVariant};
 use soifft_num::c64;
 use soifft_par::Pool;
 
-use crate::conv::{convolve, ConvStrategy};
+use crate::conv::{
+    convolve, convolve_fused_fft_with_scratch, convolve_with_scratch, ConvScratch, ConvStrategy,
+};
 use crate::params::{SoiError, SoiParams};
 use crate::verify;
 use crate::window::{Window, WindowKind};
@@ -154,6 +156,43 @@ pub struct RecoveredRun {
     pub recovery: RecoveryOutcome,
 }
 
+/// One rank's preallocated working set for the SOI pipeline, planned by
+/// [`SoiFft::make_workspace`] and threaded through
+/// [`SoiFft::forward_into`] (and the `try_*_into` variants): the extended
+/// input staging, the convolution output `u` and its per-worker scratch,
+/// the segment-FFT worker scratch, the pack/unpack exchange slots, and
+/// the per-segment recovery buffers (assembly, six-step aux and scratch).
+///
+/// Reusing one workspace across back-to-back transforms is what makes the
+/// steady-state hot path allocation-free on the default configuration:
+/// every buffer is sized at plan time, exchange payloads cycle through
+/// the communicator's pool ([`Comm::acquire_buffer`] /
+/// [`Comm::recycle_buffer`]), and after a warmup call the pipeline
+/// touches the allocator zero times per [`SoiFft::forward_into`] call
+/// (see `tests/alloc_steady_state.rs`).
+#[derive(Clone, Debug)]
+pub struct SoiWorkspace {
+    /// Local input extended with the ghost prefix (`per_rank + ghost_len`).
+    input_ext: Vec<c64>,
+    /// Post-convolution / post-block-DFT frontier (`blocks · L`).
+    u: Vec<c64>,
+    /// Convolution scratch (ring, dense taps window, fused-FFT scratch).
+    conv: ConvScratch,
+    /// One row-FFT scratch per pool worker for the block DFTs.
+    seg_workers: Vec<Vec<c64>>,
+    /// Per-destination pack slots; refilled from the pool each call and
+    /// moved onto the wire by the exchange.
+    outgoing: Vec<Vec<c64>>,
+    /// Received exchange payloads; recycled into the pool after recovery.
+    incoming: Vec<Vec<c64>>,
+    /// Assembled segment `z_s` (`M'`).
+    z: Vec<c64>,
+    /// Six-step auxiliary buffer (`M'`).
+    aux: Vec<c64>,
+    /// Six-step internal scratch for the recovery FFTs.
+    seg_scratch: SixStepScratch,
+}
+
 /// A planned distributed SOI transform. Plan once (collectively — every
 /// rank constructs the same plan), call [`SoiFft::forward`] inside a
 /// cluster closure. Plans are `Clone`, so one rank can plan and others
@@ -188,7 +227,7 @@ pub struct RecoveredRun {
 pub struct SoiFft {
     params: SoiParams,
     window: Arc<Window>,
-    plan_l: Plan,
+    plan_l: Arc<Plan>,
     segment_fft: SixStepFft,
     demod_scale: Vec<c64>,
     strategy: ConvStrategy,
@@ -222,7 +261,10 @@ impl SoiFft {
         let counts = vec![params.segments_per_proc; params.procs];
         let base = prefix_sums(&counts);
         Ok(SoiFft {
-            plan_l: Plan::new(params.total_segments()),
+            // `F_L` comes from the process-wide plan cache: every rank of
+            // a simulated cluster shares the same segment count, so all
+            // ranks share one twiddle table.
+            plan_l: soifft_fft::shared_plan(params.total_segments()),
             segment_fft: SixStepFft::new(m_prime, SixStepVariant::FusedDynamic),
             demod_scale,
             window,
@@ -326,14 +368,66 @@ impl SoiFft {
         &self.window
     }
 
+    /// Plans this transform's reusable working set: every buffer the
+    /// pipeline touches per call, sized for this plan's parameters and
+    /// pool, allocated once. Thread it through [`SoiFft::forward_into`]
+    /// (or [`SoiFft::try_forward_into`] /
+    /// [`SoiFft::try_forward_recoverable_into`]) to run back-to-back
+    /// transforms without per-call allocation.
+    pub fn make_workspace(&self) -> SoiWorkspace {
+        let p = &self.params;
+        let l = p.total_segments();
+        let blocks = p.blocks_per_rank();
+        let m_prime = p.m_prime();
+        SoiWorkspace {
+            input_ext: Vec::with_capacity(p.per_rank() + p.ghost_len()),
+            u: vec![c64::ZERO; blocks * l],
+            conv: ConvScratch::new(p, &self.plan_l, &self.pool),
+            seg_workers: batch::make_worker_scratch(&self.plan_l, &self.pool),
+            outgoing: vec![Vec::new(); p.procs],
+            incoming: Vec::with_capacity(p.procs),
+            z: Vec::with_capacity(m_prime),
+            aux: vec![c64::ZERO; m_prime],
+            seg_scratch: self.segment_fft.make_scratch(),
+        }
+    }
+
     /// Computes this rank's slice of `y = F_N x`.
     ///
     /// `local_input` is rank `r`'s `x[r·N/P .. (r+1)·N/P)`; the return
     /// value is `y[r·N/P .. (r+1)·N/P)` (natural order).
+    ///
+    /// Thin wrapper over [`SoiFft::forward_into`] that owns a fresh
+    /// [`SoiWorkspace`] and output buffer for one call; iterated callers
+    /// should plan the workspace once and use the `_into` form (or
+    /// [`SoiFft::forward_many`]) to keep the steady state allocation-free.
     pub fn forward(&self, comm: &mut Comm, local_input: &[c64]) -> Vec<c64> {
+        let mut ws = self.make_workspace();
+        let mut y = vec![c64::ZERO; self.output_len(comm.rank())];
+        self.forward_into(comm, local_input, &mut ws, &mut y);
+        y
+    }
+
+    /// [`SoiFft::forward`] against a caller-planned [`SoiWorkspace`] and
+    /// output slice (`y.len() == output_len(rank)`). Bit-identical to
+    /// [`SoiFft::forward`]; on the default configuration a warm workspace
+    /// makes the whole call allocation-free (exchange payloads cycle
+    /// through the communicator's buffer pool).
+    pub fn forward_into(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        ws: &mut SoiWorkspace,
+        y: &mut [c64],
+    ) {
         let p = &self.params;
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
+        assert_eq!(
+            y.len(),
+            self.output_len(comm.rank()),
+            "wrong output length"
+        );
 
         // Virtual-time accounting, when configured — and *cleared* when
         // not: a plan without a `SimSpec` must not inherit the cost model
@@ -347,25 +441,71 @@ impl SoiFft {
         }
         comm.stats_mut().span_open("superstep");
 
-        // 1. Ghost exchange.
+        // 1. Ghost exchange (the received prefix is recycled into the
+        // pool once staged into the extended input, balancing the
+        // staging buffer the exchange acquired).
         let ghost = comm.exchange_ghost(local_input, p.ghost_len());
 
         // 2-3. Convolution, then block DFTs. The infallible API has no
         // typed error channel, so an unrepairable silent-corruption
         // detection surfaces as a rank panic (like any other fatal fault
         // on this path); use `try_forward` for structured SDC reports.
-        let u = self
-            .front_end(comm, local_input, &ghost)
+        self.front_end_core(comm, local_input, &ghost, None, ws)
             .unwrap_or_else(|e| panic!("{e}"));
+        comm.recycle_buffer(ghost);
 
         // 4-6. Exchange and per-segment recovery.
-        let y = match self.exchange {
-            ExchangePlan::PerSegment => self.recover_per_segment(comm, &u),
-            ExchangePlan::Overlapped => self.recover_overlapped(comm, &u),
-            _ => self.recover_monolithic(comm, &u),
-        };
+        match self.exchange {
+            ExchangePlan::PerSegment => {
+                let out = self.recover_per_segment(comm, &ws.u);
+                y.copy_from_slice(&out);
+            }
+            ExchangePlan::Overlapped => {
+                let out = self.recover_overlapped(comm, &ws.u);
+                y.copy_from_slice(&out);
+            }
+            _ => self.recover_monolithic_into(comm, ws, y),
+        }
         comm.stats_mut().span_close("superstep");
-        y
+    }
+
+    /// Throughput (batch) mode: runs `inputs.len()` back-to-back
+    /// transforms through one planned workspace — transform `b` consumes
+    /// `inputs[b]` (this rank's slice) and yields `outputs[b]`. After the
+    /// first call warms the workspace and the communicator's buffer pool,
+    /// each remaining transform runs the whole pipeline without touching
+    /// the allocator (default configuration), which is where the
+    /// throughput gain over repeated [`SoiFft::forward`] calls comes
+    /// from — the per-call working set is bandwidth, not heap churn.
+    pub fn forward_many(&self, comm: &mut Comm, inputs: &[Vec<c64>]) -> Vec<Vec<c64>> {
+        let mut ws = self.make_workspace();
+        let mut outputs = vec![Vec::new(); inputs.len()];
+        self.forward_many_into(comm, inputs, &mut ws, &mut outputs);
+        outputs
+    }
+
+    /// [`SoiFft::forward_many`] against a caller-planned workspace and
+    /// output set — the fully planned serving shape. Transform `b`
+    /// consumes `inputs[b]` and lands in `outputs[b]` (resized to
+    /// `output_len(rank)` if needed, so a reused output ring costs
+    /// nothing after its first batch). With warm outputs, workspace, and
+    /// buffer pool, every transform in the batch runs the whole pipeline
+    /// without touching the allocator (default configuration) — the
+    /// steady state is bandwidth-bound, not heap-bound, which is the
+    /// §5.3 argument applied to serving.
+    pub fn forward_many_into(
+        &self,
+        comm: &mut Comm,
+        inputs: &[Vec<c64>],
+        ws: &mut SoiWorkspace,
+        outputs: &mut [Vec<c64>],
+    ) {
+        assert_eq!(inputs.len(), outputs.len(), "one output slot per input");
+        let out_len = self.output_len(comm.rank());
+        for (x, y) in inputs.iter().zip(outputs.iter_mut()) {
+            y.resize(out_len, c64::ZERO);
+            self.forward_into(comm, x, ws, y);
+        }
     }
 
     /// Fault-tolerant forward transform: the same pipeline as
@@ -386,9 +526,33 @@ impl SoiFft {
         local_input: &[c64],
         policy: &ExchangePolicy,
     ) -> Result<Vec<c64>, SoiRunError> {
+        let mut ws = self.make_workspace();
+        let mut y = vec![c64::ZERO; self.output_len(comm.rank())];
+        self.try_forward_into(comm, local_input, policy, &mut ws, &mut y)?;
+        Ok(y)
+    }
+
+    /// [`SoiFft::try_forward`] against a caller-planned [`SoiWorkspace`]
+    /// and output slice. The fault-free steady state allocates only what
+    /// the resilient collective itself must (per-round retransmit staging
+    /// and consensus messages — bounded, pool-recycled copies), never the
+    /// pipeline's working set.
+    pub fn try_forward_into(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+        ws: &mut SoiWorkspace,
+        y: &mut [c64],
+    ) -> Result<(), SoiRunError> {
         let p = &self.params;
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
+        assert_eq!(
+            y.len(),
+            self.output_len(comm.rank()),
+            "wrong output length"
+        );
 
         match self.sim {
             Some(sim) => comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
@@ -399,37 +563,58 @@ impl SoiFft {
         }
 
         comm.stats_mut().span_open("superstep");
-        let result = self.try_forward_body(comm, local_input, policy);
+        let result = self.try_forward_into_body(comm, local_input, policy, ws, y);
         comm.stats_mut().span_close("superstep");
         result
     }
 
-    /// [`SoiFft::try_forward`]'s pipeline body, split out so the
+    /// [`SoiFft::try_forward_into`]'s pipeline body, split out so the
     /// `"superstep"` trace span closes on the error path too.
-    fn try_forward_body(
+    fn try_forward_into_body(
         &self,
         comm: &mut Comm,
         local_input: &[c64],
         policy: &ExchangePolicy,
-    ) -> Result<Vec<c64>, SoiRunError> {
+        ws: &mut SoiWorkspace,
+        y: &mut [c64],
+    ) -> Result<(), SoiRunError> {
         let p = &self.params;
         self.probe_machinery(comm)?;
         let ghost = comm
             .try_exchange_ghost(local_input, p.ghost_len(), policy)
             .map_err(|e| SoiRunError::new("ghost", e, comm.stats().clone()))?;
-        let u = self.front_end(comm, local_input, &ghost)?;
+        self.front_end_core(comm, local_input, &ghost, None, ws)?;
+        comm.recycle_buffer(ghost);
         comm.stats_mut().span_open("pack");
-        let outgoing = if self.validation.is_on() {
-            self.pack_outgoing_tagged(&u)
+        if self.validation.is_on() {
+            for (slot, buf) in ws.outgoing.iter_mut().zip(self.pack_outgoing_tagged(&ws.u)) {
+                *slot = buf;
+            }
         } else {
-            self.pack_outgoing(&u)
-        };
+            self.pack_pooled(comm, &ws.u, &mut ws.outgoing);
+        }
         comm.stats_mut().span_close("pack");
         let incoming = comm
-            .all_to_all_resilient(&outgoing, policy)
+            .all_to_all_resilient(&ws.outgoing, policy)
             .map_err(|e| SoiRunError::new("all-to-all", e, comm.stats().clone()))?;
+        // The resilient exchange borrows the outgoing buffers (it may
+        // retransmit them across rounds); recycle them once it returns.
+        for slot in ws.outgoing.iter_mut() {
+            comm.recycle_buffer(std::mem::take(slot));
+        }
         let incoming = self.receive_checked(comm, incoming)?;
-        Ok(self.recover_all(comm, &incoming))
+        self.recover_segments_into(
+            comm,
+            &incoming,
+            &mut ws.z,
+            &mut ws.aux,
+            &mut ws.seg_scratch,
+            y,
+        );
+        for buf in incoming {
+            comm.recycle_buffer(buf);
+        }
+        Ok(())
     }
 
     /// Checkpointing forward transform for supervised runs: the same
@@ -463,9 +648,35 @@ impl SoiFft {
         policy: &ExchangePolicy,
         ctx: &RecoveryCtx,
     ) -> Result<Vec<c64>, SoiRunError> {
+        let mut ws = self.make_workspace();
+        let mut y = vec![c64::ZERO; self.output_len(comm.rank())];
+        self.try_forward_recoverable_into(comm, local_input, policy, ctx, &mut ws, &mut y)?;
+        Ok(y)
+    }
+
+    /// [`SoiFft::try_forward_recoverable`] against a caller-planned
+    /// [`SoiWorkspace`] and output slice, so a supervised run that
+    /// re-enters the pipeline across epochs (or a caller looping
+    /// checkpointed transforms) reuses one working set instead of
+    /// replanning per call. Checkpoint snapshots and restores still
+    /// allocate — they are the durability copies, not working state.
+    pub fn try_forward_recoverable_into(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+        ctx: &RecoveryCtx,
+        ws: &mut SoiWorkspace,
+        y: &mut [c64],
+    ) -> Result<(), SoiRunError> {
         let p = &self.params;
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
+        assert_eq!(
+            y.len(),
+            self.output_len(comm.rank()),
+            "wrong output length"
+        );
         assert_eq!(
             ctx.store().parties(),
             p.procs,
@@ -481,20 +692,22 @@ impl SoiFft {
         }
 
         comm.stats_mut().span_open("superstep");
-        let result = self.try_forward_recoverable_body(comm, local_input, policy, ctx);
+        let result = self.try_forward_recoverable_body(comm, local_input, policy, ctx, ws, y);
         comm.stats_mut().span_close("superstep");
         result
     }
 
-    /// [`SoiFft::try_forward_recoverable`]'s pipeline body, split out so
-    /// the `"superstep"` trace span closes on the error path too.
+    /// [`SoiFft::try_forward_recoverable_into`]'s pipeline body, split out
+    /// so the `"superstep"` trace span closes on the error path too.
     fn try_forward_recoverable_body(
         &self,
         comm: &mut Comm,
         local_input: &[c64],
         policy: &ExchangePolicy,
         ctx: &RecoveryCtx,
-    ) -> Result<Vec<c64>, SoiRunError> {
+        ws: &mut SoiWorkspace,
+        y: &mut [c64],
+    ) -> Result<(), SoiRunError> {
         let p = &self.params;
         let rank = comm.rank();
         let store: &CheckpointStore = ctx.store();
@@ -526,7 +739,15 @@ impl SoiFft {
             } else {
                 flat.chunks_exact(chunk).map(<[c64]>::to_vec).collect()
             };
-            return Ok(self.recover_all(comm, &incoming));
+            self.recover_segments_into(
+                comm,
+                &incoming,
+                &mut ws.z,
+                &mut ws.aux,
+                &mut ws.seg_scratch,
+                y,
+            );
+            return Ok(());
         }
 
         // The ghost exchange is collective: it re-runs whenever the phase
@@ -547,12 +768,12 @@ impl SoiFft {
         // restores phase k when it holds no k+1 snapshot, and k's
         // snapshots are pruned only once k+1 commits — which needs this
         // very rank's k+1 save — so a restore can never race a prune.
-        let u = if let Ok(u) = self.traced_restore(comm, store, rank, phases::SEGMENT_FFT) {
-            u
+        if let Ok(u) = self.traced_restore(comm, store, rank, phases::SEGMENT_FFT) {
+            ws.u = u;
         } else if let Ok(mut u) = self.traced_restore(comm, store, rank, phases::CONVOLUTION) {
             comm.crash_point(phases::SEGMENT_FFT);
             let t = comm.stats_mut().phase_start();
-            batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
+            batch::forward_rows_parallel_with(&self.plan_l, &self.pool, &mut u, &mut ws.seg_workers);
             let seg_fft_flops =
                 p.blocks_per_rank() as f64 * soifft_fft::fft_flops(p.total_segments());
             match self.sim_fft_seconds(seg_fft_flops) {
@@ -560,7 +781,7 @@ impl SoiFft {
                 None => comm.stats_mut().phase_end("segment-fft", t),
             }
             self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &u)?;
-            u
+            ws.u = u;
         } else {
             let ghost = match fresh_ghost {
                 Some(g) => g,
@@ -575,14 +796,15 @@ impl SoiFft {
                     }
                 },
             };
-            self.front_end_with(comm, local_input, &ghost, Some((store, epoch)))?
-        };
+            self.front_end_core(comm, local_input, &ghost, Some((store, epoch)), ws)?;
+            comm.recycle_buffer(ghost);
+        }
 
         comm.stats_mut().span_open("pack");
         let outgoing = if self.validation.is_on() {
-            self.pack_outgoing_tagged(&u)
+            self.pack_outgoing_tagged(&ws.u)
         } else {
-            self.pack_outgoing(&u)
+            self.pack_outgoing(&ws.u)
         };
         comm.stats_mut().span_close("pack");
         let incoming = comm
@@ -593,7 +815,15 @@ impl SoiFft {
         let incoming = self.receive_checked(comm, incoming)?;
         let flat: Vec<c64> = incoming.iter().flatten().copied().collect();
         self.save_checked(comm, store, phases::ALL_TO_ALL, epoch, &flat)?;
-        Ok(self.recover_all(comm, &incoming))
+        self.recover_segments_into(
+            comm,
+            &incoming,
+            &mut ws.z,
+            &mut ws.aux,
+            &mut ws.seg_scratch,
+            y,
+        );
+        Ok(())
     }
 
     /// Supervised forward transform: runs the whole cluster under a
@@ -811,20 +1041,14 @@ impl SoiFft {
     }
 
     /// Phases 2–3 shared by the fallible and infallible pipelines: extends
-    /// the local input with its ghost, convolves (`u = W x`), and runs the
-    /// block DFTs (`I ⊗ F_L`) — fused into one pass when configured
-    /// (§5.3's loop fusion). Phases recorded in the ledger. Errs only with
+    /// the local input with its ghost into `ws.input_ext`, convolves
+    /// (`u = W x`), and runs the block DFTs (`I ⊗ F_L`) — fused into one
+    /// pass when configured (§5.3's loop fusion) — leaving the exchange
+    /// frontier in `ws.u`. Every buffer comes from the workspace, so a
+    /// warm call never allocates. Errs only with
     /// [`CommError::SilentCorruption`], and only when validation is on.
-    fn front_end(
-        &self,
-        comm: &mut Comm,
-        local_input: &[c64],
-        ghost: &[c64],
-    ) -> Result<Vec<c64>, SoiRunError> {
-        self.front_end_with(comm, local_input, ghost, None)
-    }
-
-    /// [`SoiFft::front_end`] with optional checkpointing: when a store and
+    ///
+    /// With optional checkpointing: when a store and
     /// epoch are supplied, `u` is snapshotted after the convolution
     /// (non-fused pipelines) and after the block DFTs. Crash points named
     /// after the phases fire at each phase entry, so
@@ -842,34 +1066,37 @@ impl SoiFft {
     /// the next phase consumes the buffer — the ABFT detection model for
     /// memory corruption that never crosses a wire. `Recover` re-executes
     /// only the flagged phase, up to [`verify::RETRY_BUDGET`] times.
-    fn front_end_with(
+    fn front_end_core(
         &self,
         comm: &mut Comm,
         local_input: &[c64],
         ghost: &[c64],
         checkpoint: Option<(&CheckpointStore, u64)>,
-    ) -> Result<Vec<c64>, SoiRunError> {
+        ws: &mut SoiWorkspace,
+    ) -> Result<(), SoiRunError> {
         let p = &self.params;
         let l = p.total_segments();
         let blocks = p.blocks_per_rank();
         let validate = self.validation.is_on();
-        let mut input_ext = Vec::with_capacity(local_input.len() + ghost.len());
-        input_ext.extend_from_slice(local_input);
-        input_ext.extend_from_slice(ghost);
-
-        let mut u = vec![c64::ZERO; blocks * l];
+        ws.input_ext.clear();
+        ws.input_ext.extend_from_slice(local_input);
+        ws.input_ext.extend_from_slice(ghost);
+        if ws.u.len() != blocks * l {
+            ws.u.resize(blocks * l, c64::ZERO);
+        }
         let conv_flops = p.conv_flops() / p.procs as f64;
         let seg_fft_flops = blocks as f64 * soifft_fft::fft_flops(l);
         if self.fuse_segment_fft {
             comm.crash_point(phases::CONVOLUTION);
             let t = comm.stats_mut().phase_start();
-            crate::conv::convolve_fused_fft(
+            convolve_fused_fft_with_scratch(
                 p,
                 &self.window,
-                &input_ext,
-                &mut u,
+                &ws.input_ext,
+                &mut ws.u,
                 &self.plan_l,
                 &self.pool,
+                &mut ws.conv,
             );
             match self.sim {
                 Some(s) => {
@@ -881,12 +1108,12 @@ impl SoiFft {
             // Fusion never materializes the pre-FFT rows, so the Parseval
             // balance is unavailable; the whole fused front end is guarded
             // by a checksum instead (plus the run-level linearity probe).
-            let guard = validate.then(|| checksum(&u));
-            comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+            let guard = validate.then(|| checksum(&ws.u));
+            comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut ws.u);
             if let Some(guard) = guard {
                 comm.stats_mut().span_open("sdc-verify");
                 let mut attempts = 0u32;
-                while checksum(&u) != guard {
+                while checksum(&ws.u) != guard {
                     comm.stats_mut().note_sdc_detected();
                     if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
                         comm.stats_mut().span_close("sdc-verify");
@@ -894,17 +1121,17 @@ impl SoiFft {
                     }
                     attempts += 1;
                     comm.stats_mut().span_open("sdc-repair");
-                    u.fill(c64::ZERO);
-                    crate::conv::convolve_fused_fft(
+                    convolve_fused_fft_with_scratch(
                         p,
                         &self.window,
-                        &input_ext,
-                        &mut u,
+                        &ws.input_ext,
+                        &mut ws.u,
                         &self.plan_l,
                         &self.pool,
+                        &mut ws.conv,
                     );
                     // A stuck-at fault corrupts the re-execution too.
-                    comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+                    comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut ws.u);
                     comm.stats_mut().span_close("sdc-repair");
                 }
                 if attempts > 0 {
@@ -913,18 +1140,19 @@ impl SoiFft {
                 comm.stats_mut().span_close("sdc-verify");
             }
             if let Some((store, epoch)) = checkpoint {
-                self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &u)?;
+                self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &ws.u)?;
             }
         } else {
             comm.crash_point(phases::CONVOLUTION);
             let t = comm.stats_mut().phase_start();
-            convolve(
+            convolve_with_scratch(
                 p,
                 &self.window,
                 self.strategy,
-                &input_ext,
-                &mut u,
+                &ws.input_ext,
+                &mut ws.u,
                 &self.pool,
+                &mut ws.conv,
             );
             match self.sim {
                 Some(s) => {
@@ -936,12 +1164,12 @@ impl SoiFft {
             // Guard the convolution output the moment it exists; a planned
             // flip then models corruption while `u` waits in memory for
             // the block DFTs.
-            let conv_guard = validate.then(|| checksum(&u));
-            comm.inject_bit_flip(BitFlipSite::ConvBuffer, &mut u);
+            let conv_guard = validate.then(|| checksum(&ws.u));
+            comm.inject_bit_flip(BitFlipSite::ConvBuffer, &mut ws.u);
             if let Some(guard) = conv_guard {
                 comm.stats_mut().span_open("sdc-verify");
                 let mut attempts = 0u32;
-                while checksum(&u) != guard {
+                while checksum(&ws.u) != guard {
                     comm.stats_mut().note_sdc_detected();
                     if !self.validation.recovers() || attempts >= verify::RETRY_BUDGET {
                         comm.stats_mut().span_close("sdc-verify");
@@ -949,17 +1177,17 @@ impl SoiFft {
                     }
                     attempts += 1;
                     comm.stats_mut().span_open("sdc-repair");
-                    u.fill(c64::ZERO);
-                    convolve(
+                    convolve_with_scratch(
                         p,
                         &self.window,
                         self.strategy,
-                        &input_ext,
-                        &mut u,
+                        &ws.input_ext,
+                        &mut ws.u,
                         &self.pool,
+                        &mut ws.conv,
                     );
                     // A stuck-at fault corrupts the re-execution too.
-                    comm.inject_bit_flip(BitFlipSite::ConvBuffer, &mut u);
+                    comm.inject_bit_flip(BitFlipSite::ConvBuffer, &mut ws.u);
                     comm.stats_mut().span_close("sdc-repair");
                 }
                 if attempts > 0 {
@@ -968,7 +1196,7 @@ impl SoiFft {
                 comm.stats_mut().span_close("sdc-verify");
             }
             if let Some((store, epoch)) = checkpoint {
-                self.save_checked(comm, store, phases::CONVOLUTION, epoch, &u)?;
+                self.save_checked(comm, store, phases::CONVOLUTION, epoch, &ws.u)?;
             }
 
             comm.crash_point(phases::SEGMENT_FFT);
@@ -978,23 +1206,28 @@ impl SoiFft {
             // rebuilds the pre-FFT rows by re-running the deterministic
             // convolution, keeping a frontier-sized clone off the
             // fault-free hot path.
-            let e_in = validate.then(|| verify::energy(&u));
+            let e_in = validate.then(|| verify::energy(&ws.u));
             let t = comm.stats_mut().phase_start();
-            batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
+            batch::forward_rows_parallel_with(
+                &self.plan_l,
+                &self.pool,
+                &mut ws.u,
+                &mut ws.seg_workers,
+            );
             match self.sim_fft_seconds(seg_fft_flops) {
                 Some(sim_s) => comm.stats_mut().phase_end_sim("segment-fft", t, sim_s),
                 None => comm.stats_mut().phase_end("segment-fft", t),
             }
-            comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+            comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut ws.u);
             if let Some(e_in) = e_in {
                 let tol = verify::energy_tolerance(l);
                 comm.stats_mut().span_open("sdc-verify");
                 let mut attempts = 0u32;
-                while !verify::parseval_ok(e_in, verify::energy(&u), l, tol) {
+                while !verify::parseval_ok(e_in, verify::energy(&ws.u), l, tol) {
                     // Re-evaluate before acting: a disturbed invariant
                     // *evaluation* over clean data is a detector false
                     // positive, not data corruption.
-                    if verify::parseval_ok(e_in, verify::energy(&u), l, tol) {
+                    if verify::parseval_ok(e_in, verify::energy(&ws.u), l, tol) {
                         comm.stats_mut().note_sdc_false_positive();
                         break;
                     }
@@ -1005,18 +1238,23 @@ impl SoiFft {
                     }
                     attempts += 1;
                     comm.stats_mut().span_open("sdc-repair");
-                    u.fill(c64::ZERO);
-                    convolve(
+                    convolve_with_scratch(
                         p,
                         &self.window,
                         self.strategy,
-                        &input_ext,
-                        &mut u,
+                        &ws.input_ext,
+                        &mut ws.u,
                         &self.pool,
+                        &mut ws.conv,
                     );
-                    batch::forward_rows_parallel(&self.plan_l, &self.pool, &mut u);
+                    batch::forward_rows_parallel_with(
+                        &self.plan_l,
+                        &self.pool,
+                        &mut ws.u,
+                        &mut ws.seg_workers,
+                    );
                     // A stuck-at fault corrupts the re-execution too.
-                    comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut u);
+                    comm.inject_bit_flip(BitFlipSite::LocalFftBuffer, &mut ws.u);
                     comm.stats_mut().span_close("sdc-repair");
                 }
                 if attempts > 0 {
@@ -1025,10 +1263,10 @@ impl SoiFft {
                 comm.stats_mut().span_close("sdc-verify");
             }
             if let Some((store, epoch)) = checkpoint {
-                self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &u)?;
+                self.save_checked(comm, store, phases::SEGMENT_FFT, epoch, &ws.u)?;
             }
         }
-        Ok(u)
+        Ok(())
     }
 
     /// The math of phases 2–3 with no communicator, ledger, or crash
@@ -1226,6 +1464,24 @@ impl SoiFft {
         let l = self.params.total_segments();
         let s = self.seg_base[dst] + sl;
         u.chunks_exact(l).map(|block| block[s]).collect()
+    }
+
+    /// [`SoiFft::pack_outgoing`] into caller-owned slots filled from the
+    /// communicator's buffer pool — the allocation-free pack of the
+    /// workspace pipelines (a warm pool serves every slot from last
+    /// call's recycled receive payloads).
+    fn pack_pooled(&self, comm: &mut Comm, u: &[c64], outgoing: &mut [Vec<c64>]) {
+        let p = &self.params;
+        let l = p.total_segments();
+        let blocks = p.blocks_per_rank();
+        for (q, slot) in outgoing.iter_mut().enumerate() {
+            let mut buf = comm.acquire_buffer(self.seg_counts[q] * blocks);
+            for sl in 0..self.seg_counts[q] {
+                let s = self.seg_base[q] + sl;
+                buf.extend(u.chunks_exact(l).map(|block| block[s]));
+            }
+            *slot = buf;
+        }
     }
 
     /// Outgoing buffer for each rank `q`: `[sl][m_local]` for its
@@ -1467,43 +1723,66 @@ impl SoiFft {
         )
     }
 
-    /// Recovers every owned segment from a monolithic-layout exchange
-    /// result (`incoming[r]` holds `[sl][m_local]`), recording the
-    /// `"local-fft"` phase.
-    fn recover_all(&self, comm: &mut Comm, incoming: &[Vec<c64>]) -> Vec<c64> {
+    /// The recovery FFTs of every owned segment against caller-owned
+    /// buffers (`z`/`aux` of length `M'`, six-step `scratch`, `y` of
+    /// `output_len(rank)`), from a monolithic-layout exchange result
+    /// (`incoming[r]` holds `[sl][m_local]`). Records the `"local-fft"`
+    /// phase; the allocation-free inner loop of the workspace pipelines.
+    fn recover_segments_into(
+        &self,
+        comm: &mut Comm,
+        incoming: &[Vec<c64>],
+        z: &mut Vec<c64>,
+        aux: &mut [c64],
+        scratch: &mut SixStepScratch,
+        y: &mut [c64],
+    ) {
         let p = &self.params;
+        let m = p.m();
+        let blocks = p.blocks_per_rank();
         let mine = self.seg_counts[comm.rank()];
-        let mut y = vec![c64::ZERO; mine * p.m()];
         let t = comm.stats_mut().phase_start();
         for sl in 0..mine {
-            let z = self.assemble_segment(incoming, sl);
-            self.recover_into(z, &mut y, sl);
+            z.clear();
+            for part in incoming {
+                z.extend_from_slice(&part[sl * blocks..(sl + 1) * blocks]);
+            }
+            debug_assert_eq!(z.len(), p.m_prime());
+            self.segment_fft
+                .forward_scaled_with(z, aux, &self.demod_scale, scratch);
+            y[sl * m..(sl + 1) * m].copy_from_slice(&z[..m]);
         }
         let fft_flops = mine as f64 * soifft_fft::fft_flops(p.m_prime());
         match self.sim_fft_seconds(fft_flops) {
             Some(sim_s) => comm.stats_mut().phase_end_sim("local-fft", t, sim_s),
             None => comm.stats_mut().phase_end("local-fft", t),
         }
-        y
     }
 
-    /// Monolithic (or chunked) exchange followed by all segment FFTs.
-    fn recover_monolithic(&self, comm: &mut Comm, u: &[c64]) -> Vec<c64> {
+    /// Monolithic (or chunked) exchange followed by all segment FFTs,
+    /// through the workspace: pack slots come from the communicator's
+    /// buffer pool, the monolithic exchange recycles last call's received
+    /// payloads, and this call's are recycled after recovery — the
+    /// balance that keeps an iterated steady state allocation-free.
+    fn recover_monolithic_into(&self, comm: &mut Comm, ws: &mut SoiWorkspace, y: &mut [c64]) {
         let p = &self.params;
         let blocks = p.blocks_per_rank();
         let mine = self.seg_counts[comm.rank()];
         comm.stats_mut().span_open("pack");
-        let outgoing = self.pack_outgoing(u);
+        self.pack_pooled(comm, &ws.u, &mut ws.outgoing);
         comm.stats_mut().span_close("pack");
-        let incoming = match self.exchange {
-            ExchangePlan::Chunked(chunk) if self.uniform_layout() => {
-                comm.all_to_all_chunked(outgoing, chunk)
-            }
-            // Heterogeneous layouts have asymmetric per-peer volumes:
-            // every source sends *me* `mine·blocks` elements.
+        match self.exchange {
             ExchangePlan::Chunked(chunk) => {
-                let expected = vec![mine * blocks; p.procs];
-                comm.all_to_all_chunked_v(outgoing, chunk, &expected)
+                let outgoing = std::mem::take(&mut ws.outgoing);
+                ws.incoming = if self.uniform_layout() {
+                    comm.all_to_all_chunked(outgoing, chunk)
+                } else {
+                    // Heterogeneous layouts have asymmetric per-peer
+                    // volumes: every source sends *me* `mine·blocks`.
+                    let expected = vec![mine * blocks; p.procs];
+                    comm.all_to_all_chunked_v(outgoing, chunk, &expected)
+                };
+                ws.outgoing = vec![Vec::new(); p.procs];
             }
             ExchangePlan::Proxied(chunk) => {
                 assert!(
@@ -1511,11 +1790,25 @@ impl SoiFft {
                     "proxied exchange supports uniform segment layouts only"
                 );
                 let proxy = soifft_cluster::ProxyCore::new();
-                comm.all_to_all_proxied(&proxy, outgoing, chunk)
+                let outgoing = std::mem::take(&mut ws.outgoing);
+                ws.incoming = comm.all_to_all_proxied(&proxy, outgoing, chunk);
+                ws.outgoing = vec![Vec::new(); p.procs];
             }
-            _ => comm.all_to_all(outgoing),
-        };
-        self.recover_all(comm, &incoming)
+            _ => comm.all_to_all_into(&mut ws.outgoing, &mut ws.incoming),
+        }
+        self.recover_segments_into(
+            comm,
+            &ws.incoming,
+            &mut ws.z,
+            &mut ws.aux,
+            &mut ws.seg_scratch,
+            y,
+        );
+        // Hand the received payloads back so next call's pack (same
+        // capacity classes on uniform layouts) is served from the pool.
+        for buf in ws.incoming.drain(..) {
+            comm.recycle_buffer(buf);
+        }
     }
 
     /// Simulated seconds for a compute phase of `flops`, when virtual time
@@ -1636,17 +1929,6 @@ impl SoiFft {
         }
         comm.stats_mut().phase_end("all-to-all", t);
         y
-    }
-
-    /// Assembles `z_s` from a monolithic exchange (`incoming[r]` holds
-    /// `[sl][m_local]`).
-    fn assemble_segment(&self, incoming: &[Vec<c64>], sl: usize) -> Vec<c64> {
-        let blocks = self.params.blocks_per_rank();
-        let mut z = Vec::with_capacity(self.params.m_prime());
-        for part in incoming {
-            z.extend_from_slice(&part[sl * blocks..(sl + 1) * blocks]);
-        }
-        z
     }
 
     /// Assembles `z_s` from a per-segment exchange (`incoming[r]` holds

@@ -47,10 +47,32 @@ pub struct DistributedCtFft {
     procs: usize,
     n1: usize,
     n2: usize,
-    plan1: Plan,
-    plan2: Plan,
+    plan1: std::sync::Arc<Plan>,
+    plan2: std::sync::Arc<Plan>,
     tw: DynamicBlock,
     validation: ValidationPolicy,
+}
+
+/// Reusable buffer set for [`DistributedCtFft::forward_into`]: the two
+/// intermediate matrices, the pack/exchange slots, and the component-plan
+/// scratch. Build once with [`DistributedCtFft::make_workspace`]; warm
+/// calls through it run the whole three-transpose pipeline without heap
+/// allocation (pack slots and received payloads recycle through the
+/// communicator's buffer pool).
+#[derive(Clone, Debug, Default)]
+pub struct CtWorkspace {
+    /// Per-destination pack slots (acquired from the pool each call).
+    outgoing: Vec<Vec<c64>>,
+    /// Received payloads of the in-flight exchange (recycled after unpack).
+    incoming: Vec<Vec<c64>>,
+    /// Columns after the first transpose (`n/P` elements).
+    cols: Vec<c64>,
+    /// Rows after the second transpose (`n/P` elements).
+    rows: Vec<c64>,
+    /// `n1`-point component-plan scratch.
+    s1: Vec<c64>,
+    /// `n2`-point component-plan scratch.
+    s2: Vec<c64>,
 }
 
 /// Planning errors.
@@ -115,8 +137,10 @@ impl DistributedCtFft {
             procs,
             n1,
             n2,
-            plan1: Plan::new(n1),
-            plan2: Plan::new(n2),
+            // Component plans come from the process-wide cache, shared
+            // with every other transform of the same component sizes.
+            plan1: soifft_fft::shared_plan(n1),
+            plan2: soifft_fft::shared_plan(n2),
             tw: DynamicBlock::new(n),
             validation: ValidationPolicy::Off,
         }
@@ -150,36 +174,116 @@ impl DistributedCtFft {
         (self.n1, self.n2)
     }
 
+    /// A workspace sized for this plan, for [`DistributedCtFft::forward_into`].
+    pub fn make_workspace(&self) -> CtWorkspace {
+        let per = self.n / self.procs;
+        CtWorkspace {
+            outgoing: vec![Vec::new(); self.procs],
+            incoming: Vec::with_capacity(self.procs),
+            cols: vec![c64::ZERO; per],
+            rows: vec![c64::ZERO; per],
+            s1: self.plan1.make_scratch(),
+            s2: self.plan2.make_scratch(),
+        }
+    }
+
     /// Computes this rank's slice of `y = F_N x` (natural order in and
-    /// out; three all-to-alls, matching Fig 1).
+    /// out; three all-to-alls, matching Fig 1). Plans a fresh workspace
+    /// per call; iterated transforms should hold a
+    /// [`CtWorkspace`] and call [`DistributedCtFft::forward_into`].
     pub fn forward(&self, comm: &mut Comm, local_input: &[c64]) -> Vec<c64> {
+        let mut ws = self.make_workspace();
+        let mut y = vec![c64::ZERO; self.n / self.procs];
+        self.forward_into(comm, local_input, &mut ws, &mut y);
+        y
+    }
+
+    /// [`DistributedCtFft::forward`] against a caller-held workspace and
+    /// output slice: after the first (warming) call, repeated transforms
+    /// run the pack → exchange → FFT pipeline with zero heap allocation.
+    pub fn forward_into(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        ws: &mut CtWorkspace,
+        y: &mut [c64],
+    ) {
         assert_eq!(comm.size(), self.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), self.n / self.procs, "wrong local length");
+        assert_eq!(y.len(), self.n / self.procs, "wrong output length");
         let (n1, n2) = (self.n1, self.n2);
+        let per = self.n / self.procs;
         comm.stats_mut().span_open("superstep");
+        if ws.outgoing.len() != self.procs {
+            ws.outgoing.resize_with(self.procs, Vec::new);
+        }
+        ws.cols.resize(per, c64::ZERO);
+        ws.rows.resize(per, c64::ZERO);
 
         // Step 1: all-to-all transpose (n1×n2 → n2×n1). Local rows: a ∈
         // [r·n1/P, ...); after: rows b ∈ [r·n2/P, ...), length n1.
-        let mut cols = distributed_transpose(comm, local_input, n1, n2);
+        transpose_pooled(
+            comm,
+            local_input,
+            n1,
+            n2,
+            &mut ws.outgoing,
+            &mut ws.incoming,
+            &mut ws.cols,
+        );
 
         // Step 2+3: local n1-point FFTs over rows, fused twiddle W_N^{bc}.
-        self.fft1_twiddle(comm, &mut cols);
+        self.fft1_twiddle_with(comm, &mut ws.cols, &mut ws.s1);
 
         // Step 4: all-to-all transpose back (n2×n1 → n1×n2): rank owns
         // rows c ∈ [r·n1/P, ...), length n2.
-        let mut rows = distributed_transpose(comm, &cols, n2, n1);
-        drop(cols);
+        transpose_pooled(
+            comm,
+            &ws.cols,
+            n2,
+            n1,
+            &mut ws.outgoing,
+            &mut ws.incoming,
+            &mut ws.rows,
+        );
 
         // Step 5: local n2-point FFTs over rows.
         let t = comm.stats_mut().phase_start();
-        batch::forward_rows(&self.plan2, &mut rows);
+        batch::forward_rows_with(&self.plan2, &mut ws.rows, &mut ws.s2);
         comm.stats_mut().phase_end("local-fft", t);
 
         // Step 6: final all-to-all transpose (n1×n2 → n2×n1): output rows
         // are d-major, i.e. natural order y[d·n1 + c].
-        let out = distributed_transpose(comm, &rows, n1, n2);
+        transpose_pooled(comm, &ws.rows, n1, n2, &mut ws.outgoing, &mut ws.incoming, y);
         comm.stats_mut().span_close("superstep");
-        out
+    }
+
+    /// Throughput mode: `B` back-to-back transforms through one warm
+    /// workspace (the baseline counterpart of
+    /// `soifft_core::SoiFft::forward_many`).
+    pub fn forward_many(&self, comm: &mut Comm, inputs: &[Vec<c64>]) -> Vec<Vec<c64>> {
+        let mut ws = self.make_workspace();
+        let mut outputs = vec![Vec::new(); inputs.len()];
+        self.forward_many_into(comm, inputs, &mut ws, &mut outputs);
+        outputs
+    }
+
+    /// [`DistributedCtFft::forward_many`] against a caller-planned
+    /// workspace and output set (each slot resized to `N/P` as needed, so
+    /// a reused output ring costs nothing after its first batch).
+    pub fn forward_many_into(
+        &self,
+        comm: &mut Comm,
+        inputs: &[Vec<c64>],
+        ws: &mut CtWorkspace,
+        outputs: &mut [Vec<c64>],
+    ) {
+        assert_eq!(inputs.len(), outputs.len(), "one output slot per input");
+        let per = self.n / self.procs;
+        for (x, y) in inputs.iter().zip(outputs.iter_mut()) {
+            y.resize(per, c64::ZERO);
+            self.forward_into(comm, x, ws, y);
+        }
     }
 
     /// Fault-tolerant forward transform: same three-transpose algorithm as
@@ -381,11 +485,17 @@ impl DistributedCtFft {
     /// stepped incrementally — no per-element modulo). Records the
     /// `"local-fft"` phase.
     fn fft1_twiddle(&self, comm: &mut Comm, cols: &mut [c64]) {
+        let mut scratch = self.plan1.make_scratch();
+        self.fft1_twiddle_with(comm, cols, &mut scratch);
+    }
+
+    /// [`DistributedCtFft::fft1_twiddle`] against caller-owned component
+    /// scratch — the allocation-free form the workspace pipeline uses.
+    fn fft1_twiddle_with(&self, comm: &mut Comm, cols: &mut [c64], scratch: &mut [c64]) {
         let b0 = comm.rank() * (self.n2 / self.procs);
         let t = comm.stats_mut().phase_start();
-        let mut scratch = self.plan1.make_scratch();
         for (i, row) in cols.chunks_exact_mut(self.n1).enumerate() {
-            self.plan1.forward_with_scratch(row, &mut scratch);
+            self.plan1.forward_with_scratch(row, scratch);
             let step = (b0 + i) % self.n;
             let mut tt = 0usize;
             for v in row.iter_mut() {
@@ -427,6 +537,43 @@ pub fn distributed_transpose_resilient(
     Ok(unpack_transpose(comm.size(), &incoming, rows, cols))
 }
 
+/// [`distributed_transpose`] through recycled buffers: pack slots come
+/// from the communicator's buffer pool, the exchange runs in place over
+/// `outgoing`/`incoming`, and received payloads go back to the pool after
+/// the unpack — so iterated transposes of one shape never allocate.
+fn transpose_pooled(
+    comm: &mut Comm,
+    local: &[c64],
+    rows: usize,
+    cols: usize,
+    outgoing: &mut [Vec<c64>],
+    incoming: &mut Vec<Vec<c64>>,
+    out: &mut [c64],
+) {
+    let p = comm.size();
+    assert_eq!(rows % p, 0, "P must divide rows");
+    assert_eq!(cols % p, 0, "P must divide cols");
+    let my_rows = rows / p;
+    let out_rows = cols / p;
+    assert_eq!(local.len(), my_rows * cols, "local shape mismatch");
+    for (q, slot) in outgoing.iter_mut().enumerate() {
+        let c0 = q * out_rows;
+        let mut buf = comm.acquire_buffer(out_rows * my_rows);
+        buf.resize(out_rows * my_rows, c64::ZERO);
+        for (rl, row) in local.chunks_exact(cols).enumerate() {
+            for cl in 0..out_rows {
+                buf[cl * my_rows + rl] = row[c0 + cl];
+            }
+        }
+        *slot = buf;
+    }
+    comm.all_to_all_into(outgoing, incoming);
+    unpack_transpose_into(p, incoming, rows, cols, out);
+    for buf in incoming.drain(..) {
+        comm.recycle_buffer(buf);
+    }
+}
+
 /// Pack: to rank q goes my block of columns [q·out_rows, (q+1)·out_rows),
 /// already transposed so the receiver can place it contiguously:
 /// buffer[(col_local)·my_rows + row_local].
@@ -453,9 +600,18 @@ fn pack_transpose(p: usize, local: &[c64], rows: usize, cols: usize) -> Vec<Vec<
 /// Unpack: from rank q come my out_rows × (rows/P) tiles covering
 /// original rows [q·my_rows, ...), i.e. transposed columns.
 fn unpack_transpose(p: usize, incoming: &[Vec<c64>], rows: usize, cols: usize) -> Vec<c64> {
-    let my_rows = rows / p;
     let out_rows = cols / p;
     let mut out = vec![c64::ZERO; out_rows * rows];
+    unpack_transpose_into(p, incoming, rows, cols, &mut out);
+    out
+}
+
+/// [`unpack_transpose`] into a caller-owned slice (every element is
+/// written, so stale contents are fine).
+fn unpack_transpose_into(p: usize, incoming: &[Vec<c64>], rows: usize, cols: usize, out: &mut [c64]) {
+    let my_rows = rows / p;
+    let out_rows = cols / p;
+    debug_assert_eq!(out.len(), out_rows * rows);
     for (q, part) in incoming.iter().enumerate() {
         let r0 = q * my_rows;
         for cl in 0..out_rows {
@@ -463,7 +619,6 @@ fn unpack_transpose(p: usize, incoming: &[Vec<c64>], rows: usize, cols: usize) -
             out[cl * rows + r0..cl * rows + r0 + my_rows].copy_from_slice(src);
         }
     }
-    out
 }
 
 /// A distributed 2D FFT (`rows × cols`, row-distributed), included to
@@ -482,8 +637,8 @@ pub struct Distributed2dFft {
     rows: usize,
     cols: usize,
     procs: usize,
-    row_plan: Plan,
-    col_plan: Plan,
+    row_plan: std::sync::Arc<Plan>,
+    col_plan: std::sync::Arc<Plan>,
 }
 
 impl Distributed2dFft {
@@ -496,8 +651,8 @@ impl Distributed2dFft {
             rows,
             cols,
             procs,
-            row_plan: Plan::new(cols),
-            col_plan: Plan::new(rows),
+            row_plan: soifft_fft::shared_plan(cols),
+            col_plan: soifft_fft::shared_plan(rows),
         }
     }
 

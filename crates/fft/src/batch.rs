@@ -15,11 +15,17 @@ use crate::plan::Plan;
 /// Forward-transforms every contiguous `plan.len()`-row of `data` in place,
 /// serially. `data.len()` must be a multiple of the plan length.
 pub fn forward_rows(plan: &Plan, data: &mut [c64]) {
+    let mut scratch = plan.make_scratch();
+    forward_rows_with(plan, data, &mut scratch);
+}
+
+/// [`forward_rows`] against caller-owned plan scratch (no allocation
+/// inside the call). `scratch` must come from `plan.make_scratch()`.
+pub fn forward_rows_with(plan: &Plan, data: &mut [c64], scratch: &mut [c64]) {
     let n = plan.len();
     assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
-    let mut scratch = plan.make_scratch();
     for row in data.chunks_exact_mut(n) {
-        plan.forward_with_scratch(row, &mut scratch);
+        plan.forward_with_scratch(row, scratch);
     }
 }
 
@@ -34,14 +40,36 @@ pub fn inverse_rows(plan: &Plan, data: &mut [c64]) {
 }
 
 /// Forward-transforms every row in place, with rows statically partitioned
-/// over the pool's threads. Each partition allocates one scratch buffer.
+/// over the pool's threads. Each partition allocates one scratch buffer;
+/// steady-state callers should plan worker scratch once and use
+/// [`forward_rows_parallel_with`] instead.
 pub fn forward_rows_parallel(plan: &Plan, pool: &Pool, data: &mut [c64]) {
+    let mut workers = make_worker_scratch(plan, pool);
+    forward_rows_parallel_with(plan, pool, data, &mut workers);
+}
+
+/// One plan-scratch buffer per pool worker, for
+/// [`forward_rows_parallel_with`].
+pub fn make_worker_scratch(plan: &Plan, pool: &Pool) -> Vec<Vec<c64>> {
+    (0..pool.threads()).map(|_| plan.make_scratch()).collect()
+}
+
+/// [`forward_rows_parallel`] against caller-owned per-worker scratch
+/// (`workers.len() >= pool.threads()`): no allocation inside the call.
+pub fn forward_rows_parallel_with(
+    plan: &Plan,
+    pool: &Pool,
+    data: &mut [c64],
+    workers: &mut [Vec<c64>],
+) {
     let n = plan.len();
     assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
-    pool.par_chunks_mut(data, n, |_, _, piece| {
-        let mut scratch = plan.make_scratch();
+    if data.is_empty() {
+        return;
+    }
+    pool.par_chunks_mut_scratch(data, n, workers, |_, _, piece, scratch| {
         for row in piece.chunks_exact_mut(n) {
-            plan.forward_with_scratch(row, &mut scratch);
+            plan.forward_with_scratch(row, scratch);
         }
     });
 }

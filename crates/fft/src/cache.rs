@@ -7,11 +7,23 @@
 //! through a [`PlanCache`] so repeated sizes are planned once.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use crate::plan::Plan;
+
+/// The process-wide shared cache behind [`shared_plan`].
+static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+
+/// Returns the plan for `n` from the process-wide [`PlanCache`], building
+/// it on first use. All SOI and Cooley–Tukey pipelines plan through this
+/// entry point, so constructing many transforms of the same geometry
+/// (ranks of a simulated cluster, iterated benchmark plans) shares one
+/// twiddle table per size instead of rebuilding it per instance.
+pub fn shared_plan(n: usize) -> Arc<Plan> {
+    GLOBAL.get_or_init(PlanCache::new).get(n)
+}
 
 /// A thread-safe cache of [`Plan`]s keyed by transform length.
 #[derive(Default)]

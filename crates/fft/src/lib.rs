@@ -42,13 +42,13 @@ pub mod sixstep;
 pub mod stockham;
 pub mod twiddle;
 
-pub use cache::PlanCache;
+pub use cache::{shared_plan, PlanCache};
 pub use iterative::IterativeFft;
 pub use multi::{Plan2d, Plan3d};
 pub use plan::Plan;
 pub use planar::PlanarFft;
 pub use real::RealFft;
-pub use sixstep::{SixStepFft, SixStepVariant};
+pub use sixstep::{SixStepFft, SixStepScratch, SixStepVariant};
 pub use stockham::StockhamFft;
 
 /// Flops of an `n`-point complex FFT under the paper's `5 n log₂ n`

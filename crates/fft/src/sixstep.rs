@@ -125,11 +125,34 @@ pub struct SixStepFft {
     n: usize,
     n1: usize,
     n2: usize,
-    plan1: Plan,
-    plan2: Plan,
+    plan1: std::sync::Arc<Plan>,
+    plan2: std::sync::Arc<Plan>,
     tw: TwiddleStore,
     variant: SixStepVariant,
     pool: Pool,
+}
+
+/// Per-worker scratch slot for [`SixStepVariant::FusedParallel`].
+#[derive(Clone, Debug)]
+struct WorkerScratch {
+    s1: Vec<c64>,
+    s2: Vec<c64>,
+}
+
+/// Reusable scratch for one [`SixStepFft`] plan: the column-group buffer,
+/// the component-plan scratch, and (for the parallel variant) one scratch
+/// slot per pool worker. Build it once with [`SixStepFft::make_scratch`]
+/// and pass it to [`SixStepFft::forward_with`] /
+/// [`SixStepFft::forward_scaled_with`] — repeated transforms then run with
+/// no heap allocation at all, which is what the steady-state SOI pipeline
+/// needs (the twiddle pass is bandwidth-bound, so allocator traffic is
+/// pure overhead).
+#[derive(Clone, Debug)]
+pub struct SixStepScratch {
+    buf: Vec<c64>,
+    s1: Vec<c64>,
+    s2: Vec<c64>,
+    workers: Vec<WorkerScratch>,
 }
 
 impl SixStepFft {
@@ -160,8 +183,11 @@ impl SixStepFft {
             n,
             n1,
             n2,
-            plan1: Plan::new(n1),
-            plan2: Plan::new(n2),
+            // Component plans come from the process-wide cache: simulated
+            // ranks all build the same geometry, and `n1 == n2` on even
+            // log₂ sizes shares one table within a single plan too.
+            plan1: crate::cache::shared_plan(n1),
+            plan2: crate::cache::shared_plan(n2),
             tw,
             variant,
             pool,
@@ -188,10 +214,45 @@ impl SixStepFft {
         self.variant
     }
 
+    /// Builds the reusable scratch this plan's variant needs. Sized once
+    /// here so every later [`SixStepFft::forward_with`] call is
+    /// allocation-free.
+    pub fn make_scratch(&self) -> SixStepScratch {
+        let buf = match self.variant {
+            SixStepVariant::Fused | SixStepVariant::FusedDynamic => {
+                let cs = soifft_num::factor::padded_stride(self.n1, 4);
+                vec![c64::ZERO; TILE * cs]
+            }
+            SixStepVariant::Naive | SixStepVariant::FusedParallel => Vec::new(),
+        };
+        let workers = match self.variant {
+            SixStepVariant::FusedParallel => (0..self.pool.threads())
+                .map(|_| WorkerScratch {
+                    s1: self.plan1.make_scratch(),
+                    s2: self.plan2.make_scratch(),
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        SixStepScratch {
+            buf,
+            s1: self.plan1.make_scratch(),
+            s2: self.plan2.make_scratch(),
+            workers,
+        }
+    }
+
     /// Forward transform of `data` in place. `aux` is caller-provided
     /// scratch of the same length (ping-pong buffer).
     pub fn forward(&self, data: &mut [c64], aux: &mut [c64]) {
-        self.forward_impl(data, aux, None);
+        let mut scratch = self.make_scratch();
+        self.forward_impl(data, aux, None, &mut scratch);
+    }
+
+    /// [`SixStepFft::forward`] against caller-owned scratch: no heap
+    /// allocation happens inside the call.
+    pub fn forward_with(&self, data: &mut [c64], aux: &mut [c64], scratch: &mut SixStepScratch) {
+        self.forward_impl(data, aux, None, scratch);
     }
 
     /// Forward transform with a diagonal `scale` fused into the final
@@ -199,43 +260,68 @@ impl SixStepFft {
     /// (§5.2.4 fused demodulation). `scale.len() == n`.
     pub fn forward_scaled(&self, data: &mut [c64], aux: &mut [c64], scale: &[c64]) {
         assert_eq!(scale.len(), self.n, "scale length != n");
-        self.forward_impl(data, aux, Some(scale));
+        let mut scratch = self.make_scratch();
+        self.forward_impl(data, aux, Some(scale), &mut scratch);
+    }
+
+    /// [`SixStepFft::forward_scaled`] against caller-owned scratch.
+    pub fn forward_scaled_with(
+        &self,
+        data: &mut [c64],
+        aux: &mut [c64],
+        scale: &[c64],
+        scratch: &mut SixStepScratch,
+    ) {
+        assert_eq!(scale.len(), self.n, "scale length != n");
+        self.forward_impl(data, aux, Some(scale), scratch);
     }
 
     /// Inverse transform (normalized by `1/n`), via conjugation around the
     /// forward kernel.
     pub fn inverse(&self, data: &mut [c64], aux: &mut [c64]) {
+        let mut scratch = self.make_scratch();
         for z in data.iter_mut() {
             *z = z.conj();
         }
-        self.forward_impl(data, aux, None);
+        self.forward_impl(data, aux, None, &mut scratch);
         let s = 1.0 / self.n as f64;
         for z in data.iter_mut() {
             *z = z.conj() * s;
         }
     }
 
-    fn forward_impl(&self, data: &mut [c64], aux: &mut [c64], scale: Option<&[c64]>) {
+    fn forward_impl(
+        &self,
+        data: &mut [c64],
+        aux: &mut [c64],
+        scale: Option<&[c64]>,
+        scratch: &mut SixStepScratch,
+    ) {
         assert_eq!(data.len(), self.n, "data length != n");
         assert_eq!(aux.len(), self.n, "aux length != n");
         match self.variant {
-            SixStepVariant::Naive => self.forward_naive(data, aux, scale),
+            SixStepVariant::Naive => self.forward_naive(data, aux, scale, scratch),
             SixStepVariant::Fused | SixStepVariant::FusedDynamic => {
-                self.forward_fused(data, aux, scale)
+                self.forward_fused(data, aux, scale, scratch)
             }
-            SixStepVariant::FusedParallel => self.forward_parallel(data, aux, scale),
+            SixStepVariant::FusedParallel => self.forward_parallel(data, aux, scale, scratch),
         }
     }
 
     /// Fig 4(a): six explicit steps, 13 memory sweeps.
-    fn forward_naive(&self, data: &mut [c64], aux: &mut [c64], scale: Option<&[c64]>) {
+    fn forward_naive(
+        &self,
+        data: &mut [c64],
+        aux: &mut [c64],
+        scale: Option<&[c64]>,
+        scratch: &mut SixStepScratch,
+    ) {
         let (n1, n2) = (self.n1, self.n2);
         // Step 1: transpose n1×n2 → n2×n1 (aux[b][a]).
         transpose(data, aux, n1, n2);
         // Step 2: n2 rows of n1-point FFTs.
-        let mut scratch = self.plan1.make_scratch();
         for row in aux.chunks_exact_mut(n1) {
-            self.plan1.forward_with_scratch(row, &mut scratch);
+            self.plan1.forward_with_scratch(row, &mut scratch.s1);
         }
         // Step 3: twiddle B[b][c] *= W_N^{bc} (a separate full sweep).
         for (b, row) in aux.chunks_exact_mut(n1).enumerate() {
@@ -244,9 +330,8 @@ impl SixStepFft {
         // Step 4: transpose back n2×n1 → n1×n2 (data[c][b]).
         transpose(aux, data, n2, n1);
         // Step 5: n1 rows of n2-point FFTs.
-        let mut scratch2 = self.plan2.make_scratch();
         for row in data.chunks_exact_mut(n2) {
-            self.plan2.forward_with_scratch(row, &mut scratch2);
+            self.plan2.forward_with_scratch(row, &mut scratch.s2);
         }
         // Step 6: transpose n1×n2 → n2×n1; output natural order is d-major.
         transpose(data, aux, n1, n2);
@@ -260,13 +345,21 @@ impl SixStepFft {
 
     /// Fig 4(b): loop-fused, 4 memory sweeps. `aux` holds the intermediate
     /// C matrix in c-major (`aux[c·n2 + b]`).
-    fn forward_fused(&self, data: &mut [c64], aux: &mut [c64], scale: Option<&[c64]>) {
+    fn forward_fused(
+        &self,
+        data: &mut [c64],
+        aux: &mut [c64],
+        scale: Option<&[c64]>,
+        scratch: &mut SixStepScratch,
+    ) {
         let (n1, n2) = (self.n1, self.n2);
         // Column stride padded past power-of-two alignments so the 8
         // gathered columns do not alias the same cache sets (§5.2.3).
         let cs = soifft_num::factor::padded_stride(n1, 4);
-        let mut buf = vec![c64::ZERO; TILE * cs];
-        let mut scratch1 = self.plan1.make_scratch();
+        if scratch.buf.len() < TILE * cs {
+            scratch.buf.resize(TILE * cs, c64::ZERO);
+        }
+        let buf = &mut scratch.buf[..TILE * cs];
 
         // loop_a over column groups: gather → FFT → twiddle → permuted
         // write-back, all while the group lives in the contiguous buffer.
@@ -284,7 +377,7 @@ impl SixStepFft {
             // fused).
             for gg in 0..g {
                 let col = &mut buf[gg * cs..gg * cs + n1];
-                self.plan1.forward_with_scratch(col, &mut scratch1);
+                self.plan1.forward_with_scratch(col, &mut scratch.s1);
                 self.tw.scale_row(col, b0 + gg, self.n);
             }
             // Permuted write-back into the c-major intermediate:
@@ -301,13 +394,12 @@ impl SixStepFft {
         // loop_b over row groups: FFT rows in place, then transposed
         // write-back into natural (d-major) order, with optional fused
         // demodulation.
-        let mut scratch2 = self.plan2.make_scratch();
         let mut c0 = 0;
         while c0 < n1 {
             let rows = TILE.min(n1 - c0);
             for c in c0..c0 + rows {
                 self.plan2
-                    .forward_with_scratch(&mut aux[c * n2..(c + 1) * n2], &mut scratch2);
+                    .forward_with_scratch(&mut aux[c * n2..(c + 1) * n2], &mut scratch.s2);
             }
             // data[d·n1 + c] = aux[c·n2 + d] (· scale[d·n1 + c]).
             let mut d0 = 0;
@@ -341,23 +433,28 @@ impl SixStepFft {
     /// matrix c-major (each thread owns a band of rows), and phase C is a
     /// parallel transpose into natural order with the fused scale. The
     /// extra transpose (2 sweeps) is the price of safe disjoint writes.
-    fn forward_parallel(&self, data: &mut [c64], aux: &mut [c64], scale: Option<&[c64]>) {
+    fn forward_parallel(
+        &self,
+        data: &mut [c64],
+        aux: &mut [c64],
+        scale: Option<&[c64]>,
+        scratch: &mut SixStepScratch,
+    ) {
         let (n1, n2) = (self.n1, self.n2);
         let pool = &self.pool;
 
         // Phase A: aux[b·n1 + c] = twiddled FFT over a of data[a·n2 + b].
         {
             let data_ro: &[c64] = data;
-            pool.par_chunks_mut(aux, n1, |_, offset, band| {
+            pool.par_chunks_mut_scratch(aux, n1, &mut scratch.workers, |_, offset, band, w| {
                 let b_base = offset / n1;
-                let mut scratch = self.plan1.make_scratch();
                 for (local_b, col) in band.chunks_exact_mut(n1).enumerate() {
                     let b = b_base + local_b;
                     // Gather the column (stride n2 reads).
                     for (a, v) in col.iter_mut().enumerate() {
                         *v = data_ro[a * n2 + b];
                     }
-                    self.plan1.forward_with_scratch(col, &mut scratch);
+                    self.plan1.forward_with_scratch(col, &mut w.s1);
                     self.tw.scale_row(col, b, self.n);
                 }
             });
@@ -367,15 +464,14 @@ impl SixStepFft {
         // (each thread owns a band of c-rows of the c-major output).
         {
             let aux_ro: &[c64] = aux;
-            pool.par_chunks_mut(data, n2, |_, offset, band| {
+            pool.par_chunks_mut_scratch(data, n2, &mut scratch.workers, |_, offset, band, w| {
                 let c_base = offset / n2;
-                let mut scratch = self.plan2.make_scratch();
                 for (local_c, row) in band.chunks_exact_mut(n2).enumerate() {
                     let c = c_base + local_c;
                     for (b, v) in row.iter_mut().enumerate() {
                         *v = aux_ro[b * n1 + c];
                     }
-                    self.plan2.forward_with_scratch(row, &mut scratch);
+                    self.plan2.forward_with_scratch(row, &mut w.s2);
                 }
             });
         }

@@ -219,6 +219,73 @@ impl Pool {
         });
     }
 
+    /// [`Pool::par_chunks_mut`] with one mutable scratch slot per piece:
+    /// runs `f(piece_index, offset, piece, scratch_slot)` where
+    /// `scratch_slot` is `&mut scratch[piece_index]`. Because pieces and
+    /// slots are split from the same parent slices, no worker ever
+    /// allocates its own scratch — the caller plans `scratch` once (one
+    /// element per potential worker) and every parallel region reuses it.
+    /// This is the primitive behind the steady-state zero-allocation FFT
+    /// batches and convolution passes.
+    ///
+    /// # Panics
+    /// Panics if `granule == 0`, `data.len()` is not a multiple of
+    /// `granule`, or `scratch` has fewer than
+    /// `min(threads, data.len() / granule)` elements.
+    pub fn par_chunks_mut_scratch<T, S, F>(
+        &self,
+        data: &mut [T],
+        granule: usize,
+        scratch: &mut [S],
+        f: F,
+    ) where
+        T: Send,
+        S: Send,
+        F: Fn(usize, usize, &mut [T], &mut S) + Sync,
+    {
+        assert!(granule > 0, "granule must be positive");
+        assert_eq!(
+            data.len() % granule,
+            0,
+            "data length {} is not a multiple of granule {}",
+            data.len(),
+            granule
+        );
+        let granules = data.len() / granule;
+        let pieces = self.threads.min(granules.max(1));
+        assert!(
+            scratch.len() >= pieces,
+            "need {} scratch slots, got {}",
+            pieces,
+            scratch.len()
+        );
+        if pieces <= 1 {
+            self.timed(|| f(0, 0, data, &mut scratch[0]));
+            return;
+        }
+        let per = granules.div_ceil(pieces) * granule;
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = data;
+            let mut slots = scratch;
+            let mut offset = 0;
+            let mut idx = 0;
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let (slot, slot_tail) = slots.split_at_mut(1);
+                slots = slot_tail;
+                let slot = &mut slot[0];
+                let this_offset = offset;
+                let this_idx = idx;
+                s.spawn(move || self.timed(|| f(this_idx, this_offset, head, slot)));
+                offset += take;
+                idx += 1;
+            }
+        });
+    }
+
     /// Runs `f` over sub-ranges of `range`, dynamically handing out chunks
     /// of `grain` indices from a shared atomic cursor. Use for irregular
     /// work; captures of `f` must be `Sync` (shared state goes through
@@ -449,6 +516,41 @@ mod tests {
         let pool = Pool::new(2);
         let mut data = vec![0u8; 10];
         pool.par_chunks_mut(&mut data, 3, |_, _, _| {});
+    }
+
+    #[test]
+    fn par_chunks_mut_scratch_gives_each_piece_its_own_slot() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0u32; 240];
+            // One reusable accumulator per potential worker.
+            let mut scratch = vec![Vec::<u32>::new(); threads];
+            pool.par_chunks_mut_scratch(&mut data, 8, &mut scratch, |idx, offset, chunk, acc| {
+                acc.push(idx as u32);
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (offset + i) as u32 + 1;
+                }
+            });
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, i as u32 + 1, "threads={threads} i={i}");
+            }
+            // Every piece wrote only to its own slot.
+            for (slot_idx, acc) in scratch.iter().enumerate() {
+                assert!(
+                    acc.iter().all(|&idx| idx as usize == slot_idx),
+                    "threads={threads} slot={slot_idx}: {acc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch slots")]
+    fn par_chunks_mut_scratch_rejects_short_scratch() {
+        let pool = Pool::new(4);
+        let mut data = vec![0u8; 16];
+        let mut scratch: Vec<u8> = vec![0; 1];
+        pool.par_chunks_mut_scratch(&mut data, 4, &mut scratch, |_, _, _, _| {});
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Steady-state allocation accounting for the workspace pipelines.
+//!
+//! A counting global allocator brackets a window of warm
+//! [`SoiFft::forward_into`] calls and proves the default configuration's
+//! hot path never touches the heap: every per-call buffer lives in the
+//! planned [`soifft::soi::SoiWorkspace`] and every exchange payload cycles
+//! through the communicator's buffer pool. The resilient path
+//! ([`SoiFft::try_forward_into`]) is held to a *bounded* budget instead —
+//! its consensus and retransmit staging legitimately allocate, but never
+//! the pipeline's working set. A final sweep pins `forward_into` (and
+//! `forward_many`) bit-identical to `forward` across every convolution
+//! strategy × exchange plan, so the allocation-free path can never drift
+//! numerically from the allocating one.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use soifft::cluster::{tags, Cluster, ExchangePolicy};
+use soifft::num::c64;
+use soifft::soi::pipeline::{gather_output, scatter_input, ExchangePlan};
+use soifft::soi::{ConvStrategy, Rational, SoiFft, SoiParams};
+
+/// Process-wide allocation ledger: heap calls (`alloc` + `realloc`) and
+/// bytes requested. Shared by every thread, so a window bracketed by
+/// cluster-wide barriers observes the allocations of *all* ranks — which
+/// makes the zero assertion strictly stronger, not racy.
+static HEAP_CALLS: AtomicU64 = AtomicU64::new(0);
+static HEAP_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] with a call/byte counter in front. Deallocation is
+/// deliberately uncounted: recycling a buffer is fine, *acquiring* one in
+/// the steady state is the regression this harness exists to catch.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        HEAP_CALLS.fetch_add(1, Ordering::Relaxed);
+        HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        HEAP_CALLS.fetch_add(1, Ordering::Relaxed);
+        HEAP_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn params() -> SoiParams {
+    SoiParams {
+        n: 1 << 12,
+        procs: 4,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 20,
+    }
+}
+
+fn signal(n: usize) -> Vec<c64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            c64::new((0.002 * t).sin() + 0.1, 0.3 * (0.017 * t).cos())
+        })
+        .collect()
+}
+
+/// Transforms measured inside the counting window.
+const MEASURED: usize = 4;
+/// Phase records a single superstep can close (generous; reserved before
+/// the window so the ledger never regrows inside it).
+const RECORDS_PER_CALL: usize = 64;
+
+/// The tentpole claim: after warmup, the default configuration's
+/// `forward_into` makes **zero** heap allocations — across *all* ranks,
+/// since the ledger is process-global and the window is fenced by
+/// cluster-wide barriers.
+#[test]
+fn forward_into_steady_state_allocates_nothing() {
+    let params = params();
+    let x = signal(params.n);
+    let inputs = scatter_input(&x, params.procs);
+    let fft = SoiFft::new(params).expect("valid params");
+
+    let deltas = Cluster::run(params.procs, |comm| {
+        let me = &inputs[comm.rank()];
+        let mut ws = fft.make_workspace();
+        let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+        // Warm the workspace, the communicator's buffer pool, and the
+        // pending-message map (two calls: the first grows everything, the
+        // second settles the pool's acquire/recycle cycle).
+        for _ in 0..3 {
+            fft.forward_into(comm, me, &mut ws, &mut y);
+        }
+        // Push every inbox ring buffer to a depth no measured superstep
+        // can reach (ranks drift at most one call apart, a dozen or so
+        // queued messages): all ranks blast a burst at every destination,
+        // fence, then drain — the inbox capacity high-water mark outlives
+        // the flood, so scheduling jitter inside the window can never
+        // force a queue regrow.
+        const FLOOD: usize = 16;
+        for _ in 0..FLOOD {
+            for dst in 0..comm.size() {
+                let mut burst = comm.acquire_buffer(16);
+                burst.resize(16, c64::ZERO);
+                comm.send(dst, tags::USER, burst);
+            }
+        }
+        comm.barrier();
+        for _ in 0..FLOOD {
+            for src in 0..comm.size() {
+                let drained = comm.recv(src, tags::USER);
+                comm.recycle_buffer(drained);
+            }
+        }
+        comm.stats_mut().reserve_records(MEASURED * RECORDS_PER_CALL);
+        comm.barrier();
+        let calls_before = HEAP_CALLS.load(Ordering::SeqCst);
+        for _ in 0..MEASURED {
+            fft.forward_into(comm, me, &mut ws, &mut y);
+        }
+        let delta = HEAP_CALLS.load(Ordering::SeqCst) - calls_before;
+        // Hold every rank until all have snapshotted: the launcher's
+        // result-channel send (below) allocates and must not land inside
+        // a slower rank's still-open window.
+        comm.barrier();
+        delta
+    });
+
+    for (rank, delta) in deltas.iter().enumerate() {
+        assert_eq!(
+            *delta, 0,
+            "rank {rank} observed {delta} heap allocations across {MEASURED} \
+             warm forward_into calls; the steady-state hot path must not \
+             touch the allocator"
+        );
+    }
+}
+
+/// The fault-tolerant path may allocate (consensus votes, retransmit
+/// staging, checksum framing) but stays *bounded*: far below the
+/// pipeline's own working set, which a regression re-allocating workspace
+/// buffers per call would immediately blow through.
+#[test]
+fn try_forward_into_steady_state_allocations_are_bounded() {
+    let params = params();
+    let x = signal(params.n);
+    let inputs = scatter_input(&x, params.procs);
+    let fft = SoiFft::new(params).expect("valid params");
+    let policy = ExchangePolicy::default();
+
+    let (calls, bytes) = {
+        let deltas = Cluster::run(params.procs, |comm| {
+            let me = &inputs[comm.rank()];
+            let mut ws = fft.make_workspace();
+            let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+            for _ in 0..3 {
+                fft.try_forward_into(comm, me, &policy, &mut ws, &mut y)
+                    .expect("fault-free run");
+            }
+            comm.stats_mut().reserve_records(MEASURED * RECORDS_PER_CALL);
+            comm.barrier();
+            let calls_before = HEAP_CALLS.load(Ordering::SeqCst);
+            let bytes_before = HEAP_BYTES.load(Ordering::SeqCst);
+            for _ in 0..MEASURED {
+                fft.try_forward_into(comm, me, &policy, &mut ws, &mut y)
+                    .expect("fault-free run");
+            }
+            let calls = HEAP_CALLS.load(Ordering::SeqCst) - calls_before;
+            let bytes = HEAP_BYTES.load(Ordering::SeqCst) - bytes_before;
+            comm.barrier();
+            (calls, bytes)
+        });
+        // The ledger is global, so every rank saw the same window (modulo
+        // barrier skew); judge the largest observation.
+        (
+            deltas.iter().map(|d| d.0).max().unwrap(),
+            deltas.iter().map(|d| d.1).max().unwrap(),
+        )
+    };
+
+    // Working set per rank per call is ~N/P complex doubles several times
+    // over (> 100 KiB here). The resilient scaffolding across ALL ranks
+    // must stay an order of magnitude below one rank's working set.
+    let per_call_calls = calls / MEASURED as u64;
+    let per_call_bytes = bytes / MEASURED as u64;
+    assert!(
+        per_call_calls <= 512,
+        "resilient steady state made {per_call_calls} heap calls per \
+         transform (cluster-wide); expected bounded scaffolding only"
+    );
+    assert!(
+        per_call_bytes <= 64 * 1024,
+        "resilient steady state allocated {per_call_bytes} bytes per \
+         transform (cluster-wide); expected bounded scaffolding only"
+    );
+}
+
+/// `forward_into` (and the batch driver over it) must be *bit-identical*
+/// to `forward` — including on a warm, reused workspace — for every
+/// convolution strategy × exchange plan. The zero-allocation path is an
+/// optimization, never a numerical fork.
+#[test]
+fn forward_into_is_bit_identical_to_forward() {
+    let params = params();
+    let x = signal(params.n);
+    let inputs = scatter_input(&x, params.procs);
+    let base = SoiFft::new(params).expect("valid params");
+
+    let exchanges = [
+        ExchangePlan::Monolithic,
+        ExchangePlan::Chunked(97),
+        ExchangePlan::PerSegment,
+        ExchangePlan::Overlapped,
+        ExchangePlan::Proxied(128),
+    ];
+
+    let mut checked = 0;
+    for strategy in ConvStrategy::ALL {
+        for exchange in exchanges {
+            let fft = base.clone().with_strategy(strategy).with_exchange(exchange);
+            let fresh = gather_output(Cluster::run(params.procs, |comm| {
+                fft.forward(comm, &inputs[comm.rank()])
+            }));
+            let warm = gather_output(Cluster::run(params.procs, |comm| {
+                let me = &inputs[comm.rank()];
+                let mut ws = fft.make_workspace();
+                let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+                // Twice through the same workspace: the compared output
+                // comes from the *warm* call, where every buffer is reused.
+                fft.forward_into(comm, me, &mut ws, &mut y);
+                fft.forward_into(comm, me, &mut ws, &mut y);
+                y
+            }));
+            assert_eq!(
+                fresh, warm,
+                "{strategy:?} × {exchange:?}: warm forward_into diverged \
+                 bitwise from forward"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, ConvStrategy::ALL.len() * exchanges.len());
+}
+
+/// Throughput mode runs each batch element through one shared workspace;
+/// its outputs must match per-call `forward` exactly, element for element.
+#[test]
+fn forward_many_matches_repeated_forward_bitwise() {
+    let params = params();
+    let fft = SoiFft::new(params).expect("valid params");
+    let batch: Vec<Vec<c64>> = (0..3)
+        .map(|b| {
+            let mut x = signal(params.n);
+            for v in &mut x {
+                *v *= c64::new(1.0 + b as f64, 0.25 * b as f64);
+            }
+            x
+        })
+        .collect();
+    let scattered: Vec<Vec<Vec<c64>>> =
+        batch.iter().map(|x| scatter_input(x, params.procs)).collect();
+
+    let per_rank_batches = Cluster::run(params.procs, |comm| {
+        let mine: Vec<Vec<c64>> = scattered.iter().map(|s| s[comm.rank()].clone()).collect();
+        let many = fft.forward_many(comm, &mine);
+        let singles: Vec<Vec<c64>> = mine.iter().map(|x| fft.forward(comm, x)).collect();
+        (many, singles)
+    });
+
+    for (rank, (many, singles)) in per_rank_batches.into_iter().enumerate() {
+        assert_eq!(
+            many, singles,
+            "rank {rank}: forward_many diverged bitwise from repeated forward"
+        );
+    }
+}

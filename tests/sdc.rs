@@ -400,29 +400,39 @@ fn unchecked_checkpoint_flip_survives_a_restart_and_corrupts_the_result() {
     // it, so the snapshot is self-consistent and restores cleanly; the
     // planned crash then forces epoch 1 to resume from it. Under `Off`
     // the run completes — with a silently wrong spectrum.
+    //
+    // The resume path is timing-dependent: the ghost phase only commits
+    // (and is only restored on epoch 1) if every rank finished its ghost
+    // save before the victim's crash tore the epoch down, and a slow
+    // neighbor can lose that race. Retry the scenario until the corrupt
+    // snapshot actually gets replayed; what the test pins is that WHEN it
+    // is replayed, the poisoned spectrum sails through unvalidated.
     let want = reference_fft(&signal(soi_params().n));
-    let plan = FaultPlan::new(308)
-        .bit_flip(VICTIM, BitFlipSite::CheckpointImage)
-        .crash(VICTIM, CrashSite::Phase("convolution"));
-    let (got, recovery) = run_soi_recovered(
-        plan,
-        ValidationPolicy::Off,
-        RestartPolicy::default(),
-        &policy(),
-    )
-    .expect("the Off run must complete");
-    assert_eq!(
-        recovery,
-        RecoveryOutcome::Recovered {
-            restarts: 1,
-            recomputed_segments: 0
+    let mut last_err = 0.0;
+    for _ in 0..10 {
+        let plan = FaultPlan::new(308)
+            .bit_flip(VICTIM, BitFlipSite::CheckpointImage)
+            .crash(VICTIM, CrashSite::Phase("convolution"));
+        let (got, recovery) = run_soi_recovered(
+            plan,
+            ValidationPolicy::Off,
+            RestartPolicy::default(),
+            &policy(),
+        )
+        .expect("the Off run must complete");
+        assert_eq!(
+            recovery,
+            RecoveryOutcome::Recovered {
+                restarts: 1,
+                recomputed_segments: 0
+            }
+        );
+        last_err = rel_l2(&got, &want);
+        if last_err > 1e-6 {
+            return;
         }
-    );
-    let err = rel_l2(&got, &want);
-    assert!(
-        err > 1e-6,
-        "corrupt snapshot must poison the result ({err:.3e})"
-    );
+    }
+    panic!("corrupt snapshot never poisoned the result ({last_err:.3e})");
 }
 
 #[test]

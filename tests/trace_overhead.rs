@@ -73,3 +73,66 @@ fn disabled_and_enabled_tracing_stay_within_two_percent() {
         "traced superstep {enabled:.6} s exceeds untraced {disabled:.6} s + 2% ({budget:.6} s)"
     );
 }
+
+/// The workspace hot path must never cost more than the allocating
+/// wrapper it replaced: a warm `forward_into` call is `forward` minus the
+/// per-call allocations, so it gets the same superstep budget plus a
+/// small jitter allowance. (The throughput *win* is benchmarked and
+/// reported by `soifft-bench`'s `throughput` binary; this gate only pins
+/// the no-regression floor.)
+#[test]
+#[ignore = "timing gate: run in release via the nightly workflow"]
+fn warm_workspace_calls_do_not_regress_fresh_forward() {
+    let params = SoiParams {
+        n: 1 << 14,
+        procs: 4,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 20,
+    };
+    let inputs = scatter_input(
+        &(0..params.n)
+            .map(|i| c64::new((0.05 * i as f64).sin(), (0.11 * i as f64).cos()))
+            .collect::<Vec<_>>(),
+        params.procs,
+    );
+    let fft = SoiFft::new(params).unwrap();
+
+    // Time both paths inside one cluster so thread spawning and channel
+    // wiring stay out of the measurement; a barrier aligns the ranks
+    // before every timed superstep.
+    let medians = Cluster::run(params.procs, |comm| {
+        let me = &inputs[comm.rank()];
+        let mut ws = fft.make_workspace();
+        let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+        for _ in 0..3 {
+            fft.forward_into(comm, me, &mut ws, &mut y);
+        }
+        let fresh: Vec<f64> = (0..15)
+            .map(|_| {
+                comm.barrier();
+                let t = Instant::now();
+                let _ = fft.forward(comm, me);
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        let warm: Vec<f64> = (0..15)
+            .map(|_| {
+                comm.barrier();
+                let t = Instant::now();
+                fft.forward_into(comm, me, &mut ws, &mut y);
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        (median(fresh), median(warm))
+    });
+
+    for (rank, (fresh, warm)) in medians.into_iter().enumerate() {
+        let budget = fresh * 1.05 + 200e-6;
+        assert!(
+            warm <= budget,
+            "rank {rank}: warm forward_into {warm:.6} s exceeds fresh \
+             forward {fresh:.6} s + 5% ({budget:.6} s)"
+        );
+    }
+}

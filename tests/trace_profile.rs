@@ -107,6 +107,53 @@ fn profile_reconciles_with_ledgers_and_model() {
     check_reconciles(params, &stats);
 }
 
+/// Companion to the zero-allocation harness: the communication layer's
+/// staging-copy ledger (`comm_allocs` — counted whenever a payload must be
+/// staged into a *fresh* allocation because the buffer pool missed) goes
+/// quiet once a workspace run is warm. The cold calls populate the pool;
+/// from then on every exchange payload is a recycled buffer and the
+/// counter must not move at all.
+#[test]
+fn warm_workspace_run_stops_accruing_comm_allocs() {
+    let params = SoiParams {
+        n: 1 << 12,
+        procs: 4,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 20,
+    };
+    let inputs = scatter_input(&signal(params.n), params.procs);
+    let fft = SoiFft::new(params).expect("valid params").with_sim(sim());
+
+    let ledgers = Cluster::run_with(ClusterConfig::with_trace(), params.procs, |comm| {
+        let me = &inputs[comm.rank()];
+        let mut ws = fft.make_workspace();
+        let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+        for _ in 0..2 {
+            fft.forward_into(comm, me, &mut ws, &mut y);
+        }
+        let warm = comm.stats().comm_allocs();
+        for _ in 0..4 {
+            fft.forward_into(comm, me, &mut ws, &mut y);
+        }
+        (warm, comm.stats().comm_allocs())
+    });
+
+    for (rank, outcome) in ledgers.into_iter().enumerate() {
+        let (warm, total) = match outcome {
+            RankOutcome::Ok(pair) => pair,
+            other => panic!("rank {rank} failed: {other:?}"),
+        };
+        assert!(warm > 0, "rank {rank}: cold calls should miss the pool");
+        assert_eq!(
+            total, warm,
+            "rank {rank}: comm_allocs grew by {} across 4 warm calls; the \
+             steady-state exchange must recycle every payload",
+            total - warm
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
