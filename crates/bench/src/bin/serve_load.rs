@@ -1,0 +1,408 @@
+//! Open-loop load generator for the serving front end (`soifft-serve`):
+//! the latency-vs-offered-load curve that demonstrates graceful
+//! degradation instead of congestion collapse.
+//!
+//! Methodology — the classic open-loop protocol:
+//!
+//! 1. **Calibrate**: a closed-loop flood (queue kept full) measures the
+//!    engine's saturation service rate, `capacity` jobs/s.
+//! 2. **Sweep**: for each load factor (0.25×, 0.5×, 1×, 1.5×, 2×
+//!    capacity), submit jobs on a seeded Poisson arrival process for a
+//!    fixed window — *without* waiting for completions (arrivals don't
+//!    slow down when the server struggles; that is what makes overload
+//!    overload). Every job carries the same completion deadline.
+//! 3. **Score**: goodput (completions within deadline per second),
+//!    typed-rejection and shed counts, and p50/p99 latency of the
+//!    completions. A well-behaved server's goodput *plateaus* at
+//!    saturation while rejections absorb the excess; a collapsing one
+//!    buries itself in queued work it can no longer serve in time.
+//!
+//! Prints a table plus an ASCII latency-vs-load curve (the nightly
+//! workflow captures stdout as `artifacts/example_serve_load.txt`) and
+//! writes machine-readable `BENCH_6.json` (override with
+//! `SOIFFT_SERVE_JSON`).
+//!
+//! Soak/assertion mode for CI (`SOIFFT_SOAK_ASSERT=1`): fails unless
+//! (a) goodput at 2× offered load stays within 10 % of the saturation
+//! plateau, and (b) **zero** successful responses violated their
+//! deadline. `SOIFFT_SOAK_SECS` stretches the 2× window (nightly: 60 s).
+//!
+//! Scaling knobs: `SOIFFT_SERVE_N` (points, default 2¹⁴), `SOIFFT_SERVE_P`
+//! (ranks, default 4), `SOIFFT_SERVE_WINDOW_SECS` (per-point window,
+//! default 2.0), `SOIFFT_SERVE_DEADLINE_MS` (job deadline, default
+//! 8× the calibrated mean service time, floor 50 ms), `SOIFFT_SERVE_SEED`
+//! (arrival-process seed, default 1).
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use soifft_bench::{env_f64, env_usize, signal, Table, BENCH_SCHEMA_VERSION};
+use soifft_core::{Rational, SoiParams};
+use soifft_num::c64;
+use soifft_serve::{JobError, Rejected, ServeConfig, ServeEngine};
+
+/// One load point's scorecard.
+struct LoadPoint {
+    factor: f64,
+    offered_per_s: f64,
+    window_s: f64,
+    submitted: u64,
+    completed: u64,
+    rejected_queue_full: u64,
+    rejected_rate_limited: u64,
+    rejected_infeasible: u64,
+    shed: u64,
+    failed: u64,
+    late_success: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl LoadPoint {
+    fn goodput(&self) -> f64 {
+        self.completed as f64 / self.window_s
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_rate_limited + self.rejected_infeasible
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// What one collector thread reports per resolved ticket.
+enum Outcome {
+    /// Completed within deadline; latency in seconds, plus whether the
+    /// *response* was observed past the deadline (must never happen).
+    Done(f64, bool),
+    Shed,
+    Failed,
+}
+
+/// Runs one open-loop window at `rate` jobs/s and scores it.
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    engine: &ServeEngine,
+    inputs: &[Vec<c64>],
+    tenants: usize,
+    factor: f64,
+    rate: f64,
+    window: Duration,
+    deadline: Duration,
+    seed: u64,
+) -> LoadPoint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One collector thread per tenant, fed round-robin: tickets are
+    // waited off the submit thread so arrivals stay open-loop.
+    let (txs, handles): (Vec<_>, Vec<_>) = (0..tenants)
+        .map(|_| {
+            let (tx, rx) = mpsc::channel::<(soifft_serve::JobTicket, Instant)>();
+            let handle = std::thread::spawn(move || {
+                let mut outcomes: Vec<Outcome> = Vec::new();
+                let mut out = Vec::new();
+                for (ticket, submitted) in rx {
+                    let result = ticket.wait_into(&mut out);
+                    let latency = submitted.elapsed();
+                    outcomes.push(match result {
+                        // 5 ms grace on the *observation*: the engine
+                        // finalizes successes strictly before the
+                        // deadline; the collector may wake a hair later.
+                        Ok(()) => Outcome::Done(
+                            latency.as_secs_f64(),
+                            latency > deadline + Duration::from_millis(5),
+                        ),
+                        Err(JobError::DeadlineExpired { .. }) => Outcome::Shed,
+                        Err(_) => Outcome::Failed,
+                    });
+                }
+                outcomes
+            });
+            (tx, handle)
+        })
+        .unzip();
+
+    let mut point = LoadPoint {
+        factor,
+        offered_per_s: rate,
+        window_s: window.as_secs_f64(),
+        submitted: 0,
+        completed: 0,
+        rejected_queue_full: 0,
+        rejected_rate_limited: 0,
+        rejected_infeasible: 0,
+        shed: 0,
+        failed: 0,
+        late_success: 0,
+        p50_ms: f64::NAN,
+        p99_ms: f64::NAN,
+    };
+
+    let start = Instant::now();
+    let mut next_arrival = Duration::ZERO;
+    let mut k = 0usize;
+    while next_arrival < window {
+        if let Some(gap) = next_arrival.checked_sub(start.elapsed()) {
+            std::thread::sleep(gap);
+        }
+        let tenant = k % tenants;
+        match engine.submit(tenant, &inputs[k % inputs.len()], Some(deadline)) {
+            Ok(ticket) => {
+                point.submitted += 1;
+                let _ = txs[tenant].send((ticket, Instant::now()));
+            }
+            Err(Rejected::QueueFull { .. }) => point.rejected_queue_full += 1,
+            Err(Rejected::RateLimited { .. }) => point.rejected_rate_limited += 1,
+            Err(Rejected::DeadlineInfeasible { .. }) => point.rejected_infeasible += 1,
+            Err(other) => panic!("unexpected rejection under load: {other}"),
+        }
+        k += 1;
+        // Poisson process: exponential inter-arrival, -ln(U)/rate.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        next_arrival += Duration::from_secs_f64(-u.ln() / rate);
+    }
+    drop(txs);
+
+    let mut latencies: Vec<f64> = Vec::new();
+    for handle in handles {
+        for outcome in handle.join().expect("collector thread") {
+            match outcome {
+                Outcome::Done(latency, late) => {
+                    point.completed += 1;
+                    point.late_success += u64::from(late);
+                    latencies.push(latency);
+                }
+                Outcome::Shed => point.shed += 1,
+                Outcome::Failed => point.failed += 1,
+            }
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    point.p50_ms = percentile(&latencies, 0.50) * 1e3;
+    point.p99_ms = percentile(&latencies, 0.99) * 1e3;
+    point
+}
+
+fn main() {
+    let n = env_usize("SOIFFT_SERVE_N", 1 << 14);
+    let procs = env_usize("SOIFFT_SERVE_P", 4);
+    let tenants = 2;
+    let params = SoiParams {
+        n,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 20,
+    };
+    params.validate().expect("valid bench parameters");
+    let config = ServeConfig {
+        tenants,
+        queue_capacity: 16,
+        max_batch: 4,
+        ..ServeConfig::default()
+    };
+    let queue_capacity = config.queue_capacity;
+    let engine = ServeEngine::start(params, config).expect("plan");
+    let inputs: Vec<Vec<c64>> = (0..4).map(|b| signal(n, 90 + b as u64)).collect();
+
+    // Calibration: keep the queue full (closed loop) and measure the
+    // drain rate — the engine's saturation capacity.
+    let mut out = Vec::new();
+    for x in inputs.iter().take(2) {
+        engine
+            .submit(0, x, None)
+            .expect("warm")
+            .wait_into(&mut out)
+            .expect("warm serve");
+    }
+    let calib_jobs = env_usize("SOIFFT_SERVE_CALIB_JOBS", 64).max(8);
+    let t = Instant::now();
+    let mut pending = std::collections::VecDeque::new();
+    for k in 0..calib_jobs {
+        // Admission-bounded closed loop: drain one when the queue is full.
+        if pending.len() >= queue_capacity {
+            let early: soifft_serve::JobTicket = pending.pop_front().unwrap();
+            early.wait_into(&mut out).expect("calibration serve");
+        }
+        pending.push_back(
+            engine
+                .submit(0, &inputs[k % inputs.len()], None)
+                .expect("calibration admit"),
+        );
+    }
+    for ticket in pending {
+        ticket.wait_into(&mut out).expect("calibration serve");
+    }
+    let capacity = calib_jobs as f64 / t.elapsed().as_secs_f64();
+    let mean_service_ms = 1e3 / capacity;
+
+    let deadline = Duration::from_secs_f64(
+        env_f64(
+            "SOIFFT_SERVE_DEADLINE_MS",
+            (8.0 * mean_service_ms).max(50.0),
+        ) / 1e3,
+    );
+    let window = Duration::from_secs_f64(env_f64("SOIFFT_SERVE_WINDOW_SECS", 2.0));
+    let soak = Duration::from_secs_f64(env_f64("SOIFFT_SOAK_SECS", window.as_secs_f64()));
+    let seed = env_usize("SOIFFT_SERVE_SEED", 1) as u64;
+
+    println!(
+        "Open-loop serving load sweep: N = 2^{} = {n}, P = {procs}, tenants = {tenants}, \
+         queue = {queue_capacity}, batch = 4",
+        n.ilog2(),
+    );
+    println!(
+        "calibrated capacity: {capacity:.1} jobs/s (mean service {mean_service_ms:.2} ms); \
+         deadline {:.0} ms; Poisson arrivals, seed {seed}\n",
+        deadline.as_secs_f64() * 1e3,
+    );
+
+    let factors = [0.25, 0.5, 1.0, 1.5, 2.0];
+    let mut points: Vec<LoadPoint> = Vec::new();
+    for (i, &factor) in factors.iter().enumerate() {
+        // The 2× (overload) point doubles as the soak window.
+        let w = if factor == 2.0 { soak } else { window };
+        let point = run_point(
+            &engine,
+            &inputs,
+            tenants,
+            factor,
+            factor * capacity,
+            w,
+            deadline,
+            seed + i as u64,
+        );
+        points.push(point);
+    }
+
+    let mut table = Table::new(&[
+        "load",
+        "offered/s",
+        "goodput/s",
+        "rejected",
+        "shed",
+        "failed",
+        "late",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
+    for p in &points {
+        table.row(&[
+            format!("{:.2}x", p.factor),
+            format!("{:.1}", p.offered_per_s),
+            format!("{:.1}", p.goodput()),
+            format!("{}", p.rejected()),
+            format!("{}", p.shed),
+            format!("{}", p.failed),
+            format!("{}", p.late_success),
+            format!("{:.2}", p.p50_ms),
+            format!("{:.2}", p.p99_ms),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // ASCII latency-vs-load curve: offered load on the x axis, p99 on the
+    // y axis (log-ish bar of #), goodput annotated. The overload story in
+    // one glance: bars stop growing once admission control bites.
+    println!(
+        "\nlatency vs offered load (p99, one # per {:.0} ms):",
+        deadline.as_secs_f64() * 1e3 / 40.0
+    );
+    for p in &points {
+        let unit = deadline.as_secs_f64() * 1e3 / 40.0;
+        let bars = if p.p99_ms.is_nan() {
+            0
+        } else {
+            (p.p99_ms / unit).round() as usize
+        };
+        println!(
+            "  {:>5.2}x |{:<40}| p99 {:>7.2} ms, goodput {:>6.1}/s",
+            p.factor,
+            "#".repeat(bars.min(40)),
+            p.p99_ms,
+            p.goodput(),
+        );
+    }
+
+    let plateau = points
+        .iter()
+        .filter(|p| p.factor >= 1.0)
+        .map(LoadPoint::goodput)
+        .fold(0.0f64, f64::max);
+    let at_2x = points.last().expect("2x point");
+    let late_total: u64 = points.iter().map(|p| p.late_success).sum();
+    println!(
+        "\nsaturation plateau {plateau:.1} jobs/s; goodput at 2x = {:.1} jobs/s \
+         ({:.0}% of plateau); late successes: {late_total}",
+        at_2x.goodput(),
+        100.0 * at_2x.goodput() / plateau,
+    );
+
+    let report = engine.shutdown();
+    let stats = report.stats;
+
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        rows.push_str(&format!(
+            "    {{ \"load_factor\": {:.2}, \"offered_per_s\": {:.3}, \"window_s\": {:.3}, \
+             \"submitted\": {}, \"goodput_per_s\": {:.3}, \"rejected\": {}, \"shed\": {}, \
+             \"failed\": {}, \"late_success\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4} }}{comma}\n",
+            p.factor,
+            p.offered_per_s,
+            p.window_s,
+            p.submitted,
+            p.goodput(),
+            p.rejected(),
+            p.shed,
+            p.failed,
+            p.late_success,
+            p.p50_ms,
+            p.p99_ms,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"serve_load\",\n  \
+         \"n\": {n},\n  \"procs\": {procs},\n  \"tenants\": {tenants},\n  \
+         \"queue_capacity\": {queue_capacity},\n  \"max_batch\": 4,\n  \
+         \"capacity_jobs_per_s\": {capacity:.3},\n  \"deadline_ms\": {dl:.3},\n  \
+         \"plateau_goodput_per_s\": {plateau:.3},\n  \"goodput_at_2x_per_s\": {g2:.3},\n  \
+         \"late_successes\": {late_total},\n  \"engine\": {{\n    \"submitted\": {sub},\n    \
+         \"completed\": {comp},\n    \"rejected\": {rej},\n    \"shed_queue\": {shq},\n    \
+         \"shed_inflight\": {shi},\n    \"retries\": {ret},\n    \"epoch_aborts\": {ab}\n  }},\n  \
+         \"points\": [\n{rows}  ]\n}}\n",
+        dl = deadline.as_secs_f64() * 1e3,
+        g2 = at_2x.goodput(),
+        sub = stats.submitted,
+        comp = stats.completed,
+        rej = stats.rejected,
+        shq = stats.shed_queue,
+        shi = stats.shed_inflight,
+        ret = stats.retries,
+        ab = stats.epoch_aborts,
+    );
+    let path = std::env::var("SOIFFT_SERVE_JSON").unwrap_or_else(|_| "BENCH_6.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_6.json");
+    eprintln!("wrote {path}");
+
+    if std::env::var("SOIFFT_SOAK_ASSERT").as_deref() == Ok("1") {
+        assert!(
+            at_2x.goodput() >= 0.9 * plateau,
+            "congestion collapse: goodput at 2x load ({:.1}/s) fell below 90% of the \
+             saturation plateau ({plateau:.1}/s)",
+            at_2x.goodput(),
+        );
+        assert_eq!(
+            late_total, 0,
+            "deadline violation: {late_total} successful responses were observed past \
+             their deadline"
+        );
+        println!("\nsoak assertions passed: plateau held, zero late successes");
+    }
+}

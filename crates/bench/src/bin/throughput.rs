@@ -34,7 +34,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use soifft_bench::{env_usize, signal, Table};
+use soifft_bench::{env_usize, signal, Table, BENCH_SCHEMA_VERSION};
 use soifft_cluster::Cluster;
 use soifft_core::pipeline::scatter_input;
 use soifft_core::{Rational, SoiFft, SoiParams};
@@ -173,7 +173,14 @@ fn main() {
             warm_lat.push(t.elapsed().as_secs_f64());
         }
         comm.barrier();
-        (fresh_wall, fresh_bytes, many_wall, many_bytes, fresh_lat, warm_lat)
+        (
+            fresh_wall,
+            fresh_bytes,
+            many_wall,
+            many_bytes,
+            fresh_lat,
+            warm_lat,
+        )
     });
 
     let (fresh_wall, fresh_bytes, many_wall, many_bytes, mut fresh_lat, mut warm_lat) =
@@ -227,7 +234,7 @@ fn main() {
     println!("\nforward_many speedup over fresh forward(): {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"n\": {n},\n  \"procs\": {procs},\n  \"batch\": {batch},\n  \"segments_per_proc\": {s},\n  \"conv_width\": {w},\n  \"fresh_forward\": {{\n    \"transforms_per_s\": {ft:.6},\n    \"bytes_allocated_per_transform\": {fb:.0},\n    \"p50_latency_s\": {fp50:.6},\n    \"p99_latency_s\": {fp99:.6}\n  }},\n  \"forward_many\": {{\n    \"transforms_per_s\": {mt:.6},\n    \"bytes_allocated_per_transform\": {mb:.0},\n    \"p50_latency_s\": {mp50:.6},\n    \"p99_latency_s\": {mp99:.6}\n  }},\n  \"speedup\": {speedup:.4}\n}}\n",
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"throughput\",\n  \"n\": {n},\n  \"procs\": {procs},\n  \"batch\": {batch},\n  \"segments_per_proc\": {s},\n  \"conv_width\": {w},\n  \"fresh_forward\": {{\n    \"transforms_per_s\": {ft:.6},\n    \"bytes_allocated_per_transform\": {fb:.0},\n    \"p50_latency_s\": {fp50:.6},\n    \"p99_latency_s\": {fp99:.6}\n  }},\n  \"forward_many\": {{\n    \"transforms_per_s\": {mt:.6},\n    \"bytes_allocated_per_transform\": {mb:.0},\n    \"p50_latency_s\": {mp50:.6},\n    \"p99_latency_s\": {mp99:.6}\n  }},\n  \"speedup\": {speedup:.4}\n}}\n",
         s = params.segments_per_proc,
         w = params.conv_width,
         ft = fresh.transforms_per_s,

@@ -13,6 +13,13 @@ use std::time::Instant;
 
 use soifft_num::c64;
 
+/// Schema version stamped into every machine-readable `BENCH_*.json` this
+/// crate's binaries emit. Bump when a field is renamed, removed, or
+/// changes meaning — additions are backward-compatible and don't require
+/// a bump — so cross-PR perf-trajectory tooling can parse historical
+/// artifacts without guessing.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
 /// Deterministic pseudo-random complex signal (xorshift; stable across
 /// runs, no RNG dependency in the hot path).
 pub fn signal(n: usize, seed: u64) -> Vec<c64> {
@@ -50,6 +57,14 @@ pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 /// Reads a `usize` override from the environment (lets the figure binaries
 /// scale up on bigger machines: e.g. `SOIFFT_FIG10_N=16777216`).
 pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads an `f64` override from the environment (durations, load factors).
+pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())

@@ -442,7 +442,11 @@ impl FaultInjector {
         let spec = self.plan.flip.expect("flip_planned implies a spec");
         let word = self.flip_rng.next_u64() as usize % (2 * data.len());
         let z = &mut data[word / 2];
-        let half = if word.is_multiple_of(2) { &mut z.re } else { &mut z.im };
+        let half = if word.is_multiple_of(2) {
+            &mut z.re
+        } else {
+            &mut z.im
+        };
         *half = f64::from_bits(half.to_bits() ^ (1u64 << spec.bit));
         self.flips_fired += 1;
         self.events.bit_flips += 1;

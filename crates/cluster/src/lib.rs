@@ -81,7 +81,7 @@ pub use resilience::{
     ValidationPolicy,
 };
 pub use stats::{CommStats, CostModel, PhaseRecord, RecoveryOutcome};
-pub use supervisor::{RecoveryCtx, RestartPolicy, SupervisedRun, Supervisor};
+pub use supervisor::{HealthMonitor, RecoveryCtx, RestartPolicy, SupervisedRun, Supervisor};
 pub use trace::{chrome_trace_json, text_tree, PhaseProfile, RunProfile, TraceConfig, TraceEvent};
 
 use resilience::{ClusterState, CommFailure, InjectedCrash};
@@ -115,16 +115,54 @@ pub(crate) struct Message {
 /// pool, every consumed receive is recycled back, and after warmup the
 /// two flows balance. Misses are counted in the [`CommStats`]
 /// `comm_allocs` ledger by the callers that stage message payloads.
-#[derive(Debug, Default)]
+///
+/// Retention is bounded two ways: each class keeps at most
+/// [`POOL_BIN_DEPTH`] buffers, and the pool as a whole retains at most
+/// `max_retained_bytes` of capacity ([`POOL_MAX_RETAINED_BYTES`] by
+/// default, tunable via [`ClusterConfig::pool_max_retained_bytes`]).
+/// Without the byte cap, a workload that churns through many distinct
+/// transform shapes (a multi-tenant server, or an adversary cycling
+/// request sizes) would leave `POOL_BIN_DEPTH` warm buffers in *every*
+/// capacity class it ever touched — resident memory growing with the
+/// number of shapes seen, not the working set. When admitting a buffer
+/// would exceed the cap, the pool evicts from its largest class first
+/// (big stale buffers are the cheapest to re-allocate relative to the
+/// memory they pin); evictions are reported to the caller so the
+/// [`CommStats`] ledger can expose them.
+#[derive(Debug)]
 struct BufferPool {
     bins: Vec<Vec<Vec<c64>>>,
+    /// Total capacity bytes currently retained across all bins.
+    retained_bytes: usize,
+    /// Retention ceiling in bytes (0 = pool nothing).
+    max_retained_bytes: usize,
 }
 
 /// Recycled buffers kept per capacity class; beyond this the surplus is
 /// dropped (bounds pool memory under bursty exchanges).
 const POOL_BIN_DEPTH: usize = 32;
 
+/// Default ceiling on the capacity bytes a rank's [`BufferPool`] retains
+/// (64 MiB). Generous for any single transform shape; what it actually
+/// bounds is the *accumulation across shapes* under churn.
+pub const POOL_MAX_RETAINED_BYTES: usize = 64 << 20;
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::with_limit(POOL_MAX_RETAINED_BYTES)
+    }
+}
+
 impl BufferPool {
+    /// A pool retaining at most `max_retained_bytes` of buffer capacity.
+    fn with_limit(max_retained_bytes: usize) -> Self {
+        BufferPool {
+            bins: Vec::new(),
+            retained_bytes: 0,
+            max_retained_bytes,
+        }
+    }
+
     /// Class that guarantees capacity for `len`: smallest k with 2^k ≥ len.
     fn class_for_len(len: usize) -> usize {
         len.next_power_of_two().trailing_zeros() as usize
@@ -135,20 +173,45 @@ impl BufferPool {
         (usize::BITS - 1 - cap.leading_zeros()) as usize
     }
 
+    /// Capacity bytes a pooled buffer of capacity `cap` pins.
+    fn bytes_for(cap: usize) -> usize {
+        cap * std::mem::size_of::<c64>()
+    }
+
     /// Pops an empty buffer with capacity ≥ `len`, if one is pooled.
     fn take(&mut self, len: usize) -> Option<Vec<c64>> {
         let k = Self::class_for_len(len);
         let mut buf = self.bins.get_mut(k)?.pop()?;
+        self.retained_bytes -= Self::bytes_for(buf.capacity());
         buf.clear();
         Some(buf)
     }
 
-    /// Returns `buf` to its capacity class (dropped when the class is
-    /// full or the buffer owns no storage).
-    fn give(&mut self, buf: Vec<c64>) {
+    /// Returns `buf` to its capacity class, evicting from the largest
+    /// class first when retaining it would exceed the byte ceiling.
+    /// Buffers dropped to honour the ceiling (including `buf` itself when
+    /// it alone exceeds the budget, and class-depth overflow) are counted
+    /// in the returned eviction tally.
+    fn give(&mut self, buf: Vec<c64>) -> u64 {
         let cap = buf.capacity();
         if cap == 0 {
-            return;
+            return 0;
+        }
+        let incoming = Self::bytes_for(cap);
+        if incoming > self.max_retained_bytes {
+            return 1;
+        }
+        let mut evicted = 0;
+        while self.retained_bytes + incoming > self.max_retained_bytes {
+            let victim_bin = self
+                .bins
+                .iter_mut()
+                .rev()
+                .find(|bin| !bin.is_empty())
+                .expect("retained_bytes > 0 implies a non-empty bin");
+            let victim = victim_bin.pop().expect("bin checked non-empty");
+            self.retained_bytes -= Self::bytes_for(victim.capacity());
+            evicted += 1;
         }
         let k = Self::class_for_cap(cap);
         if self.bins.len() <= k {
@@ -156,7 +219,11 @@ impl BufferPool {
         }
         let bin = &mut self.bins[k];
         if bin.len() < POOL_BIN_DEPTH {
+            self.retained_bytes += incoming;
             bin.push(buf);
+            evicted
+        } else {
+            evicted + 1
         }
     }
 }
@@ -549,9 +616,11 @@ impl Comm {
     /// Returns a no-longer-needed payload buffer to this rank's freelist
     /// so a later [`Comm::acquire_buffer`] of its capacity class is served
     /// without allocating. Contents are discarded; zero-capacity buffers
-    /// are dropped.
+    /// are dropped. Buffers the pool declines under its retained-bytes
+    /// ceiling are charged to the `pool_evictions` ledger.
     pub fn recycle_buffer(&mut self, buf: Vec<c64>) {
-        self.pool.give(buf);
+        let evicted = self.pool.give(buf);
+        self.stats.note_pool_evictions(evicted);
     }
 
     /// Blocks until a message from `src` with `tag` arrives and returns it.
@@ -713,7 +782,8 @@ impl Comm {
             self.send(dst, tags::ALL_TO_ALL, data);
         }
         for old in incoming.drain(..) {
-            self.pool.give(old);
+            let evicted = self.pool.give(old);
+            self.stats.note_pool_evictions(evicted);
         }
         for src in 0..self.size {
             let got = self.recv(src, tags::ALL_TO_ALL);
@@ -1001,7 +1071,8 @@ impl Comm {
                     first = false;
                 }
                 slot.extend_from_slice(&chunk);
-                self.pool.give(chunk);
+                let evicted = self.pool.give(chunk);
+                self.stats.note_pool_evictions(evicted);
             }
             incoming.push(slot);
         }
@@ -1167,6 +1238,11 @@ pub struct ClusterConfig {
     /// origin instant, so cross-rank timelines align in the
     /// [`chrome_trace_json`] / [`text_tree`] exporters.
     pub trace: TraceConfig,
+    /// Ceiling on the capacity bytes each rank's payload-buffer freelist
+    /// retains ([`POOL_MAX_RETAINED_BYTES`] by default). Bounds resident
+    /// memory under transform-shape churn; buffers declined under the
+    /// ceiling are counted in [`CommStats::pool_evictions`].
+    pub pool_max_retained_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -1178,6 +1254,7 @@ impl Default for ClusterConfig {
             recv_deadline: Duration::from_secs(120),
             join_deadline: Duration::from_secs(600),
             trace: TraceConfig::default(),
+            pool_max_retained_bytes: POOL_MAX_RETAINED_BYTES,
         }
     }
 }
@@ -1348,7 +1425,7 @@ where
                 }
                 stats
             },
-            pool: BufferPool::default(),
+            pool: BufferPool::with_limit(config.pool_max_retained_bytes),
         })
         .collect();
     drop(txs);
@@ -2347,6 +2424,77 @@ mod tests {
         match &outcomes[0] {
             RankOutcome::Err(CommError::PeerFailed { rank }) => assert_eq!(*rank, 1),
             other => panic!("expected PeerFailed, got {other:?}"),
+        }
+    }
+
+    /// Bytes of capacity a `Vec<c64>` of capacity `cap` pins.
+    fn cap_bytes(cap: usize) -> usize {
+        cap * std::mem::size_of::<c64>()
+    }
+
+    #[test]
+    fn pool_retains_within_byte_ceiling() {
+        // Room for exactly two 64-element buffers.
+        let mut pool = BufferPool::with_limit(cap_bytes(128));
+        assert_eq!(pool.give(Vec::with_capacity(64)), 0);
+        assert_eq!(pool.give(Vec::with_capacity(64)), 0);
+        assert_eq!(pool.retained_bytes, cap_bytes(128));
+        // A third buffer forces one eviction to make room.
+        assert_eq!(pool.give(Vec::with_capacity(64)), 1);
+        assert_eq!(pool.retained_bytes, cap_bytes(128));
+        // Taking drains the ledger symmetrically.
+        assert!(pool.take(64).is_some());
+        assert_eq!(pool.retained_bytes, cap_bytes(64));
+    }
+
+    #[test]
+    fn pool_declines_buffer_larger_than_ceiling() {
+        let mut pool = BufferPool::with_limit(cap_bytes(16));
+        assert_eq!(pool.give(Vec::with_capacity(32)), 1, "declined outright");
+        assert_eq!(pool.retained_bytes, 0);
+        assert!(pool.take(32).is_none());
+    }
+
+    #[test]
+    fn pool_evicts_largest_class_first_under_shape_churn() {
+        let mut pool = BufferPool::with_limit(cap_bytes(1024 + 12));
+        assert_eq!(pool.give(Vec::with_capacity(1024)), 0);
+        assert_eq!(pool.give(Vec::with_capacity(8)), 0);
+        // Admitting another small-class buffer overflows the ceiling; the
+        // stale 1024-element buffer goes, not the hot small class.
+        assert_eq!(pool.give(Vec::with_capacity(8)), 1);
+        assert!(pool.take(1024).is_none(), "large class was evicted");
+        assert!(pool.take(8).is_some());
+        assert!(pool.take(8).is_some());
+    }
+
+    #[test]
+    fn pool_evictions_surface_in_comm_stats() {
+        let config = ClusterConfig {
+            // Below any payload this run stages: every recycle is declined.
+            pool_max_retained_bytes: 8,
+            ..ClusterConfig::default()
+        };
+        let evictions = Cluster::run_with(config, 2, |comm| {
+            let dst = (comm.rank() + 1) % comm.size();
+            let mut buf = comm.acquire_buffer(32);
+            buf.resize(32, c64::ZERO);
+            comm.send(dst, tags::USER, buf);
+            let src = (comm.rank() + 1) % comm.size();
+            let got = comm.recv(src, tags::USER);
+            comm.recycle_buffer(got);
+            comm.stats().pool_evictions()
+        });
+        for (rank, outcome) in evictions.into_iter().enumerate() {
+            match outcome {
+                RankOutcome::Ok(n) => {
+                    assert!(
+                        n >= 1,
+                        "rank {rank}: recycle under a tiny ceiling must evict"
+                    )
+                }
+                other => panic!("rank {rank} failed: {other:?}"),
+            }
         }
     }
 }

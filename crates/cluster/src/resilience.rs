@@ -87,6 +87,16 @@ pub enum CommError {
         /// What was wrong with the call.
         what: &'static str,
     },
+    /// The operation was cancelled cooperatively before completing — a
+    /// deadline-carrying caller (the serving layer) decided at a phase
+    /// boundary that finishing the transform is pointless, and every rank
+    /// of the collective took the same decision (see `soifft-core`'s
+    /// `CancelGate`). Not a fault: no peer died, nothing timed out, and
+    /// the cluster remains fully usable.
+    Cancelled {
+        /// The phase boundary at which the collective stopped.
+        phase: &'static str,
+    },
 }
 
 impl CommError {
@@ -128,6 +138,9 @@ impl std::fmt::Display for CommError {
                 ),
             },
             CommError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            CommError::Cancelled { phase } => {
+                write!(f, "cancelled cooperatively at the {phase} boundary")
+            }
         }
     }
 }
@@ -517,6 +530,9 @@ mod tests {
             segment: None
         }
         .is_transient());
+        // Cancellation is a decision, not a fault; retrying would defeat
+        // the point of cancelling.
+        assert!(!CommError::Cancelled { phase: "ghost" }.is_transient());
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct CommStats {
     comm_allocs: u64,
     pool_busy_s: f64,
     pool_tasks: u64,
+    pool_evictions: u64,
+    jobs_shed: u64,
+    serve_retries: u64,
+    queue_wait_s: f64,
     trace: Option<TraceBuf>,
 }
 
@@ -148,6 +152,15 @@ impl CommStats {
     /// their counting window.
     pub fn reserve_records(&mut self, extra: usize) {
         self.records.reserve(extra);
+    }
+
+    /// Clears the phase-record log, keeping its capacity. Long-running
+    /// drivers (the serving engine's rank loop) fold the records they
+    /// care about into their own aggregates per batch and clear, so the
+    /// ledger stays bounded without re-allocating in the steady state.
+    /// Counters and the trace buffer are untouched.
+    pub fn clear_records(&mut self) {
+        self.records.clear();
     }
 
     /// Opens a phase (timing starts now).
@@ -253,6 +266,53 @@ impl CommStats {
     /// Communication-layer staging copies made on behalf of this rank.
     pub fn comm_allocs(&self) -> u64 {
         self.comm_allocs
+    }
+
+    /// Records `n` buffers the payload freelist declined or dropped to
+    /// honour its retained-bytes ceiling.
+    pub fn note_pool_evictions(&mut self, n: u64) {
+        self.pool_evictions += n;
+    }
+
+    /// Buffers evicted from the payload freelist under its retained-bytes
+    /// ceiling. A steadily growing count under a fixed workload means the
+    /// ceiling is below the working set; growth only under shape churn is
+    /// the cap doing its job.
+    pub fn pool_evictions(&self) -> u64 {
+        self.pool_evictions
+    }
+
+    /// Records a serving-layer job shed before execution (expired deadline
+    /// or collective shed decision at a batch boundary).
+    pub fn note_job_shed(&mut self) {
+        self.jobs_shed += 1;
+    }
+
+    /// Serving-layer jobs shed before execution on this rank's engine.
+    pub fn jobs_shed(&self) -> u64 {
+        self.jobs_shed
+    }
+
+    /// Records a serving-layer batch retry (a transient failure absorbed
+    /// by re-running in-flight work after backoff).
+    pub fn note_serve_retry(&mut self) {
+        self.serve_retries += 1;
+    }
+
+    /// Serving-layer batch retries absorbed on this rank's engine.
+    pub fn serve_retries(&self) -> u64 {
+        self.serve_retries
+    }
+
+    /// Accumulates seconds a serving-layer job spent queued before its
+    /// batch was dispatched on this rank.
+    pub fn add_queue_wait(&mut self, seconds: f64) {
+        self.queue_wait_s += seconds;
+    }
+
+    /// Total serving-layer queue-wait seconds accumulated on this rank.
+    pub fn queue_wait_seconds(&self) -> f64 {
+        self.queue_wait_s
     }
 
     /// Folds a pool-worker busy snapshot into this ledger (busy seconds
@@ -372,6 +432,10 @@ impl CommStats {
         self.comm_allocs += other.comm_allocs;
         self.pool_busy_s += other.pool_busy_s;
         self.pool_tasks += other.pool_tasks;
+        self.pool_evictions += other.pool_evictions;
+        self.jobs_shed += other.jobs_shed;
+        self.serve_retries += other.serve_retries;
+        self.queue_wait_s += other.queue_wait_s;
         if let (Some(mine), Some(theirs)) = (&mut self.trace, &other.trace) {
             mine.absorb(theirs);
         }
@@ -585,6 +649,42 @@ mod tests {
         assert_eq!(a.comm_allocs(), 3);
         assert!((a.pool_busy_seconds() - 0.75).abs() < 1e-12);
         assert_eq!(a.pool_tasks(), 10);
+    }
+
+    #[test]
+    fn serve_counters_accumulate_and_absorb() {
+        let mut a = CommStats::default();
+        assert_eq!(a.pool_evictions(), 0);
+        assert_eq!(a.jobs_shed(), 0);
+        assert_eq!(a.serve_retries(), 0);
+        assert_eq!(a.queue_wait_seconds(), 0.0);
+        a.note_pool_evictions(2);
+        a.note_pool_evictions(0); // declined nothing: no change
+        a.note_job_shed();
+        a.add_queue_wait(0.125);
+        let mut b = CommStats::default();
+        b.note_pool_evictions(3);
+        b.note_job_shed();
+        b.note_serve_retry();
+        b.add_queue_wait(0.25);
+        a.absorb(&b);
+        assert_eq!(a.pool_evictions(), 5);
+        assert_eq!(a.jobs_shed(), 2);
+        assert_eq!(a.serve_retries(), 1);
+        assert!((a.queue_wait_seconds() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_records_keeps_counters() {
+        let mut s = CommStats::default();
+        s.timed("fft", || {});
+        s.add_bytes_sent(64);
+        s.clear_records();
+        assert!(s.records().is_empty());
+        assert_eq!(s.total_bytes_sent(), 64);
+        // Cleared log keeps capacity: the next append re-uses it.
+        s.timed("fft", || {});
+        assert_eq!(s.count_of("fft"), 1);
     }
 
     #[test]

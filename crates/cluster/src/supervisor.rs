@@ -19,12 +19,67 @@
 //! tag (the epoch number), which is why the channels can safely survive
 //! the crash.
 
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::checkpoint::CheckpointStore;
 use crate::resilience::RankOutcome;
 use crate::{launch_epoch, make_channels, ClusterConfig, Comm};
+
+/// Live, shareable health signal of a supervised engine.
+///
+/// The supervisor updates these counters as epochs launch and die, so a
+/// layer *outside* the rank closures (the serving front end's circuit
+/// breaker) can observe crash pressure while the run is still in
+/// progress — [`SupervisedRun`] only reports after the fact. Counters
+/// accumulate across successive [`Supervisor::run`] calls on the same
+/// supervisor, which is exactly what a breaker keyed on "repeated
+/// escalations" wants.
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    epochs: AtomicU64,
+    deaths: AtomicU64,
+    restarts: AtomicU32,
+    budget_exhausted: AtomicBool,
+}
+
+impl HealthMonitor {
+    /// Epochs launched so far (across every run of the owning supervisor).
+    pub fn epochs_launched(&self) -> u64 {
+        self.epochs.load(Ordering::SeqCst)
+    }
+
+    /// Epochs that ended with at least one rank death (injected crash,
+    /// panic, or join timeout).
+    pub fn deaths(&self) -> u64 {
+        self.deaths.load(Ordering::SeqCst)
+    }
+
+    /// Restarts consumed respawning dead epochs.
+    pub fn restarts(&self) -> u32 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// True once a run ended with deaths it no longer had budget to
+    /// respawn — the strongest escalation the supervisor can report.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted.load(Ordering::SeqCst)
+    }
+
+    fn note_epoch(&self) {
+        self.epochs.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn note_death(&self, respawning: bool) {
+        self.deaths.fetch_add(1, Ordering::SeqCst);
+        if respawning {
+            self.restarts.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.budget_exhausted.store(true, Ordering::SeqCst);
+        }
+    }
+}
 
 /// Restart budget and backoff of a [`Supervisor`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -166,17 +221,29 @@ impl<T> SupervisedRun<T> {
 pub struct Supervisor {
     config: ClusterConfig,
     policy: RestartPolicy,
+    monitor: Arc<HealthMonitor>,
 }
 
 impl Supervisor {
     /// A supervisor launching under `config` with restart budget `policy`.
     pub fn new(config: ClusterConfig, policy: RestartPolicy) -> Self {
-        Supervisor { config, policy }
+        Supervisor {
+            config,
+            policy,
+            monitor: Arc::new(HealthMonitor::default()),
+        }
     }
 
     /// The restart policy in force.
     pub fn policy(&self) -> RestartPolicy {
         self.policy
+    }
+
+    /// A shared handle onto this supervisor's live health counters,
+    /// updated while [`Supervisor::run`] is in progress (see
+    /// [`HealthMonitor`]).
+    pub fn monitor(&self) -> Arc<HealthMonitor> {
+        Arc::clone(&self.monitor)
     }
 
     /// Runs `f` on `ranks` ranks, re-launching the epoch (with a fresh
@@ -198,10 +265,14 @@ impl Supervisor {
         loop {
             let ctx = RecoveryCtx::for_epoch(&store, epoch, restarts);
             let g = |comm: &mut Comm| f(comm, &ctx);
+            self.monitor.note_epoch();
             let outcomes = launch_epoch(&self.config, ranks, epoch, txs.clone(), &rxs, &g);
             let died = outcomes
                 .iter()
                 .any(|o| matches!(o, RankOutcome::Crashed | RankOutcome::Panicked(_)));
+            if died {
+                self.monitor.note_death(restarts < self.policy.max_restarts);
+            }
             if !died || restarts >= self.policy.max_restarts {
                 return SupervisedRun {
                     outcomes,
@@ -322,6 +393,44 @@ mod tests {
         for o in run.outcomes {
             assert_eq!(o, RankOutcome::Ok(true), "epoch 1 resumed from the commit");
         }
+    }
+
+    #[test]
+    fn monitor_tracks_deaths_and_restarts() {
+        let plan = FaultPlan::new(17).crash(1, CrashSite::Barrier);
+        let sup = Supervisor::new(ClusterConfig::with_faults(plan), RestartPolicy::default());
+        let mon = sup.monitor();
+        assert_eq!(mon.epochs_launched(), 0);
+        let run = sup.run(3, |comm, _ctx| {
+            comm.barrier();
+            comm.rank()
+        });
+        assert!(run.all_ok());
+        assert_eq!(mon.epochs_launched(), 2);
+        assert_eq!(mon.deaths(), 1);
+        assert_eq!(mon.restarts(), 1);
+        assert!(!mon.budget_exhausted());
+    }
+
+    #[test]
+    fn monitor_reports_budget_exhaustion() {
+        let plan = FaultPlan::new(17).crash_times(0, CrashSite::Barrier, 5);
+        let sup = Supervisor::new(
+            ClusterConfig::with_faults(plan),
+            RestartPolicy {
+                max_restarts: 1,
+                base_backoff: Duration::from_millis(1),
+            },
+        );
+        let mon = sup.monitor();
+        let run = sup.run(2, |comm, _ctx| {
+            comm.barrier();
+            comm.rank()
+        });
+        assert!(!run.all_ok());
+        assert_eq!(mon.deaths(), 2, "both epochs died");
+        assert_eq!(mon.restarts(), 1, "only the first death had budget");
+        assert!(mon.budget_exhausted());
     }
 
     #[test]

@@ -369,30 +369,35 @@ pub fn convolve_fused_fft_with_scratch(
     );
 
     out.fill(c64::ZERO);
-    pool.par_chunks_mut_scratch(out, n_mu * l, &mut scratch.workers, |_, offset, piece, w| {
-        let c0 = offset / (n_mu * l);
-        if w.fft.len() < plan_l.scratch_len() {
-            w.fft.resize(plan_l.scratch_len(), c64::ZERO);
-        }
-        for (ci, chunk_out) in piece.chunks_exact_mut(n_mu * l).enumerate() {
-            let c = c0 + ci;
-            let in_base = c * d_mu * l;
-            for j in 0..n_mu {
-                let taps = window.taps_row(j);
-                let block = &mut chunk_out[j * l..(j + 1) * l];
-                for bb in 0..b {
-                    axpy_pointwise(
-                        block,
-                        &taps[bb * l..(bb + 1) * l],
-                        &input_ext[in_base + bb * l..in_base + (bb + 1) * l],
-                    );
-                }
-                // The block is hot in cache: transform it now instead of
-                // in a later full sweep.
-                plan_l.forward_with_scratch(block, &mut w.fft);
+    pool.par_chunks_mut_scratch(
+        out,
+        n_mu * l,
+        &mut scratch.workers,
+        |_, offset, piece, w| {
+            let c0 = offset / (n_mu * l);
+            if w.fft.len() < plan_l.scratch_len() {
+                w.fft.resize(plan_l.scratch_len(), c64::ZERO);
             }
-        }
-    });
+            for (ci, chunk_out) in piece.chunks_exact_mut(n_mu * l).enumerate() {
+                let c = c0 + ci;
+                let in_base = c * d_mu * l;
+                for j in 0..n_mu {
+                    let taps = window.taps_row(j);
+                    let block = &mut chunk_out[j * l..(j + 1) * l];
+                    for bb in 0..b {
+                        axpy_pointwise(
+                            block,
+                            &taps[bb * l..(bb + 1) * l],
+                            &input_ext[in_base + bb * l..in_base + (bb + 1) * l],
+                        );
+                    }
+                    // The block is hot in cache: transform it now instead of
+                    // in a later full sweep.
+                    plan_l.forward_with_scratch(block, &mut w.fft);
+                }
+            }
+        },
+    );
 }
 
 /// Reference implementation straight from the definition (per-row inner

@@ -45,7 +45,7 @@ pub mod window;
 
 pub use conv::ConvStrategy;
 pub use params::{Rational, SoiError, SoiParams};
-pub use pipeline::{ExchangePlan, SimSpec, SoiFft, SoiRunError, SoiWorkspace};
+pub use pipeline::{CancelGate, ExchangePlan, SimSpec, SoiFft, SoiRunError, SoiWorkspace};
 pub use report::{PlanReport, PredictedBreakdown};
 pub use single::SoiFftLocal;
 pub use verify::ValidationPolicy;

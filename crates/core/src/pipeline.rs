@@ -17,6 +17,7 @@
 //! The output is the natural-order spectrum, block-distributed: rank `r`
 //! ends with `y[r·N/P .. (r+1)·N/P)`.
 
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use soifft_cluster::{
@@ -135,6 +136,91 @@ impl std::fmt::Display for SoiRunError {
 impl std::error::Error for SoiRunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.error)
+    }
+}
+
+/// Cooperative cancellation token for
+/// [`SoiFft::try_forward_into_cancellable`], shared by every rank of one
+/// superstep (and by whoever may cancel it — a serving dispatcher's
+/// deadline watchdog, a drain path, an operator).
+///
+/// The hazard with cancelling a *collective* pipeline is divergence: if
+/// each rank polled a plain flag, a cancel landing mid-phase could let
+/// rank 0 enter the all-to-all while rank 1 aborts — and the survivors
+/// would hang waiting for a peer that already left. `CancelGate` prevents
+/// this with a decide-once slot per collective boundary: the first rank
+/// to reach the boundary atomically fixes the decision (proceed or
+/// cancel) from the flag's state at that instant, and every later rank
+/// obeys the recorded decision rather than re-reading the flag. All ranks
+/// therefore take the same collective path, with no extra communication.
+///
+/// A gate covers exactly one superstep. Call [`CancelGate::reset`] only
+/// between supersteps, once no rank can still be inside the previous one
+/// (the serving engine does this at batch boundaries, behind its own
+/// barrier).
+#[derive(Debug, Default)]
+pub struct CancelGate {
+    /// The request: sticky until [`CancelGate::reset`].
+    cancelled: AtomicBool,
+    /// Decide-once slot per collective boundary.
+    decisions: [AtomicU8; 2],
+}
+
+impl CancelGate {
+    /// Boundary index: before the ghost exchange.
+    const BOUNDARY_GHOST: usize = 0;
+    /// Boundary index: before the all-to-all.
+    const BOUNDARY_ALL_TO_ALL: usize = 1;
+
+    const UNDECIDED: u8 = 0;
+    const PROCEED: u8 = 1;
+    const CANCEL: u8 = 2;
+
+    /// A fresh, un-cancelled gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Takes effect at the next collective boundary
+    /// whose decision is not yet fixed; boundaries already decided
+    /// `proceed` run to completion. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested (not whether any boundary
+    /// has acted on it yet).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Re-arms the gate for the next superstep: clears the request and all
+    /// boundary decisions. Caller must guarantee no rank is still inside
+    /// the previous superstep.
+    pub fn reset(&self) {
+        self.cancelled.store(false, Ordering::Release);
+        for slot in &self.decisions {
+            slot.store(Self::UNDECIDED, Ordering::Release);
+        }
+    }
+
+    /// Fixes (or reads) the decision at `boundary`; `true` means proceed
+    /// into the collective.
+    fn proceed_at(&self, boundary: usize) -> bool {
+        let wish = if self.is_cancelled() {
+            Self::CANCEL
+        } else {
+            Self::PROCEED
+        };
+        match self.decisions[boundary].compare_exchange(
+            Self::UNDECIDED,
+            wish,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => wish == Self::PROCEED,
+            Err(decided) => decided == Self::PROCEED,
+        }
     }
 }
 
@@ -423,11 +509,7 @@ impl SoiFft {
         let p = &self.params;
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
-        assert_eq!(
-            y.len(),
-            self.output_len(comm.rank()),
-            "wrong output length"
-        );
+        assert_eq!(y.len(), self.output_len(comm.rank()), "wrong output length");
 
         // Virtual-time accounting, when configured — and *cleared* when
         // not: a plan without a `SimSpec` must not inherit the cost model
@@ -545,14 +627,52 @@ impl SoiFft {
         ws: &mut SoiWorkspace,
         y: &mut [c64],
     ) -> Result<(), SoiRunError> {
+        self.try_forward_into_gated(comm, local_input, policy, None, ws, y)
+    }
+
+    /// Cancellation-aware [`SoiFft::try_forward_into`]: the same resilient
+    /// pipeline, but polling `gate` at each collective boundary (before the
+    /// ghost exchange and before the all-to-all). When the gate has been
+    /// [cancelled](CancelGate::cancel) by the time a boundary *decides* —
+    /// the first rank to arrive fixes the decision for everyone, so all
+    /// ranks take the same collective path even if the cancel lands while
+    /// ranks are mid-phase — the run stops with
+    /// `SoiRunError { error: CommError::Cancelled { .. }, .. }` instead of
+    /// starting the next collective.
+    ///
+    /// Every rank must call this collectively with the *same* `gate` (one
+    /// gate per superstep; [`CancelGate::reset`] re-arms it between
+    /// supersteps). A serving dispatcher uses this to shed a job whose
+    /// deadline expired while it was already on the ranks: cancellation is
+    /// cooperative, takes effect at the next boundary, and never tears the
+    /// collective (see `soifft-serve`).
+    pub fn try_forward_into_cancellable(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+        gate: &CancelGate,
+        ws: &mut SoiWorkspace,
+        y: &mut [c64],
+    ) -> Result<(), SoiRunError> {
+        self.try_forward_into_gated(comm, local_input, policy, Some(gate), ws, y)
+    }
+
+    /// Shared implementation of [`SoiFft::try_forward_into`] and
+    /// [`SoiFft::try_forward_into_cancellable`].
+    fn try_forward_into_gated(
+        &self,
+        comm: &mut Comm,
+        local_input: &[c64],
+        policy: &ExchangePolicy,
+        gate: Option<&CancelGate>,
+        ws: &mut SoiWorkspace,
+        y: &mut [c64],
+    ) -> Result<(), SoiRunError> {
         let p = &self.params;
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
-        assert_eq!(
-            y.len(),
-            self.output_len(comm.rank()),
-            "wrong output length"
-        );
+        assert_eq!(y.len(), self.output_len(comm.rank()), "wrong output length");
 
         match self.sim {
             Some(sim) => comm.stats_mut().set_cost_model(soifft_cluster::CostModel {
@@ -563,7 +683,7 @@ impl SoiFft {
         }
 
         comm.stats_mut().span_open("superstep");
-        let result = self.try_forward_into_body(comm, local_input, policy, ws, y);
+        let result = self.try_forward_into_body(comm, local_input, policy, gate, ws, y);
         comm.stats_mut().span_close("superstep");
         result
     }
@@ -575,16 +695,39 @@ impl SoiFft {
         comm: &mut Comm,
         local_input: &[c64],
         policy: &ExchangePolicy,
+        gate: Option<&CancelGate>,
         ws: &mut SoiWorkspace,
         y: &mut [c64],
     ) -> Result<(), SoiRunError> {
         let p = &self.params;
+        if let Some(g) = gate {
+            if !g.proceed_at(CancelGate::BOUNDARY_GHOST) {
+                return Err(SoiRunError::new(
+                    phases::GHOST,
+                    CommError::Cancelled {
+                        phase: phases::GHOST,
+                    },
+                    comm.stats().clone(),
+                ));
+            }
+        }
         self.probe_machinery(comm)?;
         let ghost = comm
             .try_exchange_ghost(local_input, p.ghost_len(), policy)
             .map_err(|e| SoiRunError::new("ghost", e, comm.stats().clone()))?;
         self.front_end_core(comm, local_input, &ghost, None, ws)?;
         comm.recycle_buffer(ghost);
+        if let Some(g) = gate {
+            if !g.proceed_at(CancelGate::BOUNDARY_ALL_TO_ALL) {
+                return Err(SoiRunError::new(
+                    phases::ALL_TO_ALL,
+                    CommError::Cancelled {
+                        phase: phases::ALL_TO_ALL,
+                    },
+                    comm.stats().clone(),
+                ));
+            }
+        }
         comm.stats_mut().span_open("pack");
         if self.validation.is_on() {
             for (slot, buf) in ws.outgoing.iter_mut().zip(self.pack_outgoing_tagged(&ws.u)) {
@@ -672,11 +815,7 @@ impl SoiFft {
         let p = &self.params;
         assert_eq!(comm.size(), p.procs, "cluster size != planned procs");
         assert_eq!(local_input.len(), p.per_rank(), "wrong local input length");
-        assert_eq!(
-            y.len(),
-            self.output_len(comm.rank()),
-            "wrong output length"
-        );
+        assert_eq!(y.len(), self.output_len(comm.rank()), "wrong output length");
         assert_eq!(
             ctx.store().parties(),
             p.procs,
@@ -773,7 +912,12 @@ impl SoiFft {
         } else if let Ok(mut u) = self.traced_restore(comm, store, rank, phases::CONVOLUTION) {
             comm.crash_point(phases::SEGMENT_FFT);
             let t = comm.stats_mut().phase_start();
-            batch::forward_rows_parallel_with(&self.plan_l, &self.pool, &mut u, &mut ws.seg_workers);
+            batch::forward_rows_parallel_with(
+                &self.plan_l,
+                &self.pool,
+                &mut u,
+                &mut ws.seg_workers,
+            );
             let seg_fft_flops =
                 p.blocks_per_rank() as f64 * soifft_fft::fft_flops(p.total_segments());
             match self.sim_fft_seconds(seg_fft_flops) {
@@ -2542,5 +2686,127 @@ mod tests {
             let input = vec![c64::ZERO; p.per_rank()];
             fft.forward(comm, &input);
         });
+    }
+
+    #[test]
+    fn cancel_gate_decides_once_then_rearms() {
+        let gate = CancelGate::new();
+        assert!(
+            gate.proceed_at(CancelGate::BOUNDARY_GHOST),
+            "fresh gate proceeds"
+        );
+        gate.cancel();
+        assert!(
+            gate.proceed_at(CancelGate::BOUNDARY_GHOST),
+            "a decided boundary must not flip, even after cancel"
+        );
+        assert!(
+            !gate.proceed_at(CancelGate::BOUNDARY_ALL_TO_ALL),
+            "undecided boundary observes the cancel"
+        );
+        gate.reset();
+        assert!(!gate.is_cancelled());
+        assert!(
+            gate.proceed_at(CancelGate::BOUNDARY_ALL_TO_ALL),
+            "reset re-arms"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_gate_sheds_before_any_collective() {
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        let gate = CancelGate::new();
+        gate.cancel();
+        Cluster::run(p.procs, |comm| {
+            let mut ws = fft.make_workspace();
+            let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+            let policy = soifft_cluster::ExchangePolicy::default();
+            let err = fft
+                .try_forward_into_cancellable(
+                    comm,
+                    &inputs[comm.rank()],
+                    &policy,
+                    &gate,
+                    &mut ws,
+                    &mut y,
+                )
+                .expect_err("pre-cancelled run must shed");
+            assert_eq!(err.phase, phases::GHOST);
+            assert!(
+                matches!(err.error, CommError::Cancelled { phase: "ghost" }),
+                "{:?}",
+                err.error
+            );
+            // Shed *before* execution: no ghost exchange was recorded.
+            assert_eq!(err.stats.count_of("ghost"), 0);
+        });
+        // The same gate, re-armed, runs to completion with correct output.
+        gate.reset();
+        let outputs = Cluster::run(p.procs, |comm| {
+            let mut ws = fft.make_workspace();
+            let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+            let policy = soifft_cluster::ExchangePolicy::default();
+            fft.try_forward_into_cancellable(
+                comm,
+                &inputs[comm.rank()],
+                &policy,
+                &gate,
+                &mut ws,
+                &mut y,
+            )
+            .expect("re-armed gate runs clean");
+            y
+        });
+        let err = rel_l2(&gather_output(outputs), &reference_fft(&x));
+        assert!(err < 1e-7, "err={err:.3e}");
+    }
+
+    #[test]
+    fn racing_cancel_keeps_ranks_collectively_consistent() {
+        // A cancel that lands while ranks are mid-superstep must never
+        // diverge the collective: either every rank sheds at the same
+        // boundary, or every rank completes. Race a rank-local cancel
+        // against the pipeline across several trials.
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap();
+        for trial in 0..6u64 {
+            let gate = CancelGate::new();
+            let phases_seen = Cluster::run(p.procs, |comm| {
+                if comm.rank() == (trial as usize) % p.procs {
+                    gate.cancel();
+                }
+                let mut ws = fft.make_workspace();
+                let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+                let policy = soifft_cluster::ExchangePolicy::default();
+                match fft.try_forward_into_cancellable(
+                    comm,
+                    &inputs[comm.rank()],
+                    &policy,
+                    &gate,
+                    &mut ws,
+                    &mut y,
+                ) {
+                    Ok(()) => None,
+                    Err(e) => {
+                        assert!(
+                            matches!(e.error, CommError::Cancelled { .. }),
+                            "{:?}",
+                            e.error
+                        );
+                        Some(e.phase)
+                    }
+                }
+            });
+            let first = &phases_seen[0];
+            assert!(
+                phases_seen.iter().all(|o| o == first),
+                "trial {trial}: ranks diverged: {phases_seen:?}"
+            );
+        }
     }
 }

@@ -254,7 +254,15 @@ impl DistributedCtFft {
 
         // Step 6: final all-to-all transpose (n1×n2 → n2×n1): output rows
         // are d-major, i.e. natural order y[d·n1 + c].
-        transpose_pooled(comm, &ws.rows, n1, n2, &mut ws.outgoing, &mut ws.incoming, y);
+        transpose_pooled(
+            comm,
+            &ws.rows,
+            n1,
+            n2,
+            &mut ws.outgoing,
+            &mut ws.incoming,
+            y,
+        );
         comm.stats_mut().span_close("superstep");
     }
 
@@ -608,7 +616,13 @@ fn unpack_transpose(p: usize, incoming: &[Vec<c64>], rows: usize, cols: usize) -
 
 /// [`unpack_transpose`] into a caller-owned slice (every element is
 /// written, so stale contents are fine).
-fn unpack_transpose_into(p: usize, incoming: &[Vec<c64>], rows: usize, cols: usize, out: &mut [c64]) {
+fn unpack_transpose_into(
+    p: usize,
+    incoming: &[Vec<c64>],
+    rows: usize,
+    cols: usize,
+    out: &mut [c64],
+) {
     let my_rows = rows / p;
     let out_rows = cols / p;
     debug_assert_eq!(out.len(), out_rows * rows);

@@ -509,6 +509,48 @@ impl ScalingPoint {
     }
 }
 
+/// A sweep lookup that could not be satisfied — typed, so planning code
+/// consuming a sweep (report generators, calibration fits, serving-layer
+/// capacity estimates) degrades to an explicit error instead of aborting
+/// on a malformed or truncated point set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// No [`ScalingPoint`] for the requested node count.
+    MissingPoint {
+        /// The node count that was asked for.
+        nodes: u32,
+        /// Node counts actually present, in sweep order.
+        available: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::MissingPoint { nodes, available } => {
+                write!(
+                    f,
+                    "no scaling point for {nodes} nodes (sweep has {available:?})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Looks up the sweep row for `nodes`, with a typed miss.
+pub fn scaling_point(points: &[ScalingPoint], nodes: u32) -> Result<&ScalingPoint, SweepError> {
+    points
+        .iter()
+        .find(|s| s.nodes == nodes)
+        .ok_or_else(|| SweepError::MissingPoint {
+            nodes,
+            available: points.iter().map(|s| s.nodes).collect(),
+        })
+}
+
 /// Weak-scaling sweep: `per_node_n` points per node over each node count
 /// (paper: 2²⁷ per node, 4–512 nodes).
 pub fn weak_scaling(node_counts: &[u32], per_node_n: f64) -> Vec<ScalingPoint> {
@@ -581,16 +623,21 @@ mod tests {
 
     /// §6.1 headline numbers, reproduced by the calibrated model.
     #[test]
-    fn fig8_headlines() {
+    fn fig8_headlines() -> Result<(), SweepError> {
         let per_node = (1u64 << 27) as f64;
         let points = weak_scaling(&[4, 8, 16, 32, 64, 128, 256, 512], per_node);
-        let at = |p: u32| points.iter().find(|s| s.nodes == p).unwrap();
+        let at = |p: u32| scaling_point(&points, p);
 
+        // A node count outside the sweep is a typed miss, not a panic.
+        assert!(matches!(
+            at(1024),
+            Err(SweepError::MissingPoint { nodes: 1024, .. })
+        ));
         // 6.7 TFLOPS at 512 Phi nodes (calibration target).
-        assert!(close(at(512).soi_phi, 6.7, 0.15), "{}", at(512).soi_phi);
+        assert!(close(at(512)?.soi_phi, 6.7, 0.15), "{}", at(512)?.soi_phi);
         // Tera-flop mark broken at 64 nodes.
-        assert!(at(64).soi_phi > 1.0, "{}", at(64).soi_phi);
-        assert!(at(32).soi_phi < 1.0, "{}", at(32).soi_phi);
+        assert!(at(64)?.soi_phi > 1.0, "{}", at(64)?.soi_phi);
+        assert!(at(32)?.soi_phi < 1.0, "{}", at(32)?.soi_phi);
         // SOI speedup from Phi is 1.5–2.0× across the sweep; CT's is ~1.1×.
         for pt in &points {
             assert!(
@@ -612,10 +659,11 @@ mod tests {
 
         // ~5× per-node advantage over the K computer's 206 TFLOPS/81944
         // nodes HPCC G-FFT record.
-        let per_node_tflops = at(512).soi_phi / 512.0;
+        let per_node_tflops = at(512)?.soi_phi / 512.0;
         let k_computer = 206.0 / 81944.0;
         let ratio = per_node_tflops / k_computer;
         assert!(ratio > 4.0 && ratio < 6.5, "per-node ratio {ratio}");
+        Ok(())
     }
 
     /// §7: offload mode ~25 % slower than symmetric at 32 nodes.

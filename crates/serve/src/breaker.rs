@@ -1,0 +1,263 @@
+//! Circuit breaker: trip to a degraded mode after repeated crash/SDC
+//! escalations, probe half-open, close on sustained success.
+//!
+//! Like [`Admission`](crate::admission::Admission), the breaker is a pure
+//! state machine over an explicit clock so tests can walk it through
+//! transitions deterministically.
+
+use std::time::{Duration, Instant};
+
+/// What the engine does with new work while the breaker is open.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Reject new submissions with
+    /// [`Rejected::Unavailable`](crate::Rejected::Unavailable) until the
+    /// cooldown elapses (classic fail-fast).
+    #[default]
+    RejectNew,
+    /// Keep serving, but run batches with
+    /// [`ValidationPolicy::Off`](soifft_core::ValidationPolicy::Off) —
+    /// shedding the ABFT invariant checks buys headroom and sidesteps a
+    /// pathological validation layer, at the cost of SDC coverage. The
+    /// paper's throughput mode (§5.3) with the PR 5 defenses turned off.
+    ValidationOff,
+}
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive escalations (rank deaths, silent-corruption failures)
+    /// that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing half-open.
+    pub cooldown: Duration,
+    /// Successful half-open probes required to close again.
+    pub half_open_probes: u32,
+    /// Behaviour while open.
+    pub degraded: DegradedMode,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            half_open_probes: 1,
+            degraded: DegradedMode::RejectNew,
+        }
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all work admitted normally.
+    Closed,
+    /// Tripped: degraded per [`DegradedMode`] until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: admitting probe work; the next outcome decides.
+    HalfOpen,
+}
+
+/// Admission-time verdict from [`CircuitBreaker::admit`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BreakerVerdict {
+    /// Admit and serve normally.
+    Admit,
+    /// Admit, but run without compute-side validation
+    /// ([`DegradedMode::ValidationOff`]).
+    AdmitDegraded,
+    /// Reject; retry after roughly this long.
+    Reject(Duration),
+}
+
+/// Crash/SDC-escalation circuit breaker (see module docs).
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probes_ok: u32,
+    opened_at: Option<Instant>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        assert!(cfg.failure_threshold >= 1, "threshold must be positive");
+        assert!(cfg.half_open_probes >= 1, "need at least one probe");
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probes_ok: 0,
+            opened_at: None,
+        }
+    }
+
+    /// Current state, advancing Open → HalfOpen if the cooldown elapsed.
+    pub fn state(&mut self, now: Instant) -> BreakerState {
+        self.poll(now);
+        self.state
+    }
+
+    /// Admission-time decision for one new job.
+    pub fn admit(&mut self, now: Instant) -> BreakerVerdict {
+        self.poll(now);
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => BreakerVerdict::Admit,
+            BreakerState::Open => match self.cfg.degraded {
+                DegradedMode::ValidationOff => BreakerVerdict::AdmitDegraded,
+                DegradedMode::RejectNew => {
+                    let since = self
+                        .opened_at
+                        .map(|at| now.saturating_duration_since(at))
+                        .unwrap_or_default();
+                    BreakerVerdict::Reject(self.cfg.cooldown.saturating_sub(since))
+                }
+            },
+        }
+    }
+
+    /// True when batches should run with validation off
+    /// ([`DegradedMode::ValidationOff`] while open). Half-open batches run
+    /// with validation *on* — they are the probes.
+    pub fn batch_validation_off(&mut self, now: Instant) -> bool {
+        self.poll(now);
+        self.state == BreakerState::Open && self.cfg.degraded == DegradedMode::ValidationOff
+    }
+
+    /// Records a successfully served job.
+    pub fn on_success(&mut self, now: Instant) {
+        self.poll(now);
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probes_ok += 1;
+                if self.probes_ok >= self.cfg.half_open_probes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.probes_ok = 0;
+                    self.opened_at = None;
+                }
+            }
+            // Stale success landing while open (e.g. a validation-off
+            // batch in degraded service): no transition.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records an escalation: a rank death aborting a batch, or a job
+    /// failing on silent data corruption.
+    pub fn on_failure(&mut self, now: Instant) {
+        self.poll(now);
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            // A failed probe re-opens for a full cooldown.
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.probes_ok = 0;
+    }
+
+    fn poll(&mut self, now: Instant) {
+        if self.state == BreakerState::Open {
+            if let Some(at) = self.opened_at {
+                if now.saturating_duration_since(at) >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_ok = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(100),
+            half_open_probes: 2,
+            degraded: DegradedMode::RejectNew,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_and_recloses_after_probes() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg());
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert!(matches!(b.admit(t0), BreakerVerdict::Reject(_)));
+
+        // Cooldown elapses: half-open, probes admitted.
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit(t1), BreakerVerdict::Admit);
+        assert_eq!(b.state(t1), BreakerState::HalfOpen);
+        b.on_success(t1);
+        assert_eq!(b.state(t1), BreakerState::HalfOpen);
+        b.on_success(t1);
+        assert_eq!(b.state(t1), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(t0);
+        b.on_failure(t0);
+        let t1 = t0 + Duration::from_millis(120);
+        assert_eq!(b.state(t1), BreakerState::HalfOpen);
+        b.on_failure(t1);
+        assert_eq!(b.state(t1), BreakerState::Open);
+        // Not half-open again until a fresh cooldown from t1.
+        let t2 = t1 + Duration::from_millis(60);
+        assert_eq!(b.state(t2), BreakerState::Open);
+        let t3 = t1 + Duration::from_millis(120);
+        assert_eq!(b.state(t3), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn validation_off_mode_degrades_instead_of_rejecting() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            degraded: DegradedMode::ValidationOff,
+            ..cfg()
+        });
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.admit(t0), BreakerVerdict::AdmitDegraded);
+        assert!(b.batch_validation_off(t0));
+        // Half-open probes run validated.
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(!b.batch_validation_off(t1));
+        assert_eq!(b.admit(t1), BreakerVerdict::Admit);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(t0);
+        b.on_success(t0);
+        b.on_failure(t0);
+        // 1 failure + reset + 1 failure: still closed under threshold 2.
+        assert_eq!(b.state(t0), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,339 @@
+//! Job lifecycle types: typed rejection and failure surfaces, plus the
+//! engine-internal pooled job slot.
+//!
+//! A submission is either **rejected** at the front door (typed
+//! [`Rejected`], nothing was queued) or **admitted** into a pooled
+//! [`JobSlot`] lease that ends in exactly one [`Result`]: the transform
+//! output, or a typed [`JobError`]. Slots are preallocated at engine
+//! start and recycled through a free list, so the warm submit → serve →
+//! collect loop never touches the allocator.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use soifft_cluster::CommError;
+use soifft_core::CancelGate;
+use soifft_num::c64;
+
+/// Why a submission was refused at the front door (nothing was queued;
+/// the caller may back off and retry).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Rejected {
+    /// The tenant's admission queue is at capacity (backpressure).
+    QueueFull {
+        /// The submitting tenant.
+        tenant: usize,
+        /// The per-tenant queue bound in force.
+        capacity: usize,
+    },
+    /// The tenant's token bucket is empty.
+    RateLimited {
+        /// The submitting tenant.
+        tenant: usize,
+        /// Time until one token accumulates.
+        retry_after: Duration,
+    },
+    /// The requested deadline cannot be met given the current backlog and
+    /// the engine's execution-time estimate — shed *now*, before queueing,
+    /// rather than burning a slot on a job that will miss.
+    DeadlineInfeasible {
+        /// The deadline the caller asked for.
+        deadline: Duration,
+        /// The engine's completion estimate (queue wait + execution).
+        estimated: Duration,
+    },
+    /// Input length does not match the engine's planned transform size.
+    InvalidInput {
+        /// The planned `N`.
+        expected: usize,
+        /// The submitted length.
+        got: usize,
+    },
+    /// Tenant id out of range.
+    UnknownTenant {
+        /// The offending id.
+        tenant: usize,
+    },
+    /// The engine is draining toward shutdown; no new work.
+    Draining,
+    /// The engine cannot take work: the circuit breaker is open in
+    /// [`DegradedMode::RejectNew`](crate::DegradedMode::RejectNew), or the
+    /// cluster is gone (restart budget exhausted).
+    Unavailable {
+        /// Suggested backoff, when the condition is expected to clear
+        /// (breaker cooldown); `None` when the engine is down for good.
+        retry_after: Option<Duration>,
+    },
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { tenant, capacity } => {
+                write!(f, "tenant {tenant} queue full (capacity {capacity})")
+            }
+            Rejected::RateLimited {
+                tenant,
+                retry_after,
+            } => write!(
+                f,
+                "tenant {tenant} rate limited; retry in {:.1} ms",
+                retry_after.as_secs_f64() * 1e3
+            ),
+            Rejected::DeadlineInfeasible {
+                deadline,
+                estimated,
+            } => write!(
+                f,
+                "deadline {:.1} ms infeasible (estimated completion {:.1} ms)",
+                deadline.as_secs_f64() * 1e3,
+                estimated.as_secs_f64() * 1e3
+            ),
+            Rejected::InvalidInput { expected, got } => {
+                write!(f, "input length {got} != planned transform size {expected}")
+            }
+            Rejected::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
+            Rejected::Draining => write!(f, "engine draining; not accepting work"),
+            Rejected::Unavailable { retry_after: None } => write!(f, "engine unavailable"),
+            Rejected::Unavailable {
+                retry_after: Some(d),
+            } => write!(
+                f,
+                "engine unavailable; retry in {:.1} ms",
+                d.as_secs_f64() * 1e3
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Where an admitted job was shed on deadline expiry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedPoint {
+    /// Expired while still queued: dispatched straight to a typed error,
+    /// never touched the ranks.
+    Queue,
+    /// Expired in flight: cancelled cooperatively at the next collective
+    /// boundary (ghost exchange or all-to-all) without tearing the
+    /// collective, or completed after its deadline and was discarded.
+    InFlight,
+}
+
+/// How an admitted job failed (the other arm is the transform output).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum JobError {
+    /// The deadline expired before a result could be delivered.
+    DeadlineExpired {
+        /// Where the job was shed.
+        shed_at: ShedPoint,
+    },
+    /// Transient communication faults (timeouts, checksum failures)
+    /// persisted through the whole jittered-backoff retry budget.
+    RetriesExhausted {
+        /// Attempts made (initial + retries).
+        attempts: u32,
+        /// The final attempt's failure.
+        last: CommError,
+    },
+    /// A permanent, job-scoped failure (e.g. silent data corruption that
+    /// validation could not repair). The batch continued past this job.
+    Failed {
+        /// Pipeline phase that failed.
+        phase: &'static str,
+        /// The underlying failure.
+        error: CommError,
+    },
+    /// A rank died while this job was in flight; the epoch was aborted
+    /// and the supervisor is (or was) respawning. Queued jobs are *not*
+    /// affected — only in-flight ones fail this way.
+    RankFailure,
+    /// The engine shut down (drain, or restart budget exhausted) before
+    /// this job could complete.
+    EngineDown,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::DeadlineExpired { shed_at } => write!(
+                f,
+                "deadline expired; job shed {}",
+                match shed_at {
+                    ShedPoint::Queue => "in queue",
+                    ShedPoint::InFlight => "in flight",
+                }
+            ),
+            JobError::RetriesExhausted { attempts, last } => {
+                write!(f, "transient faults outlasted {attempts} attempts: {last}")
+            }
+            JobError::Failed { phase, error } => {
+                write!(f, "failed permanently in phase {phase:?}: {error}")
+            }
+            JobError::RankFailure => write!(f, "a rank died while the job was in flight"),
+            JobError::EngineDown => write!(f, "engine shut down before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Sentinel for "no deadline" in [`JobSlot::deadline_ns`].
+pub(crate) const NO_DEADLINE: u64 = u64::MAX;
+
+/// Severity lattice for the per-job cross-rank outcome merge. Each rank
+/// `fetch_max`es its attempt outcome into the slot; after the post-attempt
+/// barrier every rank reads the same maximum and computes the same
+/// decision (retry / finalize) with no further communication.
+pub(crate) const SEV_OK: u8 = 0;
+pub(crate) const SEV_CANCELLED: u8 = 1;
+pub(crate) const SEV_TRANSIENT: u8 = 2;
+pub(crate) const SEV_PERMANENT: u8 = 3;
+pub(crate) const SEV_FATAL: u8 = 4;
+
+/// Details of the highest-severity failure any rank saw this attempt.
+#[derive(Clone, Debug)]
+pub(crate) struct FailDetail {
+    pub sev: u8,
+    pub phase: &'static str,
+    pub error: CommError,
+}
+
+/// A job's position in its lease lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Stage {
+    /// In the free pool; no lease.
+    Free,
+    /// Admitted, waiting for dispatch.
+    Queued,
+    /// Dispatched to the ranks.
+    InFlight,
+    /// Finalized; result waiting for the client.
+    Done,
+}
+
+/// Client-visible slot state, under one mutex with the completion
+/// condvar.
+#[derive(Debug)]
+pub(crate) struct SlotState {
+    pub stage: Stage,
+    pub result: Option<Result<(), JobError>>,
+    /// The ticket was dropped without waiting: whoever finalizes recycles.
+    pub abandoned: bool,
+}
+
+/// One pooled job: preallocated input/output buffers plus the cross-rank
+/// merge protocol state. All buffers are sized at engine start; a lease
+/// writes them in place.
+#[derive(Debug)]
+pub(crate) struct JobSlot {
+    /// Submitting tenant (valid while leased).
+    pub tenant: AtomicUsize,
+    /// Absolute deadline in nanoseconds since the engine origin
+    /// ([`NO_DEADLINE`] = none).
+    pub deadline_ns: AtomicU64,
+    /// Admission time in nanoseconds since the engine origin.
+    pub enqueued_ns: AtomicU64,
+    /// Cooperative cancellation gate threaded through
+    /// `SoiFft::try_forward_into_cancellable`.
+    pub gate: CancelGate,
+    /// Attempt-parity-indexed severity merge cells (`attempt % 2`): while
+    /// attempt `k` merges into cell `k % 2`, the dispatcher pre-clears
+    /// cell `(k + 1) % 2`, so a retry needs no extra rendezvous.
+    pub severity: [AtomicU8; 2],
+    /// Failure details for the severity cells, same parity scheme.
+    pub detail: [Mutex<Option<FailDetail>>; 2],
+    /// Finalize-once guard: the first finalizer (dispatcher, epoch
+    /// recovery, or engine teardown) wins; everyone else no-ops.
+    pub finalized: AtomicBool,
+    /// Full-length input (capacity `n`); ranks read disjoint windows.
+    pub input: RwLock<Vec<c64>>,
+    /// Per-rank output parts (capacity `output_len(rank)` each).
+    pub parts: Vec<Mutex<Vec<c64>>>,
+    /// Lifecycle stage + result, guarded for the client rendezvous.
+    pub state: Mutex<SlotState>,
+    /// Signalled when the slot reaches [`Stage::Done`].
+    pub done_cv: Condvar,
+}
+
+impl JobSlot {
+    /// A free slot with buffers pre-sized for transform length `n` over
+    /// per-rank output lengths `out_lens`.
+    pub fn new(n: usize, out_lens: &[usize]) -> Self {
+        JobSlot {
+            tenant: AtomicUsize::new(0),
+            deadline_ns: AtomicU64::new(NO_DEADLINE),
+            enqueued_ns: AtomicU64::new(0),
+            gate: CancelGate::new(),
+            severity: [AtomicU8::new(SEV_OK), AtomicU8::new(SEV_OK)],
+            detail: [Mutex::new(None), Mutex::new(None)],
+            finalized: AtomicBool::new(false),
+            input: RwLock::new(Vec::with_capacity(n)),
+            parts: out_lens
+                .iter()
+                .map(|&len| Mutex::new(Vec::with_capacity(len)))
+                .collect(),
+            state: Mutex::new(SlotState {
+                stage: Stage::Free,
+                result: None,
+                abandoned: false,
+            }),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+/// Classifies a failed attempt for the severity merge.
+pub(crate) fn classify(error: &CommError) -> u8 {
+    match error {
+        CommError::Cancelled { .. } => SEV_CANCELLED,
+        e if e.is_transient() => SEV_TRANSIENT,
+        CommError::PeerFailed { .. } | CommError::Shutdown => SEV_FATAL,
+        _ => SEV_PERMANENT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_the_severity_lattice() {
+        assert_eq!(
+            classify(&CommError::Cancelled { phase: "ghost" }),
+            SEV_CANCELLED
+        );
+        assert_eq!(classify(&CommError::Timeout), SEV_TRANSIENT);
+        assert_eq!(
+            classify(&CommError::ChecksumMismatch { src: 0, tag: 1 }),
+            SEV_TRANSIENT
+        );
+        assert_eq!(classify(&CommError::PeerFailed { rank: 1 }), SEV_FATAL);
+        assert_eq!(classify(&CommError::Shutdown), SEV_FATAL);
+        assert_eq!(
+            classify(&CommError::SilentCorruption {
+                rank: 0,
+                segment: None
+            }),
+            SEV_PERMANENT
+        );
+    }
+
+    #[test]
+    fn rejections_render_their_cause() {
+        let r = Rejected::QueueFull {
+            tenant: 3,
+            capacity: 8,
+        };
+        assert!(r.to_string().contains("tenant 3"));
+        let r = Rejected::DeadlineInfeasible {
+            deadline: Duration::from_millis(5),
+            estimated: Duration::from_millis(20),
+        };
+        assert!(r.to_string().contains("infeasible"));
+    }
+}

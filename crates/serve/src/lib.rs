@@ -1,0 +1,69 @@
+//! Overload-safe serving front end for the distributed SOI FFT.
+//!
+//! The lower layers of this workspace answer *"how do we run one
+//! tera-scale transform fast and survive faults?"* (`soifft-core`,
+//! `soifft-cluster`). This crate answers the operational question that
+//! follows: *"how does a long-lived FFT service behave when offered more
+//! work than it can do?"* The paper's throughput mode (§5.3) keeps the
+//! pipeline busy with back-to-back transforms; a real deployment of that
+//! mode needs a front door.
+//!
+//! [`ServeEngine`] is that front door. It owns a persistent supervised
+//! cluster and exposes `submit(tenant, input, deadline) -> JobTicket`.
+//! Under overload it degrades *predictably* instead of collapsing:
+//!
+//! * **Bounded admission** — per-tenant queues with a hard capacity and
+//!   optional token-bucket rate limits ([`Admission`]); every refusal is
+//!   a typed [`Rejected`] telling the caller why and when to retry.
+//! * **Deadlines end-to-end** — infeasible deadlines are refused at
+//!   submit; expired queued jobs are shed without touching the ranks;
+//!   in-flight jobs are cancelled cooperatively at collective boundaries
+//!   ([`soifft_core::CancelGate`]); and a job that finishes *late* is
+//!   discarded, never delivered as a success.
+//! * **Fair sharing** — round-robin dispatch across tenants, so one
+//!   flooding tenant cannot starve the others (its queue bound fills
+//!   first).
+//! * **Retry with a budget** — transient communication faults retry with
+//!   deterministic jittered exponential backoff, identical on every rank.
+//! * **Graceful degradation** — repeated rank deaths or silent-corruption
+//!   failures trip a [`CircuitBreaker`]; the engine either fails fast
+//!   ([`DegradedMode::RejectNew`]) or keeps serving with ABFT validation
+//!   shed ([`DegradedMode::ValidationOff`]), probing half-open until
+//!   healthy.
+//! * **Typed endings, always** — every admitted job resolves to exactly
+//!   one `Result`: output, or a [`JobError`] saying what happened
+//!   (deadline, retries exhausted, corruption, rank death, shutdown).
+//!
+//! The warm serve loop is allocation-clean to the same bounded standard
+//! as the underlying resilient transform: job slots, queues, and outputs
+//! are pooled at engine start and recycled through a free list.
+//!
+//! ```
+//! use soifft_core::{Rational, SoiParams};
+//! use soifft_serve::{ServeConfig, ServeEngine};
+//!
+//! let params = SoiParams {
+//!     n: 1 << 10,
+//!     procs: 2,
+//!     segments_per_proc: 2,
+//!     mu: Rational::new(2, 1),
+//!     conv_width: 16,
+//! };
+//! let engine = ServeEngine::start(params, ServeConfig::default()).unwrap();
+//! let input = vec![soifft_num::c64::new(1.0, 0.0); engine.transform_len()];
+//! let ticket = engine.submit(0, &input, None).unwrap();
+//! let spectrum = ticket.wait().unwrap();
+//! assert_eq!(spectrum.len(), input.len());
+//! let report = engine.shutdown();
+//! assert_eq!(report.stats.completed, 1);
+//! ```
+
+mod admission;
+mod breaker;
+mod engine;
+mod job;
+
+pub use admission::{Admission, RateLimit, TokenBucket};
+pub use breaker::{BreakerConfig, BreakerState, BreakerVerdict, CircuitBreaker, DegradedMode};
+pub use engine::{JobTicket, RetryConfig, ServeConfig, ServeEngine, ServeReport, ServeStats};
+pub use job::{JobError, Rejected, ShedPoint};

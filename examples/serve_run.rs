@@ -1,0 +1,292 @@
+//! Serving run: the overload-safe front end under normal load, burst
+//! overload, deadlines, a rank crash, and a tripped circuit breaker.
+//!
+//! ```sh
+//! cargo run --release --example serve_run
+//! ```
+//!
+//! Scenario 1 serves a multi-tenant batch with deadlines: every job
+//! completes within its deadline and the spectra verify against a
+//! single-process reference FFT.
+//!
+//! Scenario 2 floods a deliberately tiny engine: excess submissions get
+//! typed `Rejected::{QueueFull, RateLimited}` answers immediately — the
+//! queue is bounded, so overload sheds at the front door instead of
+//! buffering without limit.
+//!
+//! Scenario 3 submits a job whose deadline has already passed: it is
+//! shed *before* execution with `JobError::DeadlineExpired` — the
+//! engine never spends cluster time on an answer nobody can use.
+//!
+//! Scenario 4 crashes a rank mid-batch: in-flight jobs fail with the
+//! typed `JobError::RankFailure`, the supervisor respawns the rank, and
+//! the jobs still queued complete correctly after recovery.
+//!
+//! Scenario 5 crashes the same rank three times: the circuit breaker
+//! trips open (new submissions get `Rejected::Unavailable` with a retry
+//! hint), then — after the cooldown — a half-open probe serves cleanly
+//! and the breaker closes again.
+
+use std::time::Duration;
+
+use soifft::cluster::{ClusterConfig, CrashSite, ExchangePolicy, FaultPlan, RestartPolicy};
+use soifft::fft::Plan;
+use soifft::num::c64;
+use soifft::num::error::rel_l2;
+use soifft::serve::{
+    BreakerConfig, BreakerState, JobError, RateLimit, Rejected, ServeConfig, ServeEngine,
+};
+use soifft::soi::{Rational, SoiParams};
+
+fn main() {
+    let procs = 4;
+    let params = SoiParams {
+        n: 1 << 10,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 16,
+    };
+    let n = params.n;
+    let x: Vec<c64> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            c64::new((0.06 * t).sin() + 0.1, 0.3 * (0.017 * t).cos())
+        })
+        .collect();
+    let mut reference = x.clone();
+    Plan::new(n).forward(&mut reference);
+    let exchange = ExchangePolicy {
+        deadline: Duration::from_secs(2),
+        ..ExchangePolicy::default()
+    };
+
+    // --- scenario 1: normal multi-tenant service with deadlines -----------
+    println!("scenario 1: 2 tenants, 6 jobs, 1 s deadlines, N = {n}, P = {procs}");
+    let engine = ServeEngine::start(
+        params,
+        ServeConfig {
+            tenants: 2,
+            queue_capacity: 8,
+            max_batch: 2,
+            exchange,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid SOI parameters");
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            engine
+                .submit(i % 2, &x, Some(Duration::from_secs(1)))
+                .expect("admitted")
+        })
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let spectrum = t.wait().expect("served within deadline");
+        let err = rel_l2(&spectrum, &reference);
+        assert!(err < 1e-9);
+        println!("  job {i} (tenant {}): verified, rel_l2 = {err:.3e}", i % 2);
+    }
+    let report = engine.shutdown();
+    assert!(report.clean);
+    println!(
+        "  drained clean: {} completed, {} rejected\n",
+        report.stats.completed, report.stats.rejected
+    );
+
+    // --- scenario 2: burst overload sheds at the front door ---------------
+    println!("scenario 2: burst of 40 against queue bound 2 + rate limit (burst 3)");
+    let tiny = ServeEngine::start(
+        params,
+        ServeConfig {
+            tenants: 1,
+            queue_capacity: 2,
+            max_batch: 1,
+            rate_limit: Some(RateLimit {
+                rate_per_s: 0.5,
+                burst: 3.0,
+            }),
+            exchange,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid SOI parameters");
+    let mut admitted = Vec::new();
+    let (mut queue_full, mut rate_limited) = (0u32, 0u32);
+    for _ in 0..40 {
+        match tiny.submit(0, &x, None) {
+            Ok(t) => admitted.push(t),
+            Err(Rejected::QueueFull { .. }) => queue_full += 1,
+            Err(Rejected::RateLimited { retry_after, .. }) => {
+                assert!(retry_after > Duration::ZERO, "honest retry hint");
+                rate_limited += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    let mut served = admitted.len();
+    for t in admitted {
+        t.wait().expect("admitted jobs complete");
+    }
+    println!(
+        "  burst A: {served} admitted (all served), {queue_full} QueueFull, \
+         {rate_limited} RateLimited"
+    );
+    assert_eq!(served as u32 + queue_full + rate_limited, 40);
+    assert!(
+        queue_full > 0,
+        "a burst of 40 against a queue of 2 must shed"
+    );
+    // Burst B arrives with the queue idle but the token bucket drained
+    // (0.5 tokens/s refill): the limiter answers, not the queue.
+    let (mut admitted_b, mut rate_limited_b) = (0u32, 0u32);
+    for _ in 0..10 {
+        match tiny.submit(0, &x, None) {
+            Ok(t) => {
+                admitted_b += 1;
+                t.wait().expect("admitted jobs complete");
+            }
+            Err(Rejected::RateLimited { retry_after, .. }) => {
+                assert!(retry_after > Duration::ZERO, "honest retry hint");
+                rate_limited_b += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    served += admitted_b as usize;
+    println!("  burst B: {admitted_b} admitted, {rate_limited_b} RateLimited (bucket empty)");
+    assert!(
+        rate_limited_b >= 9,
+        "the drained bucket must answer burst B"
+    );
+    let report = tiny.shutdown();
+    assert_eq!(report.stats.completed, served as u64);
+    println!("  conservation holds: every submission got exactly one typed answer\n");
+
+    // --- scenario 3: expired deadline is shed before execution ------------
+    println!("scenario 3: a job submitted with an already-expired deadline");
+    let engine = ServeEngine::start(
+        params,
+        ServeConfig {
+            exchange,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid SOI parameters");
+    let shed = engine
+        .submit(0, &x, Some(Duration::ZERO))
+        .expect("admission cannot see the future")
+        .wait();
+    match shed {
+        Err(JobError::DeadlineExpired { shed_at }) => {
+            println!("  typed shed: DeadlineExpired at {shed_at:?} — never dispatched")
+        }
+        other => panic!("expected a deadline shed, got {other:?}"),
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.stats.shed_queue, 1);
+    println!(
+        "  stats record the shed: shed_queue = {}\n",
+        report.stats.shed_queue
+    );
+
+    // --- scenario 4: rank crash mid-batch, queued jobs survive ------------
+    println!("scenario 4: rank 1 crashes in the all-to-all mid-batch (seed 61)");
+    let engine = ServeEngine::start(
+        params,
+        ServeConfig {
+            tenants: 2,
+            queue_capacity: 8,
+            max_batch: 2,
+            exchange,
+            cluster: ClusterConfig::with_faults(FaultPlan::new(61).crash(1, CrashSite::AllToAll)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid SOI parameters");
+    let tickets: Vec<_> = (0..6)
+        .map(|i| engine.submit(i % 2, &x, None).expect("admitted"))
+        .collect();
+    let (mut completed, mut rank_failures) = (0u32, 0u32);
+    for (i, t) in tickets.into_iter().enumerate() {
+        match t.wait() {
+            Ok(spectrum) => {
+                assert!(rel_l2(&spectrum, &reference) < 1e-9);
+                completed += 1;
+                println!("  job {i}: verified after recovery");
+            }
+            Err(JobError::RankFailure) => {
+                rank_failures += 1;
+                println!("  job {i}: typed RankFailure (was in flight when the rank died)");
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(rank_failures >= 1 && completed >= 4);
+    let report = engine.shutdown();
+    assert_eq!(report.restarts, 1);
+    println!("  supervisor respawned once; {completed} completed, {rank_failures} failed typed\n");
+
+    // --- scenario 5: breaker trips open, then recovers half-open ----------
+    println!("scenario 5: three crashes trip the breaker; cooldown, probe, recover");
+    let engine = ServeEngine::start(
+        params,
+        ServeConfig {
+            tenants: 1,
+            queue_capacity: 8,
+            max_batch: 1,
+            exchange,
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(300),
+                ..BreakerConfig::default()
+            },
+            restart: RestartPolicy {
+                max_restarts: 4,
+                ..RestartPolicy::default()
+            },
+            cluster: ClusterConfig::with_faults(FaultPlan::new(62).crash_times(
+                1,
+                CrashSite::AllToAll,
+                3,
+            )),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid SOI parameters");
+    for k in 0..3 {
+        let err = engine
+            .submit(0, &x, None)
+            .expect("admitted while breaker closed")
+            .wait()
+            .expect_err("the planned crash kills this batch");
+        assert!(matches!(err, JobError::RankFailure));
+        println!("  crash {}: {err}", k + 1);
+    }
+    assert_eq!(engine.breaker_state(), BreakerState::Open);
+    match engine.submit(0, &x, None) {
+        Err(Rejected::Unavailable { retry_after }) => {
+            println!("  breaker OPEN: new work rejected, retry_after = {retry_after:?}")
+        }
+        other => panic!("expected Unavailable, got {:?}", other.map(|_| ())),
+    }
+    std::thread::sleep(Duration::from_millis(350));
+    let spectrum = engine
+        .submit(0, &x, None)
+        .expect("half-open admits a probe")
+        .wait()
+        .expect("the probe serves cleanly");
+    assert!(rel_l2(&spectrum, &reference) < 1e-9);
+    assert_eq!(engine.breaker_state(), BreakerState::Closed);
+    println!("  probe verified; breaker CLOSED — service recovered");
+    let report = engine.shutdown();
+    println!(
+        "  lifetime: {} restarts, {} epoch aborts, {} completed",
+        report.restarts, report.stats.epoch_aborts, report.stats.completed
+    );
+
+    println!(
+        "\nok: bounded queues shed typed, deadlines hold end-to-end, crashes fail only \
+         in-flight work, and the breaker fails fast then heals."
+    );
+}

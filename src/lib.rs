@@ -11,7 +11,9 @@
 //! * [`cluster`] — simulated message-passing cluster runtime,
 //! * [`soi`] — the Segment-of-Interest low-communication FFT itself,
 //! * [`ct`] — the conventional distributed Cooley–Tukey baseline,
-//! * [`model`] — the paper's performance model (sections 4 and 7).
+//! * [`model`] — the paper's performance model (sections 4 and 7),
+//! * [`serve`] — overload-safe multi-tenant serving front end (admission
+//!   control, deadlines, backpressure, graceful degradation).
 //!
 //! ## Quickstart
 //!
@@ -36,3 +38,4 @@ pub use soifft_fft as fft;
 pub use soifft_model as model;
 pub use soifft_num as num;
 pub use soifft_par as par;
+pub use soifft_serve as serve;

@@ -120,7 +120,8 @@ fn forward_into_steady_state_allocates_nothing() {
                 comm.recycle_buffer(drained);
             }
         }
-        comm.stats_mut().reserve_records(MEASURED * RECORDS_PER_CALL);
+        comm.stats_mut()
+            .reserve_records(MEASURED * RECORDS_PER_CALL);
         comm.barrier();
         let calls_before = HEAP_CALLS.load(Ordering::SeqCst);
         for _ in 0..MEASURED {
@@ -165,7 +166,8 @@ fn try_forward_into_steady_state_allocations_are_bounded() {
                 fft.try_forward_into(comm, me, &policy, &mut ws, &mut y)
                     .expect("fault-free run");
             }
-            comm.stats_mut().reserve_records(MEASURED * RECORDS_PER_CALL);
+            comm.stats_mut()
+                .reserve_records(MEASURED * RECORDS_PER_CALL);
             comm.barrier();
             let calls_before = HEAP_CALLS.load(Ordering::SeqCst);
             let bytes_before = HEAP_BYTES.load(Ordering::SeqCst);
@@ -265,8 +267,10 @@ fn forward_many_matches_repeated_forward_bitwise() {
             x
         })
         .collect();
-    let scattered: Vec<Vec<Vec<c64>>> =
-        batch.iter().map(|x| scatter_input(x, params.procs)).collect();
+    let scattered: Vec<Vec<Vec<c64>>> = batch
+        .iter()
+        .map(|x| scatter_input(x, params.procs))
+        .collect();
 
     let per_rank_batches = Cluster::run(params.procs, |comm| {
         let mine: Vec<Vec<c64>> = scattered.iter().map(|s| s[comm.rank()].clone()).collect();
@@ -281,4 +285,67 @@ fn forward_many_matches_repeated_forward_bitwise() {
             "rank {rank}: forward_many diverged bitwise from repeated forward"
         );
     }
+}
+
+/// The warm *serving* loop is held to the same bounded standard as the
+/// resilient transform it wraps: submit → dispatch → execute → collect
+/// recycles pooled job slots and pooled outputs, so per job the engine
+/// adds nothing beyond the resilient collective's own bounded
+/// scaffolding. A regression that copies inputs into fresh buffers,
+/// regrows queues, or leaks per-job result storage blows the budget
+/// immediately.
+#[test]
+fn serve_loop_steady_state_allocations_are_bounded() {
+    use soifft::serve::{ServeConfig, ServeEngine};
+
+    let params = params();
+    let x = signal(params.n);
+    let engine = ServeEngine::start(
+        params,
+        ServeConfig {
+            tenants: 1,
+            queue_capacity: 8,
+            max_batch: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid params");
+
+    // Warm every pool: job slots (input + per-rank parts), admission
+    // queues, the batch board, the communicator pools behind
+    // `try_forward`, and the collect buffer.
+    let mut out = Vec::new();
+    for _ in 0..6 {
+        let ticket = engine.submit(0, &x, None).expect("admitted");
+        ticket.wait_into(&mut out).expect("fault-free serve");
+    }
+
+    let calls_before = HEAP_CALLS.load(Ordering::SeqCst);
+    let bytes_before = HEAP_BYTES.load(Ordering::SeqCst);
+    for _ in 0..MEASURED {
+        let ticket = engine.submit(0, &x, None).expect("admitted");
+        ticket.wait_into(&mut out).expect("fault-free serve");
+    }
+    let calls = HEAP_CALLS.load(Ordering::SeqCst) - calls_before;
+    let bytes = HEAP_BYTES.load(Ordering::SeqCst) - bytes_before;
+
+    // Same per-transform budget as `try_forward_into` above: the serving
+    // layer may not add unbounded per-job work on top of the resilient
+    // collective's own scaffolding. (The window sees *all* engine
+    // threads — dispatcher, ranks, and this client.)
+    let per_job_calls = calls / MEASURED as u64;
+    let per_job_bytes = bytes / MEASURED as u64;
+    assert!(
+        per_job_calls <= 512,
+        "warm serve loop made {per_job_calls} heap calls per job \
+         (cluster-wide); the submit/collect path must recycle its pools"
+    );
+    assert!(
+        per_job_bytes <= 64 * 1024,
+        "warm serve loop allocated {per_job_bytes} bytes per job \
+         (cluster-wide); the submit/collect path must recycle its pools"
+    );
+
+    let report = engine.shutdown();
+    assert_eq!(report.stats.completed, 6 + MEASURED as u64);
 }

@@ -1,0 +1,323 @@
+//! Chaos and overload behaviour of the serving front end.
+//!
+//! The contract under test is DESIGN.md §1g: every admitted job resolves
+//! to exactly one typed answer — a verified spectrum, or a [`JobError`]
+//! naming what went wrong — under rank crashes, floods, deadlines, and
+//! shutdown. Never a hang, never a silent drop, never a *late* success.
+
+use std::time::Duration;
+
+use soifft::cluster::{ClusterConfig, CrashSite, ExchangePolicy, FaultPlan, RestartPolicy};
+use soifft::fft::Plan;
+use soifft::num::c64;
+use soifft::num::error::rel_l2;
+use soifft::serve::{
+    BreakerConfig, BreakerState, DegradedMode, JobError, Rejected, ServeConfig, ServeEngine,
+    ShedPoint,
+};
+use soifft::soi::{Rational, SoiParams};
+
+const PROCS: usize = 4;
+
+fn params() -> SoiParams {
+    SoiParams {
+        n: 1 << 10,
+        procs: PROCS,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 16,
+    }
+}
+
+fn signal(n: usize) -> Vec<c64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            c64::new((0.05 * t).sin() + 0.3, 0.4 * (0.011 * t).cos())
+        })
+        .collect()
+}
+
+fn reference_fft(x: &[c64]) -> Vec<c64> {
+    let mut y = x.to_vec();
+    Plan::new(x.len()).forward(&mut y);
+    y
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        tenants: 2,
+        queue_capacity: 8,
+        max_batch: 2,
+        exchange: ExchangePolicy {
+            deadline: Duration::from_secs(2),
+            ..ExchangePolicy::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// A rank crash mid-batch: in-flight jobs fail with the typed
+/// [`JobError::RankFailure`], queued jobs survive the supervisor respawn
+/// and complete *correctly*, and the whole episode is visible in the
+/// engine's stats.
+#[test]
+fn rank_crash_fails_inflight_jobs_and_queued_jobs_complete() {
+    let p = params();
+    let x = signal(p.n);
+    let want = reference_fft(&x);
+    let plan = FaultPlan::new(61).crash(1, CrashSite::AllToAll);
+    let engine = ServeEngine::start(
+        p,
+        ServeConfig {
+            cluster: ClusterConfig::with_faults(plan),
+            ..config()
+        },
+    )
+    .expect("valid params");
+
+    let tickets: Vec<_> = (0..6)
+        .map(|i| engine.submit(i % 2, &x, None).expect("admitted"))
+        .collect();
+
+    let mut completed = 0u32;
+    let mut rank_failures = 0u32;
+    for t in tickets {
+        match t.wait() {
+            Ok(spectrum) => {
+                assert!(
+                    rel_l2(&spectrum, &want) < 1e-9,
+                    "post-recovery spectrum must verify"
+                );
+                completed += 1;
+            }
+            Err(JobError::RankFailure) => rank_failures += 1,
+            Err(other) => panic!("only RankFailure is acceptable here, got {other}"),
+        }
+    }
+    // The first dispatched batch (1..=max_batch jobs) dies with the rank;
+    // everything still queued completes after the respawn.
+    assert!(rank_failures >= 1, "the crashed batch must fail typed");
+    assert!(rank_failures <= 2, "at most one batch was in flight");
+    assert!(completed >= 4, "queued jobs must survive the crash");
+
+    let report = engine.shutdown();
+    assert_eq!(report.restarts, 1, "one respawn must suffice");
+    assert!(report.clean, "final epoch must drain cleanly");
+    assert_eq!(report.stats.rank_failures, u64::from(rank_failures));
+    assert_eq!(report.stats.completed, u64::from(completed));
+    assert_eq!(report.stats.epoch_aborts, 1);
+}
+
+/// Repeated crashes trip the breaker into fail-fast: new submissions get
+/// [`Rejected::Unavailable`] with a retry hint instead of queueing into a
+/// known-bad cluster.
+#[test]
+fn repeated_crashes_trip_the_breaker_to_reject_new() {
+    let p = params();
+    let x = signal(p.n);
+    let plan = FaultPlan::new(62).crash_times(1, CrashSite::AllToAll, 3);
+    let engine = ServeEngine::start(
+        p,
+        ServeConfig {
+            max_batch: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_secs(30),
+                ..BreakerConfig::default()
+            },
+            restart: RestartPolicy {
+                max_restarts: 4,
+                ..RestartPolicy::default()
+            },
+            cluster: ClusterConfig::with_faults(plan),
+            ..config()
+        },
+    )
+    .expect("valid params");
+
+    // Four jobs: three ride the crashing epochs, the fourth completes in
+    // the first clean one.
+    let tickets: Vec<_> = (0..4)
+        .map(|_| engine.submit(0, &x, None).expect("admitted"))
+        .collect();
+    let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let completed = outcomes.iter().filter(|o| o.is_ok()).count();
+    let rank_failures = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(JobError::RankFailure)))
+        .count();
+    assert_eq!(completed, 1);
+    assert_eq!(rank_failures, 3);
+
+    // Three consecutive epoch aborts reached the threshold: open breaker,
+    // fail-fast admission with a backoff hint.
+    assert_eq!(engine.breaker_state(), BreakerState::Open);
+    match engine.submit(0, &x, None) {
+        Err(Rejected::Unavailable {
+            retry_after: Some(hint),
+        }) => assert!(hint <= Duration::from_secs(30)),
+        other => panic!("expected Unavailable with retry hint, got {other:?}"),
+    }
+
+    let report = engine.shutdown();
+    assert_eq!(report.stats.epoch_aborts, 3);
+    assert_eq!(report.restarts, 3);
+}
+
+/// In [`DegradedMode::ValidationOff`] the tripped breaker keeps serving —
+/// correctly, just without the ABFT validation pass — instead of
+/// rejecting.
+#[test]
+fn validation_off_mode_keeps_serving_when_tripped() {
+    let p = params();
+    let x = signal(p.n);
+    let want = reference_fft(&x);
+    let plan = FaultPlan::new(63).crash_times(1, CrashSite::AllToAll, 2);
+    let engine = ServeEngine::start(
+        p,
+        ServeConfig {
+            max_batch: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(30),
+                degraded: DegradedMode::ValidationOff,
+                ..BreakerConfig::default()
+            },
+            cluster: ClusterConfig::with_faults(plan),
+            ..config()
+        },
+    )
+    .expect("valid params");
+
+    let tickets: Vec<_> = (0..3)
+        .map(|_| engine.submit(0, &x, None).expect("admitted"))
+        .collect();
+    let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    assert_eq!(
+        outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(JobError::RankFailure)))
+            .count(),
+        2
+    );
+    assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 1);
+
+    // Breaker is open, but degraded mode still admits and still serves
+    // numerically correct spectra.
+    assert_eq!(engine.breaker_state(), BreakerState::Open);
+    let spectrum = engine
+        .submit(0, &x, None)
+        .expect("degraded mode admits")
+        .wait()
+        .expect("degraded service still serves");
+    assert!(rel_l2(&spectrum, &want) < 1e-9);
+    engine.shutdown();
+}
+
+/// An already-expired deadline never reaches the ranks: the dispatcher
+/// sheds it from the queue with the typed shed point.
+#[test]
+fn expired_deadline_is_shed_in_queue() {
+    let p = params();
+    let x = signal(p.n);
+    let engine = ServeEngine::start(p, config()).expect("valid params");
+    let ticket = engine
+        .submit(0, &x, Some(Duration::ZERO))
+        .expect("admitted (feasibility needs a first estimate)");
+    assert_eq!(
+        ticket.wait(),
+        Err(JobError::DeadlineExpired {
+            shed_at: ShedPoint::Queue
+        })
+    );
+    let report = engine.shutdown();
+    assert_eq!(report.stats.shed_queue, 1);
+    assert_eq!(report.stats.completed, 0);
+}
+
+/// Flood accounting: every admitted job resolves, every refused one is
+/// typed, and the ledger balances exactly.
+#[test]
+fn flood_conserves_every_job() {
+    let p = params();
+    let x = signal(p.n);
+    let engine = ServeEngine::start(
+        p,
+        ServeConfig {
+            tenants: 3,
+            queue_capacity: 4,
+            max_batch: 2,
+            ..config()
+        },
+    )
+    .expect("valid params");
+
+    let mut tickets = Vec::new();
+    let mut refused = 0u64;
+    for i in 0..60 {
+        match engine.submit(i % 3, &x, Some(Duration::from_secs(20))) {
+            Ok(t) => tickets.push(t),
+            Err(
+                Rejected::QueueFull { .. }
+                | Rejected::RateLimited { .. }
+                | Rejected::DeadlineInfeasible { .. },
+            ) => refused += 1,
+            Err(other) => panic!("unexpected refusal under flood: {other:?}"),
+        }
+    }
+    let admitted = tickets.len() as u64;
+    let mut resolved = 0u64;
+    for t in tickets {
+        // Generous deadline: everything admitted should complete.
+        t.wait().expect("admitted jobs complete within deadline");
+        resolved += 1;
+    }
+    let report = engine.shutdown();
+    assert_eq!(admitted + refused, 60);
+    assert_eq!(resolved, admitted);
+    assert_eq!(report.stats.submitted, admitted);
+    assert_eq!(report.stats.completed + report.stats.unserved(), admitted);
+    assert_eq!(report.stats.rejected, refused);
+}
+
+/// Draining refuses new work but completes what was admitted; the ticket
+/// of a drained-out job still resolves.
+#[test]
+fn drain_refuses_new_work_and_completes_admitted_work() {
+    let p = params();
+    let x = signal(p.n);
+    let want = reference_fft(&x);
+    let engine = ServeEngine::start(p, config()).expect("valid params");
+    let ticket = engine.submit(0, &x, None).expect("admitted");
+    engine.drain();
+    assert!(matches!(
+        engine.submit(0, &x, None),
+        Err(Rejected::Draining)
+    ));
+    let spectrum = ticket.wait().expect("admitted before drain completes");
+    assert!(rel_l2(&spectrum, &want) < 1e-9);
+    let report = engine.shutdown();
+    assert!(report.clean);
+    assert_eq!(report.stats.completed, 1);
+}
+
+/// Submitting the wrong input length is refused before anything queues.
+#[test]
+fn invalid_input_is_refused_at_the_front_door() {
+    let p = params();
+    let engine = ServeEngine::start(p, config()).expect("valid params");
+    let short = vec![c64::ZERO; p.n / 2];
+    match engine.submit(0, &short, None) {
+        Err(Rejected::InvalidInput { expected, got }) => {
+            assert_eq!(expected, p.n);
+            assert_eq!(got, p.n / 2);
+        }
+        other => panic!("expected InvalidInput, got {other:?}"),
+    }
+    match engine.submit(9, &signal(p.n), None) {
+        Err(Rejected::UnknownTenant { tenant: 9 }) => {}
+        other => panic!("expected UnknownTenant, got {other:?}"),
+    }
+    engine.shutdown();
+}

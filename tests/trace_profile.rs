@@ -146,7 +146,8 @@ fn warm_workspace_run_stops_accruing_comm_allocs() {
         };
         assert!(warm > 0, "rank {rank}: cold calls should miss the pool");
         assert_eq!(
-            total, warm,
+            total,
+            warm,
             "rank {rank}: comm_allocs grew by {} across 4 warm calls; the \
              steady-state exchange must recycle every payload",
             total - warm
