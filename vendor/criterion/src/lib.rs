@@ -1,0 +1,235 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! This workspace builds in hermetic environments with no access to a
+//! crates.io registry. The stand-in keeps the bench targets *compiling*
+//! against the familiar criterion surface and, when actually executed
+//! via `cargo bench`, times each body over a small fixed iteration
+//! budget and prints `label: median µs` lines — no statistics engine,
+//! no HTML reports. Under `cargo test` the harnessless bench binaries
+//! run the same way but with a single iteration per body, so test runs
+//! stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Entry point handed to each bench function by [`criterion_main!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Criterion {
+    /// Builds a runner; `CRITERION_STUB_ITERS` overrides the per-body
+    /// iteration budget (default 3; `cargo test` passes through here too,
+    /// so keep it small).
+    pub fn stub_from_env() -> Self {
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
+        Self { iters }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup::new(name.to_string(), self.iters)
+    }
+
+    /// Benchmarks `f` directly under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.iters, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    // Tie to the parent so the surface matches criterion's lifetimes.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub has no sampling engine.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iters, f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), self.iters, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+// BenchmarkGroup is constructed in one place; keep the ctor private
+// but avoid an unused-field trap for the lifetime marker.
+impl BenchmarkGroup<'_> {
+    fn new(name: String, iters: u64) -> Self {
+        Self {
+            name,
+            iters,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+fn run_one<F>(label: &str, iters: u64, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters,
+        elapsed_ns: Vec::new(),
+    };
+    f(&mut b);
+    if let Some(&med) = b.elapsed_ns.get(b.elapsed_ns.len() / 2) {
+        println!("{label}: {:.1} µs/iter", med as f64 / 1e3);
+    }
+}
+
+/// Timer handle passed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration budget, recording
+    /// wall-clock time per iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed_ns.push(t0.elapsed().as_nanos());
+        }
+        self.elapsed_ns.sort_unstable();
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Declared workload size for throughput normalization (unused by the
+/// stub's reporting).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark functions, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups, as
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harnessless bench binary is executed
+            // with `--test`-style flags; a single pass keeps it cheap.
+            if std::env::args().any(|a| a == "--test") {
+                std::env::set_var("CRITERION_STUB_ITERS", "1");
+            }
+            let mut c = $crate::Criterion::stub_from_env();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_bodies() {
+        let mut c = Criterion { iters: 2 };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Elements(1));
+            g.bench_function("direct", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("with", 4), &4u64, |b, &x| {
+                b.iter(|| {
+                    ran += x;
+                    ran
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 8, "2 iters × input 4");
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).label, "9");
+    }
+}

@@ -1,0 +1,645 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! This workspace builds in hermetic environments with no access to a
+//! crates.io registry, so the property-testing surface its test suites
+//! use is re-implemented here as a miniature engine:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_filter`, integer and float
+//!   range strategies, tuples up to arity 6, [`prop::collection::vec`],
+//!   [`prop::sample::select`], and [`any`];
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   plus `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
+//!   `prop_assume!`;
+//! * a deterministic runner: case seeds derive from the test name and
+//!   case index (FNV-1a), so failures reproduce run-to-run. There is no
+//!   shrinking — a failing case reports its seed instead of a minimal
+//!   counterexample.
+//!
+//! Semantics deliberately mirror upstream where the difference would be
+//! observable to this repository's tests: `ProptestConfig::default()`
+//! honours the `PROPTEST_CASES` environment variable while
+//! `with_cases(n)` pins the count explicitly, and `prop_filter`
+//! rejections retry without consuming a case (bounded by a global
+//! reject budget).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Deterministic xoshiro256**-based RNG used by the runner.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds via SplitMix64 expansion of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a generated case was abandoned without counting against the
+/// case budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejection(pub String);
+
+/// Error type threaded out of a property body.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy a precondition (`prop_assume!` or a
+    /// `prop_filter`); retry with fresh inputs.
+    Reject(Rejection),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(Rejection(msg.into()))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {}", r.0),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Strategies: sources of generated values.
+pub mod strategy {
+    use super::{Rejection, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value, or a [`Rejection`] if a filter refused it.
+        fn try_generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred`; `whence` names the
+        /// constraint in reject diagnostics.
+        fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn try_generate(&self, rng: &mut TestRng) -> Result<U, Rejection> {
+            self.inner.try_generate(rng).map(&self.f)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`]. Retries locally a
+    /// few times before surfacing a rejection to the runner.
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn try_generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+            for _ in 0..16 {
+                let v = self.inner.try_generate(rng)?;
+                if (self.pred)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejection(self.whence.clone()))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn try_generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+            Ok(self.0.clone())
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn try_generate(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+            assert!(self.start < self.end, "empty range strategy");
+            Ok(self.start + rng.unit_f64() * (self.end - self.start))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn try_generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    Ok((self.start as i128 + rng.below(span) as i128) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn try_generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    Ok((lo as i128 + rng.below(span) as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn try_generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                    let ($($name,)+) = self;
+                    Ok(($($name.try_generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Types with a canonical whole-domain strategy (the subset of
+    /// upstream `Arbitrary` this workspace uses).
+    pub trait Arbitrary: Sized {
+        /// Draws from the full domain of the type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`](super::any).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn try_generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+            Ok(T::arbitrary(rng))
+        }
+    }
+
+    /// Whole-domain strategy for `T`, as `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Namespaced strategy constructors (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::{Rejection, TestRng};
+        use std::ops::Range;
+
+        /// Element-count specification for [`vec`]: an exact size or a
+        /// half-open range.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn try_generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+                let span = (self.size.hi - self.size.lo) as u128 + 1;
+                let n = self.size.lo + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.try_generate(rng)).collect()
+            }
+        }
+
+        /// `Vec` strategy of `size` elements drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use crate::{Rejection, TestRng};
+
+        /// Strategy returned by [`select`].
+        #[derive(Clone, Debug)]
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn try_generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+                let i = rng.below(self.options.len() as u128) as usize;
+                Ok(self.options[i].clone())
+            }
+        }
+
+        /// Uniform choice among `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Total rejection budget across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Pins the case count explicitly (ignores `PROPTEST_CASES`, as
+    /// upstream does for explicit configs).
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// The case-loop driver used by the expansion of [`proptest!`].
+pub mod runner {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `body` until `config.cases` cases pass, retrying rejected
+    /// cases against a global reject budget. Panics (failing the
+    /// enclosing `#[test]`) on the first failed case, reporting the
+    /// deterministic case seed.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        let mut attempt = 0u64;
+        while case < config.cases {
+            let seed = base ^ (attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            attempt += 1;
+            let mut rng = TestRng::seed_from_u64(seed);
+            match body(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(r)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest stand-in: `{name}` exceeded the reject budget \
+                         ({} rejects; last: {})",
+                        rejects,
+                        r.0
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest stand-in: `{name}` failed at case {case} \
+                         (seed {seed:#x}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything the test suites import, as `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(pat in
+/// strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches `fn` items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_cfg: $crate::ProptestConfig = $cfg;
+            $crate::runner::run(stringify!($name), &__pt_cfg, |__pt_rng| {
+                $(
+                    let $pat = match $crate::strategy::Strategy::try_generate(
+                        &($strat),
+                        __pt_rng,
+                    ) {
+                        ::std::result::Result::Ok(v) => v,
+                        ::std::result::Result::Err(r) => {
+                            return ::std::result::Result::Err(
+                                $crate::TestCaseError::Reject(r),
+                            )
+                        }
+                    };
+                )+
+                let __pt_out: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __pt_out
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pt_l == *__pt_r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            __pt_l,
+            __pt_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(*__pt_l == *__pt_r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pt_l != *__pt_r,
+            "assertion failed: `left != right`\n  both: {:?}",
+            __pt_l
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -2i64..=2, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u32..10, 0u32..10).prop_map(|(a, b)| a + b), 4),
+            pick in prop::sample::select(vec![1usize, 2, 4]),
+            any_bits in any::<u64>(),
+        ) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(v.iter().all(|&s| s < 19));
+            prop_assert!([1usize, 2, 4].contains(&pick));
+            let _ = any_bits;
+        }
+
+        #[test]
+        fn filters_reject_without_failing(n in (0u32..100).prop_filter("even", |n| n % 2 == 0)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assume!(n != u32::MAX); // trivially true; exercises the macro
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_seed() {
+        crate::runner::run("always_fails", &ProptestConfig::with_cases(1), |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let mut draws = Vec::new();
+            crate::runner::run("det", &ProptestConfig::with_cases(5), |rng| {
+                draws.push(rng.next_u64());
+                Ok(())
+            });
+            seen.push(draws);
+        }
+        assert_eq!(seen[0], seen[1]);
+    }
+}

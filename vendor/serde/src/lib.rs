@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! This workspace builds in hermetic environments with no access to a
+//! crates.io registry. It only *derives* `Serialize`/`Deserialize` on
+//! model structs (as forward-looking schema markers) and never invokes a
+//! serializer — no `serde_json`/`bincode`-style backend is a dependency
+//! anywhere in the tree. The traits are therefore empty markers and the
+//! derive macros (see `serde_derive`) emit empty impls.
+//!
+//! If a future change actually needs wire serialization, replace this
+//! stand-in with upstream serde in `[workspace.dependencies]`.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types whose schema is declared serializable.
+pub trait Serialize {}
+
+/// Marker for types whose schema is declared deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

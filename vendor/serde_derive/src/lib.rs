@@ -1,0 +1,65 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Emits *empty* impls of the vendored `serde` marker traits. Handles
+//! plain (non-generic) structs and enums, which covers every derive site
+//! in this workspace; a generic type triggers a compile error naming this
+//! limitation rather than producing a wrong impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        _ => return Err("expected a type name after struct/enum".into()),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return Err(format!(
+                                "vendored serde_derive does not support generic type `{name}`"
+                            ));
+                        }
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)`, doc idents… keep scanning.
+            }
+            _ => {}
+        }
+    }
+    Err("expected a struct or enum".into())
+}
+
+fn emit(input: TokenStream, template: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template(&name).parse().expect("valid emitted impl"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("valid error"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
