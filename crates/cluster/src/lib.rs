@@ -61,12 +61,13 @@ pub mod resilience;
 pub mod stats;
 pub mod supervisor;
 pub mod trace;
+pub mod transport;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use soifft_num::c64;
 
 pub use checkpoint::{CheckpointError, CheckpointStore};
@@ -83,6 +84,7 @@ pub use resilience::{
 pub use stats::{CommStats, CostModel, PhaseRecord, RecoveryOutcome};
 pub use supervisor::{HealthMonitor, RecoveryCtx, RestartPolicy, SupervisedRun, Supervisor};
 pub use trace::{chrome_trace_json, text_tree, PhaseProfile, RunProfile, TraceConfig, TraceEvent};
+pub use transport::{InProcTransport, SendOutcome, Transport, WaitOutcome};
 
 use resilience::{ClusterState, CommFailure, InjectedCrash};
 
@@ -90,8 +92,13 @@ use resilience::{ClusterState, CommFailure, InjectedCrash};
 /// cluster health and its deadline.
 const POLL_SLICE: Duration = Duration::from_millis(2);
 
-/// A tagged message between ranks.
-pub(crate) struct Message {
+/// A tagged message between ranks — the unit a [`Transport`] moves.
+///
+/// Public only so [`Transport`] implementations outside this crate can
+/// carry it; the fields stay crate-private (the resilience layer owns
+/// their meaning), so foreign code can move messages but not mint or
+/// inspect them.
+pub struct Message {
     pub(crate) src: usize,
     pub(crate) tag: u64,
     /// Per-sender sequence number (unique per `src`); lets the receiver
@@ -229,20 +236,21 @@ impl BufferPool {
 }
 
 /// One rank's endpoint into the cluster: rank id, peers, and statistics.
+///
+/// `Comm` is the backend-agnostic resilience layer — pending map,
+/// duplicate/checksum filtering, fault injection, retry, the buffer
+/// pool, statistics — over a pluggable [`Transport`] that does the
+/// actual moving of [`Message`]s (threads + channels by default,
+/// real OS processes via `transport::proc`).
 pub struct Comm {
     rank: usize,
     size: usize,
-    pub(crate) senders: Vec<Sender<Message>>,
-    /// Shared handle so the supervisor can keep a rank's endpoint alive
-    /// across epochs (messages from a dead incarnation are filtered by
-    /// generation, not by tearing the channel down).
-    receiver: Arc<Receiver<Message>>,
+    /// The message-moving backend (delivery, failure detection, barrier).
+    pub(crate) transport: Box<dyn Transport>,
     pending: HashMap<(usize, u64), Vec<Vec<c64>>>,
     /// Sequence numbers already accepted, per source (duplicate filter;
     /// only populated when verification is on).
     seen: HashMap<usize, HashSet<u64>>,
-    barrier: Arc<CancellableBarrier>,
-    state: Arc<ClusterState>,
     injector: Option<FaultInjector>,
     /// Whether wire messages carry/verify checksums and sequence filtering
     /// (on exactly when a fault plan is installed).
@@ -268,6 +276,33 @@ pub struct Comm {
 const PENDING_GC_LEN: usize = 512;
 
 impl Comm {
+    /// Builds an endpoint over an externally-constructed [`Transport`] —
+    /// how a child *process* of the multi-process backend gets its
+    /// `Comm` (the in-process launcher builds its own). Fault injection
+    /// is off (faults are real in that regime); `config` supplies the
+    /// retry policy, receive deadline, and pool ceiling.
+    pub fn from_transport(transport: Box<dyn Transport>, config: &ClusterConfig) -> Comm {
+        let rank = transport.rank();
+        let size = transport.size();
+        let generation = transport.generation();
+        Comm {
+            rank,
+            size,
+            transport,
+            pending: HashMap::new(),
+            seen: HashMap::new(),
+            injector: None,
+            verify: false,
+            retry: config.retry,
+            recv_deadline_default: config.recv_deadline,
+            next_seq: 0,
+            exchange_epoch: 0,
+            generation,
+            stats: CommStats::default(),
+            pool: BufferPool::with_limit(config.pool_max_retained_bytes),
+        }
+    }
+
     /// This rank's id in `[0, size)`.
     pub fn rank(&self) -> usize {
         self.rank
@@ -345,8 +380,7 @@ impl Comm {
     }
 
     fn die(&self) -> ! {
-        self.state.mark_failed(self.rank);
-        self.barrier.cancel(self.rank);
+        self.transport.announce_death(self.rank);
         // resume_unwind, not panic_any: an injected crash is part of the
         // fault plan, so it unwinds silently instead of invoking the
         // process panic hook and printing a backtrace.
@@ -400,8 +434,8 @@ impl Comm {
             self.pending.entry((self.rank, tag)).or_default().push(data);
             return Ok(());
         }
-        if self.state.has_failed(dst) {
-            return Err(CommError::PeerFailed { rank: dst });
+        if let Some(pf) = self.transport.peer_failure(dst) {
+            return Err(pf.into_error());
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -517,35 +551,43 @@ impl Comm {
         if let Some(inj) = self.injector.as_mut() {
             inj.note_send();
         }
-        self.stats.note_queue_depth(self.senders[dst].len());
+        self.stats.note_queue_depth(self.transport.queue_depth(dst));
         Ok(())
     }
 
-    /// Pushes one message onto the destination channel, blocking under
-    /// backpressure (bounded clusters) with periodic health checks.
+    /// Pushes one message onto the destination link, blocking under
+    /// backpressure (bounded clusters) with periodic health checks — but
+    /// never forever: the stall is bounded by the default receive
+    /// deadline, so a destination that silently stops draining yields
+    /// [`CommError::Timeout`] instead of a hang.
     fn wire(&mut self, dst: usize, msg: Message) -> Result<(), CommError> {
         let mut msg = msg;
+        let end = Instant::now() + self.recv_deadline_default;
         loop {
-            match self.senders[dst].try_send(msg) {
-                Ok(()) => return Ok(()),
-                Err(TrySendError::Disconnected(_)) => {
+            match self.transport.try_send(dst, msg) {
+                SendOutcome::Sent => return Ok(()),
+                SendOutcome::Closed(_) => {
                     // Attribute the closed endpoint to a crash when the
                     // failure detector knows of one — `dst` itself first,
                     // else the root-cause rank (survivors unwind by
                     // dropping their endpoints, which must not masquerade
                     // as an orderly shutdown).
-                    return Err(if self.state.has_failed(dst) {
-                        CommError::PeerFailed { rank: dst }
-                    } else if let Some(rank) = self.state.check() {
-                        CommError::PeerFailed { rank }
+                    return Err(if let Some(pf) = self.transport.peer_failure(dst) {
+                        pf.into_error()
+                    } else if let Some(pf) = self.transport.failed_peer() {
+                        pf.into_error()
                     } else {
                         CommError::Shutdown
                     });
                 }
-                Err(TrySendError::Full(m)) => {
+                SendOutcome::Full(m) => {
                     msg = m;
-                    if let Some(rank) = self.state.check() {
-                        return Err(CommError::PeerFailed { rank });
+                    if let Some(pf) = self.transport.failed_peer() {
+                        return Err(pf.into_error());
+                    }
+                    if Instant::now() >= end {
+                        self.stats.note_recv_timeout();
+                        return Err(CommError::Timeout);
                     }
                     std::thread::sleep(Duration::from_micros(50));
                 }
@@ -671,25 +713,31 @@ impl Comm {
             }
             // Drain everything already delivered before deciding to block.
             let mut progressed = false;
-            while let Ok(msg) = self.receiver.try_recv() {
+            while let Some(msg) = self.transport.try_recv() {
                 self.ingest(msg);
                 progressed = true;
             }
             if progressed {
                 continue;
             }
-            if let Some(rank) = self.state.check() {
-                return Err(CommError::PeerFailed { rank });
+            if let Some(pf) = self.transport.failed_peer() {
+                return Err(pf.into_error());
             }
             let now = Instant::now();
             if now >= end {
+                self.stats.note_recv_timeout();
                 return Err(CommError::Timeout);
             }
             let slice = POLL_SLICE.min(end - now);
-            match self.receiver.recv_timeout(slice) {
-                Ok(msg) => self.ingest(msg),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Shutdown),
+            match self.transport.recv_wait(slice) {
+                WaitOutcome::Message(msg) => self.ingest(msg),
+                WaitOutcome::Idle => {}
+                WaitOutcome::Closed => {
+                    return Err(match self.transport.failed_peer() {
+                        Some(pf) => pf.into_error(),
+                        None => CommError::Shutdown,
+                    })
+                }
             }
         }
     }
@@ -705,8 +753,8 @@ impl Comm {
     /// questionable arguments is [`Comm::recv_deadline`].)
     pub fn try_recv(&mut self, src: usize, tag: u64) -> Option<Vec<c64>> {
         assert!(src < self.size, "source rank out of range");
-        // Drain the channel into the pending map without blocking.
-        while let Ok(msg) = self.receiver.try_recv() {
+        // Drain the link into the pending map without blocking.
+        while let Some(msg) = self.transport.try_recv() {
             self.ingest(msg);
         }
         self.take_pending(src, tag)
@@ -731,18 +779,25 @@ impl Comm {
     /// Thin infallible wrapper over [`Comm::try_barrier`]: if a rank died,
     /// the cancelled barrier's [`CommError::PeerFailed`] becomes a
     /// rank-fatal panic captured by the launcher.
-    pub fn barrier(&self) {
+    pub fn barrier(&mut self) {
         if let Err(e) = self.try_barrier() {
             resilience::raise(e)
         }
     }
 
-    /// Synchronizes all ranks; `Err(PeerFailed)` if any rank has died (all
-    /// survivors unblock — no deadlock on a poisoned barrier).
+    /// Synchronizes all ranks; `Err(PeerFailed` / `PeerDown)` if any rank
+    /// has died (all survivors unblock — no deadlock on a poisoned
+    /// barrier), `Err(Timeout)` when the default receive deadline elapses
+    /// with the barrier still pending.
     #[must_use = "an unacknowledged barrier failure desynchronizes the ranks; handle the error"]
-    pub fn try_barrier(&self) -> Result<(), CommError> {
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
         self.maybe_crash(CrashSite::Barrier);
-        self.barrier.wait()
+        // Barrier entry is the natural harvest point for the transport's
+        // heartbeat plane: every rank passes through periodically, and
+        // the counters are phase-attributable from here.
+        let hb = self.transport.take_heartbeat_delta();
+        self.stats.note_heartbeats(hb.sent, hb.missed);
+        self.transport.barrier(self.recv_deadline_default)
     }
 
     /// The all-to-all personalized exchange: rank `r` sends `outgoing[d]`
@@ -1402,12 +1457,17 @@ where
         .map(|rank| Comm {
             rank,
             size: ranks,
-            senders: txs.clone(),
-            receiver: Arc::clone(&rxs[rank]),
+            transport: Box::new(InProcTransport::new(
+                rank,
+                ranks,
+                generation,
+                txs.clone(),
+                Arc::clone(&rxs[rank]),
+                Arc::clone(&barrier),
+                Arc::clone(&state),
+            )),
             pending: HashMap::new(),
             seen: HashMap::new(),
-            barrier: Arc::clone(&barrier),
-            state: Arc::clone(&state),
             injector: config
                 .faults
                 .as_ref()
@@ -2137,6 +2197,51 @@ mod tests {
             }
         });
         assert!(out[0]);
+    }
+
+    #[test]
+    fn dead_peer_fails_recv_typed_instead_of_hanging() {
+        // A peer that *died* (not merely silent) must surface as a typed
+        // peer failure long before the recv deadline — no blocking path
+        // may wait out a deadline the failure detector already resolved.
+        let plan = FaultPlan::new(5).crash(1, CrashSite::Barrier);
+        let outcomes = run_cluster_with_faults(2, plan, |comm| {
+            if comm.rank() == 1 {
+                comm.barrier(); // injected crash fires here
+                unreachable!("rank 1 died at the barrier");
+            }
+            let start = Instant::now();
+            let err = comm
+                .recv_deadline(1, tags::USER, Duration::from_secs(30))
+                .expect_err("peer is dead");
+            assert_eq!(err, CommError::PeerFailed { rank: 1 });
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "death must preempt the deadline"
+            );
+            true
+        });
+        assert!(matches!(outcomes[1], RankOutcome::Crashed));
+        assert!(matches!(outcomes[0], RankOutcome::Ok(true)));
+    }
+
+    #[test]
+    fn silent_peer_timeout_is_counted_in_stats() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                let err = comm
+                    .recv_deadline(1, tags::USER, Duration::from_millis(20))
+                    .expect_err("silent peer");
+                let counted = comm.stats().recv_timeouts();
+                comm.barrier();
+                (err == CommError::Timeout, counted)
+            } else {
+                comm.barrier();
+                (true, 1)
+            }
+        });
+        assert!(out[0].0, "silent peer must read as a typed Timeout");
+        assert!(out[0].1 >= 1, "the expiry must land in the stats counter");
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl Comm {
         assert!(chunk_elems > 0, "chunk size must be positive");
         let bytes = (data.len() * std::mem::size_of::<c64>()) as u64;
         self.stats.add_bytes_sent(bytes);
-        let sender = self.senders[dst].clone();
+        // A detached transport handle the proxy thread can push through
+        // concurrently with this thread (both shipped backends provide
+        // one; a hypothetical backend without concurrent senders gets
+        // the staged chunks delivered inline instead).
+        let sender = self.transport.async_sender(dst).map(std::sync::Arc::new);
         let src = self.rank;
         // Reserve the whole sequence range up front (staging happens on
         // this thread, delivery on the proxy thread). The proxied path is
@@ -88,18 +92,26 @@ impl Comm {
             let checksum = if verify { crate::checksum(&staged) } else { 0 };
             let seq = first_seq + chunk_idx;
             chunk_idx += 1;
-            let tx = sender.clone();
-            proxy.queue.push(move || {
-                // "RDMA": hand the staged chunk to the interconnect.
-                let _ = tx.send(Message {
-                    src,
-                    tag,
-                    seq,
-                    checksum,
-                    generation,
-                    data: staged,
-                });
-            });
+            let msg = Message {
+                src,
+                tag,
+                seq,
+                checksum,
+                generation,
+                data: staged,
+            };
+            match &sender {
+                Some(tx) => {
+                    let tx = std::sync::Arc::clone(tx);
+                    proxy.queue.push(move || {
+                        // "RDMA": hand the staged chunk to the interconnect.
+                        tx.send(msg);
+                    });
+                }
+                None => {
+                    let _ = self.wire(dst, msg);
+                }
+            }
             if end == data.len() {
                 break;
             }

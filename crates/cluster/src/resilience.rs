@@ -47,6 +47,14 @@ pub enum CommError {
         /// The rank that failed.
         rank: usize,
     },
+    /// A peer rank's OS *process* died (exited, was `kill -9`ed, or
+    /// stopped heartbeating past the staleness timeout) — the
+    /// process-level sibling of [`PeerFailed`](CommError::PeerFailed),
+    /// reported by the multi-process transport's failure detector.
+    PeerDown {
+        /// The rank whose process is gone.
+        rank: usize,
+    },
     /// A message arrived whose payload does not match its checksum and the
     /// retransmit budget could not produce a clean copy.
     ChecksumMismatch {
@@ -116,6 +124,12 @@ impl std::fmt::Display for CommError {
         match self {
             CommError::Timeout => write!(f, "operation timed out (retransmit budget exhausted)"),
             CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
+            CommError::PeerDown { rank } => {
+                write!(
+                    f,
+                    "peer rank {rank} process is down (exit or heartbeat loss)"
+                )
+            }
             CommError::ChecksumMismatch { src, tag } => {
                 write!(
                     f,
@@ -370,6 +384,53 @@ impl CancellableBarrier {
         let gen = g.generation;
         loop {
             g = self.cv.wait(g).expect("barrier lock poisoned");
+            if let Some(rank) = g.cancelled_by {
+                return Err(CommError::PeerFailed { rank });
+            }
+            if g.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Like [`wait`](CancellableBarrier::wait) but gives up after
+    /// `timeout`, withdrawing this party's arrival and returning
+    /// [`CommError::Timeout`] — the deadline that keeps a barrier from
+    /// ever hanging on a silent peer.
+    pub fn wait_for(&self, timeout: Duration) -> Result<(), CommError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.inner.lock().expect("barrier lock poisoned");
+        if let Some(rank) = g.cancelled_by {
+            return Err(CommError::PeerFailed { rank });
+        }
+        g.count += 1;
+        if g.count == self.parties {
+            g.count = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = g.generation;
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                // Withdraw the arrival so a later retry can't release the
+                // barrier with a stale count — but only if this round is
+                // still pending (a release may have raced the deadline).
+                if g.generation == gen && g.count > 0 {
+                    g.count -= 1;
+                }
+                return if g.generation != gen {
+                    Ok(())
+                } else {
+                    Err(CommError::Timeout)
+                };
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .expect("barrier lock poisoned");
+            g = guard;
             if let Some(rank) = g.cancelled_by {
                 return Err(CommError::PeerFailed { rank });
             }

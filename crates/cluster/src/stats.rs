@@ -26,6 +26,12 @@ pub struct PhaseRecord {
     /// §1: functional correctness runs on threads, paper-scale timing
     /// comes from models — this field is where the two meet).
     pub sim_seconds: Option<f64>,
+    /// Link-layer retransmissions that occurred while this phase was
+    /// open (previously these aggregated globally, hiding *which*
+    /// collective was fighting a lossy link).
+    pub retransmits: u64,
+    /// Payload-pool evictions charged while this phase was open.
+    pub pool_evictions: u64,
 }
 
 /// Per-rank communication cost model for virtual-time accounting: one
@@ -80,6 +86,9 @@ pub struct CommStats {
     jobs_shed: u64,
     serve_retries: u64,
     queue_wait_s: f64,
+    heartbeats_sent: u64,
+    heartbeats_missed: u64,
+    recv_timeouts: u64,
     trace: Option<TraceBuf>,
 }
 
@@ -89,6 +98,8 @@ pub struct CommStats {
 pub struct PhaseToken {
     start: Instant,
     bytes_at_start: u64,
+    retransmits_at_start: u64,
+    pool_evictions_at_start: u64,
 }
 
 impl CommStats {
@@ -146,6 +157,36 @@ impl CommStats {
         self.queue_high_watermark = self.queue_high_watermark.max(depth);
     }
 
+    /// Folds heartbeat activity harvested from the transport: `sent`
+    /// liveness beacons emitted by this rank, `missed` peers it saw
+    /// declared dead by heartbeat staleness.
+    pub fn note_heartbeats(&mut self, sent: u64, missed: u64) {
+        self.heartbeats_sent += sent;
+        self.heartbeats_missed += missed;
+    }
+
+    /// Records a blocking receive (or backpressured send) giving up at
+    /// its deadline with [`CommError::Timeout`](crate::CommError::Timeout).
+    pub fn note_recv_timeout(&mut self) {
+        self.recv_timeouts += 1;
+    }
+
+    /// Heartbeat beacons this rank's transport emitted.
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.heartbeats_sent
+    }
+
+    /// Peers this rank saw declared dead by heartbeat staleness.
+    pub fn heartbeats_missed(&self) -> u64 {
+        self.heartbeats_missed
+    }
+
+    /// Deadline expiries on blocking receive paths (typed `Timeout`s that
+    /// replaced what the seed runtime would have spent hanging).
+    pub fn recv_timeouts(&self) -> u64 {
+        self.recv_timeouts
+    }
+
     /// Pre-grows the phase-record log by `extra` entries so the appends
     /// inside an upcoming measured window (each collective closes a phase)
     /// don't reallocate it. Zero-allocation harnesses call this before
@@ -163,11 +204,15 @@ impl CommStats {
         self.records.clear();
     }
 
-    /// Opens a phase (timing starts now).
+    /// Opens a phase (timing starts now). The token snapshots the
+    /// retransmit and pool-eviction counters too, so the closing record
+    /// attributes those events to the phase they occurred in.
     pub fn phase_start(&self) -> PhaseToken {
         PhaseToken {
             start: Instant::now(),
             bytes_at_start: self.total_bytes_sent,
+            retransmits_at_start: self.retransmits,
+            pool_evictions_at_start: self.pool_evictions,
         }
     }
 
@@ -188,6 +233,8 @@ impl CommStats {
             seconds,
             bytes_sent: bytes,
             sim_seconds: sim,
+            retransmits: self.retransmits - token.retransmits_at_start,
+            pool_evictions: self.pool_evictions - token.pool_evictions_at_start,
         });
     }
 
@@ -205,6 +252,8 @@ impl CommStats {
             seconds,
             bytes_sent: bytes,
             sim_seconds: Some(sim_seconds),
+            retransmits: self.retransmits - token.retransmits_at_start,
+            pool_evictions: self.pool_evictions - token.pool_evictions_at_start,
         });
     }
 
@@ -436,6 +485,9 @@ impl CommStats {
         self.jobs_shed += other.jobs_shed;
         self.serve_retries += other.serve_retries;
         self.queue_wait_s += other.queue_wait_s;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.heartbeats_missed += other.heartbeats_missed;
+        self.recv_timeouts += other.recv_timeouts;
         if let (Some(mine), Some(theirs)) = (&mut self.trace, &other.trace) {
             mine.absorb(theirs);
         }
@@ -468,6 +520,26 @@ impl CommStats {
             .iter()
             .filter(|r| r.name == name)
             .map(|r| r.bytes_sent)
+            .sum()
+    }
+
+    /// Retransmissions that occurred during phases with `name` (the
+    /// per-phase attribution; [`CommStats::retransmits`] is the global
+    /// total including any outside a phase).
+    pub fn retransmits_in(&self, name: &str) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.retransmits)
+            .sum()
+    }
+
+    /// Pool evictions charged during phases with `name`.
+    pub fn pool_evictions_in(&self, name: &str) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.pool_evictions)
             .sum()
     }
 }
@@ -702,6 +774,45 @@ mod tests {
                 recomputed_segments: 4
             }
         );
+    }
+
+    #[test]
+    fn retransmits_and_evictions_attributed_to_their_phase() {
+        let mut s = CommStats::default();
+        s.note_retransmit(); // outside any phase: attributed to none
+        let t = s.phase_start();
+        s.note_retransmit();
+        s.note_retransmit();
+        s.note_pool_evictions(3);
+        s.phase_end("all-to-all", t);
+        let t = s.phase_start();
+        s.note_pool_evictions(1);
+        s.phase_end("ghost", t);
+        assert_eq!(s.retransmits(), 3, "global total keeps everything");
+        assert_eq!(s.retransmits_in("all-to-all"), 2);
+        assert_eq!(s.retransmits_in("ghost"), 0);
+        assert_eq!(s.pool_evictions_in("all-to-all"), 3);
+        assert_eq!(s.pool_evictions_in("ghost"), 1);
+        assert_eq!(s.records()[0].retransmits, 2);
+        assert_eq!(s.records()[1].pool_evictions, 1);
+    }
+
+    #[test]
+    fn heartbeat_and_timeout_counters_accumulate_and_absorb() {
+        let mut a = CommStats::default();
+        assert_eq!(a.heartbeats_sent(), 0);
+        assert_eq!(a.heartbeats_missed(), 0);
+        assert_eq!(a.recv_timeouts(), 0);
+        a.note_heartbeats(10, 1);
+        a.note_recv_timeout();
+        let mut b = CommStats::default();
+        b.note_heartbeats(5, 0);
+        b.note_recv_timeout();
+        b.note_recv_timeout();
+        a.absorb(&b);
+        assert_eq!(a.heartbeats_sent(), 15);
+        assert_eq!(a.heartbeats_missed(), 1);
+        assert_eq!(a.recv_timeouts(), 3);
     }
 
     #[test]

@@ -133,6 +133,16 @@ pub struct RecoveryCtx {
 }
 
 impl RecoveryCtx {
+    /// Builds a recovery context for an externally launched epoch — the
+    /// multi-process supervisor's children call this after opening the
+    /// shared disk-mode [`CheckpointStore`], freezing the committed list
+    /// at the moment the epoch (generation) starts. All ranks of a
+    /// generation open the same directory before any of them saves new
+    /// phases, so they freeze the same resume frontier.
+    pub fn resume(store: Arc<CheckpointStore>, epoch: u64, restarts: u32) -> Self {
+        RecoveryCtx::for_epoch(&store, epoch, restarts)
+    }
+
     /// Snapshot of `store` for an epoch about to launch.
     pub(crate) fn for_epoch(store: &Arc<CheckpointStore>, epoch: u64, restarts: u32) -> Self {
         RecoveryCtx {

@@ -197,6 +197,15 @@ pub struct RunProfile {
     pub pool_busy_s: f64,
     /// Pool-worker tasks executed, summed over ranks.
     pub pool_tasks: u64,
+    /// Transport heartbeat beacons sent, summed over ranks (0 for the
+    /// in-process backend, which has no heartbeat plane).
+    pub heartbeats_sent: u64,
+    /// Peers declared dead by heartbeat staleness, as observed summed
+    /// over ranks.
+    pub heartbeats_missed: u64,
+    /// Blocking receives (or backpressured sends) that gave up at their
+    /// deadline with a typed `Timeout`, summed over ranks.
+    pub recv_timeouts: u64,
 }
 
 impl RunProfile {
@@ -295,6 +304,9 @@ impl RunProfile {
             comm_allocs: stats.iter().map(|s| s.comm_allocs()).sum(),
             pool_busy_s: stats.iter().map(|s| s.pool_busy_seconds()).sum(),
             pool_tasks: stats.iter().map(|s| s.pool_tasks()).sum(),
+            heartbeats_sent: stats.iter().map(|s| s.heartbeats_sent()).sum(),
+            heartbeats_missed: stats.iter().map(|s| s.heartbeats_missed()).sum(),
+            recv_timeouts: stats.iter().map(|s| s.recv_timeouts()).sum(),
         }
     }
 
@@ -386,6 +398,11 @@ pub fn text_tree(stats: &[CommStats]) -> String {
         profile.comm_allocs,
         profile.pool_busy_s,
         profile.pool_tasks,
+    );
+    let _ = writeln!(
+        out,
+        "          {} heartbeats sent, {} peers lost to staleness, {} recv timeouts",
+        profile.heartbeats_sent, profile.heartbeats_missed, profile.recv_timeouts,
     );
     out
 }

@@ -1,0 +1,246 @@
+//! Same-host shared-memory byte ring.
+//!
+//! A single-producer/single-consumer ring of bytes backed by a file
+//! (preferably on tmpfs — [`shm_dir`] picks `/dev/shm` when present), the
+//! data plane of the multi-process transport for ranks that share a host.
+//! The crate forbids `unsafe`, so instead of `mmap` the ring uses
+//! positioned reads/writes ([`std::os::unix::fs::FileExt`]) against the
+//! page cache; for a tmpfs file the kernel serves both sides from the
+//! same resident pages, so this is memory-speed without a mapping.
+//!
+//! Layout: `[head: u64][tail: u64][data: capacity bytes]`. `head` and
+//! `tail` are free-running positions (index = position % capacity);
+//! `tail` is written only by the producer and `head` only by the
+//! consumer, so each 8-byte aligned counter has exactly one writer —
+//! the classic SPSC discipline. Frames larger than the capacity stream
+//! through in pieces: [`ShmRing::push`] writes as much as fits and
+//! spins (bounded by a deadline) for the consumer to drain the rest,
+//! and the consumer reassembles frames from the byte stream with
+//! [`decode_frame`](super::wire::decode_frame)'s `Truncated` signal.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Byte offset of the ring data (past the two position counters).
+const DATA_OFFSET: u64 = 16;
+
+/// Preferred directory for ring files: tmpfs when the platform has the
+/// conventional mount, the system temp dir otherwise.
+pub fn shm_dir() -> PathBuf {
+    let dev_shm = Path::new("/dev/shm");
+    if dev_shm.is_dir() {
+        dev_shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    }
+}
+
+/// One endpoint of a file-backed SPSC byte ring (see module docs).
+///
+/// Both sides open the same file; the producer calls [`ShmRing::push`] /
+/// [`ShmRing::try_push`], the consumer [`ShmRing::try_pop`]. The struct
+/// itself is side-agnostic — the SPSC contract (one pusher, one popper)
+/// is the caller's to uphold, which the transport does by giving every
+/// rank its own inbound ring.
+pub struct ShmRing {
+    file: File,
+    capacity: u64,
+}
+
+impl ShmRing {
+    /// Creates (truncating) the ring file at `path` with `capacity` data
+    /// bytes and zeroed positions.
+    pub fn create(path: &Path, capacity: usize) -> io::Result<ShmRing> {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(DATA_OFFSET + capacity as u64)?;
+        file.write_all_at(&[0u8; 16], 0)?;
+        Ok(ShmRing {
+            file,
+            capacity: capacity as u64,
+        })
+    }
+
+    /// Opens an existing ring file (capacity inferred from its length).
+    pub fn open(path: &Path) -> io::Result<ShmRing> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len <= DATA_OFFSET {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "ring file too small to hold its header",
+            ));
+        }
+        Ok(ShmRing {
+            file,
+            capacity: len - DATA_OFFSET,
+        })
+    }
+
+    /// Data bytes the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    fn read_pos(&self, offset: u64) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.file.read_exact_at(&mut b, offset)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_pos(&self, offset: u64, value: u64) -> io::Result<()> {
+        self.file.write_all_at(&value.to_le_bytes(), offset)
+    }
+
+    /// Appends as much of `bytes` as currently fits, returning how many
+    /// were written (possibly 0 when the ring is full). Producer side.
+    pub fn try_push(&self, bytes: &[u8]) -> io::Result<usize> {
+        let head = self.read_pos(0)?;
+        let tail = self.read_pos(8)?;
+        let used = tail.wrapping_sub(head);
+        let free = self.capacity - used.min(self.capacity);
+        let n = (bytes.len() as u64).min(free);
+        if n == 0 {
+            return Ok(0);
+        }
+        let at = tail % self.capacity;
+        let first = n.min(self.capacity - at);
+        self.file
+            .write_all_at(&bytes[..first as usize], DATA_OFFSET + at)?;
+        if first < n {
+            self.file
+                .write_all_at(&bytes[first as usize..n as usize], DATA_OFFSET)?;
+        }
+        // Publish after the data lands: the consumer only trusts bytes
+        // below `tail`.
+        self.write_pos(8, tail.wrapping_add(n))?;
+        Ok(n as usize)
+    }
+
+    /// Writes all of `bytes`, spinning (with a micro-sleep) while the
+    /// ring is full, up to `deadline`. This is how frames larger than
+    /// the ring capacity stream through a smaller ring. Returns the
+    /// bytes written before the deadline (== `bytes.len()` on success).
+    pub fn push(&self, bytes: &[u8], deadline: Instant) -> io::Result<usize> {
+        let mut done = 0;
+        while done < bytes.len() {
+            let n = self.try_push(&bytes[done..])?;
+            done += n;
+            if n == 0 {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+        Ok(done)
+    }
+
+    /// Pops up to `buf.len()` available bytes into `buf`, returning how
+    /// many were read (0 when the ring is empty). Consumer side.
+    pub fn try_pop(&self, buf: &mut [u8]) -> io::Result<usize> {
+        let head = self.read_pos(0)?;
+        let tail = self.read_pos(8)?;
+        let avail = tail.wrapping_sub(head).min(self.capacity);
+        let n = (buf.len() as u64).min(avail);
+        if n == 0 {
+            return Ok(0);
+        }
+        let at = head % self.capacity;
+        let first = n.min(self.capacity - at);
+        self.file
+            .read_exact_at(&mut buf[..first as usize], DATA_OFFSET + at)?;
+        if first < n {
+            self.file
+                .read_exact_at(&mut buf[first as usize..n as usize], DATA_OFFSET)?;
+        }
+        self.write_pos(0, head.wrapping_add(n))?;
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_path(name: &str) -> PathBuf {
+        shm_dir().join(format!("soifft-ring-test-{}-{name}", std::process::id()))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_in_order() {
+        let path = ring_path("order");
+        let _c = Cleanup(path.clone());
+        let ring = ShmRing::create(&path, 64).unwrap();
+        let data: Vec<u8> = (0..50u8).collect();
+        assert_eq!(ring.try_push(&data).unwrap(), 50);
+        let mut out = vec![0u8; 64];
+        let n = ring.try_pop(&mut out).unwrap();
+        assert_eq!(&out[..n], &data[..]);
+    }
+
+    #[test]
+    fn wraparound_preserves_content() {
+        let path = ring_path("wrap");
+        let _c = Cleanup(path.clone());
+        let ring = ShmRing::create(&path, 16).unwrap();
+        let mut out = vec![0u8; 16];
+        // Drive the positions past several wraps.
+        for round in 0..10u8 {
+            let data: Vec<u8> = (0..11u8).map(|i| i.wrapping_add(round * 11)).collect();
+            assert_eq!(ring.try_push(&data).unwrap(), 11);
+            let n = ring.try_pop(&mut out).unwrap();
+            assert_eq!(&out[..n], &data[..], "round {round}");
+        }
+    }
+
+    #[test]
+    fn full_ring_accepts_nothing_until_drained() {
+        let path = ring_path("full");
+        let _c = Cleanup(path.clone());
+        let ring = ShmRing::create(&path, 8).unwrap();
+        assert_eq!(ring.try_push(&[1; 8]).unwrap(), 8);
+        assert_eq!(ring.try_push(&[2; 4]).unwrap(), 0);
+        let mut out = [0u8; 3];
+        assert_eq!(ring.try_pop(&mut out).unwrap(), 3);
+        assert_eq!(ring.try_push(&[2; 4]).unwrap(), 3);
+    }
+
+    #[test]
+    fn oversized_message_streams_through_both_endpoints() {
+        let path = ring_path("stream");
+        let _c = Cleanup(path.clone());
+        let producer = ShmRing::create(&path, 32).unwrap();
+        let consumer = ShmRing::open(&path).unwrap();
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 7) as u8).collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let data2 = data.clone();
+        let writer = std::thread::spawn(move || producer.push(&data2, deadline).unwrap());
+        let mut got = Vec::new();
+        let mut buf = [0u8; 16];
+        while got.len() < data.len() && Instant::now() < deadline {
+            let n = consumer.try_pop(&mut buf).unwrap();
+            if n == 0 {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(writer.join().unwrap(), data.len());
+        assert_eq!(got, data);
+    }
+}

@@ -38,6 +38,7 @@ pub mod accuracy;
 pub mod conv;
 pub mod params;
 pub mod pipeline;
+pub mod procrun;
 pub mod report;
 pub mod single;
 pub mod verify;

@@ -292,7 +292,9 @@ pub(crate) fn classify(error: &CommError) -> u8 {
     match error {
         CommError::Cancelled { .. } => SEV_CANCELLED,
         e if e.is_transient() => SEV_TRANSIENT,
-        CommError::PeerFailed { .. } | CommError::Shutdown => SEV_FATAL,
+        CommError::PeerFailed { .. } | CommError::PeerDown { .. } | CommError::Shutdown => {
+            SEV_FATAL
+        }
         _ => SEV_PERMANENT,
     }
 }
@@ -313,6 +315,7 @@ mod tests {
             SEV_TRANSIENT
         );
         assert_eq!(classify(&CommError::PeerFailed { rank: 1 }), SEV_FATAL);
+        assert_eq!(classify(&CommError::PeerDown { rank: 1 }), SEV_FATAL);
         assert_eq!(classify(&CommError::Shutdown), SEV_FATAL);
         assert_eq!(
             classify(&CommError::SilentCorruption {

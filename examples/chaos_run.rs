@@ -29,9 +29,18 @@
 //! invariant flags it as a typed `SilentCorruption`; under `Recover` the
 //! flagged phase is re-executed locally and the spectrum comes out
 //! bit-identical to a fault-free run.
+//!
+//! Scenario 6 leaves the in-process world entirely: ranks become real OS
+//! processes on the multi-process transport (Unix sockets + shared-memory
+//! rings, disk checkpoints), and the fault is a genuine `kill -9` of
+//! rank 2 as it enters the all-to-all. The supervisor detects the death,
+//! respawns the rank set into a new generation, and the recovered
+//! spectrum is bit-identical to a fault-free multi-process run.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
+use soifft::cluster::transport::proc::{KillPlan, KillWhen, ProcConfig, ProcSupervisor};
 use soifft::cluster::{
     run_cluster_with_faults, BitFlipSite, ClusterConfig, CommError, CrashSite, ExchangePolicy,
     FaultPlan, RankOutcome, RecoveryOutcome, RestartPolicy, ValidationPolicy,
@@ -40,9 +49,31 @@ use soifft::fft::Plan;
 use soifft::num::c64;
 use soifft::num::error::rel_l2;
 use soifft::soi::pipeline::{gather_output, scatter_input};
+use soifft::soi::procrun::{self, read_rank_output, seeded_input};
 use soifft::soi::{Rational, SoiFft, SoiParams};
 
+const PROC_SEED: u64 = 0xC4A0_5FF7;
+
+/// Scenario 6's problem: bigger than the in-process scenarios so the
+/// post-checkpoint tail comfortably outlasts the supervisor's kill poll.
+fn proc_params() -> SoiParams {
+    SoiParams {
+        n: 1 << 18,
+        procs: 4,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 40,
+    }
+}
+
 fn main() {
+    // Child probe: when scenario 6's supervisor re-executes this binary
+    // with the SOIFFT_PROC_* environment, become the rank process.
+    if let Ok(out) = std::env::var("SOIFFT_CHAOS_OUT") {
+        if let Some(code) = procrun::child_main(&proc_params(), PROC_SEED, &PathBuf::from(out)) {
+            std::process::exit(code);
+        }
+    }
     let procs = 4;
     let params = SoiParams {
         n: 1 << 12,
@@ -233,8 +264,77 @@ fn main() {
     );
     println!("  spectrum verified after repair: bit-identical to the fault-free run");
 
+    // --- scenario 6: kill -9 a real rank process, recover bit-identical ---
+    let pp = proc_params();
+    println!(
+        "\nscenario 6: multi-process backend, kill -9 rank 2 entering the all-to-all (N = {})",
+        pp.n
+    );
+    let exe = std::env::current_exe().expect("own path");
+    let work = std::env::temp_dir().join(format!("soifft-chaos-run-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    let proc_run = |tag: &str, kill: Option<KillPlan>| {
+        let dir = work.join(tag);
+        let out = dir.join("out");
+        let config = ProcConfig {
+            heartbeat_interval: Duration::from_millis(25),
+            heartbeat_timeout: Duration::from_secs(3),
+            kill,
+            ..ProcConfig::default()
+        };
+        let run = ProcSupervisor::with_config(&dir, config)
+            .run(pp.procs, |_, _| {
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.env("SOIFFT_CHAOS_OUT", &out);
+                cmd
+            })
+            .expect("supervised run launches");
+        println!(
+            "  {tag}: epochs {} | deaths {} | kills injected {} | outcomes {:?}",
+            run.epochs, run.deaths, run.injected_kills, run.outcomes
+        );
+        assert!(run.all_ok(), "{tag}: all rank processes must complete");
+        let parts: Vec<Vec<c64>> = (0..pp.procs)
+            .map(|r| read_rank_output(&out, r).expect("rank output present"))
+            .collect();
+        (run, parts)
+    };
+    let (clean_run, clean_parts) = proc_run("clean", None);
+    assert_eq!(clean_run.epochs, 1);
+    let kill = KillPlan {
+        rank: 2,
+        generation: 0,
+        when: KillWhen::FileExists(work.join("kill9").join("ckpt").join("r2-segment-fft.ckpt")),
+    };
+    let (chaos_run, chaos_parts) = proc_run("kill9", Some(kill));
+    assert_eq!(chaos_run.injected_kills, 1, "the scripted kill must fire");
+    assert!(
+        chaos_run.epochs >= 2,
+        "recovery takes a respawned generation"
+    );
+    assert_eq!(
+        chaos_parts
+            .iter()
+            .flatten()
+            .map(|z| (z.re.to_bits(), z.im.to_bits()))
+            .collect::<Vec<_>>(),
+        clean_parts
+            .iter()
+            .flatten()
+            .map(|z| (z.re.to_bits(), z.im.to_bits()))
+            .collect::<Vec<_>>(),
+        "recovered spectrum must be bit-identical to the fault-free run"
+    );
+    let mut proc_want = seeded_input(pp.n, PROC_SEED);
+    Plan::new(pp.n).forward(&mut proc_want);
+    let err = rel_l2(&gather_output(chaos_parts), &proc_want);
+    println!("  recovered spectrum: bit-identical to fault-free, rel_l2 = {err:.3e}");
+    assert!(err < 1e-9);
+    let _ = std::fs::remove_dir_all(&work);
+
     println!(
         "\nok: faults absorbed when transient, typed when unsupervised, recovered when supervised, \
-         silent flips caught by invariants."
+         silent flips caught by invariants, and a kill -9'd rank process resumed from disk \
+         checkpoints bit-exactly."
     );
 }

@@ -1,0 +1,196 @@
+//! Property-based tests for the multi-process transport's wire codec
+//! (PR 7 satellite): round trips across payload sizes including empty
+//! and larger-than-ring frames, truncation always reads as "feed me
+//! more", corrupted length prefixes never drive an allocation, and
+//! cross-epoch frames are identifiable for rejection.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use soifft::cluster::transport::shm::{shm_dir, ShmRing};
+use soifft::cluster::transport::wire::{
+    decode_frame, encode_frame, Frame, FrameKind, WireError, HEADER_LEN, MAX_PAYLOAD_ELEMS,
+};
+use soifft::num::c64;
+
+fn payload(len: usize, seed: u64) -> Vec<c64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    };
+    (0..len).map(|_| c64::new(next(), next())).collect()
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        (
+            prop::sample::select(vec![
+                FrameKind::Data,
+                FrameKind::Hello,
+                FrameKind::Heartbeat,
+                FrameKind::PeerDown,
+                FrameKind::BarrierEnter,
+            ]),
+            0u32..64,
+            0u32..64,
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            0u64..16,
+            // Payload sizes from empty through well past the test ring's
+            // capacity (96 elems = 1536 payload bytes ≫ 256-byte ring).
+            prop::sample::select(vec![0usize, 1, 2, 7, 15, 16, 17, 63, 96]),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |((kind, src, dst, tag, seq), (checksum, generation, len, seed))| Frame {
+                kind,
+                src,
+                dst,
+                tag,
+                seq,
+                checksum,
+                generation,
+                payload: payload(len, seed),
+            },
+        )
+}
+
+proptest! {
+    /// Encode → decode is the identity on every field, and the decoder
+    /// reports exactly the encoded length as consumed.
+    #[test]
+    fn round_trip_preserves_frame(frame in frame_strategy()) {
+        let bytes = encode_frame(&frame);
+        let (back, used) = decode_frame(&bytes).expect("clean frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Any prefix of a valid frame decodes to `Truncated` with an honest
+    /// byte count — the streaming contract ring consumers rely on.
+    #[test]
+    fn every_truncation_asks_for_more_bytes(
+        frame in frame_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode_frame(&frame);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < bytes.len());
+        match decode_frame(&bytes[..cut]) {
+            Err(WireError::Truncated { needed, have }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(needed > cut);
+                prop_assert!(needed <= bytes.len());
+            }
+            other => prop_assert!(false, "cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+
+    /// Flipping any single bit of the header is detected before the
+    /// decoder trusts anything — a corrupted length prefix in particular
+    /// can never drive an allocation or a mis-framed read.
+    #[test]
+    fn any_header_bit_flip_is_rejected(
+        frame in frame_strategy(),
+        byte in 0usize..HEADER_LEN,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_frame(&frame);
+        bytes[byte] ^= 1 << bit;
+        let got = decode_frame(&bytes);
+        match byte {
+            0..=3 => prop_assert_eq!(got, Err(WireError::BadMagic)),
+            56..=63 => prop_assert_eq!(got, Err(WireError::HeaderCorrupt)),
+            _ => prop_assert!(
+                matches!(got, Err(WireError::HeaderCorrupt)),
+                "byte {byte}: got {got:?}"
+            ),
+        }
+    }
+
+    /// A length prefix re-stamped with a fresh header checksum (the
+    /// hostile-peer case) is still capped at [`MAX_PAYLOAD_ELEMS`].
+    #[test]
+    fn oversized_length_claims_are_capped(extra in 1u64..1 << 20) {
+        let frame = Frame::control(FrameKind::Data, 0, 1);
+        let mut bytes = encode_frame(&frame);
+        let claim = MAX_PAYLOAD_ELEMS + extra;
+        bytes[56..64].copy_from_slice(&claim.to_le_bytes());
+        // Recompute the header FNV so only the overflow check can object.
+        let sum = fnv1a(&bytes[..HEADER_LEN - 8]).to_le_bytes();
+        bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&sum);
+        prop_assert_eq!(decode_frame(&bytes), Err(WireError::LengthOverflow(claim)));
+    }
+
+    /// Generation tagging: a frame identifies with exactly its own
+    /// supervision epoch, so ingestion can drop a dead incarnation's
+    /// leftover traffic.
+    #[test]
+    fn cross_epoch_frames_are_identifiable(frame in frame_strategy(), delta in 1u64..1 << 32) {
+        let bytes = encode_frame(&frame);
+        let (back, _) = decode_frame(&bytes).expect("clean frame decodes");
+        prop_assert!(back.is_for_generation(frame.generation));
+        prop_assert!(!back.is_for_generation(frame.generation.wrapping_add(delta)));
+        prop_assert!(!back.is_for_generation(frame.generation.wrapping_sub(delta)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Frames stream bit-identically through a shared-memory ring far
+    /// smaller than the frame — the producer's partial pushes and the
+    /// consumer's `Truncated`-driven reassembly compose to the identity.
+    #[test]
+    fn round_trip_through_undersized_ring(frame in frame_strategy()) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let path = shm_dir().join(format!(
+            "soifft-wiretest-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let producer = ShmRing::create(&path, 256).expect("create ring");
+        let consumer = ShmRing::open(&path).expect("open ring");
+        let bytes = encode_frame(&frame);
+        let mut pushed = 0usize;
+        let mut acc: Vec<u8> = Vec::new();
+        let mut buf = [0u8; 128];
+        let mut spins = 0u32;
+        let decoded = loop {
+            spins += 1;
+            prop_assert!(spins < 100_000, "ring transfer made no progress");
+            if pushed < bytes.len() {
+                pushed += producer.try_push(&bytes[pushed..]).expect("push");
+            }
+            let n = consumer.try_pop(&mut buf).expect("pop");
+            acc.extend_from_slice(&buf[..n]);
+            match decode_frame(&acc) {
+                Ok((f, used)) => {
+                    prop_assert_eq!(used, bytes.len());
+                    break f;
+                }
+                Err(WireError::Truncated { .. }) => continue,
+                Err(e) => return Err(TestCaseError::fail(format!("ring corrupted frame: {e}"))),
+            }
+        };
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(decoded, frame);
+    }
+}
+
+/// Mirror of the codec's private header FNV (the hostile-peer test needs
+/// to forge a valid header checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    bytes
+        .iter()
+        .fold(SEED, |h, &b| (h ^ b as u64).wrapping_mul(PRIME))
+}
