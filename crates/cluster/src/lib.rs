@@ -78,8 +78,8 @@ pub use fault::{
 pub use pcie::PcieLink;
 pub use proxy::ProxyCore;
 pub use resilience::{
-    checksum, CancellableBarrier, CommError, ExchangePolicy, RankOutcome, RetryPolicy,
-    ValidationPolicy,
+    checksum, CancellableBarrier, CommError, ExchangePolicy, FailureDetection, RankOutcome,
+    RetryPolicy, ValidationPolicy,
 };
 pub use stats::{CommStats, CostModel, PhaseRecord, RecoveryOutcome};
 pub use supervisor::{HealthMonitor, RecoveryCtx, RestartPolicy, SupervisedRun, Supervisor};
@@ -797,6 +797,8 @@ impl Comm {
         // the counters are phase-attributable from here.
         let hb = self.transport.take_heartbeat_delta();
         self.stats.note_heartbeats(hb.sent, hb.missed);
+        let link = self.transport.take_link_delta();
+        self.stats.note_link_activity(&link);
         self.transport.barrier(self.recv_deadline_default)
     }
 
@@ -1298,6 +1300,11 @@ pub struct ClusterConfig {
     /// memory under transform-shape churn; buffers declined under the
     /// ceiling are counted in [`CommStats::pool_evictions`].
     pub pool_max_retained_bytes: usize,
+    /// Failure-detection and link-repair timing for the real-process and
+    /// TCP transports (poll period, heartbeat interval, staleness budget,
+    /// reconnect backoff caps). Ignored by the in-process backend, whose
+    /// failure detection is a shared flag with no timing dimension.
+    pub detection: FailureDetection,
 }
 
 impl Default for ClusterConfig {
@@ -1310,6 +1317,7 @@ impl Default for ClusterConfig {
             join_deadline: Duration::from_secs(600),
             trace: TraceConfig::default(),
             pool_max_retained_bytes: POOL_MAX_RETAINED_BYTES,
+            detection: FailureDetection::default(),
         }
     }
 }
@@ -1575,8 +1583,9 @@ where
     Cluster::run_with(ClusterConfig::with_faults(plan), ranks, f)
 }
 
-/// Maps a captured panic payload to a typed outcome.
-fn classify_panic<T>(payload: Box<dyn std::any::Any + Send>) -> RankOutcome<T> {
+/// Maps a captured panic payload to a typed outcome (shared with the
+/// TCP supervisor, whose rank threads raise the same typed payloads).
+pub(crate) fn classify_panic<T>(payload: Box<dyn std::any::Any + Send>) -> RankOutcome<T> {
     match payload.downcast::<InjectedCrash>() {
         Ok(_) => RankOutcome::Crashed,
         Err(payload) => match payload.downcast::<CommFailure>() {

@@ -268,6 +268,56 @@ impl Default for ExchangePolicy {
     }
 }
 
+/// Failure-detection and link-repair timing for the real-process and
+/// TCP transports.
+///
+/// These knobs used to be hard-coded constants scattered through the
+/// process supervisor; chaos tests tighten them to fail fast, slow CI
+/// boxes loosen them to avoid false positives. They travel inside
+/// [`ClusterConfig`](crate::ClusterConfig) so a single config object
+/// describes the whole failure ladder: how often liveness is polled,
+/// how often a rank beacons, how long silence is tolerated, and how
+/// aggressively a broken link is re-dialed before the peer is declared
+/// down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailureDetection {
+    /// How often the supervisor/detector re-checks liveness (child exit
+    /// statuses, heartbeat staleness, link downtime).
+    pub poll_period: Duration,
+    /// Interval between liveness beacons on an otherwise idle link.
+    pub heartbeat_interval: Duration,
+    /// Continuous silence (no frames, no successful reconnect) after
+    /// which a peer is declared [`CommError::PeerDown`]. This is the
+    /// *staleness budget*: a partition shorter than this heals
+    /// transparently, a longer one escalates to respawn.
+    pub staleness_timeout: Duration,
+    /// First re-dial delay after a connection drops.
+    pub reconnect_base_backoff: Duration,
+    /// Cap on the exponentially growing re-dial delay.
+    pub reconnect_max_backoff: Duration,
+}
+
+impl Default for FailureDetection {
+    fn default() -> Self {
+        FailureDetection {
+            poll_period: Duration::from_millis(5),
+            heartbeat_interval: Duration::from_millis(50),
+            staleness_timeout: Duration::from_millis(1000),
+            reconnect_base_backoff: Duration::from_millis(10),
+            reconnect_max_backoff: Duration::from_millis(250),
+        }
+    }
+}
+
+impl FailureDetection {
+    /// The re-dial delay after `attempt` failed reconnects (0-based):
+    /// `base · 2^attempt`, capped at `reconnect_max_backoff`.
+    pub fn reconnect_backoff(&self, attempt: u32) -> Duration {
+        (self.reconnect_base_backoff * 2u32.saturating_pow(attempt.min(16)))
+            .min(self.reconnect_max_backoff)
+    }
+}
+
 /// How the distributed pipelines defend against silent data corruption.
 ///
 /// The link layer already checksums every wire message; this policy

@@ -89,6 +89,9 @@ pub struct CommStats {
     heartbeats_sent: u64,
     heartbeats_missed: u64,
     recv_timeouts: u64,
+    link_reconnects: u64,
+    link_partition_s: f64,
+    bytes_by_peer: Vec<u64>,
     trace: Option<TraceBuf>,
 }
 
@@ -169,6 +172,41 @@ impl CommStats {
     /// its deadline with [`CommError::Timeout`](crate::CommError::Timeout).
     pub fn note_recv_timeout(&mut self) {
         self.recv_timeouts += 1;
+    }
+
+    /// Folds link-layer activity harvested from the transport: per-link
+    /// reconnects, seconds of healed link downtime, and wire bytes
+    /// pushed toward each peer (connection-oriented backends only; the
+    /// in-process and pipe backends report all-zero deltas).
+    pub fn note_link_activity(&mut self, delta: &crate::transport::LinkDelta) {
+        self.link_reconnects += delta.reconnects;
+        self.link_partition_s += delta.partition_seconds;
+        if self.bytes_by_peer.len() < delta.bytes_by_peer.len() {
+            self.bytes_by_peer.resize(delta.bytes_by_peer.len(), 0);
+        }
+        for (mine, theirs) in self.bytes_by_peer.iter_mut().zip(&delta.bytes_by_peer) {
+            *mine += theirs;
+        }
+    }
+
+    /// Transport reconnects that healed a dropped link transparently
+    /// (each one is a fault the layers above never saw).
+    pub fn link_reconnects(&self) -> u64 {
+        self.link_reconnects
+    }
+
+    /// Total seconds outbound links spent down before healing — time
+    /// the mesh absorbed inside the staleness budget rather than
+    /// escalating to a peer-down declaration.
+    pub fn link_partition_seconds(&self) -> f64 {
+        self.link_partition_s
+    }
+
+    /// Wire bytes pushed toward each peer rank (frame headers
+    /// included), indexed by destination; empty until a
+    /// connection-oriented transport reports traffic.
+    pub fn bytes_by_peer(&self) -> &[u64] {
+        &self.bytes_by_peer
     }
 
     /// Heartbeat beacons this rank's transport emitted.
@@ -488,6 +526,14 @@ impl CommStats {
         self.heartbeats_sent += other.heartbeats_sent;
         self.heartbeats_missed += other.heartbeats_missed;
         self.recv_timeouts += other.recv_timeouts;
+        self.link_reconnects += other.link_reconnects;
+        self.link_partition_s += other.link_partition_s;
+        if self.bytes_by_peer.len() < other.bytes_by_peer.len() {
+            self.bytes_by_peer.resize(other.bytes_by_peer.len(), 0);
+        }
+        for (mine, theirs) in self.bytes_by_peer.iter_mut().zip(&other.bytes_by_peer) {
+            *mine += theirs;
+        }
         if let (Some(mine), Some(theirs)) = (&mut self.trace, &other.trace) {
             mine.absorb(theirs);
         }
@@ -813,6 +859,38 @@ mod tests {
         assert_eq!(a.heartbeats_sent(), 15);
         assert_eq!(a.heartbeats_missed(), 1);
         assert_eq!(a.recv_timeouts(), 3);
+    }
+
+    #[test]
+    fn link_counters_accumulate_and_absorb() {
+        use crate::transport::LinkDelta;
+        let mut a = CommStats::default();
+        assert_eq!(a.link_reconnects(), 0);
+        assert_eq!(a.link_partition_seconds(), 0.0);
+        assert!(a.bytes_by_peer().is_empty());
+        a.note_link_activity(&LinkDelta {
+            reconnects: 2,
+            partition_seconds: 0.5,
+            bytes_by_peer: vec![10, 20],
+        });
+        a.note_link_activity(&LinkDelta {
+            reconnects: 1,
+            partition_seconds: 0.25,
+            bytes_by_peer: vec![1, 2, 3], // a wider delta grows the ledger
+        });
+        assert_eq!(a.link_reconnects(), 3);
+        assert!((a.link_partition_seconds() - 0.75).abs() < 1e-12);
+        assert_eq!(a.bytes_by_peer(), &[11, 22, 3]);
+        let mut b = CommStats::default();
+        b.note_link_activity(&LinkDelta {
+            reconnects: 4,
+            partition_seconds: 1.0,
+            bytes_by_peer: vec![100, 0, 0, 7],
+        });
+        a.absorb(&b);
+        assert_eq!(a.link_reconnects(), 7);
+        assert!((a.link_partition_seconds() - 1.75).abs() < 1e-12);
+        assert_eq!(a.bytes_by_peer(), &[111, 22, 3, 7]);
     }
 
     #[test]

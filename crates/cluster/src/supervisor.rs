@@ -18,6 +18,16 @@
 //! from the dead incarnation are discarded by the wire layer's generation
 //! tag (the epoch number), which is why the channels can safely survive
 //! the crash.
+//!
+//! This supervisor runs ranks as threads over in-process channels. The
+//! same epoch/generation/checkpoint ladder also drives real transports:
+//! [`ProcSupervisor`](crate::transport::proc::ProcSupervisor) respawns
+//! OS processes over pipes, and
+//! [`TcpSupervisor`](crate::transport::tcp::TcpSupervisor) respawns a
+//! TCP mesh — where, unlike here, a network partition surfaces as a
+//! *typed* [`CommError::PeerDown`](crate::CommError::PeerDown) on every
+//! rank rather than a thread death, so that supervisor respawns on any
+//! non-Ok outcome.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;

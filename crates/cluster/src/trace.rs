@@ -206,6 +206,15 @@ pub struct RunProfile {
     /// Blocking receives (or backpressured sends) that gave up at their
     /// deadline with a typed `Timeout`, summed over ranks.
     pub recv_timeouts: u64,
+    /// Link reconnects that healed a dropped connection transparently,
+    /// summed over ranks (0 for backends without real connections).
+    pub link_reconnects: u64,
+    /// Seconds of healed outbound-link downtime, summed over ranks —
+    /// partition time the mesh absorbed inside its staleness budget.
+    pub link_partition_s: f64,
+    /// Wire bytes pushed toward each peer rank, elementwise-summed over
+    /// the senders' ledgers (empty for backends that don't report it).
+    pub bytes_by_peer: Vec<u64>,
 }
 
 impl RunProfile {
@@ -307,6 +316,18 @@ impl RunProfile {
             heartbeats_sent: stats.iter().map(|s| s.heartbeats_sent()).sum(),
             heartbeats_missed: stats.iter().map(|s| s.heartbeats_missed()).sum(),
             recv_timeouts: stats.iter().map(|s| s.recv_timeouts()).sum(),
+            link_reconnects: stats.iter().map(|s| s.link_reconnects()).sum(),
+            link_partition_s: stats.iter().map(|s| s.link_partition_seconds()).sum(),
+            bytes_by_peer: {
+                let width = stats.iter().map(|s| s.bytes_by_peer().len()).max();
+                let mut sums = vec![0u64; width.unwrap_or(0)];
+                for s in stats {
+                    for (acc, b) in sums.iter_mut().zip(s.bytes_by_peer()) {
+                        *acc += b;
+                    }
+                }
+                sums
+            },
         }
     }
 
@@ -404,6 +425,13 @@ pub fn text_tree(stats: &[CommStats]) -> String {
         "          {} heartbeats sent, {} peers lost to staleness, {} recv timeouts",
         profile.heartbeats_sent, profile.heartbeats_missed, profile.recv_timeouts,
     );
+    if profile.link_reconnects > 0 || profile.link_partition_s > 0.0 {
+        let _ = writeln!(
+            out,
+            "          {} link reconnects healed {:.3} s of partition",
+            profile.link_reconnects, profile.link_partition_s,
+        );
+    }
     out
 }
 

@@ -8,7 +8,7 @@
 //! fault injection, retry, the buffer pool, statistics) lives in
 //! [`Comm`](crate::Comm) and is backend-agnostic.
 //!
-//! Two backends ship:
+//! Three backends ship:
 //!
 //! * [`InProcTransport`] — the classic simulated cluster: ranks are OS
 //!   threads, links are crossbeam channels, failure detection is a
@@ -20,14 +20,25 @@
 //!   the same-host data plane. Peer death is *real* (`kill -9`) and is
 //!   detected by connection teardown or heartbeat staleness, surfacing
 //!   as [`CommError::PeerDown`](crate::CommError::PeerDown).
+//! * [`TcpTransport`](tcp::TcpTransport) — a full mesh of per-peer TCP
+//!   connections speaking the same [`wire`] codec, suitable for ranks
+//!   on separate hosts. Transient link drops heal by
+//!   reconnect-with-backoff inside the staleness budget; longer
+//!   partitions escalate through the same
+//!   [`CommError::PeerDown`](crate::CommError::PeerDown) ladder. The
+//!   [`netchaos`] module puts a deterministic fault proxy (partitions,
+//!   resets, latency, bandwidth caps, slow-loris) in front of it.
 
+pub mod netchaos;
 #[cfg(unix)]
 pub mod proc;
 #[cfg(unix)]
 pub mod shm;
+pub mod tcp;
 pub mod wire;
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -98,6 +109,75 @@ pub struct HeartbeatDelta {
     pub sent: u64,
     /// Peers this rank saw declared dead by heartbeat staleness.
     pub missed: u64,
+}
+
+/// Per-link activity harvested from a transport since the last harvest
+/// (empty/zero for backends without real links).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinkDelta {
+    /// Successful re-dials of a dropped connection (transparent heals).
+    pub reconnects: u64,
+    /// Wall-clock seconds outbound links spent broken before healing or
+    /// escalation — the observed partition time.
+    pub partition_seconds: f64,
+    /// Payload + header bytes written toward each destination rank,
+    /// indexed by rank (this rank's own slot stays 0).
+    pub bytes_by_peer: Vec<u64>,
+}
+
+/// Shared peer-liveness table a transport's detector threads feed and
+/// its blocking primitives poll (used by the process and TCP backends).
+pub(crate) struct PeerMap {
+    pub(crate) any: AtomicBool,
+    pub(crate) flags: Mutex<Vec<Option<PeerFailureKind>>>,
+    /// The control plane is gone (orderly shutdown or hub/mesh death).
+    pub(crate) closed: AtomicBool,
+    /// Peers lost to heartbeat staleness (vs. connection/exit loss).
+    pub(crate) hb_missed: AtomicU64,
+}
+
+impl PeerMap {
+    pub(crate) fn new(size: usize) -> Self {
+        PeerMap {
+            any: AtomicBool::new(false),
+            flags: Mutex::new(vec![None; size]),
+            closed: AtomicBool::new(false),
+            hb_missed: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks `rank` failed with `kind`; first marking wins. Returns true
+    /// when this call was the first to mark it.
+    pub(crate) fn mark(&self, rank: usize, kind: PeerFailureKind) -> bool {
+        let mut g = self.flags.lock().unwrap_or_else(|e| e.into_inner());
+        let fresh = rank < g.len() && g[rank].is_none();
+        if fresh {
+            g[rank] = Some(kind);
+        }
+        self.any.store(true, Ordering::SeqCst);
+        fresh
+    }
+
+    pub(crate) fn first(&self) -> Option<PeerFailure> {
+        if !self.any.load(Ordering::SeqCst) {
+            return None;
+        }
+        let g = self.flags.lock().unwrap_or_else(|e| e.into_inner());
+        g.iter()
+            .enumerate()
+            .find_map(|(rank, kind)| kind.map(|kind| PeerFailure { rank, kind }))
+    }
+
+    pub(crate) fn get(&self, rank: usize) -> Option<PeerFailure> {
+        if !self.any.load(Ordering::SeqCst) {
+            return None;
+        }
+        let g = self.flags.lock().unwrap_or_else(|e| e.into_inner());
+        g.get(rank)
+            .copied()
+            .flatten()
+            .map(|kind| PeerFailure { rank, kind })
+    }
 }
 
 /// A cloneable fire-and-forget sender handle to one destination,
@@ -180,6 +260,13 @@ pub trait Transport: Send {
     /// backends without heartbeats).
     fn take_heartbeat_delta(&self) -> HeartbeatDelta {
         HeartbeatDelta::default()
+    }
+
+    /// Harvests per-link activity (reconnects, partition time, bytes by
+    /// peer) since the last call; the default covers backends without
+    /// real links.
+    fn take_link_delta(&self) -> LinkDelta {
+        LinkDelta::default()
     }
 }
 

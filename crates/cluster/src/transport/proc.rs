@@ -39,11 +39,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 
 use super::shm::ShmRing;
-use super::wire::{self, Frame, FrameKind};
+use super::wire::{self, frame_to_message, message_to_frame, Frame, FrameKind};
 use super::{
-    AsyncSender, HeartbeatDelta, PeerFailure, PeerFailureKind, SendOutcome, Transport, WaitOutcome,
+    AsyncSender, HeartbeatDelta, LinkDelta, PeerFailure, PeerFailureKind, PeerMap, SendOutcome,
+    Transport, WaitOutcome,
 };
-use crate::resilience::CommError;
+use crate::resilience::{CommError, FailureDetection};
 use crate::supervisor::RestartPolicy;
 use crate::Message;
 
@@ -125,81 +126,6 @@ impl ProcEndpoint {
     }
 }
 
-fn frame_to_message(f: Frame) -> Message {
-    Message {
-        src: f.src as usize,
-        tag: f.tag,
-        seq: f.seq,
-        checksum: f.checksum,
-        generation: f.generation,
-        data: f.payload,
-    }
-}
-
-fn message_to_frame(dst: usize, m: Message) -> Frame {
-    Frame {
-        kind: FrameKind::Data,
-        src: m.src as u32,
-        dst: dst as u32,
-        tag: m.tag,
-        seq: m.seq,
-        checksum: m.checksum,
-        generation: m.generation,
-        payload: m.data,
-    }
-}
-
-/// Shared peer-liveness table a child's reader thread feeds and its
-/// transport polls.
-struct PeerMap {
-    any: AtomicBool,
-    flags: Mutex<Vec<Option<PeerFailureKind>>>,
-    /// The hub connection is gone (orderly shutdown or hub death).
-    closed: AtomicBool,
-    /// Peers lost to heartbeat staleness (vs. connection/exit loss).
-    hb_missed: AtomicU64,
-}
-
-impl PeerMap {
-    fn new(size: usize) -> Self {
-        PeerMap {
-            any: AtomicBool::new(false),
-            flags: Mutex::new(vec![None; size]),
-            closed: AtomicBool::new(false),
-            hb_missed: AtomicU64::new(0),
-        }
-    }
-
-    fn mark(&self, rank: usize, kind: PeerFailureKind) {
-        let mut g = self.flags.lock().unwrap_or_else(|e| e.into_inner());
-        if rank < g.len() && g[rank].is_none() {
-            g[rank] = Some(kind);
-        }
-        self.any.store(true, Ordering::SeqCst);
-    }
-
-    fn first(&self) -> Option<PeerFailure> {
-        if !self.any.load(Ordering::SeqCst) {
-            return None;
-        }
-        let g = self.flags.lock().unwrap_or_else(|e| e.into_inner());
-        g.iter()
-            .enumerate()
-            .find_map(|(rank, kind)| kind.map(|kind| PeerFailure { rank, kind }))
-    }
-
-    fn get(&self, rank: usize) -> Option<PeerFailure> {
-        if !self.any.load(Ordering::SeqCst) {
-            return None;
-        }
-        let g = self.flags.lock().unwrap_or_else(|e| e.into_inner());
-        g.get(rank)
-            .copied()
-            .flatten()
-            .map(|kind| PeerFailure { rank, kind })
-    }
-}
-
 /// The child-side endpoint of the multi-process transport (see module
 /// docs): one hub socket (control + outbound data), an optional inbound
 /// shm ring, a reader thread, and a heartbeat thread.
@@ -215,6 +141,9 @@ pub struct ProcTransport {
     alive: Arc<AtomicBool>,
     wedged: Arc<AtomicBool>,
     hb_sent: Arc<AtomicU64>,
+    /// Wire bytes written toward each destination rank (hub routing
+    /// means one physical link, but attribution stays per-peer).
+    bytes_to: Arc<Vec<AtomicU64>>,
     /// Kept to shut the socket down on drop, unblocking the reader.
     stream: UnixStream,
 }
@@ -247,6 +176,7 @@ impl ProcTransport {
         let alive = Arc::new(AtomicBool::new(true));
         let wedged = Arc::new(AtomicBool::new(false));
         let hb_sent = Arc::new(AtomicU64::new(0));
+        let bytes_to = Arc::new((0..endpoint.size).map(|_| AtomicU64::new(0)).collect());
         let writer = Arc::new(Mutex::new(stream.try_clone()?));
 
         // Reader: control + (socket-plane) data frames from the hub.
@@ -377,6 +307,7 @@ impl ProcTransport {
             alive,
             wedged,
             hb_sent,
+            bytes_to,
             stream,
         })
     }
@@ -420,7 +351,10 @@ impl Transport for ProcTransport {
         let frame = message_to_frame(dst, msg);
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         match wire::write_frame(&mut *w, &frame) {
-            Ok(()) => SendOutcome::Sent,
+            Ok(()) => {
+                self.bytes_to[dst].fetch_add(frame.encoded_len() as u64, Ordering::Relaxed);
+                SendOutcome::Sent
+            }
             Err(_) => SendOutcome::Closed(frame_to_message(frame)),
         }
     }
@@ -494,10 +428,13 @@ impl Transport for ProcTransport {
 
     fn async_sender(&self, dst: usize) -> Option<AsyncSender> {
         let writer = Arc::clone(&self.writer);
+        let bytes_to = Arc::clone(&self.bytes_to);
         Some(AsyncSender::new(move |msg| {
             let frame = message_to_frame(dst, msg);
             let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-            let _ = wire::write_frame(&mut *w, &frame);
+            if wire::write_frame(&mut *w, &frame).is_ok() {
+                bytes_to[dst].fetch_add(frame.encoded_len() as u64, Ordering::Relaxed);
+            }
         }))
     }
 
@@ -505,6 +442,18 @@ impl Transport for ProcTransport {
         HeartbeatDelta {
             sent: self.hb_sent.swap(0, Ordering::SeqCst),
             missed: self.peers.hb_missed.swap(0, Ordering::SeqCst),
+        }
+    }
+
+    fn take_link_delta(&self) -> LinkDelta {
+        LinkDelta {
+            reconnects: 0,
+            partition_seconds: 0.0,
+            bytes_by_peer: self
+                .bytes_to
+                .iter()
+                .map(|b| b.swap(0, Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -856,10 +805,10 @@ pub struct KillPlan {
 /// Launch options for a [`ProcSupervisor`].
 #[derive(Clone, Debug)]
 pub struct ProcConfig {
-    /// Child heartbeat beacon interval.
-    pub heartbeat_interval: Duration,
-    /// Staleness threshold after which a silent child is declared down.
-    pub heartbeat_timeout: Duration,
+    /// Failure-detection timing: exit-status poll period, heartbeat
+    /// beacon interval, and the staleness threshold after which a
+    /// silent child is declared down.
+    pub detection: FailureDetection,
     /// Capacity of each rank's inbound shm ring; `None` routes data
     /// over the socket instead.
     pub ring_capacity: Option<usize>,
@@ -875,8 +824,7 @@ pub struct ProcConfig {
 impl Default for ProcConfig {
     fn default() -> Self {
         ProcConfig {
-            heartbeat_interval: Duration::from_millis(50),
-            heartbeat_timeout: Duration::from_millis(1000),
+            detection: FailureDetection::default(),
             ring_capacity: Some(DEFAULT_RING_CAPACITY),
             restart: RestartPolicy::default(),
             epoch_deadline: Duration::from_secs(600),
@@ -884,6 +832,30 @@ impl Default for ProcConfig {
         }
     }
 }
+
+/// A rank child that was never reaped when its epoch ended — the typed
+/// error [`ProcSupervisor::run`] returns (wrapped in `io::Error`)
+/// instead of panicking mid-teardown. Callers can recover it with
+/// `err.get_ref().and_then(|e| e.downcast_ref::<ReapError>())`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReapError {
+    /// The rank whose exit status is missing.
+    pub rank: usize,
+    /// The epoch in which it was lost.
+    pub generation: u64,
+}
+
+impl std::fmt::Display for ReapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} of generation {} was never reaped (no exit status at epoch end)",
+            self.rank, self.generation
+        )
+    }
+}
+
+impl std::error::Error for ReapError {}
 
 /// One child's final status in the last epoch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -1012,11 +984,19 @@ impl ProcSupervisor {
                     .env(ENV_SOCKET, &socket)
                     .env(
                         ENV_HB_INTERVAL_MS,
-                        self.config.heartbeat_interval.as_millis().to_string(),
+                        self.config
+                            .detection
+                            .heartbeat_interval
+                            .as_millis()
+                            .to_string(),
                     )
                     .env(
                         ENV_HB_TIMEOUT_MS,
-                        self.config.heartbeat_timeout.as_millis().to_string(),
+                        self.config
+                            .detection
+                            .staleness_timeout
+                            .as_millis()
+                            .to_string(),
                     )
                     .env(ENV_CKPT_DIR, self.checkpoint_dir());
                 if let Some(path) = ring_path {
@@ -1070,7 +1050,10 @@ impl ProcSupervisor {
                         kill_armed = None;
                     }
                 }
-                for r in hub.shared.stale_ranks(self.config.heartbeat_timeout) {
+                for r in hub
+                    .shared
+                    .stale_ranks(self.config.detection.staleness_timeout)
+                {
                     if statuses[r].is_none() {
                         heartbeat_deaths += 1;
                         deaths += 1;
@@ -1087,13 +1070,18 @@ impl ProcSupervisor {
                         }
                     }
                 }
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(self.config.detection.poll_period);
             }
             hub.shutdown();
-            let outcomes: Vec<ProcOutcome> = statuses
-                .into_iter()
-                .map(|st| ProcOutcome::from_status(st.expect("all children reaped")))
-                .collect();
+            let mut outcomes: Vec<ProcOutcome> = Vec::with_capacity(ranks);
+            for (rank, st) in statuses.into_iter().enumerate() {
+                // Every exit from the wait loop has all statuses filled;
+                // if that invariant ever breaks, surface a typed reap
+                // error instead of panicking mid-teardown with children
+                // possibly still holding the sockets.
+                let st = st.ok_or_else(|| io::Error::other(ReapError { rank, generation }))?;
+                outcomes.push(ProcOutcome::from_status(st));
+            }
             let run = ProcRun {
                 outcomes,
                 epochs: generation + 1,

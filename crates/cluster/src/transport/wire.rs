@@ -108,6 +108,10 @@ impl Frame {
     /// [`FrameKind::PeerDown`] reason: heartbeats went stale while the
     /// process was still nominally alive.
     pub const PEER_DOWN_HEARTBEAT: u64 = 1;
+    /// [`FrameKind::PeerDown`] reason: an outbound connection stayed
+    /// broken past the staleness budget (a network partition, not a
+    /// process death).
+    pub const PEER_DOWN_PARTITION: u64 = 2;
 
     /// A payload-free control frame of `kind` from `src` in `generation`.
     pub fn control(kind: FrameKind, src: u32, generation: u64) -> Frame {
@@ -129,6 +133,38 @@ impl Frame {
     /// flight.
     pub fn is_for_generation(&self, generation: u64) -> bool {
         self.generation == generation
+    }
+
+    /// Bytes this frame occupies on the wire once encoded.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() * 16
+    }
+}
+
+/// Lifts a received data frame into the link-layer [`Message`] the
+/// resilience stack consumes (shared by every wire-speaking backend).
+pub(crate) fn frame_to_message(f: Frame) -> crate::Message {
+    crate::Message {
+        src: f.src as usize,
+        tag: f.tag,
+        seq: f.seq,
+        checksum: f.checksum,
+        generation: f.generation,
+        data: f.payload,
+    }
+}
+
+/// Lowers an outbound [`Message`] for `dst` onto a data frame.
+pub(crate) fn message_to_frame(dst: usize, m: crate::Message) -> Frame {
+    Frame {
+        kind: FrameKind::Data,
+        src: m.src as u32,
+        dst: dst as u32,
+        tag: m.tag,
+        seq: m.seq,
+        checksum: m.checksum,
+        generation: m.generation,
+        payload: m.data,
     }
 }
 

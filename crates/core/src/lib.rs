@@ -41,6 +41,7 @@ pub mod pipeline;
 pub mod procrun;
 pub mod report;
 pub mod single;
+pub mod tcprun;
 pub mod verify;
 pub mod window;
 

@@ -1,0 +1,48 @@
+//! Rank body for TCP-mesh SOI runs.
+//!
+//! The [`TcpSupervisor`](soifft_cluster::transport::tcp::TcpSupervisor)
+//! runs each rank as a thread over a real TCP mesh (loopback in the
+//! chaos tests, separate hosts in the two-terminal
+//! `examples/tcp_run.rs` demo). This module is the matching rank body:
+//! [`run_tcp_rank`] regenerates the seeded input, scatters its local
+//! share, and drives [`SoiFft::try_forward_recoverable`], mapping a
+//! pipeline failure back to the typed [`CommError`] the supervisor
+//! classifies — a partition surfaces here as `Err(PeerDown)` on every
+//! rank, which is exactly the signal that consumes a restart and
+//! respawns the mesh into a bumped generation.
+//!
+//! Input regeneration and checkpoint resume mirror
+//! [`procrun`](crate::procrun) (the multi-process sibling), so a TCP
+//! run recovered through a respawn is bit-identical to its fault-free
+//! twin — the property `tests/tcp_chaos.rs` asserts.
+
+use soifft_cluster::{Comm, CommError, ExchangePolicy, RecoveryCtx};
+use soifft_num::c64;
+
+use crate::params::SoiParams;
+use crate::pipeline::{scatter_input, SoiFft};
+use crate::procrun::seeded_input;
+
+/// One rank's SOI forward transform over an established mesh: plan,
+/// scatter the seeded input, run the recoverable pipeline, return the
+/// local spectrum.
+///
+/// # Errors
+/// [`CommError::InvalidArgument`] for unbuildable parameters, otherwise
+/// whatever typed failure the pipeline surfaced (`PeerDown` under a
+/// partition that exhausted the staleness budget, `PeerFailed` after a
+/// crash, `Timeout` at a deadline).
+pub fn run_tcp_rank(
+    comm: &mut Comm,
+    ctx: &RecoveryCtx,
+    params: &SoiParams,
+    seed: u64,
+) -> Result<Vec<c64>, CommError> {
+    let plan = SoiFft::new(*params).map_err(|_| CommError::InvalidArgument {
+        what: "SOI parameters rejected by the planner",
+    })?;
+    let input = seeded_input(params.n, seed);
+    let local = scatter_input(&input, params.procs).swap_remove(comm.rank());
+    plan.try_forward_recoverable(comm, &local, &ExchangePolicy::default(), ctx)
+        .map_err(|e| e.error)
+}

@@ -36,20 +36,33 @@
 //! rank 2 as it enters the all-to-all. The supervisor detects the death,
 //! respawns the rank set into a new generation, and the recovered
 //! spectrum is bit-identical to a fault-free multi-process run.
+//!
+//! Scenario 7 moves to the TCP mesh with the deterministic network-fault
+//! proxy in path. First a brief partition of rank 2 mid-all-to-all heals
+//! transparently — the senders reconnect and resend, zero restarts. Then
+//! a partition that outlasts the staleness budget escalates: every rank
+//! aborts with a typed `PeerDown`, the TCP supervisor respawns the mesh
+//! into a new generation, and the recovered spectrum is bit-identical to
+//! the fault-free TCP run.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
+use soifft::cluster::transport::netchaos::{
+    ChaosTrigger, NetChaosPlan, PartitionKind, PartitionSpec,
+};
 use soifft::cluster::transport::proc::{KillPlan, KillWhen, ProcConfig, ProcSupervisor};
+use soifft::cluster::transport::tcp::{TcpConfig, TcpSupervisor};
 use soifft::cluster::{
     run_cluster_with_faults, BitFlipSite, ClusterConfig, CommError, CrashSite, ExchangePolicy,
-    FaultPlan, RankOutcome, RecoveryOutcome, RestartPolicy, ValidationPolicy,
+    FailureDetection, FaultPlan, RankOutcome, RecoveryOutcome, RestartPolicy, ValidationPolicy,
 };
 use soifft::fft::Plan;
 use soifft::num::c64;
 use soifft::num::error::rel_l2;
 use soifft::soi::pipeline::{gather_output, scatter_input};
 use soifft::soi::procrun::{self, read_rank_output, seeded_input};
+use soifft::soi::tcprun::run_tcp_rank;
 use soifft::soi::{Rational, SoiFft, SoiParams};
 
 const PROC_SEED: u64 = 0xC4A0_5FF7;
@@ -277,8 +290,11 @@ fn main() {
         let dir = work.join(tag);
         let out = dir.join("out");
         let config = ProcConfig {
-            heartbeat_interval: Duration::from_millis(25),
-            heartbeat_timeout: Duration::from_secs(3),
+            detection: FailureDetection {
+                heartbeat_interval: Duration::from_millis(25),
+                staleness_timeout: Duration::from_secs(3),
+                ..FailureDetection::default()
+            },
             kill,
             ..ProcConfig::default()
         };
@@ -332,9 +348,112 @@ fn main() {
     assert!(err < 1e-9);
     let _ = std::fs::remove_dir_all(&work);
 
+    // --- scenario 7: TCP mesh behind the network-fault proxy --------------
+    let tp = SoiParams {
+        n: 1 << 16,
+        procs: 4,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 40,
+    };
+    println!(
+        "\nscenario 7: TCP mesh, rank 2 partitioned mid-all-to-all (N = {})",
+        tp.n
+    );
+    let tcp_seed = 0x07C9_F0A2u64;
+    let tcp_run = |tag: &str, detection: FailureDetection, chaos: Option<NetChaosPlan>| {
+        let sup = TcpSupervisor::new(TcpConfig {
+            cluster: ClusterConfig {
+                detection,
+                ..ClusterConfig::default()
+            },
+            chaos,
+            ..TcpConfig::default()
+        });
+        let run = sup
+            .run(tp.procs, |comm, ctx| run_tcp_rank(comm, ctx, &tp, tcp_seed))
+            .expect("TCP mesh launches");
+        if let Some(ev) = run.chaos_events {
+            println!(
+                "  {tag}: epochs {} | restarts {} | peer-down aborts {} | proxy: {} partitions, {} conns severed, {} refused",
+                run.epochs, run.restarts, run.peer_down_aborts,
+                ev.partitions_fired, ev.conns_severed, ev.conns_refused
+            );
+        } else {
+            println!(
+                "  {tag}: epochs {} | restarts {} | peer-down aborts {}",
+                run.epochs, run.restarts, run.peer_down_aborts
+            );
+        }
+        assert!(run.all_ok(), "{tag}: final epoch must complete");
+        let mut parts = Vec::new();
+        for o in run.outcomes {
+            match o {
+                RankOutcome::Ok(y) => parts.push(y),
+                other => panic!("{tag}: unexpected outcome {other:?}"),
+            }
+        }
+        (run.epochs, run.restarts, parts)
+    };
+
+    // Detection budgets: generous staleness lets the brief partition heal
+    // by reconnecting; the tight budget forces escalation.
+    let lenient = FailureDetection {
+        heartbeat_interval: Duration::from_millis(20),
+        staleness_timeout: Duration::from_secs(3),
+        ..FailureDetection::default()
+    };
+    let strict = FailureDetection {
+        heartbeat_interval: Duration::from_millis(20),
+        staleness_timeout: Duration::from_millis(900),
+        ..FailureDetection::default()
+    };
+    let partition_at = |duration: Option<Duration>| {
+        NetChaosPlan::new(0xBAD1_1ACE).partition(PartitionSpec {
+            rank: 2,
+            kind: PartitionKind::Symmetric,
+            trigger: ChaosTrigger::BytesThrough {
+                rank: 2,
+                bytes: 48 * 1024,
+            },
+            duration,
+        })
+    };
+
+    let (_, _, clean_parts) = tcp_run("fault-free", lenient, None);
+    let (epochs, restarts, healed_parts) = tcp_run(
+        "heal",
+        lenient,
+        Some(partition_at(Some(Duration::from_millis(250)))),
+    );
+    assert_eq!(epochs, 1, "a brief partition must heal without respawn");
+    assert_eq!(restarts, 0);
+    assert_eq!(
+        healed_parts, clean_parts,
+        "healed run must be bit-identical to fault-free"
+    );
+    println!("  heal: reconnect absorbed the partition — no respawn, bits identical");
+
+    let (epochs, restarts, recovered_parts) = tcp_run("escalate", strict, Some(partition_at(None)));
+    assert!(
+        epochs >= 2 && restarts >= 1,
+        "an unhealed partition must consume a respawn"
+    );
+    assert_eq!(
+        recovered_parts, clean_parts,
+        "recovered run must be bit-identical to fault-free"
+    );
+    let mut tcp_want = seeded_input(tp.n, tcp_seed);
+    Plan::new(tp.n).forward(&mut tcp_want);
+    let err = rel_l2(&gather_output(recovered_parts), &tcp_want);
+    println!(
+        "  escalate: PeerDown on every rank, respawned generation recovered — rel_l2 = {err:.3e}"
+    );
+    assert!(err < 1e-9);
+
     println!(
         "\nok: faults absorbed when transient, typed when unsupervised, recovered when supervised, \
-         silent flips caught by invariants, and a kill -9'd rank process resumed from disk \
-         checkpoints bit-exactly."
+         silent flips caught by invariants, a kill -9'd rank process resumed from disk checkpoints \
+         bit-exactly, and a network partition first healed by reconnect then recovered by respawn."
     );
 }

@@ -24,6 +24,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use soifft::cluster::transport::proc::{KillPlan, KillWhen, ProcConfig, ProcSupervisor};
+use soifft::cluster::FailureDetection;
 use soifft::fft::Plan;
 use soifft::num::c64;
 use soifft::num::error::rel_l2;
@@ -75,8 +76,11 @@ fn main() {
         let dir = work.join(tag);
         let out = dir.join("out");
         let config = ProcConfig {
-            heartbeat_interval: Duration::from_millis(25),
-            heartbeat_timeout: Duration::from_secs(3),
+            detection: FailureDetection {
+                heartbeat_interval: Duration::from_millis(25),
+                staleness_timeout: Duration::from_secs(3),
+                ..FailureDetection::default()
+            },
             kill,
             ..ProcConfig::default()
         };

@@ -1,0 +1,147 @@
+//! TCP-mesh mode: the distributed SOI FFT over real sockets.
+//!
+//! ```sh
+//! # single machine, supervised loopback mesh:
+//! cargo run --release --example tcp_run
+//!
+//! # two terminals (or two hosts — use real addresses):
+//! cargo run --release --example tcp_run -- 0 2 127.0.0.1:7100 127.0.0.1:7100,127.0.0.1:7101
+//! cargo run --release --example tcp_run -- 1 2 127.0.0.1:7101 127.0.0.1:7100,127.0.0.1:7101
+//! ```
+//!
+//! With no arguments, a [`TcpSupervisor`] runs 4 ranks as threads over a
+//! loopback mesh — the same wiring `tests/tcp_chaos.rs` partitions.
+//!
+//! With arguments `<rank> <size> <listen> <dial0,dial1,...>`, this
+//! process becomes one rank of a mesh whose peers are launched by hand:
+//! each terminal (or host) runs one rank, every rank lists the same dial
+//! addresses, and the mesh assembles itself — dialers retry with capped
+//! backoff until the staleness budget expires, so start order does not
+//! matter as long as every rank is up within that budget. The input is
+//! regenerated from a shared seed on every rank, so nothing but frames
+//! crosses the network, and every rank prints a checksum of its local
+//! spectrum that must match across runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use soifft::cluster::transport::tcp::{TcpConfig, TcpEndpoint, TcpSupervisor, TcpTransport};
+use soifft::cluster::{
+    checksum, CheckpointStore, ClusterConfig, Comm, FailureDetection, RankOutcome, RecoveryCtx,
+};
+use soifft::fft::Plan;
+use soifft::num::error::rel_l2;
+use soifft::soi::pipeline::gather_output;
+use soifft::soi::procrun::seeded_input;
+use soifft::soi::tcprun::run_tcp_rank;
+use soifft::soi::{Rational, SoiParams};
+
+const SEED: u64 = 0x07C9_5EA1;
+
+fn params(procs: usize) -> SoiParams {
+    SoiParams {
+        n: 1 << 16,
+        procs,
+        segments_per_proc: 2,
+        mu: Rational::new(2, 1),
+        conv_width: 40,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.len() {
+        0 => supervised_loopback(),
+        4 => manual_rank(&args),
+        _ => {
+            eprintln!("usage: tcp_run                                  (loopback demo)");
+            eprintln!("       tcp_run <rank> <size> <listen> <dial0,dial1,...>");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// No-arg mode: a supervised 4-rank loopback mesh.
+fn supervised_loopback() {
+    let p = params(4);
+    println!(
+        "TCP-mesh SOI: N = {}, P = {} ranks over loopback sockets",
+        p.n, p.procs
+    );
+    let sup = TcpSupervisor::new(TcpConfig::default());
+    let run = sup
+        .run(p.procs, |comm, ctx| run_tcp_rank(comm, ctx, &p, SEED))
+        .expect("mesh launches");
+    assert!(run.all_ok(), "all ranks must complete: run failed");
+    println!("  epochs {} | restarts {}", run.epochs, run.restarts);
+    let mut parts = Vec::new();
+    for (rank, o) in run.outcomes.into_iter().enumerate() {
+        match o {
+            RankOutcome::Ok(y) => {
+                println!(
+                    "  rank {rank}: local spectrum checksum {:#018x}",
+                    checksum(&y)
+                );
+                parts.push(y);
+            }
+            other => panic!("rank {rank}: unexpected outcome {other:?}"),
+        }
+    }
+    let mut want = seeded_input(p.n, SEED);
+    Plan::new(p.n).forward(&mut want);
+    let err = rel_l2(&gather_output(parts), &want);
+    println!("  spectrum verified: rel_l2 = {err:.3e}");
+    assert!(err < 1e-9);
+}
+
+/// Arg mode: one hand-launched rank of a multi-terminal (or multi-host)
+/// mesh.
+fn manual_rank(args: &[String]) {
+    let rank: usize = args[0].parse().expect("rank is a number");
+    let size: usize = args[1].parse().expect("size is a number");
+    let listen = args[2].parse().expect("listen is host:port");
+    let dial: Vec<_> = args[3]
+        .split(',')
+        .map(|a| a.parse().expect("dial addresses are host:port"))
+        .collect();
+    assert_eq!(dial.len(), size, "need one dial address per rank");
+    // Bring-up budget: dialers keep retrying until staleness expires, so
+    // a generous budget gives the operator time to start every terminal.
+    let detection = FailureDetection {
+        staleness_timeout: Duration::from_secs(30),
+        ..FailureDetection::default()
+    };
+    let p = params(size);
+    println!("rank {rank}/{size}: listening on {listen}, N = {}", p.n);
+    let ep = TcpEndpoint {
+        rank,
+        size,
+        generation: 0,
+        restarts: 0,
+        listen,
+        dial,
+        detection,
+    };
+    let transport = TcpTransport::connect(&ep).expect("listen address binds");
+    let config = ClusterConfig {
+        detection,
+        ..ClusterConfig::default()
+    };
+    let mut comm = Comm::from_transport(Box::new(transport), &config);
+    // Hand-launched ranks have no supervisor: one generation, a local
+    // in-memory checkpoint store, and a typed abort on failure.
+    let ctx = RecoveryCtx::resume(Arc::new(CheckpointStore::new(size)), 0, 0);
+    match run_tcp_rank(&mut comm, &ctx, &p, SEED) {
+        Ok(y) => {
+            println!(
+                "rank {rank}: done — local spectrum checksum {:#018x} ({} bins)",
+                checksum(&y),
+                y.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("rank {rank}: aborted: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -18,7 +18,7 @@ use std::time::Duration;
 use soifft::cluster::transport::proc::{
     KillPlan, KillWhen, ProcConfig, ProcEndpoint, ProcOutcome, ProcSupervisor, ProcTransport,
 };
-use soifft::cluster::RestartPolicy;
+use soifft::cluster::{FailureDetection, RestartPolicy};
 use soifft::fft::Plan;
 use soifft::num::c64;
 use soifft::num::error::rel_l2;
@@ -102,10 +102,13 @@ impl Drop for TempDir {
 
 fn quick_config() -> ProcConfig {
     ProcConfig {
-        heartbeat_interval: Duration::from_millis(25),
-        // Exit-status polling is the primary detector for kills; keep
-        // staleness generous so a busy CI box never false-positives.
-        heartbeat_timeout: Duration::from_secs(3),
+        detection: FailureDetection {
+            heartbeat_interval: Duration::from_millis(25),
+            // Exit-status polling is the primary detector for kills; keep
+            // staleness generous so a busy CI box never false-positives.
+            staleness_timeout: Duration::from_secs(3),
+            ..FailureDetection::default()
+        },
         epoch_deadline: Duration::from_secs(120),
         restart: RestartPolicy::default(),
         ..ProcConfig::default()
@@ -191,10 +194,13 @@ fn wedged_rank_is_detected_by_heartbeat_staleness() {
     let work = TempDir::new("wedge");
     let out = work.0.join("out");
     let config = ProcConfig {
-        heartbeat_interval: Duration::from_millis(25),
-        // Tight staleness so the wedged (silent but alive) rank is
-        // declared down quickly; live ranks beat every 25 ms.
-        heartbeat_timeout: Duration::from_millis(600),
+        detection: FailureDetection {
+            heartbeat_interval: Duration::from_millis(25),
+            // Tight staleness so the wedged (silent but alive) rank is
+            // declared down quickly; live ranks beat every 25 ms.
+            staleness_timeout: Duration::from_millis(600),
+            ..FailureDetection::default()
+        },
         epoch_deadline: Duration::from_secs(120),
         restart: RestartPolicy::default(),
         ..ProcConfig::default()

@@ -2,16 +2,117 @@
 //! (PR 7 satellite): round trips across payload sizes including empty
 //! and larger-than-ring frames, truncation always reads as "feed me
 //! more", corrupted length prefixes never drive an allocation, and
-//! cross-epoch frames are identifiable for rejection.
+//! cross-epoch frames are identifiable for rejection. The PR 8 TCP
+//! backend adds adversarial stream segmentation: frames must survive a
+//! socket that returns one byte at a time, splits reads at the
+//! header/payload boundary, or coalesces several frames into one read.
 
+use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use proptest::prelude::*;
 use soifft::cluster::transport::shm::{shm_dir, ShmRing};
 use soifft::cluster::transport::wire::{
-    decode_frame, encode_frame, Frame, FrameKind, WireError, HEADER_LEN, MAX_PAYLOAD_ELEMS,
+    decode_frame, encode_frame, read_frame, Frame, FrameKind, WireError, HEADER_LEN,
+    MAX_PAYLOAD_ELEMS,
 };
 use soifft::num::c64;
+
+/// A `Read` whose returns follow a script of chunk sizes — an
+/// adversarial TCP socket that segments the stream however it likes
+/// (after the script runs out, it serves whatever remains).
+struct ScriptedRead {
+    bytes: Vec<u8>,
+    pos: usize,
+    script: Vec<usize>,
+    step: usize,
+}
+
+impl ScriptedRead {
+    fn new(bytes: Vec<u8>, script: Vec<usize>) -> Self {
+        ScriptedRead {
+            bytes,
+            pos: 0,
+            script,
+            step: 0,
+        }
+    }
+}
+
+impl Read for ScriptedRead {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.bytes.len() - self.pos;
+        let scripted = match self.script.get(self.step) {
+            Some(&n) => n,
+            None => remaining,
+        };
+        self.step += 1;
+        let n = scripted.min(remaining).min(buf.len());
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn data_frame(len: usize, seed: u64, seq: u64) -> Frame {
+    Frame {
+        kind: FrameKind::Data,
+        src: 1,
+        dst: 0,
+        tag: 42,
+        seq,
+        checksum: 0,
+        generation: 5,
+        payload: payload(len, seed),
+    }
+}
+
+#[test]
+fn frame_survives_one_byte_at_a_time_delivery() {
+    let frame = data_frame(17, 0x00A1_1CE5, 3);
+    let bytes = encode_frame(&frame);
+    let script = vec![1; bytes.len()];
+    let mut r = ScriptedRead::new(bytes, script);
+    let got = read_frame(&mut r)
+        .expect("stream stays healthy")
+        .expect("frame decodes");
+    assert_eq!(got, frame);
+}
+
+#[test]
+fn frame_survives_a_split_at_the_header_payload_boundary() {
+    let frame = data_frame(9, 0xB0B, 8);
+    let bytes = encode_frame(&frame);
+    // Exactly the header in the first read, a lone byte next, then the
+    // rest — the boundary every framing bug lives on.
+    let script = vec![HEADER_LEN, 1, bytes.len()];
+    let mut r = ScriptedRead::new(bytes, script);
+    let got = read_frame(&mut r)
+        .expect("stream stays healthy")
+        .expect("frame decodes");
+    assert_eq!(got, frame);
+}
+
+#[test]
+fn two_coalesced_frames_come_out_as_two_frames() {
+    let a = data_frame(5, 0xF00D, 1);
+    let b = data_frame(31, 0xBEEF, 2);
+    let mut bytes = encode_frame(&a);
+    bytes.extend_from_slice(&encode_frame(&b));
+    // One read delivers everything at once, as a coalescing kernel
+    // buffer would; the reader must stop at the first frame boundary
+    // and leave the second frame intact for the next call.
+    let total = bytes.len();
+    let mut r = ScriptedRead::new(bytes, vec![total]);
+    let first = read_frame(&mut r)
+        .expect("stream stays healthy")
+        .expect("first frame decodes");
+    assert_eq!(first, a);
+    let second = read_frame(&mut r)
+        .expect("stream stays healthy")
+        .expect("second frame decodes");
+    assert_eq!(second, b);
+}
 
 fn payload(len: usize, seed: u64) -> Vec<c64> {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
