@@ -14,6 +14,10 @@ use soifft_fft::Plan;
 use soifft_num::error::rel_l2;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Accuracy characterization (DESIGN.md ablation §6.4): measured SOI",
+        &[],
+    );
     let l = 8usize;
 
     println!("SOI accuracy characterization (single node, L = {l}, N per config below)");

@@ -14,6 +14,14 @@ use soifft_num::c64;
 use soifft_par::{default_parallelism, Pool};
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Fig 10**: the impact of the §5.2 bandwidth optimizations",
+        &[
+            ("SOIFFT_FIG10_N", "transform size for the ladder"),
+            ("SOIFFT_REPS", "best-of repetitions"),
+            ("SOIFFT_THREADS", "local-FFT worker threads"),
+        ],
+    );
     let n = env_usize("SOIFFT_FIG10_N", 1 << 20);
     let reps = env_usize("SOIFFT_REPS", 3);
     let threads = env_usize("SOIFFT_THREADS", default_parallelism());

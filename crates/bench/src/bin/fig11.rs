@@ -18,6 +18,15 @@ use soifft_num::c64;
 use soifft_par::Pool;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Fig 11**: the impact of the §5.3 convolution optimizations",
+        &[
+            ("SOIFFT_B", "convolution width"),
+            ("SOIFFT_FIG11_MAX_NODES", "largest node count swept"),
+            ("SOIFFT_FIG11_PER_RANK", "points per rank"),
+            ("SOIFFT_REPS", "best-of repetitions"),
+        ],
+    );
     // Default divisible by 7 so the paper's µ = 8/7 validates.
     let per_rank = env_usize("SOIFFT_FIG11_PER_RANK", 7 * (1 << 13));
     let reps = env_usize("SOIFFT_REPS", 3);

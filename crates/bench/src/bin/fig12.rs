@@ -7,6 +7,10 @@ use soifft_bench::Table;
 use soifft_model::ClusterModel;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Fig 12 / §7**: symmetric vs offload coprocessor usage",
+        &[],
+    );
     let per_node = (1u64 << 27) as f64;
     println!("Fig 12 / Section 7: symmetric vs offload mode (model, seconds)");
     let mut t = Table::new(&[

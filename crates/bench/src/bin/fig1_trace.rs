@@ -10,6 +10,13 @@ use soifft_fft::Plan;
 use soifft_num::error::rel_linf;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Fig 1** structurally: runs the distributed Cooley–Tukey",
+        &[
+            ("SOIFFT_N", "transform size"),
+            ("SOIFFT_PROCS", "simulated ranks"),
+        ],
+    );
     let procs = env_usize("SOIFFT_PROCS", 4);
     let n = env_usize("SOIFFT_N", 1 << 14);
     let x = signal(n, 1);

@@ -9,6 +9,13 @@ use soifft_fft::Plan;
 use soifft_num::error::rel_l2;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Fig 2** structurally: runs the SOI FFT on a simulated",
+        &[
+            ("SOIFFT_N", "transform size"),
+            ("SOIFFT_PROCS", "simulated ranks"),
+        ],
+    );
     let procs = env_usize("SOIFFT_PROCS", 4);
     let n = env_usize("SOIFFT_N", 1 << 14);
     let params = SoiParams {

@@ -8,6 +8,10 @@ use soifft_bench::{secs, Table};
 use soifft_model::ClusterModel;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Fig 3**: model-estimated execution time of Cooley–Tukey",
+        &[],
+    );
     let n = ((1u64 << 27) * 32) as f64;
     let xeon = ClusterModel::xeon(32);
     let phi = ClusterModel::xeon_phi(32);

@@ -12,6 +12,13 @@ use soifft_model::{weak_scaling, ClusterModel};
 use soifft_num::error::rel_l2;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Fig 8**: weak-scaling performance (TFLOPS, ~2²⁷ points",
+        &[
+            ("SOIFFT_N", "transform size"),
+            ("SOIFFT_PROCS", "simulated ranks"),
+        ],
+    );
     model_sweep();
     functional_crosscheck();
 }

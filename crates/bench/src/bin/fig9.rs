@@ -10,6 +10,13 @@ use soifft_core::{Rational, SimSpec, SoiFft, SoiParams};
 use soifft_model::ClusterModel;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Fig 9**: execution-time breakdown of the SOI algorithm",
+        &[
+            ("SOIFFT_N", "transform size"),
+            ("SOIFFT_PROCS", "simulated ranks"),
+        ],
+    );
     model_breakdown();
     functional_breakdown();
     virtual_time_breakdown();

@@ -17,6 +17,13 @@ use soifft_model::ClusterModel;
 use soifft_num::c64;
 
 fn main() {
+    soifft_bench::check_cli(
+        "HPCC G-FFT-style measurement (the benchmark the paper's headline is",
+        &[
+            ("SOIFFT_N", "transform size"),
+            ("SOIFFT_PROCS", "simulated ranks"),
+        ],
+    );
     let procs = env_usize("SOIFFT_PROCS", 4);
     let n = env_usize("SOIFFT_N", 1 << 16);
     let x = signal(n, 123);

@@ -6,6 +6,10 @@ use soifft_bench::Table;
 use soifft_model::{weak_scaling, ClusterModel, MachineSpec};
 
 fn main() {
+    soifft_bench::check_cli(
+        "The paper's headline-claims checklist, each evaluated against this",
+        &[],
+    );
     let per_node = (1u64 << 27) as f64;
     let pts = weak_scaling(&[4, 8, 16, 32, 64, 128, 256, 512], per_node);
     let at = |p: u32| pts.iter().find(|s| s.nodes == p).expect("in sweep");

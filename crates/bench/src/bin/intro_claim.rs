@@ -13,6 +13,13 @@ use soifft_ct::{Distributed2dFft, DistributedCtFft};
 use soifft_num::c64;
 
 fn main() {
+    soifft_bench::check_cli(
+        "The introduction's framing claim, measured: \"in-order 1D FFT is",
+        &[
+            ("SOIFFT_N", "transform size"),
+            ("SOIFFT_PROCS", "simulated ranks"),
+        ],
+    );
     let procs = env_usize("SOIFFT_PROCS", 4);
     let n = env_usize("SOIFFT_N", 1 << 14);
     let x = signal(n, 77);

@@ -11,6 +11,10 @@ use soifft_bench::Table;
 use soifft_model::ClusterModel;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Segment-overlap ablation (§6.1): \"using multiple segments allows",
+        &[],
+    );
     let per_node = (1u64 << 27) as f64;
 
     println!("Segment-overlap ablation (event-simulated schedule, SOI on Xeon Phi)\n");

@@ -12,6 +12,10 @@ use soifft_bench::Table;
 use soifft_model::{weak_scaling, ClusterModel};
 
 fn main() {
+    soifft_bench::check_cli(
+        "Future-work projection (paper §6.1): \"the K computer result is with a",
+        &[],
+    );
     let per_node = (1u64 << 27) as f64;
     let nodes = [512u32, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
     println!("Future-work projection: SOI weak scaling beyond the paper's 512 nodes");

@@ -190,6 +190,20 @@ fn run_point(
 }
 
 fn main() {
+    soifft_bench::check_cli(
+        "Open-loop load generator for the serving front end (`soifft-serve`)",
+        &[
+            ("SOIFFT_SERVE_CALIB_JOBS", "calibration job count"),
+            ("SOIFFT_SERVE_DEADLINE_MS", "per-job deadline (ms)"),
+            ("SOIFFT_SERVE_JSON", "BENCH_6.json output path"),
+            ("SOIFFT_SERVE_N", "transform size"),
+            ("SOIFFT_SERVE_P", "ranks"),
+            ("SOIFFT_SERVE_SEED", "load-generator RNG seed"),
+            ("SOIFFT_SERVE_WINDOW_SECS", "measurement window seconds"),
+            ("SOIFFT_SOAK_ASSERT", "1 = fail on soak regression"),
+            ("SOIFFT_SOAK_SECS", "optional soak duration"),
+        ],
+    );
     let n = env_usize("SOIFFT_SERVE_N", 1 << 14);
     let procs = env_usize("SOIFFT_SERVE_P", 4);
     let tenants = 2;

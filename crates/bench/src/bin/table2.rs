@@ -5,6 +5,10 @@ use soifft_bench::Table;
 use soifft_model::MachineSpec;
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Table 2**: comparison of Xeon and Xeon Phi, including the",
+        &[],
+    );
     let xeon = MachineSpec::xeon_e5_2680();
     let phi = MachineSpec::xeon_phi_se10();
 

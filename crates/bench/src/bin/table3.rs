@@ -6,6 +6,10 @@ use soifft_bench::Table;
 use soifft_model::{NetworkSpec, PcieSpec, SoiConstants};
 
 fn main() {
+    soifft_bench::check_cli(
+        "Regenerates **Table 3**: the experiment setup — here, the constants the",
+        &[],
+    );
     let net = NetworkSpec::default();
     let pcie = PcieSpec::default();
     let soi = SoiConstants::default();

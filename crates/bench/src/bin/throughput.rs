@@ -34,10 +34,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use soifft_bench::{env_usize, signal, Table, BENCH_SCHEMA_VERSION};
+use soifft_bench::{check_cli, env_usize, signal, Table, BENCH_SCHEMA_VERSION};
 use soifft_cluster::Cluster;
+use soifft_core::accuracy::snr_db;
 use soifft_core::pipeline::scatter_input;
-use soifft_core::{Rational, SoiFft, SoiParams};
+use soifft_core::{Precision, Rational, SoiFft, SoiParams};
 use soifft_num::c64;
 
 /// Bytes requested from the heap, process-wide (alloc + realloc).
@@ -80,6 +81,21 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 fn main() {
+    check_cli(
+        "Serving-shape throughput bench: planned-workspace forward_many vs \
+         fresh forward(), plus the mixed-precision ladder (BENCH_7).",
+        &[
+            ("SOIFFT_THROUGHPUT_N", "transform size (default 2^23)"),
+            ("SOIFFT_THROUGHPUT_P", "ranks (default 4)"),
+            ("SOIFFT_THROUGHPUT_B", "batch size (default 5)"),
+            ("SOIFFT_THROUGHPUT_S", "segments per rank (default 32)"),
+            ("SOIFFT_THROUGHPUT_W", "convolution width (default 8)"),
+            ("SOIFFT_THROUGHPUT_REPS", "best-of repetitions (default 3)"),
+            ("SOIFFT_THROUGHPUT_JSON", "BENCH_5.json output path"),
+            ("SOIFFT_THROUGHPUT_JSON7", "BENCH_7.json output path"),
+            ("SOIFFT_FORCE_SCALAR", "1 = disable the AVX2 kernels"),
+        ],
+    );
     let n = env_usize("SOIFFT_THROUGHPUT_N", 1 << 23);
     let procs = env_usize("SOIFFT_THROUGHPUT_P", 4);
     let batch = env_usize("SOIFFT_THROUGHPUT_B", 5);
@@ -100,6 +116,45 @@ fn main() {
         .map(|b| scatter_input(&signal(n, 42 + b as u64), procs))
         .collect();
     let fft = SoiFft::new(params).expect("plan").with_fused_segment_fft();
+
+    // Baseline mode (internal): the parent process re-execs itself with
+    // SOIFFT_FORCE_SCALAR=1 + this flag to measure the pre-SIMD f64
+    // configuration — the seed this PR's BENCH_7 ladder is scored
+    // against — inside a process whose kernel dispatch never saw AVX2.
+    if std::env::var_os("SOIFFT_THROUGHPUT_BASELINE").is_some() {
+        let reps = env_usize("SOIFFT_THROUGHPUT_REPS", 3);
+        let walls = Cluster::run(procs, |comm| {
+            let mine: Vec<&Vec<c64>> = scattered.iter().map(|s| &s[comm.rank()]).collect();
+            let owned: Vec<Vec<c64>> = mine.iter().map(|x| (*x).clone()).collect();
+            let mut ws = fft.make_workspace();
+            let mut outs = vec![Vec::new(); owned.len()];
+            fft.forward_many_into(comm, &owned, &mut ws, &mut outs);
+            let mut wall = f64::INFINITY;
+            for _ in 0..reps {
+                comm.barrier();
+                let t = Instant::now();
+                fft.forward_many_into(comm, &owned, &mut ws, &mut outs);
+                comm.barrier();
+                wall = wall.min(t.elapsed().as_secs_f64());
+            }
+            std::hint::black_box(&outs);
+            wall
+        });
+        let wall = walls.into_iter().next().expect("rank 0");
+        println!("baseline_transforms_per_s={:.6}", batch as f64 / wall);
+        return;
+    }
+    // The mixed-precision ladder shares the plan but swaps the back half:
+    // half-width all-to-all payloads plus an f32 (or f32-transport /
+    // f64-accumulate) recovery stage — ROADMAP item 2, scored as BENCH_7.
+    let fft32 = SoiFft::new(params)
+        .expect("plan")
+        .with_fused_segment_fft()
+        .with_precision(Precision::F32);
+    let fft_split = SoiFft::new(params)
+        .expect("plan")
+        .with_fused_segment_fft()
+        .with_precision(Precision::Split);
 
     let measured = Cluster::run(procs, |comm| {
         let mine: Vec<&Vec<c64>> = scattered.iter().map(|s| &s[comm.rank()]).collect();
@@ -172,6 +227,26 @@ fn main() {
             fft.forward_into(comm, x, &mut ws, &mut y);
             warm_lat.push(t.elapsed().as_secs_f64());
         }
+        // Window 4 — the precision ladder (BENCH_7): the same batch
+        // through the half-width exchange paths, against the f64 run
+        // already timed in window 2. Each precision gets its own warmed
+        // workspace; the f64 `outs` double as the accuracy oracle.
+        let mut ladder = Vec::with_capacity(2);
+        for low in [&fft32, &fft_split] {
+            let mut ws_low = low.make_workspace();
+            let mut outs_low = vec![Vec::new(); owned.len()];
+            low.forward_many_into(comm, &owned, &mut ws_low, &mut outs_low);
+            let mut wall = f64::INFINITY;
+            for _ in 0..reps {
+                comm.barrier();
+                let t = Instant::now();
+                low.forward_many_into(comm, &owned, &mut ws_low, &mut outs_low);
+                comm.barrier();
+                wall = wall.min(t.elapsed().as_secs_f64());
+            }
+            ladder.push((wall, snr_db(&outs_low[0], &outs[0])));
+        }
+
         comm.barrier();
         (
             fresh_wall,
@@ -180,11 +255,14 @@ fn main() {
             many_bytes,
             fresh_lat,
             warm_lat,
+            ladder,
         )
     });
 
-    let (fresh_wall, fresh_bytes, many_wall, many_bytes, mut fresh_lat, mut warm_lat) =
+    let (fresh_wall, fresh_bytes, many_wall, many_bytes, mut fresh_lat, mut warm_lat, ladder) =
         measured.into_iter().next().expect("rank 0");
+    let (f32_wall, f32_snr) = ladder[0];
+    let (split_wall, split_snr) = ladder[1];
     fresh_lat.sort_by(f64::total_cmp);
     warm_lat.sort_by(f64::total_cmp);
 
@@ -250,4 +328,81 @@ fn main() {
         std::env::var("SOIFFT_THROUGHPUT_JSON").unwrap_or_else(|_| "BENCH_5.json".to_string());
     std::fs::write(&path, json).expect("write BENCH_5.json");
     eprintln!("wrote {path}");
+
+    // BENCH_7 — the mixed-precision ladder against the f64 warm path,
+    // with the accuracy each point paid for its speed (SNR vs the f64
+    // oracle on the same inputs) and the kernel backend that served it.
+    let f64_tps = batch as f64 / many_wall;
+    let f32_tps = batch as f64 / f32_wall;
+    let split_tps = batch as f64 / split_wall;
+
+    // The seed-relative baseline: this repository before the SIMD +
+    // mixed-precision work was scalar f64 end to end, so the ladder is
+    // also scored against a child process running exactly that (scalar
+    // dispatch is cached per process, hence the re-exec).
+    let exe = std::env::current_exe().expect("own path");
+    let out = std::process::Command::new(exe)
+        .env("SOIFFT_THROUGHPUT_BASELINE", "1")
+        .env("SOIFFT_FORCE_SCALAR", "1")
+        .output()
+        .expect("spawn scalar-f64 baseline run");
+    assert!(
+        out.status.success(),
+        "baseline run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let scalar_f64_tps: f64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("baseline_transforms_per_s="))
+        .expect("baseline_transforms_per_s in child output")
+        .trim()
+        .parse()
+        .expect("parse baseline throughput");
+    let mut ladder_table = Table::new(&[
+        "precision",
+        "transforms/s",
+        "vs f64",
+        "vs scalar f64",
+        "SNR (dB)",
+    ]);
+    for (name, tps, snr) in [
+        ("f64 scalar (seed)", scalar_f64_tps, f64::INFINITY),
+        ("f64", f64_tps, f64::INFINITY),
+        ("split (f32 wire)", split_tps, split_snr),
+        ("f32", f32_tps, f32_snr),
+    ] {
+        ladder_table.row(&[
+            name.into(),
+            format!("{tps:.3}"),
+            format!("{:.2}x", tps / f64_tps),
+            format!("{:.2}x", tps / scalar_f64_tps),
+            if snr.is_finite() {
+                format!("{snr:.1}")
+            } else {
+                "oracle".into()
+            },
+        ]);
+    }
+    println!(
+        "\nPrecision ladder (warm forward_many, {} kernels):",
+        soifft_num::simd::kernel_backend()
+    );
+    print!("{}", ladder_table.render());
+
+    let json7 = format!(
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"throughput_precision\",\n  \"n\": {n},\n  \"procs\": {procs},\n  \"batch\": {batch},\n  \"segments_per_proc\": {s},\n  \"conv_width\": {w},\n  \"kernel_backend\": \"{kb}\",\n  \"f64_scalar_baseline\": {{ \"transforms_per_s\": {scalar_f64_tps:.6} }},\n  \"f64\": {{ \"transforms_per_s\": {f64_tps:.6}, \"speedup_vs_scalar_f64\": {sf64b:.4} }},\n  \"f32\": {{ \"transforms_per_s\": {f32_tps:.6}, \"speedup_vs_f64\": {sf32:.4}, \"speedup_vs_scalar_f64\": {sf32b:.4}, \"snr_db_vs_f64\": {f32_snr:.2} }},\n  \"split\": {{ \"transforms_per_s\": {split_tps:.6}, \"speedup_vs_f64\": {ssplit:.4}, \"speedup_vs_scalar_f64\": {ssplitb:.4}, \"snr_db_vs_f64\": {split_snr:.2} }}\n}}\n",
+        s = params.segments_per_proc,
+        w = params.conv_width,
+        kb = soifft_num::simd::kernel_backend(),
+        sf64b = f64_tps / scalar_f64_tps,
+        sf32 = f32_tps / f64_tps,
+        sf32b = f32_tps / scalar_f64_tps,
+        ssplit = split_tps / f64_tps,
+        ssplitb = split_tps / scalar_f64_tps,
+    );
+    let path7 =
+        std::env::var("SOIFFT_THROUGHPUT_JSON7").unwrap_or_else(|_| "BENCH_7.json".to_string());
+    std::fs::write(&path7, json7).expect("write BENCH_7.json");
+    eprintln!("wrote {path7}");
 }

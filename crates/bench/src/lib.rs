@@ -54,21 +54,128 @@ pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
+/// Process exit status for malformed configuration (the conventional
+/// "incorrect usage" code), used by the strict environment parsers and by
+/// [`check_cli`] for unrecognized arguments.
+pub const USAGE_EXIT: i32 = 2;
+
+/// A rejected `SOIFFT_*` environment override: the variable was set but its
+/// value did not parse as the expected type. Returned by the `try_env_*`
+/// parsers; the infallible `env_*` wrappers print it and exit with
+/// [`USAGE_EXIT`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvParseError {
+    /// The environment variable name.
+    pub name: String,
+    /// The offending value (lossily converted when not valid Unicode).
+    pub value: String,
+    /// Human description of the expected shape, e.g. `"unsigned integer"`.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for EnvParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}={:?} is not a valid {} (unset the variable for the default)",
+            self.name, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvParseError {}
+
+/// Strictly reads a `usize` override: `Ok(None)` when unset, `Ok(Some)`
+/// when set and parseable, and a typed [`EnvParseError`] when set to
+/// garbage — never a silent fallback to the default.
+pub fn try_env_usize(name: &str) -> Result<Option<usize>, EnvParseError> {
+    try_env_parse(name, "unsigned integer")
+}
+
+/// Strictly reads an `f64` override (see [`try_env_usize`]).
+pub fn try_env_f64(name: &str) -> Result<Option<f64>, EnvParseError> {
+    try_env_parse(name, "number")
+}
+
+fn try_env_parse<T: std::str::FromStr>(
+    name: &str,
+    expected: &'static str,
+) -> Result<Option<T>, EnvParseError> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(EnvParseError {
+            name: name.to_string(),
+            value: raw.to_string_lossy().into_owned(),
+            expected,
+        }),
+        Ok(v) => match v.trim().parse() {
+            Ok(x) => Ok(Some(x)),
+            Err(_) => Err(EnvParseError {
+                name: name.to_string(),
+                value: v,
+                expected,
+            }),
+        },
+    }
+}
+
 /// Reads a `usize` override from the environment (lets the figure binaries
 /// scale up on bigger machines: e.g. `SOIFFT_FIG10_N=16777216`).
+///
+/// A *set but malformed* value is a configuration error, not a request for
+/// the default: it prints the offending variable to stderr and exits with
+/// [`USAGE_EXIT`], so a typo'd sweep fails loudly instead of silently
+/// benchmarking the default size.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    unwrap_env(try_env_usize(name)).unwrap_or(default)
 }
 
 /// Reads an `f64` override from the environment (durations, load factors).
+/// Malformed values exit with [`USAGE_EXIT`] like [`env_usize`].
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    unwrap_env(try_env_f64(name)).unwrap_or(default)
+}
+
+fn unwrap_env<T>(parsed: Result<Option<T>, EnvParseError>) -> Option<T> {
+    match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(USAGE_EXIT);
+        }
+    }
+}
+
+/// Enforces the argv contract shared by every figure/table binary: they
+/// take **no positional arguments** — all configuration flows through
+/// `SOIFFT_*` environment variables. `--help`/`-h` prints `description`
+/// plus the recognized variables (name, meaning) and exits 0; any other
+/// argument is unknown and exits with [`USAGE_EXIT`]. Call it first thing
+/// in `main`.
+pub fn check_cli(description: &str, env_vars: &[(&str, &str)]) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        // One buffered write with the error ignored: `--help | head`
+        // closes the pipe early, and a SIGPIPE-ignoring Rust binary
+        // would otherwise panic mid-print.
+        use std::io::Write;
+        let mut help =
+            format!("{description}\n\nTakes no arguments; configure via environment variables:\n");
+        for (name, meaning) in env_vars {
+            help.push_str(&format!("  {name:<28} {meaning}\n"));
+        }
+        let _ = std::io::stdout().write_all(help.as_bytes());
+        std::process::exit(0);
+    }
+    eprintln!(
+        "error: unknown argument {:?} (this binary takes no arguments; \
+         run with --help for the recognized SOIFFT_* variables)",
+        args[0]
+    );
+    std::process::exit(USAGE_EXIT);
 }
 
 /// Minimal fixed-width table printer.
@@ -210,6 +317,27 @@ mod tests {
         assert_eq!(env_usize("SOIFFT_SURELY_UNSET_VAR", 7), 7);
         std::env::set_var("SOIFFT_TEST_VAR_X", "123");
         assert_eq!(env_usize("SOIFFT_TEST_VAR_X", 7), 123);
+        // Whitespace-tolerant, like a value pasted from a shell.
+        std::env::set_var("SOIFFT_TEST_VAR_WS", " 9 ");
+        assert_eq!(env_usize("SOIFFT_TEST_VAR_WS", 7), 9);
+    }
+
+    #[test]
+    fn strict_env_parse_rejects_garbage() {
+        assert_eq!(try_env_usize("SOIFFT_SURELY_UNSET_VAR"), Ok(None));
+        std::env::set_var("SOIFFT_TEST_VAR_BAD", "12x");
+        let err = try_env_usize("SOIFFT_TEST_VAR_BAD").unwrap_err();
+        assert_eq!(err.name, "SOIFFT_TEST_VAR_BAD");
+        assert_eq!(err.value, "12x");
+        assert_eq!(err.expected, "unsigned integer");
+        let msg = err.to_string();
+        assert!(msg.contains("SOIFFT_TEST_VAR_BAD"), "{msg}");
+        assert!(msg.contains("12x"), "{msg}");
+
+        std::env::set_var("SOIFFT_TEST_VAR_F", "1.5e-3");
+        assert_eq!(try_env_f64("SOIFFT_TEST_VAR_F"), Ok(Some(1.5e-3)));
+        std::env::set_var("SOIFFT_TEST_VAR_F", "fast");
+        assert!(try_env_f64("SOIFFT_TEST_VAR_F").is_err());
     }
 
     #[test]

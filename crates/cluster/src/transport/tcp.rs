@@ -241,7 +241,16 @@ impl TcpShared {
             Action::None => {}
             Action::ReleaseFailed(dead) => self.release_to(entrant, (dead + 1) as u64),
             Action::ReleaseAll => {
-                for r in 0..self.size {
+                // Remote releases must hit the outbound queues before the
+                // local one: releasing rank 0 returns its `barrier()`
+                // caller, who may immediately drop the transport — the
+                // goodbye Shutdown then retires the sender threads, and a
+                // release enqueued after that lands in a disconnected
+                // queue and is silently lost (the peer times out).
+                for r in (0..self.size)
+                    .filter(|&r| r != self.rank)
+                    .chain([self.rank])
+                {
                     if !self.gone_counted[r].load(Ordering::SeqCst) {
                         self.release_to(r, 0);
                     }
@@ -253,7 +262,7 @@ impl TcpShared {
     /// Fails the barrier service (rank 0): pending waiters release with
     /// the dead rank, future entrants release on arrival.
     fn fail_barrier(&self, dead: usize) {
-        let waiting: Vec<usize> = {
+        let mut waiting: Vec<usize> = {
             let mut b = self.barrier.lock().unwrap_or_else(|e| e.into_inner());
             b.failed = Some(dead);
             let w = (0..self.size).filter(|&r| b.waiting[r]).collect();
@@ -262,6 +271,10 @@ impl TcpShared {
             }
             w
         };
+        // Self-release last, for the same reason as the all-in release:
+        // waking the local waiter can tear the transport down before the
+        // remote releases reach the outbound queues.
+        waiting.sort_by_key(|&r| r == self.rank);
         for r in waiting {
             self.release_to(r, (dead + 1) as u64);
         }

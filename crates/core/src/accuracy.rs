@@ -14,6 +14,34 @@
 
 use crate::params::SoiParams;
 use crate::window::Window;
+use soifft_num::c64;
+
+/// Signal-to-noise ratio of `got` against the oracle `want`, in decibels:
+/// `10·log₁₀(Σ|want|² / Σ|got − want|²)`.
+///
+/// The metric the mixed-precision accuracy gates are written in (see
+/// `tests/snr_accuracy.rs` and DESIGN.md §1j): an exact match returns
+/// `f64::INFINITY`; a double-precision SOI run lands above ~250 dB, a
+/// [`crate::Precision::Split`] run above ~130 dB, and a
+/// [`crate::Precision::F32`] run above ~100 dB on well-conditioned
+/// parameters.
+///
+/// # Panics
+/// Panics if the lengths differ or `want` has zero energy.
+pub fn snr_db(got: &[c64], want: &[c64]) -> f64 {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    let signal: f64 = want.iter().map(|v| v.norm_sqr()).sum();
+    assert!(signal > 0.0, "oracle has zero energy; SNR undefined");
+    let noise: f64 = got
+        .iter()
+        .zip(want)
+        .map(|(g, w)| (*g - *w).norm_sqr())
+        .sum();
+    if noise == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (signal / noise).log10()
+}
 
 /// Estimated worst-case relative leakage of the plan: the alias-to-passband
 /// ratio maximized over a grid of `samples` output positions, summing alias

@@ -47,7 +47,9 @@ pub mod window;
 
 pub use conv::ConvStrategy;
 pub use params::{Rational, SoiError, SoiParams};
-pub use pipeline::{CancelGate, ExchangePlan, SimSpec, SoiFft, SoiRunError, SoiWorkspace};
+pub use pipeline::{
+    CancelGate, ExchangePlan, Precision, SimSpec, SoiFft, SoiRunError, SoiWorkspace,
+};
 pub use report::{PlanReport, PredictedBreakdown};
 pub use single::SoiFftLocal;
 pub use verify::ValidationPolicy;

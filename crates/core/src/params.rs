@@ -198,7 +198,9 @@ impl SoiParams {
 
     /// Oversampled per-segment length `M' = µM`.
     pub fn m_prime(&self) -> usize {
-        self.mu.scale_exact(self.m()).expect("validated params")
+        self.mu
+            .scale_exact(self.m())
+            .expect("µ·M is exact for validated params (SoiParams::validate checks d_µ | M)")
     }
 
     /// `N' = µN`, the total convolution output length.

@@ -26,7 +26,7 @@ use soifft_cluster::{
     ValidationPolicy,
 };
 use soifft_fft::{batch, Plan, SixStepFft, SixStepScratch, SixStepVariant};
-use soifft_num::c64;
+use soifft_num::{c32, c64};
 use soifft_par::Pool;
 
 use crate::conv::{
@@ -59,6 +59,94 @@ pub enum ExchangePlan {
     /// stand-in) and pushes it to the wire, pipelined chunk-by-chunk.
     /// Uniform segment layouts only.
     Proxied(usize),
+}
+
+/// Arithmetic and wire precision of the pipeline's back half (the
+/// all-to-all payload and the per-segment recovery `F_{M'}`).
+///
+/// The front end (ghost exchange, convolution, block DFTs) always runs in
+/// double precision — the window's stopband depth is what the whole
+/// algorithm's accuracy rests on. What `Precision` selects is what happens
+/// from the exchange frontier on:
+///
+/// * [`Precision::F64`] — double precision end to end (the paper's native
+///   format). The default.
+/// * [`Precision::F32`] — the frontier is demoted to `c32` once, the
+///   all-to-all ships **half-width** payloads (two `c32` bit-packed per
+///   `c64` wire element, so message volume halves without touching the
+///   transport), and the recovery `F_{M'}` plus demodulation run in single
+///   precision ([`soifft_fft::shared_plan_f32`]). Cheapest, noisiest:
+///   accuracy is bounded by the f32 FFT (~1e-6 relative).
+/// * [`Precision::Split`] — the same half-width exchange as `F32`, but
+///   receivers promote the payload back to `c64` and the fused six-step
+///   `F_{M'}` + demodulation run in double precision. The only
+///   single-precision event is the one frontier quantization, so accuracy
+///   sits between `F32` and `F64` (~1e-7 relative, transport-limited).
+///
+/// Applies to the plain forward family ([`SoiFft::forward`],
+/// [`SoiFft::forward_into`], [`SoiFft::forward_many`],
+/// [`SoiFft::forward_many_into`], [`SoiFft::inverse`]) under every
+/// [`ExchangePlan`] and [`ConvStrategy`]. The resilient and recoverable
+/// pipelines (`try_forward*`, [`SoiFft::forward_recovered`],
+/// [`SoiFft::forward_segments`]) always run double precision: their
+/// checksum tags, checkpoints, and retransmit staging are specified on the
+/// full-width wire format.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Double precision end to end (default).
+    #[default]
+    F64,
+    /// Single-precision exchange payload and recovery FFT.
+    F32,
+    /// Single-precision exchange payload, double-precision recovery
+    /// (f32 transport, f64 accumulate).
+    Split,
+}
+
+impl Precision {
+    /// All supported precisions, for test/bench sweeps.
+    pub const ALL: [Precision; 3] = [Precision::F64, Precision::F32, Precision::Split];
+
+    /// True when the exchange ships the bit-packed half-width payload.
+    pub fn half_width_exchange(self) -> bool {
+        self != Precision::F64
+    }
+}
+
+/// Bit-packs two `c32` into one `c64` wire element. Pure bit moves: the
+/// transport only copies (or byte-serializes) `c64` buffers, so arbitrary
+/// bit patterns — including ones that would be NaNs if interpreted as
+/// `f64` — survive the trip unchanged.
+#[inline]
+fn pack_c32_pair(a: c32, b: c32) -> c64 {
+    c64::new(
+        f64::from_bits(((a.re.to_bits() as u64) << 32) | a.im.to_bits() as u64),
+        f64::from_bits(((b.re.to_bits() as u64) << 32) | b.im.to_bits() as u64),
+    )
+}
+
+/// Inverse of [`pack_c32_pair`]. Production unpacking goes through the
+/// dispatched bulk kernel (`simd::unpack_c32_pairs`); this single-element
+/// form stays as the round-trip reference the packing test pins against.
+#[cfg(test)]
+#[inline]
+fn unpack_c32_pair(v: c64) -> (c32, c32) {
+    let re = v.re.to_bits();
+    let im = v.im.to_bits();
+    (
+        c32::new(f32::from_bits((re >> 32) as u32), f32::from_bits(re as u32)),
+        c32::new(f32::from_bits((im >> 32) as u32), f32::from_bits(im as u32)),
+    )
+}
+
+/// Appends the `blocks` `c32` values of one half-width part to `out`
+/// (dropping the zero pad element when `blocks` is odd), through the
+/// dispatched unpack kernel — the receive side touches the whole
+/// frontier, so this copy is bandwidth that matters.
+fn unpack_part_into(part: &[c64], blocks: usize, out: &mut Vec<c32>) {
+    let start = out.len();
+    out.resize(start + blocks, c32::ZERO);
+    soifft_num::simd::unpack_c32_pairs(part, &mut out[start..]);
 }
 
 /// Virtual-time rates for a modeled target machine (DESIGN.md §1): when
@@ -277,6 +365,11 @@ pub struct SoiWorkspace {
     aux: Vec<c64>,
     /// Six-step internal scratch for the recovery FFTs.
     seg_scratch: SixStepScratch,
+    /// Assembled low-precision segment (`M'`); empty unless the plan's
+    /// [`Precision`] ships the half-width exchange.
+    z32: Vec<c32>,
+    /// Scratch for the `f32` recovery plan ([`Precision::F32`] only).
+    fft32_scratch: Vec<c32>,
 }
 
 /// A planned distributed SOI transform. Plan once (collectively — every
@@ -318,6 +411,11 @@ pub struct SoiFft {
     demod_scale: Vec<c64>,
     strategy: ConvStrategy,
     exchange: ExchangePlan,
+    precision: Precision,
+    /// `f32` recovery plan for `F_{M'}` ([`Precision::F32`] only).
+    plan_mp32: Option<Arc<Plan<f32>>>,
+    /// Demodulation diagonal demoted to `c32` ([`Precision::F32`] only).
+    demod_scale32: Vec<c32>,
     pool: Pool,
     sim: Option<SimSpec>,
     fuse_segment_fft: bool,
@@ -357,6 +455,9 @@ impl SoiFft {
             params,
             strategy: ConvStrategy::InterchangedBuffered,
             exchange: ExchangePlan::Monolithic,
+            precision: Precision::F64,
+            plan_mp32: None,
+            demod_scale32: Vec::new(),
             pool: Pool::serial(),
             sim: None,
             fuse_segment_fft: false,
@@ -402,6 +503,28 @@ impl SoiFft {
     pub fn with_exchange(mut self, exchange: ExchangePlan) -> Self {
         self.exchange = exchange;
         self
+    }
+
+    /// Selects the wire/arithmetic [`Precision`] of the exchange and
+    /// recovery half of the pipeline. `F32` additionally plans the `f32`
+    /// recovery `F_{M'}` (from the process-wide single-precision plan
+    /// cache) and demotes the demodulation diagonal once, here at plan
+    /// time.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        if precision == Precision::F32 {
+            self.plan_mp32 = Some(soifft_fft::shared_plan_f32(self.params.m_prime()));
+            self.demod_scale32 = self.demod_scale.iter().map(|&v| c32::from_c64(v)).collect();
+        } else {
+            self.plan_mp32 = None;
+            self.demod_scale32 = Vec::new();
+        }
+        self
+    }
+
+    /// The planned [`Precision`].
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Selects the intra-node pool.
@@ -475,6 +598,15 @@ impl SoiFft {
             z: Vec::with_capacity(m_prime),
             aux: vec![c64::ZERO; m_prime],
             seg_scratch: self.segment_fft.make_scratch(),
+            z32: Vec::with_capacity(if self.precision.half_width_exchange() {
+                m_prime
+            } else {
+                0
+            }),
+            fft32_scratch: match &self.plan_mp32 {
+                Some(plan) => plan.make_scratch(),
+                None => Vec::new(),
+            },
         }
     }
 
@@ -545,6 +677,9 @@ impl SoiFft {
             ExchangePlan::Overlapped => {
                 let out = self.recover_overlapped(comm, &ws.u);
                 y.copy_from_slice(&out);
+            }
+            _ if self.precision.half_width_exchange() => {
+                self.recover_monolithic_lowprec_into(comm, ws, y)
             }
             _ => self.recover_monolithic_into(comm, ws, y),
         }
@@ -1610,6 +1745,50 @@ impl SoiFft {
         u.chunks_exact(l).map(|block| block[s]).collect()
     }
 
+    /// Half-width wire elements of one `(dst, sl)` part appended to `buf`:
+    /// the same values [`SoiFft::pack_for`] would ship, demoted to `c32`
+    /// and bit-packed two per `c64` (odd block counts pad the final pair
+    /// with zero, which the receiver drops).
+    fn pack_part_lowprec(&self, u: &[c64], s: usize, buf: &mut Vec<c64>) {
+        let l = self.params.total_segments();
+        let mut values = u.chunks_exact(l).map(|block| c32::from_c64(block[s]));
+        while let Some(a) = values.next() {
+            let b = values.next().unwrap_or(c32::ZERO);
+            buf.push(pack_c32_pair(a, b));
+        }
+    }
+
+    /// [`SoiFft::pack_for`] in the half-width wire format.
+    fn pack_for_lowprec(&self, u: &[c64], dst: usize, sl: usize) -> Vec<c64> {
+        let mut buf = Vec::with_capacity(self.params.blocks_per_rank().div_ceil(2));
+        self.pack_part_lowprec(u, self.seg_base[dst] + sl, &mut buf);
+        buf
+    }
+
+    /// One `(dst, sl)` part in the planned precision's wire format.
+    fn pack_for_wire(&self, u: &[c64], dst: usize, sl: usize) -> Vec<c64> {
+        if self.precision.half_width_exchange() {
+            self.pack_for_lowprec(u, dst, sl)
+        } else {
+            self.pack_for(u, dst, sl)
+        }
+    }
+
+    /// [`SoiFft::pack_pooled`] in the half-width wire format: every
+    /// destination's payload is `seg_counts[q]·⌈blocks/2⌉` wire elements —
+    /// half the monolithic volume — still served from the communicator's
+    /// buffer pool so the warm steady state stays allocation-free.
+    fn pack_lowprec_pooled(&self, comm: &mut Comm, u: &[c64], outgoing: &mut [Vec<c64>]) {
+        let hb = self.params.blocks_per_rank().div_ceil(2);
+        for (q, slot) in outgoing.iter_mut().enumerate() {
+            let mut buf = comm.acquire_buffer(self.seg_counts[q] * hb);
+            for sl in 0..self.seg_counts[q] {
+                self.pack_part_lowprec(u, self.seg_base[q] + sl, &mut buf);
+            }
+            *slot = buf;
+        }
+    }
+
     /// [`SoiFft::pack_outgoing`] into caller-owned slots filled from the
     /// communicator's buffer pool — the allocation-free pack of the
     /// workspace pipelines (a warm pool serves every slot from last
@@ -1955,6 +2134,150 @@ impl SoiFft {
         }
     }
 
+    /// [`SoiFft::recover_monolithic_into`] for the half-width precisions:
+    /// the pack demotes and bit-packs the frontier (half the exchange
+    /// volume), the same monolithic/chunked/proxied collectives move it,
+    /// and each owned segment is unpacked and recovered in the planned
+    /// precision — `f32` `F_{M'}` + demoted demodulation for
+    /// [`Precision::F32`], promote-then-fused-`f64`-six-step for
+    /// [`Precision::Split`]. Buffers all come from the workspace and the
+    /// communicator's pool, so the warm steady state stays
+    /// allocation-free, exactly like the double-precision path.
+    fn recover_monolithic_lowprec_into(
+        &self,
+        comm: &mut Comm,
+        ws: &mut SoiWorkspace,
+        y: &mut [c64],
+    ) {
+        let p = &self.params;
+        let blocks = p.blocks_per_rank();
+        let hb = blocks.div_ceil(2);
+        let mine = self.seg_counts[comm.rank()];
+        comm.stats_mut().span_open("pack");
+        self.pack_lowprec_pooled(comm, &ws.u, &mut ws.outgoing);
+        comm.stats_mut().span_close("pack");
+        match self.exchange {
+            ExchangePlan::Chunked(chunk) => {
+                let outgoing = std::mem::take(&mut ws.outgoing);
+                ws.incoming = if self.uniform_layout() {
+                    comm.all_to_all_chunked(outgoing, chunk)
+                } else {
+                    let expected = vec![mine * hb; p.procs];
+                    comm.all_to_all_chunked_v(outgoing, chunk, &expected)
+                };
+                ws.outgoing = vec![Vec::new(); p.procs];
+            }
+            ExchangePlan::Proxied(chunk) => {
+                assert!(
+                    self.uniform_layout(),
+                    "proxied exchange supports uniform segment layouts only"
+                );
+                let proxy = soifft_cluster::ProxyCore::new();
+                let outgoing = std::mem::take(&mut ws.outgoing);
+                ws.incoming = comm.all_to_all_proxied(&proxy, outgoing, chunk);
+                ws.outgoing = vec![Vec::new(); p.procs];
+            }
+            _ => comm.all_to_all_into(&mut ws.outgoing, &mut ws.incoming),
+        }
+        let t = comm.stats_mut().phase_start();
+        for sl in 0..mine {
+            ws.z32.clear();
+            for part in &ws.incoming {
+                unpack_part_into(&part[sl * hb..(sl + 1) * hb], blocks, &mut ws.z32);
+            }
+            self.recover_lowprec_segment(
+                &mut ws.z32,
+                &mut ws.fft32_scratch,
+                &mut ws.z,
+                &mut ws.aux,
+                &mut ws.seg_scratch,
+                y,
+                sl,
+            );
+        }
+        let fft_flops = mine as f64 * soifft_fft::fft_flops(p.m_prime());
+        match self.sim_fft_seconds(fft_flops) {
+            Some(sim_s) => comm.stats_mut().phase_end_sim("local-fft", t, sim_s),
+            None => comm.stats_mut().phase_end("local-fft", t),
+        }
+        for buf in ws.incoming.drain(..) {
+            comm.recycle_buffer(buf);
+        }
+    }
+
+    /// Recovery FFT + demodulation + projection of one assembled
+    /// low-precision segment (`z32`, length `M'`) into `y`'s slot `sl`, in
+    /// the planned precision. Caller-owned buffers keep the monolithic hot
+    /// path allocation-free; cold callers pass freshly sized ones.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_lowprec_segment(
+        &self,
+        z32: &mut [c32],
+        fft32_scratch: &mut Vec<c32>,
+        z: &mut Vec<c64>,
+        aux: &mut [c64],
+        seg_scratch: &mut SixStepScratch,
+        y: &mut [c64],
+        sl: usize,
+    ) {
+        let m = self.params.m();
+        debug_assert_eq!(z32.len(), self.params.m_prime());
+        match self.precision {
+            Precision::F32 => {
+                let plan = self
+                    .plan_mp32
+                    .as_ref()
+                    .expect("with_precision(F32) plans the f32 segment FFT");
+                fft32_scratch.resize(plan.scratch_len(), c32::ZERO);
+                plan.forward_with_scratch(z32, fft32_scratch);
+                soifft_num::kernels::mul_pointwise(&mut z32[..m], &self.demod_scale32[..m]);
+                soifft_num::simd::promote_c32_c64(&z32[..m], &mut y[sl * m..(sl + 1) * m]);
+            }
+            Precision::Split | Precision::F64 => {
+                z.clear();
+                z.resize(z32.len(), c64::ZERO);
+                soifft_num::simd::promote_c32_c64(z32, z);
+                self.segment_fft
+                    .forward_scaled_with(z, aux, &self.demod_scale, seg_scratch);
+                y[sl * m..(sl + 1) * m].copy_from_slice(&z[..m]);
+            }
+        }
+    }
+
+    /// Assembles and recovers one segment from per-source parts in the
+    /// planned precision's wire format (the per-segment and overlapped
+    /// exchange forms, which — like their double-precision originals —
+    /// allocate per segment rather than through the workspace).
+    fn recover_slices(&self, parts: &[&[c64]], y: &mut [c64], sl: usize) {
+        let p = &self.params;
+        if !self.precision.half_width_exchange() {
+            let mut z = Vec::with_capacity(p.m_prime());
+            for part in parts {
+                z.extend_from_slice(part);
+            }
+            self.recover_into(z, y, sl);
+            return;
+        }
+        let blocks = p.blocks_per_rank();
+        let mut z32 = Vec::with_capacity(p.m_prime());
+        for part in parts {
+            unpack_part_into(part, blocks, &mut z32);
+        }
+        let mut fft32_scratch = Vec::new();
+        let mut z = Vec::with_capacity(p.m_prime());
+        let mut aux = vec![c64::ZERO; p.m_prime()];
+        let mut seg_scratch = self.segment_fft.make_scratch();
+        self.recover_lowprec_segment(
+            &mut z32,
+            &mut fft32_scratch,
+            &mut z,
+            &mut aux,
+            &mut seg_scratch,
+            y,
+            sl,
+        );
+    }
+
     /// Simulated seconds for a compute phase of `flops`, when virtual time
     /// is configured.
     fn sim_fft_seconds(&self, flops: f64) -> Option<f64> {
@@ -1984,7 +2307,7 @@ impl SoiFft {
             let outgoing: Vec<Vec<c64>> = (0..p.procs)
                 .map(|q| {
                     if sl < self.seg_counts[q] {
-                        self.pack_for(u, q, sl)
+                        self.pack_for_wire(u, q, sl)
                     } else {
                         Vec::new()
                     }
@@ -1993,8 +2316,8 @@ impl SoiFft {
             let incoming = comm.all_to_all(outgoing);
             if sl < mine {
                 let t = comm.stats_mut().phase_start();
-                let z = self.assemble_per_segment(&incoming);
-                self.recover_into(z, &mut y, sl);
+                let parts: Vec<&[c64]> = incoming.iter().map(Vec::as_slice).collect();
+                self.recover_slices(&parts, &mut y, sl);
                 comm.stats_mut().phase_end("local-fft", t);
             }
         }
@@ -2008,7 +2331,6 @@ impl SoiFft {
     fn recover_overlapped(&self, comm: &mut Comm, u: &[c64]) -> Vec<c64> {
         use soifft_cluster::tags;
         let p = &self.params;
-        let blocks = p.blocks_per_rank();
         let mine = self.seg_counts[comm.rank()];
 
         // Post everything up front (sends never block in this transport;
@@ -2017,7 +2339,7 @@ impl SoiFft {
         for q in 0..p.procs {
             for sl in 0..self.seg_counts[q] {
                 let tag = tags::USER + sl as u64;
-                comm.send(q, tag, self.pack_for(u, q, sl));
+                comm.send(q, tag, self.pack_for_wire(u, q, sl));
             }
         }
 
@@ -2048,12 +2370,15 @@ impl SoiFft {
                 if missing[sl] == 0 {
                     // Recover this segment now — later packets keep
                     // flowing while we compute (the overlap).
-                    let mut z = Vec::with_capacity(p.m_prime());
-                    for part in &parts[sl] {
-                        z.extend_from_slice(part.as_ref().expect("all parts present"));
-                        debug_assert_eq!(z.len() % blocks, 0);
-                    }
-                    self.recover_into(z, &mut y, sl);
+                    let slices: Vec<&[c64]> = parts[sl]
+                        .iter()
+                        .map(|part| {
+                            part.as_ref()
+                                .expect("missing[sl] == 0 implies every part present")
+                                .as_slice()
+                        })
+                        .collect();
+                    self.recover_slices(&slices, &mut y, sl);
                     done[sl] = true;
                     completed += 1;
                 }
@@ -2073,16 +2398,6 @@ impl SoiFft {
         }
         comm.stats_mut().phase_end("all-to-all", t);
         y
-    }
-
-    /// Assembles `z_s` from a per-segment exchange (`incoming[r]` holds
-    /// just `[m_local]`).
-    fn assemble_per_segment(&self, incoming: &[Vec<c64>]) -> Vec<c64> {
-        let mut z = Vec::with_capacity(self.params.m_prime());
-        for part in incoming {
-            z.extend_from_slice(part);
-        }
-        z
     }
 
     /// `F_{M'}` with fused demodulation, projected into the output slot
@@ -2168,6 +2483,162 @@ mod tests {
             mu: Rational::new(2, 1),
             conv_width: 20,
         }
+    }
+
+    fn run_precision(
+        params: SoiParams,
+        exchange: ExchangePlan,
+        precision: Precision,
+    ) -> (Vec<c64>, Vec<c64>) {
+        let x = signal(params.n);
+        let inputs = scatter_input(&x, params.procs);
+        let fft = SoiFft::new(params)
+            .unwrap()
+            .with_exchange(exchange)
+            .with_precision(precision);
+        let outputs = Cluster::run(params.procs, |comm| fft.forward(comm, &inputs[comm.rank()]));
+        (gather_output(outputs), reference_fft(&x))
+    }
+
+    #[test]
+    fn c32_pair_bit_packing_round_trips_exactly() {
+        let values = [
+            c32::new(1.5, -2.25),
+            c32::new(f32::MIN_POSITIVE, -0.0),
+            c32::new(3.4e38, -1.1e-38),
+            c32::ZERO,
+        ];
+        for &a in &values {
+            for &b in &values {
+                let (ua, ub) = unpack_c32_pair(pack_c32_pair(a, b));
+                assert_eq!(a.re.to_bits(), ua.re.to_bits());
+                assert_eq!(a.im.to_bits(), ua.im.to_bits());
+                assert_eq!(b.re.to_bits(), ub.re.to_bits());
+                assert_eq!(b.im.to_bits(), ub.im.to_bits());
+            }
+        }
+        // Odd element counts: the pad is packed and dropped on unpack.
+        let packed = vec![
+            pack_c32_pair(values[0], values[1]),
+            pack_c32_pair(values[2], c32::ZERO),
+        ];
+        let mut out = Vec::new();
+        unpack_part_into(&packed, 3, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].re.to_bits(), values[2].re.to_bits());
+    }
+
+    #[test]
+    fn f32_precision_tracks_reference_across_exchanges() {
+        for exchange in [
+            ExchangePlan::Monolithic,
+            ExchangePlan::Chunked(37),
+            ExchangePlan::PerSegment,
+            ExchangePlan::Overlapped,
+            ExchangePlan::Proxied(64),
+        ] {
+            let (got, want) = run_precision(params(4, 2), exchange, Precision::F32);
+            let snr = crate::accuracy::snr_db(&got, &want);
+            assert!(snr > 100.0, "{exchange:?}: SNR {snr:.1} dB");
+        }
+    }
+
+    #[test]
+    fn split_precision_tracks_reference_across_exchanges() {
+        for exchange in [
+            ExchangePlan::Monolithic,
+            ExchangePlan::Chunked(37),
+            ExchangePlan::PerSegment,
+            ExchangePlan::Overlapped,
+            ExchangePlan::Proxied(64),
+        ] {
+            let (got, want) = run_precision(params(4, 2), exchange, Precision::Split);
+            let snr = crate::accuracy::snr_db(&got, &want);
+            assert!(snr > 120.0, "{exchange:?}: SNR {snr:.1} dB");
+        }
+    }
+
+    #[test]
+    fn precision_ladder_orders_as_designed() {
+        let (f64_out, want) = run_precision(params(4, 2), ExchangePlan::Monolithic, Precision::F64);
+        let (split_out, _) =
+            run_precision(params(4, 2), ExchangePlan::Monolithic, Precision::Split);
+        let (f32_out, _) = run_precision(params(4, 2), ExchangePlan::Monolithic, Precision::F32);
+        let snr64 = crate::accuracy::snr_db(&f64_out, &want);
+        let snr_split = crate::accuracy::snr_db(&split_out, &want);
+        let snr32 = crate::accuracy::snr_db(&f32_out, &want);
+        assert!(
+            snr64 > snr_split && snr_split > snr32,
+            "ladder violated: f64 {snr64:.1} dB, split {snr_split:.1} dB, f32 {snr32:.1} dB"
+        );
+    }
+
+    #[test]
+    fn lowprec_exchange_plans_are_bit_identical() {
+        for precision in [Precision::F32, Precision::Split] {
+            let (mono, _) = run_precision(params(4, 4), ExchangePlan::Monolithic, precision);
+            for exchange in [
+                ExchangePlan::Chunked(53),
+                ExchangePlan::PerSegment,
+                ExchangePlan::Overlapped,
+                ExchangePlan::Proxied(96),
+            ] {
+                let (other, _) = run_precision(params(4, 4), exchange, precision);
+                assert_eq!(mono, other, "{precision:?} {exchange:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowprec_fused_front_end_matches_reference() {
+        let x = signal(1 << 12);
+        let p = params(4, 2);
+        let inputs = scatter_input(&x, p.procs);
+        for precision in [Precision::F32, Precision::Split] {
+            let fft = SoiFft::new(p)
+                .unwrap()
+                .with_fused_segment_fft()
+                .with_precision(precision);
+            let got = gather_output(Cluster::run(p.procs, |comm| {
+                fft.forward(comm, &inputs[comm.rank()])
+            }));
+            let snr = crate::accuracy::snr_db(&got, &reference_fft(&x));
+            assert!(snr > 100.0, "{precision:?}: SNR {snr:.1} dB");
+        }
+    }
+
+    #[test]
+    fn lowprec_heterogeneous_layout_chunked() {
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p)
+            .unwrap()
+            .with_segment_counts(vec![1, 3, 1, 3])
+            .with_exchange(ExchangePlan::Chunked(41))
+            .with_precision(Precision::Split);
+        let mut outs = vec![Vec::new(); p.procs];
+        let collected = Cluster::run(p.procs, |comm| fft.forward(comm, &inputs[comm.rank()]));
+        for (slot, y) in outs.iter_mut().zip(collected) {
+            *slot = y;
+        }
+        let got = gather_output(outs);
+        let snr = crate::accuracy::snr_db(&got, &reference_fft(&x));
+        assert!(snr > 120.0, "SNR {snr:.1} dB");
+    }
+
+    #[test]
+    fn lowprec_inverse_round_trips() {
+        let p = params(4, 2);
+        let x = signal(p.n);
+        let inputs = scatter_input(&x, p.procs);
+        let fft = SoiFft::new(p).unwrap().with_precision(Precision::Split);
+        let spectrum = Cluster::run(p.procs, |comm| fft.forward(comm, &inputs[comm.rank()]));
+        let back = gather_output(Cluster::run(p.procs, |comm| {
+            fft.inverse(comm, &spectrum[comm.rank()])
+        }));
+        let snr = crate::accuracy::snr_db(&back, &x);
+        assert!(snr > 110.0, "round-trip SNR {snr:.1} dB");
     }
 
     #[test]

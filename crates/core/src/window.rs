@@ -34,7 +34,7 @@
 use soifft_num::c64;
 use soifft_num::special::{bessel_i0, erf, sinc};
 
-use crate::params::SoiParams;
+use crate::params::{SoiError, SoiParams};
 
 /// Taper family for the modulated-sinc window.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -115,9 +115,28 @@ impl Window {
     ///
     /// # Panics
     /// Panics if `DemodMode::Analytic` is requested for a Kaiser window
-    /// (no closed-form spectrum), or if `params` are invalid.
+    /// (no closed-form spectrum), or if `params` are invalid. Use
+    /// [`Window::try_with_demod_mode`] when the parameters come from
+    /// untrusted input and a typed [`SoiError`] is wanted instead.
     pub fn with_demod_mode(kind: WindowKind, params: &SoiParams, mode: DemodMode) -> Self {
-        params.validate().expect("invalid SOI parameters");
+        match Self::try_with_demod_mode(kind, params, mode) {
+            Ok(w) => w,
+            Err(e) => panic!("invalid SOI parameters: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`Window::with_demod_mode`]: invalid parameters
+    /// surface as the typed [`SoiError`] from
+    /// [`SoiParams::validate`](crate::params::SoiParams::validate) instead
+    /// of a panic. The `Analytic`-for-a-non-Gaussian-taper combination
+    /// still asserts — that is a caller bug (the mode is a compile-time
+    /// choice), not bad input data.
+    pub fn try_with_demod_mode(
+        kind: WindowKind,
+        params: &SoiParams,
+        mode: DemodMode,
+    ) -> Result<Self, SoiError> {
+        params.validate()?;
         let l = params.total_segments();
         let b = params.conv_width;
         let n_mu = params.mu.num();
@@ -232,7 +251,7 @@ impl Window {
             demod.push(c64::real(inv_sigma_recip) / what);
         }
         w.demod = demod;
-        w
+        Ok(w)
     }
 
     /// Evaluates the continuous window at (possibly fractional) sample

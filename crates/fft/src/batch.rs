@@ -7,21 +7,25 @@
 //! here they go to a [`soifft_par::Pool`] with one scratch buffer per
 //! worker piece (no allocation inside the loop).
 
-use soifft_num::c64;
+use soifft_num::{Complex, Real};
 use soifft_par::Pool;
 
 use crate::plan::Plan;
 
 /// Forward-transforms every contiguous `plan.len()`-row of `data` in place,
 /// serially. `data.len()` must be a multiple of the plan length.
-pub fn forward_rows(plan: &Plan, data: &mut [c64]) {
+pub fn forward_rows<T: Real>(plan: &Plan<T>, data: &mut [Complex<T>]) {
     let mut scratch = plan.make_scratch();
     forward_rows_with(plan, data, &mut scratch);
 }
 
 /// [`forward_rows`] against caller-owned plan scratch (no allocation
 /// inside the call). `scratch` must come from `plan.make_scratch()`.
-pub fn forward_rows_with(plan: &Plan, data: &mut [c64], scratch: &mut [c64]) {
+pub fn forward_rows_with<T: Real>(
+    plan: &Plan<T>,
+    data: &mut [Complex<T>],
+    scratch: &mut [Complex<T>],
+) {
     let n = plan.len();
     assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
     for row in data.chunks_exact_mut(n) {
@@ -30,7 +34,7 @@ pub fn forward_rows_with(plan: &Plan, data: &mut [c64], scratch: &mut [c64]) {
 }
 
 /// Inverse-transforms every row in place (normalized), serially.
-pub fn inverse_rows(plan: &Plan, data: &mut [c64]) {
+pub fn inverse_rows<T: Real>(plan: &Plan<T>, data: &mut [Complex<T>]) {
     let n = plan.len();
     assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
     let mut scratch = plan.make_scratch();
@@ -43,24 +47,24 @@ pub fn inverse_rows(plan: &Plan, data: &mut [c64]) {
 /// over the pool's threads. Each partition allocates one scratch buffer;
 /// steady-state callers should plan worker scratch once and use
 /// [`forward_rows_parallel_with`] instead.
-pub fn forward_rows_parallel(plan: &Plan, pool: &Pool, data: &mut [c64]) {
+pub fn forward_rows_parallel<T: Real>(plan: &Plan<T>, pool: &Pool, data: &mut [Complex<T>]) {
     let mut workers = make_worker_scratch(plan, pool);
     forward_rows_parallel_with(plan, pool, data, &mut workers);
 }
 
 /// One plan-scratch buffer per pool worker, for
 /// [`forward_rows_parallel_with`].
-pub fn make_worker_scratch(plan: &Plan, pool: &Pool) -> Vec<Vec<c64>> {
+pub fn make_worker_scratch<T: Real>(plan: &Plan<T>, pool: &Pool) -> Vec<Vec<Complex<T>>> {
     (0..pool.threads()).map(|_| plan.make_scratch()).collect()
 }
 
 /// [`forward_rows_parallel`] against caller-owned per-worker scratch
 /// (`workers.len() >= pool.threads()`): no allocation inside the call.
-pub fn forward_rows_parallel_with(
-    plan: &Plan,
+pub fn forward_rows_parallel_with<T: Real>(
+    plan: &Plan<T>,
     pool: &Pool,
-    data: &mut [c64],
-    workers: &mut [Vec<c64>],
+    data: &mut [Complex<T>],
+    workers: &mut [Vec<Complex<T>>],
 ) {
     let n = plan.len();
     assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
@@ -77,9 +81,9 @@ pub fn forward_rows_parallel_with(
 /// Forward-transforms each row and then multiplies element `(r, c)` by
 /// `scale(r, c)` in the same pass over the row — the loop-fusion pattern of
 /// Fig 4(b) (step 2 + step 3 without an intermediate memory sweep).
-pub fn forward_rows_scaled<F>(plan: &Plan, data: &mut [c64], scale: F)
+pub fn forward_rows_scaled<T: Real, F>(plan: &Plan<T>, data: &mut [Complex<T>], scale: F)
 where
-    F: Fn(usize, usize) -> c64,
+    F: Fn(usize, usize) -> Complex<T>,
 {
     let n = plan.len();
     assert_eq!(data.len() % n, 0, "data is not a whole number of rows");
@@ -96,6 +100,7 @@ where
 mod tests {
     use super::*;
     use crate::dft::dft;
+    use soifft_num::c64;
     use soifft_num::error::rel_linf;
 
     fn rows_signal(rows: usize, n: usize) -> Vec<c64> {
@@ -169,7 +174,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_noop() {
-        let plan = Plan::new(8);
+        let plan = Plan::<f64>::new(8);
         let mut nothing: Vec<c64> = vec![];
         forward_rows(&plan, &mut nothing);
         forward_rows_parallel(&plan, &Pool::new(4), &mut nothing);

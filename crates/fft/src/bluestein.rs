@@ -13,32 +13,32 @@
 //! The chirp exponent `t²` is reduced modulo `2n` in integer arithmetic
 //! before the trig call, so precision does not degrade with size.
 
-use soifft_num::c64;
 use soifft_num::factor::next_pow2;
+use soifft_num::{Complex, Real};
 
 use crate::plan::Plan;
 
 /// Precomputed state for an arbitrary-length transform.
 #[derive(Clone, Debug)]
-pub struct BluesteinPlan {
+pub struct BluesteinPlan<T: Real = f64> {
     n: usize,
     m: usize,
-    inner: Plan,
+    inner: Plan<T>,
     /// `c_t = e^{−πi t² / n}` for `t < n`.
-    chirp: Vec<c64>,
+    chirp: Vec<Complex<T>>,
     /// Forward FFT of the conjugate-chirp kernel, length `m`.
-    kernel_fft: Vec<c64>,
+    kernel_fft: Vec<Complex<T>>,
 }
 
-impl BluesteinPlan {
+impl<T: Real> BluesteinPlan<T> {
     /// Builds the plan. `n ≥ 2` (length 1 never reaches Bluestein).
     pub fn new(n: usize) -> Self {
         assert!(n >= 2);
         let m = next_pow2(2 * n - 1);
         let inner = Plan::new(m);
-        let chirp: Vec<c64> = (0..n).map(|t| chirp_factor(t, n)).collect();
+        let chirp: Vec<Complex<T>> = (0..n).map(|t| chirp_factor(t, n)).collect();
         // Kernel b[t] = conj(c_t) placed circularly at ±t.
-        let mut kernel = vec![c64::ZERO; m];
+        let mut kernel = vec![Complex::<T>::ZERO; m];
         kernel[0] = chirp[0].conj();
         for t in 1..n {
             let v = chirp[t].conj();
@@ -72,7 +72,7 @@ impl BluesteinPlan {
     }
 
     /// In-place forward transform of `data` (`data.len() == n`).
-    pub fn forward(&self, data: &mut [c64], scratch: &mut [c64]) {
+    pub fn forward(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
         assert_eq!(data.len(), self.n, "data length != plan length");
         assert!(scratch.len() >= self.scratch_len(), "scratch too small");
         let (a, inner_scratch) = scratch.split_at_mut(self.m);
@@ -82,7 +82,7 @@ impl BluesteinPlan {
             *slot = data[i] * self.chirp[i];
         }
         for slot in a.iter_mut().skip(self.n) {
-            *slot = c64::ZERO;
+            *slot = Complex::<T>::ZERO;
         }
 
         // Convolve with the kernel via the inner power-of-two plan.
@@ -99,16 +99,18 @@ impl BluesteinPlan {
     }
 }
 
-/// `e^{−πi (t² mod 2n) / n}` with the square reduced in `u128`.
-fn chirp_factor(t: usize, n: usize) -> c64 {
+/// `e^{−πi (t² mod 2n) / n}` with the square reduced in `u128` and the
+/// trig evaluated in `f64` before demotion to the target precision.
+fn chirp_factor<T: Real>(t: usize, n: usize) -> Complex<T> {
     let sq = (t as u128 * t as u128) % (2 * n as u128);
-    c64::cis(-std::f64::consts::PI * sq as f64 / n as f64)
+    Complex::cis(-std::f64::consts::PI * sq as f64 / n as f64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dft::dft;
+    use soifft_num::c64;
     use soifft_num::error::rel_linf;
 
     fn signal(n: usize) -> Vec<c64> {
@@ -119,7 +121,7 @@ mod tests {
 
     fn run(n: usize) -> f64 {
         let x = signal(n);
-        let plan = BluesteinPlan::new(n);
+        let plan = BluesteinPlan::<f64>::new(n);
         let mut got = x.clone();
         let mut scratch = vec![c64::ZERO; plan.scratch_len()];
         plan.forward(&mut got, &mut scratch);
@@ -154,12 +156,12 @@ mod tests {
         let t = 3_000_000_007usize;
         let reduced = (t as u128 * t as u128 % (2 * n as u128)) as f64;
         let expect = c64::cis(-std::f64::consts::PI * reduced / n as f64);
-        assert!((chirp_factor(t, n) - expect).abs() < 1e-12);
+        assert!((chirp_factor::<f64>(t, n) - expect).abs() < 1e-12);
     }
 
     #[test]
     fn plan_metadata() {
-        let p = BluesteinPlan::new(37);
+        let p = BluesteinPlan::<f64>::new(37);
         assert_eq!(p.len(), 37);
         assert!(p.scratch_len() >= 128);
         assert!(!p.is_empty());

@@ -4,17 +4,27 @@
 //! Bluestein also FFTs its kernel) and cheap to share (`Plan` execution is
 //! `&self`). Applications that transform many sizes — the SOI pipeline
 //! builds `F_L` and `F_{M'}` plans, plus Bluestein's inner plans — go
-//! through a [`PlanCache`] so repeated sizes are planned once.
+//! through a [`PlanCache`] so repeated sizes are planned once. One global
+//! cache exists per precision ([`shared_plan`] for `f64`,
+//! [`shared_plan_f32`] for the half-payload path); the caches are
+//! independent because an `f32` table is not a truncation of a shared
+//! `f64` table entry-by-entry — it is built (and demoted) per precision at
+//! construction.
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
-use crate::plan::Plan;
+use soifft_num::Real;
 
-/// The process-wide shared cache behind [`shared_plan`].
+use crate::plan::{Plan, PlanError};
+
+/// The process-wide shared `f64` cache behind [`shared_plan`].
 static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+
+/// The process-wide shared `f32` cache behind [`shared_plan_f32`].
+static GLOBAL_F32: OnceLock<PlanCache<f32>> = OnceLock::new();
 
 /// Returns the plan for `n` from the process-wide [`PlanCache`], building
 /// it on first use. All SOI and Cooley–Tukey pipelines plan through this
@@ -25,29 +35,63 @@ pub fn shared_plan(n: usize) -> Arc<Plan> {
     GLOBAL.get_or_init(PlanCache::new).get(n)
 }
 
-/// A thread-safe cache of [`Plan`]s keyed by transform length.
-#[derive(Default)]
-pub struct PlanCache {
-    plans: Mutex<HashMap<usize, Arc<Plan>>>,
+/// Fallible twin of [`shared_plan`]: surfaces [`PlanError`] (zero length)
+/// instead of panicking, for plan sizes derived from untrusted input.
+pub fn try_shared_plan(n: usize) -> Result<Arc<Plan>, PlanError> {
+    GLOBAL.get_or_init(PlanCache::new).try_get(n)
 }
 
-impl PlanCache {
+/// Returns the single-precision plan for `n` from the process-wide `f32`
+/// cache, building it on first use (the `f32` data path's counterpart of
+/// [`shared_plan`]).
+pub fn shared_plan_f32(n: usize) -> Arc<Plan<f32>> {
+    GLOBAL_F32.get_or_init(PlanCache::new).get(n)
+}
+
+/// Fallible twin of [`shared_plan_f32`].
+pub fn try_shared_plan_f32(n: usize) -> Result<Arc<Plan<f32>>, PlanError> {
+    GLOBAL_F32.get_or_init(PlanCache::new).try_get(n)
+}
+
+/// A thread-safe cache of [`Plan`]s keyed by transform length, generic
+/// over the precision parameter.
+#[derive(Default)]
+pub struct PlanCache<T: Real = f64> {
+    plans: Mutex<HashMap<usize, Arc<Plan<T>>>>,
+}
+
+impl<T: Real> PlanCache<T> {
     /// An empty cache.
     pub fn new() -> Self {
-        Self::default()
+        PlanCache {
+            plans: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Returns the plan for `n`, building it on first use.
-    pub fn get(&self, n: usize) -> Arc<Plan> {
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (via [`Plan::new`]); use [`PlanCache::try_get`]
+    /// for sizes derived from untrusted input.
+    pub fn get(&self, n: usize) -> Arc<Plan<T>> {
+        match self.try_get(n) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Returns the plan for `n`, building it on first use; a zero length
+    /// is reported as a typed [`PlanError`] instead of a panic.
+    pub fn try_get(&self, n: usize) -> Result<Arc<Plan<T>>, PlanError> {
         // Fast path: already present.
         if let Some(p) = self.plans.lock().get(&n) {
-            return Arc::clone(p);
+            return Ok(Arc::clone(p));
         }
         // Build outside the lock (planning can take milliseconds), then
         // race benignly: first writer wins.
-        let built = Arc::new(Plan::new(n));
+        let built = Arc::new(Plan::try_new(n)?);
         let mut map = self.plans.lock();
-        Arc::clone(map.entry(n).or_insert(built))
+        Ok(Arc::clone(map.entry(n).or_insert(built)))
     }
 
     /// Number of distinct sizes cached.
@@ -69,11 +113,11 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soifft_num::c64;
+    use soifft_num::{c32, c64};
 
     #[test]
     fn caches_and_reuses() {
-        let cache = PlanCache::new();
+        let cache = PlanCache::<f64>::new();
         assert!(cache.is_empty());
         let a = cache.get(256);
         let b = cache.get(256);
@@ -86,7 +130,7 @@ mod tests {
 
     #[test]
     fn cached_plans_work() {
-        let cache = PlanCache::new();
+        let cache = PlanCache::<f64>::new();
         let plan = cache.get(64);
         let mut d = vec![c64::ZERO; 64];
         d[0] = c64::ONE;
@@ -95,8 +139,29 @@ mod tests {
     }
 
     #[test]
+    fn f32_cache_is_independent_and_works() {
+        let plan = shared_plan_f32(64);
+        let again = shared_plan_f32(64);
+        assert!(Arc::ptr_eq(&plan, &again));
+        let mut d = vec![c32::ZERO; 64];
+        d[0] = c32::ONE;
+        plan.forward(&mut d);
+        assert!(d.iter().all(|v| (*v - c32::ONE).abs() < 1e-4));
+    }
+
+    #[test]
+    fn try_get_reports_zero_length() {
+        let cache = PlanCache::<f64>::new();
+        assert_eq!(cache.try_get(0).unwrap_err(), PlanError::ZeroLength);
+        assert!(cache.is_empty(), "failed build must not populate the cache");
+        assert!(try_shared_plan(0).is_err());
+        assert!(try_shared_plan_f32(0).is_err());
+        assert_eq!(try_shared_plan(32).unwrap().len(), 32);
+    }
+
+    #[test]
     fn clear_keeps_outstanding_arcs_valid() {
-        let cache = PlanCache::new();
+        let cache = PlanCache::<f64>::new();
         let p = cache.get(128);
         cache.clear();
         assert!(cache.is_empty());
@@ -107,7 +172,7 @@ mod tests {
 
     #[test]
     fn concurrent_access_yields_consistent_plans() {
-        let cache = Arc::new(PlanCache::new());
+        let cache = Arc::new(PlanCache::<f64>::new());
         let mut handles = Vec::new();
         for _ in 0..8 {
             let c = Arc::clone(&cache);

@@ -42,10 +42,10 @@ pub mod sixstep;
 pub mod stockham;
 pub mod twiddle;
 
-pub use cache::{shared_plan, PlanCache};
+pub use cache::{shared_plan, shared_plan_f32, try_shared_plan, try_shared_plan_f32, PlanCache};
 pub use iterative::IterativeFft;
 pub use multi::{Plan2d, Plan3d};
-pub use plan::Plan;
+pub use plan::{Plan, PlanError};
 pub use planar::PlanarFft;
 pub use real::RealFft;
 pub use sixstep::{SixStepFft, SixStepScratch, SixStepVariant};

@@ -2,7 +2,10 @@
 //!
 //! A [`Plan`] is built once for a given length and reused (plans own their
 //! twiddle tables, so construction is `O(n)` trig and execution is
-//! allocation-free when the caller supplies scratch). Dispatch:
+//! allocation-free when the caller supplies scratch). Plans are generic
+//! over the precision parameter ([`soifft_num::Real`], default `f64`); the
+//! butterfly constants are computed in `f64` and demoted once at
+//! construction. Dispatch:
 //!
 //! * `n == 1` — identity,
 //! * `n` smooth (largest prime factor ≤ [`MAX_RADIX`]) — recursive
@@ -16,8 +19,10 @@
 //! subarray produced by its children — the cache-oblivious layout that the
 //! 6-step algorithm then scales past LLC sizes.
 
-use soifft_num::c64;
+use std::fmt;
+
 use soifft_num::factor::factorize;
+use soifft_num::{Complex, Real};
 
 use crate::bluestein::BluesteinPlan;
 use crate::twiddle::Twiddles;
@@ -25,6 +30,23 @@ use crate::twiddle::Twiddles;
 /// Largest prime handled by the generic Cooley–Tukey butterfly; larger
 /// prime factors route the whole transform to Bluestein.
 pub const MAX_RADIX: usize = 31;
+
+/// Error from fallible plan construction ([`Plan::try_new`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The requested transform length was zero; transforms need `n ≥ 1`.
+    ZeroLength,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ZeroLength => write!(f, "transform length must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A reusable FFT plan for a fixed transform length.
 ///
@@ -44,27 +66,45 @@ pub const MAX_RADIX: usize = 31;
 /// assert!((data[1] - c64::ONE).abs() < 1e-12);
 /// ```
 #[derive(Clone, Debug)]
-pub struct Plan {
+pub struct Plan<T: Real = f64> {
     n: usize,
-    kind: Kind,
+    kind: Kind<T>,
 }
 
 #[derive(Clone, Debug)]
-enum Kind {
+enum Kind<T: Real> {
     Identity,
-    CooleyTukey { factors: Vec<usize>, tw: Twiddles },
-    Bluestein(Box<BluesteinPlan>),
+    CooleyTukey {
+        factors: Vec<usize>,
+        tw: Twiddles<T>,
+    },
+    Bluestein(Box<BluesteinPlan<T>>),
 }
 
-impl Plan {
+impl<T: Real> Plan<T> {
     /// Builds a plan for `n`-point transforms (`n ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`; use [`Plan::try_new`] where a zero length can
+    /// come from untrusted input.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1, "transform length must be at least 1");
+        match Self::try_new(n) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible plan construction: returns a typed error for a zero
+    /// length instead of panicking.
+    pub fn try_new(n: usize) -> Result<Self, PlanError> {
+        if n == 0 {
+            return Err(PlanError::ZeroLength);
+        }
         if n == 1 {
-            return Plan {
+            return Ok(Plan {
                 n,
                 kind: Kind::Identity,
-            };
+            });
         }
         let fac = factorize(n);
         if fac.iter().all(|&(p, _)| p <= MAX_RADIX) {
@@ -91,18 +131,18 @@ impl Plan {
                     }
                 }
             }
-            Plan {
+            Ok(Plan {
                 n,
                 kind: Kind::CooleyTukey {
                     factors,
                     tw: Twiddles::new(n),
                 },
-            }
+            })
         } else {
-            Plan {
+            Ok(Plan {
                 n,
                 kind: Kind::Bluestein(Box::new(BluesteinPlan::new(n))),
-            }
+            })
         }
     }
 
@@ -133,20 +173,20 @@ impl Plan {
     }
 
     /// Allocates a scratch buffer of the right size.
-    pub fn make_scratch(&self) -> Vec<c64> {
-        vec![c64::ZERO; self.scratch_len()]
+    pub fn make_scratch(&self) -> Vec<Complex<T>> {
+        vec![Complex::<T>::ZERO; self.scratch_len()]
     }
 
     /// Forward transform, in place. Allocates scratch internally; hot loops
     /// should use [`Plan::forward_with_scratch`].
-    pub fn forward(&self, data: &mut [c64]) {
+    pub fn forward(&self, data: &mut [Complex<T>]) {
         let mut scratch = self.make_scratch();
         self.forward_with_scratch(data, &mut scratch);
     }
 
     /// Forward transform, in place, with caller-provided scratch
     /// (`scratch.len() >= self.scratch_len()`).
-    pub fn forward_with_scratch(&self, data: &mut [c64], scratch: &mut [c64]) {
+    pub fn forward_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
         assert_eq!(data.len(), self.n, "data length != plan length");
         match &self.kind {
             Kind::Identity => {}
@@ -160,7 +200,7 @@ impl Plan {
     }
 
     /// Forward transform, out of place (`input` is left untouched).
-    pub fn forward_oop(&self, input: &[c64], output: &mut [c64]) {
+    pub fn forward_oop(&self, input: &[Complex<T>], output: &mut [Complex<T>]) {
         assert_eq!(input.len(), self.n, "input length != plan length");
         assert_eq!(output.len(), self.n, "output length != plan length");
         match &self.kind {
@@ -178,7 +218,7 @@ impl Plan {
 
     /// Inverse transform, in place, normalized by `1/n` so that
     /// `inverse(forward(x)) == x`.
-    pub fn inverse(&self, data: &mut [c64]) {
+    pub fn inverse(&self, data: &mut [Complex<T>]) {
         let mut scratch = self.make_scratch();
         self.inverse_with_scratch(data, &mut scratch);
     }
@@ -188,14 +228,14 @@ impl Plan {
     /// Implemented by conjugation around the forward kernel
     /// (`ifft(x) = conj(fft(conj(x)))/n`), so every fast path is exercised
     /// by both directions.
-    pub fn inverse_with_scratch(&self, data: &mut [c64], scratch: &mut [c64]) {
+    pub fn inverse_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
         for z in data.iter_mut() {
             *z = z.conj();
         }
         self.forward_with_scratch(data, scratch);
-        let inv_n = 1.0 / self.n as f64;
+        let inv_n = T::from_f64(1.0 / self.n as f64);
         for z in data.iter_mut() {
-            *z = z.conj() * inv_n;
+            *z = z.conj().scale(inv_n);
         }
     }
 }
@@ -207,14 +247,14 @@ impl Plan {
 /// shared full-size table for `big_n` (the root length), indexed with
 /// stride `big_n / n` at this level.
 #[allow(clippy::too_many_arguments)]
-fn ct_recursive(
-    src: &[c64],
+fn ct_recursive<T: Real>(
+    src: &[Complex<T>],
     src_off: usize,
     stride: usize,
-    dst: &mut [c64],
+    dst: &mut [Complex<T>],
     n: usize,
     factors: &[usize],
-    tw: &Twiddles,
+    tw: &Twiddles<T>,
     big_n: usize,
 ) {
     if n == 1 {
@@ -281,12 +321,12 @@ fn ct_recursive(
 /// `w_8 = (1−i)/√2` rotations — 8 outputs per column with all constants in
 /// registers (the unrolled-leaf / register-blocking style of §5.2.4).
 #[inline]
-fn combine_radix8(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
-    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+fn combine_radix8<T: Real>(dst: &mut [Complex<T>], m: usize, tw: &Twiddles<T>, ts: usize) {
+    let inv_sqrt2 = T::from_f64(std::f64::consts::FRAC_1_SQRT_2);
     let n_tw = tw.len();
     for k in 0..m {
         // Gather twiddled children.
-        let mut a = [c64::ZERO; 8];
+        let mut a = [Complex::<T>::ZERO; 8];
         a[0] = dst[k];
         for (j, slot) in a.iter_mut().enumerate().skip(1) {
             *slot = tw.get(j * k * ts % n_tw) * dst[j * m + k];
@@ -310,9 +350,9 @@ fn combine_radix8(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
         let y2 = o0 - o2;
         let y3 = o1 - o3;
         // Join with w8^l rotations: w8 = (1−i)/√2, w8² = −i, w8³ = −(1+i)/√2.
-        let r1 = c64::new((y1.re + y1.im) * INV_SQRT2, (y1.im - y1.re) * INV_SQRT2);
+        let r1 = Complex::new((y1.re + y1.im) * inv_sqrt2, (y1.im - y1.re) * inv_sqrt2);
         let r2 = y2.mul_neg_i();
-        let r3 = c64::new((y3.im - y3.re) * INV_SQRT2, -(y3.re + y3.im) * INV_SQRT2);
+        let r3 = Complex::new((y3.im - y3.re) * inv_sqrt2, -(y3.re + y3.im) * inv_sqrt2);
         dst[k] = x0 + y0;
         dst[m + k] = x1 + r1;
         dst[2 * m + k] = x2 + r2;
@@ -325,7 +365,7 @@ fn combine_radix8(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
 }
 
 #[inline]
-fn combine_radix2(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
+fn combine_radix2<T: Real>(dst: &mut [Complex<T>], m: usize, tw: &Twiddles<T>, ts: usize) {
     let (e, o) = dst.split_at_mut(m);
     for k in 0..m {
         let t = tw.get(k * ts) * o[k];
@@ -336,7 +376,7 @@ fn combine_radix2(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
 }
 
 #[inline]
-fn combine_radix4(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
+fn combine_radix4<T: Real>(dst: &mut [Complex<T>], m: usize, tw: &Twiddles<T>, ts: usize) {
     // Split into the four children's output rows.
     let (q01, q23) = dst.split_at_mut(2 * m);
     let (q0, q1) = q01.split_at_mut(m);
@@ -359,10 +399,10 @@ fn combine_radix4(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
 }
 
 #[inline]
-fn combine_radix3(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
+fn combine_radix3<T: Real>(dst: &mut [Complex<T>], m: usize, tw: &Twiddles<T>, ts: usize) {
     // w_3 = e^{−2πi/3}: re = −1/2, im = −√3/2.
-    const C: f64 = -0.5;
-    const S: f64 = -0.866_025_403_784_438_6;
+    let c_3 = T::from_f64(-0.5);
+    let s_3 = T::from_f64(-0.866_025_403_784_438_6);
     let (q0, q12) = dst.split_at_mut(m);
     let (q1, q2) = q12.split_at_mut(m);
     for k in 0..m {
@@ -374,8 +414,8 @@ fn combine_radix3(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
         // X0 = a + b + c
         // X1 = a + w b + w² c = a + C·sum + i·S·diff
         // X2 = conj-pattern with −S.
-        let re_part = a + sum * C;
-        let im_part = c64::new(-diff.im * S, diff.re * S);
+        let re_part = a + sum * c_3;
+        let im_part = Complex::new(-diff.im * s_3, diff.re * s_3);
         q0[k] = a + sum;
         q1[k] = re_part + im_part;
         q2[k] = re_part - im_part;
@@ -383,12 +423,12 @@ fn combine_radix3(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
 }
 
 #[inline]
-fn combine_radix5(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
+fn combine_radix5<T: Real>(dst: &mut [Complex<T>], m: usize, tw: &Twiddles<T>, ts: usize) {
     // w_5^k constants (forward sign).
-    const C1: f64 = 0.309_016_994_374_947_45; // cos(2π/5)
-    const S1: f64 = -0.951_056_516_295_153_5; // −sin(2π/5)
-    const C2: f64 = -0.809_016_994_374_947_4; // cos(4π/5)
-    const S2: f64 = -0.587_785_252_292_473_1; // −sin(4π/5)
+    let c1 = T::from_f64(0.309_016_994_374_947_45); // cos(2π/5)
+    let s1 = T::from_f64(-0.951_056_516_295_153_5); // −sin(2π/5)
+    let c2 = T::from_f64(-0.809_016_994_374_947_4); // cos(4π/5)
+    let s2 = T::from_f64(-0.587_785_252_292_473_1); // −sin(4π/5)
     let n_tw = tw.len();
     let (q0, rest) = dst.split_at_mut(m);
     let (q1, rest) = rest.split_at_mut(m);
@@ -406,11 +446,11 @@ fn combine_radix5(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
         let t4 = a2 - a3;
         q0[k] = a0 + t1 + t2;
         // X1 = a0 + C1·t1 + C2·t2 + i(S1·t3 + S2·t4), X4 its mirror.
-        let r1 = a0 + t1 * C1 + t2 * C2;
-        let i1 = c64::new(-(t3.im * S1 + t4.im * S2), t3.re * S1 + t4.re * S2);
+        let r1 = a0 + t1 * c1 + t2 * c2;
+        let i1 = Complex::new(-(t3.im * s1 + t4.im * s2), t3.re * s1 + t4.re * s2);
         // X2 = a0 + C2·t1 + C1·t2 + i(S2·t3 − S1·t4), X3 its mirror.
-        let r2 = a0 + t1 * C2 + t2 * C1;
-        let i2 = c64::new(-(t3.im * S2 - t4.im * S1), t3.re * S2 - t4.re * S1);
+        let r2 = a0 + t1 * c2 + t2 * c1;
+        let i2 = Complex::new(-(t3.im * s2 - t4.im * s1), t3.re * s2 - t4.re * s1);
         q1[k] = r1 + i1;
         q4[k] = r1 - i1;
         q2[k] = r2 + i2;
@@ -421,9 +461,16 @@ fn combine_radix5(dst: &mut [c64], m: usize, tw: &Twiddles, ts: usize) {
 /// Generic small-prime butterfly: an explicit r-point DFT per output
 /// column. O(r²) per column — acceptable for the r ≤ 31 primes this plan
 /// admits.
-fn combine_generic(dst: &mut [c64], r: usize, m: usize, tw: &Twiddles, ts: usize, n: usize) {
+fn combine_generic<T: Real>(
+    dst: &mut [Complex<T>],
+    r: usize,
+    m: usize,
+    tw: &Twiddles<T>,
+    ts: usize,
+    n: usize,
+) {
     let n_tw = tw.len();
-    let mut col_storage = [c64::ZERO; MAX_RADIX + 1];
+    let mut col_storage = [Complex::<T>::ZERO; MAX_RADIX + 1];
     let col = &mut col_storage[..r];
     for k in 0..m {
         for (j, c) in col.iter_mut().enumerate() {
@@ -444,6 +491,8 @@ fn combine_generic(dst: &mut [c64], r: usize, m: usize, tw: &Twiddles, ts: usize
 mod tests {
     use super::*;
     use crate::dft::{dft, idft};
+    use soifft_num::c32;
+    use soifft_num::c64;
     use soifft_num::error::rel_linf;
 
     fn signal(n: usize) -> Vec<c64> {
@@ -474,6 +523,22 @@ mod tests {
         plan.inverse(&mut d);
         assert_eq!(d[0], c64::new(2.0, 3.0));
         assert_eq!(plan.scratch_len(), 0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_length() {
+        assert_eq!(Plan::<f64>::try_new(0).unwrap_err(), PlanError::ZeroLength);
+        assert!(Plan::<f64>::try_new(1).is_ok());
+        assert_eq!(
+            PlanError::ZeroLength.to_string(),
+            "transform length must be at least 1"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "transform length must be at least 1")]
+    fn zero_length_panics() {
+        let _ = Plan::<f64>::new(0);
     }
 
     #[test]
@@ -510,16 +575,38 @@ mod tests {
     }
 
     #[test]
+    fn f32_plan_tracks_f64_oracle() {
+        // Single-precision transforms over the same dispatch paths: the
+        // error floor scales with f32 epsilon, not with a broken butterfly.
+        for n in [8usize, 12, 27, 48, 100, 256, 257, 1009] {
+            let x = signal(n);
+            let x32: Vec<c32> = x.iter().map(|&z| c32::from_c64(z)).collect();
+            let plan32 = Plan::<f32>::new(n);
+            let mut got32 = x32.clone();
+            plan32.forward(&mut got32);
+            let want = dft(&x);
+            let got: Vec<c64> = got32.iter().map(|z| z.to_c64()).collect();
+            let err = rel_linf(&got, &want);
+            assert!(err < 1e-3, "n={n}: err={err:.3e}");
+            // And round-trip.
+            plan32.inverse(&mut got32);
+            let back: Vec<c64> = got32.iter().map(|z| z.to_c64()).collect();
+            let xq: Vec<c64> = x32.iter().map(|z| z.to_c64()).collect();
+            assert!(rel_linf(&back, &xq) < 1e-4, "n={n}");
+        }
+    }
+
+    #[test]
     fn prime_sizes_use_bluestein_and_match() {
         for n in [37, 101, 257, 1009] {
-            let plan = Plan::new(n);
+            let plan = Plan::<f64>::new(n);
             assert!(plan.is_bluestein(), "n={n} should be Bluestein");
             check_forward(n, 1e-10);
         }
         // 31 is the largest direct radix.
-        assert!(!Plan::new(31).is_bluestein());
-        assert!(!Plan::new(62).is_bluestein());
-        assert!(Plan::new(74).is_bluestein()); // 2 · 37
+        assert!(!Plan::<f64>::new(31).is_bluestein());
+        assert!(!Plan::<f64>::new(62).is_bluestein());
+        assert!(Plan::<f64>::new(74).is_bluestein()); // 2 · 37
     }
 
     #[test]

@@ -1,74 +1,123 @@
-//! Double-precision complex arithmetic.
+//! Complex arithmetic, generic over the precision parameter.
 //!
-//! The whole workspace computes on `c64` values (16 bytes, matching the
-//! paper's "double-precision complex numbers, i.e. 16 bytes per element").
+//! The workspace computes on [`Complex<T>`] values where `T` is a
+//! [`Real`] scalar: [`c64`] (16 bytes, matching the paper's
+//! "double-precision complex numbers, i.e. 16 bytes per element") is the
+//! default everywhere, and [`c32`] (8 bytes) is the half-payload path.
 //! The type is deliberately minimal and `#[repr(C)]` so that a slice of
-//! `c64` is bit-compatible with the interleaved (AoS) layout used at MPI
-//! boundaries.
+//! `Complex<T>` is bit-compatible with the interleaved (AoS) layout used
+//! at MPI boundaries.
+//!
+//! Trig-derived values ([`Complex::cis`], [`Complex::root_of_unity`]) are
+//! evaluated in `f64` and demoted once, so `c32` tables carry ≤ ½ ulp of
+//! demotion error instead of compounded single-precision trig error.
 
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-/// A double-precision complex number `re + i·im`.
+use crate::real::Real;
+
+/// A complex number `re + i·im` over the precision parameter `T`.
 ///
-/// The lower-case name mirrors common HPC style (`c64`, by analogy with
-/// `f64`). All arithmetic is implemented inline; a complex multiply is the
-/// usual 4 multiplies + 2 adds (6 flops), an addition 2 flops — the counts
-/// the paper's `8B` convolution flop model assumes.
+/// The lower-case aliases [`c64`] and [`c32`] mirror common HPC style (by
+/// analogy with `f64`/`f32`). All arithmetic is implemented inline; a
+/// complex multiply is the usual 4 multiplies + 2 adds (6 flops), an
+/// addition 2 flops — the counts the paper's `8B` convolution flop model
+/// assumes.
 #[derive(Clone, Copy, Default, PartialEq)]
 #[repr(C)]
-#[allow(non_camel_case_types)]
-pub struct c64 {
+pub struct Complex<T> {
     /// Real part.
-    pub re: f64,
+    pub re: T,
     /// Imaginary part.
-    pub im: f64,
+    pub im: T,
 }
 
-impl c64 {
+/// Double-precision complex number (the workspace default).
+#[allow(non_camel_case_types)]
+pub type c64 = Complex<f64>;
+
+/// Single-precision complex number (the half-payload path).
+#[allow(non_camel_case_types)]
+pub type c32 = Complex<f32>;
+
+impl<T: Real> Complex<T> {
     /// Zero.
-    pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+    pub const ZERO: Self = Complex {
+        re: T::ZERO,
+        im: T::ZERO,
+    };
     /// Multiplicative identity.
-    pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+    pub const ONE: Self = Complex {
+        re: T::ONE,
+        im: T::ZERO,
+    };
     /// The imaginary unit.
-    pub const I: c64 = c64 { re: 0.0, im: 1.0 };
+    pub const I: Self = Complex {
+        re: T::ZERO,
+        im: T::ONE,
+    };
 
     /// Creates `re + i·im`.
     #[inline(always)]
-    pub const fn new(re: f64, im: f64) -> Self {
-        c64 { re, im }
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
     }
 
     /// Creates a purely real value.
     #[inline(always)]
-    pub const fn real(re: f64) -> Self {
-        c64 { re, im: 0.0 }
+    pub const fn real(re: T) -> Self {
+        Complex { re, im: T::ZERO }
     }
 
-    /// `e^{iθ} = cos θ + i sin θ`.
+    /// `e^{iθ} = cos θ + i sin θ`. The angle is always an `f64`; the
+    /// result is demoted to `T` after the trig evaluation.
     #[inline]
     pub fn cis(theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
-        c64 { re: c, im: s }
+        Complex {
+            re: T::from_f64(c),
+            im: T::from_f64(s),
+        }
     }
 
     /// The primitive root of unity `e^{-2πi k / n}` used by the forward DFT
     /// (negative-exponent convention, matching FFTW/MKL).
     ///
     /// `k` is reduced modulo `n` before the argument is formed so that large
-    /// indices do not lose precision in the multiply.
+    /// indices do not lose precision in the multiply; the trig runs in
+    /// `f64` regardless of `T`.
     #[inline]
     pub fn root_of_unity(n: usize, k: i64) -> Self {
         let n_i = n as i64;
         let k = ((k % n_i) + n_i) % n_i;
-        c64::cis(-2.0 * std::f64::consts::PI * (k as f64) / (n as f64))
+        Self::cis(-2.0 * std::f64::consts::PI * (k as f64) / (n as f64))
+    }
+
+    /// Demotes (or passes through) a double-precision value to `T`
+    /// component-wise.
+    #[inline(always)]
+    pub fn from_c64(z: Complex<f64>) -> Self {
+        Complex {
+            re: T::from_f64(z.re),
+            im: T::from_f64(z.im),
+        }
+    }
+
+    /// Promotes (or passes through) to double precision component-wise.
+    #[inline(always)]
+    pub fn to_c64(self) -> Complex<f64> {
+        Complex {
+            re: self.re.to_f64(),
+            im: self.im.to_f64(),
+        }
     }
 
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        c64 {
+        Complex {
             re: self.re,
             im: -self.im,
         }
@@ -76,19 +125,19 @@ impl c64 {
 
     /// Squared magnitude `re² + im²`.
     #[inline(always)]
-    pub fn norm_sqr(self) -> f64 {
+    pub fn norm_sqr(self) -> T {
         self.re * self.re + self.im * self.im
     }
 
     /// Magnitude `|z|` (hypot, safe against overflow).
     #[inline]
-    pub fn abs(self) -> f64 {
+    pub fn abs(self) -> T {
         self.re.hypot(self.im)
     }
 
     /// Argument (phase) in `(-π, π]`.
     #[inline]
-    pub fn arg(self) -> f64 {
+    pub fn arg(self) -> T {
         self.im.atan2(self.re)
     }
 
@@ -96,7 +145,7 @@ impl c64 {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        c64 {
+        Complex {
             re: self.re / d,
             im: -self.im / d,
         }
@@ -104,8 +153,8 @@ impl c64 {
 
     /// Scales by a real factor.
     #[inline(always)]
-    pub fn scale(self, s: f64) -> Self {
-        c64 {
+    pub fn scale(self, s: T) -> Self {
+        Complex {
             re: self.re * s,
             im: self.im * s,
         }
@@ -115,8 +164,8 @@ impl c64 {
     /// emit FMA instructions where available (paper §5.2.4 notes ~12 % of
     /// Xeon Phi FFT operations become FMAs).
     #[inline(always)]
-    pub fn mul_add(self, a: c64, b: c64) -> Self {
-        c64 {
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        Complex {
             re: a.re.mul_add(b.re, (-a.im).mul_add(b.im, self.re)),
             im: a.re.mul_add(b.im, a.im.mul_add(b.re, self.im)),
         }
@@ -126,7 +175,7 @@ impl c64 {
     /// butterfly exploits this).
     #[inline(always)]
     pub fn mul_i(self) -> Self {
-        c64 {
+        Complex {
             re: -self.im,
             im: self.re,
         }
@@ -135,7 +184,7 @@ impl c64 {
     /// Multiplication by `-i`.
     #[inline(always)]
     pub fn mul_neg_i(self) -> Self {
-        c64 {
+        Complex {
             re: self.im,
             im: -self.re,
         }
@@ -154,134 +203,144 @@ impl c64 {
     }
 }
 
-impl Add for c64 {
-    type Output = c64;
+impl<T: Real> Add for Complex<T> {
+    type Output = Complex<T>;
     #[inline(always)]
-    fn add(self, rhs: c64) -> c64 {
-        c64 {
+    fn add(self, rhs: Complex<T>) -> Complex<T> {
+        Complex {
             re: self.re + rhs.re,
             im: self.im + rhs.im,
         }
     }
 }
 
-impl Sub for c64 {
-    type Output = c64;
+impl<T: Real> Sub for Complex<T> {
+    type Output = Complex<T>;
     #[inline(always)]
-    fn sub(self, rhs: c64) -> c64 {
-        c64 {
+    fn sub(self, rhs: Complex<T>) -> Complex<T> {
+        Complex {
             re: self.re - rhs.re,
             im: self.im - rhs.im,
         }
     }
 }
 
-impl Mul for c64 {
-    type Output = c64;
+impl<T: Real> Mul for Complex<T> {
+    type Output = Complex<T>;
     #[inline(always)]
-    fn mul(self, rhs: c64) -> c64 {
-        c64 {
+    fn mul(self, rhs: Complex<T>) -> Complex<T> {
+        Complex {
             re: self.re * rhs.re - self.im * rhs.im,
             im: self.re * rhs.im + self.im * rhs.re,
         }
     }
 }
 
-impl Div for c64 {
-    type Output = c64;
+impl<T: Real> Div for Complex<T> {
+    type Output = Complex<T>;
     #[inline]
     #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ is the definition
-    fn div(self, rhs: c64) -> c64 {
+    fn div(self, rhs: Complex<T>) -> Complex<T> {
         self * rhs.inv()
     }
 }
 
-impl Neg for c64 {
-    type Output = c64;
+impl<T: Real> Neg for Complex<T> {
+    type Output = Complex<T>;
     #[inline(always)]
-    fn neg(self) -> c64 {
-        c64 {
+    fn neg(self) -> Complex<T> {
+        Complex {
             re: -self.re,
             im: -self.im,
         }
     }
 }
 
-impl Mul<f64> for c64 {
-    type Output = c64;
+impl<T: Real> Mul<T> for Complex<T> {
+    type Output = Complex<T>;
     #[inline(always)]
-    fn mul(self, rhs: f64) -> c64 {
+    fn mul(self, rhs: T) -> Complex<T> {
         self.scale(rhs)
     }
 }
 
-impl Mul<c64> for f64 {
-    type Output = c64;
+// `scalar * complex` cannot be written generically (the scalar would be an
+// uncovered type parameter), so each precision gets a concrete impl.
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
     #[inline(always)]
-    fn mul(self, rhs: c64) -> c64 {
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
         rhs.scale(self)
     }
 }
 
-impl Div<f64> for c64 {
-    type Output = c64;
+impl Mul<Complex<f32>> for f32 {
+    type Output = Complex<f32>;
     #[inline(always)]
-    fn div(self, rhs: f64) -> c64 {
-        self.scale(1.0 / rhs)
+    fn mul(self, rhs: Complex<f32>) -> Complex<f32> {
+        rhs.scale(self)
     }
 }
 
-impl AddAssign for c64 {
+impl<T: Real> Div<T> for Complex<T> {
+    type Output = Complex<T>;
     #[inline(always)]
-    fn add_assign(&mut self, rhs: c64) {
+    fn div(self, rhs: T) -> Complex<T> {
+        self.scale(T::ONE / rhs)
+    }
+}
+
+impl<T: Real> AddAssign for Complex<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex<T>) {
         *self = *self + rhs;
     }
 }
 
-impl SubAssign for c64 {
+impl<T: Real> SubAssign for Complex<T> {
     #[inline(always)]
-    fn sub_assign(&mut self, rhs: c64) {
+    fn sub_assign(&mut self, rhs: Complex<T>) {
         *self = *self - rhs;
     }
 }
 
-impl MulAssign for c64 {
+impl<T: Real> MulAssign for Complex<T> {
     #[inline(always)]
-    fn mul_assign(&mut self, rhs: c64) {
+    fn mul_assign(&mut self, rhs: Complex<T>) {
         *self = *self * rhs;
     }
 }
 
-impl DivAssign for c64 {
+impl<T: Real> DivAssign for Complex<T> {
     #[inline]
-    fn div_assign(&mut self, rhs: c64) {
+    fn div_assign(&mut self, rhs: Complex<T>) {
         *self = *self / rhs;
     }
 }
 
-impl Sum for c64 {
-    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
-        iter.fold(c64::ZERO, |a, b| a + b)
+impl<T: Real> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Complex<T>>>(iter: I) -> Complex<T> {
+        iter.fold(Complex::ZERO, |a, b| a + b)
     }
 }
 
-impl From<f64> for c64 {
+impl<T: Real> From<T> for Complex<T> {
     #[inline]
-    fn from(re: f64) -> c64 {
-        c64::real(re)
+    fn from(re: T) -> Complex<T> {
+        Complex::real(re)
     }
 }
 
-impl From<(f64, f64)> for c64 {
+impl<T: Real> From<(T, T)> for Complex<T> {
     #[inline]
-    fn from((re, im): (f64, f64)) -> c64 {
-        c64::new(re, im)
+    fn from((re, im): (T, T)) -> Complex<T> {
+        Complex::new(re, im)
     }
 }
 
-impl fmt::Debug for c64 {
+impl<T: Real> fmt::Debug for Complex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.im >= 0.0 {
+        if self.im >= T::ZERO {
             write!(f, "{}+{}i", self.re, self.im)
         } else {
             write!(f, "{}{}i", self.re, self.im)
@@ -289,7 +348,7 @@ impl fmt::Debug for c64 {
     }
 }
 
-impl fmt::Display for c64 {
+impl<T: Real> fmt::Display for Complex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
     }
@@ -414,5 +473,31 @@ mod tests {
         assert!(!c64::ONE.is_nan());
         assert!(c64::ONE.is_finite());
         assert!(!c64::new(f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn c32_arithmetic_mirrors_c64() {
+        let a = c32::new(1.5, -2.25);
+        let b = c32::new(-0.5, 4.0);
+        let (wa, wb) = (a.to_c64(), b.to_c64());
+        // Exactly-representable operands: single-precision arithmetic on
+        // them agrees with demoted double-precision arithmetic.
+        assert_eq!((a + b).to_c64(), wa + wb);
+        assert_eq!((a * b).to_c64(), wa * wb);
+        assert_eq!(a.conj().to_c64(), wa.conj());
+        assert_eq!(c32::from_c64(wa), a);
+    }
+
+    #[test]
+    fn demotion_is_round_to_nearest() {
+        // π is not representable in f32; from_c64 must round, not
+        // truncate, so the table-demotion contract (≤ ½ ulp) holds.
+        let z = c32::from_c64(c64::new(PI, -PI));
+        assert_eq!(z.re, std::f64::consts::PI as f32);
+        assert_eq!(z.im, -(std::f64::consts::PI as f32));
+        let w = c32::root_of_unity(3, 1);
+        let exact = c64::root_of_unity(3, 1);
+        assert!((w.re as f64 - exact.re).abs() <= f32::EPSILON as f64);
+        assert!((w.im as f64 - exact.im).abs() <= f32::EPSILON as f64);
     }
 }

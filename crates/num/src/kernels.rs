@@ -3,14 +3,35 @@
 //! The inner loops of the convolution (length-B inner products, paper
 //! §5.3), demodulation (pointwise multiply, §5.2.4) and twiddle passes are
 //! all instances of four primitives. Centralizing them keeps every hot
-//! loop in one shape the autovectorizer handles well, and gives the layout
-//! bench a single place to compare AoS and planar codegen.
+//! loop behind one API: the public functions here are generic over the
+//! precision parameter [`Real`] and dispatch per-type to the explicit
+//! AVX2 kernels in [`crate::simd`] when the host supports them, falling
+//! back to the scalar reference implementations below (which are also
+//! exported, as `*_scalar`, so the parity suite can compare both paths in
+//! one process).
+//!
+//! The `*_split` kernels are the third precision mode: `f32` operands
+//! (half the memory traffic of the tap and signal arrays) accumulated in
+//! `f64` (products of widened singles are exact in double, so only the
+//! accumulation rounds).
 
-use crate::c64;
+use crate::complex::{c32, c64, Complex};
+use crate::real::Real;
+use crate::simd;
 
 /// `acc[i] += t[i] * x[i]` (the convolution's tap-block AXPY).
 #[inline]
-pub fn axpy_pointwise(acc: &mut [c64], t: &[c64], x: &[c64]) {
+pub fn axpy_pointwise<T: Real>(acc: &mut [Complex<T>], t: &[Complex<T>], x: &[Complex<T>]) {
+    assert_eq!(acc.len(), t.len(), "length mismatch");
+    assert_eq!(acc.len(), x.len(), "length mismatch");
+    T::kaxpy_pointwise(acc, t, x);
+}
+
+/// Scalar reference for [`axpy_pointwise`] (element-wise, so SIMD lane
+/// order cannot change results; bit-identical to the AVX2 kernel by
+/// construction).
+#[inline]
+pub fn axpy_pointwise_scalar<T: Real>(acc: &mut [Complex<T>], t: &[Complex<T>], x: &[Complex<T>]) {
     assert_eq!(acc.len(), t.len(), "length mismatch");
     assert_eq!(acc.len(), x.len(), "length mismatch");
     for ((a, &tv), &xv) in acc.iter_mut().zip(t).zip(x) {
@@ -21,11 +42,19 @@ pub fn axpy_pointwise(acc: &mut [c64], t: &[c64], x: &[c64]) {
 /// Complex inner product `Σ t[i]·x[i]` (no conjugation — the convolution's
 /// row form).
 #[inline]
-pub fn dot(t: &[c64], x: &[c64]) -> c64 {
+pub fn dot<T: Real>(t: &[Complex<T>], x: &[Complex<T>]) -> Complex<T> {
     assert_eq!(t.len(), x.len(), "length mismatch");
-    // Two independent accumulators break the add-latency chain.
-    let mut acc0 = c64::ZERO;
-    let mut acc1 = c64::ZERO;
+    T::kdot(t, x)
+}
+
+/// Scalar reference for the `f64` [`dot`]: two independent accumulators
+/// break the add-latency chain, and match the two complex lanes of a
+/// `__m256d` so the AVX2 kernel reproduces it bit-for-bit.
+#[inline]
+pub fn dot_scalar<T: Real>(t: &[Complex<T>], x: &[Complex<T>]) -> Complex<T> {
+    assert_eq!(t.len(), x.len(), "length mismatch");
+    let mut acc0 = Complex::<T>::ZERO;
+    let mut acc1 = Complex::<T>::ZERO;
     let mut it = t.chunks_exact(2).zip(x.chunks_exact(2));
     for (tp, xp) in &mut it {
         acc0 += tp[0] * xp[0];
@@ -40,13 +69,13 @@ pub fn dot(t: &[c64], x: &[c64]) -> c64 {
 /// Strided inner product `Σ t[i]·x[i·stride]` (the interchanged
 /// convolution's column form).
 #[inline]
-pub fn dot_strided(t: &[c64], x: &[c64], stride: usize) -> c64 {
+pub fn dot_strided<T: Real>(t: &[Complex<T>], x: &[Complex<T>], stride: usize) -> Complex<T> {
     assert!(stride >= 1);
     assert!(
         x.len() > (t.len().max(1) - 1) * stride || t.is_empty(),
         "x too short"
     );
-    let mut acc = c64::ZERO;
+    let mut acc = Complex::<T>::ZERO;
     let mut idx = 0;
     for &tv in t {
         acc += tv * x[idx];
@@ -57,16 +86,26 @@ pub fn dot_strided(t: &[c64], x: &[c64], stride: usize) -> c64 {
 
 /// `data[i] *= scale[i]` (demodulation / twiddle application).
 #[inline]
-pub fn mul_pointwise(data: &mut [c64], scale: &[c64]) {
+pub fn mul_pointwise<T: Real>(data: &mut [Complex<T>], scale: &[Complex<T>]) {
+    assert_eq!(data.len(), scale.len(), "length mismatch");
+    T::kmul_pointwise(data, scale);
+}
+
+/// Scalar reference for [`mul_pointwise`].
+#[inline]
+pub fn mul_pointwise_scalar<T: Real>(data: &mut [Complex<T>], scale: &[Complex<T>]) {
     assert_eq!(data.len(), scale.len(), "length mismatch");
     for (d, &s) in data.iter_mut().zip(scale) {
         *d *= s;
     }
 }
 
-/// `data[i] *= s` for a real scalar (normalization passes).
+/// `data[i] *= s` for a real scalar (normalization passes). The scalar is
+/// supplied in `f64` and demoted once, so an `f32` normalization factor is
+/// correctly rounded rather than computed in single precision.
 #[inline]
-pub fn scale_real(data: &mut [c64], s: f64) {
+pub fn scale_real<T: Real>(data: &mut [Complex<T>], s: f64) {
+    let s = T::from_f64(s);
     for d in data.iter_mut() {
         *d = d.scale(s);
     }
@@ -74,10 +113,47 @@ pub fn scale_real(data: &mut [c64], s: f64) {
 
 /// Conjugates in place (the inverse-via-conjugation wrapper's passes).
 #[inline]
-pub fn conj_in_place(data: &mut [c64]) {
+pub fn conj_in_place<T: Real>(data: &mut [Complex<T>]) {
     for d in data.iter_mut() {
         *d = d.conj();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Split precision: f32 operands, f64 accumulation.
+// ---------------------------------------------------------------------------
+
+/// Split-precision inner product: `f32` operands widened to `f64` before
+/// any arithmetic, accumulated in `f64`. Products are exact (24-bit
+/// significands multiply into 53 bits), so the result carries only
+/// accumulation rounding plus the input quantization.
+#[inline]
+pub fn dot_split(t: &[c32], x: &[c32]) -> c64 {
+    simd::dot_split(t, x)
+}
+
+/// Split-precision strided inner product (the interchanged convolution's
+/// column form at reduced operand width).
+#[inline]
+pub fn dot_strided_split(t: &[c32], x: &[c32], stride: usize) -> c64 {
+    assert!(stride >= 1);
+    assert!(
+        x.len() > (t.len().max(1) - 1) * stride || t.is_empty(),
+        "x too short"
+    );
+    let mut acc = c64::ZERO;
+    let mut idx = 0;
+    for &tv in t {
+        acc += tv.to_c64() * x[idx].to_c64();
+        idx += stride;
+    }
+    acc
+}
+
+/// Split-precision AXPY: `f64` accumulator, `f32` operands.
+#[inline]
+pub fn axpy_split(acc: &mut [c64], t: &[c32], x: &[c32]) {
+    simd::axpy_split(acc, t, x);
 }
 
 #[cfg(test)]
@@ -156,5 +232,61 @@ mod tests {
     fn axpy_length_mismatch_panics() {
         let mut a = v(3, 1.0);
         axpy_pointwise(&mut a, &v(4, 1.0), &v(3, 1.0));
+    }
+
+    #[test]
+    fn f32_kernels_mirror_f64() {
+        let t64 = v(11, 0.4);
+        let x64 = v(11, -0.9);
+        let t32: Vec<c32> = t64.iter().map(|&z| c32::from_c64(z)).collect();
+        let x32: Vec<c32> = x64.iter().map(|&z| c32::from_c64(z)).collect();
+        let got = dot(&t32, &x32).to_c64();
+        let want = dot(&t64, &x64);
+        assert!((got - want).abs() < 1e-4 * (1.0 + want.abs()));
+    }
+
+    #[test]
+    fn split_dot_is_more_accurate_than_f32_dot() {
+        // With f64 accumulation the only error is input quantization; a
+        // pure-f32 dot also rounds every product and partial sum.
+        let n = 4096;
+        let t64 = v(n, 1e-3);
+        let x64 = v(n, -7e-4);
+        let t32: Vec<c32> = t64.iter().map(|&z| c32::from_c64(z)).collect();
+        let x32: Vec<c32> = x64.iter().map(|&z| c32::from_c64(z)).collect();
+        // Oracle: widened-f32 inputs, exact (Kahan-free f64 is plenty here).
+        let oracle: c64 = t32
+            .iter()
+            .zip(&x32)
+            .map(|(&a, &b)| a.to_c64() * b.to_c64())
+            .sum();
+        let split_err = (dot_split(&t32, &x32) - oracle).abs();
+        let f32_err = (dot(&t32, &x32).to_c64() - oracle).abs();
+        assert!(split_err <= f32_err, "split {split_err} vs f32 {f32_err}");
+    }
+
+    #[test]
+    fn split_strided_matches_dense() {
+        let t64 = v(9, 1.1);
+        let x64 = v(9 * 5, 0.2);
+        let t32: Vec<c32> = t64.iter().map(|&z| c32::from_c64(z)).collect();
+        let x32: Vec<c32> = x64.iter().map(|&z| c32::from_c64(z)).collect();
+        let dense: Vec<c32> = (0..9).map(|i| x32[i * 5]).collect();
+        let want = dot_split(&t32, &dense);
+        let got = dot_strided_split(&t32, &x32, 5);
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axpy_split_accumulates_in_f64() {
+        let t32: Vec<c32> = v(7, 0.5).iter().map(|&z| c32::from_c64(z)).collect();
+        let x32: Vec<c32> = v(7, -0.3).iter().map(|&z| c32::from_c64(z)).collect();
+        let mut acc = v(7, 2.0);
+        let mut expect = acc.clone();
+        axpy_split(&mut acc, &t32, &x32);
+        for i in 0..7 {
+            expect[i] += t32[i].to_c64() * x32[i].to_c64();
+        }
+        assert_eq!(acc, expect);
     }
 }

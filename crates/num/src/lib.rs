@@ -2,8 +2,14 @@
 //!
 //! This crate hosts the building blocks that every other crate leans on:
 //!
-//! * [`c64`] — a double-precision complex number (the paper works
-//!   exclusively in double-precision complex, 16 bytes per element),
+//! * [`Complex`] — a complex number generic over the precision parameter
+//!   [`Real`], with the concrete aliases [`c64`] (double precision, the
+//!   paper's native format, 16 bytes per element) and [`c32`] (single
+//!   precision, 8 bytes per element — the half-payload data path),
+//! * [`real`] — the sealed [`Real`] trait (`f64` and `f32`) that threads
+//!   precision through every layer above,
+//! * [`simd`] — runtime-detected AVX2 kernels for the hot loops, with
+//!   bit-identical scalar fallbacks,
 //! * [`SoaComplex`] — "Struct of Arrays" complex storage plus conversions to
 //!   and from the interleaved "Array of Structs" layout (paper §5.2.4),
 //! * [`special`] — the special functions needed by the SOI window design
@@ -16,10 +22,18 @@
 //!   planning,
 //! * [`error`] — error norms used by tests and the accuracy benches.
 //!
-//! Everything is safe Rust; there is no `unsafe` anywhere in the workspace's
-//! numerical core.
+//! # Safety posture
+//!
+//! The crate is `#![deny(unsafe_code)]` with exactly one audited carve-out:
+//! the [`simd`] module, which holds the `std::arch` AVX2 kernels behind
+//! runtime feature detection. Every `unsafe` block in the workspace's
+//! numerical core lives in that one file, each kernel is a leaf function
+//! whose bounds are asserted by a safe dispatcher before it runs, and each
+//! is property-tested bit-identical to the safe scalar fallback that the
+//! same dispatcher uses on hosts without AVX2 (or when
+//! `SOIFFT_FORCE_SCALAR=1`).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod complex;
@@ -27,11 +41,15 @@ pub mod dpss;
 pub mod error;
 pub mod factor;
 pub mod kernels;
+pub mod real;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod soa;
 pub mod special;
 pub mod strided;
 pub mod transpose;
 pub mod tridiag;
 
-pub use complex::c64;
+pub use complex::{c32, c64, Complex};
+pub use real::Real;
 pub use soa::SoaComplex;

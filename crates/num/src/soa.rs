@@ -7,28 +7,30 @@
 //! supports "Array of Structs" (AoS, interleaved) to double MPI packet
 //! lengths by sending reals and imaginaries together.
 //!
-//! [`SoaComplex`] is the SoA container; `&[c64]` slices *are* the AoS
-//! layout. Conversions in both directions are provided, plus blocked
-//! variants used when the conversion is fused with another pass.
+//! [`SoaComplex`] is the SoA container, generic over the precision
+//! parameter [`Real`] (defaulting to `f64`); `&[c64]` / `&[c32]` slices
+//! *are* the AoS layout. Conversions in both directions are provided, plus
+//! blocked variants used when the conversion is fused with another pass.
 
-use crate::c64;
+use crate::complex::Complex;
+use crate::real::Real;
 
 /// Planar ("Struct of Arrays") storage for a complex vector.
 ///
-/// Two equal-length `f64` vectors. Indexing yields [`c64`] values; mutation
-/// goes through [`SoaComplex::set`] or the component slices.
+/// Two equal-length component vectors. Indexing yields [`Complex`] values;
+/// mutation goes through [`SoaComplex::set`] or the component slices.
 #[derive(Clone, Debug, Default, PartialEq)]
-pub struct SoaComplex {
-    re: Vec<f64>,
-    im: Vec<f64>,
+pub struct SoaComplex<T: Real = f64> {
+    re: Vec<T>,
+    im: Vec<T>,
 }
 
-impl SoaComplex {
+impl<T: Real> SoaComplex<T> {
     /// Creates a zero-filled SoA vector of length `n`.
     pub fn zeros(n: usize) -> Self {
         SoaComplex {
-            re: vec![0.0; n],
-            im: vec![0.0; n],
+            re: vec![T::ZERO; n],
+            im: vec![T::ZERO; n],
         }
     }
 
@@ -36,13 +38,13 @@ impl SoaComplex {
     ///
     /// # Panics
     /// Panics if the vectors differ in length.
-    pub fn from_parts(re: Vec<f64>, im: Vec<f64>) -> Self {
+    pub fn from_parts(re: Vec<T>, im: Vec<T>) -> Self {
         assert_eq!(re.len(), im.len(), "re/im length mismatch");
         SoaComplex { re, im }
     }
 
     /// Converts an interleaved (AoS) slice into SoA layout.
-    pub fn from_aos(aos: &[c64]) -> Self {
+    pub fn from_aos(aos: &[Complex<T>]) -> Self {
         let mut out = SoaComplex::zeros(aos.len());
         out.copy_from_aos(aos);
         out
@@ -60,36 +62,36 @@ impl SoaComplex {
 
     /// Element access.
     #[inline]
-    pub fn get(&self, i: usize) -> c64 {
-        c64::new(self.re[i], self.im[i])
+    pub fn get(&self, i: usize) -> Complex<T> {
+        Complex::new(self.re[i], self.im[i])
     }
 
     /// Element assignment.
     #[inline]
-    pub fn set(&mut self, i: usize, v: c64) {
+    pub fn set(&mut self, i: usize, v: Complex<T>) {
         self.re[i] = v.re;
         self.im[i] = v.im;
     }
 
     /// Real-component slice.
-    pub fn re(&self) -> &[f64] {
+    pub fn re(&self) -> &[T] {
         &self.re
     }
 
     /// Imaginary-component slice.
-    pub fn im(&self) -> &[f64] {
+    pub fn im(&self) -> &[T] {
         &self.im
     }
 
     /// Mutable component slices (borrowed together so a kernel can stream
     /// both planes in one pass).
-    pub fn parts_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+    pub fn parts_mut(&mut self) -> (&mut [T], &mut [T]) {
         (&mut self.re, &mut self.im)
     }
 
     /// Overwrites this vector from an interleaved slice (lengths must
     /// match).
-    pub fn copy_from_aos(&mut self, aos: &[c64]) {
+    pub fn copy_from_aos(&mut self, aos: &[Complex<T>]) {
         assert_eq!(aos.len(), self.len(), "length mismatch");
         for (i, z) in aos.iter().enumerate() {
             self.re[i] = z.re;
@@ -98,28 +100,43 @@ impl SoaComplex {
     }
 
     /// Writes this vector out in interleaved layout (lengths must match).
-    pub fn write_aos(&self, aos: &mut [c64]) {
+    pub fn write_aos(&self, aos: &mut [Complex<T>]) {
         assert_eq!(aos.len(), self.len(), "length mismatch");
         for (i, z) in aos.iter_mut().enumerate() {
-            *z = c64::new(self.re[i], self.im[i]);
+            *z = Complex::new(self.re[i], self.im[i]);
         }
     }
 
     /// Converts to a freshly allocated interleaved vector.
-    pub fn to_aos(&self) -> Vec<c64> {
-        let mut out = vec![c64::ZERO; self.len()];
+    pub fn to_aos(&self) -> Vec<Complex<T>> {
+        let mut out = vec![Complex::<T>::ZERO; self.len()];
         self.write_aos(&mut out);
         out
     }
 
-    /// Iterates over elements as `c64` values.
-    pub fn iter(&self) -> impl Iterator<Item = c64> + '_ {
-        self.re.iter().zip(&self.im).map(|(&r, &i)| c64::new(r, i))
+    /// Iterates over elements as [`Complex`] values.
+    pub fn iter(&self) -> impl Iterator<Item = Complex<T>> + '_ {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| Complex::new(r, i))
     }
 }
 
-impl FromIterator<c64> for SoaComplex {
-    fn from_iter<T: IntoIterator<Item = c64>>(iter: T) -> Self {
+impl SoaComplex<f64> {
+    /// Pointwise complex multiply `self[i] *= rhs[i]` in planar layout.
+    ///
+    /// This is the shuffle-free form the SoA layout exists for: the AVX2
+    /// path (see [`crate::simd::mul_pointwise_planar_f64`]) streams four
+    /// lanes per plane with no cross-lane movement at all.
+    pub fn mul_pointwise(&mut self, rhs: &SoaComplex<f64>) {
+        assert_eq!(self.len(), rhs.len(), "length mismatch");
+        crate::simd::mul_pointwise_planar_f64(&mut self.re, &mut self.im, &rhs.re, &rhs.im);
+    }
+}
+
+impl<T: Real> FromIterator<Complex<T>> for SoaComplex<T> {
+    fn from_iter<I: IntoIterator<Item = Complex<T>>>(iter: I) -> Self {
         let mut re = Vec::new();
         let mut im = Vec::new();
         for z in iter {
@@ -135,7 +152,7 @@ impl FromIterator<c64> for SoaComplex {
 ///
 /// The block size (in complex elements) keeps the working set of one pass
 /// inside L1; used by kernels that fuse layout conversion with compute.
-pub fn deinterleave_blocked(aos: &[c64], re: &mut [f64], im: &mut [f64], block: usize) {
+pub fn deinterleave_blocked<T: Real>(aos: &[Complex<T>], re: &mut [T], im: &mut [T], block: usize) {
     assert_eq!(aos.len(), re.len());
     assert_eq!(aos.len(), im.len());
     assert!(block > 0, "block must be positive");
@@ -154,7 +171,7 @@ pub fn deinterleave_blocked(aos: &[c64], re: &mut [f64], im: &mut [f64], block: 
 
 /// Interleaves the planes `(re, im)` into `aos`, blocked like
 /// [`deinterleave_blocked`].
-pub fn interleave_blocked(re: &[f64], im: &[f64], aos: &mut [c64], block: usize) {
+pub fn interleave_blocked<T: Real>(re: &[T], im: &[T], aos: &mut [Complex<T>], block: usize) {
     assert_eq!(aos.len(), re.len());
     assert_eq!(aos.len(), im.len());
     assert!(block > 0, "block must be positive");
@@ -162,7 +179,7 @@ pub fn interleave_blocked(re: &[f64], im: &[f64], aos: &mut [c64], block: usize)
     while i < aos.len() {
         let end = (i + block).min(aos.len());
         for j in i..end {
-            aos[j] = c64::new(re[j], im[j]);
+            aos[j] = Complex::new(re[j], im[j]);
         }
         i = end;
     }
@@ -171,6 +188,7 @@ pub fn interleave_blocked(re: &[f64], im: &[f64], aos: &mut [c64], block: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::{c32, c64};
 
     fn ramp(n: usize) -> Vec<c64> {
         (0..n)
@@ -180,10 +198,10 @@ mod tests {
 
     #[test]
     fn zeros_and_len() {
-        let s = SoaComplex::zeros(7);
+        let s = SoaComplex::<f64>::zeros(7);
         assert_eq!(s.len(), 7);
         assert!(!s.is_empty());
-        assert!(SoaComplex::zeros(0).is_empty());
+        assert!(SoaComplex::<f64>::zeros(0).is_empty());
         assert_eq!(s.get(3), c64::ZERO);
     }
 
@@ -198,8 +216,15 @@ mod tests {
     }
 
     #[test]
+    fn aos_round_trip_f32() {
+        let v: Vec<c32> = ramp(13).iter().map(|&z| c32::from_c64(z)).collect();
+        let s = SoaComplex::from_aos(&v);
+        assert_eq!(s.to_aos(), v);
+    }
+
+    #[test]
     fn set_and_parts() {
-        let mut s = SoaComplex::zeros(4);
+        let mut s = SoaComplex::<f64>::zeros(4);
         s.set(2, c64::new(1.0, 2.0));
         assert_eq!(s.get(2), c64::new(1.0, 2.0));
         assert_eq!(s.re()[2], 1.0);
@@ -214,7 +239,7 @@ mod tests {
     fn from_parts_checks_length() {
         let ok = SoaComplex::from_parts(vec![1.0, 2.0], vec![3.0, 4.0]);
         assert_eq!(ok.get(1), c64::new(2.0, 4.0));
-        let bad = std::panic::catch_unwind(|| SoaComplex::from_parts(vec![1.0], vec![]));
+        let bad = std::panic::catch_unwind(|| SoaComplex::from_parts(vec![1.0], Vec::<f64>::new()));
         assert!(bad.is_err());
     }
 
@@ -224,6 +249,17 @@ mod tests {
         let s: SoaComplex = v.iter().copied().collect();
         let back: Vec<c64> = s.iter().collect();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn planar_mul_matches_aos_mul() {
+        let a = ramp(19);
+        let b: Vec<c64> = ramp(19).iter().map(|z| z.conj() + c64::ONE).collect();
+        let mut sa = SoaComplex::from_aos(&a);
+        let sb = SoaComplex::from_aos(&b);
+        sa.mul_pointwise(&sb);
+        let want: Vec<c64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        assert_eq!(sa.to_aos(), want);
     }
 
     #[test]

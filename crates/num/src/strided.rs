@@ -5,15 +5,23 @@
 //! size"; §5.3: "conflict misses from long-stride access to input"). The
 //! standard cure, used by both the 6-step FFT and the buffered convolution,
 //! is to *stage* strided data through a small contiguous buffer and run the
-//! compute kernel on the buffer. These helpers are those staging copies.
+//! compute kernel on the buffer. These helpers are those staging copies,
+//! generic over the precision parameter [`Real`].
 
-use crate::c64;
+use crate::complex::Complex;
+use crate::real::Real;
 
 /// Gathers `count` elements from `src` starting at `offset` with the given
 /// `stride` into the contiguous `dst`.
 ///
 /// `dst.len()` must be at least `count`.
-pub fn gather(src: &[c64], offset: usize, stride: usize, count: usize, dst: &mut [c64]) {
+pub fn gather<T: Real>(
+    src: &[Complex<T>],
+    offset: usize,
+    stride: usize,
+    count: usize,
+    dst: &mut [Complex<T>],
+) {
     assert!(stride >= 1, "stride must be >= 1");
     assert!(dst.len() >= count, "dst too small");
     let mut idx = offset;
@@ -25,7 +33,13 @@ pub fn gather(src: &[c64], offset: usize, stride: usize, count: usize, dst: &mut
 
 /// Scatters the first `count` elements of the contiguous `src` into `dst`
 /// starting at `offset` with the given `stride`.
-pub fn scatter(src: &[c64], dst: &mut [c64], offset: usize, stride: usize, count: usize) {
+pub fn scatter<T: Real>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    offset: usize,
+    stride: usize,
+    count: usize,
+) {
     assert!(stride >= 1, "stride must be >= 1");
     assert!(src.len() >= count, "src too small");
     let mut idx = offset;
@@ -38,13 +52,13 @@ pub fn scatter(src: &[c64], dst: &mut [c64], offset: usize, stride: usize, count
 /// Gathers a `rows × cols` sub-matrix laid out with `row_stride` in `src`
 /// into a dense row-major `dst` (the "copy P × 8 columns to a contiguous
 /// buffer" move from Fig 4(b) step 1).
-pub fn gather_matrix(
-    src: &[c64],
+pub fn gather_matrix<T: Real>(
+    src: &[Complex<T>],
     base: usize,
     row_stride: usize,
     rows: usize,
     cols: usize,
-    dst: &mut [c64],
+    dst: &mut [Complex<T>],
 ) {
     assert!(dst.len() >= rows * cols, "dst too small");
     for r in 0..rows {
@@ -55,9 +69,9 @@ pub fn gather_matrix(
 
 /// Scatters a dense row-major `rows × cols` matrix from `src` back into a
 /// strided region of `dst` (Fig 4(b) step 4 "permute and write back").
-pub fn scatter_matrix(
-    src: &[c64],
-    dst: &mut [c64],
+pub fn scatter_matrix<T: Real>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
     base: usize,
     row_stride: usize,
     rows: usize,
@@ -79,17 +93,17 @@ pub fn scatter_matrix(
 /// ("translate B non-contiguous loads to ... d_µ non-contiguous loads and
 /// d_µ contiguous stores").
 #[derive(Clone, Debug)]
-pub struct CircularBuffer {
-    buf: Vec<c64>,
+pub struct CircularBuffer<T: Real = f64> {
+    buf: Vec<Complex<T>>,
     head: usize,
 }
 
-impl CircularBuffer {
+impl<T: Real> CircularBuffer<T> {
     /// Creates a buffer of capacity `cap` filled with zeros.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "capacity must be positive");
         CircularBuffer {
-            buf: vec![c64::ZERO; cap],
+            buf: vec![Complex::<T>::ZERO; cap],
             head: 0,
         }
     }
@@ -100,7 +114,7 @@ impl CircularBuffer {
     }
 
     /// Overwrites the whole buffer from a strided gather (initial fill).
-    pub fn fill_strided(&mut self, src: &[c64], offset: usize, stride: usize) {
+    pub fn fill_strided(&mut self, src: &[Complex<T>], offset: usize, stride: usize) {
         let cap = self.buf.len();
         gather(src, offset, stride, cap, &mut self.buf);
         self.head = 0;
@@ -108,7 +122,7 @@ impl CircularBuffer {
 
     /// Advances the window by `n` elements, gathering the `n` new elements
     /// from `src` (strided) and overwriting the `n` oldest.
-    pub fn advance_strided(&mut self, src: &[c64], offset: usize, stride: usize, n: usize) {
+    pub fn advance_strided(&mut self, src: &[Complex<T>], offset: usize, stride: usize, n: usize) {
         let cap = self.buf.len();
         assert!(n <= cap, "advance larger than capacity");
         let mut idx = offset;
@@ -121,7 +135,7 @@ impl CircularBuffer {
 
     /// Logical element `i` (0 = oldest element of the window).
     #[inline]
-    pub fn get(&self, i: usize) -> c64 {
+    pub fn get(&self, i: usize) -> Complex<T> {
         let cap = self.buf.len();
         debug_assert!(i < cap);
         self.buf[(self.head + i) % cap]
@@ -129,7 +143,7 @@ impl CircularBuffer {
 
     /// Copies the logical window into a dense slice (used when a kernel
     /// wants a straight contiguous view instead of modular indexing).
-    pub fn snapshot(&self, out: &mut [c64]) {
+    pub fn snapshot(&self, out: &mut [Complex<T>]) {
         let cap = self.buf.len();
         assert_eq!(out.len(), cap, "snapshot length mismatch");
         for (i, o) in out.iter_mut().enumerate() {
@@ -141,6 +155,7 @@ impl CircularBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::c64;
 
     fn data(n: usize) -> Vec<c64> {
         (0..n).map(|i| c64::new(i as f64, 0.0)).collect()
@@ -195,7 +210,7 @@ mod tests {
         // exactly the convolution staging pattern.
         let src = data(200);
         let (b, d, stride) = (6usize, 2usize, 4usize);
-        let mut cb = CircularBuffer::new(b);
+        let mut cb = CircularBuffer::<f64>::new(b);
         cb.fill_strided(&src, 0, stride);
         let mut direct = vec![c64::ZERO; b];
         for step in 0..10 {
@@ -213,9 +228,21 @@ mod tests {
     }
 
     #[test]
+    fn circular_buffer_works_in_f32() {
+        let src: Vec<crate::complex::c32> = (0..32)
+            .map(|i| crate::complex::c32::new(i as f32, -(i as f32)))
+            .collect();
+        let mut cb = CircularBuffer::<f32>::new(4);
+        cb.fill_strided(&src, 0, 2);
+        assert_eq!(cb.get(3), src[6]);
+        cb.advance_strided(&src, 8, 2, 2);
+        assert_eq!(cb.get(3), src[10]);
+    }
+
+    #[test]
     fn circular_buffer_full_advance_replaces_everything() {
         let src = data(64);
-        let mut cb = CircularBuffer::new(4);
+        let mut cb = CircularBuffer::<f64>::new(4);
         cb.fill_strided(&src, 0, 1);
         cb.advance_strided(&src, 10, 1, 4);
         let mut snap = vec![c64::ZERO; 4];
@@ -227,7 +254,7 @@ mod tests {
     #[should_panic(expected = "advance larger than capacity")]
     fn circular_buffer_overadvance_panics() {
         let src = data(8);
-        let mut cb = CircularBuffer::new(2);
+        let mut cb = CircularBuffer::<f64>::new(2);
         cb.advance_strided(&src, 0, 1, 3);
     }
 }

@@ -6,11 +6,14 @@
 //! permutes 8×8 tiles when writing results back (§5.2.4 "Step 6 performs
 //! global permutation ... transpositions of 8×8 arrays"). The paper reduces
 //! the per-tile memory-instruction count with Xeon Phi cross-lane
-//! loads/stores; portably, the same locality benefit comes from walking the
-//! matrix in `TILE × TILE` blocks so each tile's reads and writes stay in
-//! cache lines.
+//! loads/stores; here the same trick is applied with AVX2 in-register
+//! shuffles (see [`crate::simd`]) under a cache-blocked walk in
+//! `TILE × TILE` tiles, with a scalar tile kernel as the bit-identical
+//! fallback. All entry points are generic over the precision parameter
+//! [`Real`].
 
-use crate::c64;
+use crate::complex::Complex;
+use crate::real::Real;
 
 /// Tile edge used by the blocked kernels. 8 complex doubles = 128 B = two
 /// cache lines per row of a tile, matching the paper's 8×8 transposition
@@ -23,22 +26,27 @@ pub const TILE: usize = 8;
 ///
 /// # Panics
 /// Panics if the slice lengths are not `rows * cols`.
-pub fn transpose(src: &[c64], dst: &mut [c64], rows: usize, cols: usize) {
+pub fn transpose<T: Real>(src: &[Complex<T>], dst: &mut [Complex<T>], rows: usize, cols: usize) {
     assert_eq!(src.len(), rows * cols, "src shape mismatch");
     assert_eq!(dst.len(), rows * cols, "dst shape mismatch");
     // Blocked loop: process TILE×TILE tiles so both the source rows and the
-    // destination rows touched by one tile fit in L1.
+    // destination rows touched by one tile fit in L1; each tile goes
+    // through the dispatching tile kernel (AVX2 in-register shuffles when
+    // available).
     let mut rb = 0;
     while rb < rows {
         let re = (rb + TILE).min(rows);
         let mut cb = 0;
         while cb < cols {
             let ce = (cb + TILE).min(cols);
-            for r in rb..re {
-                for c in cb..ce {
-                    dst[c * rows + r] = src[r * cols + c];
-                }
-            }
+            transpose_tile(
+                &src[rb * cols + cb..],
+                cols,
+                &mut dst[cb * rows + rb..],
+                rows,
+                re - rb,
+                ce - cb,
+            );
             cb = ce;
         }
         rb = re;
@@ -47,7 +55,12 @@ pub fn transpose(src: &[c64], dst: &mut [c64], rows: usize, cols: usize) {
 
 /// Naive (unblocked) transpose; kept as the reference implementation for
 /// tests and as the "no locality optimization" point in ablation benches.
-pub fn transpose_naive(src: &[c64], dst: &mut [c64], rows: usize, cols: usize) {
+pub fn transpose_naive<T: Real>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    rows: usize,
+    cols: usize,
+) {
     assert_eq!(src.len(), rows * cols, "src shape mismatch");
     assert_eq!(dst.len(), rows * cols, "dst shape mismatch");
     for r in 0..rows {
@@ -58,7 +71,7 @@ pub fn transpose_naive(src: &[c64], dst: &mut [c64], rows: usize, cols: usize) {
 }
 
 /// In-place transpose of a square `n × n` matrix, tile-blocked.
-pub fn transpose_square_in_place(a: &mut [c64], n: usize) {
+pub fn transpose_square_in_place<T: Real>(a: &mut [Complex<T>], n: usize) {
     assert_eq!(a.len(), n * n, "shape mismatch");
     let mut rb = 0;
     while rb < n {
@@ -87,14 +100,30 @@ pub fn transpose_square_in_place(a: &mut [c64], n: usize) {
 /// Transposes one `TILE × TILE` tile between two buffers with explicit
 /// source/destination strides. This is the portable stand-in for the paper's
 /// cross-lane 8×8 transposition kernel; the 6-step FFT's write-back
-/// permutation is assembled from calls to this.
+/// permutation is assembled from calls to this. Dispatches to the AVX2
+/// in-register shuffle kernel when the host supports it (bit-identical to
+/// the scalar path — a transpose is pure data movement).
 ///
 /// Copies `min(TILE, rows_left) × min(TILE, cols_left)` elements.
 #[inline]
-pub fn transpose_tile(
-    src: &[c64],
+pub fn transpose_tile<T: Real>(
+    src: &[Complex<T>],
     src_stride: usize,
-    dst: &mut [c64],
+    dst: &mut [Complex<T>],
+    dst_stride: usize,
+    rows: usize,
+    cols: usize,
+) {
+    T::ktranspose_tile(src, src_stride, dst, dst_stride, rows, cols);
+}
+
+/// Scalar reference tile kernel (public so the parity suite and the
+/// SIMD module's edge handling can share it).
+#[inline]
+pub fn transpose_tile_scalar<T: Real>(
+    src: &[Complex<T>],
+    src_stride: usize,
+    dst: &mut [Complex<T>],
     dst_stride: usize,
     rows: usize,
     cols: usize,
@@ -110,6 +139,7 @@ pub fn transpose_tile(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::{c32, c64};
 
     fn mat(rows: usize, cols: usize) -> Vec<c64> {
         (0..rows * cols)
@@ -132,6 +162,18 @@ mod tests {
             let src = mat(r, c);
             let mut a = vec![c64::ZERO; r * c];
             let mut b = vec![c64::ZERO; r * c];
+            transpose(&src, &mut a, r, c);
+            transpose_naive(&src, &mut b, r, c);
+            assert_eq!(a, b, "shape {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_f32() {
+        for &(r, c) in &[(1, 1), (8, 8), (16, 32), (13, 7), (9, 64)] {
+            let src: Vec<c32> = mat(r, c).iter().map(|&z| c32::from_c64(z)).collect();
+            let mut a = vec![c32::ZERO; r * c];
+            let mut b = vec![c32::ZERO; r * c];
             transpose(&src, &mut a, r, c);
             transpose_naive(&src, &mut b, r, c);
             assert_eq!(a, b, "shape {r}x{c}");

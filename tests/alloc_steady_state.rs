@@ -145,6 +145,71 @@ fn forward_into_steady_state_allocates_nothing() {
     }
 }
 
+/// The half-width data path earns its bandwidth win without paying it
+/// back in allocator traffic: a warm `forward_into` under
+/// [`Precision::F32`] (c32 wire + f32 recovery FFT, extra `z32` /
+/// `fft32_scratch` workspace fields) and [`Precision::Split`] is held to
+/// the same **zero** standard as the f64 default.
+#[test]
+fn lowprec_forward_into_steady_state_allocates_nothing() {
+    use soifft::soi::Precision;
+
+    let params = params();
+    let x = signal(params.n);
+    let inputs = scatter_input(&x, params.procs);
+
+    for precision in [Precision::F32, Precision::Split] {
+        let fft = SoiFft::new(params)
+            .expect("valid params")
+            .with_precision(precision);
+
+        let deltas = Cluster::run(params.procs, |comm| {
+            let me = &inputs[comm.rank()];
+            let mut ws = fft.make_workspace();
+            let mut y = vec![c64::ZERO; fft.output_len(comm.rank())];
+            for _ in 0..3 {
+                fft.forward_into(comm, me, &mut ws, &mut y);
+            }
+            // Same inbox flood as the f64 test: pre-stretch every ring
+            // buffer past what scheduling jitter can queue mid-window.
+            const FLOOD: usize = 16;
+            for _ in 0..FLOOD {
+                for dst in 0..comm.size() {
+                    let mut burst = comm.acquire_buffer(16);
+                    burst.resize(16, c64::ZERO);
+                    comm.send(dst, tags::USER, burst);
+                }
+            }
+            comm.barrier();
+            for _ in 0..FLOOD {
+                for src in 0..comm.size() {
+                    let drained = comm.recv(src, tags::USER);
+                    comm.recycle_buffer(drained);
+                }
+            }
+            comm.stats_mut()
+                .reserve_records(MEASURED * RECORDS_PER_CALL);
+            comm.barrier();
+            let calls_before = HEAP_CALLS.load(Ordering::SeqCst);
+            for _ in 0..MEASURED {
+                fft.forward_into(comm, me, &mut ws, &mut y);
+            }
+            let delta = HEAP_CALLS.load(Ordering::SeqCst) - calls_before;
+            comm.barrier();
+            delta
+        });
+
+        for (rank, delta) in deltas.iter().enumerate() {
+            assert_eq!(
+                *delta, 0,
+                "rank {rank} observed {delta} heap allocations across {MEASURED} \
+                 warm {precision:?} forward_into calls; the half-width steady \
+                 state must not touch the allocator"
+            );
+        }
+    }
+}
+
 /// The fault-tolerant path may allocate (consensus votes, retransmit
 /// staging, checksum framing) but stays *bounded*: far below the
 /// pipeline's own working set, which a regression re-allocating workspace
