@@ -16,6 +16,46 @@ use soifft_bench::{best_of, env_usize, signal, Table};
 use soifft_core::{conv, ConvStrategy, Rational, SoiParams, Window, WindowKind};
 use soifft_num::c64;
 use soifft_par::Pool;
+use soifft_tune::{Candidate, TuneRequest, Tuner};
+
+/// The strategy the tuner's Estimate tier would rank first for this
+/// shape, holding everything but [`ConvStrategy`] fixed. Also the grid
+/// drift check: the tuner's candidate space must cover exactly the
+/// strategies this figure sweeps — if [`ConvStrategy::ALL`] grows a
+/// variant the tuner's enumeration (or this figure) doesn't know, the
+/// regenerator fails loudly instead of silently under-reporting.
+fn tuner_pick(params: SoiParams) -> ConvStrategy {
+    let tuner = Tuner::in_memory();
+    let mut req = TuneRequest::new(params.n, params.procs);
+    req.base = Some(params);
+    req.explore_shapes = false;
+    let candidates = tuner.enumerate(&req).expect("fig11 shape enumerates");
+    let tuner_grid: std::collections::BTreeSet<&str> = candidates
+        .iter()
+        .filter(|c| !c.exec.fused)
+        .map(|c| c.exec.strategy.label())
+        .collect();
+    let figure_grid: std::collections::BTreeSet<&str> = ConvStrategy::ALL
+        .into_iter()
+        .map(ConvStrategy::label)
+        .collect();
+    assert_eq!(
+        tuner_grid, figure_grid,
+        "strategy grid drift: tuner enumerates {tuner_grid:?} but Fig 11 sweeps {figure_grid:?}"
+    );
+    let pick: &Candidate = candidates
+        .iter()
+        .filter(|c| !c.exec.fused)
+        .min_by(|a, b| {
+            let (sa, sb) = (
+                tuner.prior_seconds(a).expect("prior"),
+                tuner.prior_seconds(b).expect("prior"),
+            );
+            sa.total_cmp(&sb)
+        })
+        .expect("non-empty candidate space");
+    pick.exec.strategy
+}
 
 fn main() {
     soifft_bench::check_cli(
@@ -41,6 +81,8 @@ fn main() {
         "buffering (s)",
         "baseline WS",
         "interchange WS",
+        "tuner pick",
+        "measured best",
     ]);
 
     let max_nodes = env_usize("SOIFFT_FIG11_MAX_NODES", 64);
@@ -64,10 +106,12 @@ fn main() {
         let mut out = vec![c64::ZERO; params.blocks_per_rank() * params.total_segments()];
         let pool = Pool::serial();
         let mut row = vec![nodes.to_string()];
+        let mut measured: Vec<(f64, ConvStrategy)> = Vec::new();
         for strategy in ConvStrategy::ALL {
             let secs = best_of(reps, || {
                 conv::convolve(&params, &window, strategy, &input, &mut out, &pool)
             });
+            measured.push((secs, strategy));
             row.push(format!("{secs:.4}"));
         }
         // Tap working set per chunk: the paper's Fig 6 argument. Baseline
@@ -78,6 +122,16 @@ fn main() {
         let ws_inter = n_mu * b * 16;
         row.push(format!("{} KB", ws_base / 1024));
         row.push(format!("{} KB", ws_inter.max(1024) / 1024));
+        row.push(tuner_pick(params).label().to_string());
+        row.push(
+            measured
+                .iter()
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("three strategies measured")
+                .1
+                .label()
+                .to_string(),
+        );
         t.row(&row);
     }
     print!("{}", t.render());

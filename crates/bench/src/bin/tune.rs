@@ -1,0 +1,176 @@
+//! Auto-tuner bench: tuned plan vs the static default across a size
+//! sweep, scored as `BENCH_8.json`.
+//!
+//! For each `N` in the sweep the tuner plans at [`Tier::Measure`]: it
+//! ranks the candidate space (execution knobs × accuracy-preserving
+//! shapes) with the cost-model prior, probes the top-k **plus the
+//! default plan** with warm, barrier-aligned best-of-R runs, refits the
+//! model's rate coefficients from the probes' trace ledgers, and adopts
+//! the fastest measurement. Because the default plan is always in the
+//! probe set, `tuned_s <= default_s` holds by construction on every
+//! row — the headline is *how much* faster the tuned pick is, and how
+//! much the per-phase prediction error shrinks after one refit.
+//!
+//! One tuner instance spans the sweep, so later sizes are ranked with
+//! rates refit from earlier probes — the wisdom-accumulation loop the
+//! planner runs in production.
+//!
+//! Scaling knobs: `SOIFFT_TUNE_LOG2NS` (comma-separated log2 sizes,
+//! default `20,22,24`), `SOIFFT_TUNE_P` (ranks, default 4),
+//! `SOIFFT_TUNE_TOPK` (candidates probed beyond the default, default 4),
+//! `SOIFFT_TUNE_REPS` (best-of repetitions per probe, default 2),
+//! `SOIFFT_TUNE_WISDOM` (path: persist wisdom there and reuse it on the
+//! next run), `SOIFFT_TUNE_JSON` (output path, default `BENCH_8.json`),
+//! `SOIFFT_TUNE_ASSERT` (nonzero: exit nonzero unless every row has
+//! `tuned_s <= default_s` — the nightly tune-smoke gate).
+
+use soifft_bench::{check_cli, env_usize, Table, BENCH_SCHEMA_VERSION};
+use soifft_core::Precision;
+use soifft_tune::{MeasuredProber, PlanSource, Tier, TuneRequest, Tuner};
+
+fn log2_sizes() -> Vec<u32> {
+    let raw = std::env::var("SOIFFT_TUNE_LOG2NS").unwrap_or_else(|_| "20,22,24".to_string());
+    let sizes: Vec<u32> = raw
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("SOIFFT_TUNE_LOG2NS: bad log2 size {tok:?}"))
+        })
+        .collect();
+    assert!(!sizes.is_empty(), "SOIFFT_TUNE_LOG2NS is empty");
+    sizes
+}
+
+fn main() {
+    check_cli(
+        "Auto-tuner bench: tuned plan vs static default across a size sweep \
+         (BENCH_8.json).",
+        &[
+            ("SOIFFT_TUNE_LOG2NS", "comma-separated log2 transform sizes"),
+            ("SOIFFT_TUNE_P", "ranks"),
+            ("SOIFFT_TUNE_TOPK", "candidates probed beyond the default"),
+            ("SOIFFT_TUNE_REPS", "best-of repetitions per probe"),
+            ("SOIFFT_TUNE_WISDOM", "wisdom file path (persist + reuse)"),
+            ("SOIFFT_TUNE_JSON", "BENCH_8.json output path"),
+            (
+                "SOIFFT_TUNE_ASSERT",
+                "nonzero: fail unless tuned <= default",
+            ),
+        ],
+    );
+    let procs = env_usize("SOIFFT_TUNE_P", 4);
+    let top_k = env_usize("SOIFFT_TUNE_TOPK", 4);
+    let reps = env_usize("SOIFFT_TUNE_REPS", 2);
+    let assert_gate = env_usize("SOIFFT_TUNE_ASSERT", 0) != 0;
+
+    let mut tuner = match std::env::var("SOIFFT_TUNE_WISDOM") {
+        Ok(path) => {
+            let t = Tuner::with_wisdom_file(&path);
+            if let Some(err) = t.degraded() {
+                eprintln!("wisdom at {path} unusable ({err}); starting fresh");
+            }
+            t
+        }
+        Err(_) => Tuner::in_memory(),
+    };
+    let mut prober = MeasuredProber::new();
+
+    println!("Auto-tuner: measured-probe planning vs static defaults");
+    println!(
+        "(P = {procs}, top-k = {top_k}, best-of-{reps} probes, fingerprint {})\n",
+        tuner.fingerprint()
+    );
+    let mut t = Table::new(&[
+        "n",
+        "default (s)",
+        "tuned (s)",
+        "speedup",
+        "pred err before",
+        "pred err after",
+        "source",
+        "chosen plan",
+    ]);
+
+    let mut points = Vec::new();
+    let mut max_speedup = 0.0_f64;
+    let mut error_shrunk = 0usize;
+    let mut gate_ok = true;
+    for log2n in log2_sizes() {
+        let n = 1usize << log2n;
+        let mut req = TuneRequest::new(n, procs);
+        req.precision = Precision::F64;
+        req.top_k = top_k;
+        req.reps = reps;
+        let out = tuner
+            .plan(&req, Tier::Measure, &mut prober)
+            .unwrap_or_else(|e| panic!("tuning n=2^{log2n} failed: {e}"));
+
+        let tuned_s = out.measured_s.expect("measured tier reports a wall");
+        // A wisdom hit (second run against a persisted file) has no
+        // default measurement; score it against its recorded wall.
+        let default_s = out.default_measured_s.unwrap_or(tuned_s);
+        let speedup = default_s / tuned_s;
+        max_speedup = max_speedup.max(speedup);
+        let (before, after) = (out.prior_error, out.post_error);
+        if let (Some(b), Some(a)) = (before, after) {
+            if a < b {
+                error_shrunk += 1;
+            }
+        }
+        if tuned_s > default_s {
+            gate_ok = false;
+        }
+        let source = match out.source {
+            PlanSource::Wisdom => "wisdom",
+            PlanSource::Measured => "measured",
+            PlanSource::Estimated => "estimated",
+        };
+        let fmt_err = |e: Option<f64>| e.map_or("-".to_string(), |v| format!("{v:.3}"));
+        t.row(&[
+            format!("2^{log2n}"),
+            format!("{default_s:.4}"),
+            format!("{tuned_s:.4}"),
+            format!("{speedup:.2}x"),
+            fmt_err(before),
+            fmt_err(after),
+            source.to_string(),
+            out.chosen.describe(),
+        ]);
+        points.push(format!(
+            "    {{\n      \"n\": {n},\n      \"default_s\": {default_s:.6},\n      \"tuned_s\": {tuned_s:.6},\n      \"speedup\": {speedup:.4},\n      \"prediction_error_before\": {},\n      \"prediction_error_after\": {},\n      \"probes\": {},\n      \"source\": \"{source}\",\n      \"chosen\": \"{}\"\n    }}",
+            before.map_or("null".to_string(), |v| format!("{v:.6}")),
+            after.map_or("null".to_string(), |v| format!("{v:.6}")),
+            out.probes_run,
+            out.chosen.describe(),
+        ));
+    }
+    print!("{}", t.render());
+    let rates = *tuner.rates();
+    println!(
+        "\nRefit rates: fft {:.3e} flops/s, conv {:.3e} flops/s,",
+        rates.fft_flops_per_s, rates.conv_flops_per_s
+    );
+    println!(
+        "             net {:.3e} B/s, latency {:.3e} s",
+        rates.net_bytes_per_s, rates.net_latency_s
+    );
+    println!("Max tuned-vs-default speedup: {max_speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"tune\",\n  \"procs\": {procs},\n  \"top_k\": {top_k},\n  \"reps\": {reps},\n  \"points\": [\n{}\n  ],\n  \"max_speedup\": {max_speedup:.4},\n  \"error_shrunk_points\": {error_shrunk},\n  \"rates\": {{\n    \"fft_flops_per_s\": {:.6e},\n    \"conv_flops_per_s\": {:.6e},\n    \"net_bytes_per_s\": {:.6e},\n    \"net_latency_s\": {:.6e}\n  }}\n}}\n",
+        points.join(",\n"),
+        rates.fft_flops_per_s,
+        rates.conv_flops_per_s,
+        rates.net_bytes_per_s,
+        rates.net_latency_s,
+    );
+    let path = std::env::var("SOIFFT_TUNE_JSON").unwrap_or_else(|_| "BENCH_8.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_8 json");
+    eprintln!("wrote {path}");
+
+    if assert_gate && !gate_ok {
+        eprintln!("FAIL: a tuned plan measured slower than the default");
+        std::process::exit(1);
+    }
+}

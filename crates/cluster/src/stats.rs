@@ -83,6 +83,9 @@ pub struct CommStats {
     pool_busy_s: f64,
     pool_tasks: u64,
     pool_evictions: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    plan_cache_evictions: u64,
     jobs_shed: u64,
     serve_retries: u64,
     queue_wait_s: f64,
@@ -369,6 +372,38 @@ impl CommStats {
         self.pool_evictions
     }
 
+    /// Publishes an FFT plan-cache counter snapshot into this ledger.
+    ///
+    /// The plan cache is process-global (shared by every rank of a
+    /// simulated cluster), so these are **gauges**, not per-rank deltas:
+    /// each call folds the latest snapshot in monotonically (max), and
+    /// cross-rank aggregation takes the max rather than the sum. The SOI
+    /// pipeline republishes the global cache counters at the end of every
+    /// superstep.
+    pub fn note_plan_cache(&mut self, hits: u64, misses: u64, evictions: u64) {
+        self.plan_cache_hits = self.plan_cache_hits.max(hits);
+        self.plan_cache_misses = self.plan_cache_misses.max(misses);
+        self.plan_cache_evictions = self.plan_cache_evictions.max(evictions);
+    }
+
+    /// Plan-cache lookups served without building (latest snapshot seen).
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.plan_cache_hits
+    }
+
+    /// Plan-cache lookups that built a plan (latest snapshot seen). A
+    /// steadily growing count under a fixed workload means plans are being
+    /// evicted and rebuilt — raise the cache capacity or stop churning
+    /// shapes.
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.plan_cache_misses
+    }
+
+    /// Plans dropped by the cache's LRU bound (latest snapshot seen).
+    pub fn plan_cache_evictions(&self) -> u64 {
+        self.plan_cache_evictions
+    }
+
     /// Records a serving-layer job shed before execution (expired deadline
     /// or collective shed decision at a batch boundary).
     pub fn note_job_shed(&mut self) {
@@ -520,6 +555,10 @@ impl CommStats {
         self.pool_busy_s += other.pool_busy_s;
         self.pool_tasks += other.pool_tasks;
         self.pool_evictions += other.pool_evictions;
+        // Plan-cache counters are process-global gauges: max, not sum.
+        self.plan_cache_hits = self.plan_cache_hits.max(other.plan_cache_hits);
+        self.plan_cache_misses = self.plan_cache_misses.max(other.plan_cache_misses);
+        self.plan_cache_evictions = self.plan_cache_evictions.max(other.plan_cache_evictions);
         self.jobs_shed += other.jobs_shed;
         self.serve_retries += other.serve_retries;
         self.queue_wait_s += other.queue_wait_s;

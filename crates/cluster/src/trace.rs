@@ -215,6 +215,14 @@ pub struct RunProfile {
     /// Wire bytes pushed toward each peer rank, elementwise-summed over
     /// the senders' ledgers (empty for backends that don't report it).
     pub bytes_by_peer: Vec<u64>,
+    /// FFT plan-cache hits — a process-global gauge, so the max over
+    /// ranks' snapshots rather than a sum.
+    pub plan_cache_hits: u64,
+    /// FFT plan-cache misses (plans built), max over ranks' snapshots.
+    pub plan_cache_misses: u64,
+    /// FFT plans evicted by the cache's LRU bound, max over ranks'
+    /// snapshots. Nonzero under a fixed workload means replanning churn.
+    pub plan_cache_evictions: u64,
 }
 
 impl RunProfile {
@@ -328,6 +336,17 @@ impl RunProfile {
                 }
                 sums
             },
+            plan_cache_hits: stats.iter().map(|s| s.plan_cache_hits()).max().unwrap_or(0),
+            plan_cache_misses: stats
+                .iter()
+                .map(|s| s.plan_cache_misses())
+                .max()
+                .unwrap_or(0),
+            plan_cache_evictions: stats
+                .iter()
+                .map(|s| s.plan_cache_evictions())
+                .max()
+                .unwrap_or(0),
         }
     }
 
@@ -425,6 +444,13 @@ pub fn text_tree(stats: &[CommStats]) -> String {
         "          {} heartbeats sent, {} peers lost to staleness, {} recv timeouts",
         profile.heartbeats_sent, profile.heartbeats_missed, profile.recv_timeouts,
     );
+    if profile.plan_cache_hits > 0 || profile.plan_cache_misses > 0 {
+        let _ = writeln!(
+            out,
+            "          plan cache: {} hits, {} misses, {} evictions",
+            profile.plan_cache_hits, profile.plan_cache_misses, profile.plan_cache_evictions,
+        );
+    }
     if profile.link_reconnects > 0 || profile.link_partition_s > 0.0 {
         let _ = writeln!(
             out,

@@ -44,6 +44,7 @@ pub mod single;
 pub mod tcprun;
 pub mod verify;
 pub mod window;
+pub mod wisdom;
 
 pub use conv::ConvStrategy;
 pub use params::{Rational, SoiError, SoiParams};
@@ -54,3 +55,4 @@ pub use report::{PlanReport, PredictedBreakdown};
 pub use single::SoiFftLocal;
 pub use verify::ValidationPolicy;
 pub use window::{DemodMode, Window, WindowKind};
+pub use wisdom::{TunedExec, WisdomKey};

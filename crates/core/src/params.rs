@@ -63,7 +63,7 @@ impl fmt::Display for Rational {
 }
 
 /// Everything needed to plan an SOI transform.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SoiParams {
     /// Total input length `N`.
     pub n: usize,

@@ -435,6 +435,13 @@ impl SoiFft {
     }
 
     /// Plans with an explicit window family.
+    ///
+    /// Construction consults the process-wide [`crate::wisdom`] registry
+    /// for this `(N, P, F64)` shape: when a tuning run has installed
+    /// execution knobs, they replace the static defaults (strategy,
+    /// exchange, fusion — never the shape). Builder calls made after
+    /// construction still override wisdom; [`SoiFft::with_precision`]
+    /// re-consults under the new precision key.
     pub fn with_window(params: SoiParams, kind: WindowKind) -> Result<Self, SoiError> {
         params.validate()?;
         let window = Arc::new(Window::new(kind, &params));
@@ -444,7 +451,12 @@ impl SoiFft {
         demod_scale[..m].copy_from_slice(&window.demod()[..m]);
         let counts = vec![params.segments_per_proc; params.procs];
         let base = prefix_sums(&counts);
-        Ok(SoiFft {
+        let tuned = crate::wisdom::lookup(&crate::wisdom::WisdomKey {
+            n: params.n,
+            procs: params.procs,
+            precision: Precision::F64,
+        });
+        let fft = SoiFft {
             // `F_L` comes from the process-wide plan cache: every rank of
             // a simulated cluster shares the same segment count, so all
             // ranks share one twiddle table.
@@ -464,7 +476,24 @@ impl SoiFft {
             validation: ValidationPolicy::Off,
             seg_counts: counts,
             seg_base: base,
+        };
+        Ok(match tuned {
+            Some(exec) => fft.with_tuned_exec(exec),
+            None => fft,
         })
+    }
+
+    /// Applies tuned execution knobs (wisdom): strategy, exchange plan and
+    /// front-end fusion. Never touches the shape.
+    pub fn with_tuned_exec(mut self, exec: crate::wisdom::TunedExec) -> Self {
+        self.strategy = exec.strategy;
+        self.exchange = exec.exchange;
+        if exec.fused {
+            self = self.with_fused_segment_fft();
+        } else {
+            self.fuse_segment_fft = false;
+        }
+        self
     }
 
     /// Assigns a heterogeneous number of segments to each rank (the §6.1
@@ -510,8 +539,21 @@ impl SoiFft {
     /// recovery `F_{M'}` (from the process-wide single-precision plan
     /// cache) and demotes the demodulation diagonal once, here at plan
     /// time.
+    ///
+    /// Re-consults the [`crate::wisdom`] registry under the new
+    /// `(N, P, precision)` key — a tuning run may have found different
+    /// execution knobs for the half-width exchange than for full-width —
+    /// so call `with_precision` *before* manual strategy/exchange
+    /// overrides when combining both.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        if let Some(exec) = crate::wisdom::lookup(&crate::wisdom::WisdomKey {
+            n: self.params.n,
+            procs: self.params.procs,
+            precision,
+        }) {
+            self = self.with_tuned_exec(exec);
+        }
         if precision == Precision::F32 {
             self.plan_mp32 = Some(soifft_fft::shared_plan_f32(self.params.m_prime()));
             self.demod_scale32 = self.demod_scale.iter().map(|&v| c32::from_c64(v)).collect();
@@ -525,6 +567,21 @@ impl SoiFft {
     /// The planned [`Precision`].
     pub fn precision(&self) -> Precision {
         self.precision
+    }
+
+    /// The planned convolution strategy.
+    pub fn strategy(&self) -> ConvStrategy {
+        self.strategy
+    }
+
+    /// The planned all-to-all plan.
+    pub fn exchange(&self) -> ExchangePlan {
+        self.exchange
+    }
+
+    /// True when the block DFTs are fused into the convolution sweep.
+    pub fn fused_segment_fft(&self) -> bool {
+        self.fuse_segment_fft
     }
 
     /// Selects the intra-node pool.
@@ -684,6 +741,7 @@ impl SoiFft {
             _ => self.recover_monolithic_into(comm, ws, y),
         }
         comm.stats_mut().span_close("superstep");
+        publish_plan_cache_gauges(comm);
     }
 
     /// Throughput (batch) mode: runs `inputs.len()` back-to-back
@@ -820,6 +878,7 @@ impl SoiFft {
         comm.stats_mut().span_open("superstep");
         let result = self.try_forward_into_body(comm, local_input, policy, gate, ws, y);
         comm.stats_mut().span_close("superstep");
+        publish_plan_cache_gauges(comm);
         result
     }
 
@@ -968,6 +1027,7 @@ impl SoiFft {
         comm.stats_mut().span_open("superstep");
         let result = self.try_forward_recoverable_body(comm, local_input, policy, ctx, ws, y);
         comm.stats_mut().span_close("superstep");
+        publish_plan_cache_gauges(comm);
         result
     }
 
@@ -2416,6 +2476,16 @@ impl SoiFft {
 /// Seed of the once-per-validated-run linearity probe (xor-ed with the
 /// rank so ranks draw distinct probe vectors).
 const PROBE_SEED: u64 = 0x50D1_F1A6_0B5E_55ED;
+
+/// Publishes the process-global FFT plan-cache counters into this rank's
+/// ledger at the end of a superstep. The counters are gauges (the cache
+/// is shared by every rank in-process), so `RunProfile` aggregates them
+/// as a max across ranks.
+fn publish_plan_cache_gauges(comm: &mut Comm) {
+    let s = soifft_fft::global_plan_cache_stats();
+    comm.stats_mut()
+        .note_plan_cache(s.hits, s.misses, s.evictions);
+}
 
 /// Exclusive prefix sums (`[0, c0, c0+c1, ...]`, length `counts.len()`).
 fn prefix_sums(counts: &[usize]) -> Vec<usize> {

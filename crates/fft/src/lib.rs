@@ -42,7 +42,11 @@ pub mod sixstep;
 pub mod stockham;
 pub mod twiddle;
 
-pub use cache::{shared_plan, shared_plan_f32, try_shared_plan, try_shared_plan_f32, PlanCache};
+pub use cache::{
+    global_plan_cache_stats, shared_plan, shared_plan_f32, shared_plan_stats,
+    shared_plan_stats_f32, try_shared_plan, try_shared_plan_f32, PlanCache, PlanCacheStats,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use iterative::IterativeFft;
 pub use multi::{Plan2d, Plan3d};
 pub use plan::{Plan, PlanError};

@@ -204,11 +204,34 @@ impl FatTreeSpec {
     /// The oversubscription ratio that would reproduce a target efficiency
     /// at `nodes` (inverse of [`FatTreeSpec::efficiency`]); used to check
     /// the calibrated η against topology plausibility.
+    ///
+    /// # Panics
+    /// Panics on the inputs [`FatTreeSpec::try_oversubscription_for`]
+    /// rejects; use the `try_` form for tuner-derived inputs.
     pub fn oversubscription_for(leaf_ports: u32, nodes: u32, efficiency: f64) -> f64 {
-        assert!(nodes > leaf_ports && efficiency > 0.0 && efficiency <= 1.0);
+        match Self::try_oversubscription_for(leaf_ports, nodes, efficiency) {
+            Ok(os) => os,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`FatTreeSpec::oversubscription_for`]: a node count
+    /// inside one leaf or an efficiency outside `(0, 1]` is a typed
+    /// [`ModelError`] instead of a panic.
+    pub fn try_oversubscription_for(
+        leaf_ports: u32,
+        nodes: u32,
+        efficiency: f64,
+    ) -> Result<f64, ModelError> {
+        if nodes <= leaf_ports {
+            return Err(ModelError::NodesWithinLeaf { nodes, leaf_ports });
+        }
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(ModelError::BadEfficiency { efficiency });
+        }
         let local = leaf_ports as f64 / nodes as f64;
         let remote = 1.0 - local;
-        (1.0 / efficiency - local) / remote
+        Ok((1.0 / efficiency - local) / remote)
     }
 }
 
@@ -405,12 +428,34 @@ impl ClusterModel {
     /// `total` exactly). The generalization of the 6:1 rule to arbitrary
     /// mixed clusters; feed the result to
     /// `soifft_core::SoiFft::with_segment_counts`.
+    ///
+    /// # Panics
+    /// Panics on the inputs
+    /// [`ClusterModel::try_proportional_segments`] rejects; use the `try_`
+    /// form for tuner-derived inputs.
     pub fn proportional_segments(peaks_gflops: &[f64], total: usize) -> Vec<usize> {
-        assert!(!peaks_gflops.is_empty());
-        assert!(
-            peaks_gflops.iter().all(|&p| p > 0.0),
-            "peaks must be positive"
-        );
+        match Self::try_proportional_segments(peaks_gflops, total) {
+            Ok(counts) => counts,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`ClusterModel::proportional_segments`]: an empty
+    /// or non-positive peak list is a typed [`ModelError`] instead of a
+    /// panic, so a tuner fed a malformed machine fingerprint degrades
+    /// gracefully.
+    pub fn try_proportional_segments(
+        peaks_gflops: &[f64],
+        total: usize,
+    ) -> Result<Vec<usize>, ModelError> {
+        if peaks_gflops.is_empty() {
+            return Err(ModelError::EmptyPeaks);
+        }
+        for (index, &value) in peaks_gflops.iter().enumerate() {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(ModelError::NonPositivePeak { index, value });
+            }
+        }
         let sum: f64 = peaks_gflops.iter().sum();
         let ideal: Vec<f64> = peaks_gflops
             .iter()
@@ -429,7 +474,7 @@ impl ClusterModel {
             short -= 1;
             idx += 1;
         }
-        counts
+        Ok(counts)
     }
 
     /// SOI with comm/compute overlap from `segments` per process (§6.1):
@@ -508,6 +553,59 @@ impl ScalingPoint {
         self.soi_phi / self.soi_xeon
     }
 }
+
+/// A malformed model input — typed, so tuner- and planner-facing entry
+/// points ([`ClusterModel::try_proportional_segments`],
+/// [`FatTreeSpec::try_oversubscription_for`]) reject bad parameters with
+/// an error the caller can degrade on instead of aborting the process.
+/// Auto-tuners feed these functions machine fingerprints and probe-derived
+/// constants, which are untrusted relative to hand-written test inputs.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A peak-flops list was empty.
+    EmptyPeaks,
+    /// A peak-flops entry was zero, negative or non-finite.
+    NonPositivePeak {
+        /// Index of the offending entry.
+        index: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// A fat-tree inversion was asked about a node count that fits inside
+    /// one leaf switch (the model is only defined past the leaf).
+    NodesWithinLeaf {
+        /// Requested node count.
+        nodes: u32,
+        /// Ports per leaf switch.
+        leaf_ports: u32,
+    },
+    /// An efficiency outside `(0, 1]`.
+    BadEfficiency {
+        /// The offending value.
+        efficiency: f64,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::EmptyPeaks => write!(f, "peak-flops list is empty"),
+            ModelError::NonPositivePeak { index, value } => {
+                write!(f, "peak-flops entry {index} is not positive ({value})")
+            }
+            ModelError::NodesWithinLeaf { nodes, leaf_ports } => write!(
+                f,
+                "fat-tree inversion needs nodes > leaf_ports ({nodes} <= {leaf_ports})"
+            ),
+            ModelError::BadEfficiency { efficiency } => {
+                write!(f, "efficiency must be in (0, 1], got {efficiency}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
 
 /// A sweep lookup that could not be satisfied — typed, so planning code
 /// consuming a sweep (report generators, calibration fits, serving-layer
@@ -714,6 +812,47 @@ mod tests {
         let even = ClusterModel::proportional_segments(&[1.0; 4], 10);
         assert_eq!(even.iter().sum::<usize>(), 10);
         assert!(even.iter().all(|&c| c == 2 || c == 3));
+    }
+
+    #[test]
+    fn malformed_model_inputs_are_typed_errors() {
+        assert_eq!(
+            ClusterModel::try_proportional_segments(&[], 4),
+            Err(ModelError::EmptyPeaks)
+        );
+        assert!(matches!(
+            ClusterModel::try_proportional_segments(&[1.0, 0.0], 4),
+            Err(ModelError::NonPositivePeak { index: 1, .. })
+        ));
+        assert!(matches!(
+            ClusterModel::try_proportional_segments(&[1.0, f64::NAN], 4),
+            Err(ModelError::NonPositivePeak { index: 1, .. })
+        ));
+        assert_eq!(
+            FatTreeSpec::try_oversubscription_for(20, 20, 0.5),
+            Err(ModelError::NodesWithinLeaf {
+                nodes: 20,
+                leaf_ports: 20
+            })
+        );
+        assert!(matches!(
+            FatTreeSpec::try_oversubscription_for(20, 512, 0.0),
+            Err(ModelError::BadEfficiency { .. })
+        ));
+        assert!(matches!(
+            FatTreeSpec::try_oversubscription_for(20, 512, 1.5),
+            Err(ModelError::BadEfficiency { .. })
+        ));
+        // Valid inputs keep working through both entry points.
+        let ok = ClusterModel::try_proportional_segments(&[1.0, 1.0], 4).unwrap();
+        assert_eq!(ok, vec![2, 2]);
+        // Typed errors render with the offending values.
+        let msg = ModelError::NonPositivePeak {
+            index: 3,
+            value: -1.0,
+        }
+        .to_string();
+        assert!(msg.contains('3') && msg.contains("-1"));
     }
 
     /// The calibrated η(512) = 0.54 corresponds, under the structural

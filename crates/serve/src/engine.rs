@@ -724,6 +724,10 @@ pub struct ServeReport {
     /// Each rank's communication ledger from the final epoch (`None` for
     /// ranks that did not exit normally).
     pub rank_stats: Vec<Option<CommStats>>,
+    /// True when the engine's plan was constructed from tuned wisdom
+    /// (the auto-tuner had installed execution knobs for this shape
+    /// before [`ServeEngine::start`] ran).
+    pub wisdom_backed: bool,
 }
 
 /// Handle to a completed or in-flight submission. Obtain the result with
@@ -831,6 +835,7 @@ pub struct ServeEngine {
     shared: Arc<EngineShared>,
     monitor: Arc<HealthMonitor>,
     handle: Option<JoinHandle<EngineExit>>,
+    wisdom_backed: bool,
 }
 
 impl ServeEngine {
@@ -838,6 +843,14 @@ impl ServeEngine {
     pub fn start(params: SoiParams, config: ServeConfig) -> Result<ServeEngine, SoiError> {
         assert!(config.max_batch >= 1, "batch size must be positive");
         let fft_on = SoiFft::new(params)?.with_validation(config.validation);
+        // `SoiFft::new` consulted the wisdom registry for this shape;
+        // record whether tuned knobs were available so operators can
+        // tell a tuned engine from one running on static defaults.
+        let wisdom_backed = soifft_core::wisdom::contains(&soifft_core::WisdomKey {
+            n: params.n,
+            procs: params.procs,
+            precision: fft_on.precision(),
+        });
         let fft_off = fft_on.clone().with_validation(ValidationPolicy::Off);
         let procs = params.procs;
         let out_lens: Vec<usize> = (0..procs).map(|r| fft_on.output_len(r)).collect();
@@ -942,7 +955,14 @@ impl ServeEngine {
             shared,
             monitor,
             handle: Some(handle),
+            wisdom_backed,
         })
+    }
+
+    /// True when this engine's plan came from tuned wisdom rather than
+    /// the static defaults (see [`soifft_core::wisdom`]).
+    pub fn wisdom_backed(&self) -> bool {
+        self.wisdom_backed
     }
 
     /// The planned transform length `N` (required input length).
@@ -1067,6 +1087,7 @@ impl ServeEngine {
                 epochs: e.epochs,
                 clean: e.clean,
                 rank_stats: e.rank_stats,
+                wisdom_backed: self.wisdom_backed,
             },
             None => ServeReport {
                 stats,
@@ -1074,6 +1095,7 @@ impl ServeEngine {
                 epochs: 0,
                 clean: false,
                 rank_stats: Vec::new(),
+                wisdom_backed: self.wisdom_backed,
             },
         }
     }

@@ -1,0 +1,159 @@
+//! Measured probes: short, barrier-aligned, best-of-R timed runs of a
+//! candidate plan over the warm `forward_into` path.
+//!
+//! The timing discipline is the throughput bench's: build once, warm
+//! once (so FFT plans and workspaces are hot and the plan cache is
+//! populated), then `R` barrier-aligned repetitions keeping the minimum
+//! wall — the minimum is the least-noise estimator for a
+//! compute-bound kernel. One extra instrumented repetition runs after
+//! the timed ones with a cleared trace ledger, so the per-phase seconds
+//! handed to the refit come from exactly one superstep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use soifft_cluster::{Cluster, CommStats};
+use soifft_num::c64;
+
+use crate::{Candidate, PhaseSeconds, TuneError};
+
+/// Measured result of probing one candidate.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeMeasurement {
+    /// Best (minimum over repetitions, maximum over ranks) wall seconds
+    /// for one full transform.
+    pub wall_s: f64,
+    /// Per-phase seconds from one instrumented superstep, reduced
+    /// max-over-ranks.
+    pub phases: PhaseSeconds,
+}
+
+/// Anything that can measure a candidate. Production uses
+/// [`MeasuredProber`]; tests use deterministic synthetic probers.
+pub trait Prober {
+    /// Measures `cand` with `reps` timed repetitions.
+    fn probe(&mut self, cand: &Candidate, reps: usize) -> Result<ProbeMeasurement, TuneError>;
+}
+
+/// Process-wide count of real (cluster-running) probe executions.
+/// The zero-probe-on-warm-wisdom acceptance test reads this.
+static PROBE_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Real probe executions since process start.
+pub fn probe_executions() -> u64 {
+    PROBE_EXECUTIONS.load(Ordering::Relaxed)
+}
+
+/// Deterministic per-rank probe input: xorshift64* mapped to `[-1, 1)`.
+/// Local to this crate so the tuner does not depend on the bench crate
+/// (the bench crate depends on *us*).
+fn probe_signal(n: usize, seed: u64) -> Vec<c64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    };
+    (0..n).map(|_| c64::new(next(), next())).collect()
+}
+
+/// The real prober: spins up an in-process [`Cluster`] of the
+/// candidate's rank count and times warm `forward_into` supersteps.
+#[derive(Debug, Default)]
+pub struct MeasuredProber;
+
+impl MeasuredProber {
+    /// A prober with default settings.
+    pub fn new() -> Self {
+        MeasuredProber
+    }
+}
+
+impl Prober for MeasuredProber {
+    fn probe(&mut self, cand: &Candidate, reps: usize) -> Result<ProbeMeasurement, TuneError> {
+        PROBE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+        let fft = cand.build().map_err(TuneError::InvalidShape)?;
+        let per_rank = cand.params.per_rank();
+        let procs = cand.params.procs;
+        let reps = reps.max(1);
+        let fft_ref = &fft;
+
+        let per_rank_results: Vec<(f64, CommStats)> = Cluster::run(procs, move |comm| {
+            let x = probe_signal(
+                per_rank,
+                0x50_1F_F7 ^ (comm.rank() as u64).wrapping_mul(0x9E37),
+            );
+            let mut ws = fft_ref.make_workspace();
+            let mut y = vec![c64::ZERO; fft_ref.output_len(comm.rank())];
+            // Warm: plans built, workspaces sized, plan cache populated.
+            fft_ref.forward_into(comm, &x, &mut ws, &mut y);
+
+            let mut wall = f64::INFINITY;
+            for _ in 0..reps {
+                comm.barrier();
+                let start = Instant::now();
+                fft_ref.forward_into(comm, &x, &mut ws, &mut y);
+                comm.barrier();
+                wall = wall.min(start.elapsed().as_secs_f64());
+            }
+
+            // One instrumented superstep on a clean ledger for the
+            // per-phase reconciliation.
+            comm.stats_mut().clear_records();
+            comm.barrier();
+            fft_ref.forward_into(comm, &x, &mut ws, &mut y);
+            comm.barrier();
+            std::hint::black_box(&y);
+            (wall, comm.stats().clone())
+        });
+
+        let wall_s = per_rank_results
+            .iter()
+            .map(|&(w, _)| w)
+            .fold(0.0_f64, f64::max);
+        let stats: Vec<CommStats> = per_rank_results.into_iter().map(|(_, s)| s).collect();
+        Ok(ProbeMeasurement {
+            wall_s,
+            phases: PhaseSeconds::from_stats(&stats),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soifft_core::wisdom::TunedExec;
+    use soifft_core::{ConvStrategy, ExchangePlan, Precision, SoiParams};
+
+    #[test]
+    fn measured_probe_returns_positive_phases_and_counts() {
+        let params = SoiParams::suggest(1 << 12, 2).expect("suggest");
+        let cand = Candidate {
+            params,
+            exec: TunedExec {
+                strategy: ConvStrategy::RowMajor,
+                exchange: ExchangePlan::Monolithic,
+                fused: false,
+            },
+            precision: Precision::F64,
+        };
+        let before = probe_executions();
+        let m = MeasuredProber::new().probe(&cand, 1).expect("probe");
+        assert_eq!(probe_executions(), before + 1);
+        assert!(m.wall_s > 0.0 && m.wall_s.is_finite());
+        assert!(
+            m.phases.convolution_s > 0.0,
+            "no convolution phase recorded"
+        );
+        assert!(m.phases.all_to_all_s > 0.0, "no all-to-all phase recorded");
+        assert!(m.phases.local_fft_s > 0.0, "no local-fft phase recorded");
+        assert!(
+            m.phases.segment_fft_s > 0.0,
+            "no segment-fft phase recorded"
+        );
+        // The instrumented superstep's phases can't exceed a full wall
+        // by much, but must be commensurate (sanity, not a perf gate).
+        assert!(m.phases.total_s() > 0.0);
+    }
+}

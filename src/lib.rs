@@ -13,7 +13,10 @@
 //! * [`ct`] — the conventional distributed Cooley–Tukey baseline,
 //! * [`model`] — the paper's performance model (sections 4 and 7),
 //! * [`serve`] — overload-safe multi-tenant serving front end (admission
-//!   control, deadlines, backpressure, graceful degradation).
+//!   control, deadlines, backpressure, graceful degradation),
+//! * [`tune`] — self-tuning planner: measured-probe auto-tuner with
+//!   persisted, machine-keyed wisdom (FFTW-style Estimate / Measure /
+//!   WisdomOnly tiers).
 //!
 //! ## Quickstart
 //!
@@ -39,3 +42,4 @@ pub use soifft_model as model;
 pub use soifft_num as num;
 pub use soifft_par as par;
 pub use soifft_serve as serve;
+pub use soifft_tune as tune;
